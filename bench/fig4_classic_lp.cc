@@ -1,0 +1,17 @@
+// Figure 4 — Speedup of all compared approaches over the OMP baseline for
+// classic LP, across the eight Table 2 datasets.
+// Engines: TG, Ligra, OMP, G-Sort, G-Hash, GLP (paper §5.2).
+// Flags: --scale, --iters, --seed.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace glp;
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+  bench::RunSpeedupFigure(
+      "Figure 4: classic LP", lp::VariantKind::kClassic,
+      {lp::VariantParams{}}, flags,
+      {lp::EngineKind::kTg, lp::EngineKind::kLigra, lp::EngineKind::kOmp,
+       lp::EngineKind::kGSort, lp::EngineKind::kGHash, lp::EngineKind::kGlp});
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5 — Speedup over OMP for LLP (layered label propagation).
+// The paper sweeps γ = 2^i, i = 0..9, 20 iterations each; by default this
+// bench runs a 3-point subset of the sweep (γ = 1, 16, 512) and sums the
+// times — pass --full for all ten γ values. TG is omitted: it only supports
+// classic LP (paper §5.1).
+// Flags: --scale, --iters, --seed, --full.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace glp;
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+
+  std::vector<lp::VariantParams> sweep;
+  if (flags.full) {
+    for (int i = 0; i <= 9; ++i) {
+      lp::VariantParams p;
+      p.llp_gamma = static_cast<double>(1 << i);
+      sweep.push_back(p);
+    }
+  } else {
+    for (double gamma : {1.0, 16.0, 512.0}) {
+      lp::VariantParams p;
+      p.llp_gamma = gamma;
+      sweep.push_back(p);
+    }
+  }
+
+  bench::RunSpeedupFigure(
+      "Figure 5: LLP (gamma sweep)", lp::VariantKind::kLlp, sweep, flags,
+      {lp::EngineKind::kLigra, lp::EngineKind::kOmp, lp::EngineKind::kGSort,
+       lp::EngineKind::kGHash, lp::EngineKind::kGlp});
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 6 — Speedup over OMP for SLP (speaker-listener LP), maximum 5
+// labels per vertex, 20 iterations (paper §5.1). TG omitted (classic only).
+// Flags: --scale, --iters, --seed.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace glp;
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+  lp::VariantParams params;
+  params.slp_max_labels = 5;
+  bench::RunSpeedupFigure(
+      "Figure 6: SLP", lp::VariantKind::kSlp, {params}, flags,
+      {lp::EngineKind::kLigra, lp::EngineKind::kOmp, lp::EngineKind::kGSort,
+       lp::EngineKind::kGHash, lp::EngineKind::kGlp});
+  return 0;
+}

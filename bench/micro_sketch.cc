@@ -1,0 +1,75 @@
+// Microbenchmarks (google-benchmark) for the counting structures on the
+// MFL hot path: Count-Min Sketch, fixed-capacity HT, LabelCounter.
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/label_counter.h"
+#include "sketch/count_min.h"
+#include "sketch/fixed_hash_table.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_CountMinAdd(benchmark::State& state) {
+  glp::sketch::CountMinSketch cms(static_cast<int>(state.range(0)), 2048);
+  glp::Rng rng(1);
+  std::vector<uint64_t> keys(4096);
+  for (auto& k : keys) k = rng.Bounded(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    cms.Add(keys[i++ & 4095], 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CountMinEstimate(benchmark::State& state) {
+  glp::sketch::CountMinSketch cms(4, 2048);
+  glp::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) cms.Add(rng.Bounded(1024));
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cms.Estimate(k++ & 1023));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinEstimate);
+
+void BM_FixedHashTableAdd(benchmark::State& state) {
+  const int distinct = static_cast<int>(state.range(0));
+  glp::sketch::FixedHashTable ht(2 * distinct);
+  glp::Rng rng(3);
+  std::vector<glp::graph::Label> keys(4096);
+  for (auto& k : keys) k = static_cast<glp::graph::Label>(rng.Bounded(distinct));
+  size_t i = 0;
+  for (auto _ : state) {
+    if ((i & 1023) == 0) ht.Clear();
+    benchmark::DoNotOptimize(ht.Add(keys[i++ & 4095], 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FixedHashTableAdd)->Arg(64)->Arg(512);
+
+void BM_LabelCounterEpochReset(benchmark::State& state) {
+  // The engine hot loop: reset + count a neighborhood of range(0) labels.
+  const int degree = static_cast<int>(state.range(0));
+  glp::cpu::LabelCounter counter;
+  glp::Rng rng(4);
+  std::vector<glp::graph::Label> labels(degree);
+  for (auto& l : labels) l = static_cast<glp::graph::Label>(rng.Bounded(32));
+  for (auto _ : state) {
+    counter.Reset(degree);
+    for (auto l : labels) counter.Add(l, 1.0);
+    double best = 0;
+    counter.ForEach([&](glp::graph::Label, double c) {
+      best = std::max(best, c);
+    });
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_LabelCounterEpochReset)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

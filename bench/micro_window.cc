@@ -1,0 +1,67 @@
+// Microbenchmarks (google-benchmark) for the sliding-window substrate:
+// fresh snapshots vs the scratch-reusing cursor, and multigraph vs collapsed
+// (weighted) window construction.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/sliding_window.h"
+#include "pipeline/transactions.h"
+
+namespace {
+
+using namespace glp;
+
+const pipeline::TransactionStream& Stream() {
+  static const pipeline::TransactionStream stream = [] {
+    pipeline::TransactionConfig cfg;
+    cfg.num_buyers = 30000;
+    cfg.num_items = 8000;
+    cfg.days = 100;
+    cfg.num_rings = 30;
+    cfg.seed = 5;
+    return pipeline::GenerateTransactions(cfg);
+  }();
+  return stream;
+}
+
+void BM_SnapshotFresh(benchmark::State& state) {
+  graph::SlidingWindow window(Stream().edges);
+  double end = 30;
+  for (auto _ : state) {
+    auto snap = window.Snapshot(end - 30, end);
+    benchmark::DoNotOptimize(snap.graph.num_edges());
+    end += 1;
+    if (end > 100) end = 30;
+  }
+}
+BENCHMARK(BM_SnapshotFresh)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotCursor(benchmark::State& state) {
+  graph::SlidingWindow window(Stream().edges);
+  graph::SlidingWindowCursor cursor(&window, 30);
+  double end = 30;
+  for (auto _ : state) {
+    const auto& snap = cursor.AdvanceTo(end);
+    benchmark::DoNotOptimize(snap.graph.num_edges());
+    end += 1;
+    if (end > 100) end = 30;
+  }
+}
+BENCHMARK(BM_SnapshotCursor)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotCollapsed(benchmark::State& state) {
+  graph::SlidingWindow window(Stream().edges);
+  graph::SlidingWindow::Scratch scratch;
+  double end = 30;
+  for (auto _ : state) {
+    auto snap = window.Snapshot(end - 30, end, &scratch, /*collapse=*/true);
+    benchmark::DoNotOptimize(snap.graph.num_edges());
+    end += 1;
+    if (end > 100) end = 30;
+  }
+}
+BENCHMARK(BM_SnapshotCollapsed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

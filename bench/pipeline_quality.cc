@@ -1,0 +1,51 @@
+// Detection-quality sweep across the Table 4 sliding windows — the quality
+// counterpart of Figure 7: for each window, run the full Figure 1 pipeline
+// and report precision / recall / F1 against the injected fraud rings, plus
+// the LP share of pipeline time with a CPU engine vs GLP (the §1 motivation
+// in one table).
+// Flags: --scale, --seed.
+
+#include "bench/bench_common.h"
+#include "pipeline/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace glp;
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+
+  // A smaller stream than fig7's: quality metrics need many pipeline runs.
+  auto cfg = bench::TaobaoStreamConfig(0.15 * flags.scale, flags.seed);
+  auto stream = pipeline::GenerateTransactions(cfg);
+  pipeline::FraudDetectionPipeline pipeline(&stream);
+
+  std::printf("=== Pipeline detection quality by window (stream: %zu "
+              "purchases, %d rings) ===\n\n",
+              stream.edges.size(), cfg.num_rings);
+  bench::PrintHeader({"Window", "clusters", "precision", "recall", "F1",
+                      "LP%(OMP)", "LP%(GLP)"},
+                     12);
+
+  for (int days = 10; days <= 100; days += 15) {
+    pipeline::PipelineConfig pc;
+    pc.window_days = days;
+    pc.collapse_window_graphs = true;
+    pc.engine = lp::EngineKind::kOmp;
+    auto omp = pipeline.Run(pc);
+    pc.engine = lp::EngineKind::kGlp;
+    auto glp_run = pipeline.Run(pc);
+    GLP_CHECK(omp.ok()) << omp.status().ToString();
+    GLP_CHECK(glp_run.ok()) << glp_run.status().ToString();
+    const auto& r = glp_run.value();
+    char wname[16];
+    std::snprintf(wname, sizeof(wname), "%dd", days);
+    std::printf("%-12s%-12zu%-12.3f%-12.3f%-12.3f%-12.0f%-12.0f\n", wname,
+                r.clusters.size(), r.confirmed_metrics.Precision(),
+                r.confirmed_metrics.Recall(), r.confirmed_metrics.F1(),
+                100.0 * omp.value().LpFraction(), 100.0 * r.LpFraction());
+  }
+
+  std::printf("\nLP%% = LP stage share of end-to-end pipeline time. With the "
+              "CPU engine it dominates\n(the paper's 75%% observation); GLP "
+              "removes the bottleneck. Recall < 1 reflects rings\nwhose "
+              "collusion window barely overlaps the detection window.\n");
+  return 0;
+}

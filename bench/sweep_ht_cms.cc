@@ -1,0 +1,74 @@
+// Design-choice ablation for the §4.1 shared-memory structures: sweep the
+// hash-table capacity h and the CMS geometry (d, w) and report the
+// global-memory fallback rate plus simulated time, validating the defaults
+// (h=1024, d=4, w=2048) against Theorem 1's trade-off: larger h lowers
+// P[l* not in HT] ~ e^-h, deeper CMS lowers the false-alarm term m*2^-d,
+// and everything competes for the same shared-memory budget.
+// Flags: --seed, --iters.
+
+#include "bench/bench_common.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "graph/binning.h"
+#include "graph/generators.h"
+
+using namespace glp;
+
+int main(int argc, char** argv) {
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+
+  // The aligraph-style dense bipartite graph: item degrees reach tens of
+  // thousands (far above every swept HT capacity), so early iterations
+  // genuinely stress the CMS estimates, not just the HT probing.
+  graph::BipartiteParams p;
+  p.num_left = 1200;
+  p.num_right = 800;
+  p.num_edges = 1000000;
+  p.zipf_skew = 0.8;
+  p.seed = flags.seed;
+  const graph::Graph g = graph::GenerateBipartite(p);
+  const auto bins = graph::ComputeDegreeBins(g);
+  std::printf("=== §4.1 structure sweep on %s (high-degree: %zu) ===\n\n",
+              g.ToString().c_str(), bins.high.size());
+
+  lp::RunConfig run;
+  run.max_iterations = std::min(flags.iterations, 8);
+  run.seed = flags.seed;
+  const uint64_t high_slots = bins.high.size() * run.max_iterations;
+
+  auto run_cfg = [&](int h, int d, int w) {
+    lp::GlpOptions opts;
+    opts.ht_capacity = h;
+    opts.cms_depth = d;
+    opts.cms_width = w;
+    lp::GlpEngine<lp::ClassicVariant> engine({}, opts);
+    auto r = engine.Run(g, run);
+    GLP_CHECK(r.ok()) << r.status().ToString();
+    std::printf("%-8d%-8d%-8d%-12.4f%-12s%-14s\n", h, d, w,
+                static_cast<double>(engine.last_fallback_count()) /
+                    static_cast<double>(high_slots),
+                bench::Duration(r.value().simulated_seconds).c_str(),
+                bench::Count(static_cast<double>(
+                                 r.value().stats.global_transactions))
+                    .c_str());
+  };
+
+  std::printf("--- HT capacity sweep (d=4, w=2048) ---\n");
+  bench::PrintHeader({"h", "d", "w", "fallback", "time", "gtx"}, 11);
+  for (int h : {128, 256, 512, 1024, 2048, 4096}) run_cfg(h, 4, 2048);
+
+  std::printf("\n--- CMS depth sweep (h=1024, w=2048) ---\n");
+  bench::PrintHeader({"h", "d", "w", "fallback", "time", "gtx"}, 11);
+  for (int d : {1, 2, 4, 8}) run_cfg(1024, d, 2048);
+
+  std::printf("\n--- CMS width sweep (h=1024, d=4) ---\n");
+  bench::PrintHeader({"h", "d", "w", "fallback", "time", "gtx"}, 11);
+  // (w = 8192 at d = 4 would exceed the 96KB shared-memory budget.)
+  for (int w : {256, 512, 1024, 2048, 4096}) run_cfg(1024, 4, w);
+
+  std::printf(
+      "\nfallback = fraction of (high-degree vertex, iteration) pairs that "
+      "needed the global\nmemory path. The defaults sit where the curve "
+      "flattens — larger structures buy little.\n");
+  return 0;
+}

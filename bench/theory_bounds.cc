@@ -1,0 +1,126 @@
+// §4.1 theory validation — Monte-Carlo checks of Lemma 1, Lemma 2, and the
+// Theorem 1 consequence observable in the engine: the probability that a
+// high-degree vertex needs the global-memory fallback collapses as labels
+// consolidate.
+// Flags: --seed, --full (more trials).
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "bench/bench_common.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "graph/generators.h"
+#include "sketch/count_min.h"
+#include "util/rng.h"
+
+using namespace glp;
+
+namespace {
+
+// Lemma 1: with m distinct tail labels (each once) and one label l* of
+// frequency fmax inserted in random order into an HT that retains the first
+// h distinct labels, P[l* not in HT] <= (1 - h/(m+k))^{2k}, k=(fmax-1)/2.
+void ValidateLemma1(int trials, uint64_t seed) {
+  std::printf("--- Lemma 1: P[l* not in HT] vs bound ---\n");
+  bench::PrintHeader({"m", "h", "fmax", "observed", "bound"}, 12);
+  Rng rng(seed);
+  for (const auto& [m, h, fmax] : std::vector<std::tuple<int, int, int>>{
+           {256, 64, 9}, {256, 64, 33}, {1024, 128, 17}, {1024, 128, 65},
+           {4096, 256, 33}}) {
+    int misses = 0;
+    std::vector<uint32_t> stream;
+    for (int t = 0; t < trials; ++t) {
+      stream.clear();
+      for (int i = 0; i < m; ++i) stream.push_back(1 + i);  // tail labels
+      for (int i = 0; i < fmax; ++i) stream.push_back(0);   // l* = 0
+      // Fisher-Yates shuffle.
+      for (size_t i = stream.size() - 1; i > 0; --i) {
+        std::swap(stream[i], stream[rng.Bounded(i + 1)]);
+      }
+      std::unordered_set<uint32_t> ht;
+      for (uint32_t l : stream) {
+        if (static_cast<int>(ht.size()) < h) ht.insert(l);
+        if (ht.count(0)) break;
+      }
+      misses += !ht.count(0);
+    }
+    const double k = (fmax - 1) / 2.0;
+    const double bound = std::pow(1.0 - h / (m + k), 2 * k);
+    std::printf("%-12d%-12d%-12d%-12.4f%-12.4f\n", m, h, fmax,
+                static_cast<double>(misses) / trials, bound);
+  }
+  std::printf("\n");
+}
+
+// Lemma 2: inserting s singleton labels into a CMS with w = 2s buckets per
+// row and d rows, P[max estimate > fmax] <= m * 2^-d.
+void ValidateLemma2(int trials, uint64_t seed) {
+  std::printf("--- Lemma 2: P[CMS max estimate > fmax] vs m*2^-d ---\n");
+  bench::PrintHeader({"s", "d", "fmax", "observed", "bound(cap 1)"}, 14);
+  Rng rng(seed);
+  for (const auto& [s, d, fmax] : std::vector<std::tuple<int, int, int>>{
+           {512, 4, 8}, {512, 6, 8}, {2048, 4, 16}, {2048, 8, 16}}) {
+    int violations = 0;
+    for (int t = 0; t < trials; ++t) {
+      sketch::CountMinSketch cms(d, 2 * s, rng.Next());
+      for (int i = 0; i < s; ++i) cms.Add(1000 + i, 1.0);  // singletons
+      if (cms.MaxEstimate() > fmax) ++violations;
+    }
+    const double bound = std::min(1.0, s * std::pow(2.0, -d));
+    std::printf("%-14d%-14d%-14d%-14.4f%-14.4f\n", s, d, fmax,
+                static_cast<double>(violations) / trials, bound);
+  }
+  std::printf("\n");
+}
+
+// Theorem 1 in vivo: per-iteration fallback rate of the high-degree kernel
+// on a community graph. Labels consolidate -> m drops, fmax grows -> the
+// fallback probability collapses after the first iterations.
+void ValidateFallbackDecay(uint64_t seed) {
+  std::printf("--- Theorem 1 consequence: GLP fallback rate by iteration ---\n");
+  // Degrees must exceed the shared HT capacity (1024 slots) or nothing ever
+  // spills to the CMS and the fallback path is unreachable.
+  graph::PlantedPartitionParams p;
+  p.num_communities = 2;
+  p.community_size = 2200;
+  p.intra_degree = 1500;
+  p.inter_degree = 2;
+  p.seed = seed;
+  const graph::Graph g = graph::GeneratePlantedPartition(p);
+  const auto bins = graph::ComputeDegreeBins(g);
+  std::printf("graph: %s, high-degree vertices: %zu\n", g.ToString().c_str(),
+              bins.high.size());
+  bench::PrintHeader({"iteration", "fallback-rate"}, 14);
+
+  lp::RunConfig run;
+  run.seed = seed;
+  uint64_t prev = 0;
+  for (int iters = 1; iters <= 6; ++iters) {
+    run.max_iterations = iters;
+    lp::GlpEngine<lp::ClassicVariant> engine;
+    auto r = engine.Run(g, run);
+    GLP_CHECK(r.ok());
+    const uint64_t now = engine.last_fallback_count();
+    std::printf("%-14d%-14.4f\n", iters,
+                static_cast<double>(now - prev) / bins.high.size());
+    prev = now;
+  }
+  std::printf("\n(iteration 1 starts from all-distinct labels — fallback is "
+              "expected;\n the rate collapsing to ~0 is the Theorem 1 "
+              "behaviour GLP exploits.)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+  const int trials = flags.full ? 20000 : 2000;
+  std::printf("=== §4.1 theoretical bounds, Monte-Carlo (%d trials) ===\n\n",
+              trials);
+  ValidateLemma1(trials, flags.seed);
+  ValidateLemma2(trials, flags.seed + 1);
+  ValidateFallbackDecay(flags.seed + 2);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Community detection with the three LP variants of §3.1 on one social
+// graph, showing what each is *for*:
+//   classic LP — fast, but tends to produce giant communities;
+//   LLP        — γ penalizes big communities (sweep shows the resolution
+//                knob);
+//   SLP        — overlapping communities via per-vertex label memory.
+
+#include <cstdio>
+
+#include "cpu/mfl.h"
+#include "glp/factory.h"
+#include "glp/variants/slp.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "pipeline/metrics.h"
+
+int main() {
+  using namespace glp;
+
+  graph::ChungLuParams gp;
+  gp.num_vertices = 8192;
+  gp.num_edges = 65536;
+  gp.exponent = 2.3;
+  gp.seed = 5;
+  const graph::Graph g = graph::GenerateChungLu(gp);
+  std::printf("graph: %s\n\n", g.ToString().c_str());
+
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  run.seed = 9;
+
+  // --- classic LP ---
+  {
+    auto engine = lp::MakeEngine(lp::EngineKind::kGlp,
+                                 lp::VariantKind::kClassic);
+    auto r = engine->Run(g, run);
+    const auto stats = pipeline::ClusterStats::Of(r.value().labels);
+    std::printf("classic LP:      %s Q=%.3f\n", stats.ToString().c_str(),
+                graph::Modularity(g, r.value().labels));
+  }
+
+  // --- LLP resolution sweep ---
+  for (double gamma : {0.25, 1.0, 4.0, 16.0}) {
+    lp::VariantParams params;
+    params.llp_gamma = gamma;
+    auto engine =
+        lp::MakeEngine(lp::EngineKind::kGlp, lp::VariantKind::kLlp, params);
+    auto r = engine->Run(g, run);
+    const auto stats = pipeline::ClusterStats::Of(r.value().labels);
+    std::printf("LLP (gamma %5.2f): %s Q=%.3f\n", gamma,
+                stats.ToString().c_str(),
+                graph::Modularity(g, r.value().labels));
+  }
+
+  // --- SLP overlapping communities ---
+  {
+    lp::VariantParams params;
+    params.slp_max_labels = 5;
+    params.slp_min_frequency = 0.15;
+
+    // Run through the GPU engine for the primary labels...
+    auto engine = lp::MakeEngine(lp::EngineKind::kGlp, lp::VariantKind::kSlp,
+                                 params);
+    auto r = engine->Run(g, run);
+    const auto stats = pipeline::ClusterStats::Of(r.value().labels);
+    std::printf("SLP (primary):   %s\n", stats.ToString().c_str());
+
+    // ...and drive the variant directly to read the overlap structure the
+    // polymorphic interface does not expose. Both paths execute the same
+    // deterministic hooks, so the memories coincide.
+    lp::SlpVariant variant(params);
+    variant.Init(g, run);
+    cpu::LabelCounter counter;
+    for (int iter = 0; iter < run.max_iterations; ++iter) {
+      variant.BeginIteration(iter);
+      auto& next = variant.next_labels();
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        next[v] = cpu::ComputeMfl(g, variant, v, &counter);
+      }
+      variant.EndIteration(iter);
+    }
+    std::printf("SLP engines agree: %s\n",
+                variant.FinalLabels() == r.value().labels ? "yes" : "NO");
+    int64_t multi = 0;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      multi += variant.CommunityLabels(v).size() > 1;
+    }
+    std::printf("SLP overlap:     %lld of %u vertices belong to more than "
+                "one community\n",
+                static_cast<long long>(multi), g.num_vertices());
+  }
+
+  std::printf("\nTakeaway: increasing gamma fragments the giant classic-LP "
+              "community into\nprogressively finer clusters; SLP's label "
+              "memories capture membership overlap.\n");
+  return 0;
+}

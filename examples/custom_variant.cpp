@@ -1,0 +1,143 @@
+// Custom variant: the programmability story of the paper (§3.1, Table 1).
+//
+// A data engineer deploys a *new* LP algorithm by writing only the four user
+// hooks — no GPU knowledge required. Here we implement "weighted-seed LP", a
+// fraud-flavoured variant: labels propagated from blacklisted seed accounts
+// carry extra weight, so suspicion spreads more aggressively than organic
+// community structure.
+//
+//   score(v, l, freq) = freq * (1 + boost * [l is a seed label])
+//
+// The variant plugs into every engine unchanged; below it runs on both the
+// CPU reference and the GLP GPU engine, which must agree exactly.
+
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/seq_engine.h"
+#include "glp/glp_engine.h"
+#include "glp/run.h"
+#include "graph/generators.h"
+
+namespace example {
+
+using namespace glp;
+
+/// Weighted-seed LP: the four Table 1 hooks plus the state they act on.
+class SeedBoostVariant {
+ public:
+  static constexpr bool kNeedsLabelAux = true;  // per-label seed flags
+  static constexpr bool kUnitWeight = true;
+  static constexpr bool kSupportsAsync = false;
+
+  explicit SeedBoostVariant(const lp::VariantParams&) {}
+
+  /// Labels whose propagation is boosted (the blacklist).
+  static std::unordered_set<graph::Label>& SeedLabels() {
+    static std::unordered_set<graph::Label> seeds;
+    return seeds;
+  }
+  static constexpr double kBoost = 3.0;
+
+  void Init(const graph::Graph& g, const lp::RunConfig& config) {
+    labels_.resize(g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      labels_[v] = config.initial_labels.empty() ? v
+                                                 : config.initial_labels[v];
+    }
+    next_ = labels_;
+    RebuildAux();
+  }
+
+  // --- PickLabel: nothing to choose, speak the current label. ---
+  void BeginIteration(int) {}
+
+  const std::vector<graph::Label>& labels() const { return labels_; }
+  std::vector<graph::Label>& next_labels() { return next_; }
+
+  /// aux[l] = 1 if l is a seed label. On a real GPU this is a device array
+  /// the kernels gather per candidate label — the framework charges exactly
+  /// that traffic.
+  const std::vector<float>& label_aux() const { return aux_; }
+
+  // --- LoadNeighbor: unit weights. ---
+  double NeighborWeight(graph::VertexId, graph::VertexId) const { return 1.0; }
+
+  // --- LabelScore: boost seed labels. Monotone in freq (CMS contract). ---
+  double Score(graph::VertexId, graph::Label, double freq, double aux) const {
+    return freq * (1.0 + kBoost * aux);
+  }
+
+  // --- UpdateVertex/commit. ---
+  int EndIteration(int) {
+    int changed = 0;
+    for (size_t v = 0; v < labels_.size(); ++v) {
+      if (next_[v] == graph::kInvalidLabel) next_[v] = labels_[v];
+      if (labels_[v] != next_[v]) ++changed;
+    }
+    labels_.swap(next_);
+    return changed;
+  }
+
+  std::vector<graph::Label> FinalLabels() const { return labels_; }
+
+  bool needs_pick_kernel() const { return false; }
+  uint64_t memory_bytes_per_vertex() const { return 0; }
+
+ private:
+  void RebuildAux() {
+    graph::Label mx = 0;
+    for (graph::Label l : labels_) mx = std::max(mx, l);
+    aux_.assign(static_cast<size_t>(mx) + 1, 0.0f);
+    for (graph::Label l : SeedLabels()) {
+      if (l < aux_.size()) aux_[l] = 1.0f;
+    }
+  }
+
+  std::vector<graph::Label> labels_;
+  std::vector<graph::Label> next_;
+  std::vector<float> aux_;
+};
+
+}  // namespace example
+
+int main() {
+  using namespace glp;
+  using example::SeedBoostVariant;
+
+  graph::RmatParams rp;
+  rp.num_vertices = 4096;
+  rp.num_edges = 32768;
+  rp.seed = 3;
+  const graph::Graph g = graph::GenerateRmat(rp);
+
+  // Blacklist three accounts; their labels get boosted propagation.
+  SeedBoostVariant::SeedLabels() = {17, 1000, 2048};
+
+  lp::RunConfig run;
+  run.max_iterations = 10;
+
+  cpu::SeqEngine<SeedBoostVariant> reference;
+  lp::GlpEngine<SeedBoostVariant> gpu;
+
+  auto a = reference.Run(g, run);
+  auto b = gpu.Run(g, run);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+  const bool agree = a.value().labels == b.value().labels;
+  std::printf("custom variant on CPU reference vs GLP GPU engine: %s\n",
+              agree ? "IDENTICAL" : "DIVERGED");
+
+  int64_t tainted = 0;
+  for (graph::Label l : b.value().labels) {
+    tainted += SeedBoostVariant::SeedLabels().count(l);
+  }
+  std::printf("vertices captured by boosted seed labels: %lld of %u\n",
+              static_cast<long long>(tainted), g.num_vertices());
+  std::printf("GLP simulated time: %.3f ms for %d iterations\n",
+              b.value().simulated_seconds * 1e3, b.value().iterations);
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// End-to-end fraud detection — the paper's Figure 1 pipeline on a synthetic
+// TaoBao-style transaction stream: sliding window -> LP clustering (GLP on
+// the simulated GPU) -> suspicious-cluster extraction -> downstream scoring.
+//
+// Also reproduces the motivating observation of §1: the LP stage dominates
+// the pipeline, so accelerating it (OMP -> GLP) moves the end-to-end number.
+
+#include <cstdio>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/transactions.h"
+
+int main() {
+  using namespace glp;
+
+  // A 100-day stream with 40 injected fraud rings.
+  pipeline::TransactionConfig tcfg;
+  tcfg.num_buyers = 30000;
+  tcfg.num_items = 6000;
+  tcfg.days = 100;
+  tcfg.num_rings = 40;
+  tcfg.ring_buyers = 12;
+  tcfg.ring_items = 6;
+  tcfg.seed = 11;
+  const auto stream = pipeline::GenerateTransactions(tcfg);
+  std::printf("stream: %zu purchases, %d fraud rings, %zu blacklisted seeds\n",
+              stream.edges.size(), tcfg.num_rings, stream.seeds.size());
+
+  pipeline::FraudDetectionPipeline pipeline(&stream);
+
+  // Run the last-30-days window through the pipeline with two LP engines.
+  for (const auto engine :
+       {lp::EngineKind::kOmp, lp::EngineKind::kGlp}) {
+    pipeline::PipelineConfig cfg;
+    cfg.window_days = 30;
+    cfg.engine = engine;
+    cfg.lp_iterations = 20;
+    auto result = pipeline.Run(cfg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const pipeline::PipelineResult& r = result.value();
+    std::printf("\n--- LP engine: %s ---\n", lp::EngineKindName(engine));
+    std::printf("window graph: %u entities, %lld interactions\n",
+                r.window_vertices, static_cast<long long>(r.window_edges));
+    std::printf("suspicious clusters: %zu (confirmed by scorer: ",
+                r.clusters.size());
+    int confirmed = 0;
+    for (const auto& c : r.clusters) confirmed += c.confirmed;
+    std::printf("%d)\n", confirmed);
+    std::printf("detection (LP stage):  %s\n", r.lp_metrics.ToString().c_str());
+    std::printf("detection (confirmed): %s\n",
+                r.confirmed_metrics.ToString().c_str());
+    std::printf("stage times: build %.1f ms | LP %.1f ms | extract %.1f ms "
+                "-> LP share %.0f%%\n",
+                r.build_seconds * 1e3, r.lp_seconds * 1e3,
+                r.extract_seconds * 1e3, 100.0 * r.LpFraction());
+  }
+
+  // Weighted-window mode: repeat purchases collapse into edge weights —
+  // identical detections from a much smaller graph.
+  {
+    pipeline::PipelineConfig cfg;
+    cfg.window_days = 30;
+    cfg.engine = lp::EngineKind::kGlp;
+    auto multi = pipeline.Run(cfg);
+    cfg.collapse_window_graphs = true;
+    auto collapsed = pipeline.Run(cfg);
+    if (multi.ok() && collapsed.ok()) {
+      std::printf("\n--- collapsed (weighted) windows ---\n");
+      std::printf("interactions: %lld CSR entries -> %lld weighted edges; "
+                  "detections identical: %s\n",
+                  static_cast<long long>(multi.value().window_edges),
+                  static_cast<long long>(collapsed.value().window_edges),
+                  multi.value().lp_metrics.true_positives ==
+                          collapsed.value().lp_metrics.true_positives
+                      ? "yes"
+                      : "NO");
+    }
+  }
+
+  std::printf("\n(The paper's §1 observation: LP dominates the pipeline — "
+              "hence GLP.)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a graph, run classic label propagation with GLP on the
+// simulated GPU, and inspect the communities.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the 60-second tour of the public API: graph generators -> engine
+// factory -> RunResult.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "glp/factory.h"
+#include "graph/generators.h"
+#include "pipeline/metrics.h"
+
+int main() {
+  using namespace glp;
+
+  // 1. A graph with planted community structure (or load your own with
+  //    graph::ReadEdgeListFile).
+  graph::PlantedPartitionParams params;
+  params.num_communities = 16;
+  params.community_size = 128;
+  params.intra_degree = 10;
+  params.inter_degree = 0.5;
+  params.seed = 7;
+  const graph::Graph g = graph::GeneratePlantedPartition(params);
+  std::printf("graph: %s\n", g.ToString().c_str());
+
+  // 2. An engine: GLP (this paper) running classic LP. Swap EngineKind to
+  //    compare against OMP / Ligra / G-Sort / G-Hash, or VariantKind for
+  //    LLP / SLP.
+  auto engine = lp::MakeEngine(lp::EngineKind::kGlp, lp::VariantKind::kClassic);
+
+  // 3. Run 20 iterations (the paper's standard budget).
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  run.stop_when_stable = true;
+  auto result = engine->Run(g, run);
+  if (!result.ok()) {
+    std::fprintf(stderr, "LP failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const lp::RunResult& r = result.value();
+
+  // 4. Inspect the outcome.
+  const auto stats = pipeline::ClusterStats::Of(r.labels);
+  std::printf("converged after %d iterations\n", r.iterations);
+  std::printf("communities: %s\n", stats.ToString().c_str());
+  std::printf("simulated GPU time: %.3f ms (%.1f us/iteration)\n",
+              r.simulated_seconds * 1e3,
+              r.simulated_seconds / r.iterations * 1e6);
+  std::printf("device traffic: %llu global transactions, lane utilization "
+              "%.2f\n",
+              static_cast<unsigned long long>(r.stats.global_transactions),
+              r.stats.LaneUtilization());
+
+  // Sanity: the planted blocks should be recovered.
+  std::unordered_map<graph::Label, int> block0;
+  for (int i = 0; i < params.community_size; ++i) ++block0[r.labels[i]];
+  int dominant = 0;
+  for (const auto& [l, c] : block0) dominant = std::max(dominant, c);
+  std::printf("community 0 purity: %.0f%%\n",
+              100.0 * dominant / params.community_size);
+  return 0;
+}

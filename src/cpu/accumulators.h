@@ -1,0 +1,64 @@
+// GSQL-style accumulator substrate — the vertex-centric abstraction the TG
+// baseline engine is built on, mirroring how TigerGraph's LP is written:
+// each vertex owns a MapAccum<Label, SumAccum<double>> that neighbor visits
+// accumulate into, and a superstep barrier applies the reduced result.
+//
+// The genericity (type-erased reducer, per-superstep map materialization) is
+// deliberate: it reproduces the overhead profile that makes TG slower than
+// the fused flat-counting OMP baseline in Figures 4-6.
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace glp::cpu {
+
+/// SumAccum<T>: += semantics under reduction.
+template <typename T>
+struct SumAccum {
+  T value{};
+  void Accumulate(const T& x) { value += x; }
+};
+
+/// MaxAccum<T>: max semantics under reduction.
+template <typename T>
+struct MaxAccum {
+  T value{};
+  bool seen = false;
+  void Accumulate(const T& x) {
+    if (!seen || x > value) {
+      value = x;
+      seen = true;
+    }
+  }
+};
+
+/// MapAccum<K, A>: keyed accumulators, materialized as a hash map per
+/// superstep (TigerGraph's dominant LP cost).
+template <typename K, typename A>
+class MapAccum {
+ public:
+  void Accumulate(const K& key, const typename std::decay_t<
+                                    decltype(A{}.value)>& x) {
+    map_[key].Accumulate(x);
+  }
+
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [k, a] : map_) fn(k, a.value);
+  }
+
+  void Clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<K, A> map_;
+};
+
+}  // namespace glp::cpu

@@ -1,0 +1,108 @@
+// Reusable open-addressing (label -> weight) counter for CPU LP engines.
+//
+// One counter is reused across the vertices a thread processes; Reset is
+// O(1) via epoch stamping, and capacity grows geometrically to fit the
+// largest neighborhood seen. This is the "flat fused counting" that makes
+// the OMP baseline fast relative to the TG engine's generic accumulators.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/hash.h"
+
+namespace glp::cpu {
+
+/// Per-thread scratch counter over labels.
+class LabelCounter {
+ public:
+  explicit LabelCounter(int initial_capacity = 64) {
+    Grow(initial_capacity);
+  }
+
+  /// Prepares for a new key set; previous contents become invisible.
+  void Reset(int expected_keys) {
+    const int needed = NextPow2(2 * expected_keys + 1);
+    if (needed > capacity_) {
+      Grow(needed);
+    } else {
+      ++epoch_;
+      if (epoch_ == 0) {  // stamp wrap: hard clear
+        std::fill(stamps_.begin(), stamps_.end(), 0u);
+        epoch_ = 1;
+      }
+    }
+    size_ = 0;
+    occupied_.clear();
+  }
+
+  /// Adds `w` to `label`; returns the updated count.
+  double Add(graph::Label label, double w) {
+    const uint32_t mask = static_cast<uint32_t>(capacity_) - 1;
+    uint32_t slot = static_cast<uint32_t>(glp::HashMix64(label)) & mask;
+    for (;;) {
+      if (stamps_[slot] != epoch_) {
+        stamps_[slot] = epoch_;
+        keys_[slot] = label;
+        counts_[slot] = w;
+        ++size_;
+        occupied_.push_back(slot);
+        return w;
+      }
+      if (keys_[slot] == label) {
+        counts_[slot] += w;
+        return counts_[slot];
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Count for `label` (0 if absent).
+  double Count(graph::Label label) const {
+    const uint32_t mask = static_cast<uint32_t>(capacity_) - 1;
+    uint32_t slot = static_cast<uint32_t>(glp::HashMix64(label)) & mask;
+    for (;;) {
+      if (stamps_[slot] != epoch_) return 0.0;
+      if (keys_[slot] == label) return counts_[slot];
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  int size() const { return size_; }
+
+  /// Applies fn(label, count) over live entries, O(distinct labels)
+  /// regardless of table capacity (insertion order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t slot : occupied_) fn(keys_[slot], counts_[slot]);
+  }
+
+ private:
+  static int NextPow2(int x) {
+    int p = 16;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  void Grow(int capacity) {
+    capacity_ = NextPow2(capacity);
+    keys_.assign(capacity_, 0);
+    counts_.assign(capacity_, 0.0);
+    stamps_.assign(capacity_, 0u);
+    epoch_ = 1;
+    size_ = 0;
+    occupied_.clear();
+  }
+
+  int capacity_ = 0;
+  int size_ = 0;
+  uint32_t epoch_ = 0;
+  std::vector<graph::Label> keys_;
+  std::vector<double> counts_;
+  std::vector<uint32_t> stamps_;
+  std::vector<uint32_t> occupied_;
+};
+
+}  // namespace glp::cpu

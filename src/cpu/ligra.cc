@@ -1,0 +1,52 @@
+#include "cpu/ligra.h"
+
+#include <atomic>
+
+namespace glp::cpu {
+
+VertexSubset EdgeMapNeighbors(const graph::Graph& g,
+                              const VertexSubset& frontier,
+                              glp::ThreadPool* pool) {
+  const graph::VertexId n = g.num_vertices();
+  std::vector<uint8_t> out(n, 0);
+
+  if (ShouldUseDense(g, frontier)) {
+    // Dense direction: every vertex checks whether any in-neighbor is in the
+    // frontier (Ligra's pull-style EdgeMap with early exit).
+    const std::vector<uint8_t> flags = frontier.ToFlags();
+    auto body = [&](int64_t lo, int64_t hi) {
+      for (int64_t v = lo; v < hi; ++v) {
+        for (graph::VertexId u : g.neighbors(static_cast<graph::VertexId>(v))) {
+          if (flags[u]) {
+            out[v] = 1;
+            break;
+          }
+        }
+      }
+    };
+    if (pool) {
+      pool->ParallelFor(0, n, body, 2048);
+    } else {
+      body(0, n);
+    }
+    return VertexSubset::FromFlags(std::move(out));
+  }
+
+  // Sparse direction: push from frontier members to their neighbors
+  // (symmetric graph: neighbor lists double as out-lists). Byte stores race
+  // benignly (all writers store 1); use relaxed atomics for defined behavior.
+  frontier.ForEach(pool, [&](graph::VertexId v) {
+    for (graph::VertexId u : g.neighbors(v)) {
+      std::atomic_ref<uint8_t> flag(out[u]);
+      flag.store(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<graph::VertexId> ids;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (out[v]) ids.push_back(v);
+  }
+  return VertexSubset::FromIds(n, std::move(ids));
+}
+
+}  // namespace glp::cpu

@@ -1,0 +1,132 @@
+// Mini-Ligra substrate [Shun & Blelloch 2013]: VertexSubset with automatic
+// sparse/dense representation switching, plus EdgeMap / VertexMap
+// primitives. The paper benchmarks LP implemented on Ligra as one of its
+// multicore CPU baselines; this header is the substrate that engine builds
+// on.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/thread_pool.h"
+
+namespace glp::cpu {
+
+/// \brief A subset of vertices, stored sparse (id list) or dense (flag
+/// array) depending on size — Ligra's central data structure.
+class VertexSubset {
+ public:
+  /// Empty subset over n vertices.
+  explicit VertexSubset(graph::VertexId n) : n_(n) {}
+
+  /// Full subset (every vertex), dense.
+  static VertexSubset All(graph::VertexId n) {
+    VertexSubset s(n);
+    s.dense_ = std::vector<uint8_t>(n, 1);
+    s.size_ = n;
+    s.is_dense_ = true;
+    return s;
+  }
+
+  /// From an explicit id list (sparse).
+  static VertexSubset FromIds(graph::VertexId n,
+                              std::vector<graph::VertexId> ids) {
+    VertexSubset s(n);
+    s.size_ = ids.size();
+    s.sparse_ = std::move(ids);
+    s.is_dense_ = false;
+    return s;
+  }
+
+  /// From a flag array (dense).
+  static VertexSubset FromFlags(std::vector<uint8_t> flags) {
+    VertexSubset s(static_cast<graph::VertexId>(flags.size()));
+    size_t count = 0;
+    for (uint8_t f : flags) count += (f != 0);
+    s.dense_ = std::move(flags);
+    s.size_ = count;
+    s.is_dense_ = true;
+    return s;
+  }
+
+  graph::VertexId num_vertices() const { return n_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_dense() const { return is_dense_; }
+
+  bool Contains(graph::VertexId v) const {
+    if (is_dense_) return dense_[v] != 0;
+    for (graph::VertexId u : sparse_) {
+      if (u == v) return true;
+    }
+    return false;
+  }
+
+  /// Applies fn(v) to every member (parallel when pool != nullptr).
+  template <typename Fn>
+  void ForEach(glp::ThreadPool* pool, Fn&& fn) const {
+    if (is_dense_) {
+      auto body = [&](int64_t lo, int64_t hi) {
+        for (int64_t v = lo; v < hi; ++v) {
+          if (dense_[v]) fn(static_cast<graph::VertexId>(v));
+        }
+      };
+      if (pool) {
+        pool->ParallelFor(0, n_, body, 2048);
+      } else {
+        body(0, n_);
+      }
+    } else {
+      auto body = [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(sparse_[i]);
+      };
+      if (pool) {
+        pool->ParallelFor(0, static_cast<int64_t>(sparse_.size()), body, 512);
+      } else {
+        body(0, static_cast<int64_t>(sparse_.size()));
+      }
+    }
+  }
+
+  /// Converts to the dense flag representation.
+  std::vector<uint8_t> ToFlags() const {
+    if (is_dense_) return dense_;
+    std::vector<uint8_t> flags(n_, 0);
+    for (graph::VertexId v : sparse_) flags[v] = 1;
+    return flags;
+  }
+
+ private:
+  graph::VertexId n_;
+  size_t size_ = 0;
+  bool is_dense_ = false;
+  std::vector<graph::VertexId> sparse_;
+  std::vector<uint8_t> dense_;
+};
+
+/// Ligra's sparse->dense switch threshold: go dense when the frontier's
+/// outgoing work exceeds |E| / 20.
+inline bool ShouldUseDense(const graph::Graph& g, const VertexSubset& frontier) {
+  int64_t frontier_edges = 0;
+  if (frontier.is_dense()) {
+    return true;  // already dense
+  }
+  frontier.ForEach(nullptr, [&](graph::VertexId v) {
+    frontier_edges += g.degree(v);
+  });
+  return frontier_edges + static_cast<int64_t>(frontier.size()) >
+         g.num_edges() / 20;
+}
+
+/// EdgeMap: marks every vertex adjacent to the frontier (the "targets" form
+/// LP needs — a vertex must recompute its MFL iff some neighbor changed).
+/// Returns the affected subset. The graph is symmetric, so in-neighbors of
+/// the frontier are found by scanning frontier members' lists.
+VertexSubset EdgeMapNeighbors(const graph::Graph& g,
+                              const VertexSubset& frontier,
+                              glp::ThreadPool* pool);
+
+}  // namespace glp::cpu

@@ -1,0 +1,101 @@
+// LP on the mini-Ligra substrate: frontier-driven recomputation. A vertex
+// recomputes its MFL only when at least one neighbor's *spoken* label changed
+// in the previous iteration, which prunes most work once communities settle.
+
+#pragma once
+
+#include "cpu/ligra.h"
+#include "cpu/mfl.h"
+#include "glp/run.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace glp::cpu {
+
+/// Frontier-based LP over any variant policy.
+template <typename Variant>
+class LigraEngine : public lp::Engine {
+ public:
+  explicit LigraEngine(const lp::VariantParams& params = {},
+                       glp::ThreadPool* pool = nullptr)
+      : params_(params),
+        pool_(pool != nullptr ? pool : glp::ThreadPool::Default()) {}
+
+  std::string name() const override { return "Ligra"; }
+
+  Result<lp::RunResult> Run(const graph::Graph& g,
+                            const lp::RunConfig& config) override {
+    if (!config.initial_labels.empty() &&
+        config.initial_labels.size() != g.num_vertices()) {
+      return Status::InvalidArgument("initial_labels size mismatch");
+    }
+    glp::Timer timer;
+    Variant variant(params_);
+    variant.Init(g, config);
+
+    const graph::VertexId n = g.num_vertices();
+    lp::RunResult result;
+    std::vector<graph::Label> prev_spoken = variant.labels();
+    // Last chosen (listened) label per vertex: what an unaffected vertex's
+    // recomputation would reproduce, so it is carried over verbatim. For
+    // classic LP this equals the committed label; for SLP it differs from
+    // the spoken label, hence the separate array.
+    std::vector<graph::Label> last_chosen = variant.labels();
+    VertexSubset frontier = VertexSubset::All(n);
+
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+      glp::Timer iter_timer;
+      variant.BeginIteration(iter);
+
+      // Frontier update: vertices whose spoken label differs from last
+      // iteration are the change sources (covers SLP's random speakers too).
+      if (iter > 0) {
+        const auto& spoken = variant.labels();
+        std::vector<graph::VertexId> changed_ids;
+        for (graph::VertexId v = 0; v < n; ++v) {
+          if (spoken[v] != prev_spoken[v]) changed_ids.push_back(v);
+        }
+        frontier = VertexSubset::FromIds(n, std::move(changed_ids));
+        prev_spoken = spoken;
+      } else {
+        prev_spoken = variant.labels();
+      }
+
+      // Affected set: neighbors of change sources must recompute. Variants
+      // with per-label auxiliary state (LLP's volumes) are excluded from the
+      // pruning: their scores shift globally every iteration even where no
+      // neighbor label changed, so every vertex recomputes.
+      VertexSubset affected =
+          (iter == 0 || Variant::kNeedsLabelAux)
+              ? VertexSubset::All(n)
+              : EdgeMapNeighbors(g, frontier, pool_);
+
+      // VertexMap: recompute MFL on the affected set; everyone else repeats
+      // their last chosen label.
+      auto& next = variant.next_labels();
+      std::copy(last_chosen.begin(), last_chosen.end(), next.begin());
+      const Variant& cvariant = variant;
+      affected.ForEach(pool_, [&](graph::VertexId v) {
+        thread_local LabelCounter counter;
+        next[v] = ComputeMfl(g, cvariant, v, &counter);
+      });
+      std::copy(next.begin(), next.end(), last_chosen.begin());
+
+      const int changed = variant.EndIteration(iter);
+      result.iteration_seconds.push_back(iter_timer.Seconds());
+      ++result.iterations;
+      if (config.stop_when_stable && changed == 0) break;
+    }
+
+    result.labels = variant.FinalLabels();
+    result.wall_seconds = timer.Seconds();
+    result.simulated_seconds = result.wall_seconds;
+    return result;
+  }
+
+ private:
+  lp::VariantParams params_;
+  glp::ThreadPool* pool_;
+};
+
+}  // namespace glp::cpu

@@ -1,0 +1,47 @@
+// Shared per-vertex MFL (most-frequent-label / best-scoring-label)
+// computation for the CPU engines.
+
+#pragma once
+
+#include <limits>
+
+#include "cpu/label_counter.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace glp::cpu {
+
+/// Computes the label maximizing variant.Score over v's in-neighborhood.
+/// Ties break toward the smaller label (the repository-wide rule that makes
+/// all engines agree exactly). Returns kInvalidLabel when v has no neighbors.
+template <typename Variant>
+graph::Label ComputeMfl(const graph::Graph& g, const Variant& variant,
+                        graph::VertexId v, LabelCounter* counter) {
+  const auto neighbors = g.neighbors(v);
+  if (neighbors.empty()) return graph::kInvalidLabel;
+
+  counter->Reset(static_cast<int>(neighbors.size()));
+  const auto& labels = variant.labels();
+  const graph::EdgeId begin = g.offset(v);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const graph::VertexId u = neighbors[i];
+    counter->Add(labels[u],
+                 g.edge_weight(begin + static_cast<graph::EdgeId>(i)) *
+                     variant.NeighborWeight(v, u));
+  }
+
+  const auto& aux = variant.label_aux();
+  graph::Label best = graph::kInvalidLabel;
+  double best_score = -std::numeric_limits<double>::infinity();
+  counter->ForEach([&](graph::Label l, double freq) {
+    const double a = Variant::kNeedsLabelAux ? static_cast<double>(aux[l]) : 0.0;
+    const double score = variant.Score(v, l, freq, a);
+    if (score > best_score || (score == best_score && l < best)) {
+      best = l;
+      best_score = score;
+    }
+  });
+  return best;
+}
+
+}  // namespace glp::cpu

@@ -1,0 +1,125 @@
+// Parallel CPU LP — the paper's "OMP" baseline and the normalizer of
+// Figures 4-6: chunked parallel-for over vertices with per-chunk flat
+// counting, double-buffered labels.
+
+#pragma once
+
+#include <atomic>
+
+#include "cpu/mfl.h"
+#include "glp/run.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace glp::cpu {
+
+/// Multithreaded LP over any variant policy.
+template <typename Variant>
+class ParallelEngine : public lp::Engine {
+ public:
+  explicit ParallelEngine(const lp::VariantParams& params = {},
+                          glp::ThreadPool* pool = nullptr)
+      : params_(params),
+        pool_(pool != nullptr ? pool : glp::ThreadPool::Default()) {}
+
+  std::string name() const override { return "OMP"; }
+
+  Result<lp::RunResult> Run(const graph::Graph& g,
+                            const lp::RunConfig& config) override {
+    if (!config.initial_labels.empty() &&
+        config.initial_labels.size() != g.num_vertices()) {
+      return Status::InvalidArgument("initial_labels size mismatch");
+    }
+    if (!config.synchronous) return RunAsync(g, config);
+
+    glp::Timer timer;
+    Variant variant(params_);
+    variant.Init(g, config);
+
+    lp::RunResult result;
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+      glp::Timer iter_timer;
+      variant.BeginIteration(iter);
+      auto& next = variant.next_labels();
+      const Variant& cvariant = variant;
+      pool_->ParallelFor(
+          0, g.num_vertices(),
+          [&](int64_t lo, int64_t hi) {
+            LabelCounter counter;
+            for (int64_t v = lo; v < hi; ++v) {
+              next[v] = ComputeMfl(g, cvariant,
+                                   static_cast<graph::VertexId>(v), &counter);
+            }
+          },
+          /*grain=*/4096);
+      const int changed = variant.EndIteration(iter);
+      result.iteration_seconds.push_back(iter_timer.Seconds());
+      ++result.iterations;
+      if (config.stop_when_stable && changed == 0) break;
+    }
+
+    result.labels = variant.FinalLabels();
+    result.wall_seconds = timer.Seconds();
+    result.simulated_seconds = result.wall_seconds;
+    return result;
+  }
+
+ private:
+  /// Hogwild-style asynchronous schedule: threads update the shared label
+  /// array in place through relaxed atomics. Converges like sequential
+  /// async LP but is not run-to-run deterministic (update interleaving
+  /// varies) — fine for its purpose of fast convergence.
+  Result<lp::RunResult> RunAsync(const graph::Graph& g,
+                                 const lp::RunConfig& config) {
+    if constexpr (!Variant::kSupportsAsync) {
+      return Status::InvalidArgument(
+          "variant does not support asynchronous updates");
+    } else {
+      glp::Timer timer;
+      Variant variant(params_);
+      variant.Init(g, config);
+
+      lp::RunResult result;
+      auto& labels = variant.mutable_labels();
+      for (int iter = 0; iter < config.max_iterations; ++iter) {
+        glp::Timer iter_timer;
+        variant.BeginIteration(iter);
+        std::atomic<int> changed{0};
+        const Variant& cvariant = variant;
+        pool_->ParallelFor(
+            0, g.num_vertices(),
+            [&](int64_t lo, int64_t hi) {
+              LabelCounter counter;
+              int local_changed = 0;
+              for (int64_t vi = lo; vi < hi; ++vi) {
+                const auto v = static_cast<graph::VertexId>(vi);
+                const graph::Label mfl = ComputeMfl(g, cvariant, v, &counter);
+                std::atomic_ref<graph::Label> slot(labels[v]);
+                const graph::Label old =
+                    slot.load(std::memory_order_relaxed);
+                if (mfl != graph::kInvalidLabel && mfl != old) {
+                  slot.store(mfl, std::memory_order_relaxed);
+                  variant.OnAsyncLabelChange(old, mfl);
+                  ++local_changed;
+                }
+              }
+              changed.fetch_add(local_changed, std::memory_order_relaxed);
+            },
+            /*grain=*/4096);
+        result.iteration_seconds.push_back(iter_timer.Seconds());
+        ++result.iterations;
+        if (config.stop_when_stable && changed.load() == 0) break;
+      }
+
+      result.labels = variant.FinalLabels();
+      result.wall_seconds = timer.Seconds();
+      result.simulated_seconds = result.wall_seconds;
+      return result;
+    }
+  }
+
+  lp::VariantParams params_;
+  glp::ThreadPool* pool_;
+};
+
+}  // namespace glp::cpu

@@ -1,0 +1,101 @@
+// Single-threaded reference LP engine — the correctness oracle every other
+// engine is tested against.
+
+#pragma once
+
+#include <memory>
+
+#include "cpu/mfl.h"
+#include "glp/run.h"
+#include "util/timer.h"
+
+namespace glp::cpu {
+
+/// Sequential LP over any variant policy.
+template <typename Variant>
+class SeqEngine : public lp::Engine {
+ public:
+  explicit SeqEngine(const lp::VariantParams& params = {}) : params_(params) {}
+
+  std::string name() const override { return "Seq"; }
+
+  Result<lp::RunResult> Run(const graph::Graph& g,
+                            const lp::RunConfig& config) override {
+    if (!config.initial_labels.empty() &&
+        config.initial_labels.size() != g.num_vertices()) {
+      return Status::InvalidArgument("initial_labels size mismatch");
+    }
+    if (!config.synchronous) return RunAsync(g, config);
+
+    glp::Timer timer;
+    Variant variant(params_);
+    variant.Init(g, config);
+
+    lp::RunResult result;
+    LabelCounter counter;
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+      glp::Timer iter_timer;
+      variant.BeginIteration(iter);
+      auto& next = variant.next_labels();
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        next[v] = ComputeMfl(g, variant, v, &counter);
+      }
+      const int changed = variant.EndIteration(iter);
+      result.iteration_seconds.push_back(iter_timer.Seconds());
+      ++result.iterations;
+      if (config.stop_when_stable && changed == 0) break;
+    }
+
+    result.labels = variant.FinalLabels();
+    result.wall_seconds = timer.Seconds();
+    result.simulated_seconds = result.wall_seconds;
+    return result;
+  }
+
+ private:
+  /// Asynchronous (in-place) schedule: each vertex immediately publishes its
+  /// new label, so later vertices in the same sweep observe it. Converges
+  /// faster than the synchronous schedule and cannot 2-color-oscillate on
+  /// bipartite structures.
+  Result<lp::RunResult> RunAsync(const graph::Graph& g,
+                                 const lp::RunConfig& config) {
+    if constexpr (!Variant::kSupportsAsync) {
+      return Status::InvalidArgument(
+          "variant does not support asynchronous updates");
+    } else {
+      glp::Timer timer;
+      Variant variant(params_);
+      variant.Init(g, config);
+
+      lp::RunResult result;
+      LabelCounter counter;
+      auto& labels = variant.mutable_labels();
+      for (int iter = 0; iter < config.max_iterations; ++iter) {
+        glp::Timer iter_timer;
+        variant.BeginIteration(iter);
+        int changed = 0;
+        for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+          const graph::Label mfl = ComputeMfl(g, variant, v, &counter);
+          if (mfl != graph::kInvalidLabel && mfl != labels[v]) {
+            variant.OnAsyncLabelChange(labels[v], mfl);
+            labels[v] = mfl;
+            ++changed;
+          }
+        }
+        result.iteration_seconds.push_back(iter_timer.Seconds());
+        ++result.iterations;
+        if (config.stop_when_stable && changed == 0) break;
+      }
+
+      result.labels = variant.FinalLabels();
+      result.wall_seconds = timer.Seconds();
+      result.simulated_seconds = result.wall_seconds;
+      return result;
+    }
+  }
+
+ private:
+  lp::VariantParams params_;
+};
+
+}  // namespace glp::cpu

@@ -1,0 +1,84 @@
+#include "glp/autotune.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace glp::lp {
+
+namespace {
+
+int NextPow2(int x) {
+  int p = 8;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+GlpOptions AutoTune(const graph::Graph& g, const sim::DeviceProps& device,
+                    GlpOptions base) {
+  GlpOptions opts = base;
+  if (g.num_vertices() == 0) return opts;
+
+  // Degree quantiles of the high bin drive the structure sizes.
+  std::vector<int64_t> high_degrees;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int64_t d = g.degree(v);
+    if (d >= opts.high_degree_min) high_degrees.push_back(d);
+  }
+
+  if (high_degrees.empty()) {
+    // No block-per-vertex kernel will run; shrink the (unused) structures to
+    // free shared memory for deeper warp-per-vertex occupancy.
+    opts.ht_capacity = 256;
+    opts.cms_depth = 2;
+    opts.cms_width = 256;
+    return opts;
+  }
+
+  std::sort(high_degrees.begin(), high_degrees.end());
+  const int64_t p90 =
+      high_degrees[static_cast<size_t>(0.9 * (high_degrees.size() - 1))];
+  const int64_t dmax = high_degrees.back();
+
+  // HT: big enough that a typical high-degree neighborhood's *converged*
+  // label set fits outright; a p90-degree vertex early in the run holds up
+  // to p90 distinct labels, but capacity is capped by shared memory (keys +
+  // counts are 8B per slot, and the CMS needs its share too).
+  const int64_t smem_budget = device.shared_mem_per_block;
+  int ht_capacity = NextPow2(static_cast<int>(std::min<int64_t>(p90, 8192)));
+  // CMS: w = 2s with s the expected spill of the largest vertex (degree
+  // minus what the HT absorbs), bounded by the remaining shared memory.
+  const int64_t expected_spill = std::max<int64_t>(64, dmax - ht_capacity);
+  int cms_width = NextPow2(static_cast<int>(std::min<int64_t>(
+      2 * expected_spill, 16384)));
+  int cms_depth = 4;
+
+  auto bytes_needed = [&]() {
+    return static_cast<int64_t>(ht_capacity) * 8 +
+           static_cast<int64_t>(cms_depth) * cms_width * 4;
+  };
+  // Shrink alternately until the structures fit (leave 4KB slack for the
+  // block's incidental allocations).
+  while (bytes_needed() > smem_budget - 4096) {
+    if (cms_width > 512) {
+      cms_width /= 2;
+    } else if (ht_capacity > 256) {
+      ht_capacity /= 2;
+    } else if (cms_depth > 2) {
+      --cms_depth;
+    } else {
+      break;
+    }
+  }
+  GLP_CHECK_LE(bytes_needed(), smem_budget) << "autotune failed to fit smem";
+
+  opts.ht_capacity = ht_capacity;
+  opts.cms_width = cms_width;
+  opts.cms_depth = cms_depth;
+  return opts;
+}
+
+}  // namespace glp::lp

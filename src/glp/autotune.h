@@ -1,0 +1,26 @@
+// Automatic kernel configuration — the paper's promise that "the
+// configurations for GPU kernel functions are automatically set up, there is
+// no requirement for users to deal with any GPU optimizations" (§3.1).
+//
+// Given a graph and a device, picks the CMS/HT geometry and degree
+// thresholds: the shared-memory structures are sized from the degree
+// distribution (HT capacity tracks the high-degree bin's *distinct-label*
+// needs, CMS width tracks the expected spill volume per Lemma 2's w = 2s
+// guidance) subject to the device's shared-memory budget.
+
+#pragma once
+
+#include "glp/run.h"
+#include "graph/csr.h"
+#include "sim/device.h"
+
+namespace glp::lp {
+
+/// Returns `base` with ht_capacity / cms_depth / cms_width (and, when the
+/// graph has no mid/high vertices at all, threads_per_block) tuned to the
+/// graph and device. Degree thresholds are kept at the paper's §5.3 values
+/// unless the distribution degenerates.
+GlpOptions AutoTune(const graph::Graph& g, const sim::DeviceProps& device,
+                    GlpOptions base = {});
+
+}  // namespace glp::lp

@@ -1,0 +1,67 @@
+#include "glp/factory.h"
+
+#include "cpu/ligra_engine.h"
+#include "cpu/parallel_engine.h"
+#include "cpu/seq_engine.h"
+#include "cpu/tg_engine.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "glp/variants/degree_weighted.h"
+#include "glp/variants/llp.h"
+#include "glp/variants/slp.h"
+#include "gpu_baselines/ghash_engine.h"
+#include "gpu_baselines/gsort_engine.h"
+
+namespace glp::lp {
+
+namespace {
+
+template <typename Variant>
+std::unique_ptr<Engine> MakeForVariant(EngineKind engine,
+                                       const VariantParams& params,
+                                       const GlpOptions& options,
+                                       glp::ThreadPool* pool,
+                                       const sim::DeviceProps& device) {
+  switch (engine) {
+    case EngineKind::kSeq:
+      return std::make_unique<cpu::SeqEngine<Variant>>(params);
+    case EngineKind::kTg:
+      return std::make_unique<cpu::TgEngine<Variant>>(params, pool);
+    case EngineKind::kLigra:
+      return std::make_unique<cpu::LigraEngine<Variant>>(params, pool);
+    case EngineKind::kOmp:
+      return std::make_unique<cpu::ParallelEngine<Variant>>(params, pool);
+    case EngineKind::kGSort:
+      return std::make_unique<GSortEngine<Variant>>(params, pool, device);
+    case EngineKind::kGHash:
+      return std::make_unique<GHashEngine<Variant>>(params, pool, device);
+    case EngineKind::kGlp:
+      return std::make_unique<GlpEngine<Variant>>(params, options, pool,
+                                                  device);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEngine(EngineKind engine, VariantKind variant,
+                                   const VariantParams& params,
+                                   const GlpOptions& options,
+                                   glp::ThreadPool* pool,
+                                   const sim::DeviceProps& device) {
+  switch (variant) {
+    case VariantKind::kClassic:
+      return MakeForVariant<ClassicVariant>(engine, params, options, pool,
+                                            device);
+    case VariantKind::kLlp:
+      return MakeForVariant<LlpVariant>(engine, params, options, pool, device);
+    case VariantKind::kSlp:
+      return MakeForVariant<SlpVariant>(engine, params, options, pool, device);
+    case VariantKind::kDegreeWeighted:
+      return MakeForVariant<DegreeWeightedVariant>(engine, params, options,
+                                                   pool, device);
+  }
+  return nullptr;
+}
+
+}  // namespace glp::lp

@@ -1,0 +1,23 @@
+// Engine factory: binds an (engine, variant) pair into a runnable Engine.
+// The benchmark harnesses and examples go through here; library users who
+// need compile-time access to a specific engine (e.g. SlpVariant's
+// overlapping-community readout) instantiate the engine templates directly.
+
+#pragma once
+
+#include <memory>
+
+#include "glp/run.h"
+#include "sim/device.h"
+#include "util/thread_pool.h"
+
+namespace glp::lp {
+
+/// Creates the requested engine. GlpOptions apply to EngineKind::kGlp only;
+/// DeviceProps apply to the GPU engines.
+std::unique_ptr<Engine> MakeEngine(
+    EngineKind engine, VariantKind variant, const VariantParams& params = {},
+    const GlpOptions& options = {}, glp::ThreadPool* pool = nullptr,
+    const sim::DeviceProps& device = sim::DeviceProps::TitanV());
+
+}  // namespace glp::lp

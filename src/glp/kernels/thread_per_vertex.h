@@ -1,0 +1,156 @@
+// One-thread-one-vertex LabelPropagation kernel — the *other* strawman of
+// paper §4.2 (alongside one-warp-one-vertex): each lane owns a whole vertex
+// and walks its neighbor list alone.
+//
+// Faithfully reproduces why this is slow on real hardware:
+//   - lanes of a warp walk *different* neighbor lists, so every round's
+//     neighbor/label loads are scattered across the CSR (uncoalesced);
+//   - divergence: a warp runs for its longest lane's degree, idling the
+//     shorter lanes (charged through the active-mask accounting);
+//   - per-thread counting state does not fit registers, so it spills to
+//     "local" memory (thread-interleaved global memory) and the O(d^2)
+//     rescan traffic goes through DRAM.
+//
+// Only used by the scheduling-ablation bench and tests; GLP proper never
+// dispatches to it.
+
+#pragma once
+
+#include <vector>
+
+#include "glp/kernels/common.h"
+#include "sim/block.h"
+#include "sim/launch.h"
+
+namespace glp::lp {
+
+/// Runs one LabelPropagation pass over `vertices`, one thread (lane) per
+/// vertex. Intended for low-degree vertices; cost degrades quadratically
+/// with degree.
+template <typename Variant>
+sim::KernelStats RunThreadPerVertexKernel(
+    const sim::DeviceProps& props, glp::ThreadPool* pool,
+    const DeviceView<Variant>& view,
+    const std::vector<graph::VertexId>& vertices, int threads_per_block) {
+  const int64_t num_vertices = static_cast<int64_t>(vertices.size());
+  if (num_vertices == 0) return sim::KernelStats{};
+  // Scheduling-ablation strawman: unweighted graphs only (GLP never
+  // dispatches here).
+  GLP_CHECK(view.edge_weights == nullptr);
+  sim::LaunchConfig cfg;
+  cfg.threads_per_block = threads_per_block;
+  cfg.num_blocks =
+      (num_vertices + threads_per_block - 1) / threads_per_block;
+  const graph::VertexId* vlist = vertices.data();
+
+  return sim::Launch(props, cfg, pool, [=](sim::Block& blk) {
+    blk.ForEachWarp([&](sim::Warp& w) {
+      const int64_t base = blk.block_idx() * blk.num_threads() +
+                           static_cast<int64_t>(w.warp_id()) * sim::kWarpSize;
+      if (base >= num_vertices) return;
+      const int lanes = static_cast<int>(
+          std::min<int64_t>(sim::kWarpSize, num_vertices - base));
+      const sim::LaneMask entry =
+          lanes >= sim::kWarpSize ? sim::kFullMask : ((1u << lanes) - 1u);
+      w.SetActive(entry);
+
+      // Per-lane vertex and degree.
+      const sim::LaneArray<graph::VertexId> vid =
+          w.GatherContig(vlist, base);
+      sim::LaneArray<int64_t> off;
+      sim::LaneArray<int64_t> deg;
+      {
+        sim::LaneArray<int64_t> vidx;
+        sim::ForEachLane(entry, [&](int l) { vidx[l] = vid[l]; });
+        const sim::LaneArray<graph::EdgeId> o0 = w.Gather(view.offsets, vidx);
+        sim::ForEachLane(entry, [&](int l) { vidx[l] = vid[l] + 1; });
+        const sim::LaneArray<graph::EdgeId> o1 = w.Gather(view.offsets, vidx);
+        sim::ForEachLane(entry, [&](int l) {
+          off[l] = o0[l];
+          deg[l] = o1[l] - o0[l];
+        });
+        w.CountInstr();
+      }
+      int64_t max_deg = 0;
+      sim::ForEachLane(entry, [&](int l) {
+        max_deg = std::max(max_deg, deg[l]);
+      });
+
+      // Per-lane label history in "local" memory: seen[r] is lane-private.
+      // Each write/read is one lane-strided access; charged as an
+      // uncoalesced global transaction per active lane per round.
+      std::vector<std::array<graph::Label, sim::kWarpSize>> seen(
+          static_cast<size_t>(max_deg));
+      std::vector<Candidate> best(sim::kWarpSize);
+
+      for (int64_t r = 0; r < max_deg; ++r) {
+        sim::LaneMask live = 0;
+        sim::ForEachLane(entry, [&](int l) {
+          if (deg[l] > r) live |= sim::LaneBit(l);
+        });
+        if (live == 0) break;
+        w.SetActive(live);
+
+        // Scattered neighbor + label loads (each lane in its own list).
+        sim::LaneArray<int64_t> eidx;
+        sim::ForEachLane(live, [&](int l) { eidx[l] = off[l] + r; });
+        const sim::LaneArray<graph::VertexId> nbr =
+            w.Gather(view.neighbors, eidx);
+        sim::LaneArray<int64_t> lidx;
+        sim::ForEachLane(live, [&](int l) { lidx[l] = nbr[l]; });
+        const sim::LaneArray<graph::Label> lbl = w.Gather(view.labels, lidx);
+
+        // Append to the lane-local history (local-memory store).
+        sim::ForEachLane(live, [&](int l) { seen[r][l] = lbl[l]; });
+        w.stats()->global_transactions += sim::Popc(live);
+        w.stats()->global_bytes_requested +=
+            static_cast<uint64_t>(sim::Popc(live)) * sizeof(graph::Label);
+        w.CountInstr();
+
+        // O(d^2) counting: each lane rescans its history to maintain the
+        // label's running frequency — r local-memory loads + compares per
+        // live lane per round (the result is materialized functionally
+        // after the loop; only the traffic is charged here).
+        if (r > 0) {
+          w.stats()->global_transactions +=
+              static_cast<uint64_t>(sim::Popc(live)) * ((r + 7) / 8);
+          w.stats()->global_bytes_requested +=
+              static_cast<uint64_t>(sim::Popc(live)) * r * 4;
+          w.CountInstr(static_cast<int>(r));
+        }
+      }
+
+      // Functional MFL per lane (exact, computed from the gathered history).
+      w.SetActive(entry);
+      sim::ForEachLane(entry, [&](int l) {
+        Candidate c;
+        for (int64_t i = 0; i < deg[l]; ++i) {
+          const graph::Label label = seen[i][l];
+          double freq = 0;
+          for (int64_t k = 0; k < deg[l]; ++k) freq += (seen[k][l] == label);
+          const double aux =
+              Variant::kNeedsLabelAux ? view.aux[label] : 0.0;
+          c.Merge(Candidate{view.variant->Score(vid[l], label, freq, aux),
+                            label});
+        }
+        best[l] = c;
+      });
+
+      // Scatter results (one lane each, scattered stores).
+      sim::LaneArray<int64_t> out_idx;
+      sim::LaneArray<graph::Label> out_val;
+      sim::LaneMask writers = 0;
+      sim::ForEachLane(entry, [&](int l) {
+        out_idx[l] = vid[l];
+        out_val[l] =
+            deg[l] == 0 ? graph::kInvalidLabel : best[l].label;
+        writers |= sim::LaneBit(l);
+      });
+      w.SetActive(writers);
+      w.Scatter(view.next, out_idx, out_val);
+      w.SetActive(sim::kFullMask);
+    });
+  });
+}
+
+}  // namespace glp::lp

@@ -1,0 +1,25 @@
+#include "glp/run.h"
+
+namespace glp::lp {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSeq:
+      return "Seq";
+    case EngineKind::kTg:
+      return "TG";
+    case EngineKind::kLigra:
+      return "Ligra";
+    case EngineKind::kOmp:
+      return "OMP";
+    case EngineKind::kGSort:
+      return "G-Sort";
+    case EngineKind::kGHash:
+      return "G-Hash";
+    case EngineKind::kGlp:
+      return "GLP";
+  }
+  return "?";
+}
+
+}  // namespace glp::lp

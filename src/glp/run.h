@@ -1,0 +1,140 @@
+// Engine-facing run types: configuration, results, and the polymorphic
+// Engine interface every LP implementation (CPU baselines, GPU baselines,
+// GLP itself) exposes to the benchmark harness.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "sim/stats.h"
+#include "util/status.h"
+
+namespace glp::lp {
+
+/// Parameters of one LP run.
+struct RunConfig {
+  /// Fixed iteration budget (the paper runs 20 everywhere).
+  int max_iterations = 20;
+  /// Stop early when an iteration changes no label (0 disables; the paper's
+  /// timed runs always use the fixed budget).
+  bool stop_when_stable = false;
+  /// Update schedule. Synchronous (the paper's bulk-synchronous model) is
+  /// the default and what all engines support; the CPU engines additionally
+  /// offer asynchronous (in-place) updates, which converge faster and do not
+  /// oscillate on bipartite structures. Variants opt in via kSupportsAsync.
+  bool synchronous = true;
+  /// Seed for randomized hooks (SLP's speaker rule). Engines derive
+  /// per-vertex, per-iteration randomness from (seed, iteration, vertex) so
+  /// results are engine-independent.
+  uint64_t seed = 42;
+  /// Optional initial labels (seeded LP in the fraud pipeline). Empty means
+  /// the classic unique-label initialization L[v] = v.
+  std::vector<graph::Label> initial_labels;
+  /// Host threads to use (0 = default pool).
+  int num_threads = 0;
+};
+
+/// Outcome and cost accounting of one run.
+struct RunResult {
+  std::vector<graph::Label> labels;
+  int iterations = 0;
+
+  /// Host wall-clock of the whole run.
+  double wall_seconds = 0;
+  /// Simulated device time (cost model) of the LP iterations for GPU
+  /// engines; equals wall_seconds for CPU engines. This is the number
+  /// Figures 4-7 compare. Excludes the one-time setup upload.
+  double simulated_seconds = 0;
+  /// One-time graph/state upload to the device (not part of the paper's
+  /// per-iteration elapsed times).
+  double setup_seconds = 0;
+  /// Non-overlapped host<->device transfer time included in
+  /// simulated_seconds (hybrid / multi-GPU modes).
+  double transfer_seconds = 0;
+  /// Per-iteration simulated time.
+  std::vector<double> iteration_seconds;
+  /// Accumulated kernel counters (GPU engines only).
+  sim::KernelStats stats;
+  /// Peak device-resident bytes the engine required (memory-overhead
+  /// comparison of §5.2).
+  uint64_t device_bytes = 0;
+
+  /// Average per-iteration simulated time.
+  double AvgIterationSeconds() const {
+    return iterations == 0 ? 0.0 : simulated_seconds / iterations;
+  }
+};
+
+/// A runnable LP engine bound to one variant.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual std::string name() const = 0;
+  virtual Result<RunResult> Run(const graph::Graph& g,
+                                const RunConfig& config) = 0;
+};
+
+/// The implementations compared in §5.2 (Figures 4-6).
+enum class EngineKind {
+  kSeq,       ///< single-threaded CPU reference
+  kTg,        ///< TigerGraph-style accumulator machine (CPU)
+  kLigra,     ///< mini-Ligra frontier engine (CPU)
+  kOmp,       ///< parallel CPU baseline (the figures' normalizer)
+  kGSort,     ///< GPU segmented-sort baseline [17]
+  kGHash,     ///< GPU hash-table baseline [2]
+  kGlp,       ///< this paper
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// The LP algorithms of §3.1 (plus the degree-weighted extension variant).
+enum class VariantKind { kClassic, kLlp, kSlp, kDegreeWeighted };
+
+/// Variant parameters (γ for LLP; memory capacity and pruning threshold for
+/// SLP, §3.1 / §5.1).
+struct VariantParams {
+  double llp_gamma = 1.0;
+  int slp_max_labels = 5;
+  double slp_min_frequency = 0.1;
+};
+
+/// GLP-engine tuning knobs (paper §4 / §5.3 defaults).
+struct GlpOptions {
+  /// Optimization level, matching Table 3's rows.
+  enum class Mode {
+    kGlobal,    ///< global hash table for every vertex ("global")
+    kSmem,      ///< + CMS+HT shared-memory counting ("smem")
+    kSmemWarp,  ///< + warp-centric low-degree scheduling ("smem+warp", full GLP)
+  };
+  Mode mode = Mode::kSmemWarp;
+  int low_degree_max = 31;    ///< §5.3: low degree < 32
+  int high_degree_min = 129;  ///< §5.3: high degree > 128
+  int ht_capacity = 1024;     ///< shared-memory HT slots (h)
+  int cms_depth = 4;          ///< CMS hash functions (d)
+  int cms_width = 2048;       ///< CMS buckets per row (w)
+  int threads_per_block = 256;
+  /// Incremental (frontier) recomputation: a vertex re-runs LabelPropagation
+  /// only when some neighbor's spoken label changed last iteration — Ligra's
+  /// pruning applied to the GPU kernels. Exact for all variants; variants
+  /// with per-label auxiliary state (LLP) recompute everything regardless
+  /// (their scores shift globally), and SLP's random speakers keep the
+  /// frontier near-full, so the win is for classic-style variants on
+  /// converging graphs.
+  bool use_frontier = false;
+  /// Number of GPUs (vertex-partitioned, per-iteration label all-gather;
+  /// aggregate device memory scales with the count).
+  int num_gpus = 1;
+  /// Force the CPU-GPU hybrid (out-of-core) mode even when the graph fits.
+  bool force_hybrid = false;
+  /// Hybrid-mode host side: effective memory bandwidth the CPU partition
+  /// processes its edges at, and its per-edge traffic (matches the
+  /// per-machine model of pipeline::ClusterConfig).
+  double host_mem_bandwidth_gbps = 60.0;
+  double host_bytes_per_edge = 16.0;
+};
+
+}  // namespace glp::lp

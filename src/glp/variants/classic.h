@@ -1,0 +1,136 @@
+// Classic label propagation [Raghavan et al. 2007] expressed as a GLP
+// variant policy.
+//
+// --- The variant policy (the paper's Table 1 user API) ---
+//
+// Every LP algorithm plugs into the engines through a *variant policy*: a
+// class providing the four user hooks plus the state they act on. Engines
+// are templated on the policy (static dispatch — a CUDA implementation would
+// inline these hooks into its kernels the same way):
+//
+//   void  Init(const Graph&, const RunConfig&)   allocate state, set L[v]
+//   void  BeginIteration(int iter)               PickLabel: choose the label
+//                                                each vertex *speaks* this
+//                                                iteration, into labels()
+//   const std::vector<Label>& labels()           the spoken-label array the
+//                                                LabelPropagation kernels
+//                                                gather from
+//   std::vector<Label>& next_labels()            where kernels scatter the
+//                                                chosen MFL (Lnext)
+//   double NeighborWeight(v, u)                  LoadNeighbor's weight part
+//   double Score(v, l, freq, aux)                LabelScore; must be
+//                                                non-decreasing in freq for
+//                                                fixed (v, l) — the contract
+//                                                that keeps CMS pruning exact
+//   int   EndIteration(int iter)                 UpdateVertex/commit: absorb
+//                                                Lnext, recompute auxiliary
+//                                                state; returns #changed
+//   std::vector<Label> FinalLabels()             result extraction
+//
+// Variants with per-label auxiliary state (LLP's community volumes) set
+// kNeedsLabelAux = true and expose label_aux(); kernels then gather the aux
+// value for each candidate label from device memory — real extra traffic,
+// faithfully charged.
+//
+// Further traits and hooks:
+//   kUnitWeight            NeighborWeight is identically 1, so the
+//                          warp-centric low-degree kernel may derive
+//                          frequencies from popcounts; non-unit variants are
+//                          routed to the warp-per-vertex kernel, and G-Sort
+//                          rejects them outright.
+//   kSupportsAsync         in-place updates are well-defined; async engines
+//                          additionally use mutable_labels() (the live
+//                          array) and OnAsyncLabelChange(from, to) (invoked
+//                          on every in-place relabel, possibly concurrently
+//                          — LLP keeps its volumes consistent there).
+//   needs_pick_kernel() /  let GPU engines charge the PickLabel and
+//   memory_bytes_per_vertex()  UpdateVertex device passes for variants with
+//                          per-vertex state (SLP's label memory).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "glp/run.h"
+
+namespace glp::lp {
+
+/// Classic LP: every vertex adopts the most frequent neighbor label.
+class ClassicVariant {
+ public:
+  static constexpr bool kNeedsLabelAux = false;
+  /// Unit neighbor weights: frequencies are popcounts, so the warp-centric
+  /// low-degree kernel applies.
+  static constexpr bool kUnitWeight = true;
+  /// In-place (asynchronous) updates are well-defined.
+  static constexpr bool kSupportsAsync = true;
+
+  explicit ClassicVariant(const VariantParams& params = {}) { (void)params; }
+
+  void Init(const graph::Graph& g, const RunConfig& config) {
+    const graph::VertexId n = g.num_vertices();
+    if (!config.initial_labels.empty()) {
+      labels_ = config.initial_labels;
+    } else {
+      labels_.resize(n);
+      for (graph::VertexId v = 0; v < n; ++v) labels_[v] = v;
+    }
+    next_ = labels_;
+  }
+
+  /// PickLabel: the classic algorithm speaks the current label — nothing to
+  /// do per iteration.
+  void BeginIteration(int /*iter*/) {}
+
+  const std::vector<graph::Label>& labels() const { return labels_; }
+  std::vector<graph::Label>& next_labels() { return next_; }
+  /// Live label array for asynchronous engines.
+  std::vector<graph::Label>& mutable_labels() { return labels_; }
+
+  /// Asynchronous engines report in-place changes here (no bookkeeping for
+  /// classic LP).
+  void OnAsyncLabelChange(graph::Label /*from*/, graph::Label /*to*/) {}
+
+  const std::vector<float>& label_aux() const {
+    static const std::vector<float> kEmpty;
+    return kEmpty;
+  }
+
+  double NeighborWeight(graph::VertexId /*v*/, graph::VertexId /*u*/) const {
+    return 1.0;
+  }
+
+  /// LabelScore: plain frequency.
+  double Score(graph::VertexId /*v*/, graph::Label /*l*/, double freq,
+               double /*aux*/) const {
+    return freq;
+  }
+
+  /// UpdateVertex/commit: adopt Lnext. Engines write kInvalidLabel for
+  /// vertices with no neighbors; those keep their current label.
+  int EndIteration(int /*iter*/) {
+    int changed = 0;
+    for (size_t v = 0; v < labels_.size(); ++v) {
+      if (next_[v] == graph::kInvalidLabel) next_[v] = labels_[v];
+      if (labels_[v] != next_[v]) ++changed;
+    }
+    labels_.swap(next_);
+    return changed;
+  }
+
+  std::vector<graph::Label> FinalLabels() const { return labels_; }
+
+  /// GPU engines use these to charge the (cheap) PickLabel / UpdateVertex
+  /// device kernels: classic LP needs neither a pick pass nor per-vertex
+  /// state beyond the label arrays.
+  bool needs_pick_kernel() const { return false; }
+  uint64_t memory_bytes_per_vertex() const { return 0; }
+
+ private:
+  std::vector<graph::Label> labels_;
+  std::vector<graph::Label> next_;
+};
+
+}  // namespace glp::lp

@@ -1,0 +1,92 @@
+// Degree-weighted (hub-damped) label propagation — a non-unit-weight
+// variant: a neighbor's vote counts 1/degree(u), so high-degree hubs do not
+// dominate their neighborhoods (a standard LP tweak for power-law graphs,
+// and the kind of strategy evolution §3.1's programmability argument is
+// about).
+//
+// Because frequencies are no longer popcounts, the variant sets
+// kUnitWeight = false and GLP routes its low-degree bin to the
+// warp-per-vertex kernel instead of the warp-centric popcount kernel; the
+// G-Sort baseline rejects it outright (its run-length counting is
+// unit-weight by construction) — exactly the programmability gap the paper
+// describes for existing GPU LP systems.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "glp/run.h"
+
+namespace glp::lp {
+
+/// LP with neighbor influence 1/deg(u).
+class DegreeWeightedVariant {
+ public:
+  static constexpr bool kNeedsLabelAux = false;
+  static constexpr bool kUnitWeight = false;
+  static constexpr bool kSupportsAsync = true;
+
+  explicit DegreeWeightedVariant(const VariantParams& params = {}) {
+    (void)params;
+  }
+
+  void Init(const graph::Graph& g, const RunConfig& config) {
+    graph_ = &g;
+    const graph::VertexId n = g.num_vertices();
+    if (!config.initial_labels.empty()) {
+      labels_ = config.initial_labels;
+    } else {
+      labels_.resize(n);
+      for (graph::VertexId v = 0; v < n; ++v) labels_[v] = v;
+    }
+    next_ = labels_;
+  }
+
+  void BeginIteration(int /*iter*/) {}
+
+  const std::vector<graph::Label>& labels() const { return labels_; }
+  std::vector<graph::Label>& next_labels() { return next_; }
+  std::vector<graph::Label>& mutable_labels() { return labels_; }
+  void OnAsyncLabelChange(graph::Label /*from*/, graph::Label /*to*/) {}
+
+  const std::vector<float>& label_aux() const {
+    static const std::vector<float> kEmpty;
+    return kEmpty;
+  }
+
+  /// LoadNeighbor: hub damping.
+  double NeighborWeight(graph::VertexId /*v*/, graph::VertexId u) const {
+    const int64_t d = graph_->degree(u);
+    return d > 0 ? 1.0 / static_cast<double>(d) : 1.0;
+  }
+
+  /// LabelScore: accumulated damped mass (monotone in freq).
+  double Score(graph::VertexId /*v*/, graph::Label /*l*/, double freq,
+               double /*aux*/) const {
+    return freq;
+  }
+
+  int EndIteration(int /*iter*/) {
+    int changed = 0;
+    for (size_t v = 0; v < labels_.size(); ++v) {
+      if (next_[v] == graph::kInvalidLabel) next_[v] = labels_[v];
+      if (labels_[v] != next_[v]) ++changed;
+    }
+    labels_.swap(next_);
+    return changed;
+  }
+
+  std::vector<graph::Label> FinalLabels() const { return labels_; }
+
+  bool needs_pick_kernel() const { return false; }
+  uint64_t memory_bytes_per_vertex() const { return 0; }
+
+ private:
+  const graph::Graph* graph_ = nullptr;
+  std::vector<graph::Label> labels_;
+  std::vector<graph::Label> next_;
+};
+
+}  // namespace glp::lp

@@ -1,0 +1,150 @@
+#include "glp/variants/slp.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace glp::lp {
+
+using graph::kInvalidLabel;
+using graph::Label;
+using graph::VertexId;
+
+void SlpVariant::Init(const graph::Graph& g, const RunConfig& config) {
+  const VertexId n = g.num_vertices();
+  seed_ = config.seed;
+  memory_.assign(static_cast<size_t>(n) * max_labels_, Slot{});
+  spoken_.resize(n);
+  next_.resize(n);
+  prev_choice_.assign(n, kInvalidLabel);
+  for (VertexId v = 0; v < n; ++v) {
+    const Label init = config.initial_labels.empty()
+                           ? static_cast<Label>(v)
+                           : config.initial_labels[v];
+    MemoryOf(v)[0] = Slot{init, 1.0f};
+    spoken_[v] = init;
+  }
+}
+
+void SlpVariant::BeginIteration(int iter) {
+  const VertexId n = static_cast<VertexId>(spoken_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    const Slot* mem = MemoryOf(v);
+    float total = 0;
+    for (int i = 0; i < max_labels_; ++i) {
+      if (mem[i].label != kInvalidLabel) total += mem[i].count;
+    }
+    if (total <= 0) {
+      spoken_[v] = v;  // degenerate: speak own id
+      continue;
+    }
+    // Deterministic per-(seed, iter, vertex) draw in [0, total).
+    const uint64_t h = glp::HashSeeded(
+        (static_cast<uint64_t>(iter) << 32) | v, seed_);
+    float r = static_cast<float>((h >> 11) * 0x1.0p-53) * total;
+    Label pick = kInvalidLabel;
+    for (int i = 0; i < max_labels_; ++i) {
+      if (mem[i].label == kInvalidLabel) continue;
+      pick = mem[i].label;
+      r -= mem[i].count;
+      if (r < 0) break;
+    }
+    spoken_[v] = pick;
+  }
+}
+
+int SlpVariant::EndIteration(int /*iter*/) {
+  const VertexId n = static_cast<VertexId>(spoken_.size());
+  int changed = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const Label chosen = next_[v];
+    if (chosen == kInvalidLabel) continue;  // isolated vertex: no neighbors
+    if (chosen != prev_choice_[v]) ++changed;
+    prev_choice_[v] = chosen;
+
+    Slot* mem = MemoryOf(v);
+    // Listener: bump the chosen label, or claim a slot.
+    int slot = -1, empty = -1, weakest = 0;
+    for (int i = 0; i < max_labels_; ++i) {
+      if (mem[i].label == chosen) {
+        slot = i;
+        break;
+      }
+      if (mem[i].label == kInvalidLabel && empty < 0) empty = i;
+      if (mem[i].count < mem[weakest].count) weakest = i;
+    }
+    if (slot >= 0) {
+      mem[slot].count += 1.0f;
+    } else if (empty >= 0) {
+      mem[empty] = Slot{chosen, 1.0f};
+    } else if (mem[weakest].count <= 1.0f) {
+      // Memory full: a new label can only displace a slot that is itself at
+      // the entry level, otherwise it is dropped (bounded-memory SLPA).
+      mem[weakest] = Slot{chosen, 1.0f};
+    }
+
+    // Threshold pruning: drop labels below min_frequency of the memory mass.
+    float total = 0;
+    for (int i = 0; i < max_labels_; ++i) {
+      if (mem[i].label != kInvalidLabel) total += mem[i].count;
+    }
+    if (total > 0) {
+      const float cutoff = static_cast<float>(min_frequency_) * total;
+      int live = 0;
+      for (int i = 0; i < max_labels_; ++i) {
+        if (mem[i].label != kInvalidLabel && mem[i].count >= cutoff) ++live;
+      }
+      // Never prune the entire memory.
+      if (live > 0) {
+        for (int i = 0; i < max_labels_; ++i) {
+          if (mem[i].label != kInvalidLabel && mem[i].count < cutoff) {
+            mem[i] = Slot{};
+          }
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+std::vector<Label> SlpVariant::FinalLabels() const {
+  const VertexId n = static_cast<VertexId>(spoken_.size());
+  std::vector<Label> out(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const Slot* mem = MemoryOf(v);
+    Label best = static_cast<Label>(v);
+    float best_count = -1;
+    for (int i = 0; i < max_labels_; ++i) {
+      if (mem[i].label == kInvalidLabel) continue;
+      // Tie-break toward the smaller label for engine-independence.
+      if (mem[i].count > best_count ||
+          (mem[i].count == best_count && mem[i].label < best)) {
+        best = mem[i].label;
+        best_count = mem[i].count;
+      }
+    }
+    out[v] = best;
+  }
+  return out;
+}
+
+std::vector<Label> SlpVariant::CommunityLabels(VertexId v) const {
+  const Slot* mem = MemoryOf(v);
+  float total = 0;
+  for (int i = 0; i < max_labels_; ++i) {
+    if (mem[i].label != kInvalidLabel) total += mem[i].count;
+  }
+  std::vector<Label> out;
+  if (total <= 0) return out;
+  const float cutoff = static_cast<float>(min_frequency_) * total;
+  for (int i = 0; i < max_labels_; ++i) {
+    if (mem[i].label != kInvalidLabel && mem[i].count >= cutoff) {
+      out.push_back(mem[i].label);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace glp::lp

@@ -1,0 +1,265 @@
+// G-Sort baseline [17]: segmented-sort label counting on the GPU.
+//
+// Per iteration, three device passes over an O(|E|) neighbor-label array NL:
+//   1. gather kernel      NL[e] = L[neighbors[e]]  (scattered label reads)
+//   2. segmented sort     CUB-style (sim::DeviceSegmentedSort): shared-memory
+//                         block sort for small segments, multi-pass radix in
+//                         global memory for high-degree segments
+//   3. count kernel       run-length scan of each sorted segment, score the
+//                         runs, commit the argmax
+// The repeated full-graph materialization and sorting is the redundant work
+// GLP's hash-based design avoids (§2.2).
+
+#pragma once
+
+#include <span>
+
+#include "glp/kernels/accounting.h"
+#include "glp/kernels/common.h"
+#include "glp/run.h"
+#include "sim/cost_model.h"
+#include "sim/launch.h"
+#include "sim/segmented_sort.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace glp::lp {
+
+/// Edge-parallel gather of neighbor labels into NL.
+template <typename Variant>
+sim::KernelStats RunGatherLabelsKernel(const sim::DeviceProps& props,
+                                       glp::ThreadPool* pool,
+                                       const DeviceView<Variant>& view,
+                                       int64_t num_edges, uint32_t* nl) {
+  if (num_edges == 0) return sim::KernelStats{};
+  constexpr int kThreads = 256;
+  const int warps_per_block = kThreads / sim::kWarpSize;
+  const int64_t warps =
+      (num_edges + sim::kWarpSize - 1) / sim::kWarpSize;
+  sim::LaunchConfig cfg;
+  cfg.threads_per_block = kThreads;
+  cfg.num_blocks = (warps + warps_per_block - 1) / warps_per_block;
+
+  return sim::Launch(props, cfg, pool, [=](sim::Block& blk) {
+    blk.ForEachWarp([&](sim::Warp& w) {
+      const int64_t base =
+          (blk.block_idx() * warps_per_block + w.warp_id()) *
+          static_cast<int64_t>(sim::kWarpSize);
+      if (base >= num_edges) return;
+      const int lanes =
+          static_cast<int>(std::min<int64_t>(sim::kWarpSize, num_edges - base));
+      w.SetActive(lanes >= sim::kWarpSize ? sim::kFullMask
+                                          : ((1u << lanes) - 1u));
+      const sim::LaneArray<graph::VertexId> nbr =
+          w.GatherContig(view.neighbors, base);
+      sim::LaneArray<int64_t> lidx;
+      sim::ForEachLane(w.active(), [&](int l) { lidx[l] = nbr[l]; });
+      const sim::LaneArray<graph::Label> lbl = w.Gather(view.labels, lidx);
+      sim::LaneArray<int64_t> out;
+      sim::ForEachLane(w.active(), [&](int l) { out[l] = base + l; });
+      w.Scatter(nl, out, lbl);
+    });
+  });
+}
+
+/// Warp-per-vertex run-length count over the sorted NL segments.
+template <typename Variant>
+sim::KernelStats RunCountSortedKernel(const sim::DeviceProps& props,
+                                      glp::ThreadPool* pool,
+                                      const DeviceView<Variant>& view,
+                                      graph::VertexId num_vertices,
+                                      const uint32_t* nl) {
+  constexpr int kThreads = 256;
+  const int warps_per_block = kThreads / sim::kWarpSize;
+  sim::LaunchConfig cfg;
+  cfg.threads_per_block = kThreads;
+  cfg.num_blocks =
+      (static_cast<int64_t>(num_vertices) + warps_per_block - 1) /
+      warps_per_block;
+  if (cfg.num_blocks == 0) return sim::KernelStats{};
+
+  return sim::Launch(props, cfg, pool, [=](sim::Block& blk) {
+    blk.ForEachWarp([&](sim::Warp& w) {
+      const int64_t vi = blk.block_idx() * warps_per_block + w.warp_id();
+      if (vi >= num_vertices) return;
+      const auto v = static_cast<graph::VertexId>(vi);
+      const graph::EdgeId begin = view.offsets[v];
+      const int64_t degree = view.offsets[v + 1] - begin;
+
+      Candidate best;
+      graph::Label run_label = graph::kInvalidLabel;
+      double run_count = 0;
+
+      for (int64_t base = 0; base < degree; base += sim::kWarpSize) {
+        const int lanes = static_cast<int>(
+            std::min<int64_t>(sim::kWarpSize, degree - base));
+        const sim::LaneMask mask =
+            lanes >= sim::kWarpSize ? sim::kFullMask : ((1u << lanes) - 1u);
+        w.SetActive(mask);
+        const sim::LaneArray<uint32_t> lbl = w.GatherContig(nl, begin + base);
+        // Boundary detection against the previous lane (one shuffle) plus
+        // the run carried across rounds.
+        w.stats()->intrinsic_ops += 1;
+        w.CountInstr(2);
+
+        // Identify the runs that close inside this round (at most one per
+        // lane plus the carried run).
+        graph::Label closed_label[sim::kWarpSize + 2];
+        double closed_count[sim::kWarpSize + 2];
+        int num_closed = 0;
+        for (int l = 0; l < lanes; ++l) {
+          const graph::Label cur = lbl[l];
+          if (cur == run_label) {
+            run_count += 1;
+          } else {
+            if (run_label != graph::kInvalidLabel) {
+              closed_label[num_closed] = run_label;
+              closed_count[num_closed] = run_count;
+              ++num_closed;
+            }
+            run_label = cur;
+            run_count = 1;
+          }
+          if (base + l == degree - 1) {
+            closed_label[num_closed] = run_label;
+            closed_count[num_closed] = run_count;
+            ++num_closed;
+            run_label = graph::kInvalidLabel;
+            run_count = 0;
+          }
+        }
+        if (num_closed == 0) continue;
+
+        // Closing lanes evaluate LabelScore (aux gathered when required),
+        // one closed run per lane.
+        for (int first = 0; first < num_closed; first += sim::kWarpSize) {
+          const int cnt = std::min(sim::kWarpSize, num_closed - first);
+          const sim::LaneMask closers =
+              cnt >= sim::kWarpSize ? sim::kFullMask : ((1u << cnt) - 1u);
+          sim::LaneArray<double> score(
+              -std::numeric_limits<double>::infinity());
+          sim::LaneArray<graph::Label> run_lbl(graph::kInvalidLabel);
+          sim::ForEachLane(closers, [&](int l) {
+            run_lbl[l] = closed_label[first + l];
+            score[l] = closed_count[first + l];
+          });
+          w.SetActive(closers);
+          const sim::LaneArray<double> aux = GatherAux(w, view, run_lbl);
+          sim::ForEachLane(closers, [&](int l) {
+            score[l] = view.variant->Score(v, run_lbl[l], score[l], aux[l]);
+          });
+          w.CountInstr();
+          best.Merge(WarpArgMax(w, closers, score, run_lbl));
+        }
+      }
+
+      sim::LaneArray<int64_t> idx(0);
+      sim::LaneArray<graph::Label> val(best.label);
+      idx[0] = v;
+      w.SetActive(sim::LaneBit(0));
+      w.Scatter(view.next, idx, val);
+      w.SetActive(sim::kFullMask);
+    });
+  });
+}
+
+/// G-Sort over any variant policy.
+template <typename Variant>
+class GSortEngine : public Engine {
+ public:
+  GSortEngine(const VariantParams& params = {},
+              glp::ThreadPool* pool = nullptr,
+              sim::DeviceProps device = sim::DeviceProps::TitanV())
+      : params_(params),
+        pool_(pool != nullptr ? pool : glp::ThreadPool::Default()),
+        device_(device),
+        cost_(device) {}
+
+  std::string name() const override { return "G-Sort"; }
+
+  Result<RunResult> Run(const graph::Graph& g,
+                        const RunConfig& config) override {
+    if constexpr (!Variant::kUnitWeight) {
+      // Run-length counting over sorted labels is unit-weight by
+      // construction — the programmability gap of the sort-based design.
+      return Status::InvalidArgument(
+          "G-Sort supports unit-neighbor-weight variants only");
+    }
+    if (g.has_weights()) {
+      return Status::InvalidArgument(
+          "G-Sort does not support edge-weighted graphs");
+    }
+    if (!config.initial_labels.empty() &&
+        config.initial_labels.size() != g.num_vertices()) {
+      return Status::InvalidArgument("initial_labels size mismatch");
+    }
+    glp::Timer timer;
+    Variant variant(params_);
+    variant.Init(g, config);
+    const graph::VertexId n = g.num_vertices();
+    const uint64_t nu = n;
+    const int64_t m = g.num_edges();
+
+    std::vector<uint32_t> nl(static_cast<size_t>(m));
+
+    uint64_t device_bytes = g.bytes() + 2 * nu * sizeof(graph::Label);
+    if constexpr (Variant::kNeedsLabelAux) device_bytes += nu * sizeof(float);
+    device_bytes += nu * variant.memory_bytes_per_vertex();
+    // NL plus the radix sort's double buffer: the O(|E|) overhead of §2.2.
+    device_bytes += 2 * static_cast<uint64_t>(m) * sizeof(uint32_t);
+
+    GpuRunAccumulator acc(&cost_);
+    RunResult result;
+    const double initial_transfer = cost_.TransferCost(device_bytes);
+
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+      variant.BeginIteration(iter);
+      const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
+
+      if (variant.needs_pick_kernel()) {
+        acc.AddLaunch(MapKernelStats(
+            nu, nu * variant.memory_bytes_per_vertex(), nu * 4));
+      }
+
+      acc.AddLaunch(RunGatherLabelsKernel(device_, pool_, view, m, nl.data()));
+      acc.AddLaunch(sim::DeviceSegmentedSort(
+          device_, std::span<uint32_t>(nl),
+          std::span<const graph::EdgeId>(g.offsets()), pool_));
+      acc.AddLaunch(
+          RunCountSortedKernel(device_, pool_, view, n, nl.data()));
+
+      acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4));  // commit
+      if (variant.needs_pick_kernel()) {
+        const uint64_t mem = nu * variant.memory_bytes_per_vertex();
+        acc.AddLaunch(MapKernelStats(nu, nu * 4 + mem, mem));
+      }
+      if constexpr (Variant::kNeedsLabelAux) {
+        acc.AddLaunch(MapKernelStats(0, 0, nu * 4));
+        acc.AddLaunch(HistogramKernelStats(nu));
+      }
+
+      const int changed = variant.EndIteration(iter);
+      result.iteration_seconds.push_back(acc.TakeSeconds());
+      ++result.iterations;
+      if (config.stop_when_stable && changed == 0) break;
+    }
+
+    result.labels = variant.FinalLabels();
+    result.wall_seconds = timer.Seconds();
+    result.stats = acc.total();
+    result.setup_seconds = initial_transfer;
+    double total = 0;
+    for (double s : result.iteration_seconds) total += s;
+    result.simulated_seconds = total;
+    result.device_bytes = device_bytes;
+    return result;
+  }
+
+ private:
+  VariantParams params_;
+  glp::ThreadPool* pool_;
+  sim::DeviceProps device_;
+  sim::CostModel cost_;
+};
+
+}  // namespace glp::lp

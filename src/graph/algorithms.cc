@@ -1,0 +1,71 @@
+#include "graph/algorithms.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace glp::graph {
+
+std::vector<VertexId> ConnectedComponents(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> component(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (component[root] != kInvalidVertex) continue;
+    component[root] = root;
+    queue.clear();
+    queue.push_back(root);
+    // BFS with the root id (the smallest id in the component, since roots
+    // are visited in ascending order) as the representative.
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId u : g.neighbors(v)) {
+        if (component[u] == kInvalidVertex) {
+          component[u] = root;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+int64_t CountComponents(const Graph& g) {
+  const auto comp = ConnectedComponents(g);
+  int64_t count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    count += comp[v] == v;
+  }
+  return count;
+}
+
+double Modularity(const Graph& g, const std::vector<Label>& labels) {
+  GLP_CHECK_EQ(labels.size(), static_cast<size_t>(g.num_vertices()));
+  // Weighted form: 2m is the total edge weight, degrees and intra-community
+  // mass are weight sums; collapsed multigraphs score identically to their
+  // expanded form.
+  const double two_m = g.total_weight();
+  if (two_m == 0) return 0.0;
+
+  std::unordered_map<Label, double> intra2;   // 2 * e_c
+  std::unordered_map<Label, double> degree;   // d_c (weighted)
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId begin = g.offset(v);
+    const auto neighbors = g.neighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const double w = g.edge_weight(begin + static_cast<EdgeId>(i));
+      degree[labels[v]] += w;
+      if (labels[neighbors[i]] == labels[v]) intra2[labels[v]] += w;
+    }
+  }
+
+  double q = 0;
+  for (const auto& [label, d] : degree) {
+    const auto it = intra2.find(label);
+    const double e2 = it == intra2.end() ? 0.0 : it->second;
+    q += e2 / two_m - (d / two_m) * (d / two_m);
+  }
+  return q;
+}
+
+}  // namespace glp::graph

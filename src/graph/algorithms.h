@@ -1,0 +1,29 @@
+// Small graph algorithms supporting analysis of LP results: connected
+// components (a correctness oracle — no community may span two components)
+// and Newman modularity (the standard quality score used to compare LP
+// variants' partitions).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace glp::graph {
+
+/// Connected components by BFS. Returns one representative id per vertex
+/// (the smallest vertex id in its component).
+std::vector<VertexId> ConnectedComponents(const Graph& g);
+
+/// Number of distinct components.
+int64_t CountComponents(const Graph& g);
+
+/// Newman modularity of a labeling:
+///   Q = sum_c [ e_c / m  -  (d_c / 2m)^2 ]
+/// with e_c the number of (undirected) intra-community edges, d_c the total
+/// degree of community c, and m the undirected edge count. Expects the
+/// symmetrized CSR this repository uses (each undirected edge counted twice).
+double Modularity(const Graph& g, const std::vector<Label>& labels);
+
+}  // namespace glp::graph

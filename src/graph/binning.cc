@@ -1,0 +1,36 @@
+#include "graph/binning.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace glp::graph {
+
+DegreeBins ComputeDegreeBins(const Graph& g, const BinningConfig& config) {
+  DegreeBins bins;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int64_t d = g.degree(v);
+    if (d <= config.low_degree_max) {
+      bins.low.push_back(v);
+    } else if (d >= config.high_degree_min) {
+      bins.high.push_back(v);
+    } else {
+      bins.mid.push_back(v);
+    }
+  }
+  auto by_degree = [&](VertexId a, VertexId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+  };
+  std::sort(bins.low.begin(), bins.low.end(), by_degree);
+  std::sort(bins.mid.begin(), bins.mid.end(), by_degree);
+  std::sort(bins.high.begin(), bins.high.end(), by_degree);
+  return bins;
+}
+
+std::string DegreeBins::ToString() const {
+  std::ostringstream os;
+  os << "DegreeBins{low=" << low.size() << " mid=" << mid.size()
+     << " high=" << high.size() << "}";
+  return os.str();
+}
+
+}  // namespace glp::graph

@@ -1,0 +1,35 @@
+// Degree-based vertex binning — the dispatch structure behind GLP's kernel
+// specialization (paper §4, §5.3): low-degree vertices go to the
+// warp-centric multi-vertex kernel, high-degree vertices to the block-level
+// CMS+HT kernel, the rest to a warp-per-vertex kernel.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace glp::graph {
+
+/// Thresholds from the paper's ablation setup (§5.3): low-degree < 32,
+/// high-degree > 128.
+struct BinningConfig {
+  int64_t low_degree_max = 31;    ///< degree <= this -> low bin
+  int64_t high_degree_min = 129;  ///< degree >= this -> high bin
+};
+
+/// Vertex ids partitioned by degree class. Within each bin, vertices are
+/// sorted by degree so adjacent warp lanes get similar work.
+struct DegreeBins {
+  std::vector<VertexId> low;
+  std::vector<VertexId> mid;
+  std::vector<VertexId> high;
+
+  size_t total() const { return low.size() + mid.size() + high.size(); }
+  std::string ToString() const;
+};
+
+DegreeBins ComputeDegreeBins(const Graph& g, const BinningConfig& config = {});
+
+}  // namespace glp::graph

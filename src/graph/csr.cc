@@ -1,0 +1,30 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace glp::graph {
+
+double Graph::total_weight() const {
+  if (weights_.empty()) return static_cast<double>(num_edges());
+  double sum = 0;
+  for (float w : weights_) sum += w;
+  return sum;
+}
+
+int64_t Graph::max_degree() const {
+  int64_t mx = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    mx = std::max(mx, degree(v));
+  }
+  return mx;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "Graph{V=" << num_vertices_ << " E=" << num_edges()
+     << " avg_deg=" << avg_degree() << " max_deg=" << max_degree() << "}";
+  return os.str();
+}
+
+}  // namespace glp::graph

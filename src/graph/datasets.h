@@ -1,0 +1,44 @@
+// The Table 2 dataset registry: named synthetic analogs of the paper's
+// evaluation graphs, at a configurable linear scale.
+//
+// Each entry records the real dataset's published |V|, |E|, and average
+// degree, plus a generator that reproduces its structural character at
+// reduced size (see DESIGN.md §1 for the substitution rationale). The default
+// scale keeps the full eight-dataset sweep runnable in minutes under the
+// SIMT simulator.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace glp::graph {
+
+/// One Table 2 row.
+struct DatasetSpec {
+  std::string name;
+  /// Published size of the real dataset (for reporting).
+  uint64_t paper_vertices;
+  uint64_t paper_edges;
+  double paper_avg_degree;
+  /// Human description of the analog generator.
+  std::string analog;
+};
+
+/// All eight Table 2 datasets, in paper order.
+const std::vector<DatasetSpec>& Table2Specs();
+
+/// Generates the analog of the named dataset. `scale` multiplies the default
+/// (reduced) size: 1.0 is the standard benchmark size, smaller values shrink
+/// further for tests. Unknown names yield NotFound.
+Result<Graph> MakeDataset(const std::string& name, double scale = 1.0,
+                          uint64_t seed = 1);
+
+/// Generates every Table 2 analog (paper order).
+std::vector<std::pair<std::string, Graph>> MakeAllDatasets(double scale = 1.0,
+                                                           uint64_t seed = 1);
+
+}  // namespace glp::graph

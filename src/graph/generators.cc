@@ -1,0 +1,158 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace glp::graph {
+
+namespace {
+
+VertexId RoundUpPow2(VertexId x) {
+  VertexId p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Graph GenerateRmat(const RmatParams& params) {
+  const VertexId n = RoundUpPow2(params.num_vertices);
+  int levels = 0;
+  while ((VertexId(1) << levels) < n) ++levels;
+
+  const double sum = params.a + params.b + params.c + params.d;
+  const double pa = params.a / sum;
+  const double pb = params.b / sum;
+  const double pc = params.c / sum;
+
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(params.num_edges));
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < levels; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrant choice with slight per-level noise to avoid staircase
+      // artifacts (standard R-MAT practice).
+      if (r < pa) {
+        // top-left: no bits set
+      } else if (r < pa + pb) {
+        v |= VertexId(1) << bit;
+      } else if (r < pa + pb + pc) {
+        u |= VertexId(1) << bit;
+      } else {
+        u |= VertexId(1) << bit;
+        v |= VertexId(1) << bit;
+      }
+    }
+    builder.AddEdgeUnchecked(u, v);
+  }
+  return builder.Build(/*symmetrize=*/true, /*dedupe=*/true);
+}
+
+Graph GenerateGrid2d(int rows, int cols) {
+  GLP_CHECK_GT(rows, 0);
+  GLP_CHECK_GT(cols, 0);
+  const VertexId n = static_cast<VertexId>(rows) * static_cast<VertexId>(cols);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(2) * n);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const VertexId v = static_cast<VertexId>(r) * cols + c;
+      if (c + 1 < cols) builder.AddEdgeUnchecked(v, v + 1);
+      if (r + 1 < rows) builder.AddEdgeUnchecked(v, v + cols);
+    }
+  }
+  return builder.Build(/*symmetrize=*/true, /*dedupe=*/true);
+}
+
+Graph GeneratePlantedPartition(const PlantedPartitionParams& params) {
+  const VertexId n = static_cast<VertexId>(params.num_communities) *
+                     static_cast<VertexId>(params.community_size);
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  const double half_intra = params.intra_degree / 2.0;
+  const double half_inter = params.inter_degree / 2.0;
+  builder.Reserve(static_cast<size_t>(n * (half_intra + half_inter) * 1.1));
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId comm = v / params.community_size;
+    const VertexId base = comm * params.community_size;
+    // Intra-community stubs (each endpoint draws half the degree; the other
+    // half arrives from peers, so expected degree matches the parameter).
+    const int intra = static_cast<int>(half_intra) +
+                      (rng.NextDouble() < (half_intra - std::floor(half_intra))
+                           ? 1
+                           : 0);
+    for (int i = 0; i < intra; ++i) {
+      const VertexId u =
+          base + static_cast<VertexId>(rng.Bounded(params.community_size));
+      builder.AddEdgeUnchecked(v, u);
+    }
+    const int inter = static_cast<int>(half_inter) +
+                      (rng.NextDouble() < (half_inter - std::floor(half_inter))
+                           ? 1
+                           : 0);
+    for (int i = 0; i < inter; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.Bounded(n));
+      builder.AddEdgeUnchecked(v, u);
+    }
+  }
+  return builder.Build(/*symmetrize=*/true, /*dedupe=*/true);
+}
+
+Graph GenerateChungLu(const ChungLuParams& params) {
+  const VertexId n = params.num_vertices;
+  // Expected-degree weights w_i ~ (i+1)^{-1/(exponent-1)}.
+  const double beta = 1.0 / (params.exponent - 1.0);
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -beta);
+    cdf[i] = total;
+  }
+  for (VertexId i = 0; i < n; ++i) cdf[i] /= total;
+
+  Rng rng(params.seed);
+  auto sample = [&]() -> VertexId {
+    const double r = rng.NextDouble();
+    return static_cast<VertexId>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+  };
+
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(params.num_edges));
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    builder.AddEdgeUnchecked(sample(), sample());
+  }
+  return builder.Build(/*symmetrize=*/true, /*dedupe=*/true);
+}
+
+Graph GenerateBipartite(const BipartiteParams& params) {
+  const VertexId n = params.num_left + params.num_right;
+  // Zipf CDF over right-side popularity.
+  std::vector<double> cdf(params.num_right);
+  double total = 0;
+  for (VertexId i = 0; i < params.num_right; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -params.zipf_skew);
+    cdf[i] = total;
+  }
+  for (VertexId i = 0; i < params.num_right; ++i) cdf[i] /= total;
+
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(params.num_edges));
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.Bounded(params.num_left));
+    const double r = rng.NextDouble();
+    const VertexId item = static_cast<VertexId>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+    builder.AddEdgeUnchecked(u, params.num_left + item);
+  }
+  return builder.Build(/*symmetrize=*/true, /*dedupe=*/false);
+}
+
+}  // namespace glp::graph

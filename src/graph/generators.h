@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's evaluation datasets (Table 2), which are
+// either proprietary (aligraph/TaoBao) or too large to redistribute here.
+// Each generator reproduces the *structural* property that drives LP
+// performance on its real counterpart: power-law degree skew (RMAT /
+// Chung-Lu), constant small degree (2-D grid road networks), community
+// structure (planted partition), and extreme average degree (dense
+// bipartite). See DESIGN.md §1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace glp::graph {
+
+/// Recursive-matrix (R-MAT) power-law generator [Chakrabarti et al.].
+struct RmatParams {
+  VertexId num_vertices = 1 << 16;  ///< Rounded up to a power of two.
+  EdgeId num_edges = 1 << 20;       ///< Directed edges before symmetrization.
+  double a = 0.57;                  ///< Quadrant probabilities; heavier a ==
+  double b = 0.19;                  ///< heavier degree skew.
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 1;
+};
+Graph GenerateRmat(const RmatParams& params);
+
+/// 2-D grid lattice (road-network analog): rows*cols vertices, 4-neighbor
+/// connectivity, constant small degree.
+Graph GenerateGrid2d(int rows, int cols);
+
+/// Planted-partition community graph: `num_communities` blocks of
+/// `community_size` vertices; each vertex draws `intra_degree` endpoints
+/// inside its block and `inter_degree` outside.
+struct PlantedPartitionParams {
+  int num_communities = 64;
+  int community_size = 256;
+  double intra_degree = 6.0;
+  double inter_degree = 1.0;
+  uint64_t seed = 1;
+};
+Graph GeneratePlantedPartition(const PlantedPartitionParams& params);
+
+/// Chung-Lu power-law graph: expected degree of vertex i proportional to
+/// (i+1)^(-1/(exponent-1)), scaled to hit `num_edges` in expectation.
+struct ChungLuParams {
+  VertexId num_vertices = 1 << 16;
+  EdgeId num_edges = 1 << 20;
+  double exponent = 2.2;  ///< Degree-distribution power-law exponent.
+  uint64_t seed = 1;
+};
+Graph GenerateChungLu(const ChungLuParams& params);
+
+/// Dense bipartite user-item graph (aligraph analog: tiny vertex count,
+/// enormous average degree). Item popularity is Zipf-skewed.
+struct BipartiteParams {
+  VertexId num_left = 1000;
+  VertexId num_right = 1000;
+  EdgeId num_edges = 1 << 20;
+  double zipf_skew = 0.8;  ///< Right-side popularity skew in [0, ~1.2].
+  uint64_t seed = 1;
+};
+Graph GenerateBipartite(const BipartiteParams& params);
+
+}  // namespace glp::graph

@@ -1,0 +1,123 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace glp::graph {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x474c50475248ULL;    // "GLPGRH", unweighted
+constexpr uint64_t kBinaryMagicW = 0x474c50475257ULL;   // weighted variant
+
+/// RAII FILE* holder.
+struct File {
+  FILE* f = nullptr;
+  ~File() {
+    if (f) std::fclose(f);
+  }
+};
+}  // namespace
+
+Result<Graph> ReadEdgeListFile(const std::string& path) {
+  File in;
+  in.f = std::fopen(path.c_str(), "r");
+  if (!in.f) return Status::IoError("cannot open " + path);
+
+  std::vector<Edge> raw;
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto intern = [&](uint64_t ext) {
+    auto [it, inserted] =
+        remap.try_emplace(ext, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  char line[256];
+  while (std::fgets(line, sizeof(line), in.f)) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    uint64_t u, v;
+    if (std::sscanf(line, "%lu %lu", &u, &v) != 2) {
+      return Status::IoError("malformed line in " + path + ": " + line);
+    }
+    raw.push_back({intern(u), intern(v)});
+  }
+
+  GraphBuilder b(static_cast<VertexId>(remap.size()));
+  b.Reserve(raw.size());
+  for (const Edge& e : raw) b.AddEdgeUnchecked(e.src, e.dst);
+  return b.Build(/*symmetrize=*/true, /*dedupe=*/true);
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  File out;
+  out.f = std::fopen(path.c_str(), "w");
+  if (!out.f) return Status::IoError("cannot open " + path + " for write");
+  std::fprintf(out.f, "# GLP edge list: V=%u E=%lld\n", g.num_vertices(),
+               static_cast<long long>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      std::fprintf(out.f, "%u %u\n", u, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& g, const std::string& path) {
+  File out;
+  out.f = std::fopen(path.c_str(), "wb");
+  if (!out.f) return Status::IoError("cannot open " + path + " for write");
+  const uint64_t magic = g.has_weights() ? kBinaryMagicW : kBinaryMagic;
+  const uint64_t nv = g.num_vertices();
+  const uint64_t ne = static_cast<uint64_t>(g.num_edges());
+  if (std::fwrite(&magic, sizeof(magic), 1, out.f) != 1 ||
+      std::fwrite(&nv, sizeof(nv), 1, out.f) != 1 ||
+      std::fwrite(&ne, sizeof(ne), 1, out.f) != 1 ||
+      std::fwrite(g.offsets().data(), sizeof(EdgeId), nv + 1, out.f) !=
+          nv + 1 ||
+      (ne > 0 && std::fwrite(g.neighbor_array().data(), sizeof(VertexId), ne,
+                             out.f) != ne)) {
+    return Status::IoError("short write to " + path);
+  }
+  if (g.has_weights() && ne > 0 &&
+      std::fwrite(g.weight_array().data(), sizeof(float), ne, out.f) != ne) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  File in;
+  in.f = std::fopen(path.c_str(), "rb");
+  if (!in.f) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, nv = 0, ne = 0;
+  if (std::fread(&magic, sizeof(magic), 1, in.f) != 1 ||
+      (magic != kBinaryMagic && magic != kBinaryMagicW)) {
+    return Status::IoError(path + " is not a GLP binary graph");
+  }
+  if (std::fread(&nv, sizeof(nv), 1, in.f) != 1 ||
+      std::fread(&ne, sizeof(ne), 1, in.f) != 1) {
+    return Status::IoError("truncated header in " + path);
+  }
+  std::vector<EdgeId> offsets(nv + 1);
+  std::vector<VertexId> neighbors(ne);
+  if (std::fread(offsets.data(), sizeof(EdgeId), nv + 1, in.f) != nv + 1 ||
+      (ne > 0 &&
+       std::fread(neighbors.data(), sizeof(VertexId), ne, in.f) != ne)) {
+    return Status::IoError("truncated body in " + path);
+  }
+  if (magic == kBinaryMagicW) {
+    std::vector<float> weights(ne);
+    if (ne > 0 &&
+        std::fread(weights.data(), sizeof(float), ne, in.f) != ne) {
+      return Status::IoError("truncated weights in " + path);
+    }
+    return Graph(static_cast<VertexId>(nv), std::move(offsets),
+                 std::move(neighbors), std::move(weights));
+  }
+  return Graph(static_cast<VertexId>(nv), std::move(offsets),
+               std::move(neighbors));
+}
+
+}  // namespace glp::graph

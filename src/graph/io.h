@@ -1,0 +1,25 @@
+// Graph IO: SNAP-style edge-list text files and a binary CSR snapshot format.
+
+#pragma once
+
+#include <string>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace glp::graph {
+
+/// Reads an edge-list text file: one "u v" pair per whitespace-separated
+/// line; lines starting with '#' or '%' are comments (SNAP / KONECT
+/// conventions). Vertex ids are compacted to [0, V); the graph is
+/// symmetrized and deduped.
+Result<Graph> ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" lines for every CSR entry (v's in-neighbors as "u v").
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Binary CSR snapshot (magic + counts + raw arrays); round-trips exactly.
+Status SaveBinary(const Graph& g, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace glp::graph

@@ -1,0 +1,85 @@
+#include "graph/sliding_window.h"
+
+#include <algorithm>
+
+
+#include "graph/builder.h"
+
+namespace glp::graph {
+
+SlidingWindow::SlidingWindow(std::vector<TimedEdge> edges)
+    : edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const TimedEdge& a, const TimedEdge& b) { return a.time < b.time; });
+  for (const TimedEdge& e : edges_) {
+    max_entity_ = std::max({max_entity_, e.src, e.dst});
+  }
+}
+
+double SlidingWindow::min_time() const {
+  return edges_.empty() ? 0.0 : edges_.front().time;
+}
+
+double SlidingWindow::max_time() const {
+  return edges_.empty() ? 0.0 : edges_.back().time;
+}
+
+WindowSnapshot SlidingWindow::Snapshot(double start_time,
+                                       double end_time) const {
+  Scratch scratch;
+  return Snapshot(start_time, end_time, &scratch);
+}
+
+WindowSnapshot SlidingWindow::Snapshot(double start_time, double end_time,
+                                       Scratch* scratch,
+                                       bool collapse) const {
+  auto lo = std::lower_bound(
+      edges_.begin(), edges_.end(), start_time,
+      [](const TimedEdge& e, double t) { return e.time < t; });
+  auto hi = std::lower_bound(
+      edges_.begin(), edges_.end(), end_time,
+      [](const TimedEdge& e, double t) { return e.time < t; });
+
+  WindowSnapshot snap;
+  // Dense epoch-stamped remap over the known entity universe — O(1) per
+  // edge with O(1) reset between windows, much faster than hashing for the
+  // production-sized streams of Table 4.
+  if (scratch->epoch_of.size() < static_cast<size_t>(max_entity_) + 1) {
+    scratch->epoch_of.assign(static_cast<size_t>(max_entity_) + 1, 0);
+    scratch->local_of.resize(static_cast<size_t>(max_entity_) + 1);
+    scratch->epoch = 0;
+  }
+  if (++scratch->epoch == 0) {  // stamp wrap
+    std::fill(scratch->epoch_of.begin(), scratch->epoch_of.end(), 0u);
+    scratch->epoch = 1;
+  }
+  const uint32_t epoch = scratch->epoch;
+  auto intern = [&](VertexId global) {
+    if (scratch->epoch_of[global] != epoch) {
+      scratch->epoch_of[global] = epoch;
+      scratch->local_of[global] =
+          static_cast<VertexId>(snap.local_to_global.size());
+      snap.local_to_global.push_back(global);
+    }
+    return scratch->local_of[global];
+  };
+
+  std::vector<Edge> local;
+  local.reserve(static_cast<size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    local.push_back({intern(it->src), intern(it->dst)});
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(snap.local_to_global.size()));
+  builder.Reserve(local.size());
+  for (const Edge& e : local) builder.AddEdgeUnchecked(e.src, e.dst);
+  // Purchase multiplicity is exactly the repeated-interaction signal fraud
+  // detection relies on (a collusive buyer hits the same item many times):
+  // keep it either as parallel edges (multigraph) or, when collapsing, as
+  // edge weights.
+  snap.graph = collapse ? builder.BuildCollapsed(/*symmetrize=*/true)
+                        : builder.Build(/*symmetrize=*/true, /*dedupe=*/false);
+  return snap;
+}
+
+}  // namespace glp::graph

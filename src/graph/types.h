@@ -1,0 +1,26 @@
+// Core identifier types shared across the graph, LP, and pipeline layers.
+
+#pragma once
+
+#include <cstdint>
+
+namespace glp::graph {
+
+/// Vertex identifier. 32 bits covers the paper's billion-vertex workloads.
+using VertexId = uint32_t;
+
+/// Edge index into CSR arrays. 64 bits: edge counts exceed 2^32.
+using EdgeId = int64_t;
+
+/// Community label carried by LP. Labels share the vertex id space (classic
+/// LP initializes L[v] = v).
+using Label = uint32_t;
+
+/// Sentinel for "no label" (empty hash-table slot, inactive lane, unseeded
+/// vertex in the fraud pipeline).
+inline constexpr Label kInvalidLabel = 0xffffffffu;
+
+/// Sentinel vertex id.
+inline constexpr VertexId kInvalidVertex = 0xffffffffu;
+
+}  // namespace glp::graph

@@ -1,0 +1,87 @@
+// Simulator of TaoBao's in-house *distributed* LP solution — the comparison
+// system of Figure 7. See DESIGN.md §1 for the substitution rationale.
+//
+// Model: bulk-synchronous LP over hash-partitioned vertices on a cluster of
+// identical machines. Each superstep (a) computes MFLs for the local
+// partition (memory-bandwidth-bound, like any CPU LP), (b) shuffles the
+// labels of boundary vertices to every partition that references them, and
+// (c) barriers. The label computation itself runs for real (shared memory —
+// results are exactly those of the other engines); the *time* is priced by
+// the cluster cost model, whose dominant term is the per-superstep network
+// shuffle, which is what makes the in-house system ~8x slower than a single
+// GPU despite 32 machines.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "glp/run.h"
+#include "graph/csr.h"
+#include "util/thread_pool.h"
+
+namespace glp::pipeline {
+
+/// Cluster hardware description (§5.1: 32 machines, 4x Xeon Platinum 8168
+/// each, datacenter Ethernet).
+struct ClusterConfig {
+  int num_machines = 32;
+  /// Effective per-machine memory bandwidth usable by LP (GB/s). 4-socket
+  /// Skylake-SP sustains ~200 GB/s stream; LP's random access realizes a
+  /// fraction of it.
+  double machine_mem_bandwidth_gbps = 60.0;
+  /// Bytes of memory traffic per processed edge (label gather + count).
+  double bytes_per_edge = 16.0;
+  /// Per-machine network bandwidth (GB/s) — 10 GbE.
+  double network_bandwidth_gbps = 1.25;
+  /// Achievable fraction of line rate under the all-to-all shuffle's incast
+  /// pattern.
+  double network_efficiency = 0.6;
+  /// Bytes per shuffled label message (vertex id + label).
+  double bytes_per_message = 8.0;
+  /// CPU handling cost per message (serialize, route, apply) — the framework
+  /// tax that dominates production BSP systems at scale.
+  double seconds_per_message = 20e-9;
+  /// Superstep barrier + coordination latency (s).
+  double barrier_latency_s = 5e-3;
+  /// Straggler multiplier on the BSP critical path: hash partitioning of a
+  /// power-law graph leaves the slowest machine this much above the mean.
+  double straggler_factor = 1.6;
+
+  /// Hardware cost per machine in dollars (§5.4: 4x $5890 CPUs).
+  double dollars_per_machine = 4 * 5890.0;
+  double TotalDollars() const { return num_machines * dollars_per_machine; }
+};
+
+/// Per-superstep time breakdown of the model.
+struct SuperstepCost {
+  double compute_s = 0;
+  double shuffle_s = 0;
+  double barrier_s = 0;
+  double total_s = 0;
+};
+
+/// Prices one LP superstep on `g` under `cluster` (hash partitioning).
+SuperstepCost PriceSuperstep(const graph::Graph& g,
+                             const ClusterConfig& cluster);
+
+/// The distributed baseline as a runnable Engine (classic LP only — the
+/// in-house system is a fixed production job, not a framework).
+class DistributedLpEngine : public lp::Engine {
+ public:
+  explicit DistributedLpEngine(const ClusterConfig& cluster = {},
+                               glp::ThreadPool* pool = nullptr)
+      : cluster_(cluster),
+        pool_(pool != nullptr ? pool : glp::ThreadPool::Default()) {}
+
+  std::string name() const override { return "InHouse-Distributed"; }
+
+  Result<lp::RunResult> Run(const graph::Graph& g,
+                            const lp::RunConfig& config) override;
+
+ private:
+  ClusterConfig cluster_;
+  glp::ThreadPool* pool_;
+};
+
+}  // namespace glp::pipeline

@@ -1,0 +1,39 @@
+#include "pipeline/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace glp::pipeline {
+
+std::string DetectionMetrics::ToString() const {
+  std::ostringstream os;
+  os << "precision=" << Precision() << " recall=" << Recall()
+     << " f1=" << F1() << " (tp=" << true_positives
+     << " fp=" << false_positives << " fn=" << false_negatives << ")";
+  return os.str();
+}
+
+ClusterStats ClusterStats::Of(const std::vector<graph::Label>& labels) {
+  std::unordered_map<graph::Label, uint64_t> sizes;
+  for (graph::Label l : labels) ++sizes[l];
+  ClusterStats s;
+  s.num_clusters = sizes.size();
+  uint64_t total = 0;
+  for (const auto& [l, c] : sizes) {
+    s.largest = std::max(s.largest, c);
+    total += c;
+  }
+  s.mean_size = sizes.empty() ? 0.0
+                              : static_cast<double>(total) /
+                                    static_cast<double>(sizes.size());
+  return s;
+}
+
+std::string ClusterStats::ToString() const {
+  std::ostringstream os;
+  os << "clusters=" << num_clusters << " largest=" << largest
+     << " mean=" << mean_size;
+  return os.str();
+}
+
+}  // namespace glp::pipeline

@@ -1,0 +1,45 @@
+// Detection-quality metrics for the fraud pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace glp::pipeline {
+
+/// Standard binary detection metrics.
+struct DetectionMetrics {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+
+  double Precision() const {
+    const uint64_t p = true_positives + false_positives;
+    return p == 0 ? 0.0 : static_cast<double>(true_positives) / p;
+  }
+  double Recall() const {
+    const uint64_t r = true_positives + false_negatives;
+    return r == 0 ? 0.0 : static_cast<double>(true_positives) / r;
+  }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+  std::string ToString() const;
+};
+
+/// Community-size distribution of a labeling.
+struct ClusterStats {
+  uint64_t num_clusters = 0;
+  uint64_t largest = 0;
+  double mean_size = 0;
+
+  static ClusterStats Of(const std::vector<graph::Label>& labels);
+  std::string ToString() const;
+};
+
+}  // namespace glp::pipeline

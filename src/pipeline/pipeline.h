@@ -1,0 +1,102 @@
+// The end-to-end fraud-detection pipeline of paper Figure 1:
+//
+//   transaction stream -> sliding-window graph -> LP clustering (seeded by
+//   the blacklist) -> suspicious-cluster extraction -> downstream cluster
+//   scoring (stand-in for the production GNN stage) -> detected entities.
+//
+// The LP stage is pluggable (any EngineKind/VariantKind), which is the
+// pipeline-level payoff of GLP's programmability goal.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "glp/factory.h"
+#include "glp/run.h"
+#include "pipeline/metrics.h"
+#include "pipeline/transactions.h"
+
+namespace glp::pipeline {
+
+/// Pipeline stage configuration.
+struct PipelineConfig {
+  /// Sliding window: [end_day - window_days, end_day).
+  int window_days = 30;
+  /// Window end; negative means "end of stream".
+  double end_day = -1;
+
+  /// LP stage.
+  lp::EngineKind engine = lp::EngineKind::kGlp;
+  lp::VariantKind variant = lp::VariantKind::kClassic;
+  lp::VariantParams variant_params;
+  lp::GlpOptions glp_options;
+  int lp_iterations = 20;
+  uint64_t seed = 42;
+
+  /// Cluster extraction: suspicious clusters contain at least one
+  /// blacklisted seed and are no larger than this (fraud rings are small;
+  /// giant organic communities are ignored).
+  uint64_t max_cluster_size = 500;
+
+  /// Downstream scorer: minimum internal edge density for a suspicious
+  /// cluster to be confirmed (the GNN stand-in; see DESIGN.md).
+  double min_cluster_density = 0.05;
+
+  /// Build weighted window graphs (parallel purchases collapsed into edge
+  /// weights): identical detections at a fraction of the graph memory.
+  /// Requires an LP engine that supports weighted graphs (not G-Sort).
+  bool collapse_window_graphs = false;
+};
+
+/// One extracted cluster (global entity ids).
+struct SuspiciousCluster {
+  graph::Label label;
+  std::vector<graph::VertexId> members;  ///< global ids
+  int num_seeds = 0;
+  int64_t internal_edges = 0;
+  double density = 0;    ///< internal_edges / (|members| choose 2)
+  bool confirmed = false;  ///< passed the downstream scorer
+};
+
+/// Full pipeline output for one window.
+struct PipelineResult {
+  // Window graph shape (Table 4 columns).
+  graph::VertexId window_vertices = 0;
+  graph::EdgeId window_edges = 0;
+
+  lp::RunResult lp;
+  std::vector<SuspiciousCluster> clusters;
+
+  /// LP-stage detection quality (all members of suspicious clusters).
+  DetectionMetrics lp_metrics;
+  /// After the downstream scorer (confirmed clusters only).
+  DetectionMetrics confirmed_metrics;
+
+  /// Stage timings. lp_seconds is the engine's simulated_seconds (device
+  /// time for GPU engines); the others are host wall-clock.
+  double build_seconds = 0;
+  double lp_seconds = 0;
+  double extract_seconds = 0;
+
+  /// LP share of total pipeline time (the paper's "75%" observation).
+  double LpFraction() const {
+    const double total = build_seconds + lp_seconds + extract_seconds;
+    return total == 0 ? 0 : lp_seconds / total;
+  }
+};
+
+/// Runs the Figure 1 pipeline over a transaction stream.
+class FraudDetectionPipeline {
+ public:
+  explicit FraudDetectionPipeline(const TransactionStream* stream);
+
+  /// Processes one sliding window. Errors propagate from the LP engine.
+  Result<PipelineResult> Run(const PipelineConfig& config) const;
+
+ private:
+  const TransactionStream* stream_;
+  graph::SlidingWindow window_;
+};
+
+}  // namespace glp::pipeline

@@ -1,0 +1,123 @@
+#include "pipeline/transactions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace glp::pipeline {
+
+TransactionStream GenerateTransactions(const TransactionConfig& config) {
+  GLP_CHECK_GE(config.num_rings * config.ring_buyers,
+               0);
+  GLP_CHECK_LE(
+      static_cast<uint64_t>(config.num_rings) * config.ring_buyers,
+      static_cast<uint64_t>(config.num_buyers))
+      << "rings need distinct buyers";
+  GLP_CHECK_LE(static_cast<uint64_t>(config.num_rings) * config.ring_items,
+               static_cast<uint64_t>(config.num_items))
+      << "rings need distinct items";
+
+  glp::Rng rng(config.seed);
+  TransactionStream stream;
+  stream.config = config;
+  stream.ring_of.assign(config.num_buyers + config.num_items, -1);
+
+  // Zipf CDF for organic item popularity.
+  std::vector<double> cdf(config.num_items);
+  double total = 0;
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -config.item_skew);
+    cdf[i] = total;
+  }
+  for (uint32_t i = 0; i < config.num_items; ++i) cdf[i] /= total;
+  auto sample_item = [&]() -> graph::VertexId {
+    const double r = rng.NextDouble();
+    const uint32_t item = static_cast<uint32_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+    return config.num_buyers + item;
+  };
+
+  // Organic traffic with Zipf-skewed per-buyer activity: a few heavy buyers
+  // and a long tail of occasional ones, normalized so the mean rate matches
+  // the config. Buyer ranks are hash-scrambled so activity is independent of
+  // id (ring buyers occupy low ids).
+  double weight_total = 0;
+  for (uint32_t b = 0; b < config.num_buyers; ++b) {
+    weight_total += std::pow(static_cast<double>(b) + 1.0, -config.buyer_skew);
+  }
+  const double organic_total = config.num_buyers *
+                               config.purchases_per_buyer_per_day *
+                               config.days;
+  stream.edges.reserve(static_cast<size_t>(organic_total * 1.2));
+  for (uint32_t b = 0; b < config.num_buyers; ++b) {
+    const uint32_t rank = static_cast<uint32_t>(
+        glp::HashSeeded(b, config.seed) % config.num_buyers);
+    const double weight =
+        std::pow(static_cast<double>(rank) + 1.0, -config.buyer_skew) /
+        weight_total;
+    const double expected = organic_total * weight;
+    const int purchases =
+        static_cast<int>(expected) +
+        (rng.NextDouble() < expected - std::floor(expected) ? 1 : 0);
+    for (int p = 0; p < purchases; ++p) {
+      stream.edges.push_back(
+          {b, sample_item(), rng.NextDouble() * config.days});
+    }
+  }
+
+  // Fraud rings: disjoint buyer and item blocks, dense collusive purchases
+  // within a random active span.
+  for (int r = 0; r < config.num_rings; ++r) {
+    const uint32_t buyer_base = r * config.ring_buyers;
+    // Ring items come from the *tail* of the popularity distribution: fraud
+    // rings boost obscure listings, and placing them at the Zipf head would
+    // merge the rings into the giant organic communities.
+    const uint32_t item_base =
+        config.num_buyers + config.num_items - (r + 1) * config.ring_items;
+    for (int i = 0; i < config.ring_buyers; ++i) {
+      stream.ring_of[buyer_base + i] = r;
+    }
+    for (int i = 0; i < config.ring_items; ++i) {
+      stream.ring_of[item_base + i] = r;
+    }
+
+    const int span = config.min_ring_active_days +
+                     static_cast<int>(rng.Bounded(std::max(
+                         1, config.days - config.min_ring_active_days)));
+    const int active_days = std::min(span, config.days);
+    const int start_day =
+        static_cast<int>(rng.Bounded(config.days - active_days + 1));
+    stream.ring_span.push_back(
+        {static_cast<double>(start_day),
+         static_cast<double>(start_day + active_days)});
+
+    for (int i = 0; i < config.ring_buyers; ++i) {
+      const graph::VertexId buyer = buyer_base + i;
+      const double expected = config.ring_purchases_per_day * active_days;
+      const int purchases =
+          static_cast<int>(expected) +
+          (rng.NextDouble() < expected - std::floor(expected) ? 1 : 0);
+      for (int p = 0; p < purchases; ++p) {
+        const graph::VertexId item =
+            item_base + static_cast<graph::VertexId>(
+                            rng.Bounded(config.ring_items));
+        const double t = start_day + rng.NextDouble() * active_days;
+        stream.edges.push_back({buyer, item, t});
+      }
+    }
+
+    // Reveal a fraction of the ring as blacklist seeds.
+    const int num_seeds = std::max(
+        1, static_cast<int>(config.seed_fraction * config.ring_buyers));
+    for (int i = 0; i < num_seeds; ++i) {
+      stream.seeds.push_back(buyer_base + i);
+    }
+  }
+
+  return stream;
+}
+
+}  // namespace glp::pipeline

@@ -1,0 +1,83 @@
+// Synthetic TaoBao-style transaction stream with injected fraud rings —
+// the stand-in for the proprietary workload of paper §5.4 (Table 4).
+//
+// Entities are buyers and items (bipartite). Organic traffic follows Zipf
+// item popularity; fraud rings are small buyer groups that collusively and
+// repeatedly purchase a small item set (the dense-cluster signature LP
+// detects). Ground-truth ring membership is retained for precision/recall
+// evaluation, and a fraction of ring members is revealed as the blacklist
+// ("stored seeds" in Figure 1).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "graph/types.h"
+
+namespace glp::pipeline {
+
+/// Generator parameters (defaults give a laptop-scale stream; the Table 4
+/// bench scales num_buyers/num_items/days up).
+struct TransactionConfig {
+  uint32_t num_buyers = 20000;
+  uint32_t num_items = 5000;
+  /// Stream length in days.
+  int days = 100;
+  /// Organic purchases per buyer per day (expected, averaged over buyers).
+  double purchases_per_buyer_per_day = 0.5;
+  /// Zipf skew of organic item popularity.
+  double item_skew = 0.9;
+  /// Zipf skew of per-buyer activity: most buyers purchase rarely, so longer
+  /// windows keep discovering new entities (Table 4's sublinear |V| growth).
+  double buyer_skew = 0.85;
+
+  /// Fraud rings.
+  int num_rings = 40;
+  int ring_buyers = 12;    ///< colluding buyers per ring
+  int ring_items = 6;      ///< boosted items per ring
+  /// Collusive purchases per ring buyer per day (dense signature).
+  double ring_purchases_per_day = 3.0;
+  /// Fraction of each ring's buyers known to the platform (seeds).
+  double seed_fraction = 0.25;
+  /// A ring is active for a random contiguous span of at least this many
+  /// days (activity churn across sliding windows).
+  int min_ring_active_days = 20;
+
+  uint64_t seed = 7;
+};
+
+/// Output of the generator. Vertex ids: buyers are [0, num_buyers), items are
+/// [num_buyers, num_buyers + num_items).
+struct TransactionStream {
+  TransactionConfig config;
+  std::vector<graph::TimedEdge> edges;  ///< buyer -> item, time in days
+  /// ring id per vertex, -1 for organic entities (buyers and items).
+  std::vector<int> ring_of;
+  /// Active span [start, end) in days of each ring's collusive behaviour.
+  std::vector<std::pair<double, double>> ring_span;
+  /// Blacklisted (seed) buyer ids.
+  std::vector<graph::VertexId> seeds;
+
+  graph::VertexId num_entities() const {
+    return config.num_buyers + config.num_items;
+  }
+  bool IsFraud(graph::VertexId v) const { return ring_of[v] >= 0; }
+
+  /// True if v belongs to a ring whose collusive activity overlaps
+  /// [window_start, window_end) — the ground truth a window's detector can
+  /// be fairly scored against.
+  bool IsFraudActiveIn(graph::VertexId v, double window_start,
+                       double window_end) const {
+    const int r = ring_of[v];
+    if (r < 0) return false;
+    return ring_span[r].first < window_end &&
+           ring_span[r].second > window_start;
+  }
+};
+
+/// Generates a stream (deterministic in config.seed).
+TransactionStream GenerateTransactions(const TransactionConfig& config);
+
+}  // namespace glp::pipeline

@@ -1,0 +1,35 @@
+// Device segmented sort — the simulator's stand-in for CUB's
+// DeviceSegmentedRadixSort, which the G-Sort baseline [17] builds on.
+//
+// Functionally it sorts each segment of a key array. Cost-wise it reproduces
+// the regime behaviour §5.2 of the paper discusses: segments that fit a
+// thread block are sorted in shared memory (one coalesced read + one write of
+// global memory, plus O(n log^2 n) shared work for the bitonic network),
+// while oversized segments degenerate to multi-pass radix sorting in global
+// memory (2 full key reads+writes per 4-bit digit pass) — "segmented sort
+// degenerates to plain parallel sort for high degree vertices".
+//
+// Stats for this primitive are synthesized from the cost formulas of the real
+// algorithms rather than via warp-level emulation: it is a vendor-library
+// building block, not code under study.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/device.h"
+#include "sim/stats.h"
+#include "util/thread_pool.h"
+
+namespace glp::sim {
+
+/// Sorts keys within each segment in place. `offsets` has num_segments + 1
+/// entries delimiting segments in `keys`. Returns the charged stats for one
+/// launch.
+KernelStats DeviceSegmentedSort(const DeviceProps& props,
+                                std::span<uint32_t> keys,
+                                std::span<const int64_t> offsets,
+                                glp::ThreadPool* pool);
+
+}  // namespace glp::sim

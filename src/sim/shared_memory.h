@@ -1,0 +1,75 @@
+// Per-block shared memory (scratchpad) model.
+//
+// A thread block allocates typed arrays out of a fixed-size arena, mirroring
+// CUDA's `extern __shared__` carve-out. All *accesses* go through the Warp
+// interface (warp.h), which is where bank conflicts are counted; this class
+// only owns the storage and the allocation bump pointer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace glp::sim {
+
+/// A typed view into the shared-memory arena. The byte offset is kept so the
+/// warp access layer can compute bank indices.
+template <typename T>
+struct SharedSpan {
+  T* data = nullptr;
+  size_t size = 0;
+  size_t byte_offset = 0;
+
+  T& operator[](size_t i) { return data[i]; }
+  const T& operator[](size_t i) const { return data[i]; }
+};
+
+/// \brief The shared-memory arena of one thread block.
+///
+/// Capacity overflow is a programming error in kernel configuration (the real
+/// hardware would fail the launch), so Alloc checks-fails rather than
+/// returning Status. `Fits` lets kernel planners size structures first.
+class SharedMemory {
+ public:
+  explicit SharedMemory(int capacity_bytes)
+      : capacity_(static_cast<size_t>(capacity_bytes)), data_(capacity_) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+
+  /// True if `n` more elements of T would fit (with alignment).
+  template <typename T>
+  bool Fits(size_t n) const {
+    return Aligned(used_, alignof(T)) + n * sizeof(T) <= capacity_;
+  }
+
+  /// Carves out an array of `n` elements of T, zero-initialized.
+  template <typename T>
+  SharedSpan<T> Alloc(size_t n) {
+    const size_t off = Aligned(used_, alignof(T));
+    GLP_CHECK_LE(off + n * sizeof(T), capacity_)
+        << "shared memory overflow: requested " << n * sizeof(T)
+        << "B at offset " << off << ", capacity " << capacity_;
+    used_ = off + n * sizeof(T);
+    std::memset(data_.data() + off, 0, n * sizeof(T));
+    return SharedSpan<T>{reinterpret_cast<T*>(data_.data() + off), n, off};
+  }
+
+  /// Releases all allocations (block teardown / reuse for the next block).
+  void Reset() { used_ = 0; }
+
+ private:
+  static size_t Aligned(size_t off, size_t align) {
+    return (off + align - 1) & ~(align - 1);
+  }
+
+  size_t capacity_;
+  size_t used_ = 0;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace glp::sim

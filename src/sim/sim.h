@@ -1,0 +1,24 @@
+// Umbrella header for the SIMT GPU simulator substrate.
+//
+// See DESIGN.md §4.1 for the execution and cost model. Quick tour:
+//   lane.h            warp width, masks, per-lane register arrays
+//   warp.h            lockstep lane ops, intrinsics, instrumented memory
+//   shared_memory.h   per-block scratchpad arena
+//   block.h           sequential-warp block context, BlockReduce
+//   launch.h          grid execution over a host thread pool
+//   stats.h           counters; cost_model.h prices them
+//   segmented_sort.h  CUB-equivalent primitive for the G-Sort baseline
+//   transfer.h        PCIe / peer transfer ledger for hybrid & multi-GPU
+
+#pragma once
+
+#include "sim/block.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/lane.h"
+#include "sim/launch.h"
+#include "sim/segmented_sort.h"
+#include "sim/shared_memory.h"
+#include "sim/stats.h"
+#include "sim/transfer.h"
+#include "sim/warp.h"

@@ -1,0 +1,59 @@
+// Host<->device and device<->device transfer bookkeeping for the hybrid
+// (out-of-core) and multi-GPU execution modes of §5.4.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+
+namespace glp::sim {
+
+/// Accumulates transfer volume/time for one engine run.
+class TransferLedger {
+ public:
+  explicit TransferLedger(const CostModel* cost) : cost_(cost) {}
+
+  /// Host -> device copy of `bytes`; returns its simulated duration.
+  double HostToDevice(uint64_t bytes) {
+    h2d_bytes_ += bytes;
+    const double t = cost_->TransferCost(bytes);
+    seconds_ += t;
+    return t;
+  }
+
+  /// Device -> host copy.
+  double DeviceToHost(uint64_t bytes) {
+    d2h_bytes_ += bytes;
+    const double t = cost_->TransferCost(bytes);
+    seconds_ += t;
+    return t;
+  }
+
+  /// GPU -> GPU peer copy.
+  double PeerToPeer(uint64_t bytes) {
+    p2p_bytes_ += bytes;
+    const double t = cost_->PeerTransferCost(bytes);
+    seconds_ += t;
+    return t;
+  }
+
+  /// Records a transfer fully overlapped with compute (double-buffered
+  /// streaming): volume is logged but no time is charged.
+  void OverlappedHostToDevice(uint64_t bytes) { h2d_bytes_ += bytes; }
+
+  uint64_t h2d_bytes() const { return h2d_bytes_; }
+  uint64_t d2h_bytes() const { return d2h_bytes_; }
+  uint64_t p2p_bytes() const { return p2p_bytes_; }
+  /// Total non-overlapped transfer time charged so far.
+  double seconds() const { return seconds_; }
+
+ private:
+  const CostModel* cost_;
+  uint64_t h2d_bytes_ = 0;
+  uint64_t d2h_bytes_ = 0;
+  uint64_t p2p_bytes_ = 0;
+  double seconds_ = 0;
+};
+
+}  // namespace glp::sim

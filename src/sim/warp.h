@@ -1,0 +1,336 @@
+// Warp execution context: lockstep lane operations, warp intrinsics, and the
+// instrumented memory interfaces.
+//
+// Kernel code receives a Warp& per warp phase and expresses divergence via
+// the active mask. Every warp-wide operation updates KernelStats:
+//   - one warp instruction and 32 lane slots (active lanes counted for the
+//     utilization metric the low-degree optimization improves),
+//   - global accesses grouped into 32-byte sectors (the coalescing model),
+//   - shared accesses charged with bank-conflict replays,
+//   - atomics charged with intra-warp address-conflict serialization.
+//
+// The intrinsics mirror the CUDA primitives the paper's §4.2 warp-centric
+// scheduling uses: __ballot_sync, __match_any_sync, __shfl_sync, __popc.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/lane.h"
+#include "sim/shared_memory.h"
+#include "sim/stats.h"
+
+namespace glp::sim {
+
+/// Execution context of one 32-lane warp.
+class Warp {
+ public:
+  Warp(int warp_id, LaneMask active, KernelStats* stats)
+      : warp_id_(warp_id), active_(active), stats_(stats) {}
+
+  int warp_id() const { return warp_id_; }
+  LaneMask active() const { return active_; }
+  void SetActive(LaneMask m) { active_ = m; }
+  KernelStats* stats() { return stats_; }
+
+  /// Charges `n` warp-wide ALU instructions under the current active mask.
+  /// Kernels call this for untracked per-lane arithmetic so the compute pipe
+  /// sees a faithful instruction count.
+  void CountInstr(int n = 1) {
+    stats_->instructions += n;
+    stats_->total_lane_cycles += static_cast<uint64_t>(n) * kWarpSize;
+    stats_->active_lane_cycles +=
+        static_cast<uint64_t>(n) * static_cast<uint64_t>(Popc(active_));
+  }
+
+  // ------------------------------------------------------------------
+  // Warp intrinsics
+  // ------------------------------------------------------------------
+
+  /// __ballot_sync: mask of active lanes whose predicate is non-zero.
+  LaneMask BallotSync(const LaneArray<int>& pred) {
+    CountIntrinsic();
+    LaneMask out = 0;
+    ForEachLane(active_, [&](int lane) {
+      if (pred[lane] != 0) out |= LaneBit(lane);
+    });
+    return out;
+  }
+
+  /// __match_any_sync: for each active lane, the mask of active lanes holding
+  /// an equal value. Inactive lanes get 0.
+  template <typename T>
+  LaneArray<LaneMask> MatchAnySync(const LaneArray<T>& v) {
+    CountIntrinsic();
+    LaneArray<LaneMask> out(0);
+    ForEachLane(active_, [&](int i) {
+      LaneMask m = 0;
+      ForEachLane(active_, [&](int j) {
+        if (v[j] == v[i]) m |= LaneBit(j);
+      });
+      out[i] = m;
+    });
+    return out;
+  }
+
+  /// __match_any_sync restricted to a sub-mask (peers within `group`).
+  template <typename T>
+  LaneArray<LaneMask> MatchAnySync(const LaneArray<T>& v, LaneMask group) {
+    CountIntrinsic();
+    LaneArray<LaneMask> out(0);
+    ForEachLane(group, [&](int i) {
+      LaneMask m = 0;
+      ForEachLane(group, [&](int j) {
+        if (v[j] == v[i]) m |= LaneBit(j);
+      });
+      out[i] = m;
+    });
+    return out;
+  }
+
+  /// __shfl_sync: every active lane reads lane `src_lane`'s value.
+  template <typename T>
+  LaneArray<T> ShflSync(const LaneArray<T>& v, int src_lane) {
+    CountIntrinsic();
+    LaneArray<T> out{};
+    ForEachLane(active_, [&](int lane) { out[lane] = v[src_lane]; });
+    return out;
+  }
+
+  /// __shfl_sync with a per-lane source index.
+  template <typename T>
+  LaneArray<T> ShflIdxSync(const LaneArray<T>& v, const LaneArray<int>& src) {
+    CountIntrinsic();
+    LaneArray<T> out{};
+    ForEachLane(active_, [&](int lane) { out[lane] = v[src[lane]]; });
+    return out;
+  }
+
+  /// Warp-wide max reduction over active lanes (butterfly shuffles, 5 steps).
+  template <typename T>
+  T ReduceMax(const LaneArray<T>& v, T identity) {
+    stats_->intrinsic_ops += 5;
+    CountInstr(5);
+    T best = identity;
+    ForEachLane(active_, [&](int lane) { best = std::max(best, v[lane]); });
+    return best;
+  }
+
+  /// Warp-wide sum reduction over active lanes.
+  template <typename T>
+  T ReduceSum(const LaneArray<T>& v) {
+    stats_->intrinsic_ops += 5;
+    CountInstr(5);
+    T sum = T{};
+    ForEachLane(active_, [&](int lane) { sum += v[lane]; });
+    return sum;
+  }
+
+  // ------------------------------------------------------------------
+  // Global memory (instrumented, coalescing-aware)
+  // ------------------------------------------------------------------
+
+  /// Per-lane gather: out[lane] = base[idx[lane]] for active lanes.
+  template <typename T, typename Index>
+  LaneArray<T> Gather(const T* base, const LaneArray<Index>& idx) {
+    LaneArray<T> out{};
+    uint64_t addrs[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      out[lane] = base[idx[lane]];
+      addrs[n++] = reinterpret_cast<uint64_t>(base + idx[lane]);
+    });
+    ChargeGlobalAccess(addrs, n, sizeof(T));
+    return out;
+  }
+
+  /// Per-lane scatter: base[idx[lane]] = val[lane] for active lanes.
+  template <typename T, typename Index>
+  void Scatter(T* base, const LaneArray<Index>& idx, const LaneArray<T>& val) {
+    uint64_t addrs[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      base[idx[lane]] = val[lane];
+      addrs[n++] = reinterpret_cast<uint64_t>(base + idx[lane]);
+    });
+    ChargeGlobalAccess(addrs, n, sizeof(T));
+  }
+
+  /// Contiguous gather: out[lane] = base[start + lane]; the fully-coalesced
+  /// fast path for neighbor-list scans.
+  template <typename T>
+  LaneArray<T> GatherContig(const T* base, int64_t start) {
+    LaneArray<T> out{};
+    uint64_t addrs[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      out[lane] = base[start + lane];
+      addrs[n++] = reinterpret_cast<uint64_t>(base + start + lane);
+    });
+    ChargeGlobalAccess(addrs, n, sizeof(T));
+    return out;
+  }
+
+  /// Per-lane atomic add on global memory; returns the pre-add values.
+  /// Safe under concurrent blocks (host threads) via std::atomic_ref.
+  template <typename T, typename Index>
+  LaneArray<T> AtomicAddGlobal(T* base, const LaneArray<Index>& idx,
+                               const LaneArray<T>& val) {
+    LaneArray<T> out{};
+    uint64_t addrs[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      std::atomic_ref<T> ref(base[idx[lane]]);
+      out[lane] = ref.fetch_add(val[lane], std::memory_order_relaxed);
+      addrs[n++] = reinterpret_cast<uint64_t>(base + idx[lane]);
+    });
+    ChargeGlobalAtomic(addrs, n);
+    CountInstr();
+    return out;
+  }
+
+  /// Per-lane atomic compare-and-swap on global memory; returns the observed
+  /// values (== expected on success).
+  template <typename T, typename Index>
+  LaneArray<T> AtomicCasGlobal(T* base, const LaneArray<Index>& idx,
+                               const LaneArray<T>& expected,
+                               const LaneArray<T>& desired) {
+    LaneArray<T> out{};
+    uint64_t addrs[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      std::atomic_ref<T> ref(base[idx[lane]]);
+      T exp = expected[lane];
+      ref.compare_exchange_strong(exp, desired[lane],
+                                  std::memory_order_relaxed);
+      out[lane] = exp;
+      addrs[n++] = reinterpret_cast<uint64_t>(base + idx[lane]);
+    });
+    ChargeGlobalAtomic(addrs, n);
+    CountInstr();
+    return out;
+  }
+
+  // ------------------------------------------------------------------
+  // Shared memory (instrumented, bank-conflict-aware)
+  // ------------------------------------------------------------------
+
+  /// Per-lane load from a shared array.
+  template <typename T, typename Index>
+  LaneArray<T> SharedLoad(const SharedSpan<T>& s, const LaneArray<Index>& idx) {
+    LaneArray<T> out{};
+    ForEachLane(active_, [&](int lane) { out[lane] = s.data[idx[lane]]; });
+    ChargeSharedAccess(s, idx, sizeof(T));
+    return out;
+  }
+
+  /// Per-lane store to a shared array.
+  template <typename T, typename Index>
+  void SharedStore(SharedSpan<T>& s, const LaneArray<Index>& idx,
+                   const LaneArray<T>& val) {
+    ForEachLane(active_, [&](int lane) { s.data[idx[lane]] = val[lane]; });
+    ChargeSharedAccess(s, idx, sizeof(T));
+  }
+
+  /// Per-lane atomic add on a shared array (warps in a block run serially, so
+  /// plain arithmetic is correct; the cost of serialization is charged).
+  /// Returns the post-add values, matching CUDA's atomicAdd + operand usage
+  /// pattern in the paper's Procedure SharedMemBigNodes (freq after insert).
+  template <typename T, typename Index>
+  LaneArray<T> SharedAtomicAdd(SharedSpan<T>& s, const LaneArray<Index>& idx,
+                               const LaneArray<T>& val) {
+    LaneArray<T> out{};
+    ForEachLane(active_, [&](int lane) {
+      s.data[idx[lane]] += val[lane];
+      out[lane] = s.data[idx[lane]];
+    });
+    stats_->shared_atomics += static_cast<uint64_t>(Popc(active_));
+    CountInstr();
+    return out;
+  }
+
+  /// Per-lane atomic CAS on a shared array; lanes apply in lane order (the
+  /// hardware serializes conflicting atomics in unspecified order; lane order
+  /// keeps the simulation deterministic). Returns observed values.
+  template <typename T, typename Index>
+  LaneArray<T> SharedAtomicCas(SharedSpan<T>& s, const LaneArray<Index>& idx,
+                               const LaneArray<T>& expected,
+                               const LaneArray<T>& desired) {
+    LaneArray<T> out{};
+    ForEachLane(active_, [&](int lane) {
+      T& slot = s.data[idx[lane]];
+      out[lane] = slot;
+      if (slot == expected[lane]) slot = desired[lane];
+    });
+    stats_->shared_atomics += static_cast<uint64_t>(Popc(active_));
+    CountInstr();
+    return out;
+  }
+
+ private:
+  void CountIntrinsic() {
+    stats_->intrinsic_ops += 1;
+    CountInstr();
+  }
+
+  /// Coalescing: one transaction per distinct sector touched by the warp.
+  void ChargeGlobalAccess(uint64_t* addrs, int n, size_t elem_bytes) {
+    CountInstr();
+    if (n == 0) return;
+    for (int i = 0; i < n; ++i) addrs[i] /= 32;  // sector id
+    std::sort(addrs, addrs + n);
+    uint64_t sectors = 1;
+    for (int i = 1; i < n; ++i) {
+      if (addrs[i] != addrs[i - 1]) ++sectors;
+    }
+    stats_->global_transactions += sectors;
+    stats_->global_bytes_requested += static_cast<uint64_t>(n) * elem_bytes;
+  }
+
+  /// Atomics: distinct addresses proceed in parallel; duplicates serialize.
+  void ChargeGlobalAtomic(uint64_t* addrs, int n) {
+    if (n == 0) return;
+    std::sort(addrs, addrs + n);
+    uint64_t distinct = 1;
+    for (int i = 1; i < n; ++i) {
+      if (addrs[i] != addrs[i - 1]) ++distinct;
+    }
+    stats_->global_atomics += distinct;
+    stats_->global_atomic_conflicts += static_cast<uint64_t>(n) - distinct;
+  }
+
+  /// Bank conflicts: 32 four-byte banks; lanes hitting different words in the
+  /// same bank replay. Same-word accesses broadcast (no conflict).
+  template <typename T, typename Index>
+  void ChargeSharedAccess(const SharedSpan<T>& s, const LaneArray<Index>& idx,
+                          size_t elem_bytes) {
+    CountInstr();
+    stats_->shared_accesses += 1;
+    // words_per_bank[b] counts distinct words accessed in bank b.
+    uint64_t words[kWarpSize];
+    int n = 0;
+    ForEachLane(active_, [&](int lane) {
+      const uint64_t byte = s.byte_offset + static_cast<uint64_t>(idx[lane]) * elem_bytes;
+      words[n++] = byte / 4;
+    });
+    if (n <= 1) return;
+    std::sort(words, words + n);
+    int per_bank[kWarpSize] = {0};
+    int max_mult = 1;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0 && words[i] == words[i - 1]) continue;  // broadcast
+      const int bank = static_cast<int>(words[i] % kWarpSize);
+      max_mult = std::max(max_mult, ++per_bank[bank]);
+    }
+    stats_->shared_bank_conflicts += static_cast<uint64_t>(max_mult - 1);
+  }
+
+  int warp_id_;
+  LaneMask active_;
+  KernelStats* stats_;
+};
+
+}  // namespace glp::sim

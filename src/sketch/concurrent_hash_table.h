@@ -1,0 +1,99 @@
+// Concurrent open-addressing (label -> count) table — the host model of the
+// *global-memory* hash table GHT that Procedure SharedMemBigNodes spills to,
+// and the per-vertex counting structure of the G-Hash baseline.
+//
+// Thread-safe for concurrent Add from multiple host threads (claim slots
+// with CAS on the key, accumulate with atomic fetch-add), mirroring how a
+// CUDA global hash table works.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace glp::sketch {
+
+/// Lock-free bounded hash table with atomic counts.
+class ConcurrentHashTable {
+ public:
+  explicit ConcurrentHashTable(int capacity, uint64_t seed = 0x6417)
+      : capacity_(capacity), seed_(seed), keys_(capacity), counts_(capacity) {
+    GLP_CHECK_GT(capacity, 0);
+    Clear();
+  }
+
+  int capacity() const { return capacity_; }
+
+  /// Adds `count` to `label`; returns the post-add count, or a negative value
+  /// if the table is full and the label absent.
+  double Add(graph::Label label, double count) {
+    const uint32_t start = glp::HashToBucket(
+        glp::HashSeeded(label, seed_), static_cast<uint32_t>(capacity_));
+    for (int i = 0; i < capacity_; ++i) {
+      const int slot = static_cast<int>((start + i) % capacity_);
+      graph::Label cur = keys_[slot].load(std::memory_order_acquire);
+      if (cur == graph::kInvalidLabel) {
+        graph::Label expected = graph::kInvalidLabel;
+        if (keys_[slot].compare_exchange_strong(expected, label,
+                                                std::memory_order_acq_rel)) {
+          cur = label;
+        } else {
+          cur = expected;
+        }
+      }
+      if (cur == label) {
+        // fetch_add on double via CAS loop (pre-C++20 atomics lack it).
+        double old = counts_[slot].load(std::memory_order_relaxed);
+        while (!counts_[slot].compare_exchange_weak(
+            old, old + count, std::memory_order_acq_rel)) {
+        }
+        return old + count;
+      }
+    }
+    return -1.0;
+  }
+
+  /// Count for `label`, 0 if absent. Not linearizable with concurrent Adds;
+  /// callers read only after the insert phase completes.
+  double Count(graph::Label label) const {
+    const uint32_t start = glp::HashToBucket(
+        glp::HashSeeded(label, seed_), static_cast<uint32_t>(capacity_));
+    for (int i = 0; i < capacity_; ++i) {
+      const int slot = static_cast<int>((start + i) % capacity_);
+      const graph::Label cur = keys_[slot].load(std::memory_order_acquire);
+      if (cur == graph::kInvalidLabel) return 0.0;
+      if (cur == label) return counts_[slot].load(std::memory_order_relaxed);
+    }
+    return 0.0;
+  }
+
+  void ForEach(const std::function<void(graph::Label, double)>& fn) const {
+    for (int i = 0; i < capacity_; ++i) {
+      const graph::Label k = keys_[i].load(std::memory_order_acquire);
+      if (k != graph::kInvalidLabel) {
+        fn(k, counts_[i].load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  void Clear() {
+    for (int i = 0; i < capacity_; ++i) {
+      keys_[i].store(graph::kInvalidLabel, std::memory_order_relaxed);
+      counts_[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  int capacity_;
+  uint64_t seed_;
+  std::vector<std::atomic<graph::Label>> keys_;
+  std::vector<std::atomic<double>> counts_;
+};
+
+}  // namespace glp::sketch

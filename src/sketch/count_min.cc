@@ -1,0 +1,50 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace glp::sketch {
+
+CountMinSketch::CountMinSketch(int depth, int width, uint64_t seed)
+    : depth_(depth), width_(width) {
+  GLP_CHECK_GT(depth, 0);
+  GLP_CHECK_GT(width, 0);
+  glp::Rng rng(seed);
+  seeds_.resize(depth_);
+  for (auto& s : seeds_) s = rng.Next();
+  cells_.assign(static_cast<size_t>(depth_) * width_, 0.0);
+}
+
+void CountMinSketch::Add(uint64_t key, double count) {
+  for (int r = 0; r < depth_; ++r) {
+    cells_[static_cast<size_t>(r) * width_ + Bucket(r, key)] += count;
+  }
+  total_ += count;
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double est = cells_[Bucket(0, key)];
+  for (int r = 1; r < depth_; ++r) {
+    est = std::min(est,
+                   cells_[static_cast<size_t>(r) * width_ + Bucket(r, key)]);
+  }
+  return est;
+}
+
+double CountMinSketch::MaxEstimate() const {
+  // The max possible point estimate is bounded by the max cell in any single
+  // row; use row 0's max as the conservative bound (row-0 estimate of any key
+  // is <= its row-0 cell, and the min over rows is <= the row-0 value).
+  double mx = 0;
+  for (int c = 0; c < width_; ++c) mx = std::max(mx, cells_[c]);
+  return mx;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+  total_ = 0;
+}
+
+}  // namespace glp::sketch

@@ -1,0 +1,57 @@
+// Count-Min Sketch [Cormode & Muthukrishnan 2005] — the frequency estimator
+// GLP pairs with a bounded hash table for high-degree MFL computation
+// (paper §4.1).
+//
+// Contract relied on by the pruning strategy (and verified by property
+// tests): Estimate(l) >= true frequency of l, always; and
+// P[Estimate(l) >= true(l) + s/w] <= 2^-d per hash row family, which is the
+// form Lemma 2 uses with w = 2s.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace glp::sketch {
+
+/// Host-side Count-Min Sketch over 64-bit keys with double counts.
+class CountMinSketch {
+ public:
+  /// `depth` = number of independent hash rows (d), `width` = buckets per
+  /// row (w).
+  CountMinSketch(int depth, int width, uint64_t seed = 0x5eed);
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+
+  /// Adds `count` to key's estimate.
+  void Add(uint64_t key, double count = 1.0);
+
+  /// Upper-bounding estimate of the total count added for `key`.
+  double Estimate(uint64_t key) const;
+
+  /// Largest estimate over all buckets — an upper bound on the maximum
+  /// frequency of any inserted key (what s(CMS) block-reduces to).
+  double MaxEstimate() const;
+
+  /// Total mass inserted (sum of all Add counts).
+  double TotalCount() const { return total_; }
+
+  void Clear();
+
+ private:
+  uint32_t Bucket(int row, uint64_t key) const {
+    return glp::HashToBucket(glp::HashSeeded(key, seeds_[row]),
+                             static_cast<uint32_t>(width_));
+  }
+
+  int depth_;
+  int width_;
+  std::vector<uint64_t> seeds_;
+  std::vector<double> cells_;  // depth * width, row-major
+  double total_ = 0;
+};
+
+}  // namespace glp::sketch

@@ -1,0 +1,75 @@
+#include "sketch/fixed_hash_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace glp::sketch {
+
+using graph::kInvalidLabel;
+using graph::Label;
+
+FixedHashTable::FixedHashTable(int capacity, int max_probes, uint64_t seed)
+    : capacity_(capacity),
+      max_probes_(max_probes < 0 ? capacity : max_probes),
+      seed_(seed),
+      keys_(capacity, kInvalidLabel),
+      counts_(capacity, 0.0) {
+  GLP_CHECK_GT(capacity, 0);
+}
+
+int FixedHashTable::Probe(Label label, bool for_insert) const {
+  const uint32_t start =
+      glp::HashToBucket(glp::HashSeeded(label, seed_),
+                        static_cast<uint32_t>(capacity_));
+  for (int i = 0; i < max_probes_; ++i) {
+    const int slot = static_cast<int>((start + i) % capacity_);
+    if (keys_[slot] == label) return slot;
+    if (keys_[slot] == kInvalidLabel) return for_insert ? slot : -1;
+  }
+  return -1;
+}
+
+bool FixedHashTable::Add(Label label, double count, double* out_count) {
+  const int slot = Probe(label, /*for_insert=*/true);
+  if (slot < 0) return false;
+  if (keys_[slot] == kInvalidLabel) {
+    keys_[slot] = label;
+    ++size_;
+  }
+  counts_[slot] += count;
+  if (out_count != nullptr) *out_count = counts_[slot];
+  return true;
+}
+
+bool FixedHashTable::Contains(Label label) const {
+  return Probe(label, /*for_insert=*/false) >= 0;
+}
+
+double FixedHashTable::Count(Label label) const {
+  const int slot = Probe(label, /*for_insert=*/false);
+  return slot >= 0 ? counts_[slot] : 0.0;
+}
+
+void FixedHashTable::ForEach(
+    const std::function<void(Label, double)>& fn) const {
+  for (int i = 0; i < capacity_; ++i) {
+    if (keys_[i] != kInvalidLabel) fn(keys_[i], counts_[i]);
+  }
+}
+
+double FixedHashTable::MaxCount() const {
+  double mx = 0;
+  for (int i = 0; i < capacity_; ++i) {
+    if (keys_[i] != kInvalidLabel) mx = std::max(mx, counts_[i]);
+  }
+  return mx;
+}
+
+void FixedHashTable::Clear() {
+  std::fill(keys_.begin(), keys_.end(), kInvalidLabel);
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  size_ = 0;
+}
+
+}  // namespace glp::sketch

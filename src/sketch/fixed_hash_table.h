@@ -1,0 +1,59 @@
+// Fixed-capacity open-addressing hash table over (label -> count), the host
+// model of GLP's shared-memory HT (paper §4.1): insertion *fails* once all
+// probe slots are taken, signalling the caller to spill to the CMS.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/hash.h"
+
+namespace glp::sketch {
+
+/// Open-addressing (linear probing, bounded probe length) label-count table.
+class FixedHashTable {
+ public:
+  /// `capacity` slots (h in the paper's analysis). Probe length is bounded by
+  /// `max_probes` (default: full table scan, matching a shared-memory HT that
+  /// only rejects when genuinely full).
+  explicit FixedHashTable(int capacity, int max_probes = -1,
+                          uint64_t seed = 0x417);
+
+  int capacity() const { return capacity_; }
+  int size() const { return size_; }
+
+  /// Adds `count` to `label`'s tally. Returns false if the label is absent
+  /// and no slot could be claimed (the "unsuccessful insertion" branch of
+  /// Procedure SharedMemBigNodes). On success returns true and *out_count*
+  /// (if non-null) receives the post-add count.
+  bool Add(graph::Label label, double count, double* out_count = nullptr);
+
+  /// True if the label currently occupies a slot.
+  bool Contains(graph::Label label) const;
+
+  /// Count for `label`, or 0 if absent.
+  double Count(graph::Label label) const;
+
+  /// Applies fn(label, count) to every occupied slot.
+  void ForEach(const std::function<void(graph::Label, double)>& fn) const;
+
+  /// Maximum count over occupied slots (0 if empty).
+  double MaxCount() const;
+
+  void Clear();
+
+ private:
+  int Probe(graph::Label label, bool for_insert) const;
+
+  int capacity_;
+  int max_probes_;
+  uint64_t seed_;
+  int size_ = 0;
+  std::vector<graph::Label> keys_;
+  std::vector<double> counts_;
+};
+
+}  // namespace glp::sketch

@@ -1,0 +1,34 @@
+// Hash mixing functions shared by the sketch structures and hash tables.
+//
+// The CMS analysis (paper §4.1, Lemma 2) assumes pairwise-independent hash
+// functions; we use multiply-shift families seeded per instance, which satisfy
+// the approximate-independence the bound needs in practice.
+
+#pragma once
+
+#include <cstdint>
+
+namespace glp {
+
+/// Strong 64-bit finalizer (MurmurHash3 fmix64).
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded 64-bit hash: mixes the value with a per-instance seed.
+inline uint64_t HashSeeded(uint64_t x, uint64_t seed) {
+  return HashMix64(x ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Maps a 64-bit hash to a bucket in [0, buckets) without modulo bias
+/// (fixed-point multiply).
+inline uint32_t HashToBucket(uint64_t h, uint32_t buckets) {
+  return static_cast<uint32_t>((static_cast<__uint128_t>(h) * buckets) >> 64);
+}
+
+}  // namespace glp

@@ -1,0 +1,73 @@
+// Minimal leveled logging + check macros, in the Arrow/RocksDB style.
+//
+// GLP_CHECK* macros are for programmer errors (invariant violations) and abort;
+// recoverable conditions use Status (see util/status.h).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace glp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace glp
+
+#define GLP_LOG(level) \
+  ::glp::internal::LogMessage(::glp::LogLevel::k##level, __FILE__, __LINE__)
+
+#define GLP_CHECK(cond)                                                     \
+  if (!(cond))                                                              \
+  ::glp::internal::LogMessage(::glp::LogLevel::kFatal, __FILE__, __LINE__)  \
+      << "Check failed: " #cond " "
+
+#define GLP_CHECK_OP(a, b, op)                                                \
+  GLP_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define GLP_CHECK_EQ(a, b) GLP_CHECK_OP(a, b, ==)
+#define GLP_CHECK_NE(a, b) GLP_CHECK_OP(a, b, !=)
+#define GLP_CHECK_LT(a, b) GLP_CHECK_OP(a, b, <)
+#define GLP_CHECK_LE(a, b) GLP_CHECK_OP(a, b, <=)
+#define GLP_CHECK_GT(a, b) GLP_CHECK_OP(a, b, >)
+#define GLP_CHECK_GE(a, b) GLP_CHECK_OP(a, b, >=)
+
+#define GLP_CHECK_OK(expr)                                  \
+  do {                                                      \
+    ::glp::Status _st = (expr);                             \
+    GLP_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define GLP_DCHECK(cond) \
+  while (false) GLP_CHECK(cond)
+#else
+#define GLP_DCHECK(cond) GLP_CHECK(cond)
+#endif

@@ -1,0 +1,166 @@
+// Status / Result error-handling primitives, modeled after the Arrow / RocksDB
+// idiom: library code on hot paths never throws; fallible operations return a
+// Status (or Result<T>) that callers must consume.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace glp {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kCapacityExceeded,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses allocate a small state
+/// block. Copyable and cheaply movable.
+class Status {
+ public:
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<const State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const noexcept { return state_ == nullptr; }
+  StatusCode code() const noexcept { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeToString(state_->code);
+    if (!state_->msg.empty()) {
+      s += ": ";
+      s += state_->msg;
+    }
+    return s;
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// `Result` is the return type for fallible factories and parsers. Access the
+/// value only after checking `ok()`; `ValueOrDie()` aborts on error (for tests
+/// and examples where failure is a bug).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}               // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}        // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Returns the value, aborting the process with the error message if this
+  /// Result holds an error. Intended for tests and examples only.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace glp
+
+/// Propagates a non-OK Status to the caller.
+#define GLP_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::glp::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define GLP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define GLP_CONCAT_INNER(a, b) a##b
+#define GLP_CONCAT(a, b) GLP_CONCAT_INNER(a, b)
+
+#define GLP_ASSIGN_OR_RETURN(lhs, expr) \
+  GLP_ASSIGN_OR_RETURN_IMPL(GLP_CONCAT(_res_, __LINE__), lhs, expr)

@@ -1,0 +1,130 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace glp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  // The calling thread participates in ParallelFor, so spawn one fewer worker.
+  int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t, int64_t)>& fn,
+                             int64_t grain) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int threads = num_threads();
+  if (grain <= 0) {
+    grain = std::max<int64_t>(1, n / (threads * 8));
+  }
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1 || threads == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  };
+
+  // One task per worker; each task drains chunks until exhausted.
+  const int tasks = std::min<int64_t>(threads - 1, num_chunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GLP_CHECK(!shutdown_);
+    for (int i = 0; i < tasks; ++i) queue_.push(run_chunks);
+  }
+  cv_.notify_all();
+
+  run_chunks();  // The calling thread participates.
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done_chunks.load() == num_chunks; });
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
+  const int threads = num_threads();
+  std::atomic<int> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GLP_CHECK(!shutdown_);
+    for (int i = 1; i < threads; ++i) {
+      queue_.push([&, i] {
+        fn(i);
+        if (done.fetch_add(1) + 1 == threads) {
+          std::lock_guard<std::mutex> l2(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  fn(0);
+  if (done.fetch_add(1) + 1 == threads) {
+    std::lock_guard<std::mutex> l2(done_mu);
+    done_cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done.load() == threads; });
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+}  // namespace glp

@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a blocking ParallelFor, used by the CPU LP
+// engines and by the SIMT simulator to run thread blocks concurrently.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace glp {
+
+/// \brief A fixed pool of worker threads executing submitted closures.
+///
+/// Work items are `void()` closures. `ParallelFor` partitions an index range
+/// into contiguous chunks, runs them on the workers (the calling thread also
+/// participates), and blocks until all chunks finish. Exceptions escaping a
+/// work item terminate the process by design — hot paths report errors via
+/// Status, not throws.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1). `num_threads == 0`
+  /// means `std::thread::hardware_concurrency()`.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(begin..end) partitioned into chunks of at most `grain` indices.
+  /// fn is invoked as fn(chunk_begin, chunk_end). Blocks until complete.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   int64_t grain = 0);
+
+  /// Runs fn(i) for every i in [0, n) with one task per worker using static
+  /// round-robin assignment; fn is invoked as fn(worker_index).
+  void RunOnAllWorkers(const std::function<void(int)>& fn);
+
+  /// A process-wide default pool (hardware concurrency).
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace glp

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers for benchmark harnesses.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace glp {
+
+/// Monotonic stopwatch returning elapsed seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace glp

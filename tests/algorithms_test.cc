@@ -1,0 +1,115 @@
+// Tests for graph algorithms (connected components, modularity) and their
+// use as LP-result oracles.
+
+#include <gtest/gtest.h>
+
+#include "cpu/seq_engine.h"
+#include "glp/variants/classic.h"
+#include "glp/variants/llp.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace glp::graph {
+namespace {
+
+TEST(ConnectedComponentsTest, DisjointPieces) {
+  // Two paths and an isolated vertex.
+  Graph g = BuildGraph(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], 0u);
+  EXPECT_EQ(comp[1], 0u);
+  EXPECT_EQ(comp[2], 0u);
+  EXPECT_EQ(comp[3], 3u);
+  EXPECT_EQ(comp[5], 3u);
+  EXPECT_EQ(comp[6], 6u);
+  EXPECT_EQ(CountComponents(g), 3);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph g = GenerateGrid2d(8, 8);
+  EXPECT_EQ(CountComponents(g), 1);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(CountComponents(g), 0);
+  EXPECT_TRUE(ConnectedComponents(g).empty());
+}
+
+TEST(ModularityTest, KnownValues) {
+  // Two triangles joined by one edge. Perfect 2-community partition:
+  // m = 7 edges; each community: e_c = 3, d_c = 7.
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {2, 0},
+                           {3, 4}, {4, 5}, {5, 3},
+                           {2, 3}});
+  std::vector<Label> perfect{0, 0, 0, 1, 1, 1};
+  const double q = Modularity(g, perfect);
+  EXPECT_NEAR(q, 2 * (3.0 / 7.0 - (7.0 / 14.0) * (7.0 / 14.0)), 1e-12);
+
+  // Everything in one community: Q = 1 - 1 = 0... (e_c = m, d_c = 2m).
+  std::vector<Label> trivial(6, 0);
+  EXPECT_NEAR(Modularity(g, trivial), 0.0, 1e-12);
+
+  // Singletons score negative.
+  std::vector<Label> singletons{0, 1, 2, 3, 4, 5};
+  EXPECT_LT(Modularity(g, singletons), 0.0);
+}
+
+TEST(ModularityTest, BoundedAboveByOne) {
+  Graph g = GenerateRmat({.num_vertices = 256, .num_edges = 2048, .seed = 1});
+  std::vector<Label> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) labels[v] = v % 7;
+  const double q = Modularity(g, labels);
+  EXPECT_LE(q, 1.0);
+  EXPECT_GE(q, -1.0);
+}
+
+TEST(ModularityTest, LpImprovesOverSingletonsOnCommunityGraph) {
+  PlantedPartitionParams p;
+  p.num_communities = 8;
+  p.community_size = 64;
+  p.intra_degree = 10;
+  p.inter_degree = 0.5;
+  p.seed = 11;
+  Graph g = GeneratePlantedPartition(p);
+
+  std::vector<Label> singletons(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) singletons[v] = v;
+
+  cpu::SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  auto r = engine.Run(g, run);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(Modularity(g, r.value().labels),
+            Modularity(g, singletons) + 0.3);
+
+  // Ground-truth planted partition scores highly too.
+  std::vector<Label> truth(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    truth[v] = v / p.community_size;
+  }
+  EXPECT_GT(Modularity(g, truth), 0.5);
+}
+
+TEST(ModularityTest, CommunityNeverSpansComponents) {
+  // LP invariant: labels only travel along edges, so a community is always
+  // contained in one connected component.
+  Graph g = BuildGraph(10, {{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {8, 9}});
+  cpu::SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 10;
+  auto r = engine.Run(g, run);
+  ASSERT_TRUE(r.ok());
+  const auto comp = ConnectedComponents(g);
+  std::unordered_map<Label, VertexId> component_of_label;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Label l = r.value().labels[v];
+    auto [it, inserted] = component_of_label.try_emplace(l, comp[v]);
+    EXPECT_EQ(it->second, comp[v]) << "label " << l << " spans components";
+  }
+}
+
+}  // namespace
+}  // namespace glp::graph

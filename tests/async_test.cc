@@ -1,0 +1,168 @@
+// Tests for the asynchronous (in-place) update schedule of the CPU engines.
+
+#include <gtest/gtest.h>
+
+#include "cpu/parallel_engine.h"
+#include "cpu/seq_engine.h"
+#include "glp/variants/classic.h"
+#include "glp/variants/llp.h"
+#include "glp/variants/slp.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace glp::cpu {
+namespace {
+
+using graph::BuildGraph;
+using graph::Edge;
+using graph::Graph;
+using graph::Label;
+using graph::VertexId;
+
+lp::RunConfig AsyncConfig(int iters = 20) {
+  lp::RunConfig run;
+  run.max_iterations = iters;
+  run.synchronous = false;
+  run.stop_when_stable = true;
+  return run;
+}
+
+TEST(AsyncTest, StarDoesNotOscillate) {
+  // Synchronous LP on a star swaps center/leaf labels forever; asynchronous
+  // LP converges: once the center adopts a leaf label, later sweeps settle.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 20; ++i) edges.push_back({0, i});
+  Graph g = BuildGraph(21, edges);
+
+  SeqEngine<lp::ClassicVariant> engine;
+  auto sync_run = lp::RunConfig{};
+  sync_run.max_iterations = 20;
+  sync_run.stop_when_stable = true;
+  auto sync = engine.Run(g, sync_run);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(sync.value().iterations, 20);  // oscillates to the budget
+
+  auto async = engine.Run(g, AsyncConfig());
+  ASSERT_TRUE(async.ok());
+  EXPECT_LT(async.value().iterations, 6);  // settles
+  // Everyone ends in one community.
+  for (VertexId v = 0; v <= 20; ++v) {
+    EXPECT_EQ(async.value().labels[v], async.value().labels[0]);
+  }
+}
+
+TEST(AsyncTest, GridConverges) {
+  Graph g = graph::GenerateGrid2d(12, 12);
+  SeqEngine<lp::ClassicVariant> engine;
+  auto r = engine.Run(g, AsyncConfig(50));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().iterations, 50);  // stabilizes, unlike synchronous
+}
+
+TEST(AsyncTest, CliquesConvergeFasterThanSync) {
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 8; ++i) {
+    for (VertexId j = i + 1; j < 8; ++j) edges.push_back({i, j});
+  }
+  Graph g = BuildGraph(8, edges);
+  SeqEngine<lp::ClassicVariant> engine;
+  auto r = engine.Run(g, AsyncConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().iterations, 3);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(r.value().labels[v], r.value().labels[0]);
+  }
+}
+
+TEST(AsyncTest, LlpIncrementalVolumesStayConsistent) {
+  // After an async run, the variant's volume array must equal a fresh
+  // histogram of the final labels (the incremental +-1 bookkeeping did not
+  // drift).
+  Graph g = graph::GenerateRmat(
+      {.num_vertices = 512, .num_edges = 4096, .seed = 5});
+  lp::VariantParams params;
+  params.llp_gamma = 1.0;
+  lp::LlpVariant variant(params);
+  lp::RunConfig run = AsyncConfig(10);
+  variant.Init(g, run);
+  LabelCounter counter;
+  auto& labels = variant.mutable_labels();
+  for (int iter = 0; iter < run.max_iterations; ++iter) {
+    variant.BeginIteration(iter);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const Label mfl = ComputeMfl(g, variant, v, &counter);
+      if (mfl != graph::kInvalidLabel && mfl != labels[v]) {
+        variant.OnAsyncLabelChange(labels[v], mfl);
+        labels[v] = mfl;
+      }
+    }
+  }
+  std::vector<float> expected(variant.label_aux().size(), 0.0f);
+  for (Label l : labels) expected[l] += 1.0f;
+  for (size_t l = 0; l < expected.size(); ++l) {
+    EXPECT_FLOAT_EQ(variant.label_aux()[l], expected[l]) << "label " << l;
+  }
+}
+
+TEST(AsyncTest, SlpRejectsAsync) {
+  Graph g = BuildGraph(3, {{0, 1}, {1, 2}});
+  SeqEngine<lp::SlpVariant> seq;
+  ParallelEngine<lp::SlpVariant> par;
+  EXPECT_TRUE(seq.Run(g, AsyncConfig()).status().IsInvalidArgument());
+  EXPECT_TRUE(par.Run(g, AsyncConfig()).status().IsInvalidArgument());
+}
+
+TEST(AsyncTest, ParallelAsyncConvergesToValidPartition) {
+  // Hogwild async is not deterministic, but on disjoint cliques the unique
+  // fixed point is one label per clique.
+  std::vector<Edge> edges;
+  for (VertexId base : {0u, 10u, 20u}) {
+    for (VertexId i = 0; i < 10; ++i) {
+      for (VertexId j = i + 1; j < 10; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  Graph g = BuildGraph(30, edges);
+  ParallelEngine<lp::ClassicVariant> engine;
+  auto r = engine.Run(g, AsyncConfig(30));
+  ASSERT_TRUE(r.ok());
+  const auto& labels = r.value().labels;
+  for (VertexId base : {0u, 10u, 20u}) {
+    for (VertexId i = 1; i < 10; ++i) {
+      EXPECT_EQ(labels[base + i], labels[base]) << "clique at " << base;
+    }
+  }
+  EXPECT_NE(labels[0], labels[10]);
+  EXPECT_NE(labels[10], labels[20]);
+}
+
+TEST(AsyncTest, AsyncReachesSameCliquePartitionAsSync) {
+  std::vector<Edge> edges;
+  for (VertexId base : {0u, 6u}) {
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = i + 1; j < 6; ++j) edges.push_back({base + i, base + j});
+    }
+  }
+  Graph g = BuildGraph(12, edges);
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig sync;
+  sync.max_iterations = 20;
+  sync.stop_when_stable = true;
+  auto a = engine.Run(g, sync);
+  auto b = engine.Run(g, AsyncConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same *partition* (the representative label may differ: async vertices
+  // adopt a neighbor's label before their own can win a tie).
+  const auto& la = a.value().labels;
+  const auto& lb = b.value().labels;
+  for (VertexId u = 0; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) {
+      EXPECT_EQ(la[u] == la[v], lb[u] == lb[v]) << u << "," << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace glp::cpu

@@ -1,0 +1,337 @@
+// Unit tests for the CPU engines and their substrates: LabelCounter, the
+// mini-Ligra VertexSubset/EdgeMap, GSQL accumulators, and LP correctness on
+// graphs with known community structure.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cpu/accumulators.h"
+#include "cpu/label_counter.h"
+#include "cpu/ligra.h"
+#include "cpu/ligra_engine.h"
+#include "cpu/parallel_engine.h"
+#include "cpu/seq_engine.h"
+#include "cpu/tg_engine.h"
+#include "glp/variants/classic.h"
+#include "glp/variants/llp.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace glp::cpu {
+namespace {
+
+using graph::BuildGraph;
+using graph::Edge;
+using graph::Graph;
+using graph::Label;
+using graph::VertexId;
+
+// Two disjoint 5-cliques: classic LP must converge to one label per clique.
+Graph TwoCliques() {
+  std::vector<Edge> edges;
+  for (VertexId base : {0u, 5u}) {
+    for (VertexId i = 0; i < 5; ++i) {
+      for (VertexId j = i + 1; j < 5; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  return BuildGraph(10, edges);
+}
+
+TEST(LabelCounterTest, CountsAndResets) {
+  LabelCounter c;
+  c.Reset(4);
+  EXPECT_DOUBLE_EQ(c.Add(7, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Add(7, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.Add(9, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Count(7), 3.0);
+  EXPECT_DOUBLE_EQ(c.Count(9), 1.0);
+  EXPECT_DOUBLE_EQ(c.Count(8), 0.0);
+  EXPECT_EQ(c.size(), 2);
+  c.Reset(4);
+  EXPECT_DOUBLE_EQ(c.Count(7), 0.0);
+  EXPECT_EQ(c.size(), 0);
+}
+
+TEST(LabelCounterTest, GrowsBeyondInitialCapacity) {
+  LabelCounter c(4);
+  c.Reset(1000);
+  for (Label l = 0; l < 1000; ++l) c.Add(l, 1.0);
+  EXPECT_EQ(c.size(), 1000);
+  for (Label l = 0; l < 1000; ++l) ASSERT_DOUBLE_EQ(c.Count(l), 1.0);
+}
+
+TEST(LabelCounterTest, ForEachVisitsAllLiveEntries) {
+  LabelCounter c;
+  c.Reset(8);
+  c.Add(1, 1.0);
+  c.Add(2, 2.0);
+  c.Add(3, 3.0);
+  std::set<Label> seen;
+  double total = 0;
+  c.ForEach([&](Label l, double cnt) {
+    seen.insert(l);
+    total += cnt;
+  });
+  EXPECT_EQ(seen, (std::set<Label>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(LabelCounterTest, ManyResetsStayCorrect) {
+  LabelCounter c;
+  for (int round = 0; round < 1000; ++round) {
+    c.Reset(4);
+    c.Add(round % 7, 1.0);
+    ASSERT_DOUBLE_EQ(c.Count(round % 7), 1.0);
+    ASSERT_DOUBLE_EQ(c.Count((round + 1) % 7), 0.0);
+  }
+}
+
+TEST(VertexSubsetTest, SparseAndDenseAgree) {
+  auto sparse = VertexSubset::FromIds(10, {1, 3, 7});
+  auto dense = VertexSubset::FromFlags(
+      {0, 1, 0, 1, 0, 0, 0, 1, 0, 0});
+  EXPECT_EQ(sparse.size(), 3u);
+  EXPECT_EQ(dense.size(), 3u);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(sparse.Contains(v), dense.Contains(v)) << v;
+  }
+  EXPECT_EQ(sparse.ToFlags(), dense.ToFlags());
+}
+
+TEST(VertexSubsetTest, AllContainsEverything) {
+  auto all = VertexSubset::All(5);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(all.is_dense());
+  int visits = 0;
+  all.ForEach(nullptr, [&](VertexId) { ++visits; });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(EdgeMapTest, MarksNeighborsOfFrontier) {
+  // Path 0-1-2-3-4; frontier {2} -> affected {1, 3}.
+  Graph g = BuildGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto frontier = VertexSubset::FromIds(5, {2});
+  auto affected = EdgeMapNeighbors(g, frontier, nullptr);
+  EXPECT_TRUE(affected.Contains(1));
+  EXPECT_TRUE(affected.Contains(3));
+  EXPECT_FALSE(affected.Contains(0));
+  EXPECT_FALSE(affected.Contains(2));
+  EXPECT_FALSE(affected.Contains(4));
+}
+
+TEST(EdgeMapTest, DenseDirectionMatchesSparse) {
+  Graph g = graph::GenerateRmat(
+      {.num_vertices = 256, .num_edges = 2048, .seed = 4});
+  // Large frontier forces the dense path; compare against brute force.
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) ids.push_back(v);
+  auto frontier = VertexSubset::FromIds(g.num_vertices(), ids);
+  auto affected = EdgeMapNeighbors(g, frontier, nullptr);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool expect = false;
+    for (VertexId u : g.neighbors(v)) {
+      if (u % 2 == 0) expect = true;
+    }
+    EXPECT_EQ(affected.Contains(v), expect) << v;
+  }
+}
+
+TEST(AccumulatorsTest, SumAndMaxSemantics) {
+  SumAccum<double> sum;
+  sum.Accumulate(2.0);
+  sum.Accumulate(3.5);
+  EXPECT_DOUBLE_EQ(sum.value, 5.5);
+
+  MaxAccum<int> mx;
+  mx.Accumulate(3);
+  mx.Accumulate(-1);
+  EXPECT_EQ(mx.value, 3);
+}
+
+TEST(AccumulatorsTest, MapAccumGroupsByKey) {
+  MapAccum<Label, SumAccum<double>> acc;
+  acc.Accumulate(1, 1.0);
+  acc.Accumulate(2, 1.0);
+  acc.Accumulate(1, 1.0);
+  EXPECT_EQ(acc.size(), 2u);
+  double label1 = 0;
+  acc.ForEach([&](Label l, double v) {
+    if (l == 1) label1 = v;
+  });
+  EXPECT_DOUBLE_EQ(label1, 2.0);
+  acc.Clear();
+  EXPECT_TRUE(acc.empty());
+}
+
+template <typename EngineT>
+void ExpectCliqueConvergence() {
+  Graph g = TwoCliques();
+  EngineT engine;
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  run.stop_when_stable = true;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  const auto& labels = result.value().labels;
+  // One label per clique.
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(labels[v], labels[0]);
+  for (VertexId v = 6; v < 10; ++v) EXPECT_EQ(labels[v], labels[5]);
+  EXPECT_NE(labels[0], labels[5]);
+  // Early-stopped well before 20 iterations.
+  EXPECT_LT(result.value().iterations, 20);
+}
+
+TEST(SeqEngineTest, CliquesConverge) {
+  ExpectCliqueConvergence<SeqEngine<lp::ClassicVariant>>();
+}
+TEST(ParallelEngineTest, CliquesConverge) {
+  ExpectCliqueConvergence<ParallelEngine<lp::ClassicVariant>>();
+}
+TEST(LigraEngineTest, CliquesConverge) {
+  ExpectCliqueConvergence<LigraEngine<lp::ClassicVariant>>();
+}
+TEST(TgEngineTest, CliquesConverge) {
+  ExpectCliqueConvergence<TgEngine<lp::ClassicVariant>>();
+}
+
+TEST(SeqEngineTest, PlantedCommunitiesRecovered) {
+  graph::PlantedPartitionParams p;
+  p.num_communities = 10;
+  p.community_size = 50;
+  p.intra_degree = 12;
+  p.inter_degree = 0.4;
+  p.seed = 9;
+  Graph g = graph::GeneratePlantedPartition(p);
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  // Within each planted block, the dominant label should cover most members.
+  int64_t agree = 0, total = 0;
+  for (int c = 0; c < p.num_communities; ++c) {
+    std::unordered_map<Label, int> counts;
+    for (int i = 0; i < p.community_size; ++i) {
+      ++counts[result.value().labels[c * p.community_size + i]];
+    }
+    int best = 0;
+    for (auto& [l, cnt] : counts) best = std::max(best, cnt);
+    agree += best;
+    total += p.community_size;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.8);
+}
+
+TEST(SeqEngineTest, IsolatedVertexKeepsLabel) {
+  Graph g = BuildGraph(3, {{0, 1}});  // vertex 2 isolated
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 3;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().labels[2], 2u);
+}
+
+TEST(SeqEngineTest, EmptyGraphNoIterationsCrash) {
+  Graph g;
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 2;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().labels.empty());
+}
+
+TEST(SeqEngineTest, TieBreaksTowardSmallerLabel) {
+  // Vertex 2 sees labels {0, 1} once each -> must pick 0.
+  Graph g = BuildGraph(3, {{0, 2}, {1, 2}});
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 1;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().labels[2], 0u);
+}
+
+TEST(ParallelEngineTest, MatchesSeqOnRandomGraph) {
+  Graph g = graph::GenerateRmat(
+      {.num_vertices = 512, .num_edges = 4096, .seed = 12});
+  lp::RunConfig run;
+  run.max_iterations = 8;
+  SeqEngine<lp::ClassicVariant> seq;
+  ParallelEngine<lp::ClassicVariant> par;
+  auto a = seq.Run(g, run);
+  auto b = par.Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+}
+
+TEST(LigraEngineTest, LlpVolumeShiftsDisableFrontierPruning) {
+  // Regression: LLP scores depend on global label volumes, so a vertex's
+  // best label can flip even when no neighbor changed. Construction: vertex
+  // 0 hears label 100 (x3) and 101 (x2); ten "flipper" vertices abandon
+  // label 100 in iteration 1 (shrinking its volume) without touching vertex
+  // 0's neighborhood, so in iteration 2 the k - gamma*(v-k) score of label
+  // 100 recovers and vertex 0 must switch — which a frontier that only
+  // watches neighbor changes would miss.
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5},
+                             {1, 2}, {2, 3}, {1, 3},            // a-triangle
+                             {4, 5}, {4, 6}, {5, 6}};           // b-cluster
+  for (VertexId f = 7; f <= 16; ++f) {
+    edges.push_back({f, 17});
+    edges.push_back({f, 18});
+  }
+  Graph g = BuildGraph(19, edges);
+
+  lp::RunConfig run;
+  run.max_iterations = 2;
+  run.initial_labels = {100, 100, 100, 100, 101, 101, 101,
+                        100, 100, 100, 100, 100, 100, 100, 100, 100, 100,
+                        50, 50};
+  lp::VariantParams params;
+  params.llp_gamma = 0.15;
+
+  SeqEngine<lp::LlpVariant> seq(params);
+  LigraEngine<lp::LlpVariant> ligra(params);
+  auto a = seq.Run(g, run);
+  auto b = ligra.Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The volume shift must flip vertex 0 back to label 100...
+  EXPECT_EQ(a.value().labels[0], 100u);
+  // ...and Ligra must reproduce it exactly.
+  EXPECT_EQ(a.value().labels, b.value().labels);
+}
+
+TEST(LigraEngineTest, FrontierShrinksOverIterations) {
+  // On cliques the frontier empties; verify via early stability.
+  Graph g = TwoCliques();
+  LigraEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  run.stop_when_stable = true;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().iterations, 5);
+}
+
+TEST(RunResultTest, IterationTimingsRecorded) {
+  Graph g = TwoCliques();
+  SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 7;
+  auto result = engine.Run(g, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().iterations, 7);
+  EXPECT_EQ(result.value().iteration_seconds.size(), 7u);
+  EXPECT_GT(result.value().wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.value().wall_seconds,
+                   result.value().simulated_seconds);
+}
+
+}  // namespace
+}  // namespace glp::cpu

@@ -1,0 +1,190 @@
+// Tests for the extension features: autotune, the degree-weighted variant
+// and its kernel routing, the sliding-window cursor, and the CLI-facing
+// pieces of the factory.
+
+#include <gtest/gtest.h>
+
+#include "cpu/seq_engine.h"
+#include "glp/autotune.h"
+#include "glp/factory.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "glp/variants/degree_weighted.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/sliding_window.h"
+#include "pipeline/transactions.h"
+
+namespace glp {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(AutoTuneTest, StructuresFitSharedMemory) {
+  const auto device = sim::DeviceProps::TitanV();
+  for (const char* name : {"aligraph", "twitter", "roadNet"}) {
+    auto g = std::move(graph::MakeDataset(name, 0.1, 3)).ValueOrDie();
+    const lp::GlpOptions opts = lp::AutoTune(g, device);
+    const int64_t bytes = static_cast<int64_t>(opts.ht_capacity) * 8 +
+                          static_cast<int64_t>(opts.cms_depth) *
+                              opts.cms_width * 4;
+    EXPECT_LE(bytes, device.shared_mem_per_block) << name;
+    EXPECT_GE(opts.ht_capacity, 256) << name;
+    EXPECT_GE(opts.cms_depth, 2) << name;
+  }
+}
+
+TEST(AutoTuneTest, NoHighDegreeVerticesShrinksStructures) {
+  Graph g = graph::GenerateGrid2d(20, 20);  // max degree 4
+  const lp::GlpOptions opts = lp::AutoTune(g, sim::DeviceProps::TitanV());
+  EXPECT_LE(opts.ht_capacity, 256);
+  EXPECT_LE(opts.cms_width, 256);
+}
+
+TEST(AutoTuneTest, TunedEngineStillExact) {
+  auto g = std::move(graph::MakeDataset("aligraph", 0.1, 7)).ValueOrDie();
+  const lp::GlpOptions opts = lp::AutoTune(g, sim::DeviceProps::TitanV());
+  lp::RunConfig run;
+  run.max_iterations = 4;
+  cpu::SeqEngine<lp::ClassicVariant> seq;
+  lp::GlpEngine<lp::ClassicVariant> glp({}, opts);
+  EXPECT_EQ(seq.Run(g, run).value().labels, glp.Run(g, run).value().labels);
+}
+
+TEST(AutoTuneTest, EmptyGraphSafe) {
+  Graph g;
+  const lp::GlpOptions opts = lp::AutoTune(g, sim::DeviceProps::TitanV());
+  EXPECT_GT(opts.ht_capacity, 0);
+}
+
+TEST(DegreeWeightedTest, HubDampingChangesOutcome) {
+  // Target vertex 5 hears one vote from hub 0 (in-degree 4) and one from
+  // tiny vertex 1 (in-degree 1). Classic LP ties at frequency 1 and takes
+  // the smaller label (the hub's); degree weighting scores the hub's vote
+  // at 1/4 and the tiny vertex's at 1, flipping the outcome.
+  graph::GraphBuilder b(7);
+  for (VertexId s : {2u, 3u, 4u, 6u}) b.AddEdgeUnchecked(s, 0);  // hub deg 4
+  b.AddEdgeUnchecked(2, 1);                                      // tiny deg 1
+  b.AddEdgeUnchecked(0, 5);
+  b.AddEdgeUnchecked(1, 5);
+  Graph g = b.Build(/*symmetrize=*/false, /*dedupe=*/false);
+
+  lp::RunConfig run;
+  run.max_iterations = 1;
+  run.initial_labels = {10, 20, 2, 3, 4, 5, 6};  // hub speaks 10, tiny 20
+
+  cpu::SeqEngine<lp::ClassicVariant> classic;
+  cpu::SeqEngine<lp::DegreeWeightedVariant> damped;
+  auto a = classic.Run(g, run);
+  auto d = damped.Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(a.value().labels[5], 10u);  // tie -> smaller label (hub)
+  EXPECT_EQ(d.value().labels[5], 20u);  // damping overrules the hub
+}
+
+TEST(DegreeWeightedTest, GlpAgreesWithSeqAlmostEverywhere) {
+  // Float (device) vs double (host) accumulation of 1/deg weights can
+  // reorder near-ties; demand near-perfect but not bit-exact agreement.
+  Graph g = graph::GenerateRmat(
+      {.num_vertices = 1024, .num_edges = 8192, .seed = 5});
+  lp::RunConfig run;
+  run.max_iterations = 4;
+  cpu::SeqEngine<lp::DegreeWeightedVariant> seq;
+  lp::GlpEngine<lp::DegreeWeightedVariant> glp;
+  auto a = seq.Run(g, run);
+  auto b = glp.Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int64_t agree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    agree += a.value().labels[v] == b.value().labels[v];
+  }
+  EXPECT_GT(static_cast<double>(agree) / g.num_vertices(), 0.99);
+}
+
+TEST(DegreeWeightedTest, GSortRejectsNonUnitWeights) {
+  Graph g = graph::GenerateRmat(
+      {.num_vertices = 128, .num_edges = 512, .seed = 2});
+  auto engine = lp::MakeEngine(lp::EngineKind::kGSort,
+                               lp::VariantKind::kDegreeWeighted);
+  lp::RunConfig run;
+  auto r = engine->Run(g, run);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(DegreeWeightedTest, DampingShrinksGiantCommunity) {
+  Graph g = graph::GenerateChungLu(
+      {.num_vertices = 2048, .num_edges = 16384, .exponent = 2.1, .seed = 9});
+  lp::RunConfig run;
+  run.max_iterations = 10;
+  cpu::SeqEngine<lp::ClassicVariant> classic;
+  cpu::SeqEngine<lp::DegreeWeightedVariant> damped;
+  auto count_largest = [&](const std::vector<graph::Label>& labels) {
+    std::unordered_map<graph::Label, int64_t> sizes;
+    for (auto l : labels) ++sizes[l];
+    int64_t mx = 0;
+    for (auto& [l, c] : sizes) mx = std::max(mx, c);
+    return mx;
+  };
+  const int64_t classic_giant =
+      count_largest(classic.Run(g, run).value().labels);
+  const int64_t damped_giant =
+      count_largest(damped.Run(g, run).value().labels);
+  EXPECT_LT(damped_giant, classic_giant);
+}
+
+TEST(WindowCursorTest, CursorMatchesFreshSnapshots) {
+  pipeline::TransactionConfig cfg;
+  cfg.num_buyers = 2000;
+  cfg.num_items = 500;
+  cfg.days = 50;
+  cfg.num_rings = 5;
+  cfg.seed = 4;
+  auto stream = pipeline::GenerateTransactions(cfg);
+  graph::SlidingWindow window(stream.edges);
+  graph::SlidingWindowCursor cursor(&window, /*window_length=*/10);
+  for (double end = 10; end <= 50; end += 7) {
+    const auto& inc = cursor.AdvanceTo(end);
+    const auto fresh = window.Snapshot(end - 10, end);
+    ASSERT_EQ(inc.graph.offsets(), fresh.graph.offsets()) << "end=" << end;
+    ASSERT_EQ(inc.graph.neighbor_array(), fresh.graph.neighbor_array());
+    ASSERT_EQ(inc.local_to_global, fresh.local_to_global);
+  }
+}
+
+TEST(WindowCursorTest, ScratchEpochWrapSurvives) {
+  graph::SlidingWindow window({{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}});
+  graph::SlidingWindow::Scratch scratch;
+  scratch.epoch_of.assign(4, 0);
+  scratch.local_of.resize(4);
+  scratch.epoch = 0xffffffffu;  // next snapshot wraps the stamp
+  const auto snap = window.Snapshot(0.5, 2.5, &scratch);
+  EXPECT_EQ(snap.graph.num_vertices(), 3u);
+}
+
+TEST(FactoryTest, AllCombinationsConstruct) {
+  for (auto engine :
+       {lp::EngineKind::kSeq, lp::EngineKind::kTg, lp::EngineKind::kLigra,
+        lp::EngineKind::kOmp, lp::EngineKind::kGSort, lp::EngineKind::kGHash,
+        lp::EngineKind::kGlp}) {
+    for (auto variant :
+         {lp::VariantKind::kClassic, lp::VariantKind::kLlp,
+          lp::VariantKind::kSlp, lp::VariantKind::kDegreeWeighted}) {
+      auto e = lp::MakeEngine(engine, variant);
+      ASSERT_NE(e, nullptr);
+      EXPECT_FALSE(e->name().empty());
+    }
+  }
+}
+
+TEST(FactoryTest, EngineKindNamesStable) {
+  EXPECT_STREQ(lp::EngineKindName(lp::EngineKind::kOmp), "OMP");
+  EXPECT_STREQ(lp::EngineKindName(lp::EngineKind::kGSort), "G-Sort");
+  EXPECT_STREQ(lp::EngineKindName(lp::EngineKind::kGlp), "GLP");
+}
+
+}  // namespace
+}  // namespace glp

@@ -1,0 +1,107 @@
+// Randomized cross-engine differential tests ("fuzzing" in the deterministic,
+// seeded sense): random graphs from every generator family x every variant,
+// all engines must agree with the sequential reference bit-for-bit.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "glp/factory.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace glp::lp {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// A random graph from a randomly chosen family.
+Graph RandomGraph(glp::Rng* rng) {
+  switch (rng->Bounded(5)) {
+    case 0:
+      return graph::GenerateRmat(
+          {.num_vertices = static_cast<VertexId>(64 + rng->Bounded(1024)),
+           .num_edges = static_cast<graph::EdgeId>(128 + rng->Bounded(8192)),
+           .seed = rng->Next()});
+    case 1:
+      return graph::GenerateGrid2d(2 + static_cast<int>(rng->Bounded(30)),
+                                   2 + static_cast<int>(rng->Bounded(30)));
+    case 2: {
+      graph::PlantedPartitionParams p;
+      p.num_communities = 2 + static_cast<int>(rng->Bounded(8));
+      p.community_size = 8 + static_cast<int>(rng->Bounded(64));
+      p.intra_degree = 2 + rng->NextDouble() * 10;
+      p.inter_degree = rng->NextDouble() * 2;
+      p.seed = rng->Next();
+      return graph::GeneratePlantedPartition(p);
+    }
+    case 3:
+      return graph::GenerateChungLu(
+          {.num_vertices = static_cast<VertexId>(64 + rng->Bounded(1024)),
+           .num_edges = static_cast<graph::EdgeId>(128 + rng->Bounded(4096)),
+           .exponent = 2.05 + rng->NextDouble(),
+           .seed = rng->Next()});
+    default:
+      return graph::GenerateBipartite(
+          {.num_left = static_cast<VertexId>(16 + rng->Bounded(128)),
+           .num_right = static_cast<VertexId>(8 + rng->Bounded(64)),
+           .num_edges = static_cast<graph::EdgeId>(256 + rng->Bounded(8192)),
+           .zipf_skew = rng->NextDouble(),
+           .seed = rng->Next()});
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, AllEnginesAgreeOnRandomWorkloads) {
+  glp::Rng rng(0xf022 + GetParam());
+  const Graph g = RandomGraph(&rng);
+  const VariantKind variant = static_cast<VariantKind>(rng.Bounded(3));
+
+  VariantParams params;
+  params.llp_gamma = std::pow(2.0, static_cast<double>(rng.Bounded(10)));
+  params.slp_max_labels = 3 + static_cast<int>(rng.Bounded(5));
+
+  RunConfig run;
+  run.max_iterations = 1 + static_cast<int>(rng.Bounded(6));
+  run.seed = rng.Next();
+  if (rng.NextBool(0.3) && g.num_vertices() > 0) {
+    run.initial_labels.resize(g.num_vertices());
+    const VertexId groups = 1 + static_cast<VertexId>(rng.Bounded(16));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      run.initial_labels[v] = v % groups;
+    }
+  }
+
+  auto reference = MakeEngine(EngineKind::kSeq, variant, params)->Run(g, run);
+  ASSERT_TRUE(reference.ok());
+
+  // Random GLP configuration (modes, structures, GPUs) — all must be exact.
+  GlpOptions opts;
+  opts.mode = static_cast<GlpOptions::Mode>(rng.Bounded(3));
+  opts.ht_capacity = 64 << rng.Bounded(5);
+  opts.cms_depth = 1 + static_cast<int>(rng.Bounded(6));
+  opts.cms_width = 128 << rng.Bounded(5);
+  opts.num_gpus = 1 + static_cast<int>(rng.Bounded(4));
+  opts.force_hybrid = rng.NextBool(0.25);
+  opts.threads_per_block = 64 << rng.Bounded(3);
+
+  for (EngineKind kind : {EngineKind::kOmp, EngineKind::kLigra,
+                          EngineKind::kTg, EngineKind::kGSort,
+                          EngineKind::kGHash, EngineKind::kGlp}) {
+    auto r = MakeEngine(kind, variant, params, opts)->Run(g, run);
+    ASSERT_TRUE(r.ok()) << EngineKindName(kind);
+    ASSERT_EQ(r.value().labels, reference.value().labels)
+        << EngineKindName(kind) << " on " << g.ToString() << " variant "
+        << static_cast<int>(variant) << " iters " << run.max_iterations
+        << " mode " << static_cast<int>(opts.mode) << " ht "
+        << opts.ht_capacity << " gpus " << opts.num_gpus;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace glp::lp

@@ -1,0 +1,302 @@
+// Unit tests for the graph substrate: CSR, builder, IO, generators, degree
+// binning, sliding windows, dataset registry.
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/binning.h"
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/sliding_window.h"
+
+namespace glp::graph {
+namespace {
+
+Graph Triangle() {
+  return BuildGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(BuilderTest, SymmetrizeAndDedupe) {
+  // Duplicate edge + self loop.
+  Graph g = BuildGraph(3, {{0, 1}, {0, 1}, {1, 1}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4);  // (0,1),(1,0),(1,2),(2,1)
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(BuilderTest, DirectedWithoutSymmetrize) {
+  Graph g = BuildGraph(3, {{0, 1}, {0, 2}}, /*symmetrize=*/false);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 0);  // in-degree
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(BuilderTest, KeepsParallelEdgesWhenDedupeOff) {
+  Graph g = BuildGraph(2, {{0, 1}, {0, 1}}, /*symmetrize=*/false,
+                       /*dedupe=*/false);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(BuilderTest, NeighborsSortedWithinList) {
+  Graph g = BuildGraph(5, {{3, 0}, {1, 0}, {2, 0}});
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(BuilderTest, AddEdgeRangeChecks) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 3).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(5, 0).IsInvalidArgument());
+}
+
+TEST(CsrTest, TriangleShape) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 2.0);
+  EXPECT_EQ(g.max_degree(), 2);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(CsrTest, BytesAccountsArrays) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.bytes(), 4 * sizeof(EdgeId) + 6 * sizeof(VertexId));
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "glp_io_test.txt").string();
+  Graph g = Triangle();
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_vertices(), 3u);
+  EXPECT_EQ(loaded.value().num_edges(), 6);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipsCommentsAndCompactsIds) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "glp_io_test2.txt").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "# comment\n%% also comment\n100 200\n200 300\n");
+  fclose(f);
+  auto g = ReadEdgeListFile(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_vertices(), 3u);  // ids compacted
+  EXPECT_EQ(g.value().num_edges(), 4);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadEdgeListFile("/nonexistent/file.txt").status().IsIoError());
+  EXPECT_TRUE(LoadBinary("/nonexistent/file.bin").status().IsIoError());
+}
+
+TEST(IoTest, BinaryRoundTripExact) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "glp_io_test.bin").string();
+  Graph g = GenerateRmat({.num_vertices = 256, .num_edges = 1024, .seed = 3});
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+  EXPECT_EQ(loaded.value().neighbor_array(), g.neighbor_array());
+  std::remove(path.c_str());
+}
+
+TEST(GeneratorsTest, RmatDeterministicAndSkewed) {
+  RmatParams p{.num_vertices = 1024, .num_edges = 8192, .seed = 11};
+  Graph a = GenerateRmat(p);
+  Graph b = GenerateRmat(p);
+  EXPECT_EQ(a.neighbor_array(), b.neighbor_array());
+  // Power-law-ish: max degree far above average.
+  EXPECT_GT(a.max_degree(), 8 * a.avg_degree());
+}
+
+TEST(GeneratorsTest, RmatSeedChangesGraph) {
+  RmatParams p{.num_vertices = 1024, .num_edges = 8192, .seed = 1};
+  Graph a = GenerateRmat(p);
+  p.seed = 2;
+  Graph b = GenerateRmat(p);
+  EXPECT_NE(a.neighbor_array(), b.neighbor_array());
+}
+
+TEST(GeneratorsTest, Grid2dConstantDegree) {
+  Graph g = GenerateGrid2d(10, 20);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Interior vertex has degree 4.
+  EXPECT_EQ(g.degree(1 * 20 + 5), 4);
+  // Corner has degree 2.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(GeneratorsTest, PlantedPartitionHasCommunityStructure) {
+  PlantedPartitionParams p;
+  p.num_communities = 8;
+  p.community_size = 64;
+  p.intra_degree = 8;
+  p.inter_degree = 0.5;
+  p.seed = 5;
+  Graph g = GeneratePlantedPartition(p);
+  EXPECT_EQ(g.num_vertices(), 512u);
+  // Count intra- vs inter-community CSR entries.
+  int64_t intra = 0, inter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u / 64 == v / 64) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 8 * inter);
+}
+
+TEST(GeneratorsTest, ChungLuApproximatesTargetEdges) {
+  ChungLuParams p{.num_vertices = 2048, .num_edges = 16384, .exponent = 2.3,
+                  .seed = 7};
+  Graph g = GenerateChungLu(p);
+  // Symmetrized and deduped: between 1.2x and 2x the directed count.
+  EXPECT_GT(g.num_edges(), p.num_edges);
+  EXPECT_LE(g.num_edges(), 2 * p.num_edges);
+}
+
+TEST(GeneratorsTest, BipartiteKeepsSidesSeparate) {
+  BipartiteParams p{.num_left = 100, .num_right = 50, .num_edges = 5000,
+                    .zipf_skew = 0.9, .seed = 3};
+  Graph g = GenerateBipartite(p);
+  EXPECT_EQ(g.num_vertices(), 150u);
+  for (VertexId v = 0; v < 100; ++v) {
+    for (VertexId u : g.neighbors(v)) EXPECT_GE(u, 100u);  // buyers see items
+  }
+  for (VertexId v = 100; v < 150; ++v) {
+    for (VertexId u : g.neighbors(v)) EXPECT_LT(u, 100u);
+  }
+}
+
+TEST(BinningTest, ThresholdsFromPaper) {
+  // Degrees: star center high, leaves low.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 200; ++i) edges.push_back({0, i});
+  // A mid-degree vertex: connect vertex 1 to 40 others.
+  for (VertexId i = 2; i <= 41; ++i) edges.push_back({1, i});
+  Graph g = BuildGraph(201, edges);
+  DegreeBins bins = ComputeDegreeBins(g);
+  EXPECT_EQ(bins.high.size(), 1u);  // center, degree 200
+  EXPECT_EQ(bins.high[0], 0u);
+  ASSERT_GE(bins.mid.size(), 1u);
+  EXPECT_EQ(bins.mid.back(), 1u);  // vertex 1, degree 41
+  EXPECT_EQ(bins.total(), g.num_vertices());
+}
+
+TEST(BinningTest, BinsSortedByDegree) {
+  Graph g = GenerateRmat({.num_vertices = 512, .num_edges = 4096, .seed = 2});
+  DegreeBins bins = ComputeDegreeBins(g);
+  for (size_t i = 1; i < bins.low.size(); ++i) {
+    EXPECT_LE(g.degree(bins.low[i - 1]), g.degree(bins.low[i]));
+  }
+  for (size_t i = 1; i < bins.high.size(); ++i) {
+    EXPECT_LE(g.degree(bins.high[i - 1]), g.degree(bins.high[i]));
+  }
+}
+
+TEST(BinningTest, CustomThresholds) {
+  Graph g = Triangle();
+  BinningConfig cfg;
+  cfg.low_degree_max = 1;
+  cfg.high_degree_min = 2;
+  DegreeBins bins = ComputeDegreeBins(g, cfg);
+  EXPECT_EQ(bins.high.size(), 3u);
+  EXPECT_TRUE(bins.low.empty());
+}
+
+TEST(SlidingWindowTest, SnapshotSelectsTimeRange) {
+  std::vector<TimedEdge> edges{
+      {0, 1, 1.0}, {1, 2, 5.0}, {2, 3, 9.0}, {0, 3, 12.0}};
+  SlidingWindow window(edges);
+  EXPECT_EQ(window.num_stream_edges(), 4u);
+  EXPECT_DOUBLE_EQ(window.min_time(), 1.0);
+  EXPECT_DOUBLE_EQ(window.max_time(), 12.0);
+
+  WindowSnapshot snap = window.Snapshot(4.0, 10.0);
+  // Edges at t=5 (1->2) and t=9 (2->3): entities {1,2,3} compacted.
+  EXPECT_EQ(snap.graph.num_vertices(), 3u);
+  EXPECT_EQ(snap.graph.num_edges(), 4);  // symmetrized
+  EXPECT_EQ(snap.local_to_global.size(), 3u);
+}
+
+TEST(SlidingWindowTest, LongerWindowsTouchMoreEntities) {
+  std::vector<TimedEdge> edges;
+  for (int t = 0; t < 100; ++t) {
+    edges.push_back({static_cast<VertexId>(t), static_cast<VertexId>(t + 100),
+                     static_cast<double>(t)});
+  }
+  SlidingWindow window(std::move(edges));
+  const auto v10 = window.Snapshot(90, 100).graph.num_vertices();
+  const auto v50 = window.Snapshot(50, 100).graph.num_vertices();
+  EXPECT_LT(v10, v50);
+}
+
+TEST(SlidingWindowTest, EmptyWindow) {
+  SlidingWindow window({{0, 1, 5.0}});
+  WindowSnapshot snap = window.Snapshot(0.0, 1.0);
+  EXPECT_EQ(snap.graph.num_vertices(), 0u);
+}
+
+TEST(DatasetsTest, RegistryHasAllEightPaperRows) {
+  const auto& specs = Table2Specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "dblp");
+  EXPECT_EQ(specs[3].name, "aligraph");
+  EXPECT_EQ(specs[7].name, "twitter");
+  EXPECT_DOUBLE_EQ(specs[7].paper_avg_degree, 35.3);
+}
+
+TEST(DatasetsTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(MakeDataset("no-such-graph").status().IsNotFound());
+}
+
+TEST(DatasetsTest, AligraphAnalogHasExtremeAvgDegree) {
+  auto g = MakeDataset("aligraph", /*scale=*/0.2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g.value().avg_degree(), 50);
+  EXPECT_LT(g.value().num_vertices(), 5000u);
+}
+
+TEST(DatasetsTest, RoadNetAnalogHasConstantSmallDegree) {
+  auto g = MakeDataset("roadNet", /*scale=*/0.2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g.value().max_degree(), 4);
+}
+
+TEST(DatasetsTest, TwitterAnalogLargestAndSkewed) {
+  auto tw = MakeDataset("twitter", /*scale=*/0.05);
+  auto yt = MakeDataset("youtube", /*scale=*/0.05);
+  ASSERT_TRUE(tw.ok());
+  ASSERT_TRUE(yt.ok());
+  EXPECT_GT(tw.value().num_edges(), 10 * yt.value().num_edges());
+  EXPECT_GT(tw.value().max_degree(), 20 * tw.value().avg_degree());
+}
+
+}  // namespace
+}  // namespace glp::graph

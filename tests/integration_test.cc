@@ -1,0 +1,262 @@
+// Integration tests: every engine (CPU baselines, GPU baselines, GLP in all
+// three optimization modes) must produce bit-identical label arrays for
+// every variant — the repository-wide determinism contract (score ties break
+// toward the smaller label; SLP randomness is hash-derived from
+// (seed, iteration, vertex)).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "glp/factory.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "pipeline/distributed.h"
+
+namespace glp::lp {
+namespace {
+
+struct Case {
+  std::string graph_name;
+  VariantKind variant;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string v = info.param.variant == VariantKind::kClassic ? "classic"
+                  : info.param.variant == VariantKind::kLlp   ? "llp"
+                                                              : "slp";
+  std::string g = info.param.graph_name;
+  for (char& c : g) {
+    if (c == '-') c = '_';
+  }
+  return g + "_" + v;
+}
+
+class CrossEngineTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossEngineTest, AllEnginesAgreeWithSeq) {
+  const Case& c = GetParam();
+  auto graph_result = graph::MakeDataset(c.graph_name, /*scale=*/0.02,
+                                         /*seed=*/5);
+  ASSERT_TRUE(graph_result.ok());
+  const graph::Graph g = std::move(graph_result).value();
+  ASSERT_GT(g.num_vertices(), 0u);
+
+  RunConfig run;
+  run.max_iterations = 5;
+  run.seed = 99;
+
+  VariantParams params;
+  params.llp_gamma = 2.0;
+
+  auto reference = MakeEngine(EngineKind::kSeq, c.variant, params)
+                       ->Run(g, run);
+  ASSERT_TRUE(reference.ok());
+  const std::vector<graph::Label>& expected = reference.value().labels;
+
+  const EngineKind kinds[] = {EngineKind::kTg,    EngineKind::kLigra,
+                              EngineKind::kOmp,   EngineKind::kGSort,
+                              EngineKind::kGHash, EngineKind::kGlp};
+  for (EngineKind kind : kinds) {
+    auto engine = MakeEngine(kind, c.variant, params);
+    auto result = engine->Run(g, run);
+    ASSERT_TRUE(result.ok()) << engine->name();
+    EXPECT_EQ(result.value().labels, expected)
+        << engine->name() << " diverges from Seq on " << c.graph_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndVariants, CrossEngineTest,
+    ::testing::Values(
+        Case{"dblp", VariantKind::kClassic},
+        Case{"dblp", VariantKind::kLlp},
+        Case{"dblp", VariantKind::kSlp},
+        Case{"roadNet", VariantKind::kClassic},
+        Case{"roadNet", VariantKind::kLlp},
+        Case{"roadNet", VariantKind::kSlp},
+        Case{"youtube", VariantKind::kClassic},
+        Case{"aligraph", VariantKind::kClassic},
+        Case{"aligraph", VariantKind::kLlp},
+        Case{"ljournal", VariantKind::kClassic},
+        Case{"ljournal", VariantKind::kSlp},
+        Case{"twitter", VariantKind::kClassic}),
+    CaseName);
+
+TEST(CrossEngineModesTest, GlpModesAgree) {
+  auto g = std::move(graph::MakeDataset("ljournal", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 4;
+
+  GlpOptions global_opts;
+  global_opts.mode = GlpOptions::Mode::kGlobal;
+  GlpOptions smem_opts;
+  smem_opts.mode = GlpOptions::Mode::kSmem;
+  GlpOptions full_opts;
+  full_opts.mode = GlpOptions::Mode::kSmemWarp;
+
+  auto r_global = MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {},
+                             global_opts)
+                      ->Run(g, run);
+  auto r_smem =
+      MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, smem_opts)
+          ->Run(g, run);
+  auto r_full =
+      MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, full_opts)
+          ->Run(g, run);
+  ASSERT_TRUE(r_global.ok());
+  ASSERT_TRUE(r_smem.ok());
+  ASSERT_TRUE(r_full.ok());
+  EXPECT_EQ(r_global.value().labels, r_smem.value().labels);
+  EXPECT_EQ(r_smem.value().labels, r_full.value().labels);
+}
+
+TEST(CrossEngineModesTest, DistributedBaselineAgreesWithSeq) {
+  auto g = std::move(graph::MakeDataset("dblp", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 5;
+  auto seq = MakeEngine(EngineKind::kSeq, VariantKind::kClassic)->Run(g, run);
+  pipeline::DistributedLpEngine dist;
+  auto d = dist.Run(g, run);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().labels, seq.value().labels);
+}
+
+TEST(CrossEngineModesTest, HybridModeSameLabels) {
+  auto g = std::move(graph::MakeDataset("youtube", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 3;
+  GlpOptions normal, hybrid;
+  hybrid.force_hybrid = true;
+  auto a = MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, normal)
+               ->Run(g, run);
+  auto b = MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, hybrid)
+               ->Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+  // Hybrid pays transfer time the resident mode does not.
+  EXPECT_GT(b.value().transfer_seconds, 0.0);
+  EXPECT_GT(b.value().simulated_seconds, a.value().simulated_seconds);
+}
+
+TEST(CrossEngineModesTest, MultiGpuSameLabelsLessTime) {
+  auto g = std::move(graph::MakeDataset("twitter", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 3;
+  // Scale the fixed per-launch/per-transfer overheads down with the tiny
+  // test graph (as the benches do); otherwise they rightfully dominate and
+  // a second GPU cannot pay for its own launch + all-gather latency.
+  sim::DeviceProps device = sim::DeviceProps::TitanV();
+  device.kernel_launch_overhead_s = 1e-7;
+  device.pcie_latency_s = 1e-7;
+  GlpOptions one, two;
+  two.num_gpus = 2;
+  auto a = MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, one,
+                      nullptr, device)
+               ->Run(g, run);
+  auto b = MakeEngine(EngineKind::kGlp, VariantKind::kClassic, {}, two,
+                      nullptr, device)
+               ->Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+  EXPECT_LT(b.value().simulated_seconds, a.value().simulated_seconds);
+  // Balanced partitioning: the second GPU removes at least a third.
+  EXPECT_LT(b.value().simulated_seconds,
+            0.7 * a.value().simulated_seconds);
+}
+
+TEST(CrossEngineSeedsTest, SeededInitialLabelsRespectedByAllEngines) {
+  auto g = std::move(graph::MakeDataset("dblp", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 4;
+  run.initial_labels.assign(g.num_vertices(), 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    run.initial_labels[v] = v % 17;  // coarse seeding
+  }
+  auto seq = MakeEngine(EngineKind::kSeq, VariantKind::kClassic)->Run(g, run);
+  auto glp = MakeEngine(EngineKind::kGlp, VariantKind::kClassic)->Run(g, run);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(glp.ok());
+  EXPECT_EQ(seq.value().labels, glp.value().labels);
+  for (graph::Label l : seq.value().labels) EXPECT_LT(l, 17u);
+}
+
+TEST(DeterminismTest, RepeatedRunsBitIdentical) {
+  // Blocks execute on a thread pool; results AND counted stats must not
+  // depend on the interleaving.
+  auto g = std::move(graph::MakeDataset("ljournal", 0.03, 9)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 5;
+  GlpEngine<ClassicVariant> engine;
+  auto a = engine.Run(g, run);
+  auto b = engine.Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+  EXPECT_EQ(a.value().stats.global_transactions,
+            b.value().stats.global_transactions);
+  EXPECT_EQ(a.value().stats.instructions, b.value().stats.instructions);
+  EXPECT_DOUBLE_EQ(a.value().simulated_seconds, b.value().simulated_seconds);
+}
+
+TEST(DeterminismTest, SlpSeedChangesOutcome) {
+  auto g = std::move(graph::MakeDataset("dblp", 0.05, 9)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 8;
+  run.seed = 1;
+  auto a = MakeEngine(EngineKind::kSeq, VariantKind::kSlp)->Run(g, run);
+  run.seed = 2;
+  auto b = MakeEngine(EngineKind::kSeq, VariantKind::kSlp)->Run(g, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().labels, b.value().labels);  // speaker draws differ
+}
+
+TEST(DeterminismTest, IterationTimingsMatchIterationCount) {
+  auto g = std::move(graph::MakeDataset("youtube", 0.03, 4)).ValueOrDie();
+  RunConfig run;
+  run.max_iterations = 7;
+  for (EngineKind kind :
+       {EngineKind::kOmp, EngineKind::kGSort, EngineKind::kGlp}) {
+    auto r = MakeEngine(kind, VariantKind::kClassic)->Run(g, run);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().iterations, 7) << EngineKindName(kind);
+    EXPECT_EQ(r.value().iteration_seconds.size(), 7u) << EngineKindName(kind);
+    double sum = 0;
+    for (double s : r.value().iteration_seconds) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    if (kind == EngineKind::kOmp) {
+      // CPU engines report whole-run wall time (setup + teardown included).
+      EXPECT_GE(r.value().simulated_seconds, sum) << EngineKindName(kind);
+    } else {
+      // GPU engines' simulated time is exactly the priced iterations.
+      EXPECT_NEAR(r.value().simulated_seconds, sum, 1e-9)
+          << EngineKindName(kind);
+    }
+    EXPECT_NEAR(r.value().AvgIterationSeconds(),
+                r.value().simulated_seconds / 7, 1e-12);
+  }
+}
+
+TEST(CrossEngineSeedsTest, MismatchedInitialLabelsRejected) {
+  auto g = std::move(graph::MakeDataset("dblp", 0.02, 3)).ValueOrDie();
+  RunConfig run;
+  run.initial_labels = {1, 2, 3};  // wrong size
+  for (EngineKind kind : {EngineKind::kSeq, EngineKind::kOmp,
+                          EngineKind::kGSort, EngineKind::kGHash,
+                          EngineKind::kGlp, EngineKind::kLigra,
+                          EngineKind::kTg}) {
+    auto r = MakeEngine(kind, VariantKind::kClassic)->Run(g, run);
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace glp::lp

@@ -1,0 +1,230 @@
+// Unit + property tests for the sketch substrate: Count-Min Sketch
+// (overestimate-only guarantee behind Lemma 2), fixed-capacity HT
+// (bounded-insert semantics behind Lemma 1), concurrent global HT.
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/concurrent_hash_table.h"
+#include "sketch/count_min.h"
+#include "sketch/fixed_hash_table.h"
+#include "util/rng.h"
+
+namespace glp::sketch {
+namespace {
+
+TEST(CountMinTest, ExactWhenNoCollisions) {
+  CountMinSketch cms(4, 1024);
+  cms.Add(1, 5);
+  cms.Add(2, 3);
+  EXPECT_GE(cms.Estimate(1), 5.0);
+  EXPECT_GE(cms.Estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(cms.TotalCount(), 8.0);
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMinSketch cms(2, 64);
+  cms.Add(7, 10);
+  cms.Clear();
+  EXPECT_DOUBLE_EQ(cms.Estimate(7), 0.0);
+  EXPECT_DOUBLE_EQ(cms.TotalCount(), 0.0);
+}
+
+// Property (Lemma 2's foundation): the estimate NEVER underestimates.
+class CountMinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountMinPropertyTest, NeverUnderestimates) {
+  const int trial = GetParam();
+  glp::Rng rng(1000 + trial);
+  CountMinSketch cms(3, 64);  // deliberately small: force collisions
+  std::unordered_map<uint64_t, double> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.Bounded(500);
+    cms.Add(key, 1.0);
+    truth[key] += 1.0;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cms.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST_P(CountMinPropertyTest, MaxEstimateBoundsAllKeys) {
+  const int trial = GetParam();
+  glp::Rng rng(2000 + trial);
+  CountMinSketch cms(4, 128);
+  for (int i = 0; i < 3000; ++i) cms.Add(rng.Bounded(300));
+  const double mx = cms.MaxEstimate();
+  for (uint64_t key = 0; key < 300; ++key) {
+    EXPECT_LE(cms.Estimate(key), mx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, CountMinPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(CountMinTest, ErrorBoundHoldsOnAverage) {
+  // CMS theory: P[est > true + total/width] <= (1/2)^depth with width = 2e/s.
+  // Check the empirical overestimate stays within a few total/width.
+  glp::Rng rng(77);
+  const int width = 256, depth = 4;
+  CountMinSketch cms(depth, width);
+  std::unordered_map<uint64_t, double> truth;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key = rng.Bounded(2000);
+    cms.Add(key);
+    truth[key] += 1;
+  }
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (cms.Estimate(key) > count + 4.0 * n / width) ++violations;
+  }
+  EXPECT_LT(violations, static_cast<int>(truth.size()) / 20);
+}
+
+TEST(FixedHashTableTest, AddAndCount) {
+  FixedHashTable ht(16);
+  double post = 0;
+  EXPECT_TRUE(ht.Add(5, 2.0, &post));
+  EXPECT_DOUBLE_EQ(post, 2.0);
+  EXPECT_TRUE(ht.Add(5, 3.0, &post));
+  EXPECT_DOUBLE_EQ(post, 5.0);
+  EXPECT_DOUBLE_EQ(ht.Count(5), 5.0);
+  EXPECT_TRUE(ht.Contains(5));
+  EXPECT_FALSE(ht.Contains(6));
+  EXPECT_EQ(ht.size(), 1);
+}
+
+TEST(FixedHashTableTest, RejectsWhenFull) {
+  FixedHashTable ht(4);
+  for (graph::Label l = 0; l < 4; ++l) EXPECT_TRUE(ht.Add(l, 1.0));
+  EXPECT_EQ(ht.size(), 4);
+  // A fifth distinct label cannot claim a slot...
+  EXPECT_FALSE(ht.Add(100, 1.0));
+  // ...but resident labels still accumulate.
+  EXPECT_TRUE(ht.Add(2, 1.0));
+  EXPECT_DOUBLE_EQ(ht.Count(2), 2.0);
+}
+
+TEST(FixedHashTableTest, ProbeBoundRejectsEarly) {
+  FixedHashTable ht(64, /*max_probes=*/1);
+  int inserted = 0;
+  for (graph::Label l = 0; l < 64; ++l) inserted += ht.Add(l, 1.0);
+  // With a single probe, collisions reject; the table cannot be full.
+  EXPECT_LT(inserted, 64);
+  EXPECT_GT(inserted, 16);
+}
+
+TEST(FixedHashTableTest, ForEachAndMaxCount) {
+  FixedHashTable ht(32);
+  ht.Add(1, 3.0);
+  ht.Add(2, 7.0);
+  ht.Add(3, 5.0);
+  EXPECT_DOUBLE_EQ(ht.MaxCount(), 7.0);
+  double total = 0;
+  int entries = 0;
+  ht.ForEach([&](graph::Label, double c) {
+    total += c;
+    ++entries;
+  });
+  EXPECT_DOUBLE_EQ(total, 15.0);
+  EXPECT_EQ(entries, 3);
+}
+
+TEST(FixedHashTableTest, ClearEmptiesTable) {
+  FixedHashTable ht(8);
+  ht.Add(1, 1.0);
+  ht.Clear();
+  EXPECT_EQ(ht.size(), 0);
+  EXPECT_FALSE(ht.Contains(1));
+  EXPECT_DOUBLE_EQ(ht.MaxCount(), 0.0);
+}
+
+// Property: HT + CMS combination captures the true MFL whenever
+// s(HT) >= s(CMS) — the exactness claim of §4.1 ("not an approximated
+// solution").
+class HtCmsExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HtCmsExactnessTest, HtWinnerIsTrueMflWhenHtScoreDominates) {
+  glp::Rng rng(31337 + GetParam());
+  FixedHashTable ht(8, /*max_probes=*/2);
+  CountMinSketch cms(4, 64);
+  std::unordered_map<graph::Label, double> truth;
+
+  // Skewed label stream: one heavy label plus a tail.
+  for (int i = 0; i < 500; ++i) {
+    const graph::Label l =
+        rng.NextBool(0.4) ? 7 : static_cast<graph::Label>(rng.Bounded(200));
+    truth[l] += 1;
+    if (!ht.Add(l, 1.0)) cms.Add(l, 1.0);
+  }
+
+  const double s_ht = ht.MaxCount();
+  const double s_cms = cms.MaxEstimate();
+  graph::Label true_mfl = graph::kInvalidLabel;
+  double true_max = -1;
+  for (const auto& [l, c] : truth) {
+    if (c > true_max || (c == true_max && l < true_mfl)) {
+      true_mfl = l;
+      true_max = c;
+    }
+  }
+
+  if (s_ht >= s_cms) {
+    // The HT must contain the true MFL with its exact count.
+    EXPECT_TRUE(ht.Contains(true_mfl));
+    EXPECT_DOUBLE_EQ(ht.Count(true_mfl), true_max);
+  }
+  // In all cases, HT counts are exact for resident labels.
+  ht.ForEach([&](graph::Label l, double c) {
+    EXPECT_DOUBLE_EQ(c, truth[l]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, HtCmsExactnessTest, ::testing::Range(0, 16));
+
+TEST(ConcurrentHashTableTest, SingleThreadedSemantics) {
+  ConcurrentHashTable ht(16);
+  EXPECT_DOUBLE_EQ(ht.Add(3, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ht.Add(3, 1.5), 3.5);
+  EXPECT_DOUBLE_EQ(ht.Count(3), 3.5);
+  EXPECT_DOUBLE_EQ(ht.Count(4), 0.0);
+}
+
+TEST(ConcurrentHashTableTest, FullTableReturnsNegative) {
+  ConcurrentHashTable ht(2);
+  ht.Add(1, 1.0);
+  ht.Add(2, 1.0);
+  EXPECT_LT(ht.Add(3, 1.0), 0.0);
+}
+
+TEST(ConcurrentHashTableTest, ConcurrentAddsAreExact) {
+  ConcurrentHashTable ht(1024);
+  constexpr int kThreads = 8, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ht, t] {
+      glp::Rng rng(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        ht.Add(static_cast<graph::Label>(rng.Bounded(100)), 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double total = 0;
+  ht.ForEach([&](graph::Label, double c) { total += c; });
+  EXPECT_DOUBLE_EQ(total, kThreads * kPerThread);
+}
+
+TEST(ConcurrentHashTableTest, ClearResets) {
+  ConcurrentHashTable ht(8);
+  ht.Add(1, 5.0);
+  ht.Clear();
+  EXPECT_DOUBLE_EQ(ht.Count(1), 0.0);
+}
+
+}  // namespace
+}  // namespace glp::sketch

@@ -1,0 +1,228 @@
+// Unit tests for the util substrate: Status/Result, RNG, thread pool, hash.
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace glp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad degree");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad degree");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad degree");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::IoError("disk");
+  Status b = a;
+  EXPECT_TRUE(b.IsIoError());
+  EXPECT_EQ(b.message(), "disk");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Status FailingFn() { return Status::Internal("boom"); }
+
+Status Propagates() {
+  GLP_RETURN_NOT_OK(FailingFn());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsInternal());
+}
+
+Result<int> MakeSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  GLP_ASSIGN_OR_RETURN(*out, MakeSeven());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssigns) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Bounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(1);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(HashTest, MixIsStable) {
+  EXPECT_EQ(HashMix64(42), HashMix64(42));
+  EXPECT_NE(HashMix64(42), HashMix64(43));
+}
+
+TEST(HashTest, BucketInRangeAndSpread) {
+  std::set<uint32_t> buckets;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const uint32_t b = HashToBucket(HashMix64(i), 16);
+    ASSERT_LT(b, 16u);
+    buckets.insert(b);
+  }
+  EXPECT_EQ(buckets.size(), 16u);
+}
+
+TEST(HashTest, SeededHashesDiffer) {
+  EXPECT_NE(HashSeeded(42, 1), HashSeeded(42, 2));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallGrain) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(
+      0, 100, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+      },
+      1);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 50, [&](int64_t lo, int64_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, RunOnAllWorkersHitsEveryWorker) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(pool.num_threads());
+  pool.RunOnAllWorkers([&](int worker) { hits[worker].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 100, [&](int64_t lo, int64_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  GLP_CHECK(true) << "never printed";
+  GLP_CHECK_EQ(1, 1);
+  GLP_CHECK_LT(1, 2);
+}
+
+TEST(LoggingDeathTest, CheckFailsAborts) {
+  EXPECT_DEATH({ GLP_CHECK(false) << "expected failure"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace glp

@@ -1,0 +1,207 @@
+// Unit tests for the variant policies (the paper's Table 1 user API):
+// classic LP, LLP, SLP semantics and the hook contracts engines rely on.
+
+#include <gtest/gtest.h>
+
+#include "glp/variants/classic.h"
+#include "glp/variants/llp.h"
+#include "glp/variants/slp.h"
+#include "graph/builder.h"
+
+namespace glp::lp {
+namespace {
+
+using graph::BuildGraph;
+using graph::Graph;
+using graph::kInvalidLabel;
+using graph::Label;
+using graph::VertexId;
+
+Graph Path3() { return BuildGraph(3, {{0, 1}, {1, 2}}); }
+
+TEST(ClassicVariantTest, InitAssignsUniqueLabels) {
+  ClassicVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  EXPECT_EQ(v.labels(), (std::vector<Label>{0, 1, 2}));
+}
+
+TEST(ClassicVariantTest, InitRespectsInitialLabels) {
+  ClassicVariant v;
+  RunConfig cfg;
+  cfg.initial_labels = {5, 5, 9};
+  v.Init(Path3(), cfg);
+  EXPECT_EQ(v.labels(), (std::vector<Label>{5, 5, 9}));
+}
+
+TEST(ClassicVariantTest, ScoreIsFrequency) {
+  ClassicVariant v;
+  EXPECT_DOUBLE_EQ(v.Score(0, 1, 7.5, 123.0), 7.5);
+}
+
+TEST(ClassicVariantTest, EndIterationSwapsAndCounts) {
+  ClassicVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  v.next_labels() = {1, 1, 1};
+  EXPECT_EQ(v.EndIteration(0), 2);  // vertices 0 and 2 changed
+  EXPECT_EQ(v.labels(), (std::vector<Label>{1, 1, 1}));
+  v.next_labels() = {1, 1, 1};
+  EXPECT_EQ(v.EndIteration(1), 0);
+}
+
+TEST(ClassicVariantTest, InvalidNextKeepsCurrent) {
+  ClassicVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  v.next_labels() = {kInvalidLabel, 0, kInvalidLabel};
+  EXPECT_EQ(v.EndIteration(0), 1);
+  EXPECT_EQ(v.labels(), (std::vector<Label>{0, 0, 2}));
+}
+
+TEST(LlpVariantTest, VolumesTrackLabelPopulation) {
+  VariantParams p;
+  p.llp_gamma = 1.0;
+  LlpVariant v(p);
+  RunConfig cfg;
+  cfg.initial_labels = {3, 3, 0};
+  v.Init(Path3(), cfg);
+  EXPECT_FLOAT_EQ(v.label_aux()[3], 2.0f);
+  EXPECT_FLOAT_EQ(v.label_aux()[0], 1.0f);
+  v.next_labels() = {3, 3, 3};
+  v.EndIteration(0);
+  EXPECT_FLOAT_EQ(v.label_aux()[3], 3.0f);
+  EXPECT_FLOAT_EQ(v.label_aux()[0], 0.0f);
+}
+
+TEST(LlpVariantTest, ScorePenalizesVolume) {
+  VariantParams p;
+  p.llp_gamma = 2.0;
+  LlpVariant v(p);
+  // val = k - gamma * (vol - k): k=3, vol=10 -> 3 - 2*7 = -11.
+  EXPECT_DOUBLE_EQ(v.Score(0, 0, 3.0, 10.0), -11.0);
+}
+
+TEST(LlpVariantTest, ScoreMonotoneInFrequency) {
+  // The CMS-pruning contract: Score non-decreasing in freq at fixed aux.
+  for (double gamma : {0.0, 0.5, 1.0, 4.0, 512.0}) {
+    VariantParams p;
+    p.llp_gamma = gamma;
+    LlpVariant v(p);
+    double prev = v.Score(0, 0, 0.0, 50.0);
+    for (double k = 1; k <= 50; ++k) {
+      const double s = v.Score(0, 0, k, 50.0);
+      EXPECT_GE(s, prev) << "gamma=" << gamma << " k=" << k;
+      prev = s;
+    }
+  }
+}
+
+TEST(LlpVariantTest, GammaZeroDegeneratesToClassicChoice) {
+  VariantParams p;
+  p.llp_gamma = 0.0;
+  LlpVariant v(p);
+  EXPECT_DOUBLE_EQ(v.Score(0, 0, 4.0, 99.0), 4.0);
+}
+
+TEST(SlpVariantTest, InitSeedsMemoryWithOwnLabel) {
+  SlpVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  EXPECT_EQ(v.FinalLabels(), (std::vector<Label>{0, 1, 2}));
+  EXPECT_EQ(v.CommunityLabels(1), (std::vector<Label>{1}));
+}
+
+TEST(SlpVariantTest, ListenerGrowsMemory) {
+  SlpVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  v.BeginIteration(0);
+  v.next_labels() = {1, 1, 1};  // everyone hears label 1
+  v.EndIteration(0);
+  // Vertex 0's memory now holds {0:1, 1:1}; its primary label breaks the
+  // count tie toward the smaller label 0.
+  EXPECT_EQ(v.FinalLabels()[0], 0u);
+  auto community = v.CommunityLabels(0);
+  EXPECT_EQ(community, (std::vector<Label>{0, 1}));
+  // Vertex 1 heard its own label again: count 2.
+  EXPECT_EQ(v.FinalLabels()[1], 1u);
+}
+
+TEST(SlpVariantTest, SpeakerIsDeterministicInSeed) {
+  SlpVariant a, b;
+  RunConfig cfg;
+  cfg.seed = 1234;
+  a.Init(Path3(), cfg);
+  b.Init(Path3(), cfg);
+  for (int iter = 0; iter < 5; ++iter) {
+    a.BeginIteration(iter);
+    b.BeginIteration(iter);
+    EXPECT_EQ(a.labels(), b.labels()) << "iter " << iter;
+    a.next_labels() = {1, 2, 0};
+    b.next_labels() = {1, 2, 0};
+    a.EndIteration(iter);
+    b.EndIteration(iter);
+  }
+}
+
+TEST(SlpVariantTest, MemoryCapped) {
+  VariantParams p;
+  p.slp_max_labels = 3;
+  p.slp_min_frequency = 0.0;  // no pruning
+  SlpVariant v(p);
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  // Feed 6 distinct labels to vertex 0 over iterations.
+  for (int iter = 0; iter < 6; ++iter) {
+    v.BeginIteration(iter);
+    v.next_labels() = {static_cast<Label>(100 + iter), 1, 2};
+    v.EndIteration(iter);
+  }
+  EXPECT_LE(v.CommunityLabels(0).size(), 3u);
+}
+
+TEST(SlpVariantTest, ThresholdPrunesRareLabels) {
+  VariantParams p;
+  p.slp_max_labels = 5;
+  p.slp_min_frequency = 0.3;
+  SlpVariant v(p);
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  // Vertex 0 repeatedly hears label 7; its own label 0 (count 1) falls below
+  // 30% of the memory mass and gets pruned.
+  for (int iter = 0; iter < 8; ++iter) {
+    v.BeginIteration(iter);
+    v.next_labels() = {7, 1, 2};
+    v.EndIteration(iter);
+  }
+  EXPECT_EQ(v.CommunityLabels(0), (std::vector<Label>{7}));
+  EXPECT_EQ(v.FinalLabels()[0], 7u);
+}
+
+TEST(SlpVariantTest, InvalidChosenSkipsListener) {
+  SlpVariant v;
+  RunConfig cfg;
+  v.Init(Path3(), cfg);
+  v.BeginIteration(0);
+  v.next_labels() = {kInvalidLabel, 1, 1};
+  const int changed = v.EndIteration(0);
+  EXPECT_EQ(changed, 2);                      // only vertices 1 and 2
+  EXPECT_EQ(v.CommunityLabels(0).size(), 1u);  // memory untouched
+}
+
+TEST(VariantContractTest, AuxFlagsMatchBehaviour) {
+  static_assert(!ClassicVariant::kNeedsLabelAux);
+  static_assert(LlpVariant::kNeedsLabelAux);
+  static_assert(!SlpVariant::kNeedsLabelAux);
+  ClassicVariant c;
+  SlpVariant s;
+  LlpVariant l;
+  EXPECT_FALSE(c.needs_pick_kernel());
+  EXPECT_FALSE(l.needs_pick_kernel());
+  EXPECT_TRUE(s.needs_pick_kernel());
+  EXPECT_GT(s.memory_bytes_per_vertex(), 0u);
+}
+
+}  // namespace
+}  // namespace glp::lp

@@ -1,0 +1,220 @@
+// Tests for the weighted-CSR substrate: BuildCollapsed semantics, exact
+// multigraph <-> weighted equivalence across engines, kernel routing, and
+// the pipeline's collapsed-window mode.
+
+#include <gtest/gtest.h>
+
+#include "cpu/seq_engine.h"
+#include "glp/factory.h"
+#include "glp/glp_engine.h"
+#include "glp/variants/classic.h"
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/transactions.h"
+#include "util/rng.h"
+
+namespace glp {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+/// Random multigraph with heavy parallel-edge multiplicity.
+std::vector<Edge> RandomMultiEdges(VertexId n, int64_t count, uint64_t seed) {
+  glp::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    // Small range -> many repeats.
+    edges.push_back({static_cast<VertexId>(rng.Bounded(n)),
+                     static_cast<VertexId>(rng.Bounded(n))});
+  }
+  return edges;
+}
+
+TEST(BuildCollapsedTest, WeightsAreMultiplicities) {
+  GraphBuilder b(3);
+  b.AddEdgeUnchecked(0, 1);
+  b.AddEdgeUnchecked(0, 1);
+  b.AddEdgeUnchecked(0, 1);
+  b.AddEdgeUnchecked(2, 1);
+  Graph g = b.BuildCollapsed(/*symmetrize=*/true);
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_EQ(g.degree(1), 2);  // distinct neighbors {0, 2}
+  const auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_FLOAT_EQ(g.edge_weight(g.offset(1)), 3.0f);
+  EXPECT_FLOAT_EQ(g.edge_weight(g.offset(1) + 1), 1.0f);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 8.0);  // 4 input edges symmetrized
+}
+
+TEST(BuildCollapsedTest, MatchesMultigraphTotals) {
+  auto edges = RandomMultiEdges(64, 4000, 11);
+  GraphBuilder b1(64), b2(64);
+  for (const Edge& e : edges) {
+    b1.AddEdgeUnchecked(e.src, e.dst);
+    b2.AddEdgeUnchecked(e.src, e.dst);
+  }
+  Graph multi = b1.Build(true, /*dedupe=*/false);
+  Graph weighted = b2.BuildCollapsed(true);
+  EXPECT_DOUBLE_EQ(weighted.total_weight(),
+                   static_cast<double>(multi.num_edges()));
+  EXPECT_LT(weighted.num_edges(), multi.num_edges());
+  EXPECT_LT(weighted.bytes(), multi.bytes());
+}
+
+class WeightedEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedEquivalenceTest, MultigraphAndCollapsedGiveSameLabels) {
+  auto edges = RandomMultiEdges(200, 6000, 100 + GetParam());
+  GraphBuilder b1(200), b2(200);
+  for (const Edge& e : edges) {
+    b1.AddEdgeUnchecked(e.src, e.dst);
+    b2.AddEdgeUnchecked(e.src, e.dst);
+  }
+  Graph multi = b1.Build(true, /*dedupe=*/false);
+  Graph weighted = b2.BuildCollapsed(true);
+
+  lp::RunConfig run;
+  run.max_iterations = 5;
+  cpu::SeqEngine<lp::ClassicVariant> seq;
+  auto on_multi = seq.Run(multi, run);
+  auto on_weighted = seq.Run(weighted, run);
+  ASSERT_TRUE(on_multi.ok());
+  ASSERT_TRUE(on_weighted.ok());
+  // Multiplicity weights are small integers: float sums are exact, so the
+  // labelings coincide exactly.
+  EXPECT_EQ(on_multi.value().labels, on_weighted.value().labels);
+
+  // And the GPU engines agree on the weighted graph.
+  for (auto kind : {lp::EngineKind::kOmp, lp::EngineKind::kLigra,
+                    lp::EngineKind::kTg, lp::EngineKind::kGHash,
+                    lp::EngineKind::kGlp}) {
+    auto r = lp::MakeEngine(kind, lp::VariantKind::kClassic)
+                 ->Run(weighted, run);
+    ASSERT_TRUE(r.ok()) << lp::EngineKindName(kind);
+    EXPECT_EQ(r.value().labels, on_weighted.value().labels)
+        << lp::EngineKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+TEST(WeightedRoutingTest, GSortRejectsWeightedGraphs) {
+  GraphBuilder b(16);
+  b.AddEdgeUnchecked(0, 1);
+  b.AddEdgeUnchecked(0, 1);
+  Graph g = b.BuildCollapsed(true);
+  auto r = lp::MakeEngine(lp::EngineKind::kGSort, lp::VariantKind::kClassic)
+               ->Run(g, {});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(WeightedRoutingTest, GlpRoutesLowBinOffPopcountKernel) {
+  // A weighted low-degree graph must avoid the popcount kernel; results
+  // still match Seq exactly, and the low bin is handled (not dropped).
+  auto edges = RandomMultiEdges(300, 1500, 5);
+  GraphBuilder b1(300), b2(300);
+  for (const Edge& e : edges) {
+    b1.AddEdgeUnchecked(e.src, e.dst);
+    b2.AddEdgeUnchecked(e.src, e.dst);
+  }
+  Graph weighted = b1.BuildCollapsed(true);
+  lp::RunConfig run;
+  run.max_iterations = 4;
+  cpu::SeqEngine<lp::ClassicVariant> seq;
+  lp::GlpEngine<lp::ClassicVariant> glp;  // mode kSmemWarp requested...
+  auto a = seq.Run(weighted, run);
+  auto g2 = glp.Run(weighted, run);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(a.value().labels, g2.value().labels);
+  // ...but no packing plan was built (occupancy untouched default).
+  EXPECT_DOUBLE_EQ(glp.last_plan_occupancy(), 1.0);
+}
+
+TEST(WeightedPipelineTest, CollapsedWindowsSameDetections) {
+  pipeline::TransactionConfig cfg;
+  cfg.num_buyers = 3000;
+  cfg.num_items = 800;
+  cfg.days = 60;
+  cfg.num_rings = 10;
+  cfg.ring_buyers = 10;
+  cfg.ring_items = 5;
+  cfg.seed = 42;
+  auto stream = pipeline::GenerateTransactions(cfg);
+  pipeline::FraudDetectionPipeline pipeline(&stream);
+
+  pipeline::PipelineConfig pc;
+  pc.window_days = 40;
+  pc.engine = lp::EngineKind::kGlp;
+  auto multi = pipeline.Run(pc);
+  pc.collapse_window_graphs = true;
+  auto collapsed = pipeline.Run(pc);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(collapsed.ok());
+
+  // Identical detections from a smaller graph.
+  EXPECT_LT(collapsed.value().window_edges, multi.value().window_edges);
+  ASSERT_EQ(collapsed.value().clusters.size(), multi.value().clusters.size());
+  for (size_t i = 0; i < multi.value().clusters.size(); ++i) {
+    EXPECT_EQ(collapsed.value().clusters[i].members,
+              multi.value().clusters[i].members);
+    // The scorer sees the same interaction mass either way.
+    EXPECT_EQ(collapsed.value().clusters[i].internal_edges,
+              multi.value().clusters[i].internal_edges);
+  }
+  EXPECT_EQ(collapsed.value().lp_metrics.true_positives,
+            multi.value().lp_metrics.true_positives);
+}
+
+TEST(WeightedGraphTest, BinaryIoRoundTripsWeights) {
+  GraphBuilder b(8);
+  glp::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    b.AddEdgeUnchecked(static_cast<VertexId>(rng.Bounded(8)),
+                       static_cast<VertexId>(rng.Bounded(8)));
+  }
+  Graph g = b.BuildCollapsed(true);
+  const std::string path = "/tmp/glp_weighted_io_test.bin";
+  ASSERT_TRUE(graph::SaveBinary(g, path).ok());
+  auto loaded = graph::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().has_weights());
+  EXPECT_EQ(loaded.value().weight_array(), g.weight_array());
+  EXPECT_EQ(loaded.value().neighbor_array(), g.neighbor_array());
+  std::remove(path.c_str());
+}
+
+TEST(WeightedGraphTest, ModularityMatchesMultigraph) {
+  auto edges = RandomMultiEdges(50, 2000, 21);
+  GraphBuilder b1(50), b2(50);
+  for (const Edge& e : edges) {
+    b1.AddEdgeUnchecked(e.src, e.dst);
+    b2.AddEdgeUnchecked(e.src, e.dst);
+  }
+  Graph multi = b1.Build(true, /*dedupe=*/false);
+  Graph weighted = b2.BuildCollapsed(true);
+  std::vector<graph::Label> labels(50);
+  for (VertexId v = 0; v < 50; ++v) labels[v] = v % 4;
+  EXPECT_NEAR(graph::Modularity(multi, labels),
+              graph::Modularity(weighted, labels), 1e-9);
+}
+
+TEST(WeightedGraphTest, UnweightedEdgeWeightIsOne) {
+  Graph g = graph::BuildGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.edge_weight(0), 1.0f);
+  EXPECT_EQ(g.weights_data(), nullptr);
+  EXPECT_DOUBLE_EQ(g.total_weight(), static_cast<double>(g.num_edges()));
+}
+
+}  // namespace
+}  // namespace glp
