@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_classic_lp.dir/fig4_classic_lp.cc.o"
+  "CMakeFiles/fig4_classic_lp.dir/fig4_classic_lp.cc.o.d"
+  "fig4_classic_lp"
+  "fig4_classic_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_classic_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_llp.dir/fig5_llp.cc.o"
+  "CMakeFiles/fig5_llp.dir/fig5_llp.cc.o.d"
+  "fig5_llp"
+  "fig5_llp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_llp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

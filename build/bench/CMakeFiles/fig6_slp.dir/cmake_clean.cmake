@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_slp.dir/fig6_slp.cc.o"
+  "CMakeFiles/fig6_slp.dir/fig6_slp.cc.o.d"
+  "fig6_slp"
+  "fig6_slp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_taobao.dir/fig7_taobao.cc.o"
+  "CMakeFiles/fig7_taobao.dir/fig7_taobao.cc.o.d"
+  "fig7_taobao"
+  "fig7_taobao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_taobao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

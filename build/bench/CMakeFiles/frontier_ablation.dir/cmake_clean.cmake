@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_ablation.dir/frontier_ablation.cc.o"
+  "CMakeFiles/frontier_ablation.dir/frontier_ablation.cc.o.d"
+  "frontier_ablation"
+  "frontier_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

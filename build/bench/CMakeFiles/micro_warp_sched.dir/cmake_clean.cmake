@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_warp_sched.dir/micro_warp_sched.cc.o"
+  "CMakeFiles/micro_warp_sched.dir/micro_warp_sched.cc.o.d"
+  "micro_warp_sched"
+  "micro_warp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_warp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_quality.dir/pipeline_quality.cc.o"
+  "CMakeFiles/pipeline_quality.dir/pipeline_quality.cc.o.d"
+  "pipeline_quality"
+  "pipeline_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_ht_cms.dir/sweep_ht_cms.cc.o"
+  "CMakeFiles/sweep_ht_cms.dir/sweep_ht_cms.cc.o.d"
+  "sweep_ht_cms"
+  "sweep_ht_cms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_ht_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

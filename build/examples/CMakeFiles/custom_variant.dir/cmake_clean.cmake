@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_variant.dir/custom_variant.cpp.o"
+  "CMakeFiles/custom_variant.dir/custom_variant.cpp.o.d"
+  "custom_variant"
+  "custom_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_cpu.dir/ligra.cc.o"
+  "CMakeFiles/glp_cpu.dir/ligra.cc.o.d"
+  "libglp_cpu.a"
+  "libglp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_core.dir/autotune.cc.o"
+  "CMakeFiles/glp_core.dir/autotune.cc.o.d"
+  "CMakeFiles/glp_core.dir/run.cc.o"
+  "CMakeFiles/glp_core.dir/run.cc.o.d"
+  "CMakeFiles/glp_core.dir/variants/slp.cc.o"
+  "CMakeFiles/glp_core.dir/variants/slp.cc.o.d"
+  "libglp_core.a"
+  "libglp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

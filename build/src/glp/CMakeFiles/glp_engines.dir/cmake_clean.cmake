@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_engines.dir/factory.cc.o"
+  "CMakeFiles/glp_engines.dir/factory.cc.o.d"
+  "libglp_engines.a"
+  "libglp_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

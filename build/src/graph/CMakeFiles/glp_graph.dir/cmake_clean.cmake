@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_graph.dir/algorithms.cc.o"
+  "CMakeFiles/glp_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/glp_graph.dir/binning.cc.o"
+  "CMakeFiles/glp_graph.dir/binning.cc.o.d"
+  "CMakeFiles/glp_graph.dir/builder.cc.o"
+  "CMakeFiles/glp_graph.dir/builder.cc.o.d"
+  "CMakeFiles/glp_graph.dir/csr.cc.o"
+  "CMakeFiles/glp_graph.dir/csr.cc.o.d"
+  "CMakeFiles/glp_graph.dir/datasets.cc.o"
+  "CMakeFiles/glp_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/glp_graph.dir/generators.cc.o"
+  "CMakeFiles/glp_graph.dir/generators.cc.o.d"
+  "CMakeFiles/glp_graph.dir/io.cc.o"
+  "CMakeFiles/glp_graph.dir/io.cc.o.d"
+  "CMakeFiles/glp_graph.dir/sliding_window.cc.o"
+  "CMakeFiles/glp_graph.dir/sliding_window.cc.o.d"
+  "libglp_graph.a"
+  "libglp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_pipeline.dir/distributed.cc.o"
+  "CMakeFiles/glp_pipeline.dir/distributed.cc.o.d"
+  "CMakeFiles/glp_pipeline.dir/metrics.cc.o"
+  "CMakeFiles/glp_pipeline.dir/metrics.cc.o.d"
+  "CMakeFiles/glp_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/glp_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/glp_pipeline.dir/transactions.cc.o"
+  "CMakeFiles/glp_pipeline.dir/transactions.cc.o.d"
+  "libglp_pipeline.a"
+  "libglp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

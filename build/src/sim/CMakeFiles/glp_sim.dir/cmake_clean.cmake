@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_sim.dir/cost_model.cc.o"
+  "CMakeFiles/glp_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/glp_sim.dir/segmented_sort.cc.o"
+  "CMakeFiles/glp_sim.dir/segmented_sort.cc.o.d"
+  "CMakeFiles/glp_sim.dir/stats.cc.o"
+  "CMakeFiles/glp_sim.dir/stats.cc.o.d"
+  "libglp_sim.a"
+  "libglp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/count_min.cc" "src/sketch/CMakeFiles/glp_sketch.dir/count_min.cc.o" "gcc" "src/sketch/CMakeFiles/glp_sketch.dir/count_min.cc.o.d"
+  "/root/repo/src/sketch/fixed_hash_table.cc" "src/sketch/CMakeFiles/glp_sketch.dir/fixed_hash_table.cc.o" "gcc" "src/sketch/CMakeFiles/glp_sketch.dir/fixed_hash_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/glp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/glp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

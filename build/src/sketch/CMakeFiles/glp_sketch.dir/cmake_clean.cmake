@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_sketch.dir/count_min.cc.o"
+  "CMakeFiles/glp_sketch.dir/count_min.cc.o.d"
+  "CMakeFiles/glp_sketch.dir/fixed_hash_table.cc.o"
+  "CMakeFiles/glp_sketch.dir/fixed_hash_table.cc.o.d"
+  "libglp_sketch.a"
+  "libglp_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_util.dir/logging.cc.o"
+  "CMakeFiles/glp_util.dir/logging.cc.o.d"
+  "CMakeFiles/glp_util.dir/status.cc.o"
+  "CMakeFiles/glp_util.dir/status.cc.o.d"
+  "CMakeFiles/glp_util.dir/thread_pool.cc.o"
+  "CMakeFiles/glp_util.dir/thread_pool.cc.o.d"
+  "libglp_util.a"
+  "libglp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_engines_test.dir/cpu_engines_test.cc.o"
+  "CMakeFiles/cpu_engines_test.dir/cpu_engines_test.cc.o.d"
+  "cpu_engines_test"
+  "cpu_engines_test.pdb"
+  "cpu_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_engine_test.dir/glp_engine_test.cc.o"
+  "CMakeFiles/glp_engine_test.dir/glp_engine_test.cc.o.d"
+  "glp_engine_test"
+  "glp_engine_test.pdb"
+  "glp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

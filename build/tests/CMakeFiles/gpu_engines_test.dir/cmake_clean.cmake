@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_engines_test.dir/gpu_engines_test.cc.o"
+  "CMakeFiles/gpu_engines_test.dir/gpu_engines_test.cc.o.d"
+  "gpu_engines_test"
+  "gpu_engines_test.pdb"
+  "gpu_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

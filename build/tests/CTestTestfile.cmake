@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/variants_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_engines_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_engines_test[1]_include.cmake")
+include("/root/repo/build/tests/glp_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/async_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/frontier_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_run.dir/glp_run.cc.o"
+  "CMakeFiles/glp_run.dir/glp_run.cc.o.d"
+  "glp_run"
+  "glp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
