@@ -13,6 +13,7 @@
 #include "glp/run.h"
 #include "graph/datasets.h"
 #include "pipeline/transactions.h"
+#include "prof/prof.h"
 #include "util/logging.h"
 
 namespace glp::bench {
@@ -22,7 +23,8 @@ struct BenchFlags {
   double scale = 1.0;   ///< dataset scale multiplier (see graph/datasets.h)
   int iterations = 20;  ///< LP iterations (paper: 20)
   uint64_t seed = 1;
-  bool full = false;  ///< run the full parameter sweep where applicable
+  bool full = false;     ///< run the full parameter sweep where applicable
+  bool profile = false;  ///< dump a per-phase GLP breakdown per dataset
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -39,9 +41,11 @@ struct BenchFlags {
         flags.seed = std::strtoull(next("--seed"), nullptr, 10);
       } else if (std::strcmp(argv[i], "--full") == 0) {
         flags.full = true;
+      } else if (std::strcmp(argv[i], "--profile") == 0) {
+        flags.profile = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "flags: --scale <f> --iters <n> --seed <n> --full\n");
+            "flags: --scale <f> --iters <n> --seed <n> --full --profile\n");
         std::exit(0);
       } else {
         GLP_LOG(Warning) << "unknown flag " << argv[i];
@@ -191,6 +195,22 @@ inline void RunSpeedupFigure(const char* title, lp::VariantKind variant,
       std::printf("%-12s", Speedup(omp_time, t).c_str());
     }
     std::printf("%-12s\n", Duration(glp_avg_iter).c_str());
+
+    // --profile: one extra instrumented GLP run (first sweep config) so the
+    // figure can be decomposed into its per-phase costs. The timing columns
+    // above are untouched — this run is separate.
+    if (flags.profile && !sweep.empty()) {
+      prof::PhaseProfiler profiler;
+      lp::RunConfig prof_run = run;
+      prof_run.profiler = &profiler;
+      auto r = lp::MakeEngine(lp::EngineKind::kGlp, variant, sweep.front(), {},
+                              nullptr, device)
+                   ->Run(g, prof_run);
+      GLP_CHECK(r.ok()) << r.status().ToString();
+      std::printf("\n%s phase breakdown (GLP, first sweep config):\n%s\n",
+                  spec.name.c_str(),
+                  r.value().phase_breakdown.ToString().c_str());
+    }
   }
   std::printf("\n(GLP-iter = GLP simulated time per LP iteration. GPU engine "
               "times are cost-model\n seconds on a simulated Titan V; CPU "

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cpu/CMakeFiles/glp_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/glp/CMakeFiles/glp_engines.dir/DependInfo.cmake"
   "/root/repo/build/src/pipeline/CMakeFiles/glp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/glp_prof.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -15,9 +15,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/glp/CMakeFiles/glp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/cpu/CMakeFiles/glp_cpu.dir/DependInfo.cmake"
-  "/root/repo/build/src/sim/CMakeFiles/glp_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/sketch/CMakeFiles/glp_sketch.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/glp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/glp_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glp_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/glp_util.dir/DependInfo.cmake"
   )
 

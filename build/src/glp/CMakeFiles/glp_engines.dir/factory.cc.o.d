@@ -202,17 +202,19 @@ src/glp/CMakeFiles/glp_engines.dir/factory.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/graph/types.h \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/stats.h \
- /root/repo/src/util/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/sim/device.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/prof/prof.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/stats.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/sim/device.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -232,10 +234,10 @@ src/glp/CMakeFiles/glp_engines.dir/factory.cc.o: \
  /root/repo/src/cpu/ligra_engine.h /root/repo/src/cpu/ligra.h \
  /root/repo/src/cpu/mfl.h /root/repo/src/cpu/label_counter.h \
  /root/repo/src/util/hash.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/cpu/parallel_engine.h \
- /root/repo/src/cpu/seq_engine.h /root/repo/src/cpu/tg_engine.h \
- /root/repo/src/cpu/accumulators.h /root/repo/src/glp/glp_engine.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/cpu/parallel_engine.h /root/repo/src/cpu/seq_engine.h \
+ /root/repo/src/cpu/tg_engine.h /root/repo/src/cpu/accumulators.h \
+ /root/repo/src/glp/glp_engine.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/glp/kernels/accounting.h /root/repo/src/sim/cost_model.h \

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glp_prof.dir/prof.cc.o"
+  "CMakeFiles/glp_prof.dir/prof.cc.o.d"
+  "CMakeFiles/glp_prof.dir/trace.cc.o"
+  "CMakeFiles/glp_prof.dir/trace.cc.o.d"
+  "libglp_prof.a"
+  "libglp_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glp_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

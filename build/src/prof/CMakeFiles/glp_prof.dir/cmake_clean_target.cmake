@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglp_prof.a"
+)

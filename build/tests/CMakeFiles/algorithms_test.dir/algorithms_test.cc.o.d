@@ -297,12 +297,12 @@ tests/CMakeFiles/algorithms_test.dir/algorithms_test.cc.o: \
  /root/repo/src/cpu/label_counter.h /root/repo/src/graph/types.h \
  /root/repo/src/util/hash.h /root/repo/src/graph/csr.h \
  /usr/include/c++/12/span /root/repo/src/util/logging.h \
- /root/repo/src/glp/run.h /root/repo/src/sim/stats.h \
- /root/repo/src/util/status.h /root/repo/src/util/timer.h \
+ /root/repo/src/glp/run.h /root/repo/src/prof/prof.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/glp/variants/classic.h \
- /root/repo/src/glp/variants/llp.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/ratio /root/repo/src/sim/stats.h \
+ /root/repo/src/util/status.h /root/repo/src/util/timer.h \
+ /root/repo/src/glp/variants/classic.h /root/repo/src/glp/variants/llp.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/graph/algorithms.h /root/repo/src/graph/builder.h \

@@ -297,12 +297,14 @@ tests/CMakeFiles/async_test.dir/async_test.cc.o: \
  /root/repo/src/cpu/label_counter.h /root/repo/src/graph/types.h \
  /root/repo/src/util/hash.h /root/repo/src/graph/csr.h \
  /usr/include/c++/12/span /root/repo/src/util/logging.h \
- /root/repo/src/glp/run.h /root/repo/src/sim/stats.h \
+ /root/repo/src/glp/run.h /root/repo/src/prof/prof.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/sim/stats.h \
  /root/repo/src/util/status.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -310,10 +312,9 @@ tests/CMakeFiles/async_test.dir/async_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /root/repo/src/cpu/seq_engine.h /root/repo/src/glp/variants/classic.h \
- /root/repo/src/glp/variants/llp.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/timer.h /root/repo/src/cpu/seq_engine.h \
+ /root/repo/src/glp/variants/classic.h /root/repo/src/glp/variants/llp.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/glp/variants/slp.h /root/repo/src/graph/builder.h \

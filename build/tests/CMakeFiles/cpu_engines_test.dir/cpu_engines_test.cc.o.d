@@ -309,12 +309,13 @@ tests/CMakeFiles/cpu_engines_test.dir/cpu_engines_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/cpu/ligra_engine.h /root/repo/src/cpu/mfl.h \
- /root/repo/src/glp/run.h /root/repo/src/sim/stats.h \
+ /root/repo/src/glp/run.h /root/repo/src/prof/prof.h \
+ /usr/include/c++/12/chrono /root/repo/src/sim/stats.h \
  /root/repo/src/util/status.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/cpu/parallel_engine.h \
- /root/repo/src/cpu/seq_engine.h /root/repo/src/cpu/tg_engine.h \
- /root/repo/src/glp/variants/classic.h /root/repo/src/glp/variants/llp.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/cpu/parallel_engine.h /root/repo/src/cpu/seq_engine.h \
+ /root/repo/src/cpu/tg_engine.h /root/repo/src/glp/variants/classic.h \
+ /root/repo/src/glp/variants/llp.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/graph/builder.h /root/repo/src/graph/generators.h \

@@ -297,12 +297,13 @@ tests/CMakeFiles/features_test.dir/features_test.cc.o: \
  /root/repo/src/cpu/label_counter.h /root/repo/src/graph/types.h \
  /root/repo/src/util/hash.h /root/repo/src/graph/csr.h \
  /usr/include/c++/12/span /root/repo/src/util/logging.h \
- /root/repo/src/glp/run.h /root/repo/src/sim/stats.h \
- /root/repo/src/util/status.h /root/repo/src/util/timer.h \
+ /root/repo/src/glp/run.h /root/repo/src/prof/prof.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/glp/autotune.h \
- /root/repo/src/sim/device.h /root/repo/src/glp/factory.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/ratio /root/repo/src/sim/stats.h \
+ /root/repo/src/util/status.h /root/repo/src/util/timer.h \
+ /root/repo/src/glp/autotune.h /root/repo/src/sim/device.h \
+ /root/repo/src/glp/factory.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

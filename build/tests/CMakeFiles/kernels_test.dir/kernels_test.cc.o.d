@@ -297,8 +297,10 @@ tests/CMakeFiles/kernels_test.dir/kernels_test.cc.o: \
  /root/repo/src/util/hash.h /root/repo/src/graph/csr.h \
  /usr/include/c++/12/span /root/repo/src/util/logging.h \
  /root/repo/src/graph/builder.h /root/repo/src/util/status.h \
- /root/repo/src/glp/kernels/accounting.h /root/repo/src/sim/cost_model.h \
- /root/repo/src/sim/device.h /root/repo/src/sim/stats.h \
+ /root/repo/src/glp/kernels/accounting.h /root/repo/src/prof/prof.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/sim/stats.h \
+ /root/repo/src/sim/cost_model.h /root/repo/src/sim/device.h \
  /root/repo/src/glp/kernels/global_ht.h \
  /root/repo/src/glp/kernels/common.h /root/repo/src/glp/run.h \
  /root/repo/src/sim/block.h /root/repo/src/sim/shared_memory.h \
@@ -307,7 +309,6 @@ tests/CMakeFiles/kernels_test.dir/kernels_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/sim/lane.h \
  /root/repo/src/sim/launch.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

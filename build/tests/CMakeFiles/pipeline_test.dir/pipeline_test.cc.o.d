@@ -297,9 +297,10 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /usr/include/c++/12/span /root/repo/src/graph/types.h \
  /root/repo/src/util/logging.h /root/repo/src/util/rng.h \
  /root/repo/src/pipeline/distributed.h /root/repo/src/glp/run.h \
+ /root/repo/src/prof/prof.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/sim/stats.h /root/repo/src/util/status.h \
  /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

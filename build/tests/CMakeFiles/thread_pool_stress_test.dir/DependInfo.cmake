@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_stress_test.cc" "tests/CMakeFiles/thread_pool_stress_test.dir/thread_pool_stress_test.cc.o" "gcc" "tests/CMakeFiles/thread_pool_stress_test.dir/thread_pool_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/glp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/glp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/glp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/glp_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/glp/CMakeFiles/glp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/glp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/glp/CMakeFiles/glp_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/glp_pipeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

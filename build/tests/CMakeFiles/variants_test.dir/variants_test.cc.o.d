@@ -296,6 +296,8 @@ tests/CMakeFiles/variants_test.dir/variants_test.cc.o: \
  /root/repo/src/glp/variants/classic.h /root/repo/src/graph/csr.h \
  /usr/include/c++/12/span /root/repo/src/graph/types.h \
  /root/repo/src/util/logging.h /root/repo/src/glp/run.h \
+ /root/repo/src/prof/prof.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/sim/stats.h /root/repo/src/util/status.h \
  /root/repo/src/glp/variants/llp.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -21,3 +21,5 @@ include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
 include("/root/repo/build/tests/frontier_test[1]_include.cmake")
 include("/root/repo/build/tests/weighted_test[1]_include.cmake")
+include("/root/repo/build/tests/prof_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_stress_test[1]_include.cmake")

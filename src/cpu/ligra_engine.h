@@ -7,6 +7,7 @@
 #include "cpu/ligra.h"
 #include "cpu/mfl.h"
 #include "glp/run.h"
+#include "prof/prof.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -32,6 +33,8 @@ class LigraEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     const graph::VertexId n = g.num_vertices();
     lp::RunResult result;
@@ -45,44 +48,62 @@ class LigraEngine : public lp::Engine {
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
       glp::Timer iter_timer;
-      variant.BeginIteration(iter);
-
-      // Frontier update: vertices whose spoken label differs from last
-      // iteration are the change sources (covers SLP's random speakers too).
-      if (iter > 0) {
-        const auto& spoken = variant.labels();
-        std::vector<graph::VertexId> changed_ids;
-        for (graph::VertexId v = 0; v < n; ++v) {
-          if (spoken[v] != prev_spoken[v]) changed_ids.push_back(v);
-        }
-        frontier = VertexSubset::FromIds(n, std::move(changed_ids));
-        prev_spoken = spoken;
-      } else {
-        prev_spoken = variant.labels();
+      if (profiler != nullptr) profiler->BeginIteration(iter);
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kPick);
+        variant.BeginIteration(iter);
       }
 
-      // Affected set: neighbors of change sources must recompute. Variants
-      // with per-label auxiliary state (LLP's volumes) are excluded from the
-      // pruning: their scores shift globally every iteration even where no
-      // neighbor label changed, so every vertex recomputes.
-      VertexSubset affected =
-          (iter == 0 || Variant::kNeedsLabelAux)
-              ? VertexSubset::All(n)
-              : EdgeMapNeighbors(g, frontier, pool_);
+      VertexSubset affected = VertexSubset::All(n);
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kFrontier);
+        // Frontier update: vertices whose spoken label differs from last
+        // iteration are the change sources (covers SLP's random speakers
+        // too).
+        if (iter > 0) {
+          const auto& spoken = variant.labels();
+          std::vector<graph::VertexId> changed_ids;
+          for (graph::VertexId v = 0; v < n; ++v) {
+            if (spoken[v] != prev_spoken[v]) changed_ids.push_back(v);
+          }
+          frontier = VertexSubset::FromIds(n, std::move(changed_ids));
+          prev_spoken = spoken;
+        } else {
+          prev_spoken = variant.labels();
+        }
+
+        // Affected set: neighbors of change sources must recompute.
+        // Variants with per-label auxiliary state (LLP's volumes) are
+        // excluded from the pruning: their scores shift globally every
+        // iteration even where no neighbor label changed, so every vertex
+        // recomputes.
+        if (iter > 0 && !Variant::kNeedsLabelAux) {
+          affected = EdgeMapNeighbors(g, frontier, pool_);
+        }
+      }
 
       // VertexMap: recompute MFL on the affected set; everyone else repeats
       // their last chosen label.
-      auto& next = variant.next_labels();
-      std::copy(last_chosen.begin(), last_chosen.end(), next.begin());
-      const Variant& cvariant = variant;
-      affected.ForEach(pool_, [&](graph::VertexId v) {
-        thread_local LabelCounter counter;
-        next[v] = ComputeMfl(g, cvariant, v, &counter);
-      });
-      std::copy(next.begin(), next.end(), last_chosen.begin());
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCompute);
+        auto& next = variant.next_labels();
+        std::copy(last_chosen.begin(), last_chosen.end(), next.begin());
+        const Variant& cvariant = variant;
+        affected.ForEach(pool_, [&](graph::VertexId v) {
+          thread_local LabelCounter counter;
+          next[v] = ComputeMfl(g, cvariant, v, &counter);
+        });
+        std::copy(next.begin(), next.end(), last_chosen.begin());
+      }
 
-      const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(iter_timer.Seconds());
+      int changed;
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCommit);
+        changed = variant.EndIteration(iter);
+      }
+      const double iter_s = iter_timer.Seconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -90,6 +111,7 @@ class LigraEngine : public lp::Engine {
     result.labels = variant.FinalLabels();
     result.wall_seconds = timer.Seconds();
     result.simulated_seconds = result.wall_seconds;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

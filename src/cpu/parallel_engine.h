@@ -8,6 +8,7 @@
 
 #include "cpu/mfl.h"
 #include "glp/run.h"
+#include "prof/prof.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -35,25 +36,40 @@ class ParallelEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     lp::RunResult result;
     for (int iter = 0; iter < config.max_iterations; ++iter) {
       glp::Timer iter_timer;
-      variant.BeginIteration(iter);
-      auto& next = variant.next_labels();
-      const Variant& cvariant = variant;
-      pool_->ParallelFor(
-          0, g.num_vertices(),
-          [&](int64_t lo, int64_t hi) {
-            LabelCounter counter;
-            for (int64_t v = lo; v < hi; ++v) {
-              next[v] = ComputeMfl(g, cvariant,
-                                   static_cast<graph::VertexId>(v), &counter);
-            }
-          },
-          /*grain=*/4096);
-      const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(iter_timer.Seconds());
+      if (profiler != nullptr) profiler->BeginIteration(iter);
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kPick);
+        variant.BeginIteration(iter);
+      }
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCompute);
+        auto& next = variant.next_labels();
+        const Variant& cvariant = variant;
+        pool_->ParallelFor(
+            0, g.num_vertices(),
+            [&](int64_t lo, int64_t hi) {
+              LabelCounter counter;
+              for (int64_t v = lo; v < hi; ++v) {
+                next[v] = ComputeMfl(
+                    g, cvariant, static_cast<graph::VertexId>(v), &counter);
+              }
+            },
+            /*grain=*/4096);
+      }
+      int changed;
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCommit);
+        changed = variant.EndIteration(iter);
+      }
+      const double iter_s = iter_timer.Seconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -61,6 +77,7 @@ class ParallelEngine : public lp::Engine {
     result.labels = variant.FinalLabels();
     result.wall_seconds = timer.Seconds();
     result.simulated_seconds = result.wall_seconds;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

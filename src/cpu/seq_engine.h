@@ -7,6 +7,7 @@
 
 #include "cpu/mfl.h"
 #include "glp/run.h"
+#include "prof/prof.h"
 #include "util/timer.h"
 
 namespace glp::cpu {
@@ -30,18 +31,33 @@ class SeqEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     lp::RunResult result;
     LabelCounter counter;
     for (int iter = 0; iter < config.max_iterations; ++iter) {
       glp::Timer iter_timer;
-      variant.BeginIteration(iter);
-      auto& next = variant.next_labels();
-      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-        next[v] = ComputeMfl(g, variant, v, &counter);
+      if (profiler != nullptr) profiler->BeginIteration(iter);
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kPick);
+        variant.BeginIteration(iter);
       }
-      const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(iter_timer.Seconds());
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCompute);
+        auto& next = variant.next_labels();
+        for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+          next[v] = ComputeMfl(g, variant, v, &counter);
+        }
+      }
+      int changed;
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCommit);
+        changed = variant.EndIteration(iter);
+      }
+      const double iter_s = iter_timer.Seconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -49,6 +65,7 @@ class SeqEngine : public lp::Engine {
     result.labels = variant.FinalLabels();
     result.wall_seconds = timer.Seconds();
     result.simulated_seconds = result.wall_seconds;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

@@ -9,6 +9,7 @@
 
 #include "cpu/accumulators.h"
 #include "glp/run.h"
+#include "prof/prof.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -34,58 +35,73 @@ class TgEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     const graph::VertexId n = g.num_vertices();
     lp::RunResult result;
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
       glp::Timer iter_timer;
-      variant.BeginIteration(iter);
+      if (profiler != nullptr) profiler->BeginIteration(iter);
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kPick);
+        variant.BeginIteration(iter);
+      }
       auto& next = variant.next_labels();
       const Variant& cvariant = variant;
 
       // Superstep: each vertex materializes a MapAccum from its neighbors'
       // messages, then reduces it with the variant's score function.
-      pool_->ParallelFor(
-          0, n,
-          [&](int64_t lo, int64_t hi) {
-            for (int64_t vi = lo; vi < hi; ++vi) {
-              const auto v = static_cast<graph::VertexId>(vi);
-              const auto neighbors = g.neighbors(v);
-              if (neighbors.empty()) {
-                next[v] = graph::kInvalidLabel;
-                continue;
-              }
-              MapAccum<graph::Label, SumAccum<double>> acc;
-              const auto& labels = cvariant.labels();
-              const graph::EdgeId begin = g.offset(v);
-              for (size_t i = 0; i < neighbors.size(); ++i) {
-                const graph::VertexId u = neighbors[i];
-                acc.Accumulate(
-                    labels[u],
-                    g.edge_weight(begin + static_cast<graph::EdgeId>(i)) *
-                        cvariant.NeighborWeight(v, u));
-              }
-              const auto& aux = cvariant.label_aux();
-              graph::Label best = graph::kInvalidLabel;
-              double best_score = -std::numeric_limits<double>::infinity();
-              acc.ForEach([&](graph::Label l, double freq) {
-                const double a =
-                    Variant::kNeedsLabelAux ? static_cast<double>(aux[l]) : 0.0;
-                const double score = cvariant.Score(v, l, freq, a);
-                if (score > best_score ||
-                    (score == best_score && l < best)) {
-                  best = l;
-                  best_score = score;
+      {
+        prof::ScopedPhase compute_phase(profiler, prof::Phase::kCompute);
+        pool_->ParallelFor(
+            0, n,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t vi = lo; vi < hi; ++vi) {
+                const auto v = static_cast<graph::VertexId>(vi);
+                const auto neighbors = g.neighbors(v);
+                if (neighbors.empty()) {
+                  next[v] = graph::kInvalidLabel;
+                  continue;
                 }
-              });
-              next[v] = best;
-            }
-          },
-          /*grain=*/2048);
+                MapAccum<graph::Label, SumAccum<double>> acc;
+                const auto& labels = cvariant.labels();
+                const graph::EdgeId begin = g.offset(v);
+                for (size_t i = 0; i < neighbors.size(); ++i) {
+                  const graph::VertexId u = neighbors[i];
+                  acc.Accumulate(
+                      labels[u],
+                      g.edge_weight(begin + static_cast<graph::EdgeId>(i)) *
+                          cvariant.NeighborWeight(v, u));
+                }
+                const auto& aux = cvariant.label_aux();
+                graph::Label best = graph::kInvalidLabel;
+                double best_score = -std::numeric_limits<double>::infinity();
+                acc.ForEach([&](graph::Label l, double freq) {
+                  const double a =
+                      Variant::kNeedsLabelAux ? static_cast<double>(aux[l]) : 0.0;
+                  const double score = cvariant.Score(v, l, freq, a);
+                  if (score > best_score ||
+                      (score == best_score && l < best)) {
+                    best = l;
+                    best_score = score;
+                  }
+                });
+                next[v] = best;
+              }
+            },
+            /*grain=*/2048);
+      }
 
-      const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(iter_timer.Seconds());
+      int changed;
+      {
+        prof::ScopedPhase sp(profiler, prof::Phase::kCommit);
+        changed = variant.EndIteration(iter);
+      }
+      const double iter_s = iter_timer.Seconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -93,6 +109,7 @@ class TgEngine : public lp::Engine {
     result.labels = variant.FinalLabels();
     result.wall_seconds = timer.Seconds();
     result.simulated_seconds = result.wall_seconds;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "glp/kernels/accounting.h"
 #include "glp/kernels/common.h"
@@ -154,8 +155,8 @@ class GlpEngine : public Engine {
         for (graph::VertexId v : part.bins.mid) {
           mid_max = std::max(mid_max, g.degree(v));
         }
-        part.low_ht_capacity = NextPow2(static_cast<int>(2 * low_max));
-        part.mid_ht_capacity = NextPow2(static_cast<int>(2 * mid_max));
+        part.low_ht_capacity = NextPow2(2 * low_max);
+        part.mid_ht_capacity = NextPow2(2 * mid_max);
         if (use_warp_pack) {
           part.plan = BuildLowDegreePlan(g, part.bins.low);
           occupancy_sum += part.plan.occupancy;
@@ -188,7 +189,9 @@ class GlpEngine : public Engine {
     affected_counts_.clear();
 
     // --- Iterations ---
-    GpuRunAccumulator acc(&cost_);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), num_gpus);
+    GpuRunAccumulator acc(&cost_, profiler);
     sim::TransferLedger transfers(&cost_);
     std::atomic<uint64_t> fallbacks{0};
     RunResult result;
@@ -198,6 +201,7 @@ class GlpEngine : public Engine {
     const double initial_transfer = transfers.seconds();
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
 
@@ -228,14 +232,17 @@ class GlpEngine : public Engine {
       // partition; devices run concurrently, so the iteration's kernel time
       // is the max over GPUs.
       double max_gpu_seconds = 0;
-      for (GpuPartition& part : parts) {
+      for (int gpu = 0; gpu < num_gpus; ++gpu) {
+        GpuPartition& part = parts[gpu];
         double gpu_seconds = 0;
         const uint64_t pv = part.vertices;
 
         // PickLabel kernel (per-vertex-state variants only).
         if (variant.needs_pick_kernel()) {
-          gpu_seconds += acc.AddLaunchConcurrent(MapKernelStats(
-              pv, pv * variant.memory_bytes_per_vertex(), pv * 4));
+          gpu_seconds += acc.AddLaunchConcurrent(
+              MapKernelStats(pv, pv * variant.memory_bytes_per_vertex(),
+                             pv * 4),
+              prof::Phase::kPick, gpu);
         }
 
         // Frontier filtering of this partition's bins (device cost: compare
@@ -257,11 +264,17 @@ class GlpEngine : public Engine {
           filter(part.bins.high, &filtered.high);
           bins_now = &filtered;
           // Frontier bookkeeping kernels (concurrent with other GPUs).
+          // Per-GPU shares round up so a small frontier is never priced at
+          // zero (truncating division charged nothing whenever
+          // changed_edges < num_gpus).
+          const uint64_t gpus_u = static_cast<uint64_t>(num_gpus);
+          const uint64_t edge_share = (changed_edges + gpus_u - 1) / gpus_u;
+          const uint64_t affected_share =
+              (affected_count + gpus_u - 1) / gpus_u;
           sim::KernelStats frontier_stats;
           frontier_stats += MapKernelStats(pv, 8 * pv, 4);  // diff + compact
-          frontier_stats += MapKernelStats(changed_edges / num_gpus,
-                                           changed_edges / num_gpus * 4,
-                                           affected_count / num_gpus);
+          frontier_stats +=
+              MapKernelStats(edge_share, edge_share * 4, affected_share);
           frontier_stats += MapKernelStats(pv, pv * 4, pv * 4);  // carry copy
           if (use_warp_pack) {
             filtered_plan = BuildLowDegreePlan(g, filtered.low);
@@ -275,63 +288,88 @@ class GlpEngine : public Engine {
                                              flow_edges * 4);
           }
           frontier_stats.kernel_launches = 1;
-          gpu_seconds += acc.AddLaunchConcurrent(frontier_stats);
+          gpu_seconds += acc.AddLaunchConcurrent(frontier_stats,
+                                                 prof::Phase::kFrontier, gpu);
         }
 
         // LabelPropagation kernels by mode. The per-bin kernels are
         // independent and launch on concurrent streams, so the whole phase
-        // pays one launch overhead and fills the device together.
+        // pays one launch overhead and fills the device together. When
+        // profiling, each bin's stats are kept apart so the fused priced
+        // time can be attributed per bin (pricing itself is unchanged).
         sim::KernelStats phase;
+        std::vector<BinPart> bin_parts;
+        auto add_part = [&](prof::Phase p, const sim::KernelStats& s) {
+          phase += s;
+          if (profiler != nullptr) bin_parts.push_back({p, s});
+        };
         if (!use_smem) {
           part.arena.Reset();
-          phase += MapKernelStats(0, 0, part.arena.bytes());  // memset
-          phase += RunGlobalHtKernel(device_, pool_, view, part.all_vertices,
+          add_part(prof::Phase::kCompute,
+                   MapKernelStats(0, 0, part.arena.bytes()));  // memset
+          add_part(prof::Phase::kCompute,
+                   RunGlobalHtKernel(device_, pool_, view, part.all_vertices,
                                      &part.arena,
-                                     options_.threads_per_block);
+                                     options_.threads_per_block));
         } else {
           if (use_warp_pack) {
-            phase += RunLowDegreeWarpKernel(device_, pool_, view, *plan_now,
-                                            options_.threads_per_block);
-            // Isolated low-bin vertices: trivial map kernel on its stream.
+            add_part(prof::Phase::kLowBin,
+                     RunLowDegreeWarpKernel(device_, pool_, view, *plan_now,
+                                            options_.threads_per_block));
+            // Isolated low-bin vertices: trivial map kernel on its stream
+            // that re-commits the current label — an isolated vertex has no
+            // neighbors and must keep its label across iterations.
             if (!plan_now->isolated.empty()) {
               for (graph::VertexId v : plan_now->isolated) {
-                variant.next_labels()[v] = graph::kInvalidLabel;
+                variant.next_labels()[v] = variant.labels()[v];
               }
-              phase += MapKernelStats(plan_now->isolated.size(), 0,
-                                      plan_now->isolated.size() * 4);
+              add_part(prof::Phase::kLowBin,
+                       MapKernelStats(plan_now->isolated.size(),
+                                      plan_now->isolated.size() * 4,
+                                      plan_now->isolated.size() * 4));
             }
           } else if (!bins_now->low.empty()) {
-            phase += RunWarpPerVertexSmemKernel(
-                device_, pool_, view, bins_now->low, part.low_ht_capacity,
-                options_.threads_per_block);
+            add_part(prof::Phase::kLowBin,
+                     RunWarpPerVertexSmemKernel(
+                         device_, pool_, view, bins_now->low,
+                         part.low_ht_capacity, options_.threads_per_block));
           }
           if (!bins_now->mid.empty()) {
-            phase += RunWarpPerVertexSmemKernel(
-                device_, pool_, view, bins_now->mid, part.mid_ht_capacity,
-                options_.threads_per_block);
+            add_part(prof::Phase::kMidBin,
+                     RunWarpPerVertexSmemKernel(
+                         device_, pool_, view, bins_now->mid,
+                         part.mid_ht_capacity, options_.threads_per_block));
           }
           if (!bins_now->high.empty()) {
-            phase += RunHighDegreeBlockKernel(device_, pool_, view,
+            add_part(prof::Phase::kHighBin,
+                     RunHighDegreeBlockKernel(device_, pool_, view,
                                               bins_now->high, options_,
-                                              &fallbacks);
+                                              &fallbacks));
           }
         }
         phase.kernel_launches = 1;
-        gpu_seconds += acc.AddLaunchConcurrent(phase);
+        const double phase_seconds = acc.AddLaunchConcurrent(phase);
+        gpu_seconds += phase_seconds;
+        if (profiler != nullptr) {
+          AttributeFusedPhase(profiler, gpu, bin_parts, phase, phase_seconds);
+        }
 
         // UpdateVertex / commit kernels over the partition.
         gpu_seconds += acc.AddLaunchConcurrent(
-            MapKernelStats(pv, 8 * pv, 4));  // changed-count + swap
+            MapKernelStats(pv, 8 * pv, 4),  // changed-count + swap
+            prof::Phase::kCommit, gpu);
         if (variant.needs_pick_kernel()) {
           const uint64_t mem = pv * variant.memory_bytes_per_vertex();
           gpu_seconds += acc.AddLaunchConcurrent(
-              MapKernelStats(pv, pv * 4 + mem, mem));  // memory merge
+              MapKernelStats(pv, pv * 4 + mem, mem),  // memory merge
+              prof::Phase::kCommit, gpu);
         }
         if constexpr (Variant::kNeedsLabelAux) {
           // Volumes rebuilt over the full label array (replicated per GPU).
-          gpu_seconds +=
-              acc.AddLaunchConcurrent(MapKernelStats(0, 0, nu * 4));
-          gpu_seconds += acc.AddLaunchConcurrent(HistogramKernelStats(nu));
+          gpu_seconds += acc.AddLaunchConcurrent(MapKernelStats(0, 0, nu * 4),
+                                                 prof::Phase::kCommit, gpu);
+          gpu_seconds += acc.AddLaunchConcurrent(HistogramKernelStats(nu),
+                                                 prof::Phase::kCommit, gpu);
         }
         max_gpu_seconds = std::max(max_gpu_seconds, gpu_seconds);
       }
@@ -352,6 +390,9 @@ class GlpEngine : public Engine {
         const double charged = 0.2 * t_p2p + device_.pcie_latency_s;
         transfers.PeerToPeer(nu * sizeof(graph::Label));
         iter_s += charged;
+        if (profiler != nullptr) {
+          profiler->AddSeconds(prof::Phase::kAllGather, charged);
+        }
       }
       if (hybrid) {
         // CPU-GPU heterogeneous mode (§3.1/§5.4): the GPU keeps a
@@ -375,8 +416,12 @@ class GlpEngine : public Engine {
         transfers.OverlappedHostToDevice(nu * sizeof(graph::Label));
         result.transfer_seconds += exposed;
         iter_s = t_compute + exposed;
+        if (profiler != nullptr) {
+          profiler->AddSeconds(prof::Phase::kHybridSync, exposed);
+        }
       }
 
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
@@ -391,14 +436,52 @@ class GlpEngine : public Engine {
     for (double s : result.iteration_seconds) total += s;
     result.simulated_seconds = total;
     result.device_bytes = device_bytes;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 
  private:
-  static int NextPow2(int x) {
-    int p = 8;
-    while (p < x) p <<= 1;
-    return p;
+  /// One bin kernel's contribution to the fused LabelPropagation phase.
+  struct BinPart {
+    prof::Phase p;
+    sim::KernelStats s;
+  };
+
+  /// Splits the fused (single-launch) LabelPropagation phase's priced time
+  /// across its per-bin contributions, proportional to each bin's standalone
+  /// roofline cost — per-bin attribution without changing what is priced.
+  void AttributeFusedPhase(prof::PhaseProfiler* profiler, int gpu,
+                           const std::vector<BinPart>& bin_parts,
+                           const sim::KernelStats& fused,
+                           double fused_seconds) const {
+    if (bin_parts.empty()) {
+      profiler->AddKernel(prof::Phase::kCompute, gpu, fused, fused_seconds);
+      return;
+    }
+    double weight_sum = 0;
+    std::vector<double> weights;
+    weights.reserve(bin_parts.size());
+    for (const BinPart& part : bin_parts) {
+      const double w = cost_.KernelCost(part.s).total_s;
+      weights.push_back(w);
+      weight_sum += w;
+    }
+    for (size_t i = 0; i < bin_parts.size(); ++i) {
+      const double share =
+          weight_sum > 0
+              ? fused_seconds * weights[i] / weight_sum
+              : fused_seconds / static_cast<double>(bin_parts.size());
+      profiler->AddKernel(bin_parts[i].p, gpu, bin_parts[i].s, share);
+    }
+  }
+
+  /// Smallest power of two >= x (min 8), computed in 64 bits so extreme
+  /// mid-bin degrees cannot overflow, and clamped to 2^30 so the result
+  /// always fits the int capacity fields.
+  static int NextPow2(int64_t x) {
+    int64_t p = 8;
+    while (p < x && p < (int64_t{1} << 30)) p <<= 1;
+    return static_cast<int>(p);
   }
 
   VariantParams params_;

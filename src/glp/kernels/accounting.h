@@ -8,21 +8,34 @@
 
 #include <vector>
 
+#include "prof/prof.h"
 #include "sim/cost_model.h"
 #include "sim/stats.h"
 
 namespace glp::lp {
 
-/// Collects launches of one engine run and prices them.
+/// Collects launches of one engine run and prices them. An optional
+/// PhaseProfiler receives every phase-tagged launch (untagged overloads
+/// stay available for accounting that the caller attributes itself).
 class GpuRunAccumulator {
  public:
-  explicit GpuRunAccumulator(const sim::CostModel* cost) : cost_(cost) {}
+  explicit GpuRunAccumulator(const sim::CostModel* cost,
+                             prof::PhaseProfiler* profiler = nullptr)
+      : cost_(cost), profiler_(profiler) {}
 
   /// Adds a launch's stats; returns its priced duration in seconds.
   double AddLaunch(const sim::KernelStats& stats) {
     total_ += stats;
     const double t = cost_->KernelCost(stats).total_s;
     seconds_ += t;
+    return t;
+  }
+
+  /// AddLaunch with phase attribution on device `gpu`.
+  double AddLaunch(const sim::KernelStats& stats, prof::Phase phase,
+                   int gpu = 0) {
+    const double t = AddLaunch(stats);
+    if (profiler_ != nullptr) profiler_->AddKernel(phase, gpu, stats, t);
     return t;
   }
 
@@ -33,6 +46,16 @@ class GpuRunAccumulator {
     total_ += stats;
     return cost_->KernelCost(stats).total_s;
   }
+
+  /// AddLaunchConcurrent with phase attribution on device `gpu`.
+  double AddLaunchConcurrent(const sim::KernelStats& stats, prof::Phase phase,
+                             int gpu) {
+    const double t = AddLaunchConcurrent(stats);
+    if (profiler_ != nullptr) profiler_->AddKernel(phase, gpu, stats, t);
+    return t;
+  }
+
+  prof::PhaseProfiler* profiler() const { return profiler_; }
 
   /// Adds already-reconciled elapsed time (e.g. the max over devices).
   void AddSeconds(double s) { seconds_ += s; }
@@ -49,6 +72,7 @@ class GpuRunAccumulator {
 
  private:
   const sim::CostModel* cost_;
+  prof::PhaseProfiler* profiler_;
   sim::KernelStats total_;
   double seconds_ = 0;
 };

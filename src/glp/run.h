@@ -10,6 +10,7 @@
 
 #include "graph/csr.h"
 #include "graph/types.h"
+#include "prof/prof.h"
 #include "sim/stats.h"
 #include "util/status.h"
 
@@ -36,6 +37,10 @@ struct RunConfig {
   std::vector<graph::Label> initial_labels;
   /// Host threads to use (0 = default pool).
   int num_threads = 0;
+  /// Optional per-phase profiler (prof/prof.h). Null disables all
+  /// instrumentation (zero-cost fast path). Not owned; one profiler may be
+  /// reused across runs (each run resets its breakdown).
+  prof::PhaseProfiler* profiler = nullptr;
 };
 
 /// Outcome and cost accounting of one run.
@@ -62,6 +67,10 @@ struct RunResult {
   /// Peak device-resident bytes the engine required (memory-overhead
   /// comparison of §5.2).
   uint64_t device_bytes = 0;
+  /// Per-phase time/counter breakdown; populated (enabled == true) only
+  /// when RunConfig.profiler was set. Its phase seconds sum to
+  /// simulated_seconds' iteration portion by construction.
+  prof::PhaseBreakdown phase_breakdown;
 
   /// Average per-iteration simulated time.
   double AvgIterationSeconds() const {

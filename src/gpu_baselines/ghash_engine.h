@@ -58,47 +58,58 @@ class GHashEngine : public Engine {
     device_bytes += nu * variant.memory_bytes_per_vertex();
     device_bytes += arena.bytes();
 
-    GpuRunAccumulator acc(&cost_);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
+    GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
 
       if (variant.needs_pick_kernel()) {
         acc.AddLaunch(MapKernelStats(
-            nu, nu * variant.memory_bytes_per_vertex(), nu * 4));
+                          nu, nu * variant.memory_bytes_per_vertex(), nu * 4),
+                      prof::Phase::kPick);
       }
 
       // One warp per vertex regardless of degree — tiny vertices waste lanes.
       if (!bins.low.empty()) {
         acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool_, view,
-                                                 bins.low, 64, 256));
+                                                 bins.low, 64, 256),
+                      prof::Phase::kLowBin);
       }
       if (!bins.mid.empty()) {
         acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool_, view,
-                                                 bins.mid, 256, 256));
+                                                 bins.mid, 256, 256),
+                      prof::Phase::kMidBin);
       }
       if (!bins.high.empty()) {
         arena.Reset();
-        acc.AddLaunch(MapKernelStats(0, 0, arena.bytes()));  // device memset
+        acc.AddLaunch(MapKernelStats(0, 0, arena.bytes()),  // device memset
+                      prof::Phase::kHighBin);
         acc.AddLaunch(
-            RunGlobalHtKernel(device_, pool_, view, bins.high, &arena, 256));
+            RunGlobalHtKernel(device_, pool_, view, bins.high, &arena, 256),
+            prof::Phase::kHighBin);
       }
 
-      acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4));  // commit
+      acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4), prof::Phase::kCommit);
       if (variant.needs_pick_kernel()) {
         const uint64_t mem = nu * variant.memory_bytes_per_vertex();
-        acc.AddLaunch(MapKernelStats(nu, nu * 4 + mem, mem));
+        acc.AddLaunch(MapKernelStats(nu, nu * 4 + mem, mem),
+                      prof::Phase::kCommit);
       }
       if constexpr (Variant::kNeedsLabelAux) {
-        acc.AddLaunch(MapKernelStats(0, 0, nu * 4));
-        acc.AddLaunch(HistogramKernelStats(nu));
+        acc.AddLaunch(MapKernelStats(0, 0, nu * 4), prof::Phase::kCommit);
+        acc.AddLaunch(HistogramKernelStats(nu), prof::Phase::kCommit);
       }
 
       const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(acc.TakeSeconds());
+      const double iter_s = acc.TakeSeconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -111,6 +122,7 @@ class GHashEngine : public Engine {
     for (double s : result.iteration_seconds) total += s;
     result.simulated_seconds = total;
     result.device_bytes = device_bytes;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

@@ -208,38 +208,48 @@ class GSortEngine : public Engine {
     // NL plus the radix sort's double buffer: the O(|E|) overhead of §2.2.
     device_bytes += 2 * static_cast<uint64_t>(m) * sizeof(uint32_t);
 
-    GpuRunAccumulator acc(&cost_);
+    prof::PhaseProfiler* const profiler = config.profiler;
+    if (profiler != nullptr) profiler->BeginRun(name(), 1);
+    GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
 
       if (variant.needs_pick_kernel()) {
         acc.AddLaunch(MapKernelStats(
-            nu, nu * variant.memory_bytes_per_vertex(), nu * 4));
+                          nu, nu * variant.memory_bytes_per_vertex(), nu * 4),
+                      prof::Phase::kPick);
       }
 
-      acc.AddLaunch(RunGatherLabelsKernel(device_, pool_, view, m, nl.data()));
+      // Gather / sort / count are the un-binned propagation passes.
+      acc.AddLaunch(RunGatherLabelsKernel(device_, pool_, view, m, nl.data()),
+                    prof::Phase::kCompute);
       acc.AddLaunch(sim::DeviceSegmentedSort(
-          device_, std::span<uint32_t>(nl),
-          std::span<const graph::EdgeId>(g.offsets()), pool_));
-      acc.AddLaunch(
-          RunCountSortedKernel(device_, pool_, view, n, nl.data()));
+                        device_, std::span<uint32_t>(nl),
+                        std::span<const graph::EdgeId>(g.offsets()), pool_),
+                    prof::Phase::kCompute);
+      acc.AddLaunch(RunCountSortedKernel(device_, pool_, view, n, nl.data()),
+                    prof::Phase::kCompute);
 
-      acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4));  // commit
+      acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4), prof::Phase::kCommit);
       if (variant.needs_pick_kernel()) {
         const uint64_t mem = nu * variant.memory_bytes_per_vertex();
-        acc.AddLaunch(MapKernelStats(nu, nu * 4 + mem, mem));
+        acc.AddLaunch(MapKernelStats(nu, nu * 4 + mem, mem),
+                      prof::Phase::kCommit);
       }
       if constexpr (Variant::kNeedsLabelAux) {
-        acc.AddLaunch(MapKernelStats(0, 0, nu * 4));
-        acc.AddLaunch(HistogramKernelStats(nu));
+        acc.AddLaunch(MapKernelStats(0, 0, nu * 4), prof::Phase::kCommit);
+        acc.AddLaunch(HistogramKernelStats(nu), prof::Phase::kCommit);
       }
 
       const int changed = variant.EndIteration(iter);
-      result.iteration_seconds.push_back(acc.TakeSeconds());
+      const double iter_s = acc.TakeSeconds();
+      if (profiler != nullptr) profiler->EndIteration(iter_s);
+      result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable && changed == 0) break;
     }
@@ -252,6 +262,7 @@ class GSortEngine : public Engine {
     for (double s : result.iteration_seconds) total += s;
     result.simulated_seconds = total;
     result.device_bytes = device_bytes;
+    if (profiler != nullptr) result.phase_breakdown = profiler->breakdown();
     return result;
   }
 

@@ -17,9 +17,12 @@ FraudDetectionPipeline::FraudDetectionPipeline(const TransactionStream* stream)
 Result<PipelineResult> FraudDetectionPipeline::Run(
     const PipelineConfig& config) const {
   PipelineResult out;
+  prof::PhaseProfiler* const profiler = config.profiler;
 
   // --- Stage 1: sliding-window graph construction ---
   glp::Timer build_timer;
+  const double build_host_start =
+      profiler != nullptr ? profiler->HostNow() : 0;
   const double end = config.end_day < 0
                          ? stream_->config.days
                          : config.end_day;
@@ -30,6 +33,10 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
   out.window_vertices = snap.graph.num_vertices();
   out.window_edges = snap.graph.num_edges();
   out.build_seconds = build_timer.Seconds();
+  if (profiler != nullptr) {
+    profiler->RecordHostEvent("window-build", build_host_start,
+                              out.build_seconds);
+  }
   if (snap.graph.num_vertices() == 0) {
     return Status::InvalidArgument("window contains no transactions");
   }
@@ -40,13 +47,23 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
   lp::RunConfig run;
   run.max_iterations = config.lp_iterations;
   run.seed = config.seed;
+  run.profiler = profiler;
+  glp::Timer lp_timer;
+  const double lp_host_start = profiler != nullptr ? profiler->HostNow() : 0;
   auto lp_result = engine->Run(snap.graph, run);
+  out.lp_wall_seconds = lp_timer.Seconds();
   if (!lp_result.ok()) return lp_result.status();
+  if (profiler != nullptr) {
+    profiler->RecordHostEvent("lp-clustering", lp_host_start,
+                              out.lp_wall_seconds);
+  }
   out.lp = std::move(lp_result).value();
   out.lp_seconds = out.lp.simulated_seconds;
 
   // --- Stage 3: suspicious-cluster extraction + downstream scoring ---
   glp::Timer extract_timer;
+  const double extract_host_start =
+      profiler != nullptr ? profiler->HostNow() : 0;
 
   // Seeds present in this window (local ids).
   std::unordered_set<VertexId> seed_globals(stream_->seeds.begin(),
@@ -167,6 +184,10 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
   out.confirmed_metrics = score(detected_confirmed);
 
   out.extract_seconds = extract_timer.Seconds();
+  if (profiler != nullptr) {
+    profiler->RecordHostEvent("cluster-extract", extract_host_start,
+                              out.extract_seconds);
+  }
   return out;
 }
 

@@ -1,0 +1,112 @@
+#include "prof/trace.h"
+
+#include <cstdio>
+
+namespace glp::prof {
+namespace {
+
+/// JSON string escape for event/track names (control chars, quotes, '\\').
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void TraceRecorder::SetProcessName(int pid, const std::string& name) {
+  names_.push_back({pid, -1, name});
+}
+
+void TraceRecorder::SetThreadName(int pid, int tid, const std::string& name) {
+  names_.push_back({pid, tid, name});
+}
+
+void TraceRecorder::AddEvent(int pid, int tid, const std::string& name,
+                             double start_s, double dur_s) {
+  events_.push_back({pid, tid, name, start_s * 1e6, dur_s * 1e6});
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  for (const TrackName& t : names_) {
+    sep();
+    if (t.tid < 0) {
+      out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(t.pid) + ",\"args\":{\"name\":\"" +
+             Escape(t.name) + "\"}}";
+    } else {
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
+             ",\"args\":{\"name\":\"" + Escape(t.name) + "\"}}";
+    }
+  }
+  for (const Event& e : events_) {
+    sep();
+    out += "{\"name\":\"" + Escape(e.name) + "\",\"ph\":\"X\",\"pid\":" +
+           std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":";
+    AppendNumber(&out, e.ts_us);
+    out += ",\"dur\":";
+    AppendNumber(&out, e.dur_us);
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (!counters_json_.empty()) {
+    out += ",\"glpCounters\":" + counters_json_;
+  }
+  out += "}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace glp::prof

@@ -1,0 +1,67 @@
+// chrome://tracing (Trace Event Format) JSON recorder.
+//
+// Collects complete ("ph":"X") events on (pid, tid) tracks plus track-name
+// metadata, and serializes the standard JSON object format — loadable in
+// about:tracing and Perfetto. Timestamps are microseconds. An optional
+// counters blob (the PhaseBreakdown's JSON) is embedded under the
+// non-standard top-level key "glpCounters", which trace viewers ignore but
+// harness scripts can consume.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace glp::prof {
+
+/// Records trace events and writes Trace Event Format JSON.
+class TraceRecorder {
+ public:
+  /// Track identities used by PhaseProfiler.
+  static constexpr int kHostPid = 0;
+  static constexpr int kDevicePid = 1;
+
+  /// Names a process row in the viewer.
+  void SetProcessName(int pid, const std::string& name);
+  /// Names a thread (track) row in the viewer.
+  void SetThreadName(int pid, int tid, const std::string& name);
+
+  /// Adds a complete event spanning [start_s, start_s + dur_s).
+  void AddEvent(int pid, int tid, const std::string& name, double start_s,
+                double dur_s);
+
+  /// Attaches a JSON object string dumped under the "glpCounters" key.
+  void SetCounters(std::string counters_json) {
+    counters_json_ = std::move(counters_json);
+  }
+
+  size_t num_events() const { return events_.size(); }
+
+  /// Serializes the full trace object.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    int pid;
+    int tid;
+    std::string name;
+    double ts_us;
+    double dur_us;
+  };
+  struct TrackName {
+    int pid;
+    int tid;       ///< -1 for a process_name record
+    std::string name;
+  };
+  std::vector<Event> events_;
+  std::vector<TrackName> names_;
+  std::string counters_json_;
+};
+
+}  // namespace glp::prof

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -60,21 +61,40 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
     return;
   }
 
-  std::atomic<int64_t> next_chunk{0};
-  std::atomic<int64_t> done_chunks{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // ParallelFor returns as soon as all chunks are done, but queued tasks the
+  // workers never popped can still run (or be destroyed) after that — so all
+  // state a task touches lives in a shared control block, never on this
+  // call's stack. A late-popped task sees next_chunk exhausted and exits.
+  struct ControlBlock {
+    std::function<void(int64_t, int64_t)> fn;
+    int64_t begin;
+    int64_t end;
+    int64_t grain;
+    int64_t num_chunks;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<ControlBlock>();
+  state->fn = fn;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
 
-  auto run_chunks = [&] {
+  auto run_chunks = [state] {
     for (;;) {
-      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) break;
-      const int64_t lo = begin + c * grain;
-      const int64_t hi = std::min(end, lo + grain);
-      fn(lo, hi);
-      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
+      const int64_t c =
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->num_chunks) break;
+      const int64_t lo = state->begin + c * state->grain;
+      const int64_t hi = std::min(state->end, lo + state->grain);
+      state->fn(lo, hi);
+      if (state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->num_chunks) {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        state->done_cv.notify_all();
       }
     }
   };
@@ -90,36 +110,49 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
 
   run_chunks();  // The calling thread participates.
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done_chunks.load() == num_chunks; });
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(
+      lock, [&] { return state->done_chunks.load() == state->num_chunks; });
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
   const int threads = num_threads();
-  std::atomic<int> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // Shared control block for the same reason as in ParallelFor: a worker
+  // that bumps `done` to the final count can still be touching the mutex /
+  // condvar while the caller's wait predicate is already satisfied, so the
+  // synchronization state must outlive the call frame.
+  struct ControlBlock {
+    std::function<void(int)> fn;
+    int threads;
+    std::atomic<int> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<ControlBlock>();
+  state->fn = fn;
+  state->threads = threads;
+  auto finish_one = [](const std::shared_ptr<ControlBlock>& s) {
+    if (s->done.fetch_add(1) + 1 == s->threads) {
+      std::lock_guard<std::mutex> lock(s->done_mu);
+      s->done_cv.notify_all();
+    }
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     GLP_CHECK(!shutdown_);
     for (int i = 1; i < threads; ++i) {
-      queue_.push([&, i] {
-        fn(i);
-        if (done.fetch_add(1) + 1 == threads) {
-          std::lock_guard<std::mutex> l2(done_mu);
-          done_cv.notify_all();
-        }
+      queue_.push([state, finish_one, i] {
+        state->fn(i);
+        finish_one(state);
       });
     }
   }
   cv_.notify_all();
-  fn(0);
-  if (done.fetch_add(1) + 1 == threads) {
-    std::lock_guard<std::mutex> l2(done_mu);
-    done_cv.notify_all();
-  }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == threads; });
+  state->fn(0);
+  finish_one(state);
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(
+      lock, [&] { return state->done.load() == state->threads; });
 }
 
 ThreadPool* ThreadPool::Default() {

@@ -254,6 +254,49 @@ TEST(GlpEngineTest, NameReflectsMode) {
   EXPECT_EQ((GlpEngine<ClassicVariant>({}, o).name()), "GLP");
 }
 
+TEST(GlpEngineTest, IsolatedVerticesKeepLabelsUnderWarpPack) {
+  // Regression: the warp-pack low-bin path used to commit kInvalidLabel for
+  // degree-0 vertices (they have no plan slots), clobbering their labels.
+  // They must carry their current label through every iteration instead.
+  Graph g = BuildGraph(8, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});  // 4..7 isolated
+  RunConfig run;
+  run.max_iterations = 5;
+  GlpOptions opts;
+  opts.mode = GlpOptions::Mode::kSmemWarp;
+  GlpEngine<ClassicVariant> glp({}, opts);
+  cpu::SeqEngine<ClassicVariant> seq;
+  auto r = glp.Run(g, run);
+  ASSERT_TRUE(r.ok());
+  for (graph::Label l : r.value().labels) {
+    EXPECT_NE(l, graph::kInvalidLabel);
+  }
+  const auto seq_labels = seq.Run(g, run).value().labels;
+  EXPECT_EQ(r.value().labels, seq_labels);
+  // Isolated vertices never hear a neighbor: their label is their seed.
+  for (VertexId v = 4; v < 8; ++v) {
+    EXPECT_EQ(r.value().labels[v], seq_labels[v]) << v;
+  }
+}
+
+TEST(GlpEngineTest, IsolatedVerticesKeepLabelsUnderWarpPackSlp) {
+  // SLP's EndIteration does not remap kInvalidLabel, so the same regression
+  // is observable directly through the variant that skips the safety net.
+  Graph g = BuildGraph(8, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  RunConfig run;
+  run.max_iterations = 5;
+  run.seed = 99;
+  GlpOptions opts;
+  opts.mode = GlpOptions::Mode::kSmemWarp;
+  GlpEngine<SlpVariant> glp({}, opts);
+  cpu::SeqEngine<SlpVariant> seq;
+  auto r = glp.Run(g, run);
+  ASSERT_TRUE(r.ok());
+  for (graph::Label l : r.value().labels) {
+    EXPECT_NE(l, graph::kInvalidLabel);
+  }
+  EXPECT_EQ(r.value().labels, seq.Run(g, run).value().labels);
+}
+
 TEST(GlpEngineTest, CustomDeviceCapacityTriggersHybrid) {
   Graph g = graph::GenerateRmat(
       {.num_vertices = 1024, .num_edges = 8192, .seed = 3});

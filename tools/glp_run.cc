@@ -16,6 +16,8 @@
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "pipeline/metrics.h"
+#include "prof/prof.h"
+#include "prof/trace.h"
 
 namespace {
 
@@ -28,6 +30,7 @@ struct Args {
   std::string variant = "classic";
   std::string mode = "smem+warp";
   std::string out_path;
+  std::string trace_path;
   double scale = 1.0;
   double gamma = 1.0;
   int iterations = 20;
@@ -36,6 +39,7 @@ struct Args {
   bool async = false;
   bool stop_when_stable = false;
   bool autotune = false;
+  bool profile = false;
 };
 
 void Usage() {
@@ -57,6 +61,8 @@ void Usage() {
       "  --async             asynchronous updates (seq/omp engines)\n"
       "  --stable            stop when no label changes\n"
       "  --autotune          auto-size GLP kernel structures for the graph\n"
+      "  --profile           print the per-phase time/counter breakdown\n"
+      "  --trace-out <file>  write a chrome://tracing JSON timeline\n"
       "  --out <file>        write 'vertex label' lines\n");
 }
 
@@ -91,6 +97,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--out")) {
       args->out_path = next();
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      args->trace_path = next();
+    } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+      args->trace_path = argv[i] + 12;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      args->profile = true;
     } else if (!std::strcmp(argv[i], "--async")) {
       args->async = true;
     } else if (!std::strcmp(argv[i], "--stable")) {
@@ -197,6 +209,19 @@ int main(int argc, char** argv) {
   run.synchronous = !args.async;
   run.stop_when_stable = args.stop_when_stable;
 
+  prof::PhaseProfiler profiler;
+  prof::TraceRecorder trace;
+  const bool profiling = args.profile || !args.trace_path.empty();
+  if (profiling) {
+    if (!args.trace_path.empty()) profiler.AttachTrace(&trace);
+    run.profiler = &profiler;
+    if (args.async) {
+      std::fprintf(stderr,
+                   "note: --profile/--trace-out cover synchronous runs only; "
+                   "async schedules are not instrumented\n");
+    }
+  }
+
   auto eng = lp::MakeEngine(engine, variant, params, options);
   auto result = eng->Run(g, run);
   if (!result.ok()) {
@@ -225,6 +250,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.stats.global_transactions),
                 r.stats.LaneUtilization(),
                 static_cast<unsigned long long>(r.device_bytes >> 20));
+  }
+
+  if (args.profile && r.phase_breakdown.enabled) {
+    std::printf("\n%s", r.phase_breakdown.ToString().c_str());
+  }
+  if (!args.trace_path.empty()) {
+    trace.SetCounters(r.phase_breakdown.ToJson());
+    const Status st = trace.WriteFile(args.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events; open in chrome://tracing)\n",
+                args.trace_path.c_str(), trace.num_events());
   }
 
   // --- Output ---
