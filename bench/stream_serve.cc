@@ -1,0 +1,140 @@
+// Streaming serving benchmark: warm-started incremental ticks vs a cold
+// from-scratch pipeline run per tick on the scaled TaoBao stream.
+//
+// Three servers replay the same micro-batched stream at the same cadence:
+// cold (every window solved from singleton labels), warm (previous tick's
+// labels carried forward through the entity ids), and warm with a weekly
+// cold refresh. Warm ticks converge in a fraction of the iterations; pure
+// warm slowly coarsens label granularity (warm LP merges communities but
+// never splits them), which the refresh mode counters — the AvgF1 column
+// makes that tradeoff visible. Output ends with machine-readable
+// tick-latency JSON blobs (p50/p99 wall seconds, warm vs cold iteration
+// counts) for CI tracking.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace glp;
+
+struct ModeResult {
+  serve::ServerStats stats;
+  double total_wall = 0;       // sum of tick wall seconds
+  double total_simulated = 0;  // sum of LP simulated (device) seconds
+  int64_t total_iterations = 0;
+  int64_t ticks = 0;
+  double f1_sum = 0;  // confirmed-cluster F1, summed per tick
+};
+
+ModeResult ReplayStream(const pipeline::TransactionStream& stream,
+                        const bench::BenchFlags& flags, bool warm,
+                        int64_t refresh_every) {
+  serve::ServerConfig cfg;
+  cfg.detect.window_days = 30;
+  cfg.detect.engine = lp::EngineKind::kGlp;
+  cfg.detect.lp.max_iterations = flags.iterations;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = 1.0;
+  cfg.warm_start = warm;
+  cfg.cold_refresh_every_ticks = refresh_every;
+
+  ModeResult out;
+  serve::StreamServer server(cfg);
+  server.Subscribe([&](const serve::TickResult& t) {
+    out.total_wall += t.tick_wall_seconds;
+    out.total_simulated += t.detection.lp.simulated_seconds;
+    out.total_iterations += t.detection.lp.iterations;
+    ++out.ticks;
+    out.f1_sum += t.detection.confirmed_metrics.F1();
+  });
+  GLP_CHECK(server.Start().ok());
+
+  std::vector<graph::TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  const size_t batch_size = 4000;
+  for (size_t pos = 0; pos < ordered.size(); pos += batch_size) {
+    const size_t n = std::min(batch_size, ordered.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    GLP_CHECK(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  out.stats = server.stats();
+  server.Stop();
+  GLP_CHECK(server.last_error().ok()) << server.last_error().ToString();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::BenchFlags::Parse(argc, argv);
+  const auto stream = pipeline::GenerateTransactions(
+      bench::TaobaoStreamConfig(flags.scale, flags.seed));
+  std::printf("=== Streaming serving: warm-started ticks vs from-scratch "
+              "(scale=%.2f) ===\n\n",
+              flags.scale);
+  std::printf("stream: %zu purchases over 100 days, 30-day window, "
+              "1-day ticks\n\n",
+              stream.edges.size());
+
+  struct Mode {
+    const char* name;
+    bool warm;
+    int64_t refresh;
+  };
+  const Mode modes[] = {{"cold", false, 0},
+                        {"warm", true, 0},
+                        {"warm+wk", true, 7}};
+
+  std::vector<ModeResult> results;
+  for (const Mode& m : modes) {
+    results.push_back(ReplayStream(stream, flags, m.warm, m.refresh));
+  }
+
+  bench::PrintHeader({"Mode", "Ticks", "AvgIters", "SimTime", "WallTime",
+                      "Tick-p50", "Tick-p99", "AvgF1"},
+                     12);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& m = results[i];
+    std::printf("%-12s%-12lld%-12.1f%-12s%-12s%-12s%-12s%-12.3f\n",
+                modes[i].name, static_cast<long long>(m.ticks),
+                m.ticks == 0
+                    ? 0.0
+                    : static_cast<double>(m.total_iterations) / m.ticks,
+                bench::Duration(m.total_simulated).c_str(),
+                bench::Duration(m.total_wall).c_str(),
+                bench::Duration(m.stats.tick_p50_seconds).c_str(),
+                bench::Duration(m.stats.tick_p99_seconds).c_str(),
+                m.ticks == 0 ? 0.0 : m.f1_sum / static_cast<double>(m.ticks));
+  }
+
+  const ModeResult& cold = results[0];
+  const ModeResult& warm = results[1];
+  const double sim_speedup = warm.total_simulated > 0
+                                 ? cold.total_simulated / warm.total_simulated
+                                 : 0;
+  const double wall_speedup =
+      warm.total_wall > 0 ? cold.total_wall / warm.total_wall : 0;
+  std::printf("\nwarm-start amortized speedup: %.2fx simulated, %.2fx wall\n",
+              sim_speedup, wall_speedup);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%s stats: %s\n", modes[i].name,
+                results[i].stats.ToJson().c_str());
+  }
+  std::printf(
+      "\n(Warm ticks seed LP with the previous window's labels; with "
+      "stop_when_stable,\n quiescent windows re-converge in a couple of "
+      "iterations instead of re-solving\n from singletons. Every tick still "
+      "equals a one-shot pipeline run given the\n same initial labels — see "
+      "tests/serve_test.cc.)\n");
+  return 0;
+}

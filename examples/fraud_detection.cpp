@@ -34,7 +34,7 @@ int main() {
     pipeline::PipelineConfig cfg;
     cfg.window_days = 30;
     cfg.engine = engine;
-    cfg.lp_iterations = 20;
+    cfg.lp.max_iterations = 20;
     auto result = pipeline.Run(cfg);
     if (!result.ok()) {
       std::fprintf(stderr, "pipeline failed: %s\n",

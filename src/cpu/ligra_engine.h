@@ -24,8 +24,9 @@ class LigraEngine : public lp::Engine {
 
   std::string name() const override { return "Ligra"; }
 
-  Result<lp::RunResult> Run(const graph::Graph& g,
-                            const lp::RunConfig& config) override {
+  using lp::Engine::Run;
+  Result<lp::RunResult> Run(const graph::Graph& g, const lp::RunConfig& config,
+                            const lp::RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
@@ -33,11 +34,17 @@ class LigraEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     const graph::VertexId n = g.num_vertices();
     lp::RunResult result;
+    lp::StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
     std::vector<graph::Label> prev_spoken = variant.labels();
     // Last chosen (listened) label per vertex: what an unaffected vertex's
     // recomputation would reproduce, so it is carried over verbatim. For
@@ -47,6 +54,7 @@ class LigraEngine : public lp::Engine {
     VertexSubset frontier = VertexSubset::All(n);
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("Ligra run cancelled");
       glp::Timer iter_timer;
       if (profiler != nullptr) profiler->BeginIteration(iter);
       {
@@ -78,7 +86,7 @@ class LigraEngine : public lp::Engine {
         // iteration even where no neighbor label changed, so every vertex
         // recomputes.
         if (iter > 0 && !Variant::kNeedsLabelAux) {
-          affected = EdgeMapNeighbors(g, frontier, pool_);
+          affected = EdgeMapNeighbors(g, frontier, pool);
         }
       }
 
@@ -89,7 +97,7 @@ class LigraEngine : public lp::Engine {
         auto& next = variant.next_labels();
         std::copy(last_chosen.begin(), last_chosen.end(), next.begin());
         const Variant& cvariant = variant;
-        affected.ForEach(pool_, [&](graph::VertexId v) {
+        affected.ForEach(pool, [&](graph::VertexId v) {
           thread_local LabelCounter counter;
           next[v] = ComputeMfl(g, cvariant, v, &counter);
         });
@@ -105,7 +113,11 @@ class LigraEngine : public lp::Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();

@@ -25,22 +25,30 @@ class ParallelEngine : public lp::Engine {
 
   std::string name() const override { return "OMP"; }
 
-  Result<lp::RunResult> Run(const graph::Graph& g,
-                            const lp::RunConfig& config) override {
+  using lp::Engine::Run;
+  Result<lp::RunResult> Run(const graph::Graph& g, const lp::RunConfig& config,
+                            const lp::RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
     }
-    if (!config.synchronous) return RunAsync(g, config);
+    if (!config.synchronous) return RunAsync(g, config, ctx);
 
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     lp::RunResult result;
+    lp::StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("OMP run cancelled");
       glp::Timer iter_timer;
       if (profiler != nullptr) profiler->BeginIteration(iter);
       {
@@ -51,7 +59,7 @@ class ParallelEngine : public lp::Engine {
         prof::ScopedPhase sp(profiler, prof::Phase::kCompute);
         auto& next = variant.next_labels();
         const Variant& cvariant = variant;
-        pool_->ParallelFor(
+        pool->ParallelFor(
             0, g.num_vertices(),
             [&](int64_t lo, int64_t hi) {
               LabelCounter counter;
@@ -71,7 +79,11 @@ class ParallelEngine : public lp::Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();
@@ -87,7 +99,8 @@ class ParallelEngine : public lp::Engine {
   /// async LP but is not run-to-run deterministic (update interleaving
   /// varies) — fine for its purpose of fast convergence.
   Result<lp::RunResult> RunAsync(const graph::Graph& g,
-                                 const lp::RunConfig& config) {
+                                 const lp::RunConfig& config,
+                                 const lp::RunContext& ctx) {
     if constexpr (!Variant::kSupportsAsync) {
       return Status::InvalidArgument(
           "variant does not support asynchronous updates");
@@ -95,15 +108,17 @@ class ParallelEngine : public lp::Engine {
       glp::Timer timer;
       Variant variant(params_);
       variant.Init(g, config);
+      glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
 
       lp::RunResult result;
       auto& labels = variant.mutable_labels();
       for (int iter = 0; iter < config.max_iterations; ++iter) {
+        if (ctx.StopRequested()) return Status::Cancelled("OMP run cancelled");
         glp::Timer iter_timer;
         variant.BeginIteration(iter);
         std::atomic<int> changed{0};
         const Variant& cvariant = variant;
-        pool_->ParallelFor(
+        pool->ParallelFor(
             0, g.num_vertices(),
             [&](int64_t lo, int64_t hi) {
               LabelCounter counter;

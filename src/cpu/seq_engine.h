@@ -20,23 +20,30 @@ class SeqEngine : public lp::Engine {
 
   std::string name() const override { return "Seq"; }
 
-  Result<lp::RunResult> Run(const graph::Graph& g,
-                            const lp::RunConfig& config) override {
+  using lp::Engine::Run;
+  Result<lp::RunResult> Run(const graph::Graph& g, const lp::RunConfig& config,
+                            const lp::RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
     }
-    if (!config.synchronous) return RunAsync(g, config);
+    if (!config.synchronous) return RunAsync(g, config, ctx);
 
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     lp::RunResult result;
     LabelCounter counter;
+    lp::StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("Seq run cancelled");
       glp::Timer iter_timer;
       if (profiler != nullptr) profiler->BeginIteration(iter);
       {
@@ -59,7 +66,11 @@ class SeqEngine : public lp::Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();
@@ -75,7 +86,8 @@ class SeqEngine : public lp::Engine {
   /// faster than the synchronous schedule and cannot 2-color-oscillate on
   /// bipartite structures.
   Result<lp::RunResult> RunAsync(const graph::Graph& g,
-                                 const lp::RunConfig& config) {
+                                 const lp::RunConfig& config,
+                                 const lp::RunContext& ctx) {
     if constexpr (!Variant::kSupportsAsync) {
       return Status::InvalidArgument(
           "variant does not support asynchronous updates");
@@ -88,6 +100,7 @@ class SeqEngine : public lp::Engine {
       LabelCounter counter;
       auto& labels = variant.mutable_labels();
       for (int iter = 0; iter < config.max_iterations; ++iter) {
+        if (ctx.StopRequested()) return Status::Cancelled("Seq run cancelled");
         glp::Timer iter_timer;
         variant.BeginIteration(iter);
         int changed = 0;

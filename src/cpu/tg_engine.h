@@ -26,8 +26,9 @@ class TgEngine : public lp::Engine {
 
   std::string name() const override { return "TG"; }
 
-  Result<lp::RunResult> Run(const graph::Graph& g,
-                            const lp::RunConfig& config) override {
+  using lp::Engine::Run;
+  Result<lp::RunResult> Run(const graph::Graph& g, const lp::RunConfig& config,
+                            const lp::RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
@@ -35,13 +36,20 @@ class TgEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
 
     const graph::VertexId n = g.num_vertices();
     lp::RunResult result;
+    lp::StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("TG run cancelled");
       glp::Timer iter_timer;
       if (profiler != nullptr) profiler->BeginIteration(iter);
       {
@@ -55,7 +63,7 @@ class TgEngine : public lp::Engine {
       // messages, then reduces it with the variant's score function.
       {
         prof::ScopedPhase compute_phase(profiler, prof::Phase::kCompute);
-        pool_->ParallelFor(
+        pool->ParallelFor(
             0, n,
             [&](int64_t lo, int64_t hi) {
               for (int64_t vi = lo; vi < hi; ++vi) {
@@ -103,7 +111,11 @@ class TgEngine : public lp::Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();

@@ -78,13 +78,15 @@ class GlpEngine : public Engine {
   /// Low-bin packing efficiency of the last run.
   double last_plan_occupancy() const { return plan_occupancy_; }
 
-  Result<RunResult> Run(const graph::Graph& g,
-                        const RunConfig& config) override {
+  using Engine::Run;
+  Result<RunResult> Run(const graph::Graph& g, const RunConfig& config,
+                        const RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
     }
     glp::Timer timer;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     Variant variant(params_);
     variant.Init(g, config);
 
@@ -189,7 +191,8 @@ class GlpEngine : public Engine {
     affected_counts_.clear();
 
     // --- Iterations ---
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), num_gpus);
     GpuRunAccumulator acc(&cost_, profiler);
     sim::TransferLedger transfers(&cost_);
@@ -200,7 +203,13 @@ class GlpEngine : public Engine {
     transfers.HostToDevice(device_bytes);
     const double initial_transfer = transfers.seconds();
 
+    StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
+
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("GLP run cancelled");
       if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
@@ -308,13 +317,13 @@ class GlpEngine : public Engine {
           add_part(prof::Phase::kCompute,
                    MapKernelStats(0, 0, part.arena.bytes()));  // memset
           add_part(prof::Phase::kCompute,
-                   RunGlobalHtKernel(device_, pool_, view, part.all_vertices,
+                   RunGlobalHtKernel(device_, pool, view, part.all_vertices,
                                      &part.arena,
                                      options_.threads_per_block));
         } else {
           if (use_warp_pack) {
             add_part(prof::Phase::kLowBin,
-                     RunLowDegreeWarpKernel(device_, pool_, view, *plan_now,
+                     RunLowDegreeWarpKernel(device_, pool, view, *plan_now,
                                             options_.threads_per_block));
             // Isolated low-bin vertices: trivial map kernel on its stream
             // that re-commits the current label — an isolated vertex has no
@@ -331,18 +340,18 @@ class GlpEngine : public Engine {
           } else if (!bins_now->low.empty()) {
             add_part(prof::Phase::kLowBin,
                      RunWarpPerVertexSmemKernel(
-                         device_, pool_, view, bins_now->low,
+                         device_, pool, view, bins_now->low,
                          part.low_ht_capacity, options_.threads_per_block));
           }
           if (!bins_now->mid.empty()) {
             add_part(prof::Phase::kMidBin,
                      RunWarpPerVertexSmemKernel(
-                         device_, pool_, view, bins_now->mid,
+                         device_, pool, view, bins_now->mid,
                          part.mid_ht_capacity, options_.threads_per_block));
           }
           if (!bins_now->high.empty()) {
             add_part(prof::Phase::kHighBin,
-                     RunHighDegreeBlockKernel(device_, pool_, view,
+                     RunHighDegreeBlockKernel(device_, pool, view,
                                               bins_now->high, options_,
                                               &fallbacks));
           }
@@ -424,7 +433,11 @@ class GlpEngine : public Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     fallback_count_ = fallbacks.load();

@@ -4,8 +4,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/csr.h"
@@ -13,6 +15,10 @@
 #include "prof/prof.h"
 #include "sim/stats.h"
 #include "util/status.h"
+
+namespace glp {
+class ThreadPool;
+}
 
 namespace glp::lp {
 
@@ -35,12 +41,76 @@ struct RunConfig {
   /// Optional initial labels (seeded LP in the fraud pipeline). Empty means
   /// the classic unique-label initialization L[v] = v.
   std::vector<graph::Label> initial_labels;
-  /// Host threads to use (0 = default pool).
+  /// DEPRECATED: pass a ThreadPool via RunContext::pool instead. Retained as
+  /// a forwarding shim for one PR; never read by the engines.
   int num_threads = 0;
-  /// Optional per-phase profiler (prof/prof.h). Null disables all
-  /// instrumentation (zero-cost fast path). Not owned; one profiler may be
-  /// reused across runs (each run resets its breakdown).
+  /// DEPRECATED: pass the profiler via RunContext::profiler instead. The
+  /// two-argument Engine::Run shim forwards this field into the context, so
+  /// existing call sites keep profiling; new code should not set it.
   prof::PhaseProfiler* profiler = nullptr;
+};
+
+/// \brief Execution environment of a run, passed alongside RunConfig.
+///
+/// RunConfig says *what* to compute (deterministic: iterations, seed,
+/// initial labels); RunContext says *how* and *under whose supervision*
+/// (profiler, host thread pool, cancellation). Splitting the two lets a
+/// long-lived server reuse one immutable config across ticks while giving
+/// every tick its own stop token. Everything is nullable and non-owning;
+/// a default RunContext is always valid.
+struct RunContext {
+  /// Optional per-phase profiler (prof/prof.h). Null disables all
+  /// instrumentation (zero-cost fast path). One profiler may be reused
+  /// across runs (each run resets its breakdown).
+  prof::PhaseProfiler* profiler = nullptr;
+  /// Host thread pool for CPU engines and the SIMT simulator. Null means
+  /// the engine's constructor-supplied pool (or the process default).
+  glp::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: engines poll this at iteration boundaries
+  /// and return Status::Cancelled when set. The streaming server uses it to
+  /// abandon an in-flight detection tick on shutdown.
+  const std::atomic<bool>* stop_token = nullptr;
+
+  bool StopRequested() const {
+    return stop_token != nullptr &&
+           stop_token->load(std::memory_order_relaxed);
+  }
+};
+
+/// \brief Termination detector for stop_when_stable runs.
+///
+/// Synchronous LP has two stationary behaviours: a fixed point (an
+/// iteration changes no label) and a period-2 oscillation — on bipartite
+/// structures the two sides of a cluster swap a label pair forever while
+/// the *partition* they induce is already stable (§3.1; the pipeline's
+/// companion-group merge exists for exactly this). The tracker detects the
+/// second case by comparing each committed labeling against the labeling
+/// two commits back. It is seeded with the initial labels, so a run warm-
+/// started from inside an oscillation orbit terminates after exactly two
+/// iterations *with the same labels it started from* — what makes warm
+/// restarts byte-reproducible against the cold run that produced them.
+class StabilityTracker {
+ public:
+  /// Arms the tracker with the run's initial labels.
+  void Reset(const std::vector<graph::Label>& initial) {
+    prev1_ = initial;
+    prev2_.clear();
+    have2_ = false;
+  }
+
+  /// Feeds the labels committed by an iteration; returns true when they
+  /// match the labels two commits ago (a period-2 cycle — stop).
+  bool Cycled(const std::vector<graph::Label>& labels) {
+    const bool cycle = have2_ && labels == prev2_;
+    prev2_ = std::move(prev1_);
+    prev1_ = labels;
+    have2_ = true;
+    return cycle;
+  }
+
+ private:
+  std::vector<graph::Label> prev1_, prev2_;
+  bool have2_ = false;
 };
 
 /// Outcome and cost accounting of one run.
@@ -83,8 +153,19 @@ class Engine {
  public:
   virtual ~Engine() = default;
   virtual std::string name() const = 0;
-  virtual Result<RunResult> Run(const graph::Graph& g,
-                                const RunConfig& config) = 0;
+  /// Runs LP on `g`. `ctx` supplies the execution environment (profiler,
+  /// thread pool, stop token); engines honour ctx.stop_token at iteration
+  /// boundaries and return Status::Cancelled when it fires.
+  virtual Result<RunResult> Run(const graph::Graph& g, const RunConfig& config,
+                                const RunContext& ctx) = 0;
+  /// Back-compat shim: forwards the deprecated RunConfig::profiler field
+  /// into a default context. Derived engines re-export this overload with
+  /// `using Engine::Run;`.
+  Result<RunResult> Run(const graph::Graph& g, const RunConfig& config) {
+    RunContext ctx;
+    ctx.profiler = config.profiler;
+    return Run(g, config, ctx);
+  }
 };
 
 /// The implementations compared in §5.2 (Figures 4-6).

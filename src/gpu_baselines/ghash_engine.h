@@ -33,13 +33,15 @@ class GHashEngine : public Engine {
 
   std::string name() const override { return "G-Hash"; }
 
-  Result<RunResult> Run(const graph::Graph& g,
-                        const RunConfig& config) override {
+  using Engine::Run;
+  Result<RunResult> Run(const graph::Graph& g, const RunConfig& config,
+                        const RunContext& ctx) override {
     if (!config.initial_labels.empty() &&
         config.initial_labels.size() != g.num_vertices()) {
       return Status::InvalidArgument("initial_labels size mismatch");
     }
     glp::Timer timer;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     Variant variant(params_);
     variant.Init(g, config);
     const graph::VertexId n = g.num_vertices();
@@ -58,13 +60,19 @@ class GHashEngine : public Engine {
     device_bytes += nu * variant.memory_bytes_per_vertex();
     device_bytes += arena.bytes();
 
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
     GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
+    StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("G-Hash run cancelled");
       if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
@@ -77,12 +85,12 @@ class GHashEngine : public Engine {
 
       // One warp per vertex regardless of degree — tiny vertices waste lanes.
       if (!bins.low.empty()) {
-        acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool_, view,
+        acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool, view,
                                                  bins.low, 64, 256),
                       prof::Phase::kLowBin);
       }
       if (!bins.mid.empty()) {
-        acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool_, view,
+        acc.AddLaunch(RunWarpPerVertexSmemKernel(device_, pool, view,
                                                  bins.mid, 256, 256),
                       prof::Phase::kMidBin);
       }
@@ -91,7 +99,7 @@ class GHashEngine : public Engine {
         acc.AddLaunch(MapKernelStats(0, 0, arena.bytes()),  // device memset
                       prof::Phase::kHighBin);
         acc.AddLaunch(
-            RunGlobalHtKernel(device_, pool_, view, bins.high, &arena, 256),
+            RunGlobalHtKernel(device_, pool, view, bins.high, &arena, 256),
             prof::Phase::kHighBin);
       }
 
@@ -111,7 +119,11 @@ class GHashEngine : public Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();

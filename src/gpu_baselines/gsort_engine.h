@@ -177,8 +177,9 @@ class GSortEngine : public Engine {
 
   std::string name() const override { return "G-Sort"; }
 
-  Result<RunResult> Run(const graph::Graph& g,
-                        const RunConfig& config) override {
+  using Engine::Run;
+  Result<RunResult> Run(const graph::Graph& g, const RunConfig& config,
+                        const RunContext& ctx) override {
     if constexpr (!Variant::kUnitWeight) {
       // Run-length counting over sorted labels is unit-weight by
       // construction — the programmability gap of the sort-based design.
@@ -194,6 +195,7 @@ class GSortEngine : public Engine {
       return Status::InvalidArgument("initial_labels size mismatch");
     }
     glp::Timer timer;
+    glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
     Variant variant(params_);
     variant.Init(g, config);
     const graph::VertexId n = g.num_vertices();
@@ -208,13 +210,19 @@ class GSortEngine : public Engine {
     // NL plus the radix sort's double buffer: the O(|E|) overhead of §2.2.
     device_bytes += 2 * static_cast<uint64_t>(m) * sizeof(uint32_t);
 
-    prof::PhaseProfiler* const profiler = config.profiler;
+    prof::PhaseProfiler* const profiler =
+        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
     GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
+    StabilityTracker stability;
+    const bool track_cycles =
+        config.stop_when_stable && !variant.needs_pick_kernel();
+    if (track_cycles) stability.Reset(variant.labels());
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      if (ctx.StopRequested()) return Status::Cancelled("G-Sort run cancelled");
       if (profiler != nullptr) profiler->BeginIteration(iter);
       variant.BeginIteration(iter);
       const DeviceView<Variant> view = DeviceView<Variant>::Of(g, variant);
@@ -226,13 +234,13 @@ class GSortEngine : public Engine {
       }
 
       // Gather / sort / count are the un-binned propagation passes.
-      acc.AddLaunch(RunGatherLabelsKernel(device_, pool_, view, m, nl.data()),
+      acc.AddLaunch(RunGatherLabelsKernel(device_, pool, view, m, nl.data()),
                     prof::Phase::kCompute);
       acc.AddLaunch(sim::DeviceSegmentedSort(
                         device_, std::span<uint32_t>(nl),
-                        std::span<const graph::EdgeId>(g.offsets()), pool_),
+                        std::span<const graph::EdgeId>(g.offsets()), pool),
                     prof::Phase::kCompute);
-      acc.AddLaunch(RunCountSortedKernel(device_, pool_, view, n, nl.data()),
+      acc.AddLaunch(RunCountSortedKernel(device_, pool, view, n, nl.data()),
                     prof::Phase::kCompute);
 
       acc.AddLaunch(MapKernelStats(nu, 8 * nu, 4), prof::Phase::kCommit);
@@ -251,7 +259,11 @@ class GSortEngine : public Engine {
       if (profiler != nullptr) profiler->EndIteration(iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
-      if (config.stop_when_stable && changed == 0) break;
+      if (config.stop_when_stable &&
+          (changed == 0 ||
+           (track_cycles && stability.Cycled(variant.labels())))) {
+        break;
+      }
     }
 
     result.labels = variant.FinalLabels();

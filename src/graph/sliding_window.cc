@@ -2,18 +2,36 @@
 
 #include <algorithm>
 
-
 #include "graph/builder.h"
 
 namespace glp::graph {
 
 SlidingWindow::SlidingWindow(std::vector<TimedEdge> edges)
     : edges_(std::move(edges)) {
-  std::sort(edges_.begin(), edges_.end(),
-            [](const TimedEdge& a, const TimedEdge& b) { return a.time < b.time; });
+  std::sort(edges_.begin(), edges_.end(), CanonicalEdgeLess);
   for (const TimedEdge& e : edges_) {
     max_entity_ = std::max({max_entity_, e.src, e.dst});
   }
+}
+
+void SlidingWindow::Append(std::vector<TimedEdge> batch) {
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(), CanonicalEdgeLess);
+  for (const TimedEdge& e : batch) {
+    max_entity_ = std::max({max_entity_, e.src, e.dst});
+  }
+  const size_t old_size = edges_.size();
+  edges_.insert(edges_.end(), batch.begin(), batch.end());
+  if (old_size > 0 && CanonicalEdgeLess(edges_[old_size],
+                                        edges_[old_size - 1])) {
+    // Out-of-order arrival: merge the sorted batch into the sorted prefix,
+    // touching only the suffix that actually overlaps the batch's range.
+    const auto mid = edges_.begin() + static_cast<ptrdiff_t>(old_size);
+    const auto first =
+        std::lower_bound(edges_.begin(), mid, *mid, CanonicalEdgeLess);
+    std::inplace_merge(first, mid, edges_.end(), CanonicalEdgeLess);
+  }
+  ++generation_;
 }
 
 double SlidingWindow::min_time() const {
@@ -22,6 +40,13 @@ double SlidingWindow::min_time() const {
 
 double SlidingWindow::max_time() const {
   return edges_.empty() ? 0.0 : edges_.back().time;
+}
+
+size_t SlidingWindow::LowerBound(double t) const {
+  const auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), t,
+      [](const TimedEdge& e, double v) { return e.time < v; });
+  return static_cast<size_t>(it - edges_.begin());
 }
 
 WindowSnapshot SlidingWindow::Snapshot(double start_time,
@@ -33,13 +58,13 @@ WindowSnapshot SlidingWindow::Snapshot(double start_time,
 WindowSnapshot SlidingWindow::Snapshot(double start_time, double end_time,
                                        Scratch* scratch,
                                        bool collapse) const {
-  auto lo = std::lower_bound(
-      edges_.begin(), edges_.end(), start_time,
-      [](const TimedEdge& e, double t) { return e.time < t; });
-  auto hi = std::lower_bound(
-      edges_.begin(), edges_.end(), end_time,
-      [](const TimedEdge& e, double t) { return e.time < t; });
+  return SnapshotRange(LowerBound(start_time), LowerBound(end_time), scratch,
+                       collapse);
+}
 
+WindowSnapshot SlidingWindow::SnapshotRange(size_t begin_idx, size_t end_idx,
+                                            Scratch* scratch,
+                                            bool collapse) const {
   WindowSnapshot snap;
   // Dense epoch-stamped remap over the known entity universe — O(1) per
   // edge with O(1) reset between windows, much faster than hashing for the
@@ -65,9 +90,9 @@ WindowSnapshot SlidingWindow::Snapshot(double start_time, double end_time,
   };
 
   std::vector<Edge> local;
-  local.reserve(static_cast<size_t>(hi - lo));
-  for (auto it = lo; it != hi; ++it) {
-    local.push_back({intern(it->src), intern(it->dst)});
+  local.reserve(end_idx - begin_idx);
+  for (size_t i = begin_idx; i < end_idx; ++i) {
+    local.push_back({intern(edges_[i].src), intern(edges_[i].dst)});
   }
 
   GraphBuilder builder(static_cast<VertexId>(snap.local_to_global.size()));
@@ -80,6 +105,28 @@ WindowSnapshot SlidingWindow::Snapshot(double start_time, double end_time,
   snap.graph = collapse ? builder.BuildCollapsed(/*symmetrize=*/true)
                         : builder.Build(/*symmetrize=*/true, /*dedupe=*/false);
   return snap;
+}
+
+const WindowSnapshot& SlidingWindowCursor::AdvanceTo(double end_time) {
+  const double start_time = end_time - length_;
+  const std::vector<TimedEdge>& edges = window_->edges();
+  const size_t n = edges.size();
+  if (!primed_ || window_->generation() != generation_ ||
+      start_time < start_ || end_time < end_) {
+    // First use, stream grew, or window moved backwards: re-sync bounds.
+    lo_ = window_->LowerBound(start_time);
+    hi_ = window_->LowerBound(end_time);
+  } else {
+    // Forward advance: each bound only walks over edges entering/leaving.
+    while (lo_ < n && edges[lo_].time < start_time) ++lo_;
+    while (hi_ < n && edges[hi_].time < end_time) ++hi_;
+  }
+  primed_ = true;
+  generation_ = window_->generation();
+  start_ = start_time;
+  end_ = end_time;
+  snapshot_ = window_->SnapshotRange(lo_, hi_, &scratch_, collapse_);
+  return snapshot_;
 }
 
 }  // namespace glp::graph

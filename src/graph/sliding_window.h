@@ -20,6 +20,18 @@ struct TimedEdge {
   double time;
 };
 
+/// Canonical stream order: (time, src, dst). Everything that materializes a
+/// window graph — full sorts, incremental batch merges, snapshot iteration —
+/// uses this one ordering, so an incrementally-appended stream produces
+/// byte-identical snapshots (same local-id assignment, same edge order) to a
+/// stream constructed in one shot. Ties across all three keys are identical
+/// edges, whose relative order cannot affect the built graph.
+inline bool CanonicalEdgeLess(const TimedEdge& a, const TimedEdge& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
 /// A window's induced graph plus the mapping back to stream-global ids.
 struct WindowSnapshot {
   Graph graph;
@@ -28,19 +40,35 @@ struct WindowSnapshot {
   std::vector<VertexId> local_to_global;
 };
 
-/// \brief A time-sorted edge stream supporting window snapshot extraction.
+/// \brief A time-sorted edge stream supporting window snapshot extraction
+/// and incremental append (streaming ingest).
 ///
 /// Snapshots compact the active entities to a dense id range — exactly why
 /// Table 4's |V| grows with window length: longer windows touch more
 /// entities.
 class SlidingWindow {
  public:
-  /// Takes ownership of the edges and sorts them by time.
+  SlidingWindow() = default;
+
+  /// Takes ownership of the edges and sorts them canonically.
   explicit SlidingWindow(std::vector<TimedEdge> edges);
 
+  /// Appends a batch of edges to the stream. The batch is sorted and merged
+  /// into the (already sorted) stream tail with std::inplace_merge, so
+  /// in-order arrival costs O(|batch| log |batch|) — no full re-sort. Every
+  /// append bumps generation(), which cursors use to re-sync their indices.
+  void Append(std::vector<TimedEdge> batch);
+
+  /// Incremented on every Append; lets cursors detect staleness.
+  uint64_t generation() const { return generation_; }
+
   size_t num_stream_edges() const { return edges_.size(); }
+  const std::vector<TimedEdge>& edges() const { return edges_; }
   double min_time() const;
   double max_time() const;
+
+  /// Index of the first edge with time >= t (edges are time-sorted).
+  size_t LowerBound(double t) const;
 
   /// Builds the graph induced by edges with time in [start, end), compacted
   /// and symmetrized.
@@ -61,36 +89,54 @@ class SlidingWindow {
   WindowSnapshot Snapshot(double start_time, double end_time,
                           Scratch* scratch, bool collapse = false) const;
 
+  /// Snapshot over the half-open edge-index range [begin_idx, end_idx) —
+  /// the cursor path: the caller already knows the indices and skips the
+  /// binary searches.
+  WindowSnapshot SnapshotRange(size_t begin_idx, size_t end_idx,
+                               Scratch* scratch, bool collapse = false) const;
+
   VertexId max_entity() const { return max_entity_; }
 
  private:
-  std::vector<TimedEdge> edges_;  // sorted by time
+  std::vector<TimedEdge> edges_;  // sorted by CanonicalEdgeLess
   VertexId max_entity_ = 0;
+  uint64_t generation_ = 0;
 };
 
-/// \brief Amortized window advancement over a stream.
+/// \brief Amortized window advancement over a (possibly growing) stream.
 ///
-/// Wraps a SlidingWindow with persistent scratch so that sliding the window
-/// forward (the production cadence: re-evaluate every few hours) reuses all
-/// buffers instead of reallocating per window.
+/// Wraps a SlidingWindow with persistent scratch and remembered edge-index
+/// bounds, so sliding the window forward (the production cadence:
+/// re-evaluate every few hours) reuses all buffers and advances the bounds
+/// incrementally instead of re-searching from scratch. When the underlying
+/// stream grows (Append) or the window moves backwards, the cursor re-syncs
+/// via binary search; otherwise each bound only walks forward over the
+/// edges that actually entered/left the window.
 class SlidingWindowCursor {
  public:
-  SlidingWindowCursor(const SlidingWindow* window, double window_length)
-      : window_(window), length_(window_length) {}
+  SlidingWindowCursor(const SlidingWindow* window, double window_length,
+                      bool collapse = false)
+      : window_(window), length_(window_length), collapse_(collapse) {}
 
   /// Moves the window to end at `end_time` and returns its snapshot.
-  const WindowSnapshot& AdvanceTo(double end_time) {
-    snapshot_ = window_->Snapshot(end_time - length_, end_time, &scratch_);
-    return snapshot_;
-  }
+  const WindowSnapshot& AdvanceTo(double end_time);
 
   const WindowSnapshot& snapshot() const { return snapshot_; }
+  /// Edge-index bounds of the last snapshot (for diagnostics).
+  size_t lo() const { return lo_; }
+  size_t hi() const { return hi_; }
 
  private:
   const SlidingWindow* window_;
   double length_;
+  bool collapse_;
   SlidingWindow::Scratch scratch_;
   WindowSnapshot snapshot_;
+  // Cached state of the previous AdvanceTo.
+  bool primed_ = false;
+  uint64_t generation_ = 0;
+  double start_ = 0, end_ = 0;
+  size_t lo_ = 0, hi_ = 0;
 };
 
 }  // namespace glp::graph

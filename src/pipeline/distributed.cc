@@ -46,12 +46,14 @@ SuperstepCost PriceSuperstep(const graph::Graph& g,
 }
 
 Result<lp::RunResult> DistributedLpEngine::Run(const graph::Graph& g,
-                                               const lp::RunConfig& config) {
+                                               const lp::RunConfig& config,
+                                               const lp::RunContext& ctx) {
   if (!config.initial_labels.empty() &&
       config.initial_labels.size() != g.num_vertices()) {
     return Status::InvalidArgument("initial_labels size mismatch");
   }
   glp::Timer timer;
+  glp::ThreadPool* const pool = ctx.pool != nullptr ? ctx.pool : pool_;
   lp::ClassicVariant variant;
   variant.Init(g, config);
 
@@ -60,11 +62,18 @@ Result<lp::RunResult> DistributedLpEngine::Run(const graph::Graph& g,
   const SuperstepCost step = PriceSuperstep(g, cluster_);
 
   lp::RunResult result;
+  lp::StabilityTracker stability;
+  const bool track_cycles =
+      config.stop_when_stable && !variant.needs_pick_kernel();
+  if (track_cycles) stability.Reset(variant.labels());
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (ctx.StopRequested()) {
+      return Status::Cancelled("distributed run cancelled");
+    }
     variant.BeginIteration(iter);
     auto& next = variant.next_labels();
     const lp::ClassicVariant& cvariant = variant;
-    pool_->ParallelFor(
+    pool->ParallelFor(
         0, g.num_vertices(),
         [&](int64_t lo, int64_t hi) {
           cpu::LabelCounter counter;
@@ -78,7 +87,11 @@ Result<lp::RunResult> DistributedLpEngine::Run(const graph::Graph& g,
     const int changed = variant.EndIteration(iter);
     result.iteration_seconds.push_back(step.total_s);
     ++result.iterations;
-    if (config.stop_when_stable && changed == 0) break;
+    if (config.stop_when_stable &&
+        (changed == 0 ||
+         (track_cycles && stability.Cycled(variant.labels())))) {
+      break;
+    }
   }
 
   result.labels = variant.FinalLabels();

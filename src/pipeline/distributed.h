@@ -76,8 +76,9 @@ class DistributedLpEngine : public lp::Engine {
 
   std::string name() const override { return "InHouse-Distributed"; }
 
-  Result<lp::RunResult> Run(const graph::Graph& g,
-                            const lp::RunConfig& config) override;
+  using lp::Engine::Run;
+  Result<lp::RunResult> Run(const graph::Graph& g, const lp::RunConfig& config,
+                            const lp::RunContext& ctx) override;
 
  private:
   ClusterConfig cluster_;

@@ -14,43 +14,27 @@ using graph::VertexId;
 FraudDetectionPipeline::FraudDetectionPipeline(const TransactionStream* stream)
     : stream_(stream), window_(stream->edges) {}
 
-Result<PipelineResult> FraudDetectionPipeline::Run(
-    const PipelineConfig& config) const {
+Result<PipelineResult> DetectOnSnapshot(
+    const graph::WindowSnapshot& snap, const PipelineConfig& config,
+    const lp::RunContext& ctx, const std::vector<VertexId>& seeds,
+    const TransactionStream* ground_truth, double window_start,
+    double window_end) {
   PipelineResult out;
-  prof::PhaseProfiler* const profiler = config.profiler;
-
-  // --- Stage 1: sliding-window graph construction ---
-  glp::Timer build_timer;
-  const double build_host_start =
-      profiler != nullptr ? profiler->HostNow() : 0;
-  const double end = config.end_day < 0
-                         ? stream_->config.days
-                         : config.end_day;
-  graph::SlidingWindow::Scratch scratch;
-  const graph::WindowSnapshot snap =
-      window_.Snapshot(end - config.window_days, end, &scratch,
-                       config.collapse_window_graphs);
+  prof::PhaseProfiler* const profiler =
+      ctx.profiler != nullptr ? ctx.profiler : config.lp.profiler;
   out.window_vertices = snap.graph.num_vertices();
   out.window_edges = snap.graph.num_edges();
-  out.build_seconds = build_timer.Seconds();
-  if (profiler != nullptr) {
-    profiler->RecordHostEvent("window-build", build_host_start,
-                              out.build_seconds);
-  }
   if (snap.graph.num_vertices() == 0) {
     return Status::InvalidArgument("window contains no transactions");
   }
 
   // --- Stage 2: LP clustering ---
   auto engine = lp::MakeEngine(config.engine, config.variant,
-                               config.variant_params, config.glp_options);
-  lp::RunConfig run;
-  run.max_iterations = config.lp_iterations;
-  run.seed = config.seed;
-  run.profiler = profiler;
+                               config.variant_params, config.glp_options,
+                               ctx.pool);
   glp::Timer lp_timer;
   const double lp_host_start = profiler != nullptr ? profiler->HostNow() : 0;
-  auto lp_result = engine->Run(snap.graph, run);
+  auto lp_result = engine->Run(snap.graph, config.lp, ctx);
   out.lp_wall_seconds = lp_timer.Seconds();
   if (!lp_result.ok()) return lp_result.status();
   if (profiler != nullptr) {
@@ -66,8 +50,7 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
       profiler != nullptr ? profiler->HostNow() : 0;
 
   // Seeds present in this window (local ids).
-  std::unordered_set<VertexId> seed_globals(stream_->seeds.begin(),
-                                            stream_->seeds.end());
+  std::unordered_set<VertexId> seed_globals(seeds.begin(), seeds.end());
   std::vector<uint8_t> is_seed_local(snap.graph.num_vertices(), 0);
   for (VertexId local = 0; local < snap.graph.num_vertices(); ++local) {
     if (seed_globals.count(snap.local_to_global[local])) {
@@ -86,9 +69,11 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
         base_members.size() < 2) {
       continue;
     }
-    int seeds = 0;
-    for (VertexId local : base_members) seeds += is_seed_local[local];
-    if (seeds == 0) continue;
+    int seeds_in_group = 0;
+    for (VertexId local : base_members) {
+      seeds_in_group += is_seed_local[local];
+    }
+    if (seeds_in_group == 0) continue;
 
     // Expand with companion label groups: synchronous LP two-colors
     // bipartite clusters (buyers and items oscillate between a label pair),
@@ -120,7 +105,7 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
 
     SuspiciousCluster cluster;
     cluster.label = label;
-    cluster.num_seeds = seeds;
+    cluster.num_seeds = seeds_in_group;
     // Internal interaction count (each undirected edge appears twice in the
     // CSR; weighted graphs carry the purchase multiplicity as weights, so
     // multigraph and collapsed windows score identically).
@@ -158,36 +143,75 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
 
   // --- Metrics against the injected ground truth, over window-active
   // entities. ---
-  std::unordered_set<VertexId> detected_lp, detected_confirmed;
-  for (const SuspiciousCluster& c : out.clusters) {
-    for (VertexId g : c.members) {
-      detected_lp.insert(g);
-      if (c.confirmed) detected_confirmed.insert(g);
+  if (ground_truth != nullptr) {
+    std::unordered_set<VertexId> detected_lp, detected_confirmed;
+    for (const SuspiciousCluster& c : out.clusters) {
+      for (VertexId g : c.members) {
+        detected_lp.insert(g);
+        if (c.confirmed) detected_confirmed.insert(g);
+      }
     }
+    // Ground truth for this window: ring members whose ring colluded inside
+    // the window (a dormant ring leaves no signature to detect).
+    auto score = [&](const std::unordered_set<VertexId>& detected) {
+      DetectionMetrics m;
+      for (VertexId local = 0; local < snap.graph.num_vertices(); ++local) {
+        const VertexId g = snap.local_to_global[local];
+        const bool fraud =
+            ground_truth->IsFraudActiveIn(g, window_start, window_end);
+        const bool hit = detected.count(g) > 0;
+        if (fraud && hit) ++m.true_positives;
+        if (!fraud && hit) ++m.false_positives;
+        if (fraud && !hit) ++m.false_negatives;
+      }
+      return m;
+    };
+    out.lp_metrics = score(detected_lp);
+    out.confirmed_metrics = score(detected_confirmed);
   }
-  // Ground truth for this window: ring members whose ring colluded inside
-  // the window (a dormant ring leaves no signature to detect).
-  const double window_start = end - config.window_days;
-  auto score = [&](const std::unordered_set<VertexId>& detected) {
-    DetectionMetrics m;
-    for (VertexId local = 0; local < snap.graph.num_vertices(); ++local) {
-      const VertexId g = snap.local_to_global[local];
-      const bool fraud = stream_->IsFraudActiveIn(g, window_start, end);
-      const bool hit = detected.count(g) > 0;
-      if (fraud && hit) ++m.true_positives;
-      if (!fraud && hit) ++m.false_positives;
-      if (fraud && !hit) ++m.false_negatives;
-    }
-    return m;
-  };
-  out.lp_metrics = score(detected_lp);
-  out.confirmed_metrics = score(detected_confirmed);
 
   out.extract_seconds = extract_timer.Seconds();
   if (profiler != nullptr) {
     profiler->RecordHostEvent("cluster-extract", extract_host_start,
                               out.extract_seconds);
   }
+  return out;
+}
+
+Result<PipelineResult> FraudDetectionPipeline::Run(
+    const PipelineConfig& config) const {
+  lp::RunContext ctx;
+  ctx.profiler = config.lp.profiler;
+  return Run(config, ctx);
+}
+
+Result<PipelineResult> FraudDetectionPipeline::Run(
+    const PipelineConfig& config, const lp::RunContext& ctx) const {
+  prof::PhaseProfiler* const profiler =
+      ctx.profiler != nullptr ? ctx.profiler : config.lp.profiler;
+
+  // --- Stage 1: sliding-window graph construction ---
+  glp::Timer build_timer;
+  const double build_host_start =
+      profiler != nullptr ? profiler->HostNow() : 0;
+  const double end = config.end_day < 0
+                         ? stream_->config.days
+                         : config.end_day;
+  graph::SlidingWindow::Scratch scratch;
+  const graph::WindowSnapshot snap =
+      window_.Snapshot(end - config.window_days, end, &scratch,
+                       config.collapse_window_graphs);
+  const double build_seconds = build_timer.Seconds();
+  if (profiler != nullptr) {
+    profiler->RecordHostEvent("window-build", build_host_start,
+                              build_seconds);
+  }
+
+  auto result = DetectOnSnapshot(snap, config, ctx, stream_->seeds, stream_,
+                                 end - config.window_days, end);
+  if (!result.ok()) return result.status();
+  PipelineResult out = std::move(result).value();
+  out.build_seconds = build_seconds;
   return out;
 }
 

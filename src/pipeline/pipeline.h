@@ -21,19 +21,26 @@
 namespace glp::pipeline {
 
 /// Pipeline stage configuration.
+///
+/// The LP-run parameters live in one embedded lp::RunConfig — the same
+/// struct the engines consume and the streaming server reuses per tick — so
+/// there is exactly one place to set iterations, seed, early-stop, or
+/// warm-start labels. Execution-environment concerns (profiler, thread
+/// pool, cancellation) ride in the lp::RunContext passed alongside.
 struct PipelineConfig {
   /// Sliding window: [end_day - window_days, end_day).
   int window_days = 30;
   /// Window end; negative means "end of stream".
   double end_day = -1;
 
-  /// LP stage.
+  /// LP stage: engine and variant selection.
   lp::EngineKind engine = lp::EngineKind::kGlp;
   lp::VariantKind variant = lp::VariantKind::kClassic;
   lp::VariantParams variant_params;
   lp::GlpOptions glp_options;
-  int lp_iterations = 20;
-  uint64_t seed = 42;
+  /// LP run parameters (iterations, seed, stop_when_stable, initial
+  /// labels), forwarded verbatim to the engine.
+  lp::RunConfig lp;
 
   /// Cluster extraction: suspicious clusters contain at least one
   /// blacklisted seed and are no larger than this (fraud rings are small;
@@ -48,11 +55,6 @@ struct PipelineConfig {
   /// weights): identical detections at a fraction of the graph memory.
   /// Requires an LP engine that supports weighted graphs (not G-Sort).
   bool collapse_window_graphs = false;
-
-  /// Optional profiler: forwarded into the LP engine (per-phase breakdown in
-  /// PipelineResult::lp.phase_breakdown) and fed host trace events for the
-  /// build / LP / extract stages. Not owned; null disables profiling.
-  prof::PhaseProfiler* profiler = nullptr;
 };
 
 /// One extracted cluster (global entity ids).
@@ -102,6 +104,27 @@ struct PipelineResult {
   }
 };
 
+/// \brief Runs LP clustering + cluster extraction + scoring on an
+/// already-built window snapshot — stages 2 and 3 of Figure 1.
+///
+/// This is the tick kernel shared by the one-shot pipeline (which builds its
+/// snapshot with SlidingWindow::Snapshot) and the streaming server (which
+/// advances a SlidingWindowCursor incrementally): both paths feed the same
+/// detection code, which is what makes the server's per-tick output
+/// provably identical to an equivalent one-shot run.
+///
+/// `seeds` is the blacklist (global ids); `ground_truth` (nullable) scores
+/// detections against the stream's injected fraud over
+/// [window_start, window_end). build_seconds is left 0 — the caller owns
+/// snapshot construction and its timing.
+Result<PipelineResult> DetectOnSnapshot(const graph::WindowSnapshot& snap,
+                                        const PipelineConfig& config,
+                                        const lp::RunContext& ctx,
+                                        const std::vector<graph::VertexId>& seeds,
+                                        const TransactionStream* ground_truth,
+                                        double window_start,
+                                        double window_end);
+
 /// Runs the Figure 1 pipeline over a transaction stream.
 class FraudDetectionPipeline {
  public:
@@ -109,6 +132,10 @@ class FraudDetectionPipeline {
 
   /// Processes one sliding window. Errors propagate from the LP engine.
   Result<PipelineResult> Run(const PipelineConfig& config) const;
+  /// Same, with an explicit execution context (profiler / pool / stop
+  /// token) threaded through to the LP engine.
+  Result<PipelineResult> Run(const PipelineConfig& config,
+                             const lp::RunContext& ctx) const;
 
  private:
   const TransactionStream* stream_;

@@ -1,0 +1,327 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace glp::serve {
+
+using graph::Label;
+using graph::VertexId;
+
+namespace {
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::ostringstream os;
+  os << "{"
+     << "\"ticks\": " << ticks << ", "
+     << "\"warm_ticks\": " << warm_ticks << ", "
+     << "\"cold_ticks\": " << cold_ticks << ", "
+     << "\"batches_ingested\": " << batches_ingested << ", "
+     << "\"edges_ingested\": " << edges_ingested << ", "
+     << "\"ingest_blocked\": " << ingest_blocked << ", "
+     << "\"queue_peak\": " << queue_peak << ", "
+     << "\"tick_p50_seconds\": " << tick_p50_seconds << ", "
+     << "\"tick_p99_seconds\": " << tick_p99_seconds << ", "
+     << "\"tick_max_seconds\": " << tick_max_seconds << ", "
+     << "\"warm_avg_iterations\": " << warm_avg_iterations << ", "
+     << "\"cold_avg_iterations\": " << cold_avg_iterations << ", "
+     << "\"last_ingest_lag_days\": " << last_ingest_lag_days << "}";
+  return os.str();
+}
+
+StreamServer::StreamServer(ServerConfig config)
+    : config_(std::move(config)),
+      cursor_(&window_, config_.detect.window_days,
+              config_.detect.collapse_window_graphs) {}
+
+StreamServer::~StreamServer() { Stop(); }
+
+void StreamServer::Subscribe(Subscriber subscriber) {
+  subscribers_.push_back(std::move(subscriber));
+}
+
+Status StreamServer::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) return Status::InvalidArgument("server already started");
+  if (config_.tick_every_days <= 0) {
+    return Status::InvalidArgument("tick_every_days must be positive");
+  }
+  if (config_.max_queue_batches == 0) {
+    return Status::InvalidArgument("max_queue_batches must be >= 1");
+  }
+  started_ = true;
+  stopping_ = false;
+  stop_token_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { DetectLoop(); });
+  return Status::OK();
+}
+
+bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_ || stopping_) return false;
+  if (queue_.size() >= config_.max_queue_batches) {
+    ++ingest_blocked_;
+    not_full_cv_.wait(lk, [&] {
+      return stopping_ || queue_.size() < config_.max_queue_batches;
+    });
+    if (stopping_) return false;
+  }
+  for (const graph::TimedEdge& e : batch) {
+    ingested_max_time_ = std::max(ingested_max_time_, e.time);
+  }
+  ++batches_ingested_;
+  edges_ingested_ += static_cast<int64_t>(batch.size());
+  queue_.push_back(std::move(batch));
+  queue_peak_ = std::max(queue_peak_, queue_.size());
+  queue_cv_.notify_one();
+  return true;
+}
+
+void StreamServer::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] {
+    return (queue_.empty() && !busy_) || stopping_;
+  });
+}
+
+void StreamServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    stop_token_.store(true, std::memory_order_relaxed);
+    queue_cv_.notify_all();
+    not_full_cv_.notify_all();
+    drained_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  started_ = false;
+}
+
+Status StreamServer::last_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_error_;
+}
+
+ServerStats StreamServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats s;
+  s.ticks = static_cast<int64_t>(tick_seconds_.size());
+  s.warm_ticks = warm_ticks_;
+  s.cold_ticks = cold_ticks_;
+  s.batches_ingested = batches_ingested_;
+  s.edges_ingested = edges_ingested_;
+  s.ingest_blocked = ingest_blocked_;
+  s.queue_peak = queue_peak_;
+  s.tick_p50_seconds = Percentile(tick_seconds_, 0.50);
+  s.tick_p99_seconds = Percentile(tick_seconds_, 0.99);
+  if (!tick_seconds_.empty()) {
+    s.tick_max_seconds =
+        *std::max_element(tick_seconds_.begin(), tick_seconds_.end());
+  }
+  s.warm_avg_iterations =
+      warm_ticks_ == 0 ? 0
+                       : static_cast<double>(warm_iterations_) / warm_ticks_;
+  s.cold_avg_iterations =
+      cold_ticks_ == 0 ? 0
+                       : static_cast<double>(cold_iterations_) / cold_ticks_;
+  s.last_ingest_lag_days = last_lag_days_;
+  return s;
+}
+
+void StreamServer::DetectLoop() {
+  for (;;) {
+    std::vector<graph::TimedEdge> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+      not_full_cv_.notify_all();
+    }
+    window_.Append(std::move(batch));
+    RunDueTicks();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+void StreamServer::RunDueTicks() {
+  if (window_.num_stream_edges() == 0) return;
+  const double cadence = config_.tick_every_days;
+  if (!tick_schedule_primed_) {
+    // First boundary strictly after the stream's earliest timestamp, on the
+    // absolute grid k * cadence — replaying the same stream yields the same
+    // tick schedule regardless of batch partitioning.
+    next_tick_end_ =
+        cadence * (std::floor(window_.min_time() / cadence) + 1.0);
+    tick_schedule_primed_ = true;
+  }
+  while (window_.max_time() >= next_tick_end_) {
+    if (stop_token_.load(std::memory_order_relaxed)) return;
+    RunTick(next_tick_end_);
+    next_tick_end_ += cadence;
+  }
+}
+
+std::vector<Label> StreamServer::MapWarmLabels(
+    const graph::WindowSnapshot& cur) {
+  const size_t universe = static_cast<size_t>(window_.max_entity()) + 1;
+  auto stamp = [universe](EntityMap* m,
+                          const std::vector<VertexId>& l2g) {
+    if (m->epoch_of.size() < universe) {
+      m->epoch_of.assign(universe, 0);
+      m->local_of.resize(universe);
+      m->epoch = 0;
+    }
+    if (++m->epoch == 0) {
+      std::fill(m->epoch_of.begin(), m->epoch_of.end(), 0u);
+      m->epoch = 1;
+    }
+    for (size_t i = 0; i < l2g.size(); ++i) {
+      m->epoch_of[l2g[i]] = m->epoch;
+      m->local_of[l2g[i]] = static_cast<VertexId>(i);
+    }
+  };
+  stamp(&prev_map_, prev_l2g_);
+  stamp(&cur_map_, cur.local_to_global);
+
+  // A label is a local vertex id of the window that produced it (LP never
+  // invents ids). Anchor each carried-over entity's previous label to its
+  // global entity, then re-express it as that entity's local id in the new
+  // window; entities new to the window (or whose anchor left it) start as
+  // cold singletons.
+  std::vector<Label> init(cur.local_to_global.size());
+  for (size_t v = 0; v < cur.local_to_global.size(); ++v) {
+    const VertexId g = cur.local_to_global[v];
+    Label out = static_cast<Label>(v);
+    if (prev_map_.epoch_of[g] == prev_map_.epoch) {
+      const Label pl = prev_labels_[prev_map_.local_of[g]];
+      if (pl != graph::kInvalidLabel &&
+          static_cast<size_t>(pl) < prev_l2g_.size()) {
+        const VertexId anchor = prev_l2g_[pl];
+        if (cur_map_.epoch_of[anchor] == cur_map_.epoch) {
+          out = static_cast<Label>(cur_map_.local_of[anchor]);
+        }
+      }
+    }
+    init[v] = out;
+  }
+  return init;
+}
+
+void StreamServer::RunTick(double end_time) {
+  glp::Timer tick_timer;
+  const double host_start =
+      config_.profiler != nullptr ? config_.profiler->HostNow() : 0;
+
+  TickResult tr;
+  tr.tick = num_ticks_;
+  tr.window_end = end_time;
+  tr.window_start = end_time - config_.detect.window_days;
+
+  glp::Timer build_timer;
+  const graph::WindowSnapshot& snap = cursor_.AdvanceTo(end_time);
+  const double build_seconds = build_timer.Seconds();
+
+  pipeline::PipelineConfig cfg = config_.detect;
+  const bool refresh_due =
+      config_.cold_refresh_every_ticks > 0 &&
+      num_ticks_ % config_.cold_refresh_every_ticks == 0;
+  if (config_.warm_start && have_prev_ && !refresh_due &&
+      snap.graph.num_vertices() > 0) {
+    cfg.lp.initial_labels = MapWarmLabels(snap);
+    tr.warm = true;
+  }
+  if (config_.record_warm_labels) tr.warm_labels = cfg.lp.initial_labels;
+
+  lp::RunContext ctx;
+  ctx.profiler = config_.profiler;
+  ctx.pool = config_.pool;
+  ctx.stop_token = &stop_token_;
+
+  if (snap.graph.num_vertices() > 0) {
+    auto result = pipeline::DetectOnSnapshot(snap, cfg, ctx, config_.seeds,
+                                             config_.ground_truth,
+                                             tr.window_start, tr.window_end);
+    if (!result.ok()) {
+      if (!result.status().IsCancelled()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (last_error_.ok()) last_error_ = result.status();
+      }
+      return;  // tick abandoned; warm state keeps the previous tick's view
+    }
+    tr.detection = std::move(result).value();
+    tr.detection.build_seconds = build_seconds;
+    prev_l2g_ = snap.local_to_global;
+    prev_labels_ = tr.detection.lp.labels;
+    have_prev_ = true;
+  } else {
+    // Empty window: nothing to cluster; previously confirmed clusters all
+    // expire below.
+    have_prev_ = false;
+  }
+
+  // Diff confirmed clusters against the previous tick (clusters keyed by
+  // their sorted global member lists).
+  std::set<std::vector<VertexId>> confirmed_now;
+  for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
+    if (c.confirmed) confirmed_now.insert(c.members);
+  }
+  for (const auto& members : confirmed_now) {
+    if (prev_confirmed_.count(members) == 0) {
+      tr.new_confirmed.push_back(members);
+    }
+  }
+  for (const auto& members : prev_confirmed_) {
+    if (confirmed_now.count(members) == 0) {
+      tr.expired_confirmed.push_back(members);
+    }
+  }
+  prev_confirmed_ = std::move(confirmed_now);
+
+  tr.tick_wall_seconds = tick_timer.Seconds();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tr.ingest_lag_days = ingested_max_time_ - end_time;
+    last_lag_days_ = tr.ingest_lag_days;
+    tick_seconds_.push_back(tr.tick_wall_seconds);
+    if (tr.warm) {
+      ++warm_ticks_;
+      warm_iterations_ += tr.detection.lp.iterations;
+    } else {
+      ++cold_ticks_;
+      cold_iterations_ += tr.detection.lp.iterations;
+    }
+  }
+  if (config_.profiler != nullptr) {
+    config_.profiler->RecordHostEvent(tr.warm ? "tick-warm" : "tick-cold",
+                                      host_start, tr.tick_wall_seconds);
+  }
+  ++num_ticks_;
+  for (const Subscriber& s : subscribers_) s(tr);
+}
+
+}  // namespace glp::serve

@@ -1,0 +1,236 @@
+// glp::serve — streaming micro-batch fraud-detection server (the
+// deployment shape of paper §5.4: the pipeline re-evaluated continuously as
+// transactions arrive, rather than one-shot over a static stream).
+//
+// Architecture:
+//
+//   Ingest(batch) --bounded queue--> detection thread
+//                                      SlidingWindow::Append (tail merge)
+//                                      SlidingWindowCursor::AdvanceTo
+//                                      warm-start label mapping
+//                                      pipeline::DetectOnSnapshot
+//                                      confirmed-cluster diff -> subscribers
+//
+// The ingest queue is bounded (ServerConfig::max_queue_batches); a full
+// queue blocks the producer — backpressure instead of unbounded memory.
+// Each tick reuses the cursor's scratch and the previous tick's labels
+// (warm start), so a quiescent window converges in <= 2 LP iterations; see
+// DESIGN.md §"Serving layer" for the correctness argument.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "pipeline/pipeline.h"
+#include "prof/prof.h"
+#include "util/status.h"
+
+namespace glp::serve {
+
+/// Streaming-server configuration. Composes the pipeline's unified
+/// PipelineConfig (and through it the lp::RunConfig the engines consume):
+/// the server adds only streaming concerns on top.
+struct ServerConfig {
+  /// Per-tick detection parameters: window length, engine/variant, the
+  /// embedded lp::RunConfig (iterations, seed, stop_when_stable), cluster
+  /// extraction thresholds. end_day is ignored — the stream drives the
+  /// window end. Pair warm_start with detect.lp.stop_when_stable so
+  /// quiescent windows terminate after ~2 iterations.
+  pipeline::PipelineConfig detect;
+
+  /// Blacklist seeds (global entity ids) for cluster extraction.
+  std::vector<graph::VertexId> seeds;
+
+  /// Window-end cadence: a detection tick fires at every multiple of this
+  /// once ingested data reaches it.
+  double tick_every_days = 1.0;
+
+  /// Warm-start each tick's LP from the previous tick's labels mapped
+  /// through the entity ids (cold singleton for entities new to the
+  /// window). Off = every tick runs from scratch.
+  bool warm_start = true;
+
+  /// With warm_start, run a from-scratch tick every N ticks anyway.
+  /// Warm-started LP can merge communities but never split them (each
+  /// fragment of an established label keeps an internal majority of that
+  /// label, even after the window drops its bridging edges), so label
+  /// granularity drifts monotonically coarser over long streams; a periodic
+  /// cold refresh re-fragments (see bench/stream_serve.cc for the
+  /// latency/quality tradeoff). 0 = never refresh.
+  int64_t cold_refresh_every_ticks = 32;
+
+  /// Ingest-queue bound: Ingest() blocks while this many batches are
+  /// pending (backpressure).
+  size_t max_queue_batches = 8;
+
+  /// Optional ground truth for per-tick detection metrics. Not owned.
+  const pipeline::TransactionStream* ground_truth = nullptr;
+
+  /// Copy each tick's warm-start label array into TickResult::warm_labels
+  /// (test/replay hook for the one-shot equivalence check).
+  bool record_warm_labels = false;
+
+  /// Optional profiler: receives per-tick host events and the LP engines'
+  /// phase breakdowns. Used from the detection thread only. Not owned.
+  prof::PhaseProfiler* profiler = nullptr;
+  /// Optional thread pool for the LP engines. Not owned.
+  glp::ThreadPool* pool = nullptr;
+};
+
+/// One detection tick's output, published to subscribers.
+struct TickResult {
+  int64_t tick = 0;
+  double window_start = 0;
+  double window_end = 0;
+  /// Whether this tick's LP was warm-started from the previous tick.
+  bool warm = false;
+
+  /// Full pipeline output (clusters, metrics, LP cost accounting).
+  pipeline::PipelineResult detection;
+
+  /// Confirmed-cluster diff vs the previous tick, as sorted global-id
+  /// member lists: clusters newly confirmed this tick, and previously
+  /// confirmed clusters that disappeared.
+  std::vector<std::vector<graph::VertexId>> new_confirmed;
+  std::vector<std::vector<graph::VertexId>> expired_confirmed;
+
+  /// Host wall-clock of the whole tick (window advance + LP + extraction).
+  double tick_wall_seconds = 0;
+  /// Newest ingested timestamp minus this window's end: how far detection
+  /// trails the stream head.
+  double ingest_lag_days = 0;
+
+  /// The warm-start initial labels used (only when
+  /// ServerConfig::record_warm_labels; empty on cold ticks).
+  std::vector<graph::Label> warm_labels;
+};
+
+/// Aggregate serving statistics (latency accounting of the tentpole).
+struct ServerStats {
+  int64_t ticks = 0;
+  int64_t warm_ticks = 0;
+  int64_t cold_ticks = 0;
+  int64_t batches_ingested = 0;
+  int64_t edges_ingested = 0;
+  /// Times Ingest() had to block on a full queue.
+  int64_t ingest_blocked = 0;
+  size_t queue_peak = 0;
+
+  double tick_p50_seconds = 0;
+  double tick_p99_seconds = 0;
+  double tick_max_seconds = 0;
+  double warm_avg_iterations = 0;
+  double cold_avg_iterations = 0;
+  double last_ingest_lag_days = 0;
+
+  std::string ToJson() const;
+};
+
+/// \brief Multi-threaded streaming detection server.
+///
+/// One producer (or several, externally serialized per call — Ingest is
+/// thread-safe) feeds timestamped edge batches; a dedicated detection
+/// thread appends them to the sliding window and runs a detection tick at
+/// every tick_every_days boundary the data crosses. Batches are expected in
+/// (approximate) time order; late edges are merged into the stream but
+/// already-taken ticks are not re-run.
+class StreamServer {
+ public:
+  using Subscriber = std::function<void(const TickResult&)>;
+
+  explicit StreamServer(ServerConfig config);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Registers a per-tick callback (invoked on the detection thread, in
+  /// tick order). Must be called before Start().
+  void Subscribe(Subscriber subscriber);
+
+  /// Launches the detection thread.
+  Status Start();
+
+  /// Enqueues a batch. Blocks while the queue is at max_queue_batches
+  /// (backpressure). Returns false if the server is stopped (batch
+  /// dropped).
+  bool Ingest(std::vector<graph::TimedEdge> batch);
+
+  /// Blocks until every ingested batch has been processed and all due
+  /// ticks have run.
+  void Flush();
+
+  /// Stops the server: no further ingest, the in-flight LP run (if any) is
+  /// cancelled through the RunContext stop token, the thread is joined.
+  /// Call Flush() first for a graceful drain.
+  void Stop();
+
+  /// First non-cancellation error a tick produced, if any.
+  Status last_error() const;
+
+  ServerStats stats() const;
+
+ private:
+  void DetectLoop();
+  void RunDueTicks();
+  void RunTick(double end_time);
+  std::vector<graph::Label> MapWarmLabels(const graph::WindowSnapshot& cur);
+
+  ServerConfig config_;
+  std::vector<Subscriber> subscribers_;
+
+  // Detection-thread state (no locking: only that thread touches these).
+  graph::SlidingWindow window_;
+  graph::SlidingWindowCursor cursor_;
+  bool tick_schedule_primed_ = false;
+  double next_tick_end_ = 0;
+  int64_t num_ticks_ = 0;
+  // Previous tick's state for warm start + diffing.
+  bool have_prev_ = false;
+  std::vector<graph::VertexId> prev_l2g_;
+  std::vector<graph::Label> prev_labels_;
+  std::set<std::vector<graph::VertexId>> prev_confirmed_;
+  // Epoch-stamped entity->local maps reused across ticks.
+  struct EntityMap {
+    std::vector<uint32_t> epoch_of;
+    std::vector<graph::VertexId> local_of;
+    uint32_t epoch = 0;
+  };
+  EntityMap prev_map_, cur_map_;
+
+  // Shared state.
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;       // signals the detection thread
+  std::condition_variable not_full_cv_;    // signals blocked producers
+  std::condition_variable drained_cv_;     // signals Flush
+  std::deque<std::vector<graph::TimedEdge>> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool busy_ = false;  // detection thread is processing a popped batch
+  double ingested_max_time_ = 0;
+  Status last_error_ = Status::OK();
+
+  // Stats (guarded by mu_).
+  std::vector<double> tick_seconds_;
+  int64_t warm_ticks_ = 0, cold_ticks_ = 0;
+  int64_t warm_iterations_ = 0, cold_iterations_ = 0;
+  int64_t batches_ingested_ = 0, edges_ingested_ = 0;
+  int64_t ingest_blocked_ = 0;
+  size_t queue_peak_ = 0;
+  double last_lag_days_ = 0;
+
+  std::atomic<bool> stop_token_{false};
+  std::thread thread_;
+};
+
+}  // namespace glp::serve

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kIoError,
   kNotImplemented,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "Invalid argument", ...).
@@ -68,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const noexcept { return state_ == nullptr; }
   StatusCode code() const noexcept { return state_ ? state_->code : StatusCode::kOk; }
@@ -84,6 +88,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const {

@@ -2,13 +2,16 @@
 // seeded sense): random graphs from every generator family x every variant,
 // all engines must agree with the sequential reference bit-for-bit.
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include <gtest/gtest.h>
 
 #include "glp/factory.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
+#include "graph/sliding_window.h"
 #include "util/rng.h"
 
 namespace glp::lp {
@@ -102,6 +105,72 @@ TEST_P(FuzzTest, AllEnginesAgreeOnRandomWorkloads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+/// Streaming-window differential test: a window built by incremental
+/// Append (random batch sizes, occasionally shuffled out of order) plus
+/// cursor advancement must produce snapshots identical — same local-id
+/// assignment, same CSR — to a from-scratch SlidingWindow over the whole
+/// stream. This is what makes the serving layer's warm-start mapping and
+/// its one-shot equivalence guarantee sound.
+class WindowFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowFuzzTest, IncrementalCursorMatchesFromScratchSnapshots) {
+  glp::Rng rng(0x51d0 + GetParam());
+  const VertexId entities = 16 + static_cast<VertexId>(rng.Bounded(200));
+  const int num_edges = 64 + static_cast<int>(rng.Bounded(2000));
+  const double horizon = 5.0 + rng.NextDouble() * 20.0;
+
+  std::vector<graph::TimedEdge> edges;
+  edges.reserve(num_edges);
+  for (int i = 0; i < num_edges; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.Bounded(entities)),
+                     static_cast<VertexId>(rng.Bounded(entities)),
+                     rng.NextDouble() * horizon});
+  }
+
+  const graph::SlidingWindow full(edges);
+
+  // Incremental stream: mostly time-ordered batches, sometimes a batch
+  // arrives late/shuffled to exercise the inplace_merge path.
+  std::vector<graph::TimedEdge> ordered = edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  graph::SlidingWindow inc;
+  size_t pos = 0;
+  while (pos < ordered.size()) {
+    const size_t batch_size =
+        std::min(ordered.size() - pos, size_t{1} + rng.Bounded(64));
+    std::vector<graph::TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + batch_size));
+    if (rng.NextBool(0.25)) {  // scramble: Append must sort + merge
+      for (size_t i = batch.size(); i > 1; --i) {
+        std::swap(batch[i - 1], batch[rng.Bounded(i)]);
+      }
+    }
+    inc.Append(std::move(batch));
+    pos += batch_size;
+  }
+  ASSERT_EQ(inc.num_stream_edges(), full.num_stream_edges());
+
+  const bool collapse = rng.NextBool(0.5);
+  const double window_len = 1.0 + rng.NextDouble() * horizon;
+  graph::SlidingWindowCursor cursor(&inc, window_len, collapse);
+  graph::SlidingWindow::Scratch scratch;
+  for (double end = window_len * 0.5; end < horizon + window_len;
+       end += 0.3 + rng.NextDouble() * 2.0) {
+    const graph::WindowSnapshot& got = cursor.AdvanceTo(end);
+    const graph::WindowSnapshot want =
+        full.Snapshot(end - window_len, end, &scratch, collapse);
+    ASSERT_EQ(got.local_to_global, want.local_to_global) << "end=" << end;
+    ASSERT_EQ(got.graph.offsets(), want.graph.offsets()) << "end=" << end;
+    ASSERT_EQ(got.graph.neighbor_array(), want.graph.neighbor_array())
+        << "end=" << end;
+    ASSERT_EQ(got.graph.weight_array(), want.graph.weight_array())
+        << "end=" << end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowFuzzTest, ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace glp::lp

@@ -263,9 +263,10 @@ TEST(ProfTest, PipelineMeasuresLpShareAndHostEvents) {
   prof::TraceRecorder trace;
   profiler.AttachTrace(&trace);
   pipeline::PipelineConfig pc;
-  pc.lp_iterations = 5;
-  pc.profiler = &profiler;
-  auto r = pl.Run(pc);
+  pc.lp.max_iterations = 5;
+  lp::RunContext pctx;
+  pctx.profiler = &profiler;
+  auto r = pl.Run(pc, pctx);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r.value().lp_wall_seconds, 0);
   EXPECT_GT(r.value().MeasuredLpFraction(), 0);

@@ -1,0 +1,297 @@
+// glp::serve streaming-server tests: one-shot equivalence (the CI
+// acceptance gate), warm-start reproducibility, ingest backpressure, and
+// cooperative cancellation.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/seq_engine.h"
+#include "glp/variants/classic.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/transactions.h"
+#include "serve/server.h"
+
+namespace glp::serve {
+namespace {
+
+using graph::TimedEdge;
+using graph::VertexId;
+
+pipeline::TransactionConfig SmallStreamConfig() {
+  pipeline::TransactionConfig cfg;
+  cfg.num_buyers = 1500;
+  cfg.num_items = 400;
+  cfg.days = 40;
+  cfg.num_rings = 8;
+  cfg.ring_buyers = 8;
+  cfg.ring_items = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+/// Splits the stream's edges (canonical order) into fixed-size batches.
+std::vector<std::vector<TimedEdge>> BatchStream(
+    const pipeline::TransactionStream& stream, size_t batch_size) {
+  std::vector<TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  std::vector<std::vector<TimedEdge>> batches;
+  for (size_t pos = 0; pos < ordered.size(); pos += batch_size) {
+    const size_t n = std::min(batch_size, ordered.size() - pos);
+    batches.emplace_back(ordered.begin() + static_cast<ptrdiff_t>(pos),
+                         ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+  }
+  return batches;
+}
+
+void ExpectSameClusters(const std::vector<pipeline::SuspiciousCluster>& got,
+                        const std::vector<pipeline::SuspiciousCluster>& want,
+                        double tick_end) {
+  ASSERT_EQ(got.size(), want.size()) << "tick end " << tick_end;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].label, want[i].label) << "tick end " << tick_end;
+    EXPECT_EQ(got[i].members, want[i].members) << "tick end " << tick_end;
+    EXPECT_EQ(got[i].confirmed, want[i].confirmed) << "tick end " << tick_end;
+    EXPECT_EQ(got[i].internal_edges, want[i].internal_edges)
+        << "tick end " << tick_end;
+  }
+}
+
+TEST(ServeTest, ColdServerMatchesOneShotPipeline) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = 5.0;
+  cfg.warm_start = false;
+
+  std::vector<TickResult> ticks;
+  StreamServer server(cfg);
+  server.Subscribe([&](const TickResult& t) { ticks.push_back(t); });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchStream(stream, 1000)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  ASSERT_GE(ticks.size(), 4u);
+
+  // Every tick must reproduce an equivalent one-shot pipeline run exactly.
+  pipeline::FraudDetectionPipeline one_shot(&stream);
+  for (const TickResult& t : ticks) {
+    EXPECT_FALSE(t.warm);
+    pipeline::PipelineConfig pc = cfg.detect;
+    pc.end_day = t.window_end;
+    auto want = one_shot.Run(pc);
+    if (t.detection.window_vertices == 0) continue;
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(t.detection.window_vertices, want.value().window_vertices);
+    EXPECT_EQ(t.detection.window_edges, want.value().window_edges);
+    EXPECT_EQ(t.detection.lp.labels, want.value().lp.labels);
+    ExpectSameClusters(t.detection.clusters, want.value().clusters,
+                       t.window_end);
+    EXPECT_EQ(t.detection.confirmed_metrics.true_positives,
+              want.value().confirmed_metrics.true_positives);
+  }
+}
+
+TEST(ServeTest, WarmTicksMatchWarmReplayedOneShot) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.detect.lp.max_iterations = 50;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 5.0;
+  cfg.warm_start = true;
+  cfg.record_warm_labels = true;
+
+  std::vector<TickResult> ticks;
+  StreamServer server(cfg);
+  server.Subscribe([&](const TickResult& t) { ticks.push_back(t); });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchStream(stream, 1000)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  ASSERT_GE(ticks.size(), 4u);
+  EXPECT_TRUE(std::any_of(ticks.begin(), ticks.end(),
+                          [](const TickResult& t) { return t.warm; }));
+
+  // Replaying each tick's warm-start labels through a one-shot pipeline run
+  // (the unified config exposes initial_labels) must reproduce the server's
+  // output exactly — the acceptance equivalence for warm mode.
+  pipeline::FraudDetectionPipeline one_shot(&stream);
+  for (const TickResult& t : ticks) {
+    if (t.detection.window_vertices == 0) continue;
+    pipeline::PipelineConfig pc = cfg.detect;
+    pc.end_day = t.window_end;
+    pc.lp.initial_labels = t.warm_labels;
+    auto want = one_shot.Run(pc);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(t.detection.lp.labels, want.value().lp.labels)
+        << "tick end " << t.window_end;
+    EXPECT_EQ(t.detection.lp.iterations, want.value().lp.iterations);
+    ExpectSameClusters(t.detection.clusters, want.value().clusters,
+                       t.window_end);
+  }
+}
+
+TEST(ServeTest, WarmRestartOnUnchangedWindowIsIdenticalAndFast) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  graph::SlidingWindow window(stream.edges);
+  const auto snap = window.Snapshot(10, 30);
+  ASSERT_GT(snap.graph.num_vertices(), 0u);
+
+  cpu::SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig cold;
+  cold.max_iterations = 100;
+  cold.stop_when_stable = true;
+  auto cold_run = engine.Run(snap.graph, cold);
+  ASSERT_TRUE(cold_run.ok());
+  // The cycle detector must terminate the cold run well under the budget
+  // (bipartite windows never reach changed == 0 under synchronous LP).
+  ASSERT_LT(cold_run.value().iterations, 100);
+
+  // Warm restart from the converged labels: byte-identical fixed point (or
+  // oscillation orbit) re-detected within two iterations.
+  lp::RunConfig warm = cold;
+  warm.initial_labels = cold_run.value().labels;
+  auto warm_run = engine.Run(snap.graph, warm);
+  ASSERT_TRUE(warm_run.ok());
+  EXPECT_EQ(warm_run.value().labels, cold_run.value().labels);
+  EXPECT_LE(warm_run.value().iterations, 2);
+}
+
+TEST(ServeTest, BackpressureBoundsIngestQueue) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 5;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.detect.lp.max_iterations = 5;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 0.25;  // nearly every batch crosses a boundary
+  cfg.warm_start = true;
+  cfg.max_queue_batches = 2;
+
+  StreamServer server(cfg);
+  server.Subscribe([](const TickResult&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchStream(stream, 200)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  const ServerStats stats = server.stats();
+  server.Stop();
+
+  EXPECT_LE(stats.queue_peak, 2u);
+  EXPECT_GE(stats.ingest_blocked, 1);
+  EXPECT_GT(stats.ticks, 10);
+  EXPECT_GT(stats.tick_p99_seconds, 0);
+  EXPECT_GE(stats.tick_p99_seconds, stats.tick_p50_seconds);
+}
+
+TEST(ServeTest, ConfirmedClusterDiffsReplayToCurrentSet) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 5.0;
+
+  std::vector<TickResult> ticks;
+  StreamServer server(cfg);
+  server.Subscribe([&](const TickResult& t) { ticks.push_back(t); });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchStream(stream, 1000)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_FALSE(ticks.empty());
+
+  // Applying each tick's new/expired diff to a running set must always
+  // reproduce that tick's full confirmed-cluster set.
+  std::set<std::vector<VertexId>> state;
+  bool saw_confirmed = false;
+  for (const TickResult& t : ticks) {
+    for (const auto& members : t.expired_confirmed) {
+      ASSERT_EQ(state.erase(members), 1u);
+    }
+    for (const auto& members : t.new_confirmed) {
+      ASSERT_TRUE(state.insert(members).second);
+    }
+    std::set<std::vector<VertexId>> confirmed_now;
+    for (const auto& c : t.detection.clusters) {
+      if (c.confirmed) confirmed_now.insert(c.members);
+    }
+    saw_confirmed = saw_confirmed || !confirmed_now.empty();
+    EXPECT_EQ(state, confirmed_now) << "tick end " << t.window_end;
+  }
+  EXPECT_TRUE(saw_confirmed);
+}
+
+TEST(ServeTest, StopTokenCancelsEngineRun) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  graph::SlidingWindow window(stream.edges);
+  const auto snap = window.Snapshot(0, 40);
+
+  cpu::SeqEngine<lp::ClassicVariant> engine;
+  lp::RunConfig run;
+  run.max_iterations = 20;
+  std::atomic<bool> stop{true};
+  lp::RunContext ctx;
+  ctx.stop_token = &stop;
+  auto r = engine.Run(snap.graph, run, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+}
+
+TEST(ServeTest, HardStopWhileBusyShutsDownCleanly) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 0.5;
+  cfg.max_queue_batches = 4;
+
+  StreamServer server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+  auto batches = BatchStream(stream, 500);
+  // Ingest from a separate producer thread and pull the rug mid-stream:
+  // Stop() must cancel any in-flight LP run and unblock the producer.
+  std::thread producer([&] {
+    for (auto& batch : batches) {
+      if (!server.Ingest(std::move(batch))) break;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.Stop();
+  producer.join();
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  // Stopped server rejects further ingest.
+  EXPECT_FALSE(server.Ingest({{0, 1, 0.5}}));
+}
+
+}  // namespace
+}  // namespace glp::serve

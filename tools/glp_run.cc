@@ -211,10 +211,11 @@ int main(int argc, char** argv) {
 
   prof::PhaseProfiler profiler;
   prof::TraceRecorder trace;
+  lp::RunContext ctx;
   const bool profiling = args.profile || !args.trace_path.empty();
   if (profiling) {
     if (!args.trace_path.empty()) profiler.AttachTrace(&trace);
-    run.profiler = &profiler;
+    ctx.profiler = &profiler;
     if (args.async) {
       std::fprintf(stderr,
                    "note: --profile/--trace-out cover synchronous runs only; "
@@ -223,7 +224,7 @@ int main(int argc, char** argv) {
   }
 
   auto eng = lp::MakeEngine(engine, variant, params, options);
-  auto result = eng->Run(g, run);
+  auto result = eng->Run(g, run, ctx);
   if (!result.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  result.status().ToString().c_str());

@@ -1,0 +1,234 @@
+// glp_serve — streaming fraud-detection server driver: replays a synthetic
+// transaction stream through glp::serve::StreamServer in micro-batches and
+// prints one line per detection tick plus a final latency/stats JSON blob.
+//
+//   glp_serve --days 90 --buyers 30000 --window 30 --tick 1 --engine glp
+//   glp_serve --cold --batch 5000          # disable warm starts, compare
+//
+// The operational entry point for the serving layer; see DESIGN.md
+// §"Serving layer".
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/transactions.h"
+#include "prof/prof.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace glp;
+
+struct Args {
+  int buyers = 30000;
+  int items = 6000;
+  int days = 90;
+  int rings = 40;
+  int window_days = 30;
+  double tick_every = 1.0;
+  double rate = 0;  // stream-days replayed per wall-second; 0 = max speed
+  size_t batch_size = 2000;
+  std::string engine = "glp";
+  int iterations = 20;
+  uint64_t seed = 11;
+  int64_t refresh = 32;
+  bool warm = true;
+  bool quiet = false;
+  bool profile = false;
+};
+
+void Usage() {
+  std::printf(
+      "glp_serve: streaming micro-batch fraud detection server (replay)\n\n"
+      "stream:\n"
+      "  --buyers <n>   buyer entities (default 30000)\n"
+      "  --items <n>    item entities (default 6000)\n"
+      "  --days <n>     stream length in days (default 90)\n"
+      "  --rings <n>    injected fraud rings (default 40)\n"
+      "  --seed <n>     stream RNG seed (default 11)\n"
+      "serving:\n"
+      "  --window <d>   sliding-window length in days (default 30)\n"
+      "  --tick <d>     detection cadence in days (default 1)\n"
+      "  --batch <n>    edges per ingest micro-batch (default 2000)\n"
+      "  --rate <d>     replay pacing: stream-days per wall-second\n"
+      "                 (default 0 = ingest at maximum speed)\n"
+      "  --engine <e>   seq | tg | ligra | omp | gsort | ghash | glp\n"
+      "  --iters <n>    LP iteration cap per tick (default 20)\n"
+      "  --cold         disable warm starts (every tick from scratch)\n"
+      "  --refresh <n>  cold-refresh every n ticks (counters warm-start\n"
+      "                 label-granularity drift; 0 = never; default 32)\n"
+      "  --profile      per-phase profile of the serving run\n"
+      "  --quiet        suppress per-tick lines (stats JSON only)\n");
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--buyers")) {
+      args->buyers = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--items")) {
+      args->items = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--days")) {
+      args->days = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--rings")) {
+      args->rings = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--window")) {
+      args->window_days = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--tick")) {
+      args->tick_every = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      args->batch_size = static_cast<size_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      args->rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--engine")) {
+      args->engine = next();
+    } else if (!std::strcmp(argv[i], "--iters")) {
+      args->iterations = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      args->seed = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--refresh")) {
+      args->refresh = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--cold")) {
+      args->warm = false;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      args->profile = true;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      args->quiet = true;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseEngine(const std::string& name, lp::EngineKind* kind) {
+  if (name == "seq") *kind = lp::EngineKind::kSeq;
+  else if (name == "tg") *kind = lp::EngineKind::kTg;
+  else if (name == "ligra") *kind = lp::EngineKind::kLigra;
+  else if (name == "omp") *kind = lp::EngineKind::kOmp;
+  else if (name == "gsort") *kind = lp::EngineKind::kGSort;
+  else if (name == "ghash") *kind = lp::EngineKind::kGHash;
+  else if (name == "glp") *kind = lp::EngineKind::kGlp;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  // --- Stream ---
+  pipeline::TransactionConfig tcfg;
+  tcfg.num_buyers = args.buyers;
+  tcfg.num_items = args.items;
+  tcfg.days = args.days;
+  tcfg.num_rings = args.rings;
+  tcfg.seed = args.seed;
+  const auto stream = pipeline::GenerateTransactions(tcfg);
+  std::printf("stream: %zu purchases over %d days, %d rings, %zu seeds\n",
+              stream.edges.size(), args.days, args.rings,
+              stream.seeds.size());
+
+  // --- Server ---
+  serve::ServerConfig cfg;
+  if (!ParseEngine(args.engine, &cfg.detect.engine)) {
+    std::fprintf(stderr, "unknown engine: %s\n", args.engine.c_str());
+    return 2;
+  }
+  cfg.detect.window_days = args.window_days;
+  cfg.detect.lp.max_iterations = args.iterations;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = args.tick_every;
+  cfg.warm_start = args.warm;
+  cfg.cold_refresh_every_ticks = args.refresh;
+  prof::PhaseProfiler profiler;
+  if (args.profile) cfg.profiler = &profiler;
+
+  serve::StreamServer server(cfg);
+  if (!args.quiet) {
+    server.Subscribe([](const serve::TickResult& t) {
+      int confirmed = 0;
+      for (const auto& c : t.detection.clusters) confirmed += c.confirmed;
+      std::printf(
+          "tick %3lld  window [%5.1f, %5.1f)  %-4s  %7u v %9lld e  "
+          "lp %2d iters  clusters %3zu (%d confirmed, +%zu -%zu)  "
+          "f1 %.3f  %6.2f ms  lag %.2f d\n",
+          static_cast<long long>(t.tick), t.window_start, t.window_end,
+          t.warm ? "warm" : "cold", t.detection.window_vertices,
+          static_cast<long long>(t.detection.window_edges),
+          t.detection.lp.iterations, t.detection.clusters.size(), confirmed,
+          t.new_confirmed.size(), t.expired_confirmed.size(),
+          t.detection.confirmed_metrics.F1(), t.tick_wall_seconds * 1e3,
+          t.ingest_lag_days);
+    });
+  }
+
+  const Status start = server.Start();
+  if (!start.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", start.ToString().c_str());
+    return 1;
+  }
+
+  // --- Replay: canonical order, fixed-size micro-batches, optional pacing ---
+  std::vector<graph::TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double stream_start = ordered.empty() ? 0 : ordered.front().time;
+  for (size_t pos = 0; pos < ordered.size(); pos += args.batch_size) {
+    const size_t n = std::min(args.batch_size, ordered.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    if (args.rate > 0) {
+      // Don't hand over the batch before its last timestamp "happens".
+      const double due_s = (batch.back().time - stream_start) / args.rate;
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(due_s)));
+    }
+    if (!server.Ingest(std::move(batch))) {
+      std::fprintf(stderr, "ingest rejected (server stopped)\n");
+      return 1;
+    }
+  }
+  server.Flush();
+  const serve::ServerStats stats = server.stats();
+  server.Stop();
+  if (!server.last_error().ok()) {
+    std::fprintf(stderr, "serving error: %s\n",
+                 server.last_error().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nstats: %s\n", stats.ToJson().c_str());
+  if (args.profile) {
+    const prof::PhaseBreakdown& breakdown = profiler.breakdown();
+    if (breakdown.enabled) {
+      std::printf("\n%s", breakdown.ToString().c_str());
+    }
+  }
+  return 0;
+}
