@@ -201,11 +201,11 @@ inline void RunSpeedupFigure(const char* title, lp::VariantKind variant,
     // above are untouched — this run is separate.
     if (flags.profile && !sweep.empty()) {
       prof::PhaseProfiler profiler;
-      lp::RunConfig prof_run = run;
-      prof_run.profiler = &profiler;
+      lp::RunContext prof_ctx;
+      prof_ctx.profiler = &profiler;
       auto r = lp::MakeEngine(lp::EngineKind::kGlp, variant, sweep.front(), {},
                               nullptr, device)
-                   ->Run(g, prof_run);
+                   ->Run(g, run, prof_ctx);
       GLP_CHECK(r.ok()) << r.status().ToString();
       std::printf("\n%s phase breakdown (GLP, first sweep config):\n%s\n",
                   spec.name.c_str(),

@@ -12,10 +12,15 @@
 // counts) for CI tracking.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -33,7 +38,8 @@ struct ModeResult {
 
 ModeResult ReplayStream(const pipeline::TransactionStream& stream,
                         const bench::BenchFlags& flags, bool warm,
-                        int64_t refresh_every) {
+                        int64_t refresh_every,
+                        obs::MetricRegistry* metrics = nullptr) {
   serve::ServerConfig cfg;
   cfg.detect.window_days = 30;
   cfg.detect.engine = lp::EngineKind::kGlp;
@@ -44,6 +50,7 @@ ModeResult ReplayStream(const pipeline::TransactionStream& stream,
   cfg.tick_every_days = 1.0;
   cfg.warm_start = warm;
   cfg.cold_refresh_every_ticks = refresh_every;
+  cfg.metrics = metrics;
 
   ModeResult out;
   serve::StreamServer server(cfg);
@@ -117,8 +124,44 @@ int main(int argc, char** argv) {
                 m.ticks == 0 ? 0.0 : m.f1_sum / static_cast<double>(m.ticks));
   }
 
+  // Metrics overhead: re-run the warm replay with an external registry, a
+  // live HTTP endpoint, and a scraper polling the text exposition every
+  // 25 ms — the worst realistic scrape load — then compare per-tick wall
+  // time against the plain warm run above.
+  obs::MetricRegistry registry;
+  obs::HttpEndpoint endpoint(&registry);
+  const bool endpoint_up = endpoint.Start(0);
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<int64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!stop_scraper.load(std::memory_order_acquire)) {
+      const std::string text = registry.PrometheusText();
+      if (!text.empty()) scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+  const ModeResult scraped = ReplayStream(stream, flags, /*warm=*/true,
+                                          /*refresh_every=*/0, &registry);
+  stop_scraper.store(true, std::memory_order_release);
+  scraper.join();
+  endpoint.Stop();
+
   const ModeResult& cold = results[0];
   const ModeResult& warm = results[1];
+  const double warm_avg_tick =
+      warm.ticks > 0 ? warm.total_wall / static_cast<double>(warm.ticks) : 0;
+  const double scraped_avg_tick =
+      scraped.ticks > 0 ? scraped.total_wall / static_cast<double>(scraped.ticks)
+                        : 0;
+  const double overhead_pct =
+      warm_avg_tick > 0 ? 100.0 * (scraped_avg_tick / warm_avg_tick - 1.0) : 0;
+  std::printf(
+      "\nmetrics overhead: warm avg tick %s plain vs %s scraped "
+      "(%+.2f%%, %lld scrapes%s)\n",
+      bench::Duration(warm_avg_tick).c_str(),
+      bench::Duration(scraped_avg_tick).c_str(), overhead_pct,
+      static_cast<long long>(scrapes.load()),
+      endpoint_up ? ", /metrics endpoint live" : "");
   const double sim_speedup = warm.total_simulated > 0
                                  ? cold.total_simulated / warm.total_simulated
                                  : 0;

@@ -32,9 +32,9 @@ class SeqEngine : public lp::Engine {
     glp::Timer timer;
     Variant variant(params_);
     variant.Init(g, config);
-    prof::PhaseProfiler* const profiler =
-        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    prof::PhaseProfiler* const profiler = ctx.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
+    lp::ConvergenceRecorder recorder(ctx.metrics, name());
 
     lp::RunResult result;
     LabelCounter counter;
@@ -64,6 +64,8 @@ class SeqEngine : public lp::Engine {
       }
       const double iter_s = iter_timer.Seconds();
       if (profiler != nullptr) profiler->EndIteration(iter_s);
+      recorder.RecordIteration(static_cast<uint64_t>(changed),
+                               g.num_vertices(), iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable &&

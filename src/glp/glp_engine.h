@@ -191,9 +191,9 @@ class GlpEngine : public Engine {
     affected_counts_.clear();
 
     // --- Iterations ---
-    prof::PhaseProfiler* const profiler =
-        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    prof::PhaseProfiler* const profiler = ctx.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), num_gpus);
+    ConvergenceRecorder recorder(ctx.metrics, name());
     GpuRunAccumulator acc(&cost_, profiler);
     sim::TransferLedger transfers(&cost_);
     std::atomic<uint64_t> fallbacks{0};
@@ -431,6 +431,8 @@ class GlpEngine : public Engine {
       }
 
       if (profiler != nullptr) profiler->EndIteration(iter_s);
+      recorder.RecordIteration(static_cast<uint64_t>(changed), affected_count,
+                               iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable &&

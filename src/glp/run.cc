@@ -1,6 +1,44 @@
 #include "glp/run.h"
 
+#include "obs/metrics.h"
+
 namespace glp::lp {
+
+ConvergenceRecorder::ConvergenceRecorder(obs::MetricRegistry* registry,
+                                         const std::string& engine) {
+  if (registry == nullptr) return;
+  const obs::Labels labels = {{"engine", engine}};
+  iterations_ = registry->GetCounter("glp_lp_iterations_total",
+                                     "LP iterations committed", labels);
+  changed_total_ = registry->GetCounter(
+      "glp_lp_changed_labels_total", "Labels changed across all iterations",
+      labels);
+  changed_ = registry->GetHistogram(
+      "glp_lp_changed_labels", "Labels changed per iteration", labels);
+  frontier_ = registry->GetHistogram(
+      "glp_lp_frontier_size", "Vertices recomputed per iteration", labels);
+  iteration_seconds_ = registry->GetHistogram(
+      "glp_lp_iteration_seconds",
+      "Per-iteration time (simulated for GPU engines, wall for CPU)", labels);
+  last_changed_ = registry->GetGauge(
+      "glp_lp_last_changed_labels",
+      "Labels changed by the most recent iteration", labels);
+  last_frontier_ = registry->GetGauge(
+      "glp_lp_last_frontier_size",
+      "Vertices recomputed by the most recent iteration", labels);
+}
+
+void ConvergenceRecorder::RecordIteration(uint64_t changed, uint64_t frontier,
+                                          double seconds) {
+  if (!enabled()) return;
+  iterations_->Increment();
+  changed_total_->Increment(changed);
+  changed_->Observe(static_cast<double>(changed));
+  frontier_->Observe(static_cast<double>(frontier));
+  iteration_seconds_->Observe(seconds);
+  last_changed_->Set(static_cast<double>(changed));
+  last_frontier_->Set(static_cast<double>(frontier));
+}
 
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {

@@ -20,6 +20,13 @@ namespace glp {
 class ThreadPool;
 }
 
+namespace glp::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricRegistry;
+}  // namespace glp::obs
+
 namespace glp::lp {
 
 /// Parameters of one LP run.
@@ -41,13 +48,6 @@ struct RunConfig {
   /// Optional initial labels (seeded LP in the fraud pipeline). Empty means
   /// the classic unique-label initialization L[v] = v.
   std::vector<graph::Label> initial_labels;
-  /// DEPRECATED: pass a ThreadPool via RunContext::pool instead. Retained as
-  /// a forwarding shim for one PR; never read by the engines.
-  int num_threads = 0;
-  /// DEPRECATED: pass the profiler via RunContext::profiler instead. The
-  /// two-argument Engine::Run shim forwards this field into the context, so
-  /// existing call sites keep profiling; new code should not set it.
-  prof::PhaseProfiler* profiler = nullptr;
 };
 
 /// \brief Execution environment of a run, passed alongside RunConfig.
@@ -70,11 +70,50 @@ struct RunContext {
   /// and return Status::Cancelled when set. The streaming server uses it to
   /// abandon an in-flight detection tick on shutdown.
   const std::atomic<bool>* stop_token = nullptr;
+  /// Optional metric registry (obs/metrics.h). When set, engines publish
+  /// per-iteration convergence telemetry (changed labels, frontier size,
+  /// iteration latency) through a ConvergenceRecorder, and the pipeline
+  /// layers on kernel-counter and stage metrics. Null disables everything.
+  obs::MetricRegistry* metrics = nullptr;
 
   bool StopRequested() const {
     return stop_token != nullptr &&
            stop_token->load(std::memory_order_relaxed);
   }
+};
+
+/// \brief Per-iteration convergence telemetry for one engine run.
+///
+/// Engines construct one per run from ctx.metrics (a null registry makes
+/// every call a no-op branch) and feed it at each iteration boundary —
+/// the same points that poll the stop token. Publishes, labeled by
+/// {engine=...}: iteration/changed-label counters, changed-labels and
+/// frontier-size histograms (the per-iteration series Gunrock exposes as
+/// first-class statistics), an iteration-latency histogram, and gauges
+/// holding the latest iteration's values so a scrape shows where the
+/// current run sits on its convergence curve.
+class ConvergenceRecorder {
+ public:
+  ConvergenceRecorder() = default;
+  ConvergenceRecorder(obs::MetricRegistry* registry,
+                      const std::string& engine);
+
+  bool enabled() const { return iterations_ != nullptr; }
+
+  /// Records one committed iteration. `changed` is the number of labels the
+  /// iteration changed; `frontier` the number of vertices recomputed (the
+  /// full vertex count for non-frontier engines); `seconds` its simulated
+  /// (GPU) or wall (CPU) time.
+  void RecordIteration(uint64_t changed, uint64_t frontier, double seconds);
+
+ private:
+  obs::Counter* iterations_ = nullptr;
+  obs::Counter* changed_total_ = nullptr;
+  obs::Histogram* changed_ = nullptr;
+  obs::Histogram* frontier_ = nullptr;
+  obs::Histogram* iteration_seconds_ = nullptr;
+  obs::Gauge* last_changed_ = nullptr;
+  obs::Gauge* last_frontier_ = nullptr;
 };
 
 /// \brief Termination detector for stop_when_stable runs.
@@ -138,7 +177,7 @@ struct RunResult {
   /// comparison of §5.2).
   uint64_t device_bytes = 0;
   /// Per-phase time/counter breakdown; populated (enabled == true) only
-  /// when RunConfig.profiler was set. Its phase seconds sum to
+  /// when RunContext.profiler was set. Its phase seconds sum to
   /// simulated_seconds' iteration portion by construction.
   prof::PhaseBreakdown phase_breakdown;
 
@@ -158,13 +197,10 @@ class Engine {
   /// boundaries and return Status::Cancelled when it fires.
   virtual Result<RunResult> Run(const graph::Graph& g, const RunConfig& config,
                                 const RunContext& ctx) = 0;
-  /// Back-compat shim: forwards the deprecated RunConfig::profiler field
-  /// into a default context. Derived engines re-export this overload with
-  /// `using Engine::Run;`.
+  /// Convenience overload running with a default (empty) context. Derived
+  /// engines re-export this overload with `using Engine::Run;`.
   Result<RunResult> Run(const graph::Graph& g, const RunConfig& config) {
-    RunContext ctx;
-    ctx.profiler = config.profiler;
-    return Run(g, config, ctx);
+    return Run(g, config, RunContext());
   }
 };
 

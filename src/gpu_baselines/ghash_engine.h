@@ -60,9 +60,9 @@ class GHashEngine : public Engine {
     device_bytes += nu * variant.memory_bytes_per_vertex();
     device_bytes += arena.bytes();
 
-    prof::PhaseProfiler* const profiler =
-        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    prof::PhaseProfiler* const profiler = ctx.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
+    ConvergenceRecorder recorder(ctx.metrics, name());
     GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
@@ -117,6 +117,7 @@ class GHashEngine : public Engine {
       const int changed = variant.EndIteration(iter);
       const double iter_s = acc.TakeSeconds();
       if (profiler != nullptr) profiler->EndIteration(iter_s);
+      recorder.RecordIteration(static_cast<uint64_t>(changed), nu, iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable &&

@@ -210,9 +210,9 @@ class GSortEngine : public Engine {
     // NL plus the radix sort's double buffer: the O(|E|) overhead of §2.2.
     device_bytes += 2 * static_cast<uint64_t>(m) * sizeof(uint32_t);
 
-    prof::PhaseProfiler* const profiler =
-        ctx.profiler != nullptr ? ctx.profiler : config.profiler;
+    prof::PhaseProfiler* const profiler = ctx.profiler;
     if (profiler != nullptr) profiler->BeginRun(name(), 1);
+    ConvergenceRecorder recorder(ctx.metrics, name());
     GpuRunAccumulator acc(&cost_, profiler);
     RunResult result;
     const double initial_transfer = cost_.TransferCost(device_bytes);
@@ -257,6 +257,7 @@ class GSortEngine : public Engine {
       const int changed = variant.EndIteration(iter);
       const double iter_s = acc.TakeSeconds();
       if (profiler != nullptr) profiler->EndIteration(iter_s);
+      recorder.RecordIteration(static_cast<uint64_t>(changed), nu, iter_s);
       result.iteration_seconds.push_back(iter_s);
       ++result.iterations;
       if (config.stop_when_stable &&

@@ -1,0 +1,40 @@
+#include "obs/collectors.h"
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace glp::obs {
+
+void RegisterThreadPoolCollector(MetricRegistry* registry,
+                                 const ThreadPool* pool,
+                                 const std::string& name) {
+  const Labels labels = {{"pool", name}};
+  Gauge* depth = registry->GetGauge(
+      "glp_pool_queue_depth", "Tasks waiting in the thread-pool queue",
+      labels);
+  Gauge* busy = registry->GetGauge(
+      "glp_pool_busy_workers", "Workers currently running a task", labels);
+  Gauge* workers = registry->GetGauge(
+      "glp_pool_threads", "Threads the pool runs work on (incl. callers)",
+      labels);
+  Counter* executed = registry->GetCounter(
+      "glp_pool_tasks_executed_total", "Tasks dequeued and run by workers",
+      labels);
+  // The pool's count is monotone; publish deltas so the counter stays
+  // correct across collectors running many times.
+  auto last = std::make_shared<int64_t>(0);
+  registry->AddCollector([=] {
+    depth->Set(static_cast<double>(pool->queue_depth()));
+    busy->Set(static_cast<double>(pool->busy_workers()));
+    workers->Set(static_cast<double>(pool->num_threads()));
+    const int64_t now = pool->tasks_executed();
+    if (now > *last) {
+      executed->Increment(static_cast<uint64_t>(now - *last));
+      *last = now;
+    }
+  });
+}
+
+}  // namespace glp::obs

@@ -1,0 +1,27 @@
+// Registry collectors for polled telemetry sources — components that keep
+// plain atomic counters (so they stay free of any obs dependency) and are
+// sampled into metric families at export time.
+
+#pragma once
+
+#include <string>
+
+namespace glp {
+class ThreadPool;
+}
+
+namespace glp::obs {
+
+class MetricRegistry;
+
+/// Registers a collector sampling `pool` into glp_pool_* families labeled
+/// {pool=name}: queue-depth and busy-worker gauges plus a tasks-executed
+/// counter (published as deltas of the pool's monotone count). `pool` must
+/// outlive `registry`'s last export. Registering the same (registry, name)
+/// twice stacks collectors writing the same instruments — use distinct
+/// names per pool.
+void RegisterThreadPoolCollector(MetricRegistry* registry,
+                                 const ThreadPool* pool,
+                                 const std::string& name = "default");
+
+}  // namespace glp::obs

@@ -1,0 +1,152 @@
+#include "obs/http.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace glp::obs {
+
+namespace {
+
+/// Sends the whole buffer, tolerating short writes. MSG_NOSIGNAL keeps a
+/// scraper that hung up early from killing the process with SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string MakeResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(MetricRegistry* registry) : registry_(registry) {}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+bool HttpEndpoint::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    GLP_LOG(Error) << "metrics endpoint: socket() failed: "
+                   << std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    GLP_LOG(Error) << "metrics endpoint: cannot listen on port " << port
+                   << ": " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  GLP_LOG(Info) << "metrics endpoint listening on :" << port_;
+  return true;
+}
+
+void HttpEndpoint::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpEndpoint::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Poll with a timeout so the stop flag is observed without a wakeup fd.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpEndpoint::HandleConnection(int fd) {
+  // Read the request line; everything after the first CRLF is ignored.
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  std::string request(buf);
+  const size_t eol = request.find("\r\n");
+  if (eol != std::string::npos) request.resize(eol);
+
+  // "GET /path HTTP/1.1" -> path.
+  std::string method, path;
+  {
+    const size_t sp1 = request.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos) {
+      method = request.substr(0, sp1);
+      path = sp2 == std::string::npos ? request.substr(sp1 + 1)
+                                      : request.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string response;
+  if (method != "GET") {
+    response = MakeResponse(405, "Method Not Allowed", "text/plain",
+                            "method not allowed\n");
+  } else if (path == "/metrics") {
+    response = MakeResponse(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            registry_->PrometheusText());
+  } else if (path == "/statz") {
+    response =
+        MakeResponse(200, "OK", "application/json", registry_->JsonSnapshot());
+  } else if (path == "/healthz") {
+    response = MakeResponse(200, "OK", "text/plain", "ok\n");
+  } else {
+    response = MakeResponse(404, "Not Found", "text/plain", "not found\n");
+  }
+  SendAll(fd, response);
+}
+
+}  // namespace glp::obs

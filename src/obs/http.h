@@ -1,0 +1,56 @@
+// Minimal HTTP/1.1 endpoint serving a MetricRegistry over a POSIX socket.
+//
+// Three routes, all GET:
+//   /metrics  Prometheus text exposition (what a Prometheus scraper polls)
+//   /statz    JSON snapshot of every family
+//   /healthz  "ok\n" once Start() returned (liveness probe)
+//
+// One accept thread handles requests serially — scrapes are rare (seconds
+// apart) and responses are built from lock-free atomic reads, so a single
+// thread keeps the footprint at one fd + one thread and can never amplify
+// load on the serving path. Not a general web server: no keep-alive, no
+// TLS, request line only (headers are read and discarded).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace glp::obs {
+
+class MetricRegistry;
+
+/// \brief Background thread exposing `registry` on a local TCP port.
+class HttpEndpoint {
+ public:
+  /// Serves `registry` (not owned; must outlive the endpoint).
+  explicit HttpEndpoint(MetricRegistry* registry);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the accept
+  /// thread. Returns false (with the reason logged) if the bind fails.
+  bool Start(int port);
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved if 0 was requested); 0 before Start().
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  MetricRegistry* registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace glp::obs

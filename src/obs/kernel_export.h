@@ -1,0 +1,35 @@
+// Bridges the simulator's KernelStats counters into metric families.
+//
+// The simulator already counts exactly what a hardware profiler would
+// (global transactions, coalescing efficiency, bank conflicts, atomic
+// serialization); this exporter turns those end-of-run structs into
+// continuous per-engine / per-kernel telemetry so a scrape of a running
+// server shows *why* a tick was slow, not just that it was.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "prof/prof.h"
+#include "sim/stats.h"
+
+namespace glp::obs {
+
+/// Adds `stats` into the `glp_sim_*` metric families under
+/// {engine=..., kernel=...} labels. Raw event counts become counters
+/// (deltas accumulate across calls); the two derived ratios — lane
+/// utilization and coalescing efficiency — become gauges holding the
+/// latest value.
+void ExportKernelStats(MetricRegistry* registry, const std::string& engine,
+                       const std::string& kernel,
+                       const sim::KernelStats& stats);
+
+/// Adds a profiler's per-phase breakdown under {engine=..., kernel=<phase>}
+/// labels: launch/transaction/byte counters, accumulated phase seconds, and
+/// the latest lane utilization. No-op when the breakdown is disabled (no
+/// profiler was attached to the run).
+void ExportPhaseBreakdown(MetricRegistry* registry, const std::string& engine,
+                          const prof::PhaseBreakdown& breakdown);
+
+}  // namespace glp::obs

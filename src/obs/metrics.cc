@@ -1,0 +1,347 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace glp::obs {
+
+namespace {
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` (empty string for no labels), with an optional
+/// extra pair appended (the histogram `le` bound).
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Prometheus number rendering: shortest round-trip like JSON, but NaN/Inf
+/// are legal here and spelled NaN / +Inf / -Inf.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json::NumberToken(v);
+}
+
+}  // namespace
+
+// --- Counter ---
+
+size_t Counter::ShardIndex() {
+  // Hash of the thread id, cached per thread: one TLS read per Increment.
+  thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+
+// --- Gauge ---
+
+uint64_t Gauge::Pack(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Unpack(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// --- Histogram ---
+
+uint64_t Histogram::PackSum(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Histogram::UnpackSum(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+int Histogram::BucketOf(double v) {
+  if (!(v > 0)) return 0;
+  // Bucket i spans (2^(i-40), 2^(i-39)]: an exact power of two 2^e sits at
+  // its bucket's upper bound (i = e + 39); anything strictly between powers
+  // rounds up one bucket. ilogb gives floor(log2).
+  const int e = std::ilogb(v);
+  const bool exact_pow2 = std::exp2(e) == v;
+  const int idx = e + 39 + (exact_pow2 ? 0 : 1);
+  return std::clamp(idx, 0, kNumBuckets - 1);
+}
+
+double Histogram::UpperBound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(i - 39);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t n = 0;
+  for (int i = 0; i < kNumBuckets; ++i) n += bucket_count(i);
+  return n;
+}
+
+double Histogram::Sum() const {
+  return UnpackSum(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, total]: the ceil makes Quantile(0.5) of two observations
+  // pick the first, matching the nearest-rank convention.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = bucket_count(i);
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      const double lo = i == 0 ? 0.0 : UpperBound(i - 1);
+      double hi = UpperBound(i);
+      if (std::isinf(hi)) return lo;  // overflow bucket: report its floor
+      // Linear interpolation inside the bucket: rank-within-bucket in
+      // (0, 1]. Never returns lo exactly (so a histogram of positive
+      // observations has positive quantiles).
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(n);
+      return lo + frac * (hi - lo);
+    }
+    cum += n;
+  }
+  return UpperBound(kNumBuckets - 2);  // unreachable
+}
+
+double Histogram::MaxBound() const {
+  for (int i = kNumBuckets - 1; i >= 0; --i) {
+    if (bucket_count(i) > 0) {
+      const double ub = UpperBound(i);
+      return std::isinf(ub) ? UpperBound(i - 1) : ub;
+    }
+  }
+  return 0;
+}
+
+// --- MetricRegistry ---
+
+MetricRegistry::Child* MetricRegistry::GetChild(const std::string& name,
+                                                const std::string& help,
+                                                Type type,
+                                                const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  Family* family;
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    auto owned = std::make_unique<Family>();
+    owned->name = name;
+    owned->help = help;
+    owned->type = type;
+    family = owned.get();
+    families_.push_back(std::move(owned));
+    by_name_[name] = family;
+  } else {
+    family = it->second;
+    GLP_CHECK(family->type == type)
+        << "metric '" << name << "' re-registered with a different type";
+  }
+  for (const auto& child : family->children) {
+    if (child->labels == sorted) return child.get();
+  }
+  auto child = std::make_unique<Child>();
+  child->labels = std::move(sorted);
+  switch (type) {
+    case Type::kCounter:
+      child->counter = std::make_unique<Counter>();
+      break;
+    case Type::kGauge:
+      child->gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      child->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  family->children.push_back(std::move(child));
+  return family->children.back().get();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const Labels& labels) {
+  return GetChild(name, help, Type::kCounter, labels)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const Labels& labels) {
+  return GetChild(name, help, Type::kGauge, labels)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const Labels& labels) {
+  return GetChild(name, help, Type::kHistogram, labels)->histogram.get();
+}
+
+void MetricRegistry::AddCollector(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricRegistry::RunCollectors() {
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    collectors = collectors_;
+  }
+  // Run outside the lock: collectors call Get* themselves.
+  for (const auto& fn : collectors) fn();
+}
+
+std::string MetricRegistry::PrometheusText() {
+  RunCollectors();
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const auto& family : families_) {
+    const char* type_name = family->type == Type::kCounter  ? "counter"
+                            : family->type == Type::kGauge ? "gauge"
+                                                           : "histogram";
+    out += "# HELP " + family->name + " " + family->help + "\n";
+    out += "# TYPE " + family->name + " " + std::string(type_name) + "\n";
+    for (const auto& child : family->children) {
+      const std::string labels = LabelBlock(child->labels);
+      switch (family->type) {
+        case Type::kCounter:
+          out += family->name + labels + " " +
+                 std::to_string(child->counter->Value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += family->name + labels + " " +
+                 PromNumber(child->gauge->Value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *child->histogram;
+          // Cumulative counts at each non-empty bucket's bound, then +Inf.
+          // Empty buckets are elided: the cumulative value only changes at
+          // occupied buckets, so the series parses identically and a scrape
+          // never ships 60 zero lines per histogram.
+          uint64_t cum = 0;
+          for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+            const uint64_t n = h.bucket_count(i);
+            if (n == 0) continue;
+            cum += n;
+            out += family->name + "_bucket" +
+                   LabelBlock(child->labels, "le",
+                              PromNumber(Histogram::UpperBound(i))) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += family->name + "_bucket" +
+                 LabelBlock(child->labels, "le", "+Inf") + " " +
+                 std::to_string(h.TotalCount()) + "\n";
+          out += family->name + "_sum" + labels + " " +
+                 PromNumber(h.Sum()) + "\n";
+          out += family->name + "_count" + labels + " " +
+                 std::to_string(h.TotalCount()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::JsonSnapshot() {
+  RunCollectors();
+  std::lock_guard<std::mutex> lk(mu_);
+  json::Writer w;
+  w.BeginObject().Key("families").BeginArray();
+  for (const auto& family : families_) {
+    w.BeginObject();
+    w.Key("name").String(family->name);
+    w.Key("type").String(family->type == Type::kCounter  ? "counter"
+                         : family->type == Type::kGauge ? "gauge"
+                                                        : "histogram");
+    w.Key("help").String(family->help);
+    w.Key("metrics").BeginArray();
+    for (const auto& child : family->children) {
+      w.BeginObject();
+      w.Key("labels").BeginObject();
+      for (const auto& [k, v] : child->labels) w.Key(k).String(v);
+      w.EndObject();
+      switch (family->type) {
+        case Type::kCounter:
+          w.Key("value").Uint(child->counter->Value());
+          break;
+        case Type::kGauge:
+          w.Key("value").Double(child->gauge->Value());
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *child->histogram;
+          w.Key("count").Uint(h.TotalCount());
+          w.Key("sum").Double(h.Sum());
+          w.Key("p50").Double(h.Quantile(0.50));
+          w.Key("p90").Double(h.Quantile(0.90));
+          w.Key("p99").Double(h.Quantile(0.99));
+          break;
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.Take();
+}
+
+MetricRegistry* MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return registry;
+}
+
+}  // namespace glp::obs

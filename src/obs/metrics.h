@@ -1,0 +1,206 @@
+// glp::obs — unified metrics registry: the standing telemetry substrate of
+// the serving system (DESIGN.md §4.7).
+//
+// A MetricRegistry holds named metric *families*; each family fans out into
+// labeled children (e.g. glp_lp_iterations_total{engine="GLP"}). Three
+// instrument types:
+//
+//   Counter    monotone uint64, sharded across cache lines so concurrent
+//              writers (ingest thread, detection thread, pool workers)
+//              never contend on one atomic.
+//   Gauge      a double that goes up and down (queue depth, ingest lag).
+//   Histogram  log2-bucketed distribution; p50/p90/p99 come from linear
+//              interpolation inside the hit bucket, so the relative error
+//              is bounded by the bucket ratio (2x worst case, typically
+//              far less).
+//
+// Instrument handles returned by Get* are stable for the registry's
+// lifetime and all mutation paths are lock-free atomics — safe to bump from
+// any thread, including under TSan. Exporters (Prometheus text exposition,
+// JSON snapshot) read the same atomics; a scrape never blocks a writer.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace glp::obs {
+
+/// Sorted (key, value) label pairs identifying one child within a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter, sharded to avoid write
+/// contention. Value() sums the shards (racy reads are fine: each shard
+/// load is atomic and the counter only grows).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// \brief Double-valued gauge (set/add; Max for high-water marks).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Pack(v), std::memory_order_relaxed); }
+  void Add(double d) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, Pack(Unpack(cur) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `v` if above the current value (queue peaks).
+  void Max(double v) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (Unpack(cur) < v &&
+           !bits_.compare_exchange_weak(cur, Pack(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const {
+    return Unpack(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t Pack(double v);
+  static double Unpack(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};  // 0 == +0.0
+};
+
+/// \brief Log2-bucketed histogram.
+///
+/// Bucket i spans (2^(i-40), 2^(i-39)]; bucket 0 additionally absorbs
+/// non-positive and denormal-small observations, the last bucket absorbs
+/// everything above 2^23 (~97 days in seconds — nothing we time gets
+/// there). The span 2^-39..2^23 covers sub-nanosecond kernel launches
+/// through multi-day windows with factor-2 resolution.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    // Double-add via CAS: std::atomic<double>::fetch_add is C++20 but the
+    // CAS loop is portable across the toolchains we build on.
+    uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        cur, PackSum(UnpackSum(cur) + v), std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+  /// The q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket the target rank falls in. 0 when the histogram is empty.
+  /// Monotone in q by construction.
+  double Quantile(double q) const;
+
+  /// Largest observation's bucket upper bound (0 when empty) — a cheap
+  /// "max" with the same factor-2 error bound as the quantiles.
+  double MaxBound() const;
+
+  /// Which bucket `v` lands in (exposed for the exposition writer/tests).
+  static int BucketOf(double v);
+  /// Inclusive upper bound of bucket `i` (`+inf` for the last).
+  static double UpperBound(int i);
+
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  static uint64_t PackSum(double v);
+  static double UnpackSum(uint64_t bits);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// \brief Registry of labeled metric families.
+///
+/// Get* registers the family on first use (name + help + instrument type)
+/// and returns the child for the given labels, creating it on demand.
+/// Re-registering a name with a different instrument type aborts (naming
+/// bug). Registration takes a mutex; the returned instrument pointers are
+/// valid for the registry's lifetime and lock-free to update.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const Labels& labels = {});
+
+  /// Registers a callback run at the start of every export — the hook for
+  /// polled sources (thread-pool depth, process stats) that push into
+  /// gauges rather than being instrumented inline.
+  void AddCollector(std::function<void()> collector);
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE headers, one
+  /// line per child, histogram children expanded into cumulative
+  /// _bucket{le=...}/_sum/_count series. Runs collectors first.
+  std::string PrometheusText();
+
+  /// JSON snapshot of every family (the /statz payload): counters and
+  /// gauges as values, histograms as count/sum/p50/p90/p99. Runs
+  /// collectors first.
+  std::string JsonSnapshot();
+
+  /// Process-wide default registry (tools that want zero wiring).
+  static MetricRegistry* Default();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  Child* GetChild(const std::string& name, const std::string& help,
+                  Type type, const Labels& labels);
+  void RunCollectors();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;  // registration order
+  std::map<std::string, Family*> by_name_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace glp::obs

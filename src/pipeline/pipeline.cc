@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/kernel_export.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace glp::pipeline {
@@ -20,8 +22,7 @@ Result<PipelineResult> DetectOnSnapshot(
     const TransactionStream* ground_truth, double window_start,
     double window_end) {
   PipelineResult out;
-  prof::PhaseProfiler* const profiler =
-      ctx.profiler != nullptr ? ctx.profiler : config.lp.profiler;
+  prof::PhaseProfiler* const profiler = ctx.profiler;
   out.window_vertices = snap.graph.num_vertices();
   out.window_edges = snap.graph.num_edges();
   if (snap.graph.num_vertices() == 0) {
@@ -43,6 +44,18 @@ Result<PipelineResult> DetectOnSnapshot(
   }
   out.lp = std::move(lp_result).value();
   out.lp_seconds = out.lp.simulated_seconds;
+  if (ctx.metrics != nullptr) {
+    // Whole-run hardware counters under kernel="all"; the per-phase split
+    // (one series per kernel) when a profiler was attached.
+    obs::ExportKernelStats(ctx.metrics, engine->name(), "all", out.lp.stats);
+    obs::ExportPhaseBreakdown(ctx.metrics, engine->name(),
+                              out.lp.phase_breakdown);
+    ctx.metrics
+        ->GetHistogram("glp_pipeline_stage_seconds",
+                       "Wall time of one pipeline stage",
+                       {{"stage", "lp"}})
+        ->Observe(out.lp_wall_seconds);
+  }
 
   // --- Stage 3: suspicious-cluster extraction + downstream scoring ---
   glp::Timer extract_timer;
@@ -175,20 +188,34 @@ Result<PipelineResult> DetectOnSnapshot(
     profiler->RecordHostEvent("cluster-extract", extract_host_start,
                               out.extract_seconds);
   }
+  if (ctx.metrics != nullptr) {
+    ctx.metrics
+        ->GetHistogram("glp_pipeline_stage_seconds",
+                       "Wall time of one pipeline stage",
+                       {{"stage", "extract"}})
+        ->Observe(out.extract_seconds);
+    ctx.metrics
+        ->GetCounter("glp_pipeline_clusters_total",
+                     "Suspicious clusters extracted", {{"kind", "all"}})
+        ->Increment(out.clusters.size());
+    uint64_t confirmed = 0;
+    for (const SuspiciousCluster& c : out.clusters) confirmed += c.confirmed;
+    ctx.metrics
+        ->GetCounter("glp_pipeline_clusters_total",
+                     "Suspicious clusters extracted", {{"kind", "confirmed"}})
+        ->Increment(confirmed);
+  }
   return out;
 }
 
 Result<PipelineResult> FraudDetectionPipeline::Run(
     const PipelineConfig& config) const {
-  lp::RunContext ctx;
-  ctx.profiler = config.lp.profiler;
-  return Run(config, ctx);
+  return Run(config, lp::RunContext());
 }
 
 Result<PipelineResult> FraudDetectionPipeline::Run(
     const PipelineConfig& config, const lp::RunContext& ctx) const {
-  prof::PhaseProfiler* const profiler =
-      ctx.profiler != nullptr ? ctx.profiler : config.lp.profiler;
+  prof::PhaseProfiler* const profiler = ctx.profiler;
 
   // --- Stage 1: sliding-window graph construction ---
   glp::Timer build_timer;
@@ -205,6 +232,13 @@ Result<PipelineResult> FraudDetectionPipeline::Run(
   if (profiler != nullptr) {
     profiler->RecordHostEvent("window-build", build_host_start,
                               build_seconds);
+  }
+  if (ctx.metrics != nullptr) {
+    ctx.metrics
+        ->GetHistogram("glp_pipeline_stage_seconds",
+                       "Wall time of one pipeline stage",
+                       {{"stage", "window_build"}})
+        ->Observe(build_seconds);
   }
 
   auto result = DetectOnSnapshot(snap, config, ctx, stream_->seeds, stream_,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "prof/trace.h"
+#include "util/json.h"
 
 namespace glp::prof {
 
@@ -69,32 +70,23 @@ std::string PhaseBreakdown::ToString() const {
 }
 
 std::string PhaseBreakdown::ToJson() const {
-  char buf[64];
-  std::string out = "{\"phases\":{";
-  bool first = true;
+  json::Writer w;
+  w.BeginObject().Key("phases").BeginObject();
   for (int i = 0; i < kNumPhases; ++i) {
     const PhaseStats& p = phases[i];
     if (p.launches == 0 && p.seconds == 0) continue;
-    if (!first) out += ",";
-    first = false;
-    out += "\"";
-    out += PhaseName(static_cast<Phase>(i));
-    out += "\":{\"launches\":" + std::to_string(p.launches) +
-           ",\"global_transactions\":" + std::to_string(p.global_transactions) +
-           ",\"global_bytes\":" + std::to_string(p.global_bytes) +
-           ",\"lane_utilization\":";
-    std::snprintf(buf, sizeof(buf), "%.4f", p.LaneUtilization());
-    out += buf;
-    out += ",\"seconds\":";
-    std::snprintf(buf, sizeof(buf), "%.9e", p.seconds);
-    out += buf;
-    out += "}";
+    w.Key(PhaseName(static_cast<Phase>(i))).BeginObject();
+    w.Key("launches").Uint(p.launches);
+    w.Key("global_transactions").Uint(p.global_transactions);
+    w.Key("global_bytes").Uint(p.global_bytes);
+    w.Key("lane_utilization").DoubleFixed(p.LaneUtilization(), 4);
+    w.Key("seconds").Double(p.seconds);
+    w.EndObject();
   }
-  out += "},\"total_seconds\":";
-  std::snprintf(buf, sizeof(buf), "%.9e", total_seconds);
-  out += buf;
-  out += "}";
-  return out;
+  w.EndObject();
+  w.Key("total_seconds").Double(total_seconds);
+  w.EndObject();
+  return w.Take();
 }
 
 PhaseProfiler::PhaseProfiler()

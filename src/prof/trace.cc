@@ -2,47 +2,9 @@
 
 #include <cstdio>
 
+#include "util/json.h"
+
 namespace glp::prof {
-namespace {
-
-/// JSON string escape for event/track names (control chars, quotes, '\\').
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void AppendNumber(std::string* out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  *out += buf;
-}
-
-}  // namespace
 
 void TraceRecorder::SetProcessName(int pid, const std::string& name) {
   names_.push_back({pid, -1, name});
@@ -58,41 +20,36 @@ void TraceRecorder::AddEvent(int pid, int tid, const std::string& name,
 }
 
 std::string TraceRecorder::ToJson() const {
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  auto sep = [&] {
-    if (!first) out += ",";
-    first = false;
-    out += "\n";
-  };
+  json::Writer w;
+  w.BeginObject().Key("traceEvents").BeginArray();
   for (const TrackName& t : names_) {
-    sep();
-    if (t.tid < 0) {
-      out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
-             std::to_string(t.pid) + ",\"args\":{\"name\":\"" +
-             Escape(t.name) + "\"}}";
-    } else {
-      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
-             std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
-             ",\"args\":{\"name\":\"" + Escape(t.name) + "\"}}";
-    }
+    w.BeginObject();
+    w.Key("name").String(t.tid < 0 ? "process_name" : "thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(t.pid);
+    if (t.tid >= 0) w.Key("tid").Int(t.tid);
+    w.Key("args").BeginObject().Key("name").String(t.name).EndObject();
+    w.EndObject();
   }
   for (const Event& e : events_) {
-    sep();
-    out += "{\"name\":\"" + Escape(e.name) + "\",\"ph\":\"X\",\"pid\":" +
-           std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid) +
-           ",\"ts\":";
-    AppendNumber(&out, e.ts_us);
-    out += ",\"dur\":";
-    AppendNumber(&out, e.dur_us);
-    out += "}";
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("ph").String("X");
+    w.Key("pid").Int(e.pid);
+    w.Key("tid").Int(e.tid);
+    // Microsecond timestamps at fixed nanosecond precision: trace viewers
+    // sort on ts and shortest-round-trip exponents confuse some of them.
+    w.Key("ts").DoubleFixed(e.ts_us, 3);
+    w.Key("dur").DoubleFixed(e.dur_us, 3);
+    w.EndObject();
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"";
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
   if (!counters_json_.empty()) {
-    out += ",\"glpCounters\":" + counters_json_;
+    w.Key("glpCounters").Raw(counters_json_);
   }
-  out += "}\n";
-  return out;
+  w.EndObject();
+  return w.Take() + "\n";
 }
 
 Status TraceRecorder::WriteFile(const std::string& path) const {

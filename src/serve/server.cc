@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <utility>
 
+#include "obs/collectors.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace glp::serve {
@@ -12,43 +14,66 @@ namespace glp::serve {
 using graph::Label;
 using graph::VertexId;
 
-namespace {
-
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p * static_cast<double>(sorted.size());
-  size_t idx = static_cast<size_t>(std::ceil(rank));
-  if (idx > 0) --idx;
-  if (idx >= sorted.size()) idx = sorted.size() - 1;
-  return sorted[idx];
-}
-
-}  // namespace
-
 std::string ServerStats::ToJson() const {
-  std::ostringstream os;
-  os << "{"
-     << "\"ticks\": " << ticks << ", "
-     << "\"warm_ticks\": " << warm_ticks << ", "
-     << "\"cold_ticks\": " << cold_ticks << ", "
-     << "\"batches_ingested\": " << batches_ingested << ", "
-     << "\"edges_ingested\": " << edges_ingested << ", "
-     << "\"ingest_blocked\": " << ingest_blocked << ", "
-     << "\"queue_peak\": " << queue_peak << ", "
-     << "\"tick_p50_seconds\": " << tick_p50_seconds << ", "
-     << "\"tick_p99_seconds\": " << tick_p99_seconds << ", "
-     << "\"tick_max_seconds\": " << tick_max_seconds << ", "
-     << "\"warm_avg_iterations\": " << warm_avg_iterations << ", "
-     << "\"cold_avg_iterations\": " << cold_avg_iterations << ", "
-     << "\"last_ingest_lag_days\": " << last_ingest_lag_days << "}";
-  return os.str();
+  json::Writer w;
+  w.BeginObject();
+  w.Key("ticks").Int(ticks);
+  w.Key("warm_ticks").Int(warm_ticks);
+  w.Key("cold_ticks").Int(cold_ticks);
+  w.Key("batches_ingested").Int(batches_ingested);
+  w.Key("edges_ingested").Int(edges_ingested);
+  w.Key("ingest_blocked").Int(ingest_blocked);
+  w.Key("queue_peak").Uint(queue_peak);
+  w.Key("tick_p50_seconds").Double(tick_p50_seconds);
+  w.Key("tick_p99_seconds").Double(tick_p99_seconds);
+  w.Key("tick_max_seconds").Double(tick_max_seconds);
+  w.Key("warm_avg_iterations").Double(warm_avg_iterations);
+  w.Key("cold_avg_iterations").Double(cold_avg_iterations);
+  w.Key("last_ingest_lag_days").Double(last_ingest_lag_days);
+  w.EndObject();
+  return w.Take();
 }
 
 StreamServer::StreamServer(ServerConfig config)
     : config_(std::move(config)),
       cursor_(&window_, config_.detect.window_days,
-              config_.detect.collapse_window_graphs) {}
+              config_.detect.collapse_window_graphs) {
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  ins_.tick_seconds = registry_->GetHistogram(
+      "glp_serve_tick_seconds", "Wall time of one detection tick");
+  ins_.warm_ticks = registry_->GetCounter(
+      "glp_serve_ticks_total", "Detection ticks run", {{"mode", "warm"}});
+  ins_.cold_ticks = registry_->GetCounter(
+      "glp_serve_ticks_total", "Detection ticks run", {{"mode", "cold"}});
+  ins_.warm_iterations = registry_->GetCounter(
+      "glp_serve_lp_iterations_total", "LP iterations run by detection ticks",
+      {{"mode", "warm"}});
+  ins_.cold_iterations = registry_->GetCounter(
+      "glp_serve_lp_iterations_total", "LP iterations run by detection ticks",
+      {{"mode", "cold"}});
+  ins_.batches_ingested = registry_->GetCounter(
+      "glp_serve_batches_ingested_total", "Edge batches accepted by Ingest");
+  ins_.edges_ingested = registry_->GetCounter(
+      "glp_serve_edges_ingested_total", "Edges accepted by Ingest");
+  ins_.ingest_blocked = registry_->GetCounter(
+      "glp_serve_ingest_blocked_total",
+      "Times Ingest blocked on a full queue (backpressure)");
+  ins_.queue_depth = registry_->GetGauge(
+      "glp_serve_queue_depth", "Batches waiting in the ingest queue");
+  ins_.queue_peak = registry_->GetGauge(
+      "glp_serve_queue_peak", "High-water mark of the ingest queue");
+  ins_.ingest_lag_days = registry_->GetGauge(
+      "glp_serve_ingest_lag_days",
+      "Newest ingested timestamp minus the last tick's window end");
+  obs::RegisterThreadPoolCollector(
+      registry_,
+      config_.pool != nullptr ? config_.pool : glp::ThreadPool::Default());
+}
 
 StreamServer::~StreamServer() { Stop(); }
 
@@ -76,7 +101,7 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
   std::unique_lock<std::mutex> lk(mu_);
   if (!started_ || stopping_) return false;
   if (queue_.size() >= config_.max_queue_batches) {
-    ++ingest_blocked_;
+    ins_.ingest_blocked->Increment();
     not_full_cv_.wait(lk, [&] {
       return stopping_ || queue_.size() < config_.max_queue_batches;
     });
@@ -85,10 +110,11 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
   for (const graph::TimedEdge& e : batch) {
     ingested_max_time_ = std::max(ingested_max_time_, e.time);
   }
-  ++batches_ingested_;
-  edges_ingested_ += static_cast<int64_t>(batch.size());
+  ins_.batches_ingested->Increment();
+  ins_.edges_ingested->Increment(batch.size());
   queue_.push_back(std::move(batch));
-  queue_peak_ = std::max(queue_peak_, queue_.size());
+  ins_.queue_depth->Set(static_cast<double>(queue_.size()));
+  ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
   return true;
 }
@@ -121,28 +147,29 @@ Status StreamServer::last_error() const {
 }
 
 ServerStats StreamServer::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Pure instrument reads — no lock; every source is an atomic in the
+  // registry. Quantiles come from the tick-latency histogram (factor-2
+  // worst-case relative error from the log2 bucketing; monotone in p).
   ServerStats s;
-  s.ticks = static_cast<int64_t>(tick_seconds_.size());
-  s.warm_ticks = warm_ticks_;
-  s.cold_ticks = cold_ticks_;
-  s.batches_ingested = batches_ingested_;
-  s.edges_ingested = edges_ingested_;
-  s.ingest_blocked = ingest_blocked_;
-  s.queue_peak = queue_peak_;
-  s.tick_p50_seconds = Percentile(tick_seconds_, 0.50);
-  s.tick_p99_seconds = Percentile(tick_seconds_, 0.99);
-  if (!tick_seconds_.empty()) {
-    s.tick_max_seconds =
-        *std::max_element(tick_seconds_.begin(), tick_seconds_.end());
-  }
+  s.warm_ticks = static_cast<int64_t>(ins_.warm_ticks->Value());
+  s.cold_ticks = static_cast<int64_t>(ins_.cold_ticks->Value());
+  s.ticks = s.warm_ticks + s.cold_ticks;
+  s.batches_ingested = static_cast<int64_t>(ins_.batches_ingested->Value());
+  s.edges_ingested = static_cast<int64_t>(ins_.edges_ingested->Value());
+  s.ingest_blocked = static_cast<int64_t>(ins_.ingest_blocked->Value());
+  s.queue_peak = static_cast<size_t>(ins_.queue_peak->Value());
+  s.tick_p50_seconds = ins_.tick_seconds->Quantile(0.50);
+  s.tick_p99_seconds = ins_.tick_seconds->Quantile(0.99);
+  s.tick_max_seconds = ins_.tick_seconds->MaxBound();
   s.warm_avg_iterations =
-      warm_ticks_ == 0 ? 0
-                       : static_cast<double>(warm_iterations_) / warm_ticks_;
+      s.warm_ticks == 0
+          ? 0
+          : static_cast<double>(ins_.warm_iterations->Value()) / s.warm_ticks;
   s.cold_avg_iterations =
-      cold_ticks_ == 0 ? 0
-                       : static_cast<double>(cold_iterations_) / cold_ticks_;
-  s.last_ingest_lag_days = last_lag_days_;
+      s.cold_ticks == 0
+          ? 0
+          : static_cast<double>(ins_.cold_iterations->Value()) / s.cold_ticks;
+  s.last_ingest_lag_days = ins_.ingest_lag_days->Value();
   return s;
 }
 
@@ -155,6 +182,7 @@ void StreamServer::DetectLoop() {
       if (stopping_) return;
       batch = std::move(queue_.front());
       queue_.pop_front();
+      ins_.queue_depth->Set(static_cast<double>(queue_.size()));
       busy_ = true;
       not_full_cv_.notify_all();
     }
@@ -261,6 +289,7 @@ void StreamServer::RunTick(double end_time) {
   ctx.profiler = config_.profiler;
   ctx.pool = config_.pool;
   ctx.stop_token = &stop_token_;
+  ctx.metrics = registry_;
 
   if (snap.graph.num_vertices() > 0) {
     auto result = pipeline::DetectOnSnapshot(snap, cfg, ctx, config_.seeds,
@@ -306,15 +335,17 @@ void StreamServer::RunTick(double end_time) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     tr.ingest_lag_days = ingested_max_time_ - end_time;
-    last_lag_days_ = tr.ingest_lag_days;
-    tick_seconds_.push_back(tr.tick_wall_seconds);
-    if (tr.warm) {
-      ++warm_ticks_;
-      warm_iterations_ += tr.detection.lp.iterations;
-    } else {
-      ++cold_ticks_;
-      cold_iterations_ += tr.detection.lp.iterations;
-    }
+  }
+  ins_.ingest_lag_days->Set(tr.ingest_lag_days);
+  ins_.tick_seconds->Observe(tr.tick_wall_seconds);
+  if (tr.warm) {
+    ins_.warm_ticks->Increment();
+    ins_.warm_iterations->Increment(
+        static_cast<uint64_t>(tr.detection.lp.iterations));
+  } else {
+    ins_.cold_ticks->Increment();
+    ins_.cold_iterations->Increment(
+        static_cast<uint64_t>(tr.detection.lp.iterations));
   }
   if (config_.profiler != nullptr) {
     config_.profiler->RecordHostEvent(tr.warm ? "tick-warm" : "tick-cold",

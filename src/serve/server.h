@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "graph/sliding_window.h"
+#include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "prof/prof.h"
 #include "util/status.h"
@@ -85,6 +87,13 @@ struct ServerConfig {
   prof::PhaseProfiler* profiler = nullptr;
   /// Optional thread pool for the LP engines. Not owned.
   glp::ThreadPool* pool = nullptr;
+  /// Metric registry all serving telemetry flows into (and, through
+  /// RunContext, the engines' convergence series and the simulator's kernel
+  /// counters). Null makes the server own a private registry — stats()
+  /// works either way; supply one to aggregate across servers or expose it
+  /// via obs::HttpEndpoint. Not owned; must outlive the server, and the
+  /// pool (it registers a collector polling the pool's queue depth).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// One detection tick's output, published to subscribers.
@@ -115,7 +124,9 @@ struct TickResult {
   std::vector<graph::Label> warm_labels;
 };
 
-/// Aggregate serving statistics (latency accounting of the tentpole).
+/// Aggregate serving statistics — a point-in-time view assembled from the
+/// server's metric registry (the registry is the source of truth; this
+/// struct exists for programmatic consumers and the JSON dump).
 struct ServerStats {
   int64_t ticks = 0;
   int64_t warm_ticks = 0;
@@ -180,6 +191,11 @@ class StreamServer {
 
   ServerStats stats() const;
 
+  /// The registry serving telemetry flows into: ServerConfig::metrics when
+  /// supplied, else the server's private one. Valid for the server's
+  /// lifetime; hand it to an obs::HttpEndpoint to watch the server live.
+  obs::MetricRegistry* metrics() const { return registry_; }
+
  private:
   void DetectLoop();
   void RunDueTicks();
@@ -220,14 +236,25 @@ class StreamServer {
   double ingested_max_time_ = 0;
   Status last_error_ = Status::OK();
 
-  // Stats (guarded by mu_).
-  std::vector<double> tick_seconds_;
-  int64_t warm_ticks_ = 0, cold_ticks_ = 0;
-  int64_t warm_iterations_ = 0, cold_iterations_ = 0;
-  int64_t batches_ingested_ = 0, edges_ingested_ = 0;
-  int64_t ingest_blocked_ = 0;
-  size_t queue_peak_ = 0;
-  double last_lag_days_ = 0;
+  // Telemetry: all counters/gauges live in the registry; the instrument
+  // handles below are resolved once at construction and bumped lock-free
+  // from whichever thread holds the event.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  struct Instruments {
+    obs::Histogram* tick_seconds;
+    obs::Counter* warm_ticks;
+    obs::Counter* cold_ticks;
+    obs::Counter* warm_iterations;
+    obs::Counter* cold_iterations;
+    obs::Counter* batches_ingested;
+    obs::Counter* edges_ingested;
+    obs::Counter* ingest_blocked;
+    obs::Gauge* queue_depth;
+    obs::Gauge* queue_peak;
+    obs::Gauge* ingest_lag_days;
+  };
+  Instruments ins_{};
 
   std::atomic<bool> stop_token_{false};
   std::thread thread_;

@@ -1,0 +1,204 @@
+// Minimal streaming JSON writer shared by every machine-readable emitter
+// (server stats, phase breakdowns, trace files, metric snapshots).
+//
+// The writer tracks the container stack and inserts commas itself, so call
+// sites read like the document they produce. Doubles render with shortest
+// round-trip precision; non-finite values (NaN/Inf, e.g. a percentile of an
+// empty series) serialize as null — JSON has no literal for them, and
+// emitting "nan" silently produces unparseable output.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace glp::json {
+
+/// Escapes `s` into a JSON string literal body (no surrounding quotes).
+inline std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number token; non-finite values become "null".
+/// Uses the shortest "%.*g" precision that round-trips (keeps 0.25 as
+/// "0.25", not "0.25000000000000000").
+inline std::string NumberToken(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back;
+    if (std::sscanf(buf, "%lf", &back) == 1 && back == v) break;
+  }
+  return buf;
+}
+
+/// \brief Streaming writer building one JSON document in memory.
+///
+/// Scopes: BeginObject/EndObject, BeginArray/EndArray. Inside an object,
+/// Key() must precede each value; inside an array, values follow directly.
+/// Misuse (value without key in an object, unbalanced ends) is a programmer
+/// error and GLP_DCHECKs.
+class Writer {
+ public:
+  Writer() { stack_.push_back({Frame::kTop, 0}); }
+
+  Writer& BeginObject() {
+    BeforeValue();
+    out_ += '{';
+    stack_.push_back({Frame::kObject, 0});
+    return *this;
+  }
+  Writer& EndObject() {
+    GLP_DCHECK(stack_.back().type == Frame::kObject);
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  Writer& BeginArray() {
+    BeforeValue();
+    out_ += '[';
+    stack_.push_back({Frame::kArray, 0});
+    return *this;
+  }
+  Writer& EndArray() {
+    GLP_DCHECK(stack_.back().type == Frame::kArray);
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  Writer& Key(std::string_view k) {
+    GLP_DCHECK(stack_.back().type == Frame::kObject);
+    if (stack_.back().count > 0) out_ += ',';
+    ++stack_.back().count;
+    out_ += '"';
+    out_ += Escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  Writer& String(std::string_view v) {
+    BeforeValue();
+    out_ += '"';
+    out_ += Escape(v);
+    out_ += '"';
+    return *this;
+  }
+  Writer& Int(int64_t v) {
+    BeforeValue();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& Uint(uint64_t v) {
+    BeforeValue();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& Bool(bool v) {
+    BeforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  Writer& Null() {
+    BeforeValue();
+    out_ += "null";
+    return *this;
+  }
+  /// Shortest round-trip rendering; NaN/Inf become null.
+  Writer& Double(double v) {
+    BeforeValue();
+    out_ += NumberToken(v);
+    return *this;
+  }
+  /// Fixed-point rendering (trace timestamps); NaN/Inf become null.
+  Writer& DoubleFixed(double v, int decimals) {
+    BeforeValue();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  /// Embeds a pre-rendered JSON value verbatim (caller guarantees validity).
+  Writer& Raw(std::string_view v) {
+    BeforeValue();
+    out_ += v;
+    return *this;
+  }
+
+  /// The finished document. All scopes must be closed.
+  std::string Take() {
+    GLP_DCHECK(stack_.size() == 1);
+    return std::move(out_);
+  }
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Frame { kTop, kObject, kArray };
+  struct Scope {
+    Frame type;
+    int count;
+  };
+
+  /// Comma bookkeeping before any value token. A value completing a Key()
+  /// was already counted (and separated) by the key itself.
+  void BeforeValue() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    Scope& s = stack_.back();
+    // In an object, a bare value without Key() is a bug; at top level only
+    // one document is allowed.
+    GLP_DCHECK(s.type != Frame::kObject);
+    GLP_DCHECK(s.type != Frame::kTop || s.count == 0);
+    if (s.count > 0) out_ += ',';
+    ++s.count;
+  }
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace glp::json

@@ -1,13 +1,41 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
 
 #include "util/status.h"
 
 namespace glp {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Reads GLP_LOG_LEVEL (debug|info|warning|error|fatal, or a bare digit)
+/// once at startup; unset or unrecognized values keep the kInfo default.
+int InitialLevel() {
+  const char* env = std::getenv("GLP_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') return env[0] - '0';
+  auto matches = [env](const char* name) {
+    for (size_t i = 0;; ++i) {
+      const char a = static_cast<char>(std::tolower(env[i]));
+      const char b = name[i];
+      if (a != b) return b == '\0' && a == '\0';
+      if (a == '\0') return true;
+    }
+  };
+  if (matches("debug")) return static_cast<int>(LogLevel::kDebug);
+  if (matches("info")) return static_cast<int>(LogLevel::kInfo);
+  if (matches("warning") || matches("warn"))
+    return static_cast<int>(LogLevel::kWarning);
+  if (matches("error")) return static_cast<int>(LogLevel::kError);
+  if (matches("fatal")) return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +52,15 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small dense id per logging thread — readable where std::thread::id prints
+/// as an opaque pointer-sized hash.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
@@ -38,7 +75,20 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%02d%02d %02d:%02d:%02d.%06d",
+                  tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(us));
+    stream_ << "[" << LevelName(level) << " " << ts << " t" << ThreadId()
+            << " " << base << ":" << line << "] ";
   }
 }
 

@@ -41,8 +41,12 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -105,6 +109,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
     std::lock_guard<std::mutex> lock(mu_);
     GLP_CHECK(!shutdown_);
     for (int i = 0; i < tasks; ++i) queue_.push(run_chunks);
+    queue_depth_.fetch_add(tasks, std::memory_order_relaxed);
   }
   cv_.notify_all();
 
@@ -146,6 +151,7 @@ void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
         finish_one(state);
       });
     }
+    queue_depth_.fetch_add(threads - 1, std::memory_order_relaxed);
   }
   cv_.notify_all();
   state->fn(0);

@@ -46,6 +46,23 @@ class ThreadPool {
   /// A process-wide default pool (hardware concurrency).
   static ThreadPool* Default();
 
+  // --- Telemetry (plain atomics; the obs layer polls these through a
+  // registry collector so util stays free of any obs dependency) ---
+
+  /// Tasks currently waiting in the queue.
+  int64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Tasks dequeued and executed by workers since construction.
+  int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently running a task (excludes the caller thread's
+  /// ParallelFor participation).
+  int busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -54,6 +71,9 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool shutdown_ = false;
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int> busy_workers_{0};
 };
 
 }  // namespace glp

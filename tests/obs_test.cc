@@ -1,0 +1,307 @@
+// glp::obs tests: histogram quantile accuracy against exact percentiles,
+// counter correctness under a multithreaded hammer (TSan-clean — this file
+// runs under the `sanitizer` ctest label), exposition-format golden output,
+// and an HTTP endpoint smoke test speaking real sockets.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/collectors.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace glp::obs {
+namespace {
+
+// --- Histogram ---
+
+double ExactPercentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::max<size_t>(rank, 1) - 1];
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Exact powers of two land in the bucket whose *upper* bound they equal.
+  const int b1 = Histogram::BucketOf(1.0);
+  EXPECT_EQ(Histogram::UpperBound(b1), 1.0);
+  EXPECT_EQ(Histogram::BucketOf(1.0000001), b1 + 1);
+  EXPECT_EQ(Histogram::BucketOf(0.9999999), b1);
+  // Non-positive observations collapse into bucket 0.
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(-3.5), 0);
+  // Huge observations clamp to the overflow bucket.
+  EXPECT_EQ(Histogram::BucketOf(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, QuantilesTrackExactPercentilesWithinBucketError) {
+  // Log-uniform latencies spanning 10us..1s — six decades, the shape tick
+  // latencies actually have.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> exp_dist(std::log(1e-5),
+                                                  std::log(1.0));
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(exp_dist(rng));
+    values.push_back(v);
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.TotalCount(), 20000u);
+  double sum = 0;
+  for (double v : values) sum += v;
+  EXPECT_NEAR(h.Sum(), sum, 1e-9 * sum);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = ExactPercentile(values, q);
+    const double est = h.Quantile(q);
+    // Log2 buckets bound the relative error by the bucket ratio: the
+    // estimate lives in the same factor-2 bucket as the exact value.
+    EXPECT_GE(est, exact / 2) << "q=" << q;
+    EXPECT_LE(est, exact * 2) << "q=" << q;
+  }
+  // Monotone in q, and positive observations give positive quantiles.
+  EXPECT_GT(h.Quantile(0.01), 0);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+  EXPECT_GE(h.MaxBound(), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, EmptyAndSingleton) {
+  Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.MaxBound(), 0);
+  h.Observe(0.25);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 0.125);
+  EXPECT_LE(p50, 0.25);
+  EXPECT_EQ(h.MaxBound(), 0.25);  // 0.25 is an exact bucket bound
+}
+
+// --- Counter / Gauge under concurrency (TSan checks the memory model) ---
+
+TEST(CounterTest, MultithreadedHammerLosesNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, MultithreadedObserveLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(0.001 * (1 + t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.Sum(), 0.001 * (1 + 2 + 3 + 4) * kPerThread, 1e-6);
+}
+
+TEST(GaugeTest, AddAndMaxConverge) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), kThreads * kPerThread);
+  g.Max(5.0);  // below current value: no-op
+  EXPECT_EQ(g.Value(), kThreads * kPerThread);
+  g.Max(1e9);
+  EXPECT_EQ(g.Value(), 1e9);
+}
+
+// --- Registry semantics ---
+
+TEST(RegistryTest, HandlesAreStableAndLabelOrderInsensitive) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("glp_test_total", "help",
+                              {{"engine", "GLP"}, {"kind", "warm"}});
+  Counter* b = reg.GetCounter("glp_test_total", "help",
+                              {{"kind", "warm"}, {"engine", "GLP"}});
+  EXPECT_EQ(a, b);  // same child regardless of label order
+  Counter* c = reg.GetCounter("glp_test_total", "help",
+                              {{"engine", "Seq"}, {"kind", "warm"}});
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, CollectorsRunOnExport) {
+  MetricRegistry reg;
+  Gauge* depth = reg.GetGauge("glp_test_depth", "help");
+  int polled = 0;
+  reg.AddCollector([&] {
+    ++polled;
+    depth->Set(42);
+  });
+  const std::string text = reg.PrometheusText();
+  EXPECT_EQ(polled, 1);
+  EXPECT_NE(text.find("glp_test_depth 42"), std::string::npos);
+  reg.JsonSnapshot();
+  EXPECT_EQ(polled, 2);
+}
+
+TEST(RegistryTest, ThreadPoolCollectorExportsPoolGauges) {
+  ThreadPool pool(2);
+  MetricRegistry reg;
+  RegisterThreadPoolCollector(&reg, &pool, "test");
+  pool.ParallelFor(0, 64, [](int64_t, int64_t) {});
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("glp_pool_threads{pool=\"test\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("glp_pool_tasks_executed_total{pool=\"test\"}"),
+            std::string::npos);
+}
+
+// --- Exposition format golden ---
+
+TEST(ExpositionTest, GoldenText) {
+  MetricRegistry reg;
+  reg.GetCounter("glp_ticks_total", "Detection ticks", {{"mode", "warm"}})
+      ->Increment(3);
+  reg.GetGauge("glp_lag_days", "Ingest lag")->Set(1.5);
+  Histogram* h = reg.GetHistogram("glp_tick_seconds", "Tick latency");
+  h->Observe(0.25);   // exact bound of its bucket (0.125, 0.25]
+  h->Observe(0.75);   // bucket (0.5, 1]
+  const std::string expected =
+      "# HELP glp_ticks_total Detection ticks\n"
+      "# TYPE glp_ticks_total counter\n"
+      "glp_ticks_total{mode=\"warm\"} 3\n"
+      "# HELP glp_lag_days Ingest lag\n"
+      "# TYPE glp_lag_days gauge\n"
+      "glp_lag_days 1.5\n"
+      "# HELP glp_tick_seconds Tick latency\n"
+      "# TYPE glp_tick_seconds histogram\n"
+      "glp_tick_seconds_bucket{le=\"0.25\"} 1\n"
+      "glp_tick_seconds_bucket{le=\"1\"} 2\n"
+      "glp_tick_seconds_bucket{le=\"+Inf\"} 2\n"
+      "glp_tick_seconds_sum 1\n"
+      "glp_tick_seconds_count 2\n";
+  EXPECT_EQ(reg.PrometheusText(), expected);
+}
+
+TEST(ExpositionTest, JsonSnapshotIsWellFormed) {
+  MetricRegistry reg;
+  reg.GetCounter("glp_a_total", "a")->Increment();
+  Histogram* h = reg.GetHistogram("glp_b_seconds", "b");
+  const std::string json = reg.JsonSnapshot();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // The empty histogram's quantiles render as numbers, not NaN garbage.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"glp_b_seconds\""), std::string::npos);
+  h->Observe(1e9);  // and with data, still valid
+  EXPECT_EQ(reg.JsonSnapshot().find("inf"), std::string::npos);
+}
+
+// --- HTTP endpoint smoke test ---
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpEndpointTest, ServesMetricsStatzHealthz) {
+  MetricRegistry reg;
+  reg.GetCounter("glp_smoke_total", "smoke")->Increment(7);
+  HttpEndpoint endpoint(&reg);
+  ASSERT_TRUE(endpoint.Start(0));  // ephemeral port
+  ASSERT_GT(endpoint.port(), 0);
+
+  const std::string metrics = HttpGet(endpoint.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("glp_smoke_total 7"), std::string::npos);
+
+  const std::string statz = HttpGet(endpoint.port(), "/statz");
+  EXPECT_NE(statz.find("200 OK"), std::string::npos);
+  EXPECT_NE(statz.find("application/json"), std::string::npos);
+  EXPECT_NE(statz.find("\"glp_smoke_total\""), std::string::npos);
+
+  const std::string healthz = HttpGet(endpoint.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string missing = HttpGet(endpoint.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  endpoint.Stop();
+  endpoint.Stop();  // idempotent
+}
+
+TEST(HttpEndpointTest, ConcurrentScrapesWhileWriting) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("glp_busy_total", "busy");
+  HttpEndpoint endpoint(&reg);
+  ASSERT_TRUE(endpoint.Start(0));
+  std::thread writer([&] {
+    for (int i = 0; i < 50000; ++i) c->Increment();
+  });
+  for (int i = 0; i < 5; ++i) {
+    const std::string metrics = HttpGet(endpoint.port(), "/metrics");
+    EXPECT_NE(metrics.find("glp_busy_total"), std::string::npos);
+  }
+  writer.join();
+  endpoint.Stop();
+  EXPECT_EQ(c->Value(), 50000u);
+}
+
+}  // namespace
+}  // namespace glp::obs

@@ -30,14 +30,19 @@ Graph TestGraph(double scale = 0.05, uint64_t seed = 13) {
   return std::move(graph::MakeDataset("dblp", scale, seed)).ValueOrDie();
 }
 
+RunContext Ctx(prof::PhaseProfiler* profiler) {
+  RunContext ctx;
+  ctx.profiler = profiler;
+  return ctx;
+}
+
 TEST(ProfTest, GlpPhaseSecondsSumToSimulatedSeconds) {
   Graph g = TestGraph();
   prof::PhaseProfiler profiler;
   RunConfig run;
   run.max_iterations = 6;
-  run.profiler = &profiler;
   GlpEngine<ClassicVariant> glp;
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   const prof::PhaseBreakdown& b = r.value().phase_breakdown;
   ASSERT_TRUE(b.enabled);
@@ -63,9 +68,8 @@ TEST(ProfTest, PickKernelAttributedForPerVertexStateVariants) {
   prof::PhaseProfiler profiler;
   RunConfig run;
   run.max_iterations = 4;
-  run.profiler = &profiler;
   GlpEngine<SlpVariant> glp;  // SLP picks a speaker per vertex per iteration
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   const prof::PhaseBreakdown& b = r.value().phase_breakdown;
   ASSERT_TRUE(b.enabled);
@@ -79,12 +83,10 @@ TEST(ProfTest, DisabledProfilerIsByteIdentical) {
   Graph g = TestGraph();
   RunConfig plain;
   plain.max_iterations = 6;
-  RunConfig profiled = plain;
   prof::PhaseProfiler profiler;
-  profiled.profiler = &profiler;
   GlpEngine<ClassicVariant> a, b;
   auto ra = a.Run(g, plain);
-  auto rb = b.Run(g, profiled);
+  auto rb = b.Run(g, plain, Ctx(&profiler));
   ASSERT_TRUE(ra.ok());
   ASSERT_TRUE(rb.ok());
   EXPECT_EQ(ra.value().labels, rb.value().labels);
@@ -100,11 +102,10 @@ TEST(ProfTest, MultiGpuRunAttributesAllGather) {
   prof::PhaseProfiler profiler;
   RunConfig run;
   run.max_iterations = 4;
-  run.profiler = &profiler;
   GlpOptions opts;
   opts.num_gpus = 2;
   GlpEngine<ClassicVariant> glp({}, opts);
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   const prof::PhaseBreakdown& b = r.value().phase_breakdown;
   ASSERT_TRUE(b.enabled);
@@ -118,11 +119,10 @@ TEST(ProfTest, FrontierRunAttributesFrontierPhase) {
   prof::PhaseProfiler profiler;
   RunConfig run;
   run.max_iterations = 6;
-  run.profiler = &profiler;
   GlpOptions opts;
   opts.use_frontier = true;
   GlpEngine<ClassicVariant> glp({}, opts);
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   const prof::PhaseBreakdown& b = r.value().phase_breakdown;
   ASSERT_TRUE(b.enabled);
@@ -136,9 +136,7 @@ TEST(ProfTest, CpuEnginesProduceWallClockBreakdowns) {
   run.max_iterations = 4;
   auto check = [&](Engine&& engine) {
     prof::PhaseProfiler profiler;
-    RunConfig profiled = run;
-    profiled.profiler = &profiler;
-    auto r = engine.Run(g, profiled);
+    auto r = engine.Run(g, run, Ctx(&profiler));
     ASSERT_TRUE(r.ok()) << engine.name();
     const prof::PhaseBreakdown& b = r.value().phase_breakdown;
     ASSERT_TRUE(b.enabled) << engine.name();
@@ -164,9 +162,7 @@ TEST(ProfTest, GpuBaselinesProduceBreakdowns) {
   run.max_iterations = 4;
   auto check = [&](Engine&& engine) {
     prof::PhaseProfiler profiler;
-    RunConfig profiled = run;
-    profiled.profiler = &profiler;
-    auto r = engine.Run(g, profiled);
+    auto r = engine.Run(g, run, Ctx(&profiler));
     ASSERT_TRUE(r.ok()) << engine.name();
     const prof::PhaseBreakdown& b = r.value().phase_breakdown;
     ASSERT_TRUE(b.enabled) << engine.name();
@@ -186,11 +182,10 @@ TEST(ProfTest, TraceJsonIsWellFormedAndCoversPhases) {
   profiler.AttachTrace(&trace);
   RunConfig run;
   run.max_iterations = 4;
-  run.profiler = &profiler;
   GlpOptions opts;
   opts.num_gpus = 2;
   GlpEngine<ClassicVariant> glp({}, opts);
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(trace.num_events(), 0u);
   trace.SetCounters(r.value().phase_breakdown.ToJson());
@@ -233,9 +228,8 @@ TEST(ProfTest, BreakdownToStringAndJson) {
   prof::PhaseProfiler profiler;
   RunConfig run;
   run.max_iterations = 3;
-  run.profiler = &profiler;
   GlpEngine<ClassicVariant> glp;
-  auto r = glp.Run(g, run);
+  auto r = glp.Run(g, run, Ctx(&profiler));
   ASSERT_TRUE(r.ok());
   const std::string table = r.value().phase_breakdown.ToString();
   EXPECT_NE(table.find("commit"), std::string::npos);

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/http.h"
 #include "pipeline/transactions.h"
 #include "prof/prof.h"
 #include "serve/server.h"
@@ -40,6 +41,7 @@ struct Args {
   bool warm = true;
   bool quiet = false;
   bool profile = false;
+  int metrics_port = -1;  // -1 = no endpoint; 0 = ephemeral port
 };
 
 void Usage() {
@@ -63,7 +65,11 @@ void Usage() {
       "  --refresh <n>  cold-refresh every n ticks (counters warm-start\n"
       "                 label-granularity drift; 0 = never; default 32)\n"
       "  --profile      per-phase profile of the serving run\n"
-      "  --quiet        suppress per-tick lines (stats JSON only)\n");
+      "  --quiet        suppress per-tick lines (stats JSON only)\n"
+      "monitoring:\n"
+      "  --metrics-port <p>  serve /metrics, /statz, /healthz over HTTP on\n"
+      "                      port p while the replay runs (0 = ephemeral;\n"
+      "                      the bound port is printed at startup)\n");
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -99,6 +105,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--refresh")) {
       args->refresh = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--metrics-port")) {
+      args->metrics_port = std::atoi(next());
+    } else if (!std::strncmp(argv[i], "--metrics-port=", 15)) {
+      args->metrics_port = std::atoi(argv[i] + 15);
     } else if (!std::strcmp(argv[i], "--cold")) {
       args->warm = false;
     } else if (!std::strcmp(argv[i], "--profile")) {
@@ -167,6 +177,17 @@ int main(int argc, char** argv) {
   if (args.profile) cfg.profiler = &profiler;
 
   serve::StreamServer server(cfg);
+
+  obs::HttpEndpoint metrics_http(server.metrics());
+  if (args.metrics_port >= 0) {
+    if (!metrics_http.Start(args.metrics_port)) {
+      std::fprintf(stderr, "metrics endpoint failed to bind port %d\n",
+                   args.metrics_port);
+      return 1;
+    }
+    std::printf("metrics: http://localhost:%d/metrics\n", metrics_http.port());
+  }
+
   if (!args.quiet) {
     server.Subscribe([](const serve::TickResult& t) {
       int confirmed = 0;
