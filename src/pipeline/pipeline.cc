@@ -6,12 +6,32 @@
 
 #include "obs/kernel_export.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace glp::pipeline {
 
 using graph::Label;
 using graph::VertexId;
+
+namespace {
+
+/// Per-engine failpoint name, so chaos schedules can fault one device class
+/// (e.g. only the GPU engines) and leave the CPU fallback path healthy.
+const char* EngineFailpointName(lp::EngineKind kind) {
+  switch (kind) {
+    case lp::EngineKind::kSeq: return "lp.engine.seq";
+    case lp::EngineKind::kTg: return "lp.engine.tg";
+    case lp::EngineKind::kLigra: return "lp.engine.ligra";
+    case lp::EngineKind::kOmp: return "lp.engine.omp";
+    case lp::EngineKind::kGSort: return "lp.engine.gsort";
+    case lp::EngineKind::kGHash: return "lp.engine.ghash";
+    case lp::EngineKind::kGlp: return "lp.engine.glp";
+  }
+  return "lp.engine.unknown";
+}
+
+}  // namespace
 
 FraudDetectionPipeline::FraudDetectionPipeline(const TransactionStream* stream)
     : stream_(stream), window_(stream->edges) {}
@@ -30,6 +50,8 @@ Result<PipelineResult> DetectOnSnapshot(
   }
 
   // --- Stage 2: LP clustering ---
+  GLP_FAILPOINT("pipeline.lp_dispatch");
+  GLP_FAILPOINT(EngineFailpointName(config.engine));
   auto engine = lp::MakeEngine(config.engine, config.variant,
                                config.variant_params, config.glp_options,
                                ctx.pool);
@@ -58,6 +80,7 @@ Result<PipelineResult> DetectOnSnapshot(
   }
 
   // --- Stage 3: suspicious-cluster extraction + downstream scoring ---
+  GLP_FAILPOINT("pipeline.extract");
   glp::Timer extract_timer;
   const double extract_host_start =
       profiler != nullptr ? profiler->HostNow() : 0;

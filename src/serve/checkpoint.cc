@@ -1,0 +1,242 @@
+#include "serve/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "util/failpoint.h"
+
+namespace glp::serve {
+namespace {
+
+constexpr uint64_t kMagic = 0x31544b5043504c47ULL;  // "GLPCPKT1" LE
+constexpr uint32_t kVersion = 1;
+
+/// FNV-1a over the serialized payload — corruption detection, not crypto.
+class Checksum {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t Value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  bool Raw(const void* data, size_t n) {
+    sum_.Update(data, n);
+    return std::fwrite(data, 1, n, f_) == n;
+  }
+  template <typename T>
+  bool Pod(const T& v) {
+    return Raw(&v, sizeof(T));
+  }
+  template <typename T>
+  bool Vec(const std::vector<T>& v) {
+    const uint64_t n = v.size();
+    if (!Pod(n)) return false;
+    return v.empty() || Raw(v.data(), v.size() * sizeof(T));
+  }
+  uint64_t checksum() const { return sum_.Value(); }
+
+ private:
+  std::FILE* f_;
+  Checksum sum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  bool Raw(void* data, size_t n) {
+    if (std::fread(data, 1, n, f_) != n) return false;
+    sum_.Update(data, n);
+    return true;
+  }
+  template <typename T>
+  bool Pod(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  template <typename T>
+  bool Vec(std::vector<T>* v, uint64_t max_elems) {
+    uint64_t n = 0;
+    if (!Pod(&n) || n > max_elems) return false;
+    v->resize(n);
+    return n == 0 || Raw(v->data(), n * sizeof(T));
+  }
+  uint64_t checksum() const { return sum_.Value(); }
+
+ private:
+  std::FILE* f_;
+  Checksum sum_;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Sanity bound on deserialized element counts: a corrupt length field must
+// not drive a multi-terabyte resize before the checksum gets a chance to
+// reject the file.
+constexpr uint64_t kMaxElems = uint64_t{1} << 36;
+
+}  // namespace
+
+std::string CheckpointFileName(int64_t tick) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%012lld.ckpt",
+                static_cast<long long>(tick));
+  return buf;
+}
+
+Status SaveCheckpoint(const std::string& path, const CheckpointData& data) {
+  GLP_FAILPOINT("serve.checkpoint");
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (f == nullptr) {
+      return Status::IoError("cannot open checkpoint temp file " + tmp);
+    }
+    Writer w(f.get());
+    bool ok = w.Pod(kMagic) && w.Pod(kVersion);
+    const uint32_t flags = (data.tick_schedule_primed ? 1u : 0u) |
+                           (data.have_prev ? 2u : 0u);
+    ok = ok && w.Pod(flags) && w.Pod(data.tick) &&
+         w.Pod(data.next_tick_end) && w.Pod(data.ingested_max_time) &&
+         w.Vec(data.edges) && w.Vec(data.prev_l2g) &&
+         w.Vec(data.prev_labels);
+    const uint64_t num_clusters = data.prev_confirmed.size();
+    ok = ok && w.Pod(num_clusters);
+    for (const auto& members : data.prev_confirmed) {
+      ok = ok && w.Vec(members);
+    }
+    // Checksum trailer (over everything before it).
+    const uint64_t sum = w.checksum();
+    ok = ok && std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum);
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to checkpoint temp file " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename checkpoint into place: " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> LoadCheckpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open checkpoint " + path);
+  }
+  Reader r(f.get());
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Pod(&magic) || magic != kMagic) {
+    return Status::IoError("not a GLP checkpoint: " + path);
+  }
+  if (!r.Pod(&version) || version != kVersion) {
+    return Status::IoError("unsupported checkpoint version in " + path);
+  }
+  CheckpointData data;
+  uint32_t flags = 0;
+  bool ok = r.Pod(&flags) && r.Pod(&data.tick) && r.Pod(&data.next_tick_end) &&
+            r.Pod(&data.ingested_max_time) && r.Vec(&data.edges, kMaxElems) &&
+            r.Vec(&data.prev_l2g, kMaxElems) &&
+            r.Vec(&data.prev_labels, kMaxElems);
+  uint64_t num_clusters = 0;
+  ok = ok && r.Pod(&num_clusters) && num_clusters <= kMaxElems;
+  if (ok) {
+    data.prev_confirmed.resize(num_clusters);
+    for (auto& members : data.prev_confirmed) {
+      ok = ok && r.Vec(&members, kMaxElems);
+      if (!ok) break;
+    }
+  }
+  if (!ok) {
+    return Status::IoError("truncated or corrupt checkpoint " + path);
+  }
+  const uint64_t want = r.checksum();
+  uint64_t got = 0;
+  if (std::fread(&got, 1, sizeof(got), f.get()) != sizeof(got) ||
+      got != want) {
+    return Status::IoError("checksum mismatch in checkpoint " + path);
+  }
+  data.tick_schedule_primed = (flags & 1u) != 0;
+  data.have_prev = (flags & 2u) != 0;
+  if (data.prev_labels.size() != data.prev_l2g.size()) {
+    return Status::IoError("inconsistent warm state in checkpoint " + path);
+  }
+  return data;
+}
+
+Result<std::string> LatestCheckpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> candidates;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
+      candidates.push_back(entry.path().string());
+    }
+  }
+  // Tick-descending (zero-padded names sort lexicographically); first one
+  // that validates wins, so a torn newest file falls back gracefully.
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const std::string& path : candidates) {
+    if (LoadCheckpoint(path).ok()) return path;
+  }
+  return Status::NotFound("no loadable checkpoint in " + dir);
+}
+
+Status PruneCheckpoints(const std::string& dir, int keep) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> candidates;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
+      candidates.push_back(entry.path().string());
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  Status first_error = Status::OK();
+  for (size_t i = static_cast<size_t>(std::max(keep, 0));
+       i < candidates.size(); ++i) {
+    if (std::remove(candidates[i].c_str()) != 0 && first_error.ok()) {
+      first_error = Status::IoError("cannot delete " + candidates[i]);
+    }
+  }
+  return first_error;
+}
+
+}  // namespace glp::serve

@@ -1,0 +1,71 @@
+// Crash-consistent checkpoint/restore for the streaming server
+// (DESIGN.md §4.8). A checkpoint captures everything the detection thread
+// needs to resume a stream mid-flight with output identical to an
+// uninterrupted run: the window's edge stream, the tick schedule and
+// counters, and the previous tick's warm-start / confirmed-cluster state.
+//
+// Snapshots are atomic: the file is written to "<path>.tmp" and renamed
+// into place, so a crash mid-save leaves the previous checkpoint intact.
+// Every file carries a magic, a version, and a whole-payload checksum;
+// Load rejects truncation and corruption with IoError, and
+// LatestCheckpoint skips unreadable files so a torn newest checkpoint
+// falls back to the one before it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace glp::serve {
+
+/// Complete detection-thread state at a tick boundary.
+struct CheckpointData {
+  /// Ticks executed so far (the next tick's TickResult::tick).
+  int64_t tick = 0;
+  /// Whether the absolute tick grid has been anchored, and the next due
+  /// boundary when it has.
+  bool tick_schedule_primed = false;
+  double next_tick_end = 0;
+  /// Newest timestamp the server had accepted — restored so ingest-lag
+  /// accounting continues seamlessly.
+  double ingested_max_time = 0;
+
+  /// The full appended edge stream, canonical order. Replays resume at
+  /// edge index edges.size() of the canonically-sorted source stream.
+  std::vector<graph::TimedEdge> edges;
+
+  /// Previous tick's warm-start state (empty/false on cold boundaries).
+  bool have_prev = false;
+  std::vector<graph::VertexId> prev_l2g;
+  std::vector<graph::Label> prev_labels;
+  /// Confirmed-cluster sets of the previous tick (sorted member lists) —
+  /// needed so post-restore new/expired diffs match the uninterrupted run.
+  std::vector<std::vector<graph::VertexId>> prev_confirmed;
+};
+
+/// Serializes `data` to `path` via write-temp-then-rename. Threads the
+/// "serve.checkpoint" failpoint. Never leaves a torn file at `path`.
+Status SaveCheckpoint(const std::string& path, const CheckpointData& data);
+
+/// Reads a checkpoint written by SaveCheckpoint, validating magic, version,
+/// structure, and checksum.
+Result<CheckpointData> LoadCheckpoint(const std::string& path);
+
+/// Filename "checkpoint-<tick padded to 12>.ckpt" used by the server's
+/// periodic snapshots inside checkpoint_dir.
+std::string CheckpointFileName(int64_t tick);
+
+/// Newest *loadable* checkpoint in `dir` (highest tick whose file passes
+/// validation). NotFound when the directory holds none.
+Result<std::string> LatestCheckpoint(const std::string& dir);
+
+/// Deletes all but the `keep` newest checkpoint files in `dir` (by name
+/// order). Best-effort; returns the first deletion error, if any.
+Status PruneCheckpoints(const std::string& dir, int keep);
+
+}  // namespace glp::serve

@@ -1,11 +1,17 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "obs/collectors.h"
+#include "serve/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -13,6 +19,24 @@ namespace glp::serve {
 
 using graph::Label;
 using graph::VertexId;
+
+namespace {
+
+/// Transient errors are worth retrying (flaky IO, device faults —
+/// Internal — and pressure spikes); everything else is a programming or
+/// configuration error that a retry cannot fix.
+bool IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kCapacityExceeded:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 std::string ServerStats::ToJson() const {
   json::Writer w;
@@ -24,6 +48,17 @@ std::string ServerStats::ToJson() const {
   w.Key("edges_ingested").Int(edges_ingested);
   w.Key("ingest_blocked").Int(ingest_blocked);
   w.Key("queue_peak").Uint(queue_peak);
+  w.Key("batches_rejected").Int(batches_rejected);
+  w.Key("ticks_shed").Int(ticks_shed);
+  w.Key("degraded_ticks").Int(degraded_ticks);
+  w.Key("deadline_overruns").Int(deadline_overruns);
+  w.Key("tick_retries").Int(tick_retries);
+  w.Key("ticks_failed").Int(ticks_failed);
+  w.Key("engine_fallbacks").Int(engine_fallbacks);
+  w.Key("warm_fallbacks").Int(warm_fallbacks);
+  w.Key("cold_refresh_deferred").Int(cold_refresh_deferred);
+  w.Key("checkpoints_written").Int(checkpoints_written);
+  w.Key("checkpoint_failures").Int(checkpoint_failures);
   w.Key("tick_p50_seconds").Double(tick_p50_seconds);
   w.Key("tick_p99_seconds").Double(tick_p99_seconds);
   w.Key("tick_max_seconds").Double(tick_max_seconds);
@@ -70,15 +105,112 @@ StreamServer::StreamServer(ServerConfig config)
   ins_.ingest_lag_days = registry_->GetGauge(
       "glp_serve_ingest_lag_days",
       "Newest ingested timestamp minus the last tick's window end");
+  ins_.batches_rejected_invalid = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "invalid"}});
+  ins_.batches_rejected_failpoint = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "failpoint"}});
+  ins_.batches_dropped = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "append_failed"}});
+  ins_.ticks_shed = registry_->GetCounter(
+      "glp_serve_ticks_shed_total",
+      "Overdue tick boundaries coalesced away under overload");
+  ins_.degraded_ticks = registry_->GetCounter(
+      "glp_serve_degraded_ticks_total",
+      "Ticks run with the degraded LP iteration cap");
+  ins_.deadline_overruns = registry_->GetCounter(
+      "glp_serve_deadline_overruns_total",
+      "Ticks whose wall time exceeded tick_deadline_seconds");
+  ins_.tick_retries = registry_->GetCounter(
+      "glp_serve_tick_retries_total",
+      "Retry attempts after transient tick failures");
+  ins_.ticks_failed = registry_->GetCounter(
+      "glp_serve_ticks_failed_total",
+      "Ticks abandoned after exhausting retries");
+  ins_.engine_fallbacks = registry_->GetCounter(
+      "glp_serve_fallbacks_total", "Degraded-path fallbacks taken",
+      {{"kind", "engine"}});
+  ins_.warm_fallbacks = registry_->GetCounter(
+      "glp_serve_fallbacks_total", "Degraded-path fallbacks taken",
+      {{"kind", "warm_to_cold"}});
+  ins_.cold_refresh_deferred = registry_->GetCounter(
+      "glp_serve_cold_refresh_deferred_total",
+      "Cold refreshes postponed by the degradation ladder");
+  ins_.checkpoints_ok = registry_->GetCounter(
+      "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
+      {{"result", "ok"}});
+  ins_.checkpoints_failed = registry_->GetCounter(
+      "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
+      {{"result", "error"}});
   obs::RegisterThreadPoolCollector(
       registry_,
       config_.pool != nullptr ? config_.pool : glp::ThreadPool::Default());
+  // Export failpoint fire counts, so a chaos run's injected-fault schedule
+  // is auditable from the same scrape as its effects.
+  registry_->AddCollector([registry = registry_] {
+    for (const auto& [point, fires] :
+         fail::FailpointRegistry::Global().FireCounts()) {
+      registry
+          ->GetGauge("glp_failpoint_fires",
+                     "Times an armed failpoint has fired", {{"point", point}})
+          ->Set(static_cast<double>(fires));
+    }
+  });
 }
 
 StreamServer::~StreamServer() { Stop(); }
 
 void StreamServer::Subscribe(Subscriber subscriber) {
   subscribers_.push_back(std::move(subscriber));
+}
+
+Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
+    const std::string& path_or_dir) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_) {
+      return Status::InvalidArgument(
+          "RestoreFromCheckpoint requires a not-yet-started server");
+    }
+  }
+  std::string path = path_or_dir;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path_or_dir, ec)) {
+    GLP_ASSIGN_OR_RETURN(path, LatestCheckpoint(path_or_dir));
+  }
+  CheckpointData data;
+  GLP_ASSIGN_OR_RETURN(data, LoadCheckpoint(path));
+
+  window_ = graph::SlidingWindow(std::move(data.edges));
+  num_ticks_ = data.tick;
+  tick_schedule_primed_ = data.tick_schedule_primed;
+  next_tick_end_ = data.next_tick_end;
+  have_prev_ = data.have_prev;
+  prev_l2g_ = std::move(data.prev_l2g);
+  prev_labels_ = std::move(data.prev_labels);
+  prev_confirmed_.clear();
+  for (auto& members : data.prev_confirmed) {
+    prev_confirmed_.insert(std::move(members));
+  }
+  last_checkpoint_tick_ = data.tick;
+  last_tick_wall_seconds_ = 0;
+  refresh_pending_ = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ingested_max_time_ = data.ingested_max_time;
+  }
+  RestoreInfo info;
+  info.tick = num_ticks_;
+  info.num_edges = window_.num_stream_edges();
+  info.max_time = data.ingested_max_time;
+  GLP_LOG(Info) << "restored checkpoint " << path << " (tick " << info.tick
+                << ", " << info.num_edges << " edges)";
+  return info;
 }
 
 Status StreamServer::Start() {
@@ -90,22 +222,62 @@ Status StreamServer::Start() {
   if (config_.max_queue_batches == 0) {
     return Status::InvalidArgument("max_queue_batches must be >= 1");
   }
+  if (config_.tick_deadline_seconds < 0) {
+    return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
+  }
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " +
+                             config_.checkpoint_dir + ": " + ec.message());
+    }
+  }
   started_ = true;
   stopping_ = false;
+  dead_ = false;
   stop_token_.store(false, std::memory_order_relaxed);
   thread_ = std::thread([this] { DetectLoop(); });
   return Status::OK();
 }
 
+bool StreamServer::ValidBatch(
+    const std::vector<graph::TimedEdge>& batch) const {
+  for (const graph::TimedEdge& e : batch) {
+    if (!std::isfinite(e.time) || e.time < 0) return false;
+    if (e.src == graph::kInvalidVertex || e.dst == graph::kInvalidVertex) {
+      return false;
+    }
+    if (config_.entity_id_limit != 0 &&
+        (e.src >= config_.entity_id_limit ||
+         e.dst >= config_.entity_id_limit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
+  if (!ValidBatch(batch)) {
+    ins_.batches_rejected_invalid->Increment();
+    return false;
+  }
+  // The serve-queue failpoint: injected Status rejects the batch, injected
+  // latency models a slow producer-side hop. Evaluated outside the lock.
+  const Status inj = fail::Inject("serve.ingest");
+  if (!inj.ok()) {
+    ins_.batches_rejected_failpoint->Increment();
+    return false;
+  }
   std::unique_lock<std::mutex> lk(mu_);
-  if (!started_ || stopping_) return false;
+  if (!started_ || stopping_ || dead_) return false;
   if (queue_.size() >= config_.max_queue_batches) {
     ins_.ingest_blocked->Increment();
     not_full_cv_.wait(lk, [&] {
-      return stopping_ || queue_.size() < config_.max_queue_batches;
+      return stopping_ || dead_ ||
+             queue_.size() < config_.max_queue_batches;
     });
-    if (stopping_) return false;
+    if (stopping_ || dead_) return false;
   }
   for (const graph::TimedEdge& e : batch) {
     ingested_max_time_ = std::max(ingested_max_time_, e.time);
@@ -122,7 +294,7 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
 void StreamServer::Flush() {
   std::unique_lock<std::mutex> lk(mu_);
   drained_cv_.wait(lk, [&] {
-    return (queue_.empty() && !busy_) || stopping_;
+    return (queue_.empty() && !busy_) || stopping_ || dead_;
   });
 }
 
@@ -146,6 +318,16 @@ Status StreamServer::last_error() const {
   return last_error_;
 }
 
+bool StreamServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_ && !stopping_ && !dead_;
+}
+
+void StreamServer::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (last_error_.ok()) last_error_ = status;
+}
+
 ServerStats StreamServer::stats() const {
   // Pure instrument reads — no lock; every source is an atomic in the
   // registry. Quantiles come from the tick-latency histogram (factor-2
@@ -158,6 +340,23 @@ ServerStats StreamServer::stats() const {
   s.edges_ingested = static_cast<int64_t>(ins_.edges_ingested->Value());
   s.ingest_blocked = static_cast<int64_t>(ins_.ingest_blocked->Value());
   s.queue_peak = static_cast<size_t>(ins_.queue_peak->Value());
+  s.batches_rejected =
+      static_cast<int64_t>(ins_.batches_rejected_invalid->Value() +
+                           ins_.batches_rejected_failpoint->Value() +
+                           ins_.batches_dropped->Value());
+  s.ticks_shed = static_cast<int64_t>(ins_.ticks_shed->Value());
+  s.degraded_ticks = static_cast<int64_t>(ins_.degraded_ticks->Value());
+  s.deadline_overruns =
+      static_cast<int64_t>(ins_.deadline_overruns->Value());
+  s.tick_retries = static_cast<int64_t>(ins_.tick_retries->Value());
+  s.ticks_failed = static_cast<int64_t>(ins_.ticks_failed->Value());
+  s.engine_fallbacks = static_cast<int64_t>(ins_.engine_fallbacks->Value());
+  s.warm_fallbacks = static_cast<int64_t>(ins_.warm_fallbacks->Value());
+  s.cold_refresh_deferred =
+      static_cast<int64_t>(ins_.cold_refresh_deferred->Value());
+  s.checkpoints_written = static_cast<int64_t>(ins_.checkpoints_ok->Value());
+  s.checkpoint_failures =
+      static_cast<int64_t>(ins_.checkpoints_failed->Value());
   s.tick_p50_seconds = ins_.tick_seconds->Quantile(0.50);
   s.tick_p99_seconds = ins_.tick_seconds->Quantile(0.99);
   s.tick_max_seconds = ins_.tick_seconds->MaxBound();
@@ -173,6 +372,21 @@ ServerStats StreamServer::stats() const {
   return s;
 }
 
+bool StreamServer::Backoff(int attempt) {
+  double ms = config_.retry_backoff_ms * std::ldexp(1.0, attempt);
+  ms = std::min(ms, config_.max_retry_backoff_ms);
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  // Sleep in slices so Stop() stays prompt mid-backoff.
+  while (std::chrono::steady_clock::now() < until) {
+    if (stop_token_.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return !stop_token_.load(std::memory_order_relaxed);
+}
+
 void StreamServer::DetectLoop() {
   for (;;) {
     std::vector<graph::TimedEdge> batch;
@@ -186,18 +400,63 @@ void StreamServer::DetectLoop() {
       busy_ = true;
       not_full_cv_.notify_all();
     }
-    window_.Append(std::move(batch));
-    RunDueTicks();
+    bool keep_running = true;
+    // Window append, under the serve.window_append failpoint. The batch is
+    // still in hand on an injected failure, so transient faults retry
+    // exactly; only exhausted retries drop it (counted, recorded).
+    Status append_status;
+    for (int attempt = 0;; ++attempt) {
+      append_status = fail::Inject("serve.window_append");
+      if (append_status.ok()) {
+        window_.Append(std::move(batch));
+        break;
+      }
+      if (!IsTransient(append_status) ||
+          attempt >= config_.max_tick_retries) {
+        break;
+      }
+      ins_.tick_retries->Increment();
+      if (!Backoff(attempt)) {
+        append_status = Status::Cancelled("server stopping");
+        break;
+      }
+    }
+    if (!append_status.ok()) {
+      if (append_status.IsCancelled()) {
+        // Shutting down; the loop exits via stopping_ above.
+      } else if (IsTransient(append_status)) {
+        ins_.batches_dropped->Increment();
+        RecordError(append_status);
+        GLP_LOG(Warning) << "dropping batch after append failures: "
+                         << append_status.ToString();
+      } else {
+        RecordError(append_status);
+        GLP_LOG(Error) << "fatal window-append fault: "
+                       << append_status.ToString();
+        keep_running = false;
+      }
+    } else {
+      keep_running = RunDueTicks();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       busy_ = false;
+      if (!keep_running) {
+        // Fatal: wake every blocked producer and Flush() waiter — they see
+        // dead_ and return false instead of blocking on a queue nobody
+        // will ever drain again.
+        dead_ = true;
+        not_full_cv_.notify_all();
+        drained_cv_.notify_all();
+        return;
+      }
       if (queue_.empty()) drained_cv_.notify_all();
     }
   }
 }
 
-void StreamServer::RunDueTicks() {
-  if (window_.num_stream_edges() == 0) return;
+bool StreamServer::RunDueTicks() {
+  if (window_.num_stream_edges() == 0) return true;
   const double cadence = config_.tick_every_days;
   if (!tick_schedule_primed_) {
     // First boundary strictly after the stream's earliest timestamp, on the
@@ -208,9 +467,61 @@ void StreamServer::RunDueTicks() {
     tick_schedule_primed_ = true;
   }
   while (window_.max_time() >= next_tick_end_) {
-    if (stop_token_.load(std::memory_order_relaxed)) return;
-    RunTick(next_tick_end_);
+    if (stop_token_.load(std::memory_order_relaxed)) return true;
+    // Degradation ladder step 3: if the last tick blew its deadline and
+    // the stream has already crossed several boundaries, coalesce the
+    // overdue ones into a single tick at the newest due boundary.
+    if (config_.tick_deadline_seconds > 0 &&
+        last_tick_wall_seconds_ > config_.tick_deadline_seconds) {
+      const auto overdue = static_cast<int64_t>(std::floor(
+          (window_.max_time() - next_tick_end_) / cadence));
+      if (overdue > 0) {
+        ins_.ticks_shed->Increment(static_cast<uint64_t>(overdue));
+        next_tick_end_ += static_cast<double>(overdue) * cadence;
+      }
+    }
+    const TickOutcome outcome = RunTick(next_tick_end_);
+    if (outcome == TickOutcome::kFatal) return false;
+    if (outcome == TickOutcome::kCancelled) return true;
     next_tick_end_ += cadence;
+    if (outcome == TickOutcome::kOk && !config_.checkpoint_dir.empty() &&
+        config_.checkpoint_every_ticks > 0 &&
+        num_ticks_ % config_.checkpoint_every_ticks == 0 &&
+        num_ticks_ > last_checkpoint_tick_) {
+      WriteCheckpoint();
+    }
+  }
+  return true;
+}
+
+void StreamServer::WriteCheckpoint() {
+  CheckpointData data;
+  data.tick = num_ticks_;
+  data.tick_schedule_primed = tick_schedule_primed_;
+  data.next_tick_end = next_tick_end_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    data.ingested_max_time = ingested_max_time_;
+  }
+  data.edges = window_.edges();
+  data.have_prev = have_prev_;
+  if (have_prev_) {
+    data.prev_l2g = prev_l2g_;
+    data.prev_labels = prev_labels_;
+  }
+  data.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
+  const std::string path =
+      config_.checkpoint_dir + "/" + CheckpointFileName(num_ticks_);
+  const Status st = SaveCheckpoint(path, data);
+  if (st.ok()) {
+    ins_.checkpoints_ok->Increment();
+    last_checkpoint_tick_ = num_ticks_;
+    // Best-effort: a failed prune never fails the tick.
+    (void)PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep);
+  } else {
+    ins_.checkpoints_failed->Increment();
+    GLP_LOG(Warning) << "checkpoint at tick " << num_ticks_
+                     << " failed: " << st.ToString();
   }
 }
 
@@ -260,7 +571,7 @@ std::vector<Label> StreamServer::MapWarmLabels(
   return init;
 }
 
-void StreamServer::RunTick(double end_time) {
+StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   glp::Timer tick_timer;
   const double host_start =
       config_.profiler != nullptr ? config_.profiler->HostNow() : 0;
@@ -274,35 +585,98 @@ void StreamServer::RunTick(double end_time) {
   const graph::WindowSnapshot& snap = cursor_.AdvanceTo(end_time);
   const double build_seconds = build_timer.Seconds();
 
-  pipeline::PipelineConfig cfg = config_.detect;
-  const bool refresh_due =
+  // Degradation ladder steps 1–2: a previous-tick deadline overrun caps LP
+  // iterations and postpones a due cold refresh until pressure clears.
+  const bool degraded =
+      config_.tick_deadline_seconds > 0 &&
+      last_tick_wall_seconds_ > config_.tick_deadline_seconds;
+  bool refresh_due =
       config_.cold_refresh_every_ticks > 0 &&
       num_ticks_ % config_.cold_refresh_every_ticks == 0;
-  if (config_.warm_start && have_prev_ && !refresh_due &&
-      snap.graph.num_vertices() > 0) {
-    cfg.lp.initial_labels = MapWarmLabels(snap);
-    tr.warm = true;
+  if (config_.warm_start && have_prev_) {
+    if (degraded && (refresh_due || refresh_pending_)) {
+      if (refresh_due) ins_.cold_refresh_deferred->Increment();
+      refresh_pending_ = true;
+      refresh_due = false;
+    } else if (!degraded && refresh_pending_) {
+      refresh_due = true;
+      refresh_pending_ = false;
+    }
   }
-  if (config_.record_warm_labels) tr.warm_labels = cfg.lp.initial_labels;
+  if (degraded) ins_.degraded_ticks->Increment();
 
-  lp::RunContext ctx;
-  ctx.profiler = config_.profiler;
-  ctx.pool = config_.pool;
-  ctx.stop_token = &stop_token_;
-  ctx.metrics = registry_;
+  const bool warm_wanted = config_.warm_start && have_prev_ &&
+                           !refresh_due && snap.graph.num_vertices() > 0;
 
   if (snap.graph.num_vertices() > 0) {
-    auto result = pipeline::DetectOnSnapshot(snap, cfg, ctx, config_.seeds,
-                                             config_.ground_truth,
-                                             tr.window_start, tr.window_end);
-    if (!result.ok()) {
-      if (!result.status().IsCancelled()) {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (last_error_.ok()) last_error_ = result.status();
+    // Retry ladder: attempt 0 as configured, attempt 1 an unchanged retry,
+    // attempt 2 cold (the warm state is suspect), final attempt on the
+    // fallback engine. Only transient Status codes walk the ladder.
+    const int max_attempts = 1 + std::max(0, config_.max_tick_retries);
+    bool ran = false;
+    Status failure;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      pipeline::PipelineConfig cfg = config_.detect;
+      if (degraded) {
+        cfg.lp.max_iterations =
+            std::min(cfg.lp.max_iterations, config_.degraded_iteration_cap);
+        cfg.lp.stop_when_stable = true;
       }
-      return;  // tick abandoned; warm state keeps the previous tick's view
+      const bool warm = warm_wanted && attempt <= 1;
+      if (warm_wanted && !warm) ins_.warm_fallbacks->Increment();
+      if (warm) cfg.lp.initial_labels = MapWarmLabels(snap);
+      if (attempt == max_attempts - 1 && attempt > 0 &&
+          config_.enable_engine_fallback) {
+        cfg.engine = config_.fallback_engine;
+        ins_.engine_fallbacks->Increment();
+      }
+
+      lp::RunContext ctx;
+      ctx.profiler = config_.profiler;
+      ctx.pool = config_.pool;
+      ctx.stop_token = &stop_token_;
+      ctx.metrics = registry_;
+
+      Status st = fail::Inject("serve.tick");
+      if (st.ok()) {
+        auto result = pipeline::DetectOnSnapshot(
+            snap, cfg, ctx, config_.seeds, config_.ground_truth,
+            tr.window_start, tr.window_end);
+        if (result.ok()) {
+          tr.detection = std::move(result).value();
+          tr.warm = warm;
+          if (config_.record_warm_labels) {
+            tr.warm_labels = std::move(cfg.lp.initial_labels);
+          }
+          ran = true;
+          break;
+        }
+        st = result.status();
+      }
+      if (st.IsCancelled()) return TickOutcome::kCancelled;
+      if (!IsTransient(st)) {
+        RecordError(st);
+        GLP_LOG(Error) << "fatal detection fault at window end " << end_time
+                       << ": " << st.ToString();
+        return TickOutcome::kFatal;
+      }
+      failure = st;
+      if (attempt + 1 < max_attempts) {
+        ins_.tick_retries->Increment();
+        if (!Backoff(attempt)) return TickOutcome::kCancelled;
+      }
     }
-    tr.detection = std::move(result).value();
+    if (!ran) {
+      RecordError(failure);
+      ins_.ticks_failed->Increment();
+      // The warm state may itself be what keeps failing; next tick starts
+      // cold from scratch.
+      have_prev_ = false;
+      GLP_LOG(Warning) << "tick at window end " << end_time
+                       << " abandoned after " << max_attempts
+                       << " attempts: " << failure.ToString();
+      return TickOutcome::kAbandoned;
+    }
     tr.detection.build_seconds = build_seconds;
     prev_l2g_ = snap.local_to_global;
     prev_labels_ = tr.detection.lp.labels;
@@ -332,6 +706,11 @@ void StreamServer::RunTick(double end_time) {
   prev_confirmed_ = std::move(confirmed_now);
 
   tr.tick_wall_seconds = tick_timer.Seconds();
+  last_tick_wall_seconds_ = tr.tick_wall_seconds;
+  if (config_.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.tick_deadline_seconds) {
+    ins_.deadline_overruns->Increment();
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     tr.ingest_lag_days = ingested_max_time_ - end_time;
@@ -353,6 +732,7 @@ void StreamServer::RunTick(double end_time) {
   }
   ++num_ticks_;
   for (const Subscriber& s : subscribers_) s(tr);
+  return TickOutcome::kOk;
 }
 
 }  // namespace glp::serve

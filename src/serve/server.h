@@ -94,6 +94,51 @@ struct ServerConfig {
   /// via obs::HttpEndpoint. Not owned; must outlive the server, and the
   /// pool (it registers a collector polling the pool's queue depth).
   obs::MetricRegistry* metrics = nullptr;
+
+  // —— Resilience (DESIGN.md §4.8) ——
+
+  /// Per-tick wall-clock budget in seconds; 0 disables the deadline. A
+  /// tick that overruns arms the degradation ladder for the next one:
+  /// (1) LP iterations capped at degraded_iteration_cap, (2) a due cold
+  /// refresh is deferred until pressure clears, (3) if the stream has
+  /// crossed several boundaries while a tick overran, the overdue
+  /// boundaries are coalesced into one tick at the newest boundary and the
+  /// skipped ones are counted in glp_serve_ticks_shed_total.
+  double tick_deadline_seconds = 0;
+  /// LP iteration cap applied to degraded ticks (step 1 of the ladder).
+  int degraded_iteration_cap = 5;
+
+  /// Retries per tick after a *transient* failure (IoError,
+  /// CapacityExceeded, Internal — the codes injected device faults and
+  /// flaky dependencies surface as). The ladder: attempt 0 as configured,
+  /// attempt 1 retries unchanged, attempt 2 drops warm start (the warm
+  /// state is suspect after repeated failures), the final attempt switches
+  /// to fallback_engine. Non-transient codes are fatal: the detection
+  /// thread records last_error(), wakes every blocked producer with
+  /// Ingest() == false, and exits. 0 disables retries (first transient
+  /// failure abandons the tick).
+  int max_tick_retries = 3;
+  /// Exponential backoff between retry attempts: base * 2^attempt, capped.
+  double retry_backoff_ms = 1.0;
+  double max_retry_backoff_ms = 50.0;
+  /// Use fallback_engine for the last retry attempt (GPU fault -> CPU).
+  bool enable_engine_fallback = true;
+  lp::EngineKind fallback_engine = lp::EngineKind::kSeq;
+
+  /// Ingest validation: entity ids must be < entity_id_limit when nonzero
+  /// (the sentinel kInvalidVertex and non-finite/negative timestamps are
+  /// always rejected). A failing batch is rejected whole — counted in
+  /// glp_serve_batches_rejected_total — instead of poisoning the window.
+  graph::VertexId entity_id_limit = 0;
+
+  /// Checkpointing: after every checkpoint_every_ticks completed ticks,
+  /// atomically snapshot the window stream, tick schedule, and warm-start
+  /// state into checkpoint_dir (see serve/checkpoint.h), keeping the
+  /// checkpoint_keep newest files. Empty dir disables. Checkpoint failures
+  /// are non-fatal (logged + counted).
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_ticks = 16;
+  int checkpoint_keep = 2;
 };
 
 /// One detection tick's output, published to subscribers.
@@ -137,6 +182,19 @@ struct ServerStats {
   int64_t ingest_blocked = 0;
   size_t queue_peak = 0;
 
+  // Resilience counters (see ServerConfig's resilience block).
+  int64_t batches_rejected = 0;       ///< failed validation or injected fault
+  int64_t ticks_shed = 0;             ///< overdue boundaries coalesced away
+  int64_t degraded_ticks = 0;         ///< ran with the LP iteration cap
+  int64_t deadline_overruns = 0;      ///< ticks exceeding the deadline
+  int64_t tick_retries = 0;           ///< transient-failure retry attempts
+  int64_t ticks_failed = 0;           ///< ticks abandoned after all retries
+  int64_t engine_fallbacks = 0;       ///< retries on the fallback engine
+  int64_t warm_fallbacks = 0;         ///< retries that dropped warm start
+  int64_t cold_refresh_deferred = 0;  ///< refreshes postponed under pressure
+  int64_t checkpoints_written = 0;
+  int64_t checkpoint_failures = 0;
+
   double tick_p50_seconds = 0;
   double tick_p99_seconds = 0;
   double tick_max_seconds = 0;
@@ -169,6 +227,20 @@ class StreamServer {
   /// tick order). Must be called before Start().
   void Subscribe(Subscriber subscriber);
 
+  /// What RestoreFromCheckpoint recovered — the replay contract: feed the
+  /// canonically-sorted source stream starting at edge index num_edges.
+  struct RestoreInfo {
+    int64_t tick = 0;          ///< ticks already completed
+    uint64_t num_edges = 0;    ///< edges already in the window stream
+    double max_time = 0;       ///< newest timestamp already ingested
+  };
+
+  /// Restores window, tick schedule, and warm-start state from a
+  /// checkpoint file (or the newest loadable checkpoint in a directory).
+  /// Must be called before Start(). Replaying the stream's remaining edges
+  /// afterwards produces tick output identical to an uninterrupted run.
+  Result<RestoreInfo> RestoreFromCheckpoint(const std::string& path_or_dir);
+
   /// Launches the detection thread.
   Status Start();
 
@@ -186,8 +258,14 @@ class StreamServer {
   /// Call Flush() first for a graceful drain.
   void Stop();
 
-  /// First non-cancellation error a tick produced, if any.
+  /// First non-cancellation error a tick produced, if any. Transient
+  /// errors absorbed by a successful retry are not recorded.
   Status last_error() const;
+
+  /// True while the detection thread is serving: Start() succeeded, no
+  /// Stop() yet, and no fatal error has killed the loop. Ingest() returns
+  /// false exactly when this is false.
+  bool running() const;
 
   ServerStats stats() const;
 
@@ -197,10 +275,23 @@ class StreamServer {
   obs::MetricRegistry* metrics() const { return registry_; }
 
  private:
+  /// How one tick boundary resolved.
+  enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
+
   void DetectLoop();
-  void RunDueTicks();
-  void RunTick(double end_time);
+  /// Returns false when a fatal error must stop the detection loop.
+  bool RunDueTicks();
+  TickOutcome RunTick(double end_time);
   std::vector<graph::Label> MapWarmLabels(const graph::WindowSnapshot& cur);
+  /// Validates one ingest batch (timestamps finite and non-negative, ids in
+  /// range) — see ServerConfig::entity_id_limit.
+  bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
+  /// Sleeps the capped exponential backoff for `attempt`, polling the stop
+  /// token; returns false if stopped meanwhile.
+  bool Backoff(int attempt);
+  /// Records a fatal tick error; DetectLoop exits and wakes producers.
+  void RecordError(const Status& status);
+  void WriteCheckpoint();
 
   ServerConfig config_;
   std::vector<Subscriber> subscribers_;
@@ -211,6 +302,12 @@ class StreamServer {
   bool tick_schedule_primed_ = false;
   double next_tick_end_ = 0;
   int64_t num_ticks_ = 0;
+  /// Wall time of the last completed tick — the deadline ladder's overload
+  /// signal.
+  double last_tick_wall_seconds_ = 0;
+  /// A due cold refresh was postponed by the degradation ladder.
+  bool refresh_pending_ = false;
+  int64_t last_checkpoint_tick_ = -1;
   // Previous tick's state for warm start + diffing.
   bool have_prev_ = false;
   std::vector<graph::VertexId> prev_l2g_;
@@ -232,6 +329,9 @@ class StreamServer {
   std::deque<std::vector<graph::TimedEdge>> queue_;
   bool started_ = false;
   bool stopping_ = false;
+  /// Detection thread died on a fatal error: producers are woken and
+  /// rejected instead of blocking forever on a queue nobody drains.
+  bool dead_ = false;
   bool busy_ = false;  // detection thread is processing a popped batch
   double ingested_max_time_ = 0;
   Status last_error_ = Status::OK();
@@ -253,6 +353,20 @@ class StreamServer {
     obs::Gauge* queue_depth;
     obs::Gauge* queue_peak;
     obs::Gauge* ingest_lag_days;
+    // Resilience instruments.
+    obs::Counter* batches_rejected_invalid;
+    obs::Counter* batches_rejected_failpoint;
+    obs::Counter* batches_dropped;
+    obs::Counter* ticks_shed;
+    obs::Counter* degraded_ticks;
+    obs::Counter* deadline_overruns;
+    obs::Counter* tick_retries;
+    obs::Counter* ticks_failed;
+    obs::Counter* engine_fallbacks;
+    obs::Counter* warm_fallbacks;
+    obs::Counter* cold_refresh_deferred;
+    obs::Counter* checkpoints_ok;
+    obs::Counter* checkpoints_failed;
   };
   Instruments ins_{};
 

@@ -1,0 +1,302 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace glp::fail {
+namespace {
+
+/// Parses an error-code name of the config grammar.
+bool ParseCode(const std::string& s, StatusCode* code) {
+  if (s.empty() || s == "internal") *code = StatusCode::kInternal;
+  else if (s == "invalid") *code = StatusCode::kInvalidArgument;
+  else if (s == "oob") *code = StatusCode::kOutOfRange;
+  else if (s == "notfound") *code = StatusCode::kNotFound;
+  else if (s == "exists") *code = StatusCode::kAlreadyExists;
+  else if (s == "capacity") *code = StatusCode::kCapacityExceeded;
+  else if (s == "io") *code = StatusCode::kIoError;
+  else if (s == "notimpl") *code = StatusCode::kNotImplemented;
+  else if (s == "cancelled") *code = StatusCode::kCancelled;
+  else return false;
+  return true;
+}
+
+/// Splits "action(arg)" into its two parts; arg empty when absent.
+bool SplitCall(const std::string& s, std::string* fn, std::string* arg) {
+  const size_t open = s.find('(');
+  if (open == std::string::npos) {
+    *fn = s;
+    arg->clear();
+    return true;
+  }
+  if (s.back() != ')') return false;
+  *fn = s.substr(0, open);
+  *arg = s.substr(open + 1, s.size() - open - 2);
+  return true;
+}
+
+Status ParseEntry(const std::string& entry, std::string* name,
+                  FailpointSpec* spec, bool* off) {
+  *off = false;
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry missing 'name=': '" +
+                                   entry + "'");
+  }
+  *name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+
+  std::string trigger;
+  const size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    trigger = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+  }
+
+  // Actions, '+'-separated.
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    size_t plus = rest.find('+', pos);
+    if (plus == std::string::npos) plus = rest.size();
+    const std::string action = rest.substr(pos, plus - pos);
+    pos = plus + 1;
+    std::string fn, arg;
+    if (!SplitCall(action, &fn, &arg)) {
+      return Status::InvalidArgument("malformed failpoint action: '" +
+                                     action + "'");
+    }
+    if (fn == "off") {
+      *off = true;
+    } else if (fn == "error") {
+      if (!ParseCode(arg, &spec->error_code)) {
+        return Status::InvalidArgument("unknown failpoint error code: '" +
+                                       arg + "'");
+      }
+    } else if (fn == "delay") {
+      char* end = nullptr;
+      spec->delay_ms = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == nullptr || *end != '\0' ||
+          spec->delay_ms < 0) {
+        return Status::InvalidArgument("bad failpoint delay: '" + arg + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown failpoint action: '" + fn +
+                                     "'");
+    }
+    if (plus == rest.size()) break;
+  }
+
+  // Trigger.
+  if (trigger.empty() || trigger == "always") {
+    spec->trigger = FailpointSpec::Trigger::kAlways;
+  } else if (trigger == "once") {
+    spec->trigger = FailpointSpec::Trigger::kOnce;
+  } else if (trigger.rfind("every", 0) == 0) {
+    spec->trigger = FailpointSpec::Trigger::kEveryNth;
+    spec->every_n = std::strtoull(trigger.c_str() + 5, nullptr, 10);
+    if (spec->every_n == 0) {
+      return Status::InvalidArgument("bad failpoint trigger: '" + trigger +
+                                     "'");
+    }
+  } else if (trigger.rfind("1in", 0) == 0) {
+    const uint64_t n = std::strtoull(trigger.c_str() + 3, nullptr, 10);
+    if (n == 0) {
+      return Status::InvalidArgument("bad failpoint trigger: '" + trigger +
+                                     "'");
+    }
+    spec->trigger = FailpointSpec::Trigger::kProbability;
+    spec->probability = 1.0 / static_cast<double>(n);
+  } else if (trigger[0] == 'p') {
+    spec->trigger = FailpointSpec::Trigger::kProbability;
+    char* end = nullptr;
+    spec->probability = std::strtod(trigger.c_str() + 1, &end);
+    if (end == nullptr || *end != '\0' || spec->probability < 0 ||
+        spec->probability > 1) {
+      return Status::InvalidArgument("bad failpoint trigger: '" + trigger +
+                                     "'");
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint trigger: '" + trigger +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* seed = std::getenv("GLP_FAILPOINTS_SEED")) {
+    env_seed_ = std::strtoull(seed, nullptr, 10);
+  }
+  seed_ = env_seed_;
+  if (const char* cfg = std::getenv("GLP_FAILPOINTS")) {
+    env_config_ = cfg;
+  }
+  if (!env_config_.empty()) {
+    const Status st = Parse(env_config_);
+    if (!st.ok()) {
+      GLP_LOG(Warning) << "ignoring malformed GLP_FAILPOINTS: "
+                       << st.ToString();
+    }
+  }
+}
+
+void FailpointRegistry::Configure(std::string name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Point& p = points_[name];
+  p.spec = std::move(spec);
+  p.hits = 0;
+  p.fires = 0;
+  p.rng = Rng(seed_ ^ std::hash<std::string>{}(name) ^
+              0x9e3779b97f4a7c15ULL);
+  active_.store(static_cast<int>(points_.size()), std::memory_order_release);
+}
+
+bool FailpointRegistry::Clear(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool erased = points_.erase(name) > 0;
+  active_.store(static_cast<int>(points_.size()), std::memory_order_release);
+  return erased;
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.clear();
+  active_.store(0, std::memory_order_release);
+}
+
+void FailpointRegistry::ResetToEnv() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    points_.clear();
+    seed_ = env_seed_;
+    active_.store(0, std::memory_order_release);
+  }
+  if (!env_config_.empty()) {
+    const Status st = Parse(env_config_);
+    if (!st.ok()) {
+      GLP_LOG(Warning) << "ignoring malformed GLP_FAILPOINTS: "
+                       << st.ToString();
+    }
+  }
+}
+
+void FailpointRegistry::set_seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+}
+
+Status FailpointRegistry::Parse(const std::string& config) {
+  // Validate every entry before arming any (all-or-nothing).
+  struct Parsed {
+    std::string name;
+    FailpointSpec spec;
+    bool off;
+  };
+  std::vector<Parsed> entries;
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t sep = config.find(';', pos);
+    if (sep == std::string::npos) sep = config.size();
+    std::string entry = config.substr(pos, sep - pos);
+    pos = sep + 1;
+    // Trim whitespace.
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
+                                 entry.front()))) {
+      entry.erase(entry.begin());
+    }
+    while (!entry.empty() &&
+           std::isspace(static_cast<unsigned char>(entry.back()))) {
+      entry.pop_back();
+    }
+    if (!entry.empty()) {
+      Parsed p;
+      GLP_RETURN_NOT_OK(ParseEntry(entry, &p.name, &p.spec, &p.off));
+      entries.push_back(std::move(p));
+    }
+    if (sep == config.size()) break;
+  }
+  for (Parsed& p : entries) {
+    if (p.off) {
+      Clear(p.name);
+    } else {
+      Configure(std::move(p.name), std::move(p.spec));
+    }
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  double delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return Status::OK();
+    Point& p = it->second;
+    ++p.hits;
+    bool fire = false;
+    switch (p.spec.trigger) {
+      case FailpointSpec::Trigger::kAlways:
+        fire = true;
+        break;
+      case FailpointSpec::Trigger::kOnce:
+        fire = p.hits == 1;
+        break;
+      case FailpointSpec::Trigger::kEveryNth:
+        fire = p.hits % p.spec.every_n == 0;
+        break;
+      case FailpointSpec::Trigger::kProbability:
+        fire = p.rng.NextBool(p.spec.probability);
+        break;
+    }
+    if (!fire) return Status::OK();
+    ++p.fires;
+    code = p.spec.error_code;
+    delay_ms = p.spec.delay_ms;
+    message = p.spec.message.empty()
+                  ? "injected fault at " + std::string(name)
+                  : p.spec.message;
+  }
+  // Sleep outside the lock so a latency point never serializes other
+  // points' evaluations.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::move(message));
+}
+
+uint64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FailpointRegistry::FireCounts()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, p] : points_) out.emplace_back(name, p.fires);
+  return out;
+}
+
+}  // namespace glp::fail

@@ -1,0 +1,137 @@
+// Named failpoint injection — the fault-injection substrate of the
+// resilience layer (DESIGN.md §4.8). Production code marks recoverable
+// choke points with GLP_FAILPOINT("layer.point"); a chaos harness (or the
+// GLP_FAILPOINTS environment variable) arms named points with an action
+// (return an error Status, add latency, or both) and a trigger policy
+// (always, once, every Nth hit, or probabilistic with a seeded RNG), so a
+// replayed stream exercises the exact same fault schedule twice.
+//
+// The disarmed fast path is one relaxed atomic load — no lock, no lookup —
+// so leaving failpoints compiled into release binaries is free.
+//
+// Config grammar (GLP_FAILPOINTS or FailpointRegistry::Parse):
+//
+//   spec    := entry (';' entry)*
+//   entry   := name '=' action ('+' action)* ('@' trigger)?
+//   action  := 'off' | 'error' [ '(' code ')' ] | 'delay' '(' millis ')'
+//   code    := invalid | oob | notfound | exists | capacity | io |
+//              notimpl | internal | cancelled        (default: internal)
+//   trigger := 'always' | 'once' | 'every' N | '1in' N | 'p' FLOAT
+//
+//   GLP_FAILPOINTS='pipeline.lp_dispatch=error(io)@every3;serve.tick=delay(5)@p0.25'
+//
+// Probabilistic triggers draw from a per-point RNG seeded from
+// GLP_FAILPOINTS_SEED (or set_seed), so schedules are reproducible.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace glp::fail {
+
+/// What an armed failpoint does when its trigger fires.
+struct FailpointSpec {
+  /// Status to inject; kOk means "no error" (latency-only point).
+  StatusCode error_code = StatusCode::kOk;
+  /// Message of the injected Status; empty derives "injected fault at
+  /// <name>".
+  std::string message;
+  /// Added latency per fire, in milliseconds.
+  double delay_ms = 0;
+
+  enum class Trigger { kAlways, kOnce, kEveryNth, kProbability };
+  Trigger trigger = Trigger::kAlways;
+  /// kEveryNth: fires on hits N, 2N, 3N, ... (hit counting starts at 1).
+  uint64_t every_n = 1;
+  /// kProbability: per-hit fire probability.
+  double probability = 1.0;
+};
+
+/// \brief Process-wide registry of named failpoints.
+///
+/// Thread-safe: production threads call Evaluate through GLP_FAILPOINT
+/// concurrently with a test thread (re)arming points. The first access
+/// loads the GLP_FAILPOINTS / GLP_FAILPOINTS_SEED environment.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms (or re-arms, resetting counters) one named point.
+  void Configure(std::string name, FailpointSpec spec);
+  /// Disarms one point; returns whether it was armed.
+  bool Clear(const std::string& name);
+  /// Disarms everything (including env-sourced points).
+  void ClearAll();
+  /// Restores exactly the GLP_FAILPOINTS environment configuration —
+  /// what tests call to isolate themselves without erasing ambient chaos
+  /// (e.g. the CI chaos job's env-armed latency points).
+  void ResetToEnv();
+
+  /// Parses the config grammar above and arms every entry. On a malformed
+  /// entry nothing changes and an InvalidArgument describes the offender.
+  Status Parse(const std::string& config);
+
+  /// Seed for probabilistic triggers armed after this call.
+  void set_seed(uint64_t seed);
+
+  /// Slow path of Inject(): counts the hit, applies the trigger, sleeps
+  /// the delay (outside the registry lock) and returns the injected
+  /// Status. OK when the point is disarmed or the trigger abstains.
+  Status Evaluate(const char* name);
+
+  /// Times the named point was evaluated / actually fired (0 if unknown).
+  uint64_t hits(const std::string& name) const;
+  uint64_t fires(const std::string& name) const;
+  /// (name, fires) for every armed point — the chaos harness's audit, and
+  /// what serve exports as glp_failpoint_fires.
+  std::vector<std::pair<std::string, uint64_t>> FireCounts() const;
+
+  bool any_active() const {
+    return active_.load(std::memory_order_acquire) > 0;
+  }
+
+ private:
+  FailpointRegistry();
+
+  struct Point {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    Rng rng;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  std::atomic<int> active_{0};
+  uint64_t seed_ = 0;
+  std::string env_config_;  // captured GLP_FAILPOINTS at startup
+  uint64_t env_seed_ = 0;
+};
+
+/// Evaluates the named failpoint. One relaxed load when nothing is armed.
+inline Status Inject(const char* name) {
+  FailpointRegistry& r = FailpointRegistry::Global();
+  if (!r.any_active()) return Status::OK();
+  return r.Evaluate(name);
+}
+
+}  // namespace glp::fail
+
+/// Early-returns the injected Status from the enclosing function when the
+/// named failpoint fires with an error action (latency-only fires just
+/// sleep). The standard way to thread a failpoint into a Status-returning
+/// path.
+#define GLP_FAILPOINT(name)                        \
+  do {                                             \
+    ::glp::Status _fp = ::glp::fail::Inject(name); \
+    if (!_fp.ok()) return _fp;                     \
+  } while (0)

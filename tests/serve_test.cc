@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -291,6 +292,109 @@ TEST(ServeTest, HardStopWhileBusyShutsDownCleanly) {
   EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
   // Stopped server rejects further ingest.
   EXPECT_FALSE(server.Ingest({{0, 1, 0.5}}));
+}
+
+TEST(ServeTest, IngestValidationRejectsMalformedBatches) {
+  ServerConfig cfg;
+  cfg.detect.window_days = 5;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.entity_id_limit = 1000;
+
+  StreamServer server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // A bad edge anywhere rejects the whole batch.
+  EXPECT_FALSE(server.Ingest({{1, 2, 0.5}, {3, 4, nan}}));
+  EXPECT_FALSE(server.Ingest({{1, 2, -0.25}}));
+  EXPECT_FALSE(server.Ingest({{graph::kInvalidVertex, 2, 0.5}}));
+  EXPECT_FALSE(server.Ingest({{1, graph::kInvalidVertex, 0.5}}));
+  EXPECT_FALSE(server.Ingest({{1, 1000, 0.5}}));  // at the id limit
+  // Valid batches still flow.
+  EXPECT_TRUE(server.Ingest({{1, 2, 0.5}, {999, 3, 0.75}}));
+  server.Flush();
+  const ServerStats stats = server.stats();
+  server.Stop();
+
+  EXPECT_EQ(stats.batches_rejected, 5);
+  EXPECT_EQ(stats.batches_ingested, 1);
+  EXPECT_TRUE(server.last_error().ok());
+}
+
+TEST(ServeTest, StopRacesBlockedIngestWithoutDeadlock) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 10;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 0.25;
+  cfg.max_queue_batches = 1;  // producers block almost immediately
+
+  StreamServer server(cfg);
+  // A slow subscriber keeps the detection thread busy so the queue stays
+  // full and producers park on the backpressure wait.
+  server.Subscribe([](const TickResult&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  auto batches = BatchStream(stream, 100);
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> producers;
+  const size_t per_producer = batches.size() / 3 + 1;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      const size_t lo = static_cast<size_t>(p) * per_producer;
+      const size_t hi = std::min(batches.size(), lo + per_producer);
+      for (size_t i = lo; i < hi; ++i) {
+        if (!server.Ingest(std::move(batches[i]))) return;
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Stop while producers are (very likely) blocked on the full queue: they
+  // must be woken with Ingest() == false, not left waiting forever.
+  server.Stop();
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(server.running());
+  EXPECT_LT(accepted.load(), batches.size());
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+}
+
+TEST(ServeTest, FlushRacesMidTickStop) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 10;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 0.5;
+  cfg.max_queue_batches = 4;
+
+  StreamServer server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+  auto batches = BatchStream(stream, 300);
+
+  std::thread producer([&] {
+    for (auto& batch : batches) {
+      if (!server.Ingest(std::move(batch))) return;
+    }
+  });
+  // Flush concurrently with in-flight ticks, then Stop while a Flush may
+  // still be parked: stopping_ must release it.
+  std::thread flusher([&] {
+    for (int i = 0; i < 8; ++i) {
+      server.Flush();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Stop();
+  producer.join();
+  flusher.join();
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
 // Unit tests for the util substrate: Status/Result, RNG, thread pool, hash.
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -222,6 +224,109 @@ TEST(LoggingTest, CheckPassesOnTrue) {
 
 TEST(LoggingDeathTest, CheckFailsAborts) {
   EXPECT_DEATH({ GLP_CHECK(false) << "expected failure"; }, "Check failed");
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints
+// ---------------------------------------------------------------------------
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::FailpointRegistry::Global().ResetToEnv(); }
+  void TearDown() override { fail::FailpointRegistry::Global().ResetToEnv(); }
+};
+
+TEST_F(FailpointTest, DisarmedPointIsOk) {
+  EXPECT_TRUE(fail::Inject("util_test.nothing").ok());
+}
+
+TEST_F(FailpointTest, ParseGrammarArmsPoints) {
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(
+      reg.Parse("a.b=error(io)@every3; c.d=delay(0)+error(capacity)@once")
+          .ok());
+  // every3: fires on hits 3, 6, 9, ...
+  EXPECT_TRUE(fail::Inject("a.b").ok());
+  EXPECT_TRUE(fail::Inject("a.b").ok());
+  Status s = fail::Inject("a.b");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fail::Inject("a.b").ok());
+  EXPECT_EQ(reg.hits("a.b"), 4u);
+  EXPECT_EQ(reg.fires("a.b"), 1u);
+  // once: fires on the first hit only.
+  EXPECT_EQ(fail::Inject("c.d").code(), StatusCode::kCapacityExceeded);
+  EXPECT_TRUE(fail::Inject("c.d").ok());
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedEntriesAtomically) {
+  auto& reg = fail::FailpointRegistry::Global();
+  const Status s = reg.Parse("good=error(io);bad=@@nope");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // All-or-nothing: the valid prefix must not have been armed.
+  EXPECT_TRUE(fail::Inject("good").ok());
+}
+
+TEST_F(FailpointTest, ErrorCodesMapAndDefaultToInternal) {
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("p1=error(invalid);p2=error(cancelled);p3=error").ok());
+  EXPECT_EQ(fail::Inject("p1").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Inject("p2").code(), StatusCode::kCancelled);
+  EXPECT_EQ(fail::Inject("p3").code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ProbabilisticTriggerIsSeedDeterministic) {
+  auto& reg = fail::FailpointRegistry::Global();
+  auto run = [&reg] {
+    reg.ResetToEnv();
+    reg.set_seed(1234);
+    EXPECT_TRUE(reg.Parse("p.prob=error(io)@p0.5").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!fail::Inject("p.prob").ok());
+    return fired;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  const size_t fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FailpointTest, ClearDisarms) {
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("p.x=error(io)").ok());
+  EXPECT_FALSE(fail::Inject("p.x").ok());
+  EXPECT_TRUE(reg.Clear("p.x"));
+  EXPECT_TRUE(fail::Inject("p.x").ok());
+  EXPECT_FALSE(reg.Clear("p.x"));
+}
+
+TEST_F(FailpointTest, FireCountsListsArmedPoints) {
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("p.a=error(io);p.b=delay(0)").ok());
+  (void)fail::Inject("p.a");
+  (void)fail::Inject("p.a");
+  bool saw_a = false;
+  for (const auto& [name, fires] : reg.FireCounts()) {
+    if (name == "p.a") {
+      saw_a = true;
+      EXPECT_EQ(fires, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+Status FailpointGuardedStep() {
+  GLP_FAILPOINT("util_test.guarded");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, MacroEarlyReturnsInjectedStatus) {
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("util_test.guarded=error(notfound)").ok());
+  EXPECT_EQ(FailpointGuardedStep().code(), StatusCode::kNotFound);
+  reg.ResetToEnv();
+  EXPECT_TRUE(FailpointGuardedStep().ok());
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "pipeline/transactions.h"
 #include "prof/prof.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -42,6 +43,12 @@ struct Args {
   bool quiet = false;
   bool profile = false;
   int metrics_port = -1;  // -1 = no endpoint; 0 = ephemeral port
+  // Resilience (DESIGN.md §4.8).
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 16;
+  double tick_deadline = 0;   // seconds; 0 = no deadline
+  std::string failpoints;     // GLP_FAILPOINTS grammar
+  bool restore = false;       // resume from newest checkpoint in the dir
 };
 
 void Usage() {
@@ -69,7 +76,16 @@ void Usage() {
       "monitoring:\n"
       "  --metrics-port <p>  serve /metrics, /statz, /healthz over HTTP on\n"
       "                      port p while the replay runs (0 = ephemeral;\n"
-      "                      the bound port is printed at startup)\n");
+      "                      the bound port is printed at startup)\n"
+      "resilience:\n"
+      "  --checkpoint-dir <d>   periodic atomic snapshots into d\n"
+      "  --checkpoint-every <n> ticks between snapshots (default 16)\n"
+      "  --restore              resume from the newest checkpoint in\n"
+      "                         --checkpoint-dir before replaying\n"
+      "  --tick-deadline <s>    per-tick wall budget in seconds; overruns\n"
+      "                         arm the degradation ladder (0 = off)\n"
+      "  --failpoints <spec>    arm failpoints (GLP_FAILPOINTS grammar),\n"
+      "                         e.g. 'lp.engine.glp=error(io)@every5'\n");
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -109,6 +125,16 @@ bool Parse(int argc, char** argv, Args* args) {
       args->metrics_port = std::atoi(next());
     } else if (!std::strncmp(argv[i], "--metrics-port=", 15)) {
       args->metrics_port = std::atoi(argv[i] + 15);
+    } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
+      args->checkpoint_dir = next();
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      args->checkpoint_every = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--tick-deadline")) {
+      args->tick_deadline = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--failpoints")) {
+      args->failpoints = next();
+    } else if (!std::strcmp(argv[i], "--restore")) {
+      args->restore = true;
     } else if (!std::strcmp(argv[i], "--cold")) {
       args->warm = false;
     } else if (!std::strcmp(argv[i], "--profile")) {
@@ -173,10 +199,45 @@ int main(int argc, char** argv) {
   cfg.tick_every_days = args.tick_every;
   cfg.warm_start = args.warm;
   cfg.cold_refresh_every_ticks = args.refresh;
+  cfg.tick_deadline_seconds = args.tick_deadline;
+  cfg.checkpoint_dir = args.checkpoint_dir;
+  cfg.checkpoint_every_ticks = args.checkpoint_every;
   prof::PhaseProfiler profiler;
   if (args.profile) cfg.profiler = &profiler;
 
+  if (!args.failpoints.empty()) {
+    const Status armed =
+        fail::FailpointRegistry::Global().Parse(args.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+    std::printf("failpoints armed: %s\n", args.failpoints.c_str());
+  }
+
   serve::StreamServer server(cfg);
+
+  // Resume mid-stream: restore the newest checkpoint and skip the edges it
+  // already ingested (the replay contract — see serve/checkpoint.h).
+  size_t replay_from = 0;
+  if (args.restore) {
+    if (args.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
+      return 2;
+    }
+    auto restored = server.RestoreFromCheckpoint(args.checkpoint_dir);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    replay_from = static_cast<size_t>(restored.value().num_edges);
+    std::printf("restored: tick %lld, %llu edges, max time %.2f\n",
+                static_cast<long long>(restored.value().tick),
+                static_cast<unsigned long long>(restored.value().num_edges),
+                restored.value().max_time);
+  }
 
   obs::HttpEndpoint metrics_http(server.metrics());
   if (args.metrics_port >= 0) {
@@ -217,7 +278,7 @@ int main(int argc, char** argv) {
   std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
   const auto wall_start = std::chrono::steady_clock::now();
   const double stream_start = ordered.empty() ? 0 : ordered.front().time;
-  for (size_t pos = 0; pos < ordered.size(); pos += args.batch_size) {
+  for (size_t pos = replay_from; pos < ordered.size(); pos += args.batch_size) {
     const size_t n = std::min(args.batch_size, ordered.size() - pos);
     std::vector<graph::TimedEdge> batch(
         ordered.begin() + static_cast<ptrdiff_t>(pos),
@@ -231,7 +292,15 @@ int main(int argc, char** argv) {
                            std::chrono::duration<double>(due_s)));
     }
     if (!server.Ingest(std::move(batch))) {
-      std::fprintf(stderr, "ingest rejected (server stopped)\n");
+      const Status err = server.last_error();
+      if (!err.ok()) {
+        std::fprintf(stderr,
+                     "FATAL: detection thread died, batch rejected: %s\n",
+                     err.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "ingest rejected (server stopped)\n");
+      }
+      server.Stop();
       return 1;
     }
   }
@@ -239,7 +308,7 @@ int main(int argc, char** argv) {
   const serve::ServerStats stats = server.stats();
   server.Stop();
   if (!server.last_error().ok()) {
-    std::fprintf(stderr, "serving error: %s\n",
+    std::fprintf(stderr, "FATAL: serving error: %s\n",
                  server.last_error().ToString().c_str());
     return 1;
   }
