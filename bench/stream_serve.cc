@@ -22,6 +22,7 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "serve/sharded_server.h"
 
 namespace {
 
@@ -71,6 +72,84 @@ ModeResult ReplayStream(const pipeline::TransactionStream& stream,
     std::vector<graph::TimedEdge> batch(
         ordered.begin() + static_cast<ptrdiff_t>(pos),
         ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    GLP_CHECK(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  out.stats = server.stats();
+  server.Stop();
+  GLP_CHECK(server.last_error().ok()) << server.last_error().ToString();
+  return out;
+}
+
+/// A multi-tenant stream: several independent regional streams unioned with
+/// offset entity-id ranges. Shard scale-out parallelizes across connected
+/// components, and one organic stream is dominated by a single giant
+/// component (DESIGN.md §4.9) — the multi-tenant shape is the workload
+/// where sharding pays, and the honest one to benchmark it on.
+struct MultiTenantStream {
+  std::vector<graph::TimedEdge> edges;  // canonical order
+  std::vector<graph::VertexId> seeds;
+};
+
+MultiTenantStream MakeMultiTenantStream(int tenants, double scale,
+                                        uint64_t seed) {
+  MultiTenantStream out;
+  graph::VertexId offset = 0;
+  for (int t = 0; t < tenants; ++t) {
+    pipeline::TransactionConfig tc;
+    tc.num_buyers = static_cast<uint32_t>(2500 * scale);
+    tc.num_items = static_cast<uint32_t>(700 * scale);
+    tc.days = 40;
+    tc.num_rings = 8;
+    tc.seed = seed + static_cast<uint64_t>(t) * 1000003;
+    const auto s = pipeline::GenerateTransactions(tc);
+    for (const graph::TimedEdge& e : s.edges) {
+      out.edges.push_back({e.src + offset, e.dst + offset, e.time});
+    }
+    for (graph::VertexId v : s.seeds) out.seeds.push_back(v + offset);
+    offset += s.num_entities();
+  }
+  std::sort(out.edges.begin(), out.edges.end(), graph::CanonicalEdgeLess);
+  return out;
+}
+
+struct ShardResult {
+  serve::ServerStats stats;
+  double total_tick_wall = 0;
+  double total_tick_device = 0;  // per-tick max-over-owners simulated time
+  int64_t ticks = 0;
+};
+
+ShardResult ReplaySharded(const MultiTenantStream& stream, int shards,
+                          int iterations) {
+  serve::ServerConfig cfg;
+  cfg.detect.window_days = 30;
+  // The GLP (GPU cost-model) engine: each owner shard models its own
+  // device, and TickResult reports the fleet's per-tick device time as the
+  // max over owners — the critical path of the parallel detection fan-out.
+  // That simulated metric is the scale-out signal; host wall time on a
+  // small-core CI box mostly measures the serial replay harness.
+  cfg.detect.engine = lp::EngineKind::kGlp;
+  cfg.detect.lp.max_iterations = iterations;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 1.0;
+  cfg.warm_start = false;  // cold ticks: shard counts do identical LP work
+
+  ShardResult out;
+  serve::ShardedStreamServer server(cfg, shards);
+  server.Subscribe([&](const serve::TickResult& t) {
+    out.total_tick_wall += t.tick_wall_seconds;
+    out.total_tick_device += t.detection.lp.simulated_seconds;
+    ++out.ticks;
+  });
+  GLP_CHECK(server.Start().ok());
+  const size_t batch_size = 4000;
+  for (size_t pos = 0; pos < stream.edges.size(); pos += batch_size) {
+    const size_t n = std::min(batch_size, stream.edges.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        stream.edges.begin() + static_cast<ptrdiff_t>(pos),
+        stream.edges.begin() + static_cast<ptrdiff_t>(pos + n));
     GLP_CHECK(server.Ingest(std::move(batch)));
   }
   server.Flush();
@@ -179,5 +258,43 @@ int main(int argc, char** argv) {
       "iterations instead of re-solving\n from singletons. Every tick still "
       "equals a one-shot pipeline run given the\n same initial labels — see "
       "tests/serve_test.cc.)\n");
+
+  // --- Shard scale-out: ShardedStreamServer over a multi-tenant stream ---
+  const auto tenants = MakeMultiTenantStream(/*tenants=*/16, flags.scale,
+                                             flags.seed);
+  std::printf(
+      "\n=== Shard scale-out: cold glp-engine ticks, 16-tenant stream "
+      "(%zu edges) ===\n\n",
+      tenants.edges.size());
+  const int shard_counts[] = {1, 2, 4};
+  std::vector<ShardResult> sharded;
+  for (const int n : shard_counts) {
+    sharded.push_back(ReplaySharded(tenants, n, flags.iterations));
+  }
+  bench::PrintHeader({"Shards", "Ticks", "DeviceTime", "WallTime", "Tick-p50",
+                      "Speedup"},
+                     12);
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    const ShardResult& r = sharded[i];
+    std::printf(
+        "%-12d%-12lld%-12s%-12s%-12s%-12s\n", shard_counts[i],
+        static_cast<long long>(r.ticks),
+        bench::Duration(r.total_tick_device).c_str(),
+        bench::Duration(r.total_tick_wall).c_str(),
+        bench::Duration(r.stats.tick_p50_seconds).c_str(),
+        bench::Speedup(sharded[0].total_tick_device, r.total_tick_device)
+            .c_str());
+  }
+  const double shard4 =
+      sharded.back().total_tick_device > 0
+          ? sharded[0].total_tick_device / sharded.back().total_tick_device
+          : 0;
+  std::printf(
+      "\nshard tick-throughput speedup at 4 shards: %.2fx (device time — the\n"
+      " per-tick critical path across owner shards, each shard one device).\n"
+      "(Components are detected in parallel across owner shards; an N-shard\n"
+      " replay emits exactly the 1-shard confirmed clusters — see\n"
+      " tests/shard_test.cc.)\n",
+      shard4);
   return 0;
 }

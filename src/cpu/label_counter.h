@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/bits.h"
 #include "util/hash.h"
 
 namespace glp::cpu {
@@ -24,7 +25,8 @@ class LabelCounter {
 
   /// Prepares for a new key set; previous contents become invisible.
   void Reset(int expected_keys) {
-    const int needed = NextPow2(2 * expected_keys + 1);
+    const int needed =
+        glp::NextPow2(int64_t{2} * expected_keys + 1, /*floor=*/16);
     if (needed > capacity_) {
       Grow(needed);
     } else {
@@ -80,14 +82,8 @@ class LabelCounter {
   }
 
  private:
-  static int NextPow2(int x) {
-    int p = 16;
-    while (p < x) p <<= 1;
-    return p;
-  }
-
   void Grow(int capacity) {
-    capacity_ = NextPow2(capacity);
+    capacity_ = glp::NextPow2(capacity, /*floor=*/16);
     keys_.assign(capacity_, 0);
     counts_.assign(capacity_, 0.0);
     stamps_.assign(capacity_, 0u);

@@ -3,19 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/bits.h"
 #include "util/logging.h"
 
 namespace glp::lp {
-
-namespace {
-
-int NextPow2(int x) {
-  int p = 8;
-  while (p < x) p <<= 1;
-  return p;
-}
-
-}  // namespace
 
 GlpOptions AutoTune(const graph::Graph& g, const sim::DeviceProps& device,
                     GlpOptions base) {
@@ -48,12 +39,11 @@ GlpOptions AutoTune(const graph::Graph& g, const sim::DeviceProps& device,
   // to p90 distinct labels, but capacity is capped by shared memory (keys +
   // counts are 8B per slot, and the CMS needs its share too).
   const int64_t smem_budget = device.shared_mem_per_block;
-  int ht_capacity = NextPow2(static_cast<int>(std::min<int64_t>(p90, 8192)));
+  int ht_capacity = NextPow2(std::min<int64_t>(p90, 8192));
   // CMS: w = 2s with s the expected spill of the largest vertex (degree
   // minus what the HT absorbs), bounded by the remaining shared memory.
   const int64_t expected_spill = std::max<int64_t>(64, dmax - ht_capacity);
-  int cms_width = NextPow2(static_cast<int>(std::min<int64_t>(
-      2 * expected_spill, 16384)));
+  int cms_width = NextPow2(std::min<int64_t>(2 * expected_spill, 16384));
   int cms_depth = 4;
 
   auto bytes_needed = [&]() {

@@ -33,6 +33,7 @@
 #include "graph/binning.h"
 #include "sim/cost_model.h"
 #include "sim/transfer.h"
+#include "util/bits.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -488,15 +489,6 @@ class GlpEngine : public Engine {
               : fused_seconds / static_cast<double>(bin_parts.size());
       profiler->AddKernel(bin_parts[i].p, gpu, bin_parts[i].s, share);
     }
-  }
-
-  /// Smallest power of two >= x (min 8), computed in 64 bits so extreme
-  /// mid-bin degrees cannot overflow, and clamped to 2^30 so the result
-  /// always fits the int capacity fields.
-  static int NextPow2(int64_t x) {
-    int64_t p = 8;
-    while (p < x && p < (int64_t{1} << 30)) p <<= 1;
-    return static_cast<int>(p);
   }
 
   VariantParams params_;

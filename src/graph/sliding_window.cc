@@ -16,7 +16,13 @@ SlidingWindow::SlidingWindow(std::vector<TimedEdge> edges)
 
 void SlidingWindow::Append(std::vector<TimedEdge> batch) {
   if (batch.empty()) return;
-  std::sort(batch.begin(), batch.end(), CanonicalEdgeLess);
+  // Batches are not required to arrive internally sorted (producers
+  // routinely interleave sources): detect disorder with a linear is_sorted
+  // scan — free for the common in-order case — and sort only when needed,
+  // so the tail inplace_merge below always sees a sorted batch.
+  if (!std::is_sorted(batch.begin(), batch.end(), CanonicalEdgeLess)) {
+    std::sort(batch.begin(), batch.end(), CanonicalEdgeLess);
+  }
   for (const TimedEdge& e : batch) {
     max_entity_ = std::max({max_entity_, e.src, e.dst});
   }

@@ -53,10 +53,12 @@ class SlidingWindow {
   /// Takes ownership of the edges and sorts them canonically.
   explicit SlidingWindow(std::vector<TimedEdge> edges);
 
-  /// Appends a batch of edges to the stream. The batch is sorted and merged
-  /// into the (already sorted) stream tail with std::inplace_merge, so
-  /// in-order arrival costs O(|batch| log |batch|) — no full re-sort. Every
-  /// append bumps generation(), which cursors use to re-sync their indices.
+  /// Appends a batch of edges to the stream. The batch may arrive in any
+  /// internal order: it is sorted if needed (a linear is_sorted check keeps
+  /// the common already-sorted case at O(|batch|)) and merged into the
+  /// (already sorted) stream tail with std::inplace_merge — no full
+  /// re-sort. Every append bumps generation(), which cursors use to
+  /// re-sync their indices.
   void Append(std::vector<TimedEdge> batch);
 
   /// Incremented on every Append; lets cursors detect staleness.

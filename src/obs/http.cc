@@ -14,22 +14,30 @@
 
 namespace glp::obs {
 
-namespace {
-
-/// Sends the whole buffer, tolerating short writes. MSG_NOSIGNAL keeps a
-/// scraper that hung up early from killing the process with SIGPIPE.
-void SendAll(int fd, const std::string& data) {
+bool SendAll(int fd, const char* data, size_t len) {
   size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Send buffer full (tiny SO_SNDBUF, slow scraper, or a
+        // non-blocking fd): wait until writable, then retry. The timeout
+        // bounds how long a stalled peer can pin the accept thread.
+        pollfd pfd{fd, POLLOUT, 0};
+        const int r = ::poll(&pfd, 1, /*timeout_ms=*/5000);
+        if (r <= 0) return false;
+        continue;
+      }
+      return false;  // Peer reset, broken pipe, ...: abort the connection.
     }
+    if (n == 0) return false;
     off += static_cast<size_t>(n);
   }
+  return true;
 }
+
+namespace {
 
 std::string MakeResponse(int status, const char* reason,
                          const std::string& content_type,
@@ -146,7 +154,7 @@ void HttpEndpoint::HandleConnection(int fd) {
   } else {
     response = MakeResponse(404, "Not Found", "text/plain", "not found\n");
   }
-  SendAll(fd, response);
+  SendAll(fd, response.data(), response.size());
 }
 
 }  // namespace glp::obs

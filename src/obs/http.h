@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -21,6 +22,14 @@
 namespace glp::obs {
 
 class MetricRegistry;
+
+/// Writes all `len` bytes to `fd`, tolerating short writes: retries on
+/// EINTR, waits for writability (poll POLLOUT) on EAGAIN/EWOULDBLOCK so a
+/// non-blocking or send-buffer-limited socket still drains, and returns
+/// false on any other error (caller aborts the connection). Sends with
+/// MSG_NOSIGNAL so a scraper that hung up early cannot kill the process
+/// with SIGPIPE. Exposed for unit testing against a socketpair.
+bool SendAll(int fd, const char* data, size_t len);
 
 /// \brief Background thread exposing `registry` on a local TCP port.
 class HttpEndpoint {

@@ -2,7 +2,7 @@
 
 #include "cpu/mfl.h"
 #include "glp/variants/classic.h"
-#include "util/hash.h"
+#include "pipeline/partition.h"
 #include "util/timer.h"
 
 namespace glp::pipeline {
@@ -23,10 +23,9 @@ SuperstepCost PriceSuperstep(const graph::Graph& g,
   // spread across machines.
   int64_t cut_edges = 0;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    const int pv = static_cast<int>(glp::HashMix64(v) % M);
+    const int pv = PartitionOf(v, M);
     for (graph::VertexId u : g.neighbors(v)) {
-      const int pu = static_cast<int>(glp::HashMix64(u) % M);
-      if (pu != pv) ++cut_edges;
+      if (PartitionOf(u, M) != pv) ++cut_edges;
     }
   }
   const double messages_per_machine = static_cast<double>(cut_edges) / M;

@@ -1,0 +1,21 @@
+// Hash partition assignment shared by the distributed cost model
+// (pipeline::PriceSuperstep) and the live sharded serving layer
+// (serve::ShardedStreamServer). One definition, so the simulated cluster
+// and the real shard fleet agree on which machine/shard owns an entity.
+
+#pragma once
+
+#include "graph/types.h"
+#include "util/hash.h"
+
+namespace glp::pipeline {
+
+/// The shard/machine that owns entity `v` in an `num_parts`-way hash
+/// partition. HashMix64 spreads the (often sequential) entity-id space so
+/// partitions balance even under range-clustered id assignment.
+inline int PartitionOf(graph::VertexId v, int num_parts) {
+  return static_cast<int>(glp::HashMix64(v) %
+                          static_cast<uint64_t>(num_parts));
+}
+
+}  // namespace glp::pipeline

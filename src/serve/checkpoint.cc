@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -211,6 +212,220 @@ Result<std::string> LatestCheckpoint(const std::string& dir) {
     if (LoadCheckpoint(path).ok()) return path;
   }
   return Status::NotFound("no loadable checkpoint in " + dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-fleet checkpoints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x3130464d53504c47ULL;  // "GLPSMF01" LE
+constexpr uint32_t kManifestVersion = 1;
+
+bool WriteString(Writer* w, const std::string& s) {
+  const uint64_t n = s.size();
+  return w->Pod(n) && (s.empty() || w->Raw(s.data(), s.size()));
+}
+
+bool ReadString(Reader* r, std::string* s) {
+  uint64_t n = 0;
+  if (!r->Pod(&n) || n > 4096) return false;
+  s->resize(n);
+  return n == 0 || r->Raw(s->data(), n);
+}
+
+/// Tick encoded in a sharded-checkpoint filename ("...-%012lld.<ext>");
+/// -1 when the name does not parse.
+int64_t TickOfFileName(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot < 12) return -1;
+  const std::string digits = name.substr(dot - 12, 12);
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+  }
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string ShardManifestFileName(int64_t tick) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "manifest-%012lld.smf",
+                static_cast<long long>(tick));
+  return buf;
+}
+
+std::string ShardCheckpointFileName(int shard, int64_t tick) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%03d-%012lld.ckpt", shard,
+                static_cast<long long>(tick));
+  return buf;
+}
+
+std::string CoordCheckpointFileName(int64_t tick) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "coord-%012lld.ckpt",
+                static_cast<long long>(tick));
+  return buf;
+}
+
+Status SaveShardManifest(const std::string& path, const ShardManifest& m) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (f == nullptr) {
+      return Status::IoError("cannot open manifest temp file " + tmp);
+    }
+    Writer w(f.get());
+    bool ok = w.Pod(kManifestMagic) && w.Pod(kManifestVersion) &&
+              w.Pod(m.tick) && w.Pod(static_cast<int32_t>(m.num_shards)) &&
+              WriteString(&w, m.coord_file);
+    const uint64_t n = m.shard_files.size();
+    ok = ok && w.Pod(n);
+    for (const std::string& s : m.shard_files) {
+      ok = ok && WriteString(&w, s);
+    }
+    const uint64_t sum = w.checksum();
+    ok = ok && std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum);
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to manifest temp file " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename manifest into place: " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> LoadShardManifest(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open manifest " + path);
+  }
+  Reader r(f.get());
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Pod(&magic) || magic != kManifestMagic) {
+    return Status::IoError("not a GLP shard manifest: " + path);
+  }
+  if (!r.Pod(&version) || version != kManifestVersion) {
+    return Status::IoError("unsupported manifest version in " + path);
+  }
+  ShardManifest m;
+  int32_t num_shards = 0;
+  uint64_t n = 0;
+  bool ok = r.Pod(&m.tick) && r.Pod(&num_shards) &&
+            ReadString(&r, &m.coord_file) && r.Pod(&n) && n <= 4096;
+  if (ok) {
+    m.num_shards = num_shards;
+    m.shard_files.resize(n);
+    for (std::string& s : m.shard_files) {
+      ok = ok && ReadString(&r, &s);
+      if (!ok) break;
+    }
+  }
+  if (!ok) {
+    return Status::IoError("truncated or corrupt manifest " + path);
+  }
+  const uint64_t want = r.checksum();
+  uint64_t got = 0;
+  if (std::fread(&got, 1, sizeof(got), f.get()) != sizeof(got) ||
+      got != want) {
+    return Status::IoError("checksum mismatch in manifest " + path);
+  }
+  if (m.num_shards <= 0 ||
+      m.shard_files.size() != static_cast<size_t>(m.num_shards)) {
+    return Status::IoError("inconsistent shard count in manifest " + path);
+  }
+  return m;
+}
+
+Result<ShardedCheckpoint> LoadShardedCheckpoint(
+    const std::string& manifest_path) {
+  ShardedCheckpoint out;
+  GLP_ASSIGN_OR_RETURN(out.manifest, LoadShardManifest(manifest_path));
+  const std::string dir =
+      std::filesystem::path(manifest_path).parent_path().string();
+  auto resolve = [&dir](const std::string& name) {
+    return dir.empty() ? name : dir + "/" + name;
+  };
+  GLP_ASSIGN_OR_RETURN(out.coord,
+                       LoadCheckpoint(resolve(out.manifest.coord_file)));
+  out.shards.reserve(out.manifest.shard_files.size());
+  for (const std::string& name : out.manifest.shard_files) {
+    CheckpointData shard;
+    GLP_ASSIGN_OR_RETURN(shard, LoadCheckpoint(resolve(name)));
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+Result<ShardedCheckpoint> LatestShardedCheckpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> manifests;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("manifest-", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".smf") {
+      manifests.push_back(entry.path().string());
+    }
+  }
+  std::sort(manifests.rbegin(), manifests.rend());
+  for (const std::string& path : manifests) {
+    auto loaded = LoadShardedCheckpoint(path);
+    if (loaded.ok()) return loaded;
+  }
+  return Status::NotFound("no fully loadable sharded checkpoint in " + dir);
+}
+
+Status PruneShardCheckpoints(const std::string& dir, int keep) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  // Ticks that still have a manifest, newest first; every shard/coord file
+  // whose tick is not among the `keep` newest manifest ticks goes.
+  std::vector<int64_t> manifest_ticks;
+  std::vector<std::pair<int64_t, std::string>> members;  // (tick, path)
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const int64_t tick = TickOfFileName(name);
+    if (tick < 0) continue;
+    if (name.rfind("manifest-", 0) == 0) {
+      manifest_ticks.push_back(tick);
+      members.emplace_back(tick, entry.path().string());
+    } else if (name.rfind("shard-", 0) == 0 ||
+               name.rfind("coord-", 0) == 0) {
+      members.emplace_back(tick, entry.path().string());
+    }
+  }
+  std::sort(manifest_ticks.rbegin(), manifest_ticks.rend());
+  manifest_ticks.resize(
+      std::min(manifest_ticks.size(), static_cast<size_t>(std::max(keep, 0))));
+  Status first_error = Status::OK();
+  for (const auto& [tick, path] : members) {
+    const bool kept = std::find(manifest_ticks.begin(), manifest_ticks.end(),
+                                tick) != manifest_ticks.end();
+    if (kept) continue;
+    if (std::remove(path.c_str()) != 0 && first_error.ok()) {
+      first_error = Status::IoError("cannot delete " + path);
+    }
+  }
+  return first_error;
 }
 
 Status PruneCheckpoints(const std::string& dir, int keep) {

@@ -68,4 +68,59 @@ Result<std::string> LatestCheckpoint(const std::string& dir);
 /// order). Best-effort; returns the first deletion error, if any.
 Status PruneCheckpoints(const std::string& dir, int keep);
 
+// ---------------------------------------------------------------------------
+// Sharded-fleet checkpoints (serve::ShardedStreamServer)
+// ---------------------------------------------------------------------------
+//
+// A sharded checkpoint is N+2 files: one CheckpointData per shard (that
+// shard's partitioned window, mirrors included), one coordinator
+// CheckpointData (tick schedule, confirmed-cluster set, warm anchors), and
+// a manifest naming them all. The manifest is written *last* via
+// temp-then-rename, which makes the fleet snapshot atomic: a crash between
+// shard files and manifest leaves the previous manifest — and therefore the
+// previous complete file set — authoritative. Restore is all-or-nothing:
+// the newest manifest whose coordinator and every shard file validate wins,
+// so losing or corrupting a single shard file falls the whole fleet back to
+// the previous complete checkpoint instead of restoring a torn mix.
+
+/// Names the files of one fleet-wide snapshot (all relative to the
+/// checkpoint directory holding the manifest).
+struct ShardManifest {
+  int64_t tick = 0;
+  int num_shards = 0;
+  std::string coord_file;
+  std::vector<std::string> shard_files;  ///< size num_shards, shard order
+};
+
+/// A fully loaded and validated fleet snapshot.
+struct ShardedCheckpoint {
+  ShardManifest manifest;
+  CheckpointData coord;
+  std::vector<CheckpointData> shards;
+};
+
+std::string ShardManifestFileName(int64_t tick);
+std::string ShardCheckpointFileName(int shard, int64_t tick);
+std::string CoordCheckpointFileName(int64_t tick);
+
+/// Serializes the manifest via write-temp-then-rename. Call only after
+/// every file it names is durably in place.
+Status SaveShardManifest(const std::string& path, const ShardManifest& m);
+
+/// Reads and validates a manifest file (magic, version, checksum).
+Result<ShardManifest> LoadShardManifest(const std::string& path);
+
+/// Loads the complete fleet snapshot a manifest names, validating every
+/// file; any unloadable member fails the whole load (IoError).
+Result<ShardedCheckpoint> LoadShardedCheckpoint(
+    const std::string& manifest_path);
+
+/// Newest *fully loadable* fleet snapshot in `dir`: manifests are tried
+/// tick-descending and the first whose entire file set validates wins.
+Result<ShardedCheckpoint> LatestShardedCheckpoint(const std::string& dir);
+
+/// Deletes manifests beyond the `keep` newest, plus every shard/coord file
+/// belonging to a deleted manifest's tick. Best-effort.
+Status PruneShardCheckpoints(const std::string& dir, int keep);
+
 }  // namespace glp::serve

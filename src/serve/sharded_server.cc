@@ -1,0 +1,1096 @@
+#include "serve/sharded_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "graph/builder.h"
+#include "obs/collectors.h"
+#include "pipeline/partition.h"
+#include "serve/checkpoint.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace glp::serve {
+
+using graph::Label;
+using graph::TimedEdge;
+using graph::VertexId;
+
+namespace {
+
+/// Same transient/fatal split as StreamServer: flaky IO, device faults
+/// (Internal), and pressure spikes retry; everything else is fatal.
+bool IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kCapacityExceeded:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Path-halving find over a parent array.
+VertexId Find(std::vector<VertexId>* uf, VertexId x) {
+  while ((*uf)[x] != x) {
+    (*uf)[x] = (*uf)[(*uf)[x]];
+    x = (*uf)[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+void ShardedStreamServer::EntityIntern::EnsureUniverse(size_t universe) {
+  if (epoch_of.size() < universe) {
+    epoch_of.assign(universe, 0);
+    local_of.resize(universe);
+    epoch = 0;
+  }
+}
+
+void ShardedStreamServer::EntityIntern::Bump() {
+  if (++epoch == 0) {  // stamp wrap
+    std::fill(epoch_of.begin(), epoch_of.end(), 0u);
+    epoch = 1;
+  }
+}
+
+VertexId ShardedStreamServer::EntityIntern::Intern(
+    VertexId g, std::vector<VertexId>* entities) {
+  if (epoch_of[g] != epoch) {
+    epoch_of[g] = epoch;
+    local_of[g] = static_cast<VertexId>(entities->size());
+    entities->push_back(g);
+  }
+  return local_of[g];
+}
+
+ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
+    : config_(std::move(config)), num_shards_(num_shards) {
+  // owner_of_ stores shard indices in a byte; 256 shards is far past the
+  // point where per-shard fixed costs dominate anyway.
+  GLP_CHECK(num_shards_ >= 1 && num_shards_ <= 256)
+      << "num_shards out of range";
+  windows_.resize(num_shards_);
+  shards_.resize(num_shards_);
+  owners_.resize(num_shards_);
+  for (ShardScratch& s : shards_) s.owner_buckets.resize(num_shards_);
+
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  // Aggregate instruments: the exact glp_serve_* families StreamServer
+  // exports, so ServerStats, dashboards, and the JSON dump work unchanged
+  // against a sharded deployment.
+  ins_.tick_seconds = registry_->GetHistogram(
+      "glp_serve_tick_seconds", "Wall time of one detection tick");
+  ins_.warm_ticks = registry_->GetCounter(
+      "glp_serve_ticks_total", "Detection ticks run", {{"mode", "warm"}});
+  ins_.cold_ticks = registry_->GetCounter(
+      "glp_serve_ticks_total", "Detection ticks run", {{"mode", "cold"}});
+  ins_.warm_iterations = registry_->GetCounter(
+      "glp_serve_lp_iterations_total", "LP iterations run by detection ticks",
+      {{"mode", "warm"}});
+  ins_.cold_iterations = registry_->GetCounter(
+      "glp_serve_lp_iterations_total", "LP iterations run by detection ticks",
+      {{"mode", "cold"}});
+  ins_.batches_ingested = registry_->GetCounter(
+      "glp_serve_batches_ingested_total", "Edge batches accepted by Ingest");
+  ins_.edges_ingested = registry_->GetCounter(
+      "glp_serve_edges_ingested_total", "Edges accepted by Ingest");
+  ins_.ingest_blocked = registry_->GetCounter(
+      "glp_serve_ingest_blocked_total",
+      "Times Ingest blocked on a full queue (backpressure)");
+  ins_.queue_depth = registry_->GetGauge(
+      "glp_serve_queue_depth", "Batches waiting in the ingest queue");
+  ins_.queue_peak = registry_->GetGauge(
+      "glp_serve_queue_peak", "High-water mark of the ingest queue");
+  ins_.ingest_lag_days = registry_->GetGauge(
+      "glp_serve_ingest_lag_days",
+      "Newest ingested timestamp minus the last tick's window end");
+  ins_.batches_rejected_invalid = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "invalid"}});
+  ins_.batches_rejected_failpoint = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "failpoint"}});
+  ins_.batches_dropped = registry_->GetCounter(
+      "glp_serve_batches_rejected_total",
+      "Ingest batches rejected instead of entering the window",
+      {{"reason", "append_failed"}});
+  ins_.ticks_shed = registry_->GetCounter(
+      "glp_serve_ticks_shed_total",
+      "Overdue tick boundaries coalesced away under overload");
+  ins_.degraded_ticks = registry_->GetCounter(
+      "glp_serve_degraded_ticks_total",
+      "Ticks run with the degraded LP iteration cap");
+  ins_.deadline_overruns = registry_->GetCounter(
+      "glp_serve_deadline_overruns_total",
+      "Ticks whose wall time exceeded tick_deadline_seconds");
+  ins_.tick_retries = registry_->GetCounter(
+      "glp_serve_tick_retries_total",
+      "Retry attempts after transient tick failures");
+  ins_.ticks_failed = registry_->GetCounter(
+      "glp_serve_ticks_failed_total",
+      "Ticks abandoned after exhausting retries");
+  ins_.engine_fallbacks = registry_->GetCounter(
+      "glp_serve_fallbacks_total", "Degraded-path fallbacks taken",
+      {{"kind", "engine"}});
+  ins_.warm_fallbacks = registry_->GetCounter(
+      "glp_serve_fallbacks_total", "Degraded-path fallbacks taken",
+      {{"kind", "warm_to_cold"}});
+  ins_.cold_refresh_deferred = registry_->GetCounter(
+      "glp_serve_cold_refresh_deferred_total",
+      "Cold refreshes postponed by the degradation ladder");
+  ins_.checkpoints_ok = registry_->GetCounter(
+      "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
+      {{"result", "ok"}});
+  ins_.checkpoints_failed = registry_->GetCounter(
+      "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
+      {{"result", "error"}});
+  // Per-shard families, one time series per shard via the {shard} label.
+  shard_ins_.resize(num_shards_);
+  for (int k = 0; k < num_shards_; ++k) {
+    const std::string shard = std::to_string(k);
+    shard_ins_[k].tick_seconds = registry_->GetHistogram(
+        "glp_serve_shard_tick_seconds",
+        "Per-owner-shard detection wall time within a tick",
+        {{"shard", shard}});
+    shard_ins_[k].edges_routed = registry_->GetCounter(
+        "glp_serve_shard_edges_routed_total",
+        "Edges routed to their owning shard", {{"shard", shard}});
+    shard_ins_[k].edges_mirrored = registry_->GetCounter(
+        "glp_serve_shard_edges_mirrored_total",
+        "Cross-shard edge copies mirrored into this shard",
+        {{"shard", shard}});
+    shard_ins_[k].window_edges = registry_->GetGauge(
+        "glp_serve_shard_window_edges",
+        "Edges in this shard's window stream (mirrors included)",
+        {{"shard", shard}});
+    shard_ins_[k].components_owned = registry_->GetGauge(
+        "glp_serve_shard_components",
+        "Connected components this shard owned at the last tick",
+        {{"shard", shard}});
+  }
+  obs::RegisterThreadPoolCollector(registry_, pool());
+  registry_->AddCollector([registry = registry_] {
+    for (const auto& [point, fires] :
+         fail::FailpointRegistry::Global().FireCounts()) {
+      registry
+          ->GetGauge("glp_failpoint_fires",
+                     "Times an armed failpoint has fired", {{"point", point}})
+          ->Set(static_cast<double>(fires));
+    }
+  });
+}
+
+ShardedStreamServer::~ShardedStreamServer() { Stop(); }
+
+glp::ThreadPool* ShardedStreamServer::pool() const {
+  return config_.pool != nullptr ? config_.pool : glp::ThreadPool::Default();
+}
+
+void ShardedStreamServer::Subscribe(Subscriber subscriber) {
+  subscribers_.push_back(std::move(subscriber));
+}
+
+Result<StreamServer::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
+    const std::string& path_or_dir) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_) {
+      return Status::InvalidArgument(
+          "RestoreFromCheckpoint requires a not-yet-started server");
+    }
+  }
+  ShardedCheckpoint cp;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path_or_dir, ec)) {
+    GLP_ASSIGN_OR_RETURN(cp, LatestShardedCheckpoint(path_or_dir));
+  } else {
+    GLP_ASSIGN_OR_RETURN(cp, LoadShardedCheckpoint(path_or_dir));
+  }
+  if (cp.manifest.num_shards != num_shards_) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(cp.manifest.num_shards) +
+        " shards, server has " + std::to_string(num_shards_));
+  }
+  // Resharding a checkpoint would need a re-route of every edge; only
+  // same-fleet-shape restores are supported, enforced above.
+  global_edges_ = 0;
+  for (int k = 0; k < num_shards_; ++k) {
+    for (const TimedEdge& e : cp.shards[k].edges) {
+      // A shard file holds owned edges plus mirrors; only owned copies
+      // count toward the global replay position.
+      if (pipeline::PartitionOf(e.src, num_shards_) == k) ++global_edges_;
+    }
+    windows_[k] = graph::SlidingWindow(std::move(cp.shards[k].edges));
+  }
+  num_ticks_ = cp.coord.tick;
+  tick_schedule_primed_ = cp.coord.tick_schedule_primed;
+  next_tick_end_ = cp.coord.next_tick_end;
+  have_prev_ = cp.coord.have_prev;
+  warm_anchor_.clear();
+  for (size_t i = 0; i < cp.coord.prev_l2g.size(); ++i) {
+    warm_anchor_[cp.coord.prev_l2g[i]] =
+        static_cast<VertexId>(cp.coord.prev_labels[i]);
+  }
+  prev_confirmed_.clear();
+  for (auto& members : cp.coord.prev_confirmed) {
+    prev_confirmed_.insert(std::move(members));
+  }
+  last_checkpoint_tick_ = cp.coord.tick;
+  last_tick_wall_seconds_ = 0;
+  refresh_pending_ = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ingested_max_time_ = cp.coord.ingested_max_time;
+  }
+  StreamServer::RestoreInfo info;
+  info.tick = num_ticks_;
+  info.num_edges = global_edges_;
+  info.max_time = cp.coord.ingested_max_time;
+  GLP_LOG(Info) << "restored sharded checkpoint (tick " << info.tick << ", "
+                << num_shards_ << " shards, " << info.num_edges
+                << " stream edges)";
+  return info;
+}
+
+Status ShardedStreamServer::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) return Status::InvalidArgument("server already started");
+  if (config_.tick_every_days <= 0) {
+    return Status::InvalidArgument("tick_every_days must be positive");
+  }
+  if (config_.max_queue_batches == 0) {
+    return Status::InvalidArgument("max_queue_batches must be >= 1");
+  }
+  if (config_.tick_deadline_seconds < 0) {
+    return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
+  }
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " +
+                             config_.checkpoint_dir + ": " + ec.message());
+    }
+  }
+  started_ = true;
+  stopping_ = false;
+  dead_ = false;
+  stop_token_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { DetectLoop(); });
+  return Status::OK();
+}
+
+bool ShardedStreamServer::ValidBatch(
+    const std::vector<TimedEdge>& batch) const {
+  for (const TimedEdge& e : batch) {
+    if (!std::isfinite(e.time) || e.time < 0) return false;
+    if (e.src == graph::kInvalidVertex || e.dst == graph::kInvalidVertex) {
+      return false;
+    }
+    if (config_.entity_id_limit != 0 &&
+        (e.src >= config_.entity_id_limit ||
+         e.dst >= config_.entity_id_limit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
+  if (!ValidBatch(batch)) {
+    ins_.batches_rejected_invalid->Increment();
+    return false;
+  }
+  const Status inj = fail::Inject("serve.ingest");
+  if (!inj.ok()) {
+    ins_.batches_rejected_failpoint->Increment();
+    return false;
+  }
+  // Route outside the lock: the owning shard gets every edge whose source
+  // hashes to it; an edge with endpoints on two shards is mirrored into the
+  // destination's shard too, so both windows see their full neighborhood.
+  RoutedBatch rb;
+  rb.parts.resize(num_shards_);
+  rb.global_edges = batch.size();
+  std::vector<uint64_t> routed(num_shards_, 0), mirrored(num_shards_, 0);
+  for (const TimedEdge& e : batch) {
+    const int ps = pipeline::PartitionOf(e.src, num_shards_);
+    const int pd = pipeline::PartitionOf(e.dst, num_shards_);
+    rb.parts[ps].push_back(e);
+    ++routed[ps];
+    if (pd != ps) {
+      rb.parts[pd].push_back(e);
+      ++mirrored[pd];
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_ || stopping_ || dead_) return false;
+  if (queue_.size() >= config_.max_queue_batches) {
+    ins_.ingest_blocked->Increment();
+    not_full_cv_.wait(lk, [&] {
+      return stopping_ || dead_ || queue_.size() < config_.max_queue_batches;
+    });
+    if (stopping_ || dead_) return false;
+  }
+  for (const TimedEdge& e : batch) {
+    ingested_max_time_ = std::max(ingested_max_time_, e.time);
+  }
+  ins_.batches_ingested->Increment();
+  ins_.edges_ingested->Increment(batch.size());
+  for (int k = 0; k < num_shards_; ++k) {
+    if (routed[k] != 0) shard_ins_[k].edges_routed->Increment(routed[k]);
+    if (mirrored[k] != 0) {
+      shard_ins_[k].edges_mirrored->Increment(mirrored[k]);
+    }
+  }
+  queue_.push_back(std::move(rb));
+  ins_.queue_depth->Set(static_cast<double>(queue_.size()));
+  ins_.queue_peak->Max(static_cast<double>(queue_.size()));
+  queue_cv_.notify_one();
+  return true;
+}
+
+void ShardedStreamServer::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] {
+    return (queue_.empty() && !busy_) || stopping_ || dead_;
+  });
+}
+
+void ShardedStreamServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    stop_token_.store(true, std::memory_order_relaxed);
+    queue_cv_.notify_all();
+    not_full_cv_.notify_all();
+    drained_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  started_ = false;
+}
+
+Status ShardedStreamServer::last_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_error_;
+}
+
+bool ShardedStreamServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_ && !stopping_ && !dead_;
+}
+
+void ShardedStreamServer::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (last_error_.ok()) last_error_ = status;
+}
+
+ServerStats ShardedStreamServer::stats() const {
+  ServerStats s;
+  s.warm_ticks = static_cast<int64_t>(ins_.warm_ticks->Value());
+  s.cold_ticks = static_cast<int64_t>(ins_.cold_ticks->Value());
+  s.ticks = s.warm_ticks + s.cold_ticks;
+  s.batches_ingested = static_cast<int64_t>(ins_.batches_ingested->Value());
+  s.edges_ingested = static_cast<int64_t>(ins_.edges_ingested->Value());
+  s.ingest_blocked = static_cast<int64_t>(ins_.ingest_blocked->Value());
+  s.queue_peak = static_cast<size_t>(ins_.queue_peak->Value());
+  s.batches_rejected =
+      static_cast<int64_t>(ins_.batches_rejected_invalid->Value() +
+                           ins_.batches_rejected_failpoint->Value() +
+                           ins_.batches_dropped->Value());
+  s.ticks_shed = static_cast<int64_t>(ins_.ticks_shed->Value());
+  s.degraded_ticks = static_cast<int64_t>(ins_.degraded_ticks->Value());
+  s.deadline_overruns = static_cast<int64_t>(ins_.deadline_overruns->Value());
+  s.tick_retries = static_cast<int64_t>(ins_.tick_retries->Value());
+  s.ticks_failed = static_cast<int64_t>(ins_.ticks_failed->Value());
+  s.engine_fallbacks = static_cast<int64_t>(ins_.engine_fallbacks->Value());
+  s.warm_fallbacks = static_cast<int64_t>(ins_.warm_fallbacks->Value());
+  s.cold_refresh_deferred =
+      static_cast<int64_t>(ins_.cold_refresh_deferred->Value());
+  s.checkpoints_written = static_cast<int64_t>(ins_.checkpoints_ok->Value());
+  s.checkpoint_failures =
+      static_cast<int64_t>(ins_.checkpoints_failed->Value());
+  s.tick_p50_seconds = ins_.tick_seconds->Quantile(0.50);
+  s.tick_p99_seconds = ins_.tick_seconds->Quantile(0.99);
+  s.tick_max_seconds = ins_.tick_seconds->MaxBound();
+  s.warm_avg_iterations =
+      s.warm_ticks == 0
+          ? 0
+          : static_cast<double>(ins_.warm_iterations->Value()) / s.warm_ticks;
+  s.cold_avg_iterations =
+      s.cold_ticks == 0
+          ? 0
+          : static_cast<double>(ins_.cold_iterations->Value()) / s.cold_ticks;
+  s.last_ingest_lag_days = ins_.ingest_lag_days->Value();
+  return s;
+}
+
+bool ShardedStreamServer::Backoff(int attempt) {
+  double ms = config_.retry_backoff_ms * std::ldexp(1.0, attempt);
+  ms = std::min(ms, config_.max_retry_backoff_ms);
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+  while (std::chrono::steady_clock::now() < until) {
+    if (stop_token_.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return !stop_token_.load(std::memory_order_relaxed);
+}
+
+void ShardedStreamServer::DetectLoop() {
+  for (;;) {
+    RoutedBatch rb;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      rb = std::move(queue_.front());
+      queue_.pop_front();
+      ins_.queue_depth->Set(static_cast<double>(queue_.size()));
+      busy_ = true;
+      not_full_cv_.notify_all();
+    }
+    bool keep_running = true;
+    // One serve.window_append evaluation covers the whole routed batch, so
+    // an injected fault leaves either every shard window or none of them
+    // appended — the batch stays in hand for an exact retry.
+    Status append_status;
+    for (int attempt = 0;; ++attempt) {
+      append_status = fail::Inject("serve.window_append");
+      if (append_status.ok()) {
+        pool()->ParallelFor(
+            0, num_shards_,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t k = lo; k < hi; ++k) {
+                if (!rb.parts[k].empty()) {
+                  windows_[k].Append(std::move(rb.parts[k]));
+                }
+              }
+            },
+            1);
+        global_edges_ += rb.global_edges;
+        break;
+      }
+      if (!IsTransient(append_status) ||
+          attempt >= config_.max_tick_retries) {
+        break;
+      }
+      ins_.tick_retries->Increment();
+      if (!Backoff(attempt)) {
+        append_status = Status::Cancelled("server stopping");
+        break;
+      }
+    }
+    if (!append_status.ok()) {
+      if (append_status.IsCancelled()) {
+        // Shutting down; the loop exits via stopping_ above.
+      } else if (IsTransient(append_status)) {
+        ins_.batches_dropped->Increment();
+        RecordError(append_status);
+        GLP_LOG(Warning) << "dropping batch after append failures: "
+                         << append_status.ToString();
+      } else {
+        RecordError(append_status);
+        GLP_LOG(Error) << "fatal window-append fault: "
+                       << append_status.ToString();
+        keep_running = false;
+      }
+    } else {
+      keep_running = RunDueTicks();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+      if (!keep_running) {
+        dead_ = true;
+        not_full_cv_.notify_all();
+        drained_cv_.notify_all();
+        return;
+      }
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+bool ShardedStreamServer::RunDueTicks() {
+  if (global_edges_ == 0) return true;
+  // The fleet ticks on one global grid: boundaries derive from the global
+  // min/max timestamp across shards, so the schedule is identical to the
+  // 1-shard server's over the same stream.
+  double min_time = std::numeric_limits<double>::infinity();
+  double max_time = -std::numeric_limits<double>::infinity();
+  for (const graph::SlidingWindow& w : windows_) {
+    if (w.num_stream_edges() == 0) continue;
+    min_time = std::min(min_time, w.min_time());
+    max_time = std::max(max_time, w.max_time());
+  }
+  const double cadence = config_.tick_every_days;
+  if (!tick_schedule_primed_) {
+    next_tick_end_ = cadence * (std::floor(min_time / cadence) + 1.0);
+    tick_schedule_primed_ = true;
+  }
+  while (max_time >= next_tick_end_) {
+    if (stop_token_.load(std::memory_order_relaxed)) return true;
+    if (config_.tick_deadline_seconds > 0 &&
+        last_tick_wall_seconds_ > config_.tick_deadline_seconds) {
+      const auto overdue = static_cast<int64_t>(
+          std::floor((max_time - next_tick_end_) / cadence));
+      if (overdue > 0) {
+        ins_.ticks_shed->Increment(static_cast<uint64_t>(overdue));
+        next_tick_end_ += static_cast<double>(overdue) * cadence;
+      }
+    }
+    const TickOutcome outcome = RunTick(next_tick_end_);
+    if (outcome == TickOutcome::kFatal) return false;
+    if (outcome == TickOutcome::kCancelled) return true;
+    next_tick_end_ += cadence;
+    if (outcome == TickOutcome::kOk && !config_.checkpoint_dir.empty() &&
+        config_.checkpoint_every_ticks > 0 &&
+        num_ticks_ % config_.checkpoint_every_ticks == 0 &&
+        num_ticks_ > last_checkpoint_tick_) {
+      WriteCheckpoint();
+    }
+  }
+  return true;
+}
+
+void ShardedStreamServer::WriteCheckpoint() {
+  const int64_t tick = num_ticks_;
+  ShardManifest m;
+  m.tick = tick;
+  m.num_shards = num_shards_;
+  Status st = Status::OK();
+  // Shard files first (each carries the serve.checkpoint failpoint through
+  // SaveCheckpoint), coordinator next, manifest last: the manifest rename
+  // is the commit point of the fleet snapshot.
+  for (int k = 0; k < num_shards_ && st.ok(); ++k) {
+    CheckpointData sd;
+    sd.tick = tick;
+    sd.edges = windows_[k].edges();
+    const std::string name = ShardCheckpointFileName(k, tick);
+    st = SaveCheckpoint(config_.checkpoint_dir + "/" + name, sd);
+    if (st.ok()) m.shard_files.push_back(name);
+  }
+  if (st.ok()) {
+    CheckpointData cd;
+    cd.tick = tick;
+    cd.tick_schedule_primed = tick_schedule_primed_;
+    cd.next_tick_end = next_tick_end_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cd.ingested_max_time = ingested_max_time_;
+    }
+    cd.have_prev = have_prev_ && !warm_anchor_.empty();
+    if (cd.have_prev) {
+      // The warm-anchor map serialized as parallel arrays, entity-sorted so
+      // identical state writes identical bytes.
+      cd.prev_l2g.reserve(warm_anchor_.size());
+      for (const auto& [entity, anchor] : warm_anchor_) {
+        cd.prev_l2g.push_back(entity);
+      }
+      std::sort(cd.prev_l2g.begin(), cd.prev_l2g.end());
+      cd.prev_labels.reserve(cd.prev_l2g.size());
+      for (VertexId entity : cd.prev_l2g) {
+        cd.prev_labels.push_back(warm_anchor_.at(entity));
+      }
+    }
+    cd.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
+    m.coord_file = CoordCheckpointFileName(tick);
+    st = SaveCheckpoint(config_.checkpoint_dir + "/" + m.coord_file, cd);
+  }
+  if (st.ok()) {
+    st = SaveShardManifest(
+        config_.checkpoint_dir + "/" + ShardManifestFileName(tick), m);
+  }
+  if (st.ok()) {
+    ins_.checkpoints_ok->Increment();
+    last_checkpoint_tick_ = tick;
+    (void)PruneShardCheckpoints(config_.checkpoint_dir,
+                                config_.checkpoint_keep);
+  } else {
+    ins_.checkpoints_failed->Increment();
+    GLP_LOG(Warning) << "sharded checkpoint at tick " << tick
+                     << " failed: " << st.ToString();
+  }
+}
+
+void ShardedStreamServer::ShardComponents(int k, double start_time,
+                                          double end_time) {
+  ShardScratch& s = shards_[k];
+  s.entities.clear();
+  s.uf.clear();
+  const graph::SlidingWindow& w = windows_[k];
+  if (w.num_stream_edges() == 0) {
+    s.lo = s.hi = 0;
+    return;
+  }
+  s.lo = w.LowerBound(start_time);
+  s.hi = w.LowerBound(end_time);
+  s.intern.EnsureUniverse(universe_);
+  s.intern.Bump();
+  const std::vector<TimedEdge>& edges = w.edges();
+  auto add = [&](VertexId g) {
+    const VertexId l = s.intern.Intern(g, &s.entities);
+    if (static_cast<size_t>(l) == s.uf.size()) s.uf.push_back(l);
+    return l;
+  };
+  for (size_t i = s.lo; i < s.hi; ++i) {
+    const VertexId a = add(edges[i].src);
+    const VertexId b = add(edges[i].dst);
+    const VertexId ra = Find(&s.uf, a);
+    const VertexId rb = Find(&s.uf, b);
+    if (ra != rb) s.uf[rb] = ra;
+  }
+}
+
+void ShardedStreamServer::StitchComponents() {
+  // Mirroring guarantees every cross-shard edge appears in both endpoint
+  // shards, so unioning each active entity with its shard-local component
+  // root — over all shards — yields exactly the global components: any
+  // global path is a chain of intra-shard hops stitched at shared entities.
+  stitch_intern_.EnsureUniverse(universe_);
+  stitch_intern_.Bump();
+  stitch_entities_.clear();
+  stitch_uf_.clear();
+  auto add = [&](VertexId g) {
+    const VertexId l = stitch_intern_.Intern(g, &stitch_entities_);
+    if (static_cast<size_t>(l) == stitch_uf_.size()) stitch_uf_.push_back(l);
+    return l;
+  };
+  for (ShardScratch& s : shards_) {
+    for (size_t i = 0; i < s.entities.size(); ++i) {
+      const VertexId root_entity =
+          s.entities[Find(&s.uf, static_cast<VertexId>(i))];
+      const VertexId a = add(s.entities[i]);
+      const VertexId b = add(root_entity);
+      const VertexId ra = Find(&stitch_uf_, a);
+      const VertexId rb = Find(&stitch_uf_, b);
+      if (ra != rb) stitch_uf_[rb] = ra;
+    }
+  }
+  // Deterministic owner: the shard of the component's smallest entity id —
+  // stable under any shard/batch interleaving of the same window.
+  comp_min_entity_.assign(stitch_entities_.size(), graph::kInvalidVertex);
+  for (size_t l = 0; l < stitch_entities_.size(); ++l) {
+    const VertexId r = Find(&stitch_uf_, static_cast<VertexId>(l));
+    comp_min_entity_[r] = std::min(comp_min_entity_[r], stitch_entities_[l]);
+  }
+  for (OwnerWork& ow : owners_) ow.num_components = 0;
+  if (owner_of_.size() < universe_) owner_of_.resize(universe_);
+  for (size_t l = 0; l < stitch_entities_.size(); ++l) {
+    const VertexId r = Find(&stitch_uf_, static_cast<VertexId>(l));
+    const int owner = pipeline::PartitionOf(comp_min_entity_[r], num_shards_);
+    owner_of_[stitch_entities_[l]] = static_cast<uint8_t>(owner);
+    if (static_cast<VertexId>(l) == r) ++owners_[owner].num_components;
+  }
+}
+
+void ShardedStreamServer::BucketShardEdges(int k) {
+  ShardScratch& s = shards_[k];
+  for (auto& bucket : s.owner_buckets) bucket.clear();
+  const std::vector<TimedEdge>& edges = windows_[k].edges();
+  for (size_t i = s.lo; i < s.hi; ++i) {
+    const TimedEdge& e = edges[i];
+    // Owned copies only: the mirror of this edge in the other endpoint's
+    // shard is skipped there, so the buckets partition the global window.
+    if (pipeline::PartitionOf(e.src, num_shards_) != k) continue;
+    s.owner_buckets[owner_of_[e.src]].push_back(e);
+  }
+}
+
+void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
+                                            double window_end, bool degraded,
+                                            bool warm_wanted) {
+  OwnerWork& ow = owners_[o];
+  ow.ran = false;
+  ow.warm = false;
+  ow.status = Status::OK();
+  ow.outcome = TickOutcome::kOk;
+  ow.wall_seconds = 0;
+  // Each shard's bucket is a canonically-ordered subsequence of its window;
+  // an N-way merge restores the owner's edges to exactly the order the
+  // 1-shard window would iterate them in — the invariant the snapshot's
+  // local-id assignment (and through it every LP tie-break) depends on.
+  ow.edges.clear();
+  for (int k = 0; k < num_shards_; ++k) {
+    const std::vector<TimedEdge>& bucket = shards_[k].owner_buckets[o];
+    if (bucket.empty()) continue;
+    if (ow.edges.empty()) {
+      ow.edges = bucket;
+      continue;
+    }
+    ow.merge_tmp.clear();
+    ow.merge_tmp.reserve(ow.edges.size() + bucket.size());
+    std::merge(ow.edges.begin(), ow.edges.end(), bucket.begin(), bucket.end(),
+               std::back_inserter(ow.merge_tmp), graph::CanonicalEdgeLess);
+    std::swap(ow.edges, ow.merge_tmp);
+  }
+  if (ow.edges.empty()) return;  // this shard owns no components this tick
+  glp::Timer owner_timer;
+
+  // Snapshot build, mirroring SlidingWindow::SnapshotRange on the merged
+  // edge list (dense epoch-stamped remap, first-appearance local ids).
+  graph::SlidingWindow::Scratch& sc = ow.scratch;
+  if (sc.epoch_of.size() < universe_) {
+    sc.epoch_of.assign(universe_, 0);
+    sc.local_of.resize(universe_);
+    sc.epoch = 0;
+  }
+  if (++sc.epoch == 0) {
+    std::fill(sc.epoch_of.begin(), sc.epoch_of.end(), 0u);
+    sc.epoch = 1;
+  }
+  const uint32_t epoch = sc.epoch;
+  ow.snap.local_to_global.clear();
+  auto intern = [&](VertexId g) {
+    if (sc.epoch_of[g] != epoch) {
+      sc.epoch_of[g] = epoch;
+      sc.local_of[g] = static_cast<VertexId>(ow.snap.local_to_global.size());
+      ow.snap.local_to_global.push_back(g);
+    }
+    return sc.local_of[g];
+  };
+  std::vector<graph::Edge> local;
+  local.reserve(ow.edges.size());
+  for (const TimedEdge& e : ow.edges) {
+    local.push_back({intern(e.src), intern(e.dst)});
+  }
+  graph::GraphBuilder builder(
+      static_cast<VertexId>(ow.snap.local_to_global.size()));
+  builder.Reserve(local.size());
+  for (const graph::Edge& e : local) builder.AddEdgeUnchecked(e.src, e.dst);
+  ow.snap.graph = config_.detect.collapse_window_graphs
+                      ? builder.BuildCollapsed(/*symmetrize=*/true)
+                      : builder.Build(/*symmetrize=*/true, /*dedupe=*/false);
+
+  // Warm init from the global anchor map: an entity resumes its previous
+  // label re-expressed as the anchor entity's local id, when the anchor
+  // landed in this owner's snapshot too; everything else starts singleton.
+  std::vector<Label> warm_init;
+  if (warm_wanted) {
+    warm_init.resize(ow.snap.local_to_global.size());
+    for (size_t v = 0; v < ow.snap.local_to_global.size(); ++v) {
+      Label out = static_cast<Label>(v);
+      const auto it = warm_anchor_.find(ow.snap.local_to_global[v]);
+      if (it != warm_anchor_.end() && sc.epoch_of[it->second] == epoch) {
+        out = static_cast<Label>(sc.local_of[it->second]);
+      }
+      warm_init[v] = out;
+    }
+  }
+
+  // The same retry ladder as StreamServer::RunTick, walked independently
+  // per owner shard: transient faults retry, attempt 2 drops warm start,
+  // the final attempt runs the fallback engine.
+  const int max_attempts = 1 + std::max(0, config_.max_tick_retries);
+  Status failure;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    pipeline::PipelineConfig cfg = config_.detect;
+    if (degraded) {
+      cfg.lp.max_iterations =
+          std::min(cfg.lp.max_iterations, config_.degraded_iteration_cap);
+      cfg.lp.stop_when_stable = true;
+    }
+    const bool warm = warm_wanted && attempt <= 1;
+    if (warm_wanted && !warm) ins_.warm_fallbacks->Increment();
+    if (warm) cfg.lp.initial_labels = warm_init;
+    if (attempt == max_attempts - 1 && attempt > 0 &&
+        config_.enable_engine_fallback) {
+      cfg.engine = config_.fallback_engine;
+      ins_.engine_fallbacks->Increment();
+    }
+
+    lp::RunContext ctx;
+    ctx.profiler = nullptr;  // per-phase profiling is not per-owner safe
+    ctx.pool = config_.pool;
+    ctx.stop_token = &stop_token_;
+    ctx.metrics = registry_;
+
+    Status st = fail::Inject("serve.tick");
+    if (st.ok()) {
+      auto result = pipeline::DetectOnSnapshot(
+          ow.snap, cfg, ctx, config_.seeds, config_.ground_truth,
+          window_start, window_end);
+      if (result.ok()) {
+        ow.result = std::move(result).value();
+        ow.warm = warm;
+        ow.ran = true;
+        break;
+      }
+      st = result.status();
+    }
+    if (st.IsCancelled()) {
+      ow.outcome = TickOutcome::kCancelled;
+      return;
+    }
+    if (!IsTransient(st)) {
+      ow.status = st;
+      ow.outcome = TickOutcome::kFatal;
+      return;
+    }
+    failure = st;
+    if (attempt + 1 < max_attempts) {
+      ins_.tick_retries->Increment();
+      if (!Backoff(attempt)) {
+        ow.outcome = TickOutcome::kCancelled;
+        return;
+      }
+    }
+  }
+  if (!ow.ran) {
+    ow.status = failure;
+    ow.outcome = TickOutcome::kAbandoned;
+    return;
+  }
+  ow.wall_seconds = owner_timer.Seconds();
+}
+
+ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
+    double end_time) {
+  glp::Timer tick_timer;
+  const double host_start =
+      config_.profiler != nullptr ? config_.profiler->HostNow() : 0;
+
+  TickResult tr;
+  tr.tick = num_ticks_;
+  tr.window_end = end_time;
+  tr.window_start = end_time - config_.detect.window_days;
+
+  // Degradation ladder steps 1–2, fleet-wide (identical to StreamServer).
+  const bool degraded =
+      config_.tick_deadline_seconds > 0 &&
+      last_tick_wall_seconds_ > config_.tick_deadline_seconds;
+  bool refresh_due = config_.cold_refresh_every_ticks > 0 &&
+                     num_ticks_ % config_.cold_refresh_every_ticks == 0;
+  if (config_.warm_start && have_prev_) {
+    if (degraded && (refresh_due || refresh_pending_)) {
+      if (refresh_due) ins_.cold_refresh_deferred->Increment();
+      refresh_pending_ = true;
+      refresh_due = false;
+    } else if (!degraded && refresh_pending_) {
+      refresh_due = true;
+      refresh_pending_ = false;
+    }
+  }
+  if (degraded) ins_.degraded_ticks->Increment();
+
+  glp::Timer build_timer;
+  universe_ = 0;
+  for (const graph::SlidingWindow& w : windows_) {
+    if (w.num_stream_edges() == 0) continue;
+    universe_ =
+        std::max(universe_, static_cast<size_t>(w.max_entity()) + 1);
+  }
+  pool()->ParallelFor(
+      0, num_shards_,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t k = lo; k < hi; ++k) {
+          ShardComponents(static_cast<int>(k), tr.window_start, end_time);
+        }
+      },
+      1);
+  bool any_active = false;
+  for (const ShardScratch& s : shards_) any_active |= s.hi > s.lo;
+
+  const bool warm_wanted =
+      config_.warm_start && have_prev_ && !refresh_due && any_active;
+
+  if (any_active) {
+    StitchComponents();
+    pool()->ParallelFor(
+        0, num_shards_,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t k = lo; k < hi; ++k) {
+            BucketShardEdges(static_cast<int>(k));
+          }
+        },
+        1);
+    const double build_seconds = build_timer.Seconds();
+
+    pool()->ParallelFor(
+        0, num_shards_,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t o = lo; o < hi; ++o) {
+            RunOwnerDetection(static_cast<int>(o), tr.window_start, end_time,
+                              degraded, warm_wanted);
+          }
+        },
+        1);
+
+    // Worst outcome wins: a fatal owner kills the loop, a cancelled owner
+    // means shutdown, any abandoned owner abandons the whole tick (partial
+    // cluster sets must never publish — subscribers would see phantom
+    // expirations for the missing owners' clusters).
+    TickOutcome worst = TickOutcome::kOk;
+    Status abandon_failure;
+    for (const OwnerWork& ow : owners_) {
+      if (ow.outcome == TickOutcome::kFatal) {
+        RecordError(ow.status);
+        GLP_LOG(Error) << "fatal detection fault at window end " << end_time
+                       << ": " << ow.status.ToString();
+        return TickOutcome::kFatal;
+      }
+      if (ow.outcome == TickOutcome::kCancelled) {
+        worst = TickOutcome::kCancelled;
+      } else if (ow.outcome == TickOutcome::kAbandoned &&
+                 worst == TickOutcome::kOk) {
+        worst = TickOutcome::kAbandoned;
+        abandon_failure = ow.status;
+      }
+    }
+    if (worst == TickOutcome::kCancelled) return TickOutcome::kCancelled;
+    if (worst == TickOutcome::kAbandoned) {
+      RecordError(abandon_failure);
+      ins_.ticks_failed->Increment();
+      have_prev_ = false;
+      warm_anchor_.clear();
+      GLP_LOG(Warning) << "tick at window end " << end_time
+                       << " abandoned: " << abandon_failure.ToString();
+      return TickOutcome::kAbandoned;
+    }
+
+    // Stitch the per-owner results into one TickResult. Cluster labels are
+    // renumbered densely in sorted-member order — deterministic and
+    // shard-count independent. A tick counts as warm only when every owner
+    // that ran kept its warm start (a mixed tick reports cold).
+    tr.warm = warm_wanted;
+    tr.detection.build_seconds = build_seconds;
+    if (config_.warm_start) warm_anchor_.clear();
+    for (int o = 0; o < num_shards_; ++o) {
+      const OwnerWork& ow = owners_[o];
+      shard_ins_[o].components_owned->Set(
+          static_cast<double>(ow.num_components));
+      shard_ins_[o].window_edges->Set(
+          static_cast<double>(windows_[o].num_stream_edges()));
+      if (!ow.ran) continue;
+      tr.warm = tr.warm && ow.warm;
+      shard_ins_[o].tick_seconds->Observe(ow.wall_seconds);
+      tr.detection.window_vertices += ow.result.window_vertices;
+      tr.detection.window_edges += ow.result.window_edges;
+      for (const pipeline::SuspiciousCluster& c : ow.result.clusters) {
+        tr.detection.clusters.push_back(c);
+      }
+      tr.detection.lp_metrics.true_positives +=
+          ow.result.lp_metrics.true_positives;
+      tr.detection.lp_metrics.false_positives +=
+          ow.result.lp_metrics.false_positives;
+      tr.detection.lp_metrics.false_negatives +=
+          ow.result.lp_metrics.false_negatives;
+      tr.detection.confirmed_metrics.true_positives +=
+          ow.result.confirmed_metrics.true_positives;
+      tr.detection.confirmed_metrics.false_positives +=
+          ow.result.confirmed_metrics.false_positives;
+      tr.detection.confirmed_metrics.false_negatives +=
+          ow.result.confirmed_metrics.false_negatives;
+      // Owners run concurrently: wall-clock aggregates take the max (the
+      // critical path), iteration counts the max too (the grid steps the
+      // slowest component needed). lp.labels stays empty — there is no
+      // global local-id space to express per-vertex labels in.
+      tr.detection.lp.iterations =
+          std::max(tr.detection.lp.iterations, ow.result.lp.iterations);
+      tr.detection.lp.simulated_seconds = std::max(
+          tr.detection.lp.simulated_seconds, ow.result.lp.simulated_seconds);
+      tr.detection.lp.wall_seconds =
+          std::max(tr.detection.lp.wall_seconds, ow.result.lp.wall_seconds);
+      tr.detection.lp_seconds =
+          std::max(tr.detection.lp_seconds, ow.result.lp_seconds);
+      tr.detection.lp_wall_seconds = std::max(tr.detection.lp_wall_seconds,
+                                              ow.result.lp_wall_seconds);
+      tr.detection.extract_seconds = std::max(tr.detection.extract_seconds,
+                                              ow.result.extract_seconds);
+      if (config_.warm_start) {
+        const std::vector<VertexId>& l2g = ow.snap.local_to_global;
+        const std::vector<Label>& labels = ow.result.lp.labels;
+        for (size_t v = 0; v < labels.size(); ++v) {
+          if (labels[v] != graph::kInvalidLabel &&
+              static_cast<size_t>(labels[v]) < l2g.size()) {
+            warm_anchor_[l2g[v]] = l2g[labels[v]];
+          }
+        }
+      }
+    }
+    std::sort(tr.detection.clusters.begin(), tr.detection.clusters.end(),
+              [](const pipeline::SuspiciousCluster& a,
+                 const pipeline::SuspiciousCluster& b) {
+                return a.members < b.members;
+              });
+    for (size_t i = 0; i < tr.detection.clusters.size(); ++i) {
+      tr.detection.clusters[i].label = static_cast<Label>(i);
+    }
+    have_prev_ = true;
+  } else {
+    // Empty window: nothing to cluster; previously confirmed clusters all
+    // expire below.
+    have_prev_ = false;
+    warm_anchor_.clear();
+  }
+
+  std::set<std::vector<VertexId>> confirmed_now;
+  for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
+    if (c.confirmed) confirmed_now.insert(c.members);
+  }
+  for (const auto& members : confirmed_now) {
+    if (prev_confirmed_.count(members) == 0) {
+      tr.new_confirmed.push_back(members);
+    }
+  }
+  for (const auto& members : prev_confirmed_) {
+    if (confirmed_now.count(members) == 0) {
+      tr.expired_confirmed.push_back(members);
+    }
+  }
+  prev_confirmed_ = std::move(confirmed_now);
+
+  tr.tick_wall_seconds = tick_timer.Seconds();
+  last_tick_wall_seconds_ = tr.tick_wall_seconds;
+  if (config_.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.tick_deadline_seconds) {
+    ins_.deadline_overruns->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tr.ingest_lag_days = ingested_max_time_ - end_time;
+  }
+  ins_.ingest_lag_days->Set(tr.ingest_lag_days);
+  ins_.tick_seconds->Observe(tr.tick_wall_seconds);
+  if (tr.warm) {
+    ins_.warm_ticks->Increment();
+    ins_.warm_iterations->Increment(
+        static_cast<uint64_t>(tr.detection.lp.iterations));
+  } else {
+    ins_.cold_ticks->Increment();
+    ins_.cold_iterations->Increment(
+        static_cast<uint64_t>(tr.detection.lp.iterations));
+  }
+  if (config_.profiler != nullptr) {
+    config_.profiler->RecordHostEvent(tr.warm ? "tick-warm" : "tick-cold",
+                                      host_start, tr.tick_wall_seconds);
+  }
+  ++num_ticks_;
+  for (const Subscriber& s : subscribers_) s(tr);
+  return TickOutcome::kOk;
+}
+
+}  // namespace glp::serve

@@ -1,0 +1,284 @@
+// glp::serve::ShardedStreamServer — multi-shard scale-out of the streaming
+// detection server (DESIGN.md §4.9).
+//
+// Entities are hash-partitioned across N shards (pipeline::PartitionOf, the
+// same assignment the distributed cost model prices). Each shard owns a
+// partitioned SlidingWindow holding the edges whose *source* hashes to it;
+// an edge whose endpoints hash to different shards is mirrored into both,
+// so every shard sees its full local neighborhood — the boundary-mirroring
+// scheme Gunrock-style multi-device frameworks use.
+//
+//   Ingest(batch) --route by PartitionOf--> bounded queue of routed batches
+//                                             coordinator thread
+//                                               parallel per-shard Append
+//                                               per-shard union-find [lo,hi)
+//                                               boundary stitch (global UF)
+//                                               component -> owner shard
+//                                               parallel per-owner detection
+//                                               stitched confirmed-cluster
+//                                                 diff -> subscribers
+//
+// Why components, not raw subgraphs: label propagation on a shard's
+// mirrored subgraph is NOT equivalent to global LP — labels keep crossing
+// the boundary every iteration, and a one-hop halo cannot carry that. What
+// *is* exactly decomposable is connectivity: labels never cross connected
+// components, and per-component LP is order-isomorphic to the global run
+// (local ids preserve canonical first-appearance order, so every MFL
+// tie-break resolves identically). The per-shard union-finds + the
+// boundary-entity stitch compute global components cheaply in parallel;
+// whole components are then assigned to owner shards
+// (PartitionOf(min-entity)) and detected in parallel. This is what makes
+// the N-shard replay produce exactly the 1-shard confirmed clusters (up to
+// cluster renumbering) on cold ticks — a correctness-checkable scale-out
+// rather than an approximate one. Warm starts use a global entity-anchored
+// label map; they are internally consistent but can differ from 1-shard
+// warm runs when an anchor migrates across components (see DESIGN.md).
+//
+// Resilience matches StreamServer per shard: the serve.* failpoints fire on
+// the routed-ingest/append/tick paths (ticks once per owner shard), each
+// owner detection walks the same transient-retry ladder (retry -> drop warm
+// -> fallback engine), the deadline degradation ladder arms per tick, and
+// checkpoints are per-shard files sealed by a manifest so the fleet
+// restores atomically (serve/checkpoint.h).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "obs/metrics.h"
+#include "pipeline/pipeline.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace glp::serve {
+
+/// \brief N-shard streaming detection server.
+///
+/// Same external contract as StreamServer — Subscribe/Start/Ingest/Flush/
+/// Stop, TickResult ticks on the same absolute grid, ServerStats over the
+/// same glp_serve_* instruments — plus per-shard glp_serve_shard_* metric
+/// families labeled {shard="k"}. TickResult::detection is the stitched
+/// aggregate: clusters carry globally renumbered labels (dense, assigned in
+/// sorted-member order) and lp.labels is left empty (there is no global
+/// local-id space to express per-vertex labels in).
+class ShardedStreamServer {
+ public:
+  using Subscriber = std::function<void(const TickResult&)>;
+
+  /// `config` is the regular per-server configuration; detection,
+  /// resilience, and checkpoint knobs apply fleet-wide.
+  ShardedStreamServer(ServerConfig config, int num_shards);
+  ~ShardedStreamServer();
+
+  ShardedStreamServer(const ShardedStreamServer&) = delete;
+  ShardedStreamServer& operator=(const ShardedStreamServer&) = delete;
+
+  int num_shards() const { return num_shards_; }
+
+  /// Registers a per-tick callback (coordinator thread, tick order). Must
+  /// be called before Start().
+  void Subscribe(Subscriber subscriber);
+
+  /// Restores the whole fleet from the newest *complete* sharded
+  /// checkpoint (manifest + coordinator + every shard file validating) in
+  /// `dir`, or from an explicit manifest path. All-or-nothing: a missing
+  /// or corrupt shard file falls back to the previous complete set. The
+  /// checkpoint's shard count must match num_shards(). Must be called
+  /// before Start(). RestoreInfo::num_edges counts *global* stream edges
+  /// (mirrors excluded) — the replay resume index, same contract as
+  /// StreamServer.
+  Result<StreamServer::RestoreInfo> RestoreFromCheckpoint(
+      const std::string& path_or_dir);
+
+  /// Launches the coordinator thread.
+  Status Start();
+
+  /// Validates and routes a batch to shard sub-batches, then enqueues the
+  /// routed batch (bounded queue, blocking backpressure). Returns false if
+  /// the batch is rejected or the server is stopped/dead.
+  bool Ingest(std::vector<graph::TimedEdge> batch);
+
+  /// Blocks until every ingested batch is processed and due ticks ran.
+  void Flush();
+
+  /// Stops the coordinator (cancels in-flight LP via the stop token).
+  void Stop();
+
+  /// First fatal error, if any (same semantics as StreamServer).
+  Status last_error() const;
+  bool running() const;
+
+  ServerStats stats() const;
+  obs::MetricRegistry* metrics() const { return registry_; }
+
+ private:
+  /// One ingest batch split into per-shard sub-batches (owned edges plus
+  /// mirrored cross-shard copies).
+  struct RoutedBatch {
+    std::vector<std::vector<graph::TimedEdge>> parts;
+    size_t global_edges = 0;  ///< pre-mirroring edge count
+  };
+
+  enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
+
+  /// Epoch-stamped entity interning scratch, reusable across ticks.
+  struct EntityIntern {
+    std::vector<uint32_t> epoch_of;
+    std::vector<graph::VertexId> local_of;
+    uint32_t epoch = 0;
+
+    void EnsureUniverse(size_t universe);
+    void Bump();
+    bool Has(graph::VertexId g) const { return epoch_of[g] == epoch; }
+    graph::VertexId Intern(graph::VertexId g,
+                           std::vector<graph::VertexId>* entities);
+  };
+
+  /// Per-shard tick scratch: window range, interned active entities, and
+  /// the shard-local union-find over them.
+  struct ShardScratch {
+    size_t lo = 0, hi = 0;
+    EntityIntern intern;
+    std::vector<graph::VertexId> entities;  ///< local -> entity
+    std::vector<graph::VertexId> uf;        ///< local -> parent local
+    /// Edges this shard contributes to each owner (src-owned copies only,
+    /// canonical order within each bucket).
+    std::vector<std::vector<graph::TimedEdge>> owner_buckets;
+  };
+
+  /// Per-owner tick workspace and results.
+  struct OwnerWork {
+    std::vector<graph::TimedEdge> edges;  ///< merged canonical order
+    std::vector<graph::TimedEdge> merge_tmp;
+    graph::SlidingWindow::Scratch scratch;
+    graph::WindowSnapshot snap;
+    pipeline::PipelineResult result;
+    Status status;
+    TickOutcome outcome = TickOutcome::kOk;
+    bool ran = false;   ///< detection produced a result this tick
+    bool warm = false;  ///< the successful attempt was warm-started
+    double wall_seconds = 0;
+    int64_t num_components = 0;
+  };
+
+  glp::ThreadPool* pool() const;
+  void DetectLoop();
+  bool RunDueTicks();
+  TickOutcome RunTick(double end_time);
+  /// Computes shard k's window range and local connected components.
+  void ShardComponents(int k, double start_time, double end_time);
+  /// Serial boundary stitch: merges shard-local components into global
+  /// ones over shared entities, then assigns each component an owner
+  /// shard. Returns the number of components per owner.
+  void StitchComponents();
+  /// Scatters shard k's src-owned window edges into per-owner buckets.
+  void BucketShardEdges(int k);
+  /// Merges owner o's buckets, builds its snapshot (+ warm labels), and
+  /// runs detection through the retry/degradation ladder.
+  void RunOwnerDetection(int o, double window_start, double window_end,
+                         bool degraded, bool warm_wanted);
+  bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
+  bool Backoff(int attempt);
+  void RecordError(const Status& status);
+  void WriteCheckpoint();
+
+  ServerConfig config_;
+  int num_shards_;
+  std::vector<Subscriber> subscribers_;
+
+  // Coordinator-thread state.
+  std::vector<graph::SlidingWindow> windows_;
+  uint64_t global_edges_ = 0;  ///< stream edges appended (mirrors excluded)
+  bool tick_schedule_primed_ = false;
+  double next_tick_end_ = 0;
+  int64_t num_ticks_ = 0;
+  double last_tick_wall_seconds_ = 0;
+  bool refresh_pending_ = false;
+  int64_t last_checkpoint_tick_ = -1;
+  bool have_prev_ = false;
+  /// Warm anchors: entity -> the entity whose local id was its label on
+  /// the previous tick (the global re-expression of prev labels).
+  std::unordered_map<graph::VertexId, graph::VertexId> warm_anchor_;
+  std::set<std::vector<graph::VertexId>> prev_confirmed_;
+
+  // Tick scratch (coordinator thread + pool workers during a tick).
+  size_t universe_ = 0;  ///< max entity id + 1 across shards
+  std::vector<ShardScratch> shards_;
+  std::vector<OwnerWork> owners_;
+  EntityIntern stitch_intern_;
+  std::vector<graph::VertexId> stitch_entities_;
+  std::vector<graph::VertexId> stitch_uf_;
+  std::vector<graph::VertexId> comp_min_entity_;
+  /// owner_of_[entity] — valid for entities stamped in stitch_intern_.
+  std::vector<uint8_t> owner_of_;
+
+  // Shared state (same discipline as StreamServer).
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable not_full_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<RoutedBatch> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool dead_ = false;
+  bool busy_ = false;
+  double ingested_max_time_ = 0;
+  Status last_error_ = Status::OK();
+
+  // Telemetry: aggregate glp_serve_* instruments (ServerStats-compatible)
+  // plus per-shard families labeled {shard="k"}.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  struct Instruments {
+    obs::Histogram* tick_seconds;
+    obs::Counter* warm_ticks;
+    obs::Counter* cold_ticks;
+    obs::Counter* warm_iterations;
+    obs::Counter* cold_iterations;
+    obs::Counter* batches_ingested;
+    obs::Counter* edges_ingested;
+    obs::Counter* ingest_blocked;
+    obs::Gauge* queue_depth;
+    obs::Gauge* queue_peak;
+    obs::Gauge* ingest_lag_days;
+    obs::Counter* batches_rejected_invalid;
+    obs::Counter* batches_rejected_failpoint;
+    obs::Counter* batches_dropped;
+    obs::Counter* ticks_shed;
+    obs::Counter* degraded_ticks;
+    obs::Counter* deadline_overruns;
+    obs::Counter* tick_retries;
+    obs::Counter* ticks_failed;
+    obs::Counter* engine_fallbacks;
+    obs::Counter* warm_fallbacks;
+    obs::Counter* cold_refresh_deferred;
+    obs::Counter* checkpoints_ok;
+    obs::Counter* checkpoints_failed;
+  };
+  Instruments ins_{};
+  struct ShardInstruments {
+    obs::Histogram* tick_seconds;   ///< per-owner detection wall time
+    obs::Counter* edges_routed;     ///< owned edges appended
+    obs::Counter* edges_mirrored;   ///< mirrored copies appended
+    obs::Gauge* window_edges;       ///< shard window size (incl. mirrors)
+    obs::Gauge* components_owned;   ///< components this shard detected
+  };
+  std::vector<ShardInstruments> shard_ins_;
+
+  std::atomic<bool> stop_token_{false};
+  std::thread thread_;
+};
+
+}  // namespace glp::serve

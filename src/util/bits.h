@@ -1,0 +1,21 @@
+// Small bit-manipulation helpers shared across layers.
+
+#pragma once
+
+#include <cstdint>
+
+namespace glp {
+
+/// Smallest power of two >= x, computed in 64 bits so extreme inputs (e.g.
+/// a 3-billion-edge degree estimate) cannot hit signed-shift UB, and clamped
+/// to 2^30 so the result always fits the int capacity fields it sizes.
+/// `floor` is the minimum returned capacity and must itself be a power of
+/// two (callers pick 8 for GPU shared-memory tables, 16 for the CPU label
+/// counter).
+inline int NextPow2(int64_t x, int64_t floor = 8) {
+  int64_t p = floor;
+  while (p < x && p < (int64_t{1} << 30)) p <<= 1;
+  return static_cast<int>(p);
+}
+
+}  // namespace glp

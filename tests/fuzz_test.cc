@@ -170,6 +170,60 @@ TEST_P(WindowFuzzTest, IncrementalCursorMatchesFromScratchSnapshots) {
   }
 }
 
+TEST_P(WindowFuzzTest, GloballyShuffledBatchesConvergeToCanonicalStream) {
+  // Arrival order is adversarial here: batches are cut from the raw
+  // *unsorted* generation order, so every batch is internally shuffled AND
+  // batches arrive out of order relative to each other. Append must sort
+  // each batch (the sort-if-needed path) and inplace_merge it arbitrarily
+  // deep into the stream; the final edge array must still be the canonical
+  // (time, src, dst) sequence a one-shot construction produces.
+  glp::Rng rng(0xa3f1 + GetParam());
+  const VertexId entities = 16 + static_cast<VertexId>(rng.Bounded(150));
+  const int num_edges = 64 + static_cast<int>(rng.Bounded(1500));
+  const double horizon = 5.0 + rng.NextDouble() * 15.0;
+
+  std::vector<graph::TimedEdge> edges;
+  edges.reserve(num_edges);
+  for (int i = 0; i < num_edges; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.Bounded(entities)),
+                     static_cast<VertexId>(rng.Bounded(entities)),
+                     rng.NextDouble() * horizon});
+  }
+
+  const graph::SlidingWindow full(edges);
+
+  graph::SlidingWindow inc;
+  size_t pos = 0;
+  while (pos < edges.size()) {
+    const size_t batch_size =
+        std::min(edges.size() - pos, size_t{1} + rng.Bounded(48));
+    inc.Append({edges.begin() + static_cast<ptrdiff_t>(pos),
+                edges.begin() + static_cast<ptrdiff_t>(pos + batch_size)});
+    pos += batch_size;
+  }
+
+  ASSERT_EQ(inc.num_stream_edges(), full.num_stream_edges());
+  for (size_t i = 0; i < full.edges().size(); ++i) {
+    ASSERT_EQ(inc.edges()[i].src, full.edges()[i].src) << "i=" << i;
+    ASSERT_EQ(inc.edges()[i].dst, full.edges()[i].dst) << "i=" << i;
+    ASSERT_EQ(inc.edges()[i].time, full.edges()[i].time) << "i=" << i;
+  }
+
+  graph::SlidingWindow::Scratch sa, sb;
+  const double window_len = 1.0 + rng.NextDouble() * horizon;
+  for (double end = window_len; end < horizon + window_len;
+       end += horizon / 3.0) {
+    const graph::WindowSnapshot got =
+        inc.Snapshot(end - window_len, end, &sa);
+    const graph::WindowSnapshot want =
+        full.Snapshot(end - window_len, end, &sb);
+    ASSERT_EQ(got.local_to_global, want.local_to_global) << "end=" << end;
+    ASSERT_EQ(got.graph.offsets(), want.graph.offsets()) << "end=" << end;
+    ASSERT_EQ(got.graph.neighbor_array(), want.graph.neighbor_array())
+        << "end=" << end;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, WindowFuzzTest, ::testing::Range(0, 16));
 
 }  // namespace

@@ -3,6 +3,7 @@
 // runs under the `sanitizer` ctest label), exposition-format golden output,
 // and an HTTP endpoint smoke test speaking real sockets.
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -301,6 +302,53 @@ TEST(HttpEndpointTest, ConcurrentScrapesWhileWriting) {
   writer.join();
   endpoint.Stop();
   EXPECT_EQ(c->Value(), 50000u);
+}
+
+// --- SendAll short-write handling ---
+
+TEST(SendAllTest, DrainsLargeResponseThroughTinySendBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the send buffer to the kernel minimum and make the write end
+  // non-blocking, so a response much larger than the buffer is guaranteed
+  // to hit short writes and EAGAIN — the exact path a slow scraper of a
+  // large /metrics page exercises.
+  const int tiny = 1;  // clamped up to the kernel minimum (a few KB)
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+
+  std::string payload(1 << 20, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 26));
+  }
+
+  std::string received;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fds[1], buf, sizeof(buf));
+      if (n <= 0) break;
+      received.append(buf, static_cast<size_t>(n));
+    }
+  });
+
+  EXPECT_TRUE(SendAll(fds[0], payload.data(), payload.size()));
+  ::close(fds[0]);  // EOF for the reader
+  reader.join();
+  ::close(fds[1]);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SendAllTest, AbortsOnClosedPeerWithoutSigpipeOrBusyLoop) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);  // scraper hung up before the response was written
+  const std::string payload(1 << 16, 'x');
+  // The old loop added send()'s -1 to the offset and spun; the fixed one
+  // must report failure (EPIPE, suppressed by MSG_NOSIGNAL) and return.
+  EXPECT_FALSE(SendAll(fds[0], payload.data(), payload.size()));
+  ::close(fds[0]);
 }
 
 }  // namespace

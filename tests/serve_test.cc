@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstddef>
 #include <limits>
+#include <random>
 #include <set>
 #include <thread>
 #include <vector>
@@ -319,6 +320,59 @@ TEST(ServeTest, IngestValidationRejectsMalformedBatches) {
   EXPECT_EQ(stats.batches_rejected, 5);
   EXPECT_EQ(stats.batches_ingested, 1);
   EXPECT_TRUE(server.last_error().ok());
+}
+
+TEST(ServeTest, ShuffledBatchesMatchCanonicalOrderIngest) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick_every_days = 5.0;
+  cfg.warm_start = false;
+
+  // Baseline: canonical within-batch order.
+  std::vector<TickResult> want;
+  {
+    StreamServer server(cfg);
+    server.Subscribe([&](const TickResult& t) { want.push_back(t); });
+    ASSERT_TRUE(server.Start().ok());
+    for (auto& batch : BatchStream(stream, 1000)) {
+      ASSERT_TRUE(server.Ingest(std::move(batch)));
+    }
+    server.Flush();
+    server.Stop();
+    ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  }
+  ASSERT_GE(want.size(), 4u);
+
+  // Same batches, each internally shuffled: Ingest must accept them (the
+  // window sorts unsorted appends) and every tick must match the canonical
+  // run exactly — within-batch order is not part of the replay contract.
+  std::vector<TickResult> got;
+  StreamServer server(cfg);
+  server.Subscribe([&](const TickResult& t) { got.push_back(t); });
+  ASSERT_TRUE(server.Start().ok());
+  std::mt19937 rng(123);
+  for (auto& batch : BatchStream(stream, 1000)) {
+    std::shuffle(batch.begin(), batch.end(), rng);
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].window_end, want[i].window_end);
+    EXPECT_EQ(got[i].detection.window_vertices,
+              want[i].detection.window_vertices);
+    EXPECT_EQ(got[i].detection.window_edges, want[i].detection.window_edges);
+    EXPECT_EQ(got[i].detection.lp.labels, want[i].detection.lp.labels);
+    ExpectSameClusters(got[i].detection.clusters, want[i].detection.clusters,
+                       got[i].window_end);
+  }
 }
 
 TEST(ServeTest, StopRacesBlockedIngestWithoutDeadlock) {

@@ -1,0 +1,501 @@
+// Sharded-fleet tests (DESIGN.md §4.9): the N-shard ShardedStreamServer
+// must reproduce the 1-shard StreamServer's confirmed clusters exactly (up
+// to cluster renumbering) on cold canonical replay, stay equivalent under a
+// transient-fault chaos schedule, restore atomically from per-shard
+// checkpoints — including falling back to the previous complete snapshot
+// when one shard file of the newest manifest is lost — and the sharded
+// manifest format must round-trip and prune correctly.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/transactions.h"
+#include "serve/checkpoint.h"
+#include "serve/server.h"
+#include "serve/sharded_server.h"
+#include "util/failpoint.h"
+
+namespace glp::serve {
+namespace {
+
+using graph::TimedEdge;
+using graph::VertexId;
+
+pipeline::TransactionConfig SmallStreamConfig() {
+  pipeline::TransactionConfig cfg;
+  cfg.num_buyers = 1500;
+  cfg.num_items = 400;
+  cfg.days = 40;
+  cfg.num_rings = 8;
+  cfg.ring_buyers = 8;
+  cfg.ring_items = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+std::vector<TimedEdge> CanonicalEdges(
+    const pipeline::TransactionStream& stream) {
+  std::vector<TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  return ordered;
+}
+
+std::vector<std::vector<TimedEdge>> BatchEdges(
+    const std::vector<TimedEdge>& ordered, size_t batch_size,
+    size_t begin_idx = 0) {
+  std::vector<std::vector<TimedEdge>> batches;
+  for (size_t pos = begin_idx; pos < ordered.size(); pos += batch_size) {
+    const size_t n = std::min(batch_size, ordered.size() - pos);
+    batches.emplace_back(ordered.begin() + static_cast<ptrdiff_t>(pos),
+                         ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+  }
+  return batches;
+}
+
+/// Cold, fixed-iteration configuration: with warm start off and a fixed
+/// synchronous iteration count, per-component LP is order-isomorphic to the
+/// global run, so shard-count equivalence is exact (see sharded_server.h).
+ServerConfig ColdServerConfig(const pipeline::TransactionStream& stream) {
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.detect.lp.max_iterations = 20;
+  cfg.detect.lp.stop_when_stable = false;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = 5.0;
+  cfg.warm_start = false;
+  cfg.retry_backoff_ms = 0.1;
+  cfg.max_retry_backoff_ms = 1.0;
+  return cfg;
+}
+
+int64_t TickKey(double window_end) {
+  return static_cast<int64_t>(std::llround(window_end * 4));
+}
+
+/// Shard-count-independent view of one tick: cluster member sets (labels
+/// are renumbered across shard counts, member sets are not), the confirmed
+/// subset, and the aggregate window/metric counts.
+struct TickView {
+  std::set<std::vector<VertexId>> clusters;
+  std::set<std::vector<VertexId>> confirmed;
+  size_t window_vertices = 0;
+  size_t window_edges = 0;
+  int64_t confirmed_tp = 0;
+};
+
+TickView ViewOf(const TickResult& t) {
+  TickView v;
+  for (const auto& c : t.detection.clusters) {
+    v.clusters.insert(c.members);
+    if (c.confirmed) v.confirmed.insert(c.members);
+  }
+  v.window_vertices = t.detection.window_vertices;
+  v.window_edges = t.detection.window_edges;
+  v.confirmed_tp = t.detection.confirmed_metrics.true_positives;
+  return v;
+}
+
+void ExpectSameView(const TickView& got, const TickView& want, int64_t key) {
+  EXPECT_EQ(got.clusters, want.clusters) << "tick " << key;
+  EXPECT_EQ(got.confirmed, want.confirmed) << "tick " << key;
+  EXPECT_EQ(got.window_vertices, want.window_vertices) << "tick " << key;
+  EXPECT_EQ(got.window_edges, want.window_edges) << "tick " << key;
+  EXPECT_EQ(got.confirmed_tp, want.confirmed_tp) << "tick " << key;
+}
+
+/// Replays the canonical stream through a 1-shard StreamServer.
+std::map<int64_t, TickView> RunSingle(const ServerConfig& cfg,
+                                      const std::vector<TimedEdge>& ordered) {
+  std::map<int64_t, TickView> out;
+  StreamServer server(cfg);
+  server.Subscribe(
+      [&](const TickResult& t) { out[TickKey(t.window_end)] = ViewOf(t); });
+  EXPECT_TRUE(server.Start().ok());
+  for (auto& batch : BatchEdges(ordered, 1000)) {
+    EXPECT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  return out;
+}
+
+/// Replays the canonical stream through an N-shard fleet.
+std::map<int64_t, TickView> RunSharded(const ServerConfig& cfg,
+                                       int num_shards,
+                                       const std::vector<TimedEdge>& ordered,
+                                       ServerStats* stats_out = nullptr) {
+  std::map<int64_t, TickView> out;
+  ShardedStreamServer server(cfg, num_shards);
+  server.Subscribe(
+      [&](const TickResult& t) { out[TickKey(t.window_end)] = ViewOf(t); });
+  EXPECT_TRUE(server.Start().ok());
+  for (auto& batch : BatchEdges(ordered, 1000)) {
+    EXPECT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  if (stats_out != nullptr) *stats_out = server.stats();
+  server.Stop();
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  return out;
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::FailpointRegistry::Global().ResetToEnv(); }
+  void TearDown() override { fail::FailpointRegistry::Global().ResetToEnv(); }
+
+  std::string MakeTempDir(const std::string& tag) {
+    const std::string dir = ::testing::TempDir() + "glp_shard_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  std::vector<std::string> dirs_;
+
+  ~ShardTest() override {
+    for (const auto& d : dirs_) {
+      std::error_code ec;
+      std::filesystem::remove_all(d, ec);
+    }
+  }
+};
+
+// The acceptance invariant: an N-shard cold replay of the canonical stream
+// produces exactly the 1-shard confirmed clusters (up to renumbering) at
+// every tick — for both a power-of-two and an odd shard count.
+TEST_F(ShardTest, ColdShardedReplayMatchesSingleShardExactly) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const ServerConfig cfg = ColdServerConfig(stream);
+
+  const auto want = RunSingle(cfg, ordered);
+  ASSERT_GE(want.size(), 4u);
+
+  for (const int shards : {4, 3}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ServerStats stats;
+    const auto got = RunSharded(cfg, shards, ordered, &stats);
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto& [key, view] : want) {
+      ASSERT_TRUE(got.count(key)) << "missing tick " << key;
+      ExpectSameView(got.at(key), view, key);
+    }
+    EXPECT_EQ(stats.ticks, static_cast<int64_t>(got.size()));
+    EXPECT_EQ(stats.ticks_failed, 0);
+    EXPECT_EQ(stats.cold_ticks, stats.ticks);
+  }
+}
+
+// Stitched cluster labels are globally renumbered: dense 0..n-1, assigned
+// in sorted-member order, with no residue of per-owner label spaces.
+TEST_F(ShardTest, StitchedClustersCarryDenseGlobalLabels) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const ServerConfig cfg = ColdServerConfig(stream);
+
+  int nonempty_ticks = 0;
+  ShardedStreamServer server(cfg, 4);
+  server.Subscribe([&](const TickResult& t) {
+    if (t.detection.clusters.empty()) return;
+    ++nonempty_ticks;
+    for (size_t i = 0; i < t.detection.clusters.size(); ++i) {
+      const auto& c = t.detection.clusters[i];
+      EXPECT_EQ(c.label, static_cast<graph::Label>(i));
+      EXPECT_FALSE(c.members.empty());
+      EXPECT_TRUE(std::is_sorted(c.members.begin(), c.members.end()));
+      if (i > 0) {
+        EXPECT_LT(t.detection.clusters[i - 1].members, c.members);
+      }
+    }
+    // Per-vertex labels have no global local-id space; the stitched result
+    // leaves them empty by contract.
+    EXPECT_TRUE(t.detection.lp.labels.empty());
+  });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchEdges(ordered, 1000)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  EXPECT_GE(nonempty_ticks, 4);
+
+  // Per-shard metric families are registered under the shard label.
+  const std::string text = server.metrics()->PrometheusText();
+  EXPECT_NE(text.find("glp_serve_shard_window_edges"), std::string::npos);
+  EXPECT_NE(text.find("shard=\"3\""), std::string::npos);
+}
+
+// Confirmed-cluster diffs from the stitcher must replay to the current
+// confirmed set, exactly as the 1-shard server's diffs do.
+TEST_F(ShardTest, ShardedConfirmedDiffsReplayToCurrentSet) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const ServerConfig cfg = ColdServerConfig(stream);
+
+  std::set<std::vector<VertexId>> state;
+  bool saw_confirmed = false;
+  ShardedStreamServer server(cfg, 4);
+  server.Subscribe([&](const TickResult& t) {
+    for (const auto& members : t.expired_confirmed) {
+      ASSERT_EQ(state.erase(members), 1u);
+    }
+    for (const auto& members : t.new_confirmed) {
+      ASSERT_TRUE(state.insert(members).second);
+    }
+    std::set<std::vector<VertexId>> confirmed_now;
+    for (const auto& c : t.detection.clusters) {
+      if (c.confirmed) confirmed_now.insert(c.members);
+    }
+    saw_confirmed = saw_confirmed || !confirmed_now.empty();
+    EXPECT_EQ(state, confirmed_now) << "tick end " << t.window_end;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch : BatchEdges(ordered, 1000)) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  EXPECT_TRUE(saw_confirmed);
+}
+
+// Equivalence must survive chaos: transient faults on the per-owner tick
+// and LP-dispatch paths plus injected append latency are absorbed by the
+// per-shard retry ladder without output divergence. (Only schedules retries
+// always absorb belong here — rejection faults and deadlines legitimately
+// change output and are covered by the resilience tests.)
+TEST_F(ShardTest, ChaosScheduleDoesNotDivergeShardedOutput) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const ServerConfig cfg = ColdServerConfig(stream);
+
+  // Fault-free sharded baseline first.
+  const auto want = RunSharded(cfg, 4, ordered);
+  ASSERT_GE(want.size(), 4u);
+
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("serve.tick=error(io)@every4;"
+                        "pipeline.lp_dispatch=error(internal)@every5;"
+                        "serve.window_append=delay(1)@1in3")
+                  .ok());
+
+  ServerStats stats;
+  const auto got = RunSharded(cfg, 4, ordered, &stats);
+  EXPECT_GE(stats.tick_retries, 1);
+  EXPECT_EQ(stats.ticks_failed, 0);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, view] : want) {
+    ASSERT_TRUE(got.count(key)) << "missing tick " << key;
+    ExpectSameView(got.at(key), view, key);
+  }
+}
+
+// Kill the fleet mid-stream, lose one shard file of the newest snapshot,
+// and restore: the fleet must fall back to the previous *complete*
+// snapshot atomically (never a torn mix), and replaying the canonical
+// stream from the returned edge index must reproduce the uninterrupted
+// sharded run from that point on.
+TEST_F(ShardTest, SingleShardKillRestoreFallsBackToCompleteSnapshot) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const std::string dir = MakeTempDir("restore");
+
+  const ServerConfig cfg = ColdServerConfig(stream);
+
+  // Uninterrupted sharded baseline.
+  const auto want = RunSharded(cfg, 4, ordered);
+  ASSERT_GE(want.size(), 6u);
+
+  // Run A: checkpoint every tick, kill mid-stream.
+  ServerConfig cfg_a = cfg;
+  cfg_a.checkpoint_dir = dir;
+  cfg_a.checkpoint_every_ticks = 1;
+  cfg_a.checkpoint_keep = 8;
+  {
+    ShardedStreamServer server(cfg_a, 4);
+    ASSERT_TRUE(server.Start().ok());
+    auto batches = BatchEdges(ordered, 1000);
+    const size_t half = batches.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(server.Ingest(std::move(batches[i])));
+    }
+    server.Flush();
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.checkpoints_written, 2);
+    EXPECT_EQ(stats.checkpoint_failures, 0);
+    server.Stop();
+  }
+
+  auto newest = LatestShardedCheckpoint(dir);
+  ASSERT_TRUE(newest.ok()) << newest.status().ToString();
+  const int64_t newest_tick = newest.value().manifest.tick;
+  ASSERT_GE(newest_tick, 2);
+
+  // Truncate one shard file of the newest snapshot: that whole snapshot is
+  // now unusable, and restore must fall back to the previous complete one.
+  ASSERT_EQ(newest.value().manifest.shard_files.size(), 4u);
+  std::filesystem::resize_file(dir + "/" + newest.value().manifest.shard_files[1],
+                               16);
+
+  // A mismatched fleet size is rejected outright, not partially restored.
+  {
+    ShardedStreamServer wrong(cfg, 2);
+    auto r = wrong.RestoreFromCheckpoint(dir);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+
+  ShardedStreamServer server(cfg, 4);
+  std::map<int64_t, TickView> got;
+  int64_t first_restored_tick = -1;
+  server.Subscribe([&](const TickResult& t) {
+    if (first_restored_tick < 0) first_restored_tick = t.tick;
+    got[TickKey(t.window_end)] = ViewOf(t);
+  });
+  auto restored = server.RestoreFromCheckpoint(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().tick, newest_tick - 1);
+  ASSERT_LT(restored.value().num_edges, ordered.size());
+
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch :
+       BatchEdges(ordered, 1000,
+                  static_cast<size_t>(restored.value().num_edges))) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+
+  EXPECT_EQ(first_restored_tick, restored.value().tick);
+  ASSERT_FALSE(got.empty());
+  for (const auto& [key, view] : got) {
+    ASSERT_TRUE(want.count(key)) << "unexpected tick " << key;
+    ExpectSameView(view, want.at(key), key);
+  }
+  // The restored run covers every baseline tick after the fallback point.
+  EXPECT_EQ(static_cast<int64_t>(want.size()),
+            restored.value().tick + static_cast<int64_t>(got.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded checkpoint file format
+// ---------------------------------------------------------------------------
+
+CheckpointData SampleShardData(int shard) {
+  CheckpointData data;
+  data.tick = 3;
+  data.edges = {{static_cast<VertexId>(shard * 10 + 1),
+                 static_cast<VertexId>(shard * 10 + 2), 0.5},
+                {static_cast<VertexId>(shard * 10 + 2),
+                 static_cast<VertexId>(shard * 10 + 3), 1.5}};
+  return data;
+}
+
+/// Writes a complete fleet snapshot for `tick` into `dir`, manifest last.
+ShardManifest WriteFleetSnapshot(const std::string& dir, int64_t tick,
+                                 int num_shards) {
+  ShardManifest m;
+  m.tick = tick;
+  m.num_shards = num_shards;
+  m.coord_file = CoordCheckpointFileName(tick);
+  CheckpointData coord;
+  coord.tick = tick;
+  coord.tick_schedule_primed = true;
+  coord.next_tick_end = 5.0 * static_cast<double>(tick + 1);
+  EXPECT_TRUE(SaveCheckpoint(dir + "/" + m.coord_file, coord).ok());
+  for (int k = 0; k < num_shards; ++k) {
+    m.shard_files.push_back(ShardCheckpointFileName(k, tick));
+    EXPECT_TRUE(
+        SaveCheckpoint(dir + "/" + m.shard_files.back(), SampleShardData(k))
+            .ok());
+  }
+  EXPECT_TRUE(
+      SaveShardManifest(dir + "/" + ShardManifestFileName(tick), m).ok());
+  return m;
+}
+
+TEST_F(ShardTest, ShardManifestRoundTripsExactly) {
+  const std::string dir = MakeTempDir("manifest");
+  const ShardManifest m = WriteFleetSnapshot(dir, 7, 3);
+
+  auto loaded = LoadShardManifest(dir + "/" + ShardManifestFileName(7));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().tick, m.tick);
+  EXPECT_EQ(loaded.value().num_shards, m.num_shards);
+  EXPECT_EQ(loaded.value().coord_file, m.coord_file);
+  EXPECT_EQ(loaded.value().shard_files, m.shard_files);
+
+  auto full = LoadShardedCheckpoint(dir + "/" + ShardManifestFileName(7));
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full.value().coord.next_tick_end, 40.0);
+  ASSERT_EQ(full.value().shards.size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    const auto& got = full.value().shards[static_cast<size_t>(k)];
+    const auto want = SampleShardData(k);
+    ASSERT_EQ(got.edges.size(), want.edges.size());
+    for (size_t i = 0; i < got.edges.size(); ++i) {
+      EXPECT_EQ(got.edges[i].src, want.edges[i].src);
+      EXPECT_EQ(got.edges[i].dst, want.edges[i].dst);
+    }
+  }
+}
+
+TEST_F(ShardTest, LatestShardedCheckpointSkipsIncompleteSnapshots) {
+  const std::string dir = MakeTempDir("latest");
+  WriteFleetSnapshot(dir, 2, 4);
+  const ShardManifest newest = WriteFleetSnapshot(dir, 4, 4);
+
+  // A missing shard file invalidates the whole newest snapshot.
+  std::filesystem::remove(dir + "/" + newest.shard_files[2]);
+  auto latest = LatestShardedCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().manifest.tick, 2);
+
+  // With every snapshot incomplete, restore has nothing to offer.
+  std::filesystem::remove(dir + "/" + CoordCheckpointFileName(2));
+  auto none = LatestShardedCheckpoint(dir);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound)
+      << none.status().ToString();
+}
+
+TEST_F(ShardTest, PruneShardCheckpointsRemovesWholeSnapshots) {
+  const std::string dir = MakeTempDir("prune");
+  const ShardManifest old_m = WriteFleetSnapshot(dir, 2, 2);
+  const ShardManifest new_m = WriteFleetSnapshot(dir, 4, 2);
+
+  ASSERT_TRUE(PruneShardCheckpoints(dir, 1).ok());
+
+  // The pruned snapshot disappears whole: manifest, coord, and shard files.
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/" + ShardManifestFileName(2)));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + old_m.coord_file));
+  for (const auto& f : old_m.shard_files) {
+    EXPECT_FALSE(std::filesystem::exists(dir + "/" + f));
+  }
+  // The kept snapshot stays fully loadable.
+  auto latest = LatestShardedCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().manifest.tick, 4);
+  EXPECT_EQ(latest.value().manifest.shard_files, new_m.shard_files);
+}
+
+}  // namespace
+}  // namespace glp::serve

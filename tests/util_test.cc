@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bits.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -160,6 +161,30 @@ TEST(HashTest, BucketInRangeAndSpread) {
 
 TEST(HashTest, SeededHashesDiffer) {
   EXPECT_NE(HashSeeded(42, 1), HashSeeded(42, 2));
+}
+
+TEST(BitsTest, NextPow2SmallValues) {
+  EXPECT_EQ(NextPow2(0), 8);
+  EXPECT_EQ(NextPow2(1), 8);
+  EXPECT_EQ(NextPow2(8), 8);
+  EXPECT_EQ(NextPow2(9), 16);
+  EXPECT_EQ(NextPow2(1000), 1024);
+  EXPECT_EQ(NextPow2(1024), 1024);
+  EXPECT_EQ(NextPow2(1025), 2048);
+}
+
+TEST(BitsTest, NextPow2HonorsFloor) {
+  EXPECT_EQ(NextPow2(0, 16), 16);
+  EXPECT_EQ(NextPow2(17, 16), 32);
+}
+
+TEST(BitsTest, NextPow2ExtremeDegreeClampsInsteadOfOverflowing) {
+  // A 3-billion-degree synthetic value: the old 32-bit helper would shift
+  // past 2^30 into signed-overflow UB (and loop forever in practice once
+  // the doubling wrapped negative). The 64-bit helper clamps at 2^30.
+  EXPECT_EQ(NextPow2(int64_t{3'000'000'000}), 1 << 30);
+  EXPECT_EQ(NextPow2(int64_t{1} << 62), 1 << 30);
+  EXPECT_EQ(NextPow2((int64_t{1} << 30) + 1), 1 << 30);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversRange) {

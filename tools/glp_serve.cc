@@ -4,9 +4,10 @@
 //
 //   glp_serve --days 90 --buyers 30000 --window 30 --tick 1 --engine glp
 //   glp_serve --cold --batch 5000          # disable warm starts, compare
+//   glp_serve --shards 4 --metrics-port 0  # sharded fleet + live /metrics
 //
 // The operational entry point for the serving layer; see DESIGN.md
-// §"Serving layer".
+// §"Serving layer" and §4.9 (sharded scale-out).
 
 #include <algorithm>
 #include <chrono>
@@ -20,6 +21,7 @@
 #include "pipeline/transactions.h"
 #include "prof/prof.h"
 #include "serve/server.h"
+#include "serve/sharded_server.h"
 #include "util/failpoint.h"
 
 namespace {
@@ -42,6 +44,7 @@ struct Args {
   bool warm = true;
   bool quiet = false;
   bool profile = false;
+  int shards = 1;         // >1 = ShardedStreamServer fleet
   int metrics_port = -1;  // -1 = no endpoint; 0 = ephemeral port
   // Resilience (DESIGN.md §4.8).
   std::string checkpoint_dir;
@@ -71,6 +74,9 @@ void Usage() {
       "  --cold         disable warm starts (every tick from scratch)\n"
       "  --refresh <n>  cold-refresh every n ticks (counters warm-start\n"
       "                 label-granularity drift; 0 = never; default 32)\n"
+      "  --shards <n>   hash-partition entities across n server shards\n"
+      "                 (cross-shard clusters stitched per tick; default 1\n"
+      "                 = the single StreamServer)\n"
       "  --profile      per-phase profile of the serving run\n"
       "  --quiet        suppress per-tick lines (stats JSON only)\n"
       "monitoring:\n"
@@ -121,6 +127,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--refresh")) {
       args->refresh = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      args->shards = std::atoi(next());
+    } else if (!std::strncmp(argv[i], "--shards=", 9)) {
+      args->shards = std::atoi(argv[i] + 9);
     } else if (!std::strcmp(argv[i], "--metrics-port")) {
       args->metrics_port = std::atoi(next());
     } else if (!std::strncmp(argv[i], "--metrics-port=", 15)) {
@@ -164,60 +174,12 @@ bool ParseEngine(const std::string& name, lp::EngineKind* kind) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!Parse(argc, argv, &args)) {
-    Usage();
-    return 2;
-  }
-
-  // --- Stream ---
-  pipeline::TransactionConfig tcfg;
-  tcfg.num_buyers = args.buyers;
-  tcfg.num_items = args.items;
-  tcfg.days = args.days;
-  tcfg.num_rings = args.rings;
-  tcfg.seed = args.seed;
-  const auto stream = pipeline::GenerateTransactions(tcfg);
-  std::printf("stream: %zu purchases over %d days, %d rings, %zu seeds\n",
-              stream.edges.size(), args.days, args.rings,
-              stream.seeds.size());
-
-  // --- Server ---
-  serve::ServerConfig cfg;
-  if (!ParseEngine(args.engine, &cfg.detect.engine)) {
-    std::fprintf(stderr, "unknown engine: %s\n", args.engine.c_str());
-    return 2;
-  }
-  cfg.detect.window_days = args.window_days;
-  cfg.detect.lp.max_iterations = args.iterations;
-  cfg.detect.lp.stop_when_stable = true;
-  cfg.seeds = stream.seeds;
-  cfg.ground_truth = &stream;
-  cfg.tick_every_days = args.tick_every;
-  cfg.warm_start = args.warm;
-  cfg.cold_refresh_every_ticks = args.refresh;
-  cfg.tick_deadline_seconds = args.tick_deadline;
-  cfg.checkpoint_dir = args.checkpoint_dir;
-  cfg.checkpoint_every_ticks = args.checkpoint_every;
-  prof::PhaseProfiler profiler;
-  if (args.profile) cfg.profiler = &profiler;
-
-  if (!args.failpoints.empty()) {
-    const Status armed =
-        fail::FailpointRegistry::Global().Parse(args.failpoints);
-    if (!armed.ok()) {
-      std::fprintf(stderr, "bad --failpoints spec: %s\n",
-                   armed.ToString().c_str());
-      return 2;
-    }
-    std::printf("failpoints armed: %s\n", args.failpoints.c_str());
-  }
-
-  serve::StreamServer server(cfg);
-
+/// Replay driver shared by the single-server and sharded paths (identical
+/// serving API, no common base class needed).
+template <typename Server>
+int RunReplay(Server& server, const Args& args,
+              const pipeline::TransactionStream& stream,
+              prof::PhaseProfiler& profiler) {
   // Resume mid-stream: restore the newest checkpoint and skip the edges it
   // already ingested (the replay contract — see serve/checkpoint.h).
   size_t replay_from = 0;
@@ -321,4 +283,71 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  // --- Stream ---
+  pipeline::TransactionConfig tcfg;
+  tcfg.num_buyers = args.buyers;
+  tcfg.num_items = args.items;
+  tcfg.days = args.days;
+  tcfg.num_rings = args.rings;
+  tcfg.seed = args.seed;
+  const auto stream = pipeline::GenerateTransactions(tcfg);
+  std::printf("stream: %zu purchases over %d days, %d rings, %zu seeds\n",
+              stream.edges.size(), args.days, args.rings,
+              stream.seeds.size());
+
+  // --- Server ---
+  serve::ServerConfig cfg;
+  if (!ParseEngine(args.engine, &cfg.detect.engine)) {
+    std::fprintf(stderr, "unknown engine: %s\n", args.engine.c_str());
+    return 2;
+  }
+  cfg.detect.window_days = args.window_days;
+  cfg.detect.lp.max_iterations = args.iterations;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = args.tick_every;
+  cfg.warm_start = args.warm;
+  cfg.cold_refresh_every_ticks = args.refresh;
+  cfg.tick_deadline_seconds = args.tick_deadline;
+  cfg.checkpoint_dir = args.checkpoint_dir;
+  cfg.checkpoint_every_ticks = args.checkpoint_every;
+  prof::PhaseProfiler profiler;
+  if (args.profile) cfg.profiler = &profiler;
+
+  if (!args.failpoints.empty()) {
+    const Status armed =
+        fail::FailpointRegistry::Global().Parse(args.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+    std::printf("failpoints armed: %s\n", args.failpoints.c_str());
+  }
+
+  if (args.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (args.shards > 1) {
+    std::printf("sharded fleet: %d shards (entities hash-partitioned, "
+                "cross-shard clusters stitched per tick)\n",
+                args.shards);
+    serve::ShardedStreamServer server(cfg, args.shards);
+    return RunReplay(server, args, stream, profiler);
+  }
+  serve::StreamServer server(cfg);
+  return RunReplay(server, args, stream, profiler);
 }
