@@ -128,6 +128,19 @@ class ConvergenceRecorder {
 /// started from inside an oscillation orbit terminates after exactly two
 /// iterations *with the same labels it started from* — what makes warm
 /// restarts byte-reproducible against the cold run that produced them.
+///
+/// Cycles are only *reported* at even commit counts. A fixed point is
+/// parity-free (every later iteration commits the same labels), but a
+/// period-2 orbit is not: stopping one commit earlier or later publishes
+/// the orbit's other phase. Pinning the stop to even commits makes the
+/// published labeling of any vertex a function of (initial labels, graph)
+/// alone — independent of *which* run it was part of — so per-component LP
+/// over a subgraph lands on the exact labels a whole-graph run publishes
+/// for that component (each component enters its orbit at its own time;
+/// the whole-graph run stops at an even commit past all of them, and an
+/// even-commit stop of the per-component run reads off the same phase).
+/// Once in orbit, the cycle re-detects every subsequent commit, so
+/// deferring an odd-commit detection by one iteration loses nothing.
 class StabilityTracker {
  public:
   /// Arms the tracker with the run's initial labels.
@@ -135,21 +148,25 @@ class StabilityTracker {
     prev1_ = initial;
     prev2_.clear();
     have2_ = false;
+    commits_ = 0;
   }
 
   /// Feeds the labels committed by an iteration; returns true when they
-  /// match the labels two commits ago (a period-2 cycle — stop).
+  /// match the labels two commits ago (a period-2 cycle) *and* the commit
+  /// count is even — the phase-aligned stop point.
   bool Cycled(const std::vector<graph::Label>& labels) {
     const bool cycle = have2_ && labels == prev2_;
     prev2_ = std::move(prev1_);
     prev1_ = labels;
     have2_ = true;
-    return cycle;
+    ++commits_;
+    return cycle && (commits_ % 2 == 0);
   }
 
  private:
   std::vector<graph::Label> prev1_, prev2_;
   bool have2_ = false;
+  int64_t commits_ = 0;
 };
 
 /// Outcome and cost accounting of one run.

@@ -28,6 +28,7 @@ void SlidingWindow::Append(std::vector<TimedEdge> batch) {
   }
   const size_t old_size = edges_.size();
   edges_.insert(edges_.end(), batch.begin(), batch.end());
+  size_t insert_pos = old_size;
   if (old_size > 0 && CanonicalEdgeLess(edges_[old_size],
                                         edges_[old_size - 1])) {
     // Out-of-order arrival: merge the sorted batch into the sorted prefix,
@@ -36,8 +37,26 @@ void SlidingWindow::Append(std::vector<TimedEdge> batch) {
     const auto first =
         std::lower_bound(edges_.begin(), mid, *mid, CanonicalEdgeLess);
     std::inplace_merge(first, mid, edges_.end(), CanonicalEdgeLess);
+    insert_pos = static_cast<size_t>(first - edges_.begin());
   }
   ++generation_;
+  append_log_.push_back({generation_, insert_pos});
+  // Bounded history: evicting an entry makes queries that reach past it
+  // conservative (MinInsertSince answers 0), never wrong.
+  constexpr size_t kAppendLogCap = 64;
+  if (append_log_.size() > kAppendLogCap) {
+    log_covered_from_ = append_log_.front().gen;
+    append_log_.erase(append_log_.begin());
+  }
+}
+
+size_t SlidingWindow::MinInsertSince(uint64_t gen) const {
+  if (gen < log_covered_from_) return 0;  // history evicted: assume the worst
+  size_t min_pos = SIZE_MAX;
+  for (const AppendRecord& rec : append_log_) {
+    if (rec.gen > gen) min_pos = std::min(min_pos, rec.insert_pos);
+  }
+  return min_pos;
 }
 
 double SlidingWindow::min_time() const {
@@ -113,13 +132,22 @@ WindowSnapshot SlidingWindow::SnapshotRange(size_t begin_idx, size_t end_idx,
   return snap;
 }
 
-const WindowSnapshot& SlidingWindowCursor::AdvanceTo(double end_time) {
-  const double start_time = end_time - length_;
+void WindowRangeCursor::AdvanceTo(double start_time, double end_time,
+                                  WindowDelta* delta) {
   const std::vector<TimedEdge>& edges = window_->edges();
   const size_t n = edges.size();
-  if (!primed_ || window_->generation() != generation_ ||
-      start_time < start_ || end_time < end_) {
-    // First use, stream grew, or window moved backwards: re-sync bounds.
+  // A forward move can keep its cached indices — and report an exact delta —
+  // iff every append since the last sync landed at or past the old upper
+  // bound, leaving the array prefix those indices point into untouched.
+  const bool forward = primed_ && start_time >= start_ && end_time >= end_;
+  const size_t min_insert =
+      (forward && window_->generation() != generation_)
+          ? window_->MinInsertSince(generation_)
+          : SIZE_MAX;
+  const bool exact = forward && min_insert >= hi_;
+  const size_t lo0 = lo_, hi0 = hi_;
+  if (!exact) {
+    // First use, backward move, or an append rewrote the prefix: re-sync.
     lo_ = window_->LowerBound(start_time);
     hi_ = window_->LowerBound(end_time);
   } else {
@@ -127,12 +155,52 @@ const WindowSnapshot& SlidingWindowCursor::AdvanceTo(double end_time) {
     while (lo_ < n && edges[lo_].time < start_time) ++lo_;
     while (hi_ < n && edges[hi_].time < end_time) ++hi_;
   }
+  if (delta != nullptr) {
+    *delta = WindowDelta{};
+    delta->exact = exact;
+    if (exact) {
+      // Prefix [0, hi0) is untouched, so old-window positions are valid in
+      // the new array. Edges at [hi0, hi_) are new to the window whether
+      // they are appended arrivals or pre-existing tail edges the window
+      // just advanced over; appends that expired in the same advance
+      // (position in [hi0, lo_)) correctly appear in neither range.
+      delta->expired_begin = lo0;
+      delta->expired_end = std::min(lo_, hi0);
+      delta->retained_begin = std::min(lo_, hi0);
+      delta->retained_end = hi0;
+      delta->appended_begin = std::max(hi0, lo_);
+      delta->appended_end = hi_;
+    }
+  }
   primed_ = true;
   generation_ = window_->generation();
   start_ = start_time;
   end_ = end_time;
-  snapshot_ = window_->SnapshotRange(lo_, hi_, &scratch_, collapse_);
+}
+
+void WindowRangeCursor::PrimeAt(double start_time, double end_time) {
+  lo_ = window_->LowerBound(start_time);
+  hi_ = window_->LowerBound(end_time);
+  primed_ = true;
+  generation_ = window_->generation();
+  start_ = start_time;
+  end_ = end_time;
+}
+
+const WindowSnapshot& SlidingWindowCursor::AdvanceTo(double end_time) {
+  return AdvanceTo(end_time, nullptr);
+}
+
+const WindowSnapshot& SlidingWindowCursor::AdvanceTo(double end_time,
+                                                     WindowDelta* delta) {
+  range_.AdvanceTo(end_time - length_, end_time, delta);
+  snapshot_ = window_->SnapshotRange(range_.lo(), range_.hi(), &scratch_,
+                                     collapse_);
   return snapshot_;
+}
+
+void SlidingWindowCursor::PrimeAt(double end_time) {
+  range_.PrimeAt(end_time - length_, end_time);
 }
 
 }  // namespace glp::graph

@@ -64,6 +64,14 @@ class SlidingWindow {
   /// Incremented on every Append; lets cursors detect staleness.
   uint64_t generation() const { return generation_; }
 
+  /// Minimum canonical insert position over every Append committed after
+  /// generation `gen`: SIZE_MAX when nothing was appended since, 0
+  /// (maximally conservative) when the bounded append log no longer reaches
+  /// back to `gen`. A cursor holding edge indices valid at `gen` may keep
+  /// them iff MinInsertSince(gen) is at or past its upper bound — then the
+  /// array prefix it indexed is byte-for-byte untouched.
+  size_t MinInsertSince(uint64_t gen) const;
+
   size_t num_stream_edges() const { return edges_.size(); }
   const std::vector<TimedEdge>& edges() const { return edges_; }
   double min_time() const;
@@ -103,6 +111,67 @@ class SlidingWindow {
   std::vector<TimedEdge> edges_;  // sorted by CanonicalEdgeLess
   VertexId max_entity_ = 0;
   uint64_t generation_ = 0;
+  // Bounded log of (generation after append, canonical insert position),
+  // backing MinInsertSince. Appends older than log_covered_from_ have been
+  // evicted; queries reaching past it get the conservative answer.
+  struct AppendRecord {
+    uint64_t gen;
+    size_t insert_pos;
+  };
+  std::vector<AppendRecord> append_log_;
+  uint64_t log_covered_from_ = 0;
+};
+
+/// \brief What one window advance changed, as half-open edge-index ranges
+/// into the *current* stream array.
+///
+/// Only meaningful when `exact` is true — which requires a forward move
+/// over a stream whose appends since the cursor's last sync all landed at
+/// or past the old upper bound (MinInsertSince), so the array prefix the
+/// old indices pointed into is untouched. Then the old window is
+/// expired ∪ retained and the new window is retained ∪ appended, with no
+/// overlap between ranges. When `exact` is false (first use, backward
+/// move, or an append that rewrote the prefix) the ranges are empty and
+/// the caller must treat the whole window as changed.
+struct WindowDelta {
+  bool exact = false;
+  size_t expired_begin = 0, expired_end = 0;    ///< left the window
+  size_t retained_begin = 0, retained_end = 0;  ///< in both windows
+  size_t appended_begin = 0, appended_end = 0;  ///< entered the window
+};
+
+/// \brief Snapshot-free window range tracking with exact-delta reporting.
+///
+/// The bound-advancing core of SlidingWindowCursor, usable on its own when
+/// the caller materializes graphs elsewhere: the sharded server keeps one
+/// per shard window to feed the fleet-wide incremental union-find without
+/// building per-shard snapshot graphs it would then throw away.
+class WindowRangeCursor {
+ public:
+  WindowRangeCursor() = default;
+  explicit WindowRangeCursor(const SlidingWindow* window) : window_(window) {}
+
+  /// Moves the tracked range to the edges with time in
+  /// [start_time, end_time), reporting what changed (see WindowDelta for
+  /// when the delta is exact). Bounds advance incrementally on forward
+  /// moves, by binary search otherwise.
+  void AdvanceTo(double start_time, double end_time, WindowDelta* delta);
+
+  /// Seats the cached bounds at [start_time, end_time) without reporting a
+  /// delta — checkpoint restore, so the first post-restore AdvanceTo can
+  /// report an exact delta against the pre-kill window.
+  void PrimeAt(double start_time, double end_time);
+
+  size_t lo() const { return lo_; }
+  size_t hi() const { return hi_; }
+
+ private:
+  const SlidingWindow* window_ = nullptr;
+  // Cached state of the previous advance.
+  bool primed_ = false;
+  uint64_t generation_ = 0;
+  double start_ = 0, end_ = 0;
+  size_t lo_ = 0, hi_ = 0;
 };
 
 /// \brief Amortized window advancement over a (possibly growing) stream.
@@ -118,15 +187,28 @@ class SlidingWindowCursor {
  public:
   SlidingWindowCursor(const SlidingWindow* window, double window_length,
                       bool collapse = false)
-      : window_(window), length_(window_length), collapse_(collapse) {}
+      : window_(window), length_(window_length), collapse_(collapse),
+        range_(window) {}
 
   /// Moves the window to end at `end_time` and returns its snapshot.
   const WindowSnapshot& AdvanceTo(double end_time);
 
+  /// As above, additionally reporting what changed relative to the previous
+  /// advance. The delta is exact only for a forward move whose intervening
+  /// appends all landed at or past the old upper bound (see WindowDelta);
+  /// otherwise delta->exact is false and the snapshot is still correct —
+  /// the caller just cannot reuse prior per-window state.
+  const WindowSnapshot& AdvanceTo(double end_time, WindowDelta* delta);
+
+  /// Primes the cursor's cached bounds at `end_time` without materializing
+  /// a snapshot. Checkpoint restore uses it so the first post-restore
+  /// AdvanceTo can report an exact delta against the pre-kill window.
+  void PrimeAt(double end_time);
+
   const WindowSnapshot& snapshot() const { return snapshot_; }
   /// Edge-index bounds of the last snapshot (for diagnostics).
-  size_t lo() const { return lo_; }
-  size_t hi() const { return hi_; }
+  size_t lo() const { return range_.lo(); }
+  size_t hi() const { return range_.hi(); }
 
  private:
   const SlidingWindow* window_;
@@ -134,11 +216,7 @@ class SlidingWindowCursor {
   bool collapse_;
   SlidingWindow::Scratch scratch_;
   WindowSnapshot snapshot_;
-  // Cached state of the previous AdvanceTo.
-  bool primed_ = false;
-  uint64_t generation_ = 0;
-  double start_ = 0, end_ = 0;
-  size_t lo_ = 0, hi_ = 0;
+  WindowRangeCursor range_;
 };
 
 }  // namespace glp::graph

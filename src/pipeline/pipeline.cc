@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -40,13 +41,38 @@ Result<PipelineResult> DetectOnSnapshot(
     const graph::WindowSnapshot& snap, const PipelineConfig& config,
     const lp::RunContext& ctx, const std::vector<VertexId>& seeds,
     const TransactionStream* ground_truth, double window_start,
-    double window_end) {
+    double window_end, const DetectDelta* delta) {
   PipelineResult out;
   prof::PhaseProfiler* const profiler = ctx.profiler;
   out.window_vertices = snap.graph.num_vertices();
   out.window_edges = snap.graph.num_edges();
   if (snap.graph.num_vertices() == 0) {
     return Status::InvalidArgument("window contains no transactions");
+  }
+  const VertexId num_local = snap.graph.num_vertices();
+  const bool incremental = delta != nullptr;
+  if (incremental) {
+    if (delta->dirty.size() != static_cast<size_t>(num_local) ||
+        delta->clean_labels.size() != static_cast<size_t>(num_local)) {
+      return Status::InvalidArgument(
+          "DetectDelta arrays do not match the snapshot");
+    }
+    // Exactness preconditions (DESIGN.md §4.10). Per-component LP equals
+    // whole-graph LP only when the dynamics are component-local and
+    // equivariant under the monotone dirty-rank relabeling: no caller-
+    // supplied initial labels, synchronous updates, no per-vertex-id
+    // randomness (SLP's speaker draws hash the raw vertex id), and — under
+    // stop_when_stable — an even iteration budget so a budget-exhausted
+    // stop lands on the same period-2 phase as StabilityTracker's
+    // even-commit stop.
+    if (!config.lp.initial_labels.empty() || !config.lp.synchronous ||
+        config.variant == lp::VariantKind::kSlp ||
+        (config.lp.stop_when_stable && config.lp.max_iterations % 2 != 0)) {
+      return Status::InvalidArgument(
+          "incremental detection requires synchronous LP with default "
+          "initialization, a non-SLP variant, and an even iteration budget "
+          "under stop_when_stable");
+    }
   }
 
   // --- Stage 2: LP clustering ---
@@ -57,14 +83,76 @@ Result<PipelineResult> DetectOnSnapshot(
                                ctx.pool);
   glp::Timer lp_timer;
   const double lp_host_start = profiler != nullptr ? profiler->HostNow() : 0;
-  auto lp_result = engine->Run(snap.graph, config.lp, ctx);
+  lp::RunResult lp_run;
+  if (!incremental) {
+    auto lp_result = engine->Run(snap.graph, config.lp, ctx);
+    if (!lp_result.ok()) return lp_result.status();
+    lp_run = std::move(lp_result).value();
+  } else {
+    // LP over the dirty subgraph only. The dirty set is component-closed,
+    // so every neighbor of a dirty vertex is dirty: copying the dirty
+    // vertices' CSR rows with ids remapped through the dirty-rank
+    // bijection yields the exact induced subgraph — same neighbor order,
+    // no re-symmetrization — and the bijection is monotone, so the
+    // subgraph run's labels are the whole-graph run's labels under the
+    // same remap (un-done by the scatter below).
+    std::vector<VertexId> sub_l2g;
+    std::vector<VertexId> sub_of(num_local, 0);
+    for (VertexId v = 0; v < num_local; ++v) {
+      if (delta->dirty[v]) {
+        sub_of[v] = static_cast<VertexId>(sub_l2g.size());
+        sub_l2g.push_back(v);
+      }
+    }
+    if (sub_l2g.empty()) {
+      lp_run.labels = delta->clean_labels;
+    } else {
+      const VertexId num_sub = static_cast<VertexId>(sub_l2g.size());
+      std::vector<graph::EdgeId> offsets(static_cast<size_t>(num_sub) + 1, 0);
+      graph::EdgeId total = 0;
+      for (VertexId s = 0; s < num_sub; ++s) {
+        offsets[s] = total;
+        total += snap.graph.degree(sub_l2g[s]);
+      }
+      offsets[num_sub] = total;
+      const bool weighted = snap.graph.has_weights();
+      std::vector<VertexId> neighbors;
+      neighbors.reserve(total);
+      std::vector<float> weights;
+      if (weighted) weights.reserve(total);
+      for (VertexId s = 0; s < num_sub; ++s) {
+        const VertexId v = sub_l2g[s];
+        const graph::EdgeId begin = snap.graph.offset(v);
+        const auto nbrs = snap.graph.neighbors(v);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          neighbors.push_back(sub_of[nbrs[i]]);
+          if (weighted) {
+            weights.push_back(snap.graph.edge_weight(
+                begin + static_cast<graph::EdgeId>(i)));
+          }
+        }
+      }
+      graph::Graph sub =
+          weighted ? graph::Graph(num_sub, std::move(offsets),
+                                  std::move(neighbors), std::move(weights))
+                   : graph::Graph(num_sub, std::move(offsets),
+                                  std::move(neighbors));
+      auto lp_result = engine->Run(sub, config.lp, ctx);
+      if (!lp_result.ok()) return lp_result.status();
+      lp_run = std::move(lp_result).value();
+      std::vector<graph::Label> full = delta->clean_labels;
+      for (VertexId s = 0; s < num_sub; ++s) {
+        full[sub_l2g[s]] = sub_l2g[lp_run.labels[s]];
+      }
+      lp_run.labels = std::move(full);
+    }
+  }
   out.lp_wall_seconds = lp_timer.Seconds();
-  if (!lp_result.ok()) return lp_result.status();
   if (profiler != nullptr) {
     profiler->RecordHostEvent("lp-clustering", lp_host_start,
                               out.lp_wall_seconds);
   }
-  out.lp = std::move(lp_result).value();
+  out.lp = std::move(lp_run);
   out.lp_seconds = out.lp.simulated_seconds;
   if (ctx.metrics != nullptr) {
     // Whole-run hardware counters under kernel="all"; the per-phase split
@@ -94,9 +182,14 @@ Result<PipelineResult> DetectOnSnapshot(
     }
   }
 
-  // Group vertices by final label.
+  // Group vertices by final label. Incremental ticks group only dirty
+  // vertices: a label group is always contained in one component, so clean
+  // components' clusters are exactly the `reused` records appended below.
   std::unordered_map<Label, std::vector<VertexId>> groups;
   for (VertexId local = 0; local < snap.graph.num_vertices(); ++local) {
+    if (incremental && !delta->extract_all && delta->dirty[local] == 0) {
+      continue;
+    }
     groups[out.lp.labels[local]].push_back(local);
   }
 
@@ -141,7 +234,13 @@ Result<PipelineResult> DetectOnSnapshot(
 
     SuspiciousCluster cluster;
     cluster.label = label;
-    cluster.num_seeds = seeds_in_group;
+    // Count seeds over the *merged* membership: companion groups carry
+    // seeds too (the items side of a two-colored bipartite ring), so the
+    // base group's count alone undercounts.
+    cluster.num_seeds = 0;
+    for (VertexId local : members) {
+      cluster.num_seeds += is_seed_local[local];
+    }
     // Internal interaction count (each undirected edge appears twice in the
     // CSR; weighted graphs carry the purchase multiplicity as weights, so
     // multigraph and collapsed windows score identically).
@@ -172,10 +271,27 @@ Result<PipelineResult> DetectOnSnapshot(
     std::sort(cluster.members.begin(), cluster.members.end());
     out.clusters.push_back(std::move(cluster));
   }
+  if (incremental && !delta->extract_all) {
+    out.clusters.insert(out.clusters.end(), delta->reused.begin(),
+                        delta->reused.end());
+  }
   std::sort(out.clusters.begin(), out.clusters.end(),
             [](const SuspiciousCluster& a, const SuspiciousCluster& b) {
               return a.label < b.label;
             });
+  // Mutual companion merges emit the same ring twice (A absorbs B and B
+  // absorbs A, differing only in label): keep one record per member set —
+  // the first after the label sort, i.e. the smallest label.
+  {
+    std::set<std::vector<VertexId>> seen;
+    size_t kept = 0;
+    for (size_t i = 0; i < out.clusters.size(); ++i) {
+      if (!seen.insert(out.clusters[i].members).second) continue;
+      if (kept != i) out.clusters[kept] = std::move(out.clusters[i]);
+      ++kept;
+    }
+    out.clusters.resize(kept);
+  }
 
   // --- Metrics against the injected ground truth, over window-active
   // entities. ---
@@ -229,6 +345,15 @@ Result<PipelineResult> DetectOnSnapshot(
         ->Increment(confirmed);
   }
   return out;
+}
+
+Result<PipelineResult> DetectOnSnapshot(
+    const graph::WindowSnapshot& snap, const PipelineConfig& config,
+    const lp::RunContext& ctx, const std::vector<VertexId>& seeds,
+    const TransactionStream* ground_truth, double window_start,
+    double window_end) {
+  return DetectOnSnapshot(snap, config, ctx, seeds, ground_truth,
+                          window_start, window_end, /*delta=*/nullptr);
 }
 
 Result<PipelineResult> FraudDetectionPipeline::Run(

@@ -104,6 +104,35 @@ struct PipelineResult {
   }
 };
 
+/// \brief Incremental-detection input for DetectOnSnapshot (DESIGN.md
+/// §4.10): which snapshot vertices are dirty, what the clean ones are
+/// labeled, and which cluster records carry over verbatim.
+///
+/// Dirty vertices are the members of components whose edge set changed
+/// since the caller's previous tick; the dirty set is component-closed (a
+/// component is entirely dirty or entirely clean). LP runs only on the
+/// subgraph induced by the dirty vertices — exact because label
+/// propagation never crosses a component boundary — and clean vertices
+/// take `clean_labels` (the caller's previous-tick labels, re-expressed in
+/// this snapshot's local ids). `reused` holds the previous tick's cluster
+/// records for clean components, labels already remapped; they are
+/// appended to the freshly extracted clusters so the combined output is
+/// byte-identical to a from-scratch extraction.
+struct DetectDelta {
+  /// Per-local-vertex dirty flag; size must equal the snapshot's vertex
+  /// count, and the set must be closed under connectivity.
+  std::vector<uint8_t> dirty;
+  /// Label for every vertex (local ids); read only where !dirty.
+  std::vector<graph::Label> clean_labels;
+  /// Clean-component cluster records reused verbatim (members are global
+  /// ids; label is the record's anchor re-expressed as a current local id).
+  std::vector<SuspiciousCluster> reused;
+  /// Run extraction over *all* components (ignoring `reused`) while still
+  /// restricting LP to the dirty ones — the checkpoint-restore case, where
+  /// previous labels survive but cluster records do not.
+  bool extract_all = false;
+};
+
 /// \brief Runs LP clustering + cluster extraction + scoring on an
 /// already-built window snapshot — stages 2 and 3 of Figure 1.
 ///
@@ -117,6 +146,27 @@ struct PipelineResult {
 /// detections against the stream's injected fraud over
 /// [window_start, window_end). build_seconds is left 0 — the caller owns
 /// snapshot construction and its timing.
+///
+/// `delta` (nullable) switches on incremental detection: LP and extraction
+/// run only over delta->dirty vertices, clean components take
+/// delta->clean_labels and delta->reused. The published labels and
+/// clusters are byte-identical to a delta-free run given the exactness
+/// preconditions (empty config.lp.initial_labels, synchronous updates, a
+/// variant without per-vertex-id randomness, and an even
+/// config.lp.max_iterations when stop_when_stable is set — see DESIGN.md
+/// §4.10); violating them is an InvalidArgument. lp.iterations and the
+/// timing fields reflect the dirty subgraph only (cost accounting, exempt
+/// from the byte-identity bar).
+Result<PipelineResult> DetectOnSnapshot(const graph::WindowSnapshot& snap,
+                                        const PipelineConfig& config,
+                                        const lp::RunContext& ctx,
+                                        const std::vector<graph::VertexId>& seeds,
+                                        const TransactionStream* ground_truth,
+                                        double window_start,
+                                        double window_end,
+                                        const DetectDelta* delta);
+
+/// Delta-free overload (the historical signature).
 Result<PipelineResult> DetectOnSnapshot(const graph::WindowSnapshot& snap,
                                         const PipelineConfig& config,
                                         const lp::RunContext& ctx,

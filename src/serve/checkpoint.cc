@@ -13,7 +13,10 @@ namespace glp::serve {
 namespace {
 
 constexpr uint64_t kMagic = 0x31544b5043504c47ULL;  // "GLPCPKT1" LE
-constexpr uint32_t kVersion = 1;
+// v2 appends the incremental-serving anchor arrays (flag bit 4); v1 files
+// still load, with those fields defaulted.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 /// FNV-1a over the serialized payload — corruption detection, not crypto.
 class Checksum {
@@ -115,7 +118,8 @@ Status SaveCheckpoint(const std::string& path, const CheckpointData& data) {
     Writer w(f.get());
     bool ok = w.Pod(kMagic) && w.Pod(kVersion);
     const uint32_t flags = (data.tick_schedule_primed ? 1u : 0u) |
-                           (data.have_prev ? 2u : 0u);
+                           (data.have_prev ? 2u : 0u) |
+                           (data.has_incremental ? 4u : 0u);
     ok = ok && w.Pod(flags) && w.Pod(data.tick) &&
          w.Pod(data.next_tick_end) && w.Pod(data.ingested_max_time) &&
          w.Vec(data.edges) && w.Vec(data.prev_l2g) &&
@@ -125,6 +129,7 @@ Status SaveCheckpoint(const std::string& path, const CheckpointData& data) {
     for (const auto& members : data.prev_confirmed) {
       ok = ok && w.Vec(members);
     }
+    ok = ok && w.Vec(data.inc_entities) && w.Vec(data.inc_anchors);
     // Checksum trailer (over everything before it).
     const uint64_t sum = w.checksum();
     ok = ok && std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum);
@@ -155,7 +160,7 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path) {
   if (!r.Pod(&magic) || magic != kMagic) {
     return Status::IoError("not a GLP checkpoint: " + path);
   }
-  if (!r.Pod(&version) || version != kVersion) {
+  if (!r.Pod(&version) || version < kMinVersion || version > kVersion) {
     return Status::IoError("unsupported checkpoint version in " + path);
   }
   CheckpointData data;
@@ -173,6 +178,10 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path) {
       if (!ok) break;
     }
   }
+  if (version >= 2) {
+    ok = ok && r.Vec(&data.inc_entities, kMaxElems) &&
+         r.Vec(&data.inc_anchors, kMaxElems);
+  }
   if (!ok) {
     return Status::IoError("truncated or corrupt checkpoint " + path);
   }
@@ -184,8 +193,13 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path) {
   }
   data.tick_schedule_primed = (flags & 1u) != 0;
   data.have_prev = (flags & 2u) != 0;
+  data.has_incremental = (flags & 4u) != 0;
   if (data.prev_labels.size() != data.prev_l2g.size()) {
     return Status::IoError("inconsistent warm state in checkpoint " + path);
+  }
+  if (data.inc_anchors.size() != data.inc_entities.size()) {
+    return Status::IoError("inconsistent incremental state in checkpoint " +
+                           path);
   }
   return data;
 }

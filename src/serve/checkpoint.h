@@ -46,6 +46,18 @@ struct CheckpointData {
   /// Confirmed-cluster sets of the previous tick (sorted member lists) —
   /// needed so post-restore new/expired diffs match the uninterrupted run.
   std::vector<std::vector<graph::VertexId>> prev_confirmed;
+
+  /// Incremental-serving anchors (format v2; empty/false when the server
+  /// was not running incrementally): entity-sorted parallel arrays mapping
+  /// each window entity to its component's label anchor entity, which is
+  /// how clean components keep their labels across a kill/restore. The
+  /// union-find itself is not serialized — restore rebuilds it
+  /// deterministically from `edges` (RebuildClean), so the pair round-trips
+  /// the complete persistent incremental state. v1 files load with these
+  /// left empty (first post-restore tick rebuilds from scratch).
+  bool has_incremental = false;
+  std::vector<graph::VertexId> inc_entities;
+  std::vector<graph::VertexId> inc_anchors;
 };
 
 /// Serializes `data` to `path` via write-temp-then-rename. Threads the

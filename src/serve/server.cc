@@ -59,6 +59,9 @@ std::string ServerStats::ToJson() const {
   w.Key("cold_refresh_deferred").Int(cold_refresh_deferred);
   w.Key("checkpoints_written").Int(checkpoints_written);
   w.Key("checkpoint_failures").Int(checkpoint_failures);
+  w.Key("reused_clusters").Int(reused_clusters);
+  w.Key("incremental_rebuilds").Int(incremental_rebuilds);
+  w.Key("last_dirty_components").Int(last_dirty_components);
   w.Key("tick_p50_seconds").Double(tick_p50_seconds);
   w.Key("tick_p99_seconds").Double(tick_p99_seconds);
   w.Key("tick_max_seconds").Double(tick_max_seconds);
@@ -147,6 +150,15 @@ StreamServer::StreamServer(ServerConfig config)
   ins_.checkpoints_failed = registry_->GetCounter(
       "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
       {{"result", "error"}});
+  ins_.dirty_components = registry_->GetGauge(
+      "glp_serve_dirty_components",
+      "Components whose edge set changed in the last incremental tick");
+  ins_.reused_clusters = registry_->GetCounter(
+      "glp_serve_reused_clusters_total",
+      "Clean-component cluster records reused verbatim by incremental ticks");
+  ins_.incremental_rebuilds = registry_->GetCounter(
+      "glp_serve_incremental_rebuilds_total",
+      "Incremental-mode ticks that fell back to a full rebuild");
   obs::RegisterThreadPoolCollector(
       registry_,
       config_.pool != nullptr ? config_.pool : glp::ThreadPool::Default());
@@ -200,6 +212,33 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
   last_checkpoint_tick_ = data.tick;
   last_tick_wall_seconds_ = 0;
   refresh_pending_ = false;
+  // Incremental restore: re-seat the anchors and rebuild the persistent
+  // union-find deterministically from the restored window, primed at the
+  // last completed tick boundary so the first post-restore tick advances by
+  // an exact delta. Cluster records are not checkpointed — that first tick
+  // runs LP dirty-only but extracts over all components (extract_all).
+  inc_reuse_ok_ = false;
+  records_valid_ = false;
+  records_.clear();
+  if (config_.incremental && data.has_incremental && tick_schedule_primed_ &&
+      window_.max_entity() != graph::kInvalidVertex) {
+    const size_t universe = static_cast<size_t>(window_.max_entity()) + 1;
+    anchor_of_.assign(universe, graph::kInvalidVertex);
+    bool anchors_ok = true;
+    for (size_t i = 0; i < data.inc_entities.size(); ++i) {
+      if (static_cast<size_t>(data.inc_entities[i]) >= universe ||
+          static_cast<size_t>(data.inc_anchors[i]) >= universe) {
+        anchors_ok = false;
+        break;
+      }
+      anchor_of_[data.inc_entities[i]] = data.inc_anchors[i];
+    }
+    if (anchors_ok) {
+      cursor_.PrimeAt(next_tick_end_ - config_.tick_every_days);
+      inc_tracker_.RebuildClean(window_.edges(), cursor_.lo(), cursor_.hi());
+      inc_reuse_ok_ = true;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     ingested_max_time_ = data.ingested_max_time;
@@ -224,6 +263,19 @@ Status StreamServer::Start() {
   }
   if (config_.tick_deadline_seconds < 0) {
     return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
+  }
+  if (config_.incremental) {
+    // The per-component exactness preconditions (DESIGN.md §4.10) —
+    // rejected up front rather than surfacing as per-tick failures.
+    const lp::RunConfig& lp = config_.detect.lp;
+    if (!lp.initial_labels.empty() || !lp.synchronous ||
+        config_.detect.variant == lp::VariantKind::kSlp ||
+        (lp.stop_when_stable && lp.max_iterations % 2 != 0)) {
+      return Status::InvalidArgument(
+          "incremental serving requires synchronous LP with default "
+          "initialization, a non-SLP variant, and an even iteration budget "
+          "under stop_when_stable");
+    }
   }
   if (!config_.checkpoint_dir.empty()) {
     std::error_code ec;
@@ -357,6 +409,11 @@ ServerStats StreamServer::stats() const {
   s.checkpoints_written = static_cast<int64_t>(ins_.checkpoints_ok->Value());
   s.checkpoint_failures =
       static_cast<int64_t>(ins_.checkpoints_failed->Value());
+  s.reused_clusters = static_cast<int64_t>(ins_.reused_clusters->Value());
+  s.incremental_rebuilds =
+      static_cast<int64_t>(ins_.incremental_rebuilds->Value());
+  s.last_dirty_components =
+      static_cast<int64_t>(ins_.dirty_components->Value());
   s.tick_p50_seconds = ins_.tick_seconds->Quantile(0.50);
   s.tick_p99_seconds = ins_.tick_seconds->Quantile(0.99);
   s.tick_max_seconds = ins_.tick_seconds->MaxBound();
@@ -510,6 +567,18 @@ void StreamServer::WriteCheckpoint() {
     data.prev_labels = prev_labels_;
   }
   data.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
+  if (config_.incremental && inc_reuse_ok_) {
+    // Anchors for exactly the previous snapshot's entities, entity-sorted
+    // for deterministic bytes. The union-find itself is rebuilt from the
+    // edge stream on restore.
+    data.has_incremental = true;
+    data.inc_entities = prev_l2g_;
+    std::sort(data.inc_entities.begin(), data.inc_entities.end());
+    data.inc_anchors.reserve(data.inc_entities.size());
+    for (const VertexId e : data.inc_entities) {
+      data.inc_anchors.push_back(anchor_of_[e]);
+    }
+  }
   const std::string path =
       config_.checkpoint_dir + "/" + CheckpointFileName(num_ticks_);
   const Status st = SaveCheckpoint(path, data);
@@ -571,6 +640,77 @@ std::vector<Label> StreamServer::MapWarmLabels(
   return init;
 }
 
+pipeline::DetectDelta StreamServer::BuildDetectDelta(
+    const graph::WindowSnapshot& cur, bool extract_all, bool* ok) {
+  pipeline::DetectDelta dd;
+  dd.extract_all = extract_all;
+  *ok = true;
+
+  // Stamp the current snapshot's entity -> local-id map (same epoch trick
+  // as MapWarmLabels; cur_map_ is shared scratch between them).
+  const size_t universe = static_cast<size_t>(window_.max_entity()) + 1;
+  EntityMap* m = &cur_map_;
+  if (m->epoch_of.size() < universe) {
+    m->epoch_of.assign(universe, 0);
+    m->local_of.resize(universe);
+    m->epoch = 0;
+  }
+  if (++m->epoch == 0) {
+    std::fill(m->epoch_of.begin(), m->epoch_of.end(), 0u);
+    m->epoch = 1;
+  }
+  for (size_t i = 0; i < cur.local_to_global.size(); ++i) {
+    m->epoch_of[cur.local_to_global[i]] = m->epoch;
+    m->local_of[cur.local_to_global[i]] = static_cast<VertexId>(i);
+  }
+
+  const size_t n = cur.local_to_global.size();
+  dd.dirty.resize(n);
+  dd.clean_labels.assign(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const VertexId g = cur.local_to_global[v];
+    const bool dirty = inc_tracker_.IsDirty(g);
+    dd.dirty[v] = dirty ? 1 : 0;
+    if (dirty) {
+      dd.clean_labels[v] = static_cast<Label>(v);  // defined but unread
+      continue;
+    }
+    // A clean vertex keeps its previous-tick label: the anchor entity of
+    // its component, re-expressed as a current local id. A clean component
+    // is unchanged since last tick, so its anchor must still be in the
+    // window; any miss means the carried-over state is inconsistent and the
+    // caller takes the full (always-correct) path.
+    const VertexId anchor =
+        static_cast<size_t>(g) < anchor_of_.size() ? anchor_of_[g]
+                                                   : graph::kInvalidVertex;
+    if (anchor == graph::kInvalidVertex ||
+        static_cast<size_t>(anchor) >= universe ||
+        m->epoch_of[anchor] != m->epoch) {
+      *ok = false;
+      return dd;
+    }
+    dd.clean_labels[v] = static_cast<Label>(m->local_of[anchor]);
+  }
+
+  if (!extract_all) {
+    for (const ClusterRecord& rec : records_) {
+      if (rec.cluster.members.empty() ||
+          inc_tracker_.IsDirty(rec.cluster.members[0])) {
+        continue;  // component changed (or left): record is stale
+      }
+      if (static_cast<size_t>(rec.label_anchor) >= universe ||
+          m->epoch_of[rec.label_anchor] != m->epoch) {
+        *ok = false;
+        return dd;
+      }
+      pipeline::SuspiciousCluster c = rec.cluster;
+      c.label = static_cast<Label>(m->local_of[rec.label_anchor]);
+      dd.reused.push_back(std::move(c));
+    }
+  }
+  return dd;
+}
+
 StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   glp::Timer tick_timer;
   const double host_start =
@@ -582,18 +722,22 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   tr.window_start = end_time - config_.detect.window_days;
 
   glp::Timer build_timer;
-  const graph::WindowSnapshot& snap = cursor_.AdvanceTo(end_time);
+  graph::WindowDelta delta;
+  const graph::WindowSnapshot& snap = config_.incremental
+                                          ? cursor_.AdvanceTo(end_time, &delta)
+                                          : cursor_.AdvanceTo(end_time);
   const double build_seconds = build_timer.Seconds();
 
   // Degradation ladder steps 1–2: a previous-tick deadline overrun caps LP
   // iterations and postpones a due cold refresh until pressure clears.
+  // (Incremental mode has no warm/refresh machinery — every tick is exact.)
   const bool degraded =
       config_.tick_deadline_seconds > 0 &&
       last_tick_wall_seconds_ > config_.tick_deadline_seconds;
   bool refresh_due =
-      config_.cold_refresh_every_ticks > 0 &&
+      !config_.incremental && config_.cold_refresh_every_ticks > 0 &&
       num_ticks_ % config_.cold_refresh_every_ticks == 0;
-  if (config_.warm_start && have_prev_) {
+  if (!config_.incremental && config_.warm_start && have_prev_) {
     if (degraded && (refresh_due || refresh_pending_)) {
       if (refresh_due) ins_.cold_refresh_deferred->Increment();
       refresh_pending_ = true;
@@ -605,8 +749,40 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   }
   if (degraded) ins_.degraded_ticks->Increment();
 
-  const bool warm_wanted = config_.warm_start && have_prev_ &&
-                           !refresh_due && snap.graph.num_vertices() > 0;
+  const bool warm_wanted = !config_.incremental && config_.warm_start &&
+                           have_prev_ && !refresh_due &&
+                           snap.graph.num_vertices() > 0;
+
+  // Incremental connectivity update — unconditional, even on an empty
+  // window (connectivity is a function of the window alone, not of how
+  // this tick's LP goes; skipping the tick that expired the last edges
+  // would leave the tracker permanently stale). An inexact cursor delta or
+  // a fired serve.incremental_rebuild failpoint falls back to a
+  // from-scratch rebuild with everything dirty: slower, never wrong.
+  bool delta_applied = false;
+  if (config_.incremental) {
+    const bool force_rebuild =
+        !fail::Inject("serve.incremental_rebuild").ok();
+    if (delta.exact && !force_rebuild) {
+      inc_tracker_.ApplyDelta(window_.edges(), delta);
+      delta_applied = true;
+    } else {
+      inc_tracker_.RebuildAll(window_.edges(), cursor_.lo(), cursor_.hi());
+      ins_.incremental_rebuilds->Increment();
+    }
+    ins_.dirty_components->Set(
+        static_cast<double>(inc_tracker_.NumDirtyComponents()));
+  }
+  // The delta path additionally needs trustworthy carried-over state: not
+  // right after an abandoned/degraded/empty tick, and not on a degraded
+  // tick (its iteration cap breaks the exactness argument).
+  bool delta_ok = delta_applied && inc_reuse_ok_ && !degraded;
+  pipeline::DetectDelta dd;
+  if (delta_ok) {
+    bool dd_ok = true;
+    dd = BuildDetectDelta(snap, /*extract_all=*/!records_valid_, &dd_ok);
+    if (!dd_ok) delta_ok = false;
+  }
 
   if (snap.graph.num_vertices() > 0) {
     // Retry ladder: attempt 0 as configured, attempt 1 an unchanged retry,
@@ -625,6 +801,10 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
       const bool warm = warm_wanted && attempt <= 1;
       if (warm_wanted && !warm) ins_.warm_fallbacks->Increment();
       if (warm) cfg.lp.initial_labels = MapWarmLabels(snap);
+      // The delta path follows the warm-start retry shape: attempts 0–1 use
+      // it, later attempts run the full (still canonical) detection in case
+      // the carried-over state is what keeps failing.
+      const bool use_delta = delta_ok && attempt <= 1;
       if (attempt == max_attempts - 1 && attempt > 0 &&
           config_.enable_engine_fallback) {
         cfg.engine = config_.fallback_engine;
@@ -641,10 +821,14 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
       if (st.ok()) {
         auto result = pipeline::DetectOnSnapshot(
             snap, cfg, ctx, config_.seeds, config_.ground_truth,
-            tr.window_start, tr.window_end);
+            tr.window_start, tr.window_end, use_delta ? &dd : nullptr);
         if (result.ok()) {
           tr.detection = std::move(result).value();
           tr.warm = warm;
+          if (use_delta && !dd.extract_all) {
+            ins_.reused_clusters->Increment(
+                static_cast<uint64_t>(dd.reused.size()));
+          }
           if (config_.record_warm_labels) {
             tr.warm_labels = std::move(cfg.lp.initial_labels);
           }
@@ -672,6 +856,9 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
       // The warm state may itself be what keeps failing; next tick starts
       // cold from scratch.
       have_prev_ = false;
+      inc_reuse_ok_ = false;
+      records_valid_ = false;
+      records_.clear();
       GLP_LOG(Warning) << "tick at window end " << end_time
                        << " abandoned after " << max_attempts
                        << " attempts: " << failure.ToString();
@@ -681,10 +868,45 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
     prev_l2g_ = snap.local_to_global;
     prev_labels_ = tr.detection.lp.labels;
     have_prev_ = true;
+    if (config_.incremental) {
+      if (!degraded) {
+        // Every successful non-degraded tick publishes canonical labels —
+        // whether via the delta path (by the §4.10 exactness argument) or a
+        // full run — so the anchors and the cluster-record cache are simply
+        // refreshed from the published output.
+        const size_t universe = static_cast<size_t>(window_.max_entity()) + 1;
+        if (anchor_of_.size() < universe) {
+          anchor_of_.resize(universe, graph::kInvalidVertex);
+        }
+        for (size_t v = 0; v < snap.local_to_global.size(); ++v) {
+          const Label l = tr.detection.lp.labels[v];
+          anchor_of_[snap.local_to_global[v]] =
+              static_cast<size_t>(l) < snap.local_to_global.size()
+                  ? snap.local_to_global[l]
+                  : graph::kInvalidVertex;
+        }
+        records_.clear();
+        records_.reserve(tr.detection.clusters.size());
+        for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
+          records_.push_back({c, snap.local_to_global[c.label]});
+        }
+        inc_reuse_ok_ = true;
+        records_valid_ = true;
+      } else {
+        // Degraded ticks are iteration-capped and may publish non-canonical
+        // labels; nothing from them may seed the next tick's reuse.
+        inc_reuse_ok_ = false;
+        records_valid_ = false;
+        records_.clear();
+      }
+    }
   } else {
     // Empty window: nothing to cluster; previously confirmed clusters all
     // expire below.
     have_prev_ = false;
+    inc_reuse_ok_ = false;
+    records_valid_ = false;
+    records_.clear();
   }
 
   // Diff confirmed clusters against the previous tick (clusters keyed by

@@ -35,6 +35,7 @@
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "prof/prof.h"
+#include "serve/incremental.h"
 #include "util/status.h"
 
 namespace glp::serve {
@@ -61,6 +62,19 @@ struct ServerConfig {
   /// through the entity ids (cold singleton for entities new to the
   /// window). Off = every tick runs from scratch.
   bool warm_start = true;
+
+  /// Incremental tick path (DESIGN.md §4.10): maintain a persistent
+  /// cross-tick union-find over the window, and run LP + cluster
+  /// extraction only on components whose edge set changed since the last
+  /// tick — clean components reuse their previous labels and cluster
+  /// records verbatim. Published output stays byte-identical to a cold
+  /// canonical replay (unlike warm_start, which trades exactness for
+  /// speed), and any incremental-state fault falls back to a full rebuild
+  /// for that tick. When set, warm_start and cold_refresh_every_ticks are
+  /// ignored. Requires synchronous, non-SLP detection with no caller
+  /// initial labels and an even lp.max_iterations when stop_when_stable —
+  /// Start() rejects violations.
+  bool incremental = false;
 
   /// With warm_start, run a from-scratch tick every N ticks anyway.
   /// Warm-started LP can merge communities but never split them (each
@@ -195,6 +209,11 @@ struct ServerStats {
   int64_t checkpoints_written = 0;
   int64_t checkpoint_failures = 0;
 
+  // Incremental serving (ServerConfig::incremental).
+  int64_t reused_clusters = 0;        ///< cluster records reused verbatim
+  int64_t incremental_rebuilds = 0;   ///< ticks that fell back to a rebuild
+  int64_t last_dirty_components = 0;  ///< dirty components, last tick
+
   double tick_p50_seconds = 0;
   double tick_p99_seconds = 0;
   double tick_max_seconds = 0;
@@ -283,6 +302,12 @@ class StreamServer {
   bool RunDueTicks();
   TickOutcome RunTick(double end_time);
   std::vector<graph::Label> MapWarmLabels(const graph::WindowSnapshot& cur);
+  /// Assembles the incremental-detection input for this tick from the
+  /// tracker's dirty set, the persistent anchors, and the record cache.
+  /// Sets *ok to false (forcing the full path) if any invariant does not
+  /// hold (e.g. a clean component's anchor missing from the snapshot).
+  pipeline::DetectDelta BuildDetectDelta(const graph::WindowSnapshot& cur,
+                                         bool extract_all, bool* ok);
   /// Validates one ingest batch (timestamps finite and non-negative, ids in
   /// range) — see ServerConfig::entity_id_limit.
   bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
@@ -313,6 +338,22 @@ class StreamServer {
   std::vector<graph::VertexId> prev_l2g_;
   std::vector<graph::Label> prev_labels_;
   std::set<std::vector<graph::VertexId>> prev_confirmed_;
+  // Incremental serving state (ServerConfig::incremental; DESIGN.md §4.10).
+  IncrementalTracker inc_tracker_;
+  /// Entity -> its component's label anchor entity, as of the last
+  /// successful exact tick; carries clean-component labels across ticks.
+  std::vector<graph::VertexId> anchor_of_;
+  /// Anchors (and prev labels) are canonical — false after a degraded or
+  /// abandoned tick, or an empty window; forces a full rebuild next tick.
+  bool inc_reuse_ok_ = false;
+  /// Cluster-record cache from the last successful tick; the label anchor
+  /// is the record's label re-expressed as a portable entity id.
+  struct ClusterRecord {
+    pipeline::SuspiciousCluster cluster;
+    graph::VertexId label_anchor;
+  };
+  std::vector<ClusterRecord> records_;
+  bool records_valid_ = false;
   // Epoch-stamped entity->local maps reused across ticks.
   struct EntityMap {
     std::vector<uint32_t> epoch_of;
@@ -367,6 +408,10 @@ class StreamServer {
     obs::Counter* cold_refresh_deferred;
     obs::Counter* checkpoints_ok;
     obs::Counter* checkpoints_failed;
+    // Incremental serving.
+    obs::Gauge* dirty_components;
+    obs::Counter* reused_clusters;
+    obs::Counter* incremental_rebuilds;
   };
   Instruments ins_{};
 

@@ -84,6 +84,13 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
   shards_.resize(num_shards_);
   owners_.resize(num_shards_);
   for (ShardScratch& s : shards_) s.owner_buckets.resize(num_shards_);
+  // Per-shard range cursors for incremental mode; windows_ is never
+  // resized after this, so the pointers stay valid (restore move-assigns
+  // into the same objects).
+  range_cursors_.reserve(num_shards_);
+  for (int k = 0; k < num_shards_; ++k) {
+    range_cursors_.emplace_back(&windows_[k]);
+  }
 
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
@@ -162,6 +169,15 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
   ins_.checkpoints_failed = registry_->GetCounter(
       "glp_serve_checkpoints_total", "Periodic checkpoint attempts",
       {{"result", "error"}});
+  ins_.dirty_components = registry_->GetGauge(
+      "glp_serve_dirty_components",
+      "Components whose edge set changed in the last incremental tick");
+  ins_.reused_clusters = registry_->GetCounter(
+      "glp_serve_reused_clusters_total",
+      "Clean-component cluster records reused verbatim by incremental ticks");
+  ins_.incremental_rebuilds = registry_->GetCounter(
+      "glp_serve_incremental_rebuilds_total",
+      "Incremental-mode ticks that fell back to a full rebuild");
   // Per-shard families, one time series per shard via the {shard} label.
   shard_ins_.resize(num_shards_);
   for (int k = 0; k < num_shards_; ++k) {
@@ -256,6 +272,49 @@ Result<StreamServer::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
   last_checkpoint_tick_ = cp.coord.tick;
   last_tick_wall_seconds_ = 0;
   refresh_pending_ = false;
+  inc_reuse_ok_ = false;
+  records_valid_ = false;
+  records_.clear();
+  if (config_.incremental && cp.coord.has_incremental && tick_schedule_primed_) {
+    // Rebuild the fleet union-find from the restored shard windows (clean:
+    // the checkpointed labels are authoritative) and re-prime every shard
+    // range cursor at the last completed tick so the next advance yields an
+    // exact delta. Cluster records are not checkpointed, so the first
+    // post-restore tick extracts all clusters but still reuses clean labels.
+    const double last_end = next_tick_end_ - config_.tick_every_days;
+    const double last_start = last_end - config_.detect.window_days;
+    universe_ = 0;
+    for (const graph::SlidingWindow& w : windows_) {
+      if (w.num_stream_edges() == 0) continue;
+      universe_ =
+          std::max(universe_, static_cast<size_t>(w.max_entity()) + 1);
+    }
+    anchor_of_.assign(universe_, graph::kInvalidVertex);
+    bool anchors_ok = true;
+    for (size_t i = 0; i < cp.coord.inc_entities.size(); ++i) {
+      if (static_cast<size_t>(cp.coord.inc_entities[i]) >= universe_ ||
+          static_cast<size_t>(cp.coord.inc_anchors[i]) >= universe_) {
+        anchors_ok = false;
+        break;
+      }
+      anchor_of_[cp.coord.inc_entities[i]] = cp.coord.inc_anchors[i];
+    }
+    if (anchors_ok) {
+      for (int k = 0; k < num_shards_; ++k) {
+        range_cursors_[k].PrimeAt(last_start, last_end);
+        shards_[k].lo = range_cursors_[k].lo();
+        shards_[k].hi = range_cursors_[k].hi();
+      }
+      inc_tracker_.BeginRebuild();
+      for (int k = 0; k < num_shards_; ++k) {
+        inc_tracker_.AddWindowRange(windows_[k].edges(), shards_[k].lo,
+                                    shards_[k].hi);
+      }
+      inc_tracker_.FinishRebuild(/*mark_all_dirty=*/false);
+      RefreshOwnersFromTracker();
+      inc_reuse_ok_ = true;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     ingested_max_time_ = cp.coord.ingested_max_time;
@@ -281,6 +340,18 @@ Status ShardedStreamServer::Start() {
   }
   if (config_.tick_deadline_seconds < 0) {
     return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
+  }
+  if (config_.incremental) {
+    // Same §4.10 exactness preconditions as StreamServer.
+    const lp::RunConfig& lp = config_.detect.lp;
+    if (!lp.initial_labels.empty() || !lp.synchronous ||
+        config_.detect.variant == lp::VariantKind::kSlp ||
+        (lp.stop_when_stable && lp.max_iterations % 2 != 0)) {
+      return Status::InvalidArgument(
+          "incremental serving requires synchronous LP with default "
+          "initialization, a non-SLP variant, and an even iteration budget "
+          "under stop_when_stable");
+    }
   }
   if (!config_.checkpoint_dir.empty()) {
     std::error_code ec;
@@ -430,6 +501,11 @@ ServerStats ShardedStreamServer::stats() const {
   s.checkpoints_written = static_cast<int64_t>(ins_.checkpoints_ok->Value());
   s.checkpoint_failures =
       static_cast<int64_t>(ins_.checkpoints_failed->Value());
+  s.reused_clusters = static_cast<int64_t>(ins_.reused_clusters->Value());
+  s.incremental_rebuilds =
+      static_cast<int64_t>(ins_.incremental_rebuilds->Value());
+  s.last_dirty_components =
+      static_cast<int64_t>(ins_.dirty_components->Value());
   s.tick_p50_seconds = ins_.tick_seconds->Quantile(0.50);
   s.tick_p99_seconds = ins_.tick_seconds->Quantile(0.99);
   s.tick_max_seconds = ins_.tick_seconds->MaxBound();
@@ -617,6 +693,19 @@ void ShardedStreamServer::WriteCheckpoint() {
       }
     }
     cd.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
+    if (config_.incremental && inc_reuse_ok_) {
+      // Anchors for every in-window entity, ascending (deterministic
+      // bytes). The fleet union-find is rebuilt from the shard windows on
+      // restore, same as the single-server tracker.
+      cd.has_incremental = true;
+      for (size_t e = 0; e < universe_; ++e) {
+        if (!inc_tracker_.InWindow(static_cast<VertexId>(e))) continue;
+        cd.inc_entities.push_back(static_cast<VertexId>(e));
+        cd.inc_anchors.push_back(e < anchor_of_.size()
+                                     ? anchor_of_[e]
+                                     : graph::kInvalidVertex);
+      }
+    }
     m.coord_file = CoordCheckpointFileName(tick);
     st = SaveCheckpoint(config_.checkpoint_dir + "/" + m.coord_file, cd);
   }
@@ -720,15 +809,100 @@ void ShardedStreamServer::BucketShardEdges(int k) {
   }
 }
 
+void ShardedStreamServer::RefreshOwnersFromTracker() {
+  // Full recompute (rebuild/restore paths only — O(universe)): owner =
+  // PartitionOf(component min entity), the same rule StitchComponents
+  // applies, so cold and incremental replays bucket identically. The
+  // ascending entity scan means a root's first-seen member IS its minimum.
+  if (owner_of_.size() < universe_) owner_of_.resize(universe_);
+  comp_min_scratch_.assign(universe_, graph::kInvalidVertex);
+  std::vector<int64_t> counts(num_shards_, 0);
+  for (size_t e = 0; e < universe_; ++e) {
+    if (!inc_tracker_.InWindow(static_cast<VertexId>(e))) continue;
+    const VertexId r = inc_tracker_.Root(static_cast<VertexId>(e));
+    if (comp_min_scratch_[r] == graph::kInvalidVertex) {
+      comp_min_scratch_[r] = static_cast<VertexId>(e);
+      ++counts[pipeline::PartitionOf(static_cast<VertexId>(e), num_shards_)];
+    }
+  }
+  for (size_t e = 0; e < universe_; ++e) {
+    if (!inc_tracker_.InWindow(static_cast<VertexId>(e))) continue;
+    const VertexId r = inc_tracker_.Root(static_cast<VertexId>(e));
+    owner_of_[e] = static_cast<uint8_t>(
+        pipeline::PartitionOf(comp_min_scratch_[r], num_shards_));
+  }
+  for (int o = 0; o < num_shards_; ++o) owners_[o].num_components = counts[o];
+}
+
+bool ShardedStreamServer::UpdateIncrementalTracker(double start_time,
+                                                   double end_time) {
+  // Advance every shard's range cursor. The delta path needs ALL shards
+  // exact: a single rewritten shard prefix poisons that shard's indices,
+  // and a component can span shards — conservative fleet-wide rebuild,
+  // never wrong.
+  std::vector<graph::WindowDelta> deltas(num_shards_);
+  bool all_exact = true;
+  for (int k = 0; k < num_shards_; ++k) {
+    range_cursors_[k].AdvanceTo(start_time, end_time, &deltas[k]);
+    shards_[k].lo = range_cursors_[k].lo();
+    shards_[k].hi = range_cursors_[k].hi();
+    all_exact = all_exact && deltas[k].exact;
+  }
+  const bool force_rebuild = !fail::Inject("serve.incremental_rebuild").ok();
+  bool applied = false;
+  if (all_exact && !force_rebuild) {
+    // Phased application: every shard's expirations land before any
+    // retained-edge rescan, so a component spanning shards re-derives from
+    // the union of all its shards' retained edges.
+    inc_tracker_.BeginTick();
+    for (int k = 0; k < num_shards_; ++k) {
+      inc_tracker_.Expire(windows_[k].edges(), deltas[k]);
+    }
+    for (int k = 0; k < num_shards_; ++k) {
+      inc_tracker_.Rescan(windows_[k].edges(), deltas[k]);
+    }
+    for (int k = 0; k < num_shards_; ++k) {
+      inc_tracker_.Append(windows_[k].edges(), deltas[k]);
+    }
+    inc_tracker_.FinishTick();
+    applied = true;
+    // Re-own dirty components only; a clean component's min member — the
+    // entity that fixed its owner — is unchanged by definition. (The
+    // components_owned gauges refresh on rebuild ticks.)
+    if (owner_of_.size() < universe_) owner_of_.resize(universe_);
+    for (const VertexId r : inc_tracker_.dirty_roots()) {
+      const std::vector<VertexId>& mem = inc_tracker_.MembersOf(r);
+      VertexId mn = mem.front();
+      for (const VertexId m : mem) mn = std::min(mn, m);
+      const auto owner =
+          static_cast<uint8_t>(pipeline::PartitionOf(mn, num_shards_));
+      for (const VertexId m : mem) owner_of_[m] = owner;
+    }
+  } else {
+    inc_tracker_.BeginRebuild();
+    for (int k = 0; k < num_shards_; ++k) {
+      inc_tracker_.AddWindowRange(windows_[k].edges(), shards_[k].lo,
+                                  shards_[k].hi);
+    }
+    inc_tracker_.FinishRebuild(/*mark_all_dirty=*/true);
+    ins_.incremental_rebuilds->Increment();
+    RefreshOwnersFromTracker();
+  }
+  ins_.dirty_components->Set(
+      static_cast<double>(inc_tracker_.NumDirtyComponents()));
+  return applied;
+}
+
 void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
                                             double window_end, bool degraded,
-                                            bool warm_wanted) {
+                                            bool warm_wanted, bool use_delta) {
   OwnerWork& ow = owners_[o];
   ow.ran = false;
   ow.warm = false;
   ow.status = Status::OK();
   ow.outcome = TickOutcome::kOk;
   ow.wall_seconds = 0;
+  ow.reused = 0;
   // Each shard's bucket is a canonically-ordered subsequence of its window;
   // an N-way merge restores the owner's edges to exactly the order the
   // 1-shard window would iterate them in — the invariant the snapshot's
@@ -801,6 +975,52 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
     }
   }
 
+  // Incremental delta for this owner, from the coordinator's pre-exported
+  // dirty flags (entity_dirty_, anchor_of_, records_, owner_records_ are
+  // all read-only during the parallel fan-out). Any inconsistency in the
+  // carried-over state downgrades just this owner to the full — still
+  // canonical — path.
+  pipeline::DetectDelta dd;
+  bool delta_ok = use_delta;
+  if (delta_ok) {
+    dd.extract_all = !records_valid_;
+    const size_t n = ow.snap.local_to_global.size();
+    dd.dirty.resize(n);
+    dd.clean_labels.assign(n, 0);
+    for (size_t v = 0; v < n; ++v) {
+      const VertexId g = ow.snap.local_to_global[v];
+      const bool dirty = entity_dirty_[g] != 0;
+      dd.dirty[v] = dirty ? 1 : 0;
+      if (dirty) {
+        dd.clean_labels[v] = static_cast<Label>(v);  // defined but unread
+        continue;
+      }
+      const VertexId anchor = static_cast<size_t>(g) < anchor_of_.size()
+                                  ? anchor_of_[g]
+                                  : graph::kInvalidVertex;
+      if (anchor == graph::kInvalidVertex ||
+          static_cast<size_t>(anchor) >= universe_ ||
+          sc.epoch_of[anchor] != epoch) {
+        delta_ok = false;
+        break;
+      }
+      dd.clean_labels[v] = static_cast<Label>(sc.local_of[anchor]);
+    }
+    if (delta_ok && !dd.extract_all) {
+      for (const size_t idx : owner_records_[o]) {
+        const ClusterRecord& rec = records_[idx];
+        if (static_cast<size_t>(rec.label_anchor) >= universe_ ||
+            sc.epoch_of[rec.label_anchor] != epoch) {
+          delta_ok = false;
+          break;
+        }
+        pipeline::SuspiciousCluster c = rec.cluster;
+        c.label = static_cast<Label>(sc.local_of[rec.label_anchor]);
+        dd.reused.push_back(std::move(c));
+      }
+    }
+  }
+
   // The same retry ladder as StreamServer::RunTick, walked independently
   // per owner shard: transient faults retry, attempt 2 drops warm start,
   // the final attempt runs the fallback engine.
@@ -816,6 +1036,9 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
     const bool warm = warm_wanted && attempt <= 1;
     if (warm_wanted && !warm) ins_.warm_fallbacks->Increment();
     if (warm) cfg.lp.initial_labels = warm_init;
+    // Delta attempts track the warm-start retry shape; later attempts run
+    // the full (still canonical) detection.
+    const bool with_delta = delta_ok && attempt <= 1;
     if (attempt == max_attempts - 1 && attempt > 0 &&
         config_.enable_engine_fallback) {
       cfg.engine = config_.fallback_engine;
@@ -832,11 +1055,14 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
     if (st.ok()) {
       auto result = pipeline::DetectOnSnapshot(
           ow.snap, cfg, ctx, config_.seeds, config_.ground_truth,
-          window_start, window_end);
+          window_start, window_end, with_delta ? &dd : nullptr);
       if (result.ok()) {
         ow.result = std::move(result).value();
         ow.warm = warm;
         ow.ran = true;
+        if (with_delta && !dd.extract_all) {
+          ow.reused = static_cast<int64_t>(dd.reused.size());
+        }
         break;
       }
       st = result.status();
@@ -878,13 +1104,15 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   tr.window_end = end_time;
   tr.window_start = end_time - config_.detect.window_days;
 
-  // Degradation ladder steps 1–2, fleet-wide (identical to StreamServer).
+  // Degradation ladder steps 1–2, fleet-wide (identical to StreamServer;
+  // incremental mode has no warm/refresh machinery — every tick is exact).
   const bool degraded =
       config_.tick_deadline_seconds > 0 &&
       last_tick_wall_seconds_ > config_.tick_deadline_seconds;
-  bool refresh_due = config_.cold_refresh_every_ticks > 0 &&
+  bool refresh_due = !config_.incremental &&
+                     config_.cold_refresh_every_ticks > 0 &&
                      num_ticks_ % config_.cold_refresh_every_ticks == 0;
-  if (config_.warm_start && have_prev_) {
+  if (!config_.incremental && config_.warm_start && have_prev_) {
     if (degraded && (refresh_due || refresh_pending_)) {
       if (refresh_due) ins_.cold_refresh_deferred->Increment();
       refresh_pending_ = true;
@@ -903,22 +1131,30 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     universe_ =
         std::max(universe_, static_cast<size_t>(w.max_entity()) + 1);
   }
-  pool()->ParallelFor(
-      0, num_shards_,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t k = lo; k < hi; ++k) {
-          ShardComponents(static_cast<int>(k), tr.window_start, end_time);
-        }
-      },
-      1);
+  // Incremental mode replaces the per-shard union-finds AND the boundary
+  // stitch with one persistent fleet-wide tracker; it must be updated even
+  // when the windows went empty (the expirations that emptied them count).
+  bool delta_applied = false;
+  if (config_.incremental) {
+    delta_applied = UpdateIncrementalTracker(tr.window_start, end_time);
+  } else {
+    pool()->ParallelFor(
+        0, num_shards_,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t k = lo; k < hi; ++k) {
+            ShardComponents(static_cast<int>(k), tr.window_start, end_time);
+          }
+        },
+        1);
+  }
   bool any_active = false;
   for (const ShardScratch& s : shards_) any_active |= s.hi > s.lo;
 
-  const bool warm_wanted =
-      config_.warm_start && have_prev_ && !refresh_due && any_active;
+  const bool warm_wanted = !config_.incremental && config_.warm_start &&
+                           have_prev_ && !refresh_due && any_active;
 
   if (any_active) {
-    StitchComponents();
+    if (!config_.incremental) StitchComponents();
     pool()->ParallelFor(
         0, num_shards_,
         [&](int64_t lo, int64_t hi) {
@@ -929,12 +1165,28 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
         1);
     const double build_seconds = build_timer.Seconds();
 
+    // Snapshot the dirty flags and bucket reusable cluster records by
+    // owner before fanning out, so the workers only ever read.
+    const bool delta_ok =
+        config_.incremental && delta_applied && inc_reuse_ok_ && !degraded;
+    if (delta_ok) {
+      inc_tracker_.ExportDirty(universe_, &entity_dirty_);
+      owner_records_.assign(num_shards_, {});
+      if (records_valid_) {
+        for (size_t idx = 0; idx < records_.size(); ++idx) {
+          const std::vector<VertexId>& mem = records_[idx].cluster.members;
+          if (mem.empty() || entity_dirty_[mem.front()] != 0) continue;
+          owner_records_[owner_of_[mem.front()]].push_back(idx);
+        }
+      }
+    }
+
     pool()->ParallelFor(
         0, num_shards_,
         [&](int64_t lo, int64_t hi) {
           for (int64_t o = lo; o < hi; ++o) {
             RunOwnerDetection(static_cast<int>(o), tr.window_start, end_time,
-                              degraded, warm_wanted);
+                              degraded, warm_wanted, delta_ok);
           }
         },
         1);
@@ -966,6 +1218,9 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
       ins_.ticks_failed->Increment();
       have_prev_ = false;
       warm_anchor_.clear();
+      inc_reuse_ok_ = false;
+      records_valid_ = false;
+      records_.clear();
       GLP_LOG(Warning) << "tick at window end " << end_time
                        << " abandoned: " << abandon_failure.ToString();
       return TickOutcome::kAbandoned;
@@ -978,6 +1233,15 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     tr.warm = warm_wanted;
     tr.detection.build_seconds = build_seconds;
     if (config_.warm_start) warm_anchor_.clear();
+    // Successful non-degraded incremental ticks refresh the carried-over
+    // state from the published (canonical) per-owner output. Records must
+    // capture owner-snapshot anchors BEFORE the stitched renumbering below.
+    const bool refresh_inc = config_.incremental && !degraded;
+    std::vector<ClusterRecord> new_records;
+    int64_t reused_total = 0;
+    if (refresh_inc && anchor_of_.size() < universe_) {
+      anchor_of_.resize(universe_, graph::kInvalidVertex);
+    }
     for (int o = 0; o < num_shards_; ++o) {
       const OwnerWork& ow = owners_[o];
       shard_ins_[o].components_owned->Set(
@@ -1030,6 +1294,34 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
           }
         }
       }
+      if (refresh_inc) {
+        reused_total += ow.reused;
+        const std::vector<VertexId>& l2g = ow.snap.local_to_global;
+        const std::vector<Label>& labels = ow.result.lp.labels;
+        for (size_t v = 0; v < labels.size(); ++v) {
+          anchor_of_[l2g[v]] = static_cast<size_t>(labels[v]) < l2g.size()
+                                   ? l2g[labels[v]]
+                                   : graph::kInvalidVertex;
+        }
+        for (const pipeline::SuspiciousCluster& c : ow.result.clusters) {
+          new_records.push_back({c, l2g[c.label]});
+        }
+      }
+    }
+    if (config_.incremental) {
+      if (refresh_inc) {
+        if (reused_total > 0) {
+          ins_.reused_clusters->Increment(
+              static_cast<uint64_t>(reused_total));
+        }
+        records_ = std::move(new_records);
+        inc_reuse_ok_ = true;
+        records_valid_ = true;
+      } else {
+        inc_reuse_ok_ = false;
+        records_valid_ = false;
+        records_.clear();
+      }
     }
     std::sort(tr.detection.clusters.begin(), tr.detection.clusters.end(),
               [](const pipeline::SuspiciousCluster& a,
@@ -1045,6 +1337,9 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     // expire below.
     have_prev_ = false;
     warm_anchor_.clear();
+    inc_reuse_ok_ = false;
+    records_valid_ = false;
+    records_.clear();
   }
 
   std::set<std::vector<VertexId>> confirmed_now;

@@ -59,6 +59,7 @@
 #include "graph/sliding_window.h"
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
+#include "serve/incremental.h"
 #include "serve/server.h"
 #include "util/status.h"
 
@@ -171,6 +172,7 @@ class ShardedStreamServer {
     bool warm = false;  ///< the successful attempt was warm-started
     double wall_seconds = 0;
     int64_t num_components = 0;
+    int64_t reused = 0;  ///< clusters reused verbatim (incremental delta)
   };
 
   glp::ThreadPool* pool() const;
@@ -186,9 +188,21 @@ class ShardedStreamServer {
   /// Scatters shard k's src-owned window edges into per-owner buckets.
   void BucketShardEdges(int k);
   /// Merges owner o's buckets, builds its snapshot (+ warm labels), and
-  /// runs detection through the retry/degradation ladder.
+  /// runs detection through the retry/degradation ladder. With `use_delta`
+  /// set, builds a pipeline::DetectDelta from the fleet tracker's exported
+  /// dirty flags so LP runs only on this owner's dirty components.
   void RunOwnerDetection(int o, double window_start, double window_end,
-                         bool degraded, bool warm_wanted);
+                         bool degraded, bool warm_wanted, bool use_delta);
+  /// Incremental mode: advances every shard's range cursor and updates the
+  /// fleet-wide union-find — by per-shard deltas when all are exact (and
+  /// the serve.incremental_rebuild failpoint stays quiet), by a full
+  /// multi-window rebuild otherwise. Sets shards_[k].{lo,hi} and refreshes
+  /// owner_of_ for dirty components. Returns whether the delta path ran.
+  bool UpdateIncrementalTracker(double start_time, double end_time);
+  /// Full owner_of_ recompute from the tracker (rebuild/restore paths):
+  /// owner = PartitionOf(component min entity), plus per-owner component
+  /// counts for the components_owned gauges.
+  void RefreshOwnersFromTracker();
   bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
   bool Backoff(int attempt);
   void RecordError(const Status& status);
@@ -221,8 +235,34 @@ class ShardedStreamServer {
   std::vector<graph::VertexId> stitch_entities_;
   std::vector<graph::VertexId> stitch_uf_;
   std::vector<graph::VertexId> comp_min_entity_;
-  /// owner_of_[entity] — valid for entities stamped in stitch_intern_.
+  /// owner_of_[entity] — valid for entities stamped in stitch_intern_; in
+  /// incremental mode, persistent across ticks for all in-window entities
+  /// (refreshed for dirty components each tick).
   std::vector<uint8_t> owner_of_;
+
+  // Incremental serving (config_.incremental; DESIGN.md §4.10): one
+  // fleet-wide persistent union-find fed by per-shard window deltas — it
+  // replaces the per-shard union-finds and the boundary stitch entirely on
+  // exact ticks — plus the carried-over label anchors and cluster-record
+  // cache that make clean components free.
+  std::vector<graph::WindowRangeCursor> range_cursors_;  ///< one per shard
+  IncrementalTracker inc_tracker_;
+  /// anchor_of_[entity] = the entity whose owner-snapshot local id was this
+  /// entity's published label last tick.
+  std::vector<graph::VertexId> anchor_of_;
+  /// IsDirty snapshot for the current tick, exported before the parallel
+  /// owner fan-out so workers never race on the union-find.
+  std::vector<uint8_t> entity_dirty_;
+  bool inc_reuse_ok_ = false;
+  struct ClusterRecord {
+    pipeline::SuspiciousCluster cluster;
+    graph::VertexId label_anchor;  ///< owner-snapshot anchor entity
+  };
+  std::vector<ClusterRecord> records_;
+  bool records_valid_ = false;
+  /// Indices into records_ reusable this tick, bucketed by owner shard.
+  std::vector<std::vector<size_t>> owner_records_;
+  std::vector<graph::VertexId> comp_min_scratch_;
 
   // Shared state (same discipline as StreamServer).
   mutable std::mutex mu_;
@@ -266,6 +306,9 @@ class ShardedStreamServer {
     obs::Counter* cold_refresh_deferred;
     obs::Counter* checkpoints_ok;
     obs::Counter* checkpoints_failed;
+    obs::Gauge* dirty_components;
+    obs::Counter* reused_clusters;
+    obs::Counter* incremental_rebuilds;
   };
   Instruments ins_{};
   struct ShardInstruments {

@@ -393,6 +393,127 @@ TEST_F(ChaosTest, KillRestoreReplayMatchesUninterruptedRun) {
             restored.value().tick + static_cast<int64_t>(got.size()));
 }
 
+TEST_F(ChaosTest, IncrementalKillRestoreReplayMatchesUninterruptedRun) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const std::string dir = MakeTempDir("inc_restore");
+
+  ServerConfig cold = BaseServerConfig(stream);
+  cold.warm_start = false;
+  ServerConfig inc = cold;
+  inc.incremental = true;
+
+  // The incremental exactness bar survives kill/restore: a restored
+  // incremental run must keep matching the uninterrupted COLD replay.
+  const auto want = RunAndObserve(cold, ordered);
+  ASSERT_GE(want.size(), 6u);
+
+  // Run A: incremental with checkpoints, killed mid-stream.
+  ServerConfig cfg_a = inc;
+  cfg_a.checkpoint_dir = dir;
+  cfg_a.checkpoint_every_ticks = 2;
+  {
+    StreamServer server(cfg_a);
+    server.Subscribe([](const TickResult&) {});
+    ASSERT_TRUE(server.Start().ok());
+    auto batches = BatchEdges(ordered, 1000);
+    const size_t half = batches.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(server.Ingest(std::move(batches[i])));
+    }
+    server.Flush();
+    EXPECT_GE(server.stats().checkpoints_written, 1);
+    server.Stop();
+  }
+
+  // Run B: restore + replay the canonical tail, still incremental.
+  StreamServer server(inc);
+  std::map<int64_t, TickObservation> got;
+  server.Subscribe([&](const TickResult& t) {
+    TickObservation obs;
+    obs.labels = t.detection.lp.labels;
+    for (const auto& c : t.detection.clusters) {
+      if (c.confirmed) obs.confirmed.insert(c.members);
+    }
+    got[TickKey(t.window_end)] = std::move(obs);
+  });
+  auto restored = server.RestoreFromCheckpoint(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_LT(restored.value().num_edges, ordered.size());
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch :
+       BatchEdges(ordered, 1000,
+                  static_cast<size_t>(restored.value().num_edges))) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  const ServerStats stats = server.stats();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+
+  EXPECT_EQ(stats.ticks_failed, 0);
+  ASSERT_FALSE(got.empty());
+  for (const auto& [key, obs] : got) {
+    ASSERT_TRUE(want.count(key)) << "unexpected tick " << key;
+    EXPECT_EQ(obs.labels, want.at(key).labels) << "tick " << key;
+    EXPECT_EQ(obs.confirmed, want.at(key).confirmed) << "tick " << key;
+  }
+}
+
+TEST_F(ChaosTest, IncrementalRebuildFailpointKeepsOutputExact) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  ServerConfig cold = BaseServerConfig(stream);
+  cold.warm_start = false;
+
+  // Baseline BEFORE arming anything: the failure-free cold output.
+  const auto want = RunAndObserve(cold, ordered);
+  ASSERT_GE(want.size(), 6u);
+
+  // Every 3rd tick the incremental state is declared poisoned and the tick
+  // must fall back to a full rebuild; every 4th LP dispatch throws a
+  // transient IoError on top, exercising the retry ladder under
+  // incremental mode. Neither may perturb the published output.
+  auto& reg = fail::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Parse("serve.incremental_rebuild=error(internal)@every3;"
+                        "pipeline.lp_dispatch=error(io)@every4")
+                  .ok());
+
+  ServerConfig inc = cold;
+  inc.incremental = true;
+  std::map<int64_t, TickObservation> got;
+  ServerStats stats;
+  {
+    StreamServer server(inc);
+    server.Subscribe([&](const TickResult& t) {
+      TickObservation obs;
+      obs.labels = t.detection.lp.labels;
+      for (const auto& c : t.detection.clusters) {
+        if (c.confirmed) obs.confirmed.insert(c.members);
+      }
+      got[TickKey(t.window_end)] = std::move(obs);
+    });
+    ASSERT_TRUE(server.Start().ok());
+    for (auto& batch : BatchEdges(ordered, 1000)) {
+      ASSERT_TRUE(server.Ingest(std::move(batch)));
+    }
+    server.Flush();
+    stats = server.stats();
+    server.Stop();
+    EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  }
+
+  EXPECT_GE(stats.incremental_rebuilds, 2);
+  EXPECT_GE(stats.tick_retries, 1);
+  EXPECT_EQ(stats.ticks_failed, 0);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, obs] : want) {
+    ASSERT_TRUE(got.count(key)) << "missing tick " << key;
+    EXPECT_EQ(got[key].labels, obs.labels) << "tick " << key;
+    EXPECT_EQ(got[key].confirmed, obs.confirmed) << "tick " << key;
+  }
+}
+
 TEST_F(ChaosTest, RandomizedFailpointScheduleNeverDeadlocks) {
   const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
   const auto ordered = CanonicalEdges(stream);
@@ -462,6 +583,9 @@ CheckpointData SampleCheckpoint() {
   data.prev_l2g = {10, 20, 30};
   data.prev_labels = {0, 0, 2};
   data.prev_confirmed = {{10, 20}, {30, 40, 50}};
+  data.has_incremental = true;
+  data.inc_entities = {1, 2, 3};
+  data.inc_anchors = {1, 1, 3};
   return data;
 }
 
@@ -488,6 +612,9 @@ TEST_F(ChaosTest, CheckpointRoundTripsExactly) {
   EXPECT_EQ(got.prev_l2g, data.prev_l2g);
   EXPECT_EQ(got.prev_labels, data.prev_labels);
   EXPECT_EQ(got.prev_confirmed, data.prev_confirmed);
+  EXPECT_EQ(got.has_incremental, data.has_incremental);
+  EXPECT_EQ(got.inc_entities, data.inc_entities);
+  EXPECT_EQ(got.inc_anchors, data.inc_anchors);
 }
 
 TEST_F(ChaosTest, CheckpointRejectsCorruption) {

@@ -155,6 +155,124 @@ TEST(WindowCursorTest, CursorMatchesFreshSnapshots) {
   }
 }
 
+// Checks a delta against the ground truth: old window = expired ∪ retained,
+// new window = retained ∪ appended, ranges ordered and non-overlapping.
+void ExpectDeltaMatchesDiff(const graph::SlidingWindow& window,
+                            const graph::WindowDelta& delta, double old_start,
+                            double old_end, double new_start, double new_end) {
+  ASSERT_TRUE(delta.exact);
+  const auto& edges = window.edges();
+  auto in = [&](double t, double start, double end) {
+    return t >= start && t < end;
+  };
+  // Range bounds are consistent: expired | retained | appended are adjacent
+  // half-open runs of the canonical array.
+  EXPECT_LE(delta.expired_begin, delta.expired_end);
+  EXPECT_LE(delta.retained_begin, delta.retained_end);
+  EXPECT_LE(delta.appended_begin, delta.appended_end);
+  for (size_t i = delta.expired_begin; i < delta.expired_end; ++i) {
+    EXPECT_TRUE(in(edges[i].time, old_start, old_end)) << i;
+    EXPECT_FALSE(in(edges[i].time, new_start, new_end)) << i;
+  }
+  for (size_t i = delta.retained_begin; i < delta.retained_end; ++i) {
+    EXPECT_TRUE(in(edges[i].time, old_start, old_end)) << i;
+    EXPECT_TRUE(in(edges[i].time, new_start, new_end)) << i;
+  }
+  for (size_t i = delta.appended_begin; i < delta.appended_end; ++i) {
+    EXPECT_FALSE(in(edges[i].time, old_start, old_end)) << i;
+    EXPECT_TRUE(in(edges[i].time, new_start, new_end)) << i;
+  }
+  // Counts match a from-scratch scan of the stream (an edge appended after
+  // the old advance *and* already expired appears in neither range, so count
+  // only edges that are in at least one of the two windows).
+  size_t want_expired = 0, want_retained = 0, want_appended = 0;
+  for (const auto& e : edges) {
+    const bool was = in(e.time, old_start, old_end);
+    const bool is = in(e.time, new_start, new_end);
+    want_expired += was && !is;
+    want_retained += was && is;
+    want_appended += !was && is;
+  }
+  EXPECT_EQ(delta.expired_end - delta.expired_begin, want_expired);
+  EXPECT_EQ(delta.retained_end - delta.retained_begin, want_retained);
+  EXPECT_EQ(delta.appended_end - delta.appended_begin, want_appended);
+}
+
+TEST(WindowCursorTest, DeltaMatchesFromScratchDiffAcrossAdvances) {
+  pipeline::TransactionConfig cfg;
+  cfg.num_buyers = 1000;
+  cfg.num_items = 300;
+  cfg.days = 50;
+  cfg.num_rings = 3;
+  cfg.seed = 11;
+  auto stream = pipeline::GenerateTransactions(cfg);
+  graph::SlidingWindow window(stream.edges);
+  graph::SlidingWindowCursor cursor(&window, /*window_length=*/10);
+  graph::WindowDelta delta;
+  cursor.AdvanceTo(12, &delta);
+  EXPECT_FALSE(delta.exact);  // first use: nothing to diff against
+  double prev_end = 12;
+  for (double end = 15; end <= 48; end += 3) {
+    cursor.AdvanceTo(end, &delta);
+    ExpectDeltaMatchesDiff(window, delta, prev_end - 10, prev_end, end - 10,
+                           end);
+    prev_end = end;
+  }
+}
+
+TEST(WindowCursorTest, ZeroAdvanceReportsEmptyExactDelta) {
+  graph::SlidingWindow window(
+      {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 4, 4.0}});
+  graph::SlidingWindowCursor cursor(&window, /*window_length=*/2);
+  graph::WindowDelta delta;
+  cursor.AdvanceTo(3.5, &delta);
+  const auto& snap1 = cursor.snapshot();
+  const auto l2g = snap1.local_to_global;
+  cursor.AdvanceTo(3.5, &delta);  // same end twice: nothing moved
+  EXPECT_TRUE(delta.exact);
+  EXPECT_EQ(delta.expired_begin, delta.expired_end);
+  EXPECT_EQ(delta.appended_begin, delta.appended_end);
+  EXPECT_EQ(delta.retained_end - delta.retained_begin, 2u);  // edges @2,@3
+  EXPECT_EQ(cursor.snapshot().local_to_global, l2g);
+}
+
+TEST(WindowCursorTest, BackwardMoveIsInexactButCorrect) {
+  graph::SlidingWindow window(
+      {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 4, 4.0}, {4, 5, 5.0}});
+  graph::SlidingWindowCursor cursor(&window, /*window_length=*/2);
+  graph::WindowDelta delta;
+  cursor.AdvanceTo(5.0, &delta);
+  cursor.AdvanceTo(3.0, &delta);  // backward: binary-search re-sync
+  EXPECT_FALSE(delta.exact);
+  const auto fresh = window.Snapshot(1.0, 3.0);
+  EXPECT_EQ(cursor.snapshot().local_to_global, fresh.local_to_global);
+  EXPECT_EQ(cursor.snapshot().graph.offsets(), fresh.graph.offsets());
+  // The next forward move diffs against the re-synced window exactly.
+  cursor.AdvanceTo(4.0, &delta);
+  ExpectDeltaMatchesDiff(window, delta, 1.0, 3.0, 2.0, 4.0);
+}
+
+TEST(WindowCursorTest, AppendBeforeLowerBoundForcesResync) {
+  graph::SlidingWindow window({{0, 1, 1.0}, {1, 2, 5.0}, {2, 3, 6.0}});
+  graph::SlidingWindowCursor cursor(&window, /*window_length=*/3);
+  graph::WindowDelta delta;
+  cursor.AdvanceTo(7.0, &delta);  // window [4, 7): edges @5, @6
+  ASSERT_EQ(cursor.snapshot().local_to_global.size(), 3u);
+  // A late edge landing *before* the cursor's lower bound shifts the indices
+  // its cached [lo, hi) pointed at: the delta must drop to inexact even
+  // though the window's edge *set* is unchanged.
+  window.Append({{7, 8, 2.0}});
+  cursor.AdvanceTo(7.5, &delta);
+  EXPECT_FALSE(delta.exact);
+  const auto fresh = window.Snapshot(4.5, 7.5);
+  EXPECT_EQ(cursor.snapshot().local_to_global, fresh.local_to_global);
+  // Tail appends at/past the old upper bound keep the prefix intact and the
+  // delta exact.
+  window.Append({{5, 6, 7.6}});
+  cursor.AdvanceTo(8.0, &delta);
+  ExpectDeltaMatchesDiff(window, delta, 4.5, 7.5, 5.0, 8.0);
+}
+
 TEST(WindowCursorTest, ScratchEpochWrapSurvives) {
   graph::SlidingWindow window({{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}});
   graph::SlidingWindow::Scratch scratch;

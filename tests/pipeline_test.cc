@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.h"
+#include "graph/sliding_window.h"
 #include "pipeline/distributed.h"
 #include "pipeline/metrics.h"
 #include "pipeline/pipeline.h"
@@ -198,6 +201,59 @@ TEST(PipelineTest, EmptyWindowRejected) {
   auto r = pipeline.Run(cfg);
   // Window [-1, 0) has no transactions.
   EXPECT_FALSE(r.ok());
+}
+
+// A complete bipartite K3,3 (buyers 0-2, items 3-5): synchronous LP
+// two-colors it — buyers and items settle on one label each and oscillate —
+// so extraction exercises the companion-group merge from both sides.
+graph::WindowSnapshot BipartiteRingSnapshot() {
+  std::vector<graph::TimedEdge> edges;
+  for (graph::VertexId b = 0; b < 3; ++b) {
+    for (graph::VertexId i = 3; i < 6; ++i) {
+      edges.push_back({b, i, 0.5});
+    }
+  }
+  graph::SlidingWindow window(std::move(edges));
+  return window.Snapshot(0.0, 1.0);
+}
+
+PipelineConfig BipartiteRingConfig() {
+  PipelineConfig cfg;
+  cfg.engine = lp::EngineKind::kSeq;
+  cfg.lp.max_iterations = 10;
+  cfg.lp.stop_when_stable = true;
+  return cfg;
+}
+
+// Regression: num_seeds was counted over the base label group only, so the
+// items side of a merged two-colored ring never contributed.
+TEST(PipelineTest, MergedCompanionGroupCountsSeedsOnBothSides) {
+  const auto snap = BipartiteRingSnapshot();
+  const std::vector<graph::VertexId> seeds = {0, 3};  // one per color class
+  auto r = DetectOnSnapshot(snap, BipartiteRingConfig(), {}, seeds, nullptr,
+                            0.0, 1.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().clusters.size(), 1u);
+  const SuspiciousCluster& c = r.value().clusters[0];
+  EXPECT_EQ(c.members, (std::vector<graph::VertexId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(c.num_seeds, 2);
+}
+
+// Regression: when seed-bearing groups A and B each absorb the other, both
+// A∪B and B∪A were pushed as separate clusters differing only in label.
+TEST(PipelineTest, MutualCompanionMergeEmitsOneCluster) {
+  const auto snap = BipartiteRingSnapshot();
+  const std::vector<graph::VertexId> seeds = {0, 1, 3, 4};  // both sides
+  auto r = DetectOnSnapshot(snap, BipartiteRingConfig(), {}, seeds, nullptr,
+                            0.0, 1.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().clusters.size(), 1u);
+  const SuspiciousCluster& c = r.value().clusters[0];
+  EXPECT_EQ(c.members, (std::vector<graph::VertexId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(c.num_seeds, 4);
+  // The survivor of the duplicate pair is the smaller label.
+  const auto& labels = r.value().lp.labels;
+  EXPECT_EQ(c.label, *std::min_element(labels.begin(), labels.end()));
 }
 
 TEST(PipelineTest, ClusterDensityComputed) {

@@ -451,5 +451,154 @@ TEST(ServeTest, FlushRacesMidTickStop) {
   EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
 }
 
+// ---------------------------------------------------------------------------
+// Incremental serving (DESIGN.md §4.10)
+// ---------------------------------------------------------------------------
+
+/// Cold-equivalent configuration for incremental mode: even iteration
+/// budget under stop_when_stable, synchronous classic LP.
+ServerConfig IncrementalBaseConfig(const pipeline::TransactionStream& stream) {
+  ServerConfig cfg;
+  cfg.detect.window_days = 15;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.detect.lp.max_iterations = 50;
+  cfg.seeds = stream.seeds;
+  cfg.ground_truth = &stream;
+  cfg.tick_every_days = 2.0;
+  cfg.warm_start = false;
+  return cfg;
+}
+
+std::vector<TickResult> ReplayAll(const ServerConfig& cfg,
+                                  const std::vector<TimedEdge>& ordered,
+                                  ServerStats* stats_out = nullptr) {
+  std::vector<TickResult> ticks;
+  StreamServer server(cfg);
+  server.Subscribe([&](const TickResult& t) { ticks.push_back(t); });
+  EXPECT_TRUE(server.Start().ok());
+  for (size_t pos = 0; pos < ordered.size(); pos += 1000) {
+    const size_t n = std::min<size_t>(1000, ordered.size() - pos);
+    std::vector<TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    EXPECT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  if (stats_out != nullptr) *stats_out = server.stats();
+  server.Stop();
+  EXPECT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+  return ticks;
+}
+
+// The §4.10 acceptance bar: an incremental replay is byte-identical to the
+// cold replay at every tick — labels, clusters, and confirmed metrics.
+TEST(ServeTest, IncrementalReplayMatchesColdReplay) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  std::vector<TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+
+  const ServerConfig cold = IncrementalBaseConfig(stream);
+  ServerConfig inc = cold;
+  inc.incremental = true;
+
+  const auto want = ReplayAll(cold, ordered);
+  ASSERT_GE(want.size(), 8u);
+  ServerStats stats;
+  const auto got = ReplayAll(inc, ordered, &stats);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].detection.lp.labels, want[i].detection.lp.labels)
+        << "tick end " << got[i].window_end;
+    ExpectSameClusters(got[i].detection.clusters, want[i].detection.clusters,
+                       got[i].window_end);
+    EXPECT_EQ(got[i].detection.confirmed_metrics.true_positives,
+              want[i].detection.confirmed_metrics.true_positives);
+    EXPECT_EQ(got[i].new_confirmed, want[i].new_confirmed);
+    EXPECT_EQ(got[i].expired_confirmed, want[i].expired_confirmed);
+  }
+  // The delta path actually ran: only the first tick (inexact first delta)
+  // fell back to a full rebuild.
+  EXPECT_EQ(stats.incremental_rebuilds, 1);
+  EXPECT_EQ(stats.ticks_failed, 0);
+}
+
+/// A stream of disjoint dense bipartite islands with staggered activity
+/// bursts: at most one island changes per tick, so clean islands' clusters
+/// must be reused verbatim rather than re-extracted.
+pipeline::TransactionStream IslandStream(int islands) {
+  pipeline::TransactionStream stream;
+  for (int k = 0; k < islands; ++k) {
+    const VertexId base = static_cast<VertexId>(k) * 10;
+    const double burst = 2.0 * k + 0.25;
+    for (VertexId b = 0; b < 3; ++b) {
+      for (VertexId i = 3; i < 5; ++i) {
+        // Two purchases per pair: density > 1 pre-cap, always confirmed.
+        stream.edges.push_back({base + b, base + i, burst});
+        stream.edges.push_back({base + b, base + i, burst + 0.25});
+      }
+    }
+    stream.seeds.push_back(base);
+  }
+  // A lone trailing edge keeps ticks coming until every island expired.
+  const VertexId tail = static_cast<VertexId>(islands) * 10;
+  stream.edges.push_back({tail, tail + 1, 2.0 * islands + 12.0});
+  std::sort(stream.edges.begin(), stream.edges.end(),
+            graph::CanonicalEdgeLess);
+  return stream;
+}
+
+TEST(ServeTest, IncrementalReusesCleanIslandClusters) {
+  const auto stream = IslandStream(8);
+
+  ServerConfig cold;
+  cold.detect.window_days = 10;
+  cold.detect.engine = lp::EngineKind::kSeq;
+  cold.detect.lp.stop_when_stable = true;
+  cold.detect.lp.max_iterations = 20;
+  cold.seeds = stream.seeds;
+  cold.tick_every_days = 1.0;
+  cold.warm_start = false;
+  ServerConfig inc = cold;
+  inc.incremental = true;
+
+  const auto want = ReplayAll(cold, stream.edges);
+  ASSERT_GE(want.size(), 20u);
+  ServerStats stats;
+  const auto got = ReplayAll(inc, stream.edges, &stats);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].detection.lp.labels, want[i].detection.lp.labels)
+        << "tick end " << got[i].window_end;
+    ExpectSameClusters(got[i].detection.clusters, want[i].detection.clusters,
+                       got[i].window_end);
+  }
+  // Quiet islands' clusters carried over without re-extraction.
+  EXPECT_GT(stats.reused_clusters, 0);
+  EXPECT_EQ(stats.incremental_rebuilds, 1);
+}
+
+TEST(ServeTest, IncrementalStartEnforcesExactnessPreconditions) {
+  ServerConfig cfg;
+  cfg.incremental = true;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.detect.lp.max_iterations = 7;  // odd budget can stop mid-oscillation
+  EXPECT_FALSE(StreamServer(cfg).Start().ok());
+
+  cfg.detect.lp.max_iterations = 8;
+  cfg.detect.variant = lp::VariantKind::kSlp;  // hashes raw vertex ids
+  EXPECT_FALSE(StreamServer(cfg).Start().ok());
+
+  cfg.detect.variant = lp::VariantKind::kClassic;
+  cfg.detect.lp.synchronous = false;  // order-dependent updates
+  EXPECT_FALSE(StreamServer(cfg).Start().ok());
+
+  cfg.detect.lp.synchronous = true;
+  StreamServer ok(cfg);
+  EXPECT_TRUE(ok.Start().ok());
+  ok.Stop();
+}
+
 }  // namespace
 }  // namespace glp::serve

@@ -394,6 +394,94 @@ TEST_F(ShardTest, SingleShardKillRestoreFallsBackToCompleteSnapshot) {
             restored.value().tick + static_cast<int64_t>(got.size()));
 }
 
+// Incremental mode composes with sharding: an N-shard incremental replay
+// matches the 1-shard cold replay exactly at every tick, and the delta path
+// actually engages (a single rebuild on the first, inexact tick).
+TEST_F(ShardTest, IncrementalShardedReplayMatchesColdSingleShard) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const ServerConfig cold = ColdServerConfig(stream);
+
+  const auto want = RunSingle(cold, ordered);
+  ASSERT_GE(want.size(), 4u);
+
+  ServerConfig inc = cold;
+  inc.incremental = true;
+  for (const int shards : {4, 3}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ServerStats stats;
+    const auto got = RunSharded(inc, shards, ordered, &stats);
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto& [key, view] : want) {
+      ASSERT_TRUE(got.count(key)) << "missing tick " << key;
+      ExpectSameView(got.at(key), view, key);
+    }
+    EXPECT_EQ(stats.ticks_failed, 0);
+    EXPECT_EQ(stats.incremental_rebuilds, 1);
+  }
+}
+
+// Kill/restore on a sharded incremental fleet: the restored run re-primes
+// the persistent union-find from the checkpointed anchors and keeps
+// matching the uninterrupted incremental baseline tick for tick.
+TEST_F(ShardTest, IncrementalShardedKillRestoreMatchesUninterrupted) {
+  const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
+  const auto ordered = CanonicalEdges(stream);
+  const std::string dir = MakeTempDir("inc_restore");
+
+  ServerConfig inc = ColdServerConfig(stream);
+  inc.incremental = true;
+
+  const auto want = RunSharded(inc, 4, ordered);
+  ASSERT_GE(want.size(), 6u);
+
+  // Run A: checkpoint every tick, kill mid-stream.
+  ServerConfig cfg_a = inc;
+  cfg_a.checkpoint_dir = dir;
+  cfg_a.checkpoint_every_ticks = 1;
+  cfg_a.checkpoint_keep = 8;
+  {
+    ShardedStreamServer server(cfg_a, 4);
+    ASSERT_TRUE(server.Start().ok());
+    auto batches = BatchEdges(ordered, 1000);
+    const size_t half = batches.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(server.Ingest(std::move(batches[i])));
+    }
+    server.Flush();
+    EXPECT_GE(server.stats().checkpoints_written, 1);
+    server.Stop();
+  }
+
+  // Run B: restore and replay the canonical tail, still incremental.
+  ShardedStreamServer server(inc, 4);
+  std::map<int64_t, TickView> got;
+  server.Subscribe(
+      [&](const TickResult& t) { got[TickKey(t.window_end)] = ViewOf(t); });
+  auto restored = server.RestoreFromCheckpoint(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_LT(restored.value().num_edges, ordered.size());
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& batch :
+       BatchEdges(ordered, 1000,
+                  static_cast<size_t>(restored.value().num_edges))) {
+    ASSERT_TRUE(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  const ServerStats stats = server.stats();
+  server.Stop();
+  ASSERT_TRUE(server.last_error().ok()) << server.last_error().ToString();
+
+  EXPECT_EQ(stats.ticks_failed, 0);
+  ASSERT_FALSE(got.empty());
+  for (const auto& [key, view] : got) {
+    ASSERT_TRUE(want.count(key)) << "unexpected tick " << key;
+    ExpectSameView(view, want.at(key), key);
+  }
+  EXPECT_EQ(static_cast<int64_t>(want.size()),
+            restored.value().tick + static_cast<int64_t>(got.size()));
+}
+
 // ---------------------------------------------------------------------------
 // Sharded checkpoint file format
 // ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ struct Args {
   uint64_t seed = 11;
   int64_t refresh = 32;
   bool warm = true;
+  bool incremental = false;
   bool quiet = false;
   bool profile = false;
   int shards = 1;         // >1 = ShardedStreamServer fleet
@@ -72,6 +73,10 @@ void Usage() {
       "  --engine <e>   seq | tg | ligra | omp | gsort | ghash | glp\n"
       "  --iters <n>    LP iteration cap per tick (default 20)\n"
       "  --cold         disable warm starts (every tick from scratch)\n"
+      "  --incremental  persistent cross-tick union-find: LP only on\n"
+      "                 components the window advance changed, clean\n"
+      "                 clusters reused verbatim (DESIGN.md §4.10; output\n"
+      "                 identical to a cold replay; needs an even --iters)\n"
       "  --refresh <n>  cold-refresh every n ticks (counters warm-start\n"
       "                 label-granularity drift; 0 = never; default 32)\n"
       "  --shards <n>   hash-partition entities across n server shards\n"
@@ -147,6 +152,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->restore = true;
     } else if (!std::strcmp(argv[i], "--cold")) {
       args->warm = false;
+    } else if (!std::strcmp(argv[i], "--incremental")) {
+      args->incremental = true;
     } else if (!std::strcmp(argv[i], "--profile")) {
       args->profile = true;
     } else if (!std::strcmp(argv[i], "--quiet")) {
@@ -319,6 +326,7 @@ int main(int argc, char** argv) {
   cfg.ground_truth = &stream;
   cfg.tick_every_days = args.tick_every;
   cfg.warm_start = args.warm;
+  cfg.incremental = args.incremental;
   cfg.cold_refresh_every_ticks = args.refresh;
   cfg.tick_deadline_seconds = args.tick_deadline;
   cfg.checkpoint_dir = args.checkpoint_dir;
