@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -23,7 +25,7 @@ bool SendAll(int fd, const char* data, size_t len) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         // Send buffer full (tiny SO_SNDBUF, slow scraper, or a
         // non-blocking fd): wait until writable, then retry. The timeout
-        // bounds how long a stalled peer can pin the accept thread.
+        // bounds how long a stalled peer can pin the connection thread.
         pollfd pfd{fd, POLLOUT, 0};
         const int r = ::poll(&pfd, 1, /*timeout_ms=*/5000);
         if (r <= 0) return false;
@@ -39,27 +41,173 @@ bool SendAll(int fd, const char* data, size_t len) {
 
 namespace {
 
-std::string MakeResponse(int status, const char* reason,
-                         const std::string& content_type,
-                         const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  out += body;
+constexpr size_t kMaxHeadBytes = 8 * 1024;
+
+const char* ReasonFor(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+std::string Serialize(const HttpResponse& r, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    ReasonFor(r.status) +
+                    "\r\nContent-Type: " + r.content_type +
+                    "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                    "\r\nConnection: " +
+                    (keep_alive ? "keep-alive" : "close") + "\r\n";
+  for (const auto& [name, value] : r.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += r.body;
   return out;
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
 }
 
 }  // namespace
 
-HttpEndpoint::HttpEndpoint(MetricRegistry* registry) : registry_(registry) {}
+const std::string& HttpRequest::header(const std::string& name) const {
+  static const std::string kEmpty;
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return kEmpty;
+}
 
-HttpEndpoint::~HttpEndpoint() { Stop(); }
+RequestParser::RequestParser(size_t max_body_bytes)
+    : max_body_bytes_(max_body_bytes) {}
 
-bool HttpEndpoint::Start(int port) {
+RequestParser::State RequestParser::Fail(int status,
+                                         const std::string& reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = reason;
+  return state_;
+}
+
+RequestParser::State RequestParser::Feed(const char* data, size_t len) {
+  if (state_ == State::kError || state_ == State::kComplete) return state_;
+  buf_.append(data, len);
+  return Parse();
+}
+
+RequestParser::State RequestParser::Parse() {
+  if (!head_parsed_) {
+    const size_t head_end = buf_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buf_.size() > kMaxHeadBytes) {
+        return Fail(431, "request head too large");
+      }
+      return state_ = State::kNeedMore;
+    }
+    if (head_end > kMaxHeadBytes) return Fail(431, "request head too large");
+
+    // Request line: METHOD SP target SP version.
+    const size_t line_end = buf_.find("\r\n");
+    const std::string line = buf_.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      return Fail(400, "malformed request line");
+    }
+    request_.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (target.empty()) return Fail(400, "empty request target");
+    const size_t q = target.find('?');
+    if (q != std::string::npos) {
+      request_.query = target.substr(q + 1);
+      target.resize(q);
+    }
+    request_.path = std::move(target);
+
+    // Header lines.
+    size_t pos = line_end + 2;
+    while (pos < head_end) {
+      size_t eol = buf_.find("\r\n", pos);
+      if (eol == std::string::npos || eol > head_end) eol = head_end;
+      const std::string hline = buf_.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = hline.find(':');
+      if (colon == std::string::npos) return Fail(400, "malformed header");
+      request_.headers.emplace_back(ToLower(Trim(hline.substr(0, colon))),
+                                    Trim(hline.substr(colon + 1)));
+    }
+
+    const std::string& cl = request_.header("content-length");
+    if (!cl.empty()) {
+      uint64_t v = 0;
+      for (const char c : cl) {
+        if (c < '0' || c > '9') return Fail(400, "bad content-length");
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+        if (v > (uint64_t{1} << 40)) return Fail(400, "bad content-length");
+      }
+      if (v > max_body_bytes_) return Fail(413, "request body too large");
+      content_length_ = static_cast<size_t>(v);
+    }
+    if (!request_.header("transfer-encoding").empty()) {
+      return Fail(400, "transfer-encoding not supported");
+    }
+    body_start_ = head_end + 4;
+    head_parsed_ = true;
+  }
+  if (buf_.size() - body_start_ < content_length_) {
+    return state_ = State::kNeedMore;
+  }
+  request_.body = buf_.substr(body_start_, content_length_);
+  return state_ = State::kComplete;
+}
+
+void RequestParser::Reset() {
+  if (state_ != State::kComplete) return;
+  buf_.erase(0, body_start_ + content_length_);
+  head_parsed_ = false;
+  body_start_ = 0;
+  content_length_ = 0;
+  request_ = HttpRequest{};
+  state_ = State::kNeedMore;
+  if (!buf_.empty()) Parse();  // pipelined bytes already buffered
+}
+
+HttpServer::HttpServer() : HttpServer(Options{}) {}
+
+HttpServer::HttpServer(Options options) : options_(options) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_.push_back({method, path, std::move(handler)});
+}
+
+bool HttpServer::Start(int port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    GLP_LOG(Error) << "metrics endpoint: socket() failed: "
+    GLP_LOG(Error) << "http server: socket() failed: "
                    << std::strerror(errno);
     return false;
   }
@@ -72,9 +220,9 @@ bool HttpEndpoint::Start(int port) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(listen_fd_, 16) < 0) {
-    GLP_LOG(Error) << "metrics endpoint: cannot listen on port " << port
-                   << ": " << std::strerror(errno);
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    GLP_LOG(Error) << "http server: cannot listen on port " << port << ": "
+                   << std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -84,77 +232,181 @@ bool HttpEndpoint::Start(int port) {
   port_ = ntohs(addr.sin_port);
 
   stop_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { AcceptLoop(); });
-  GLP_LOG(Info) << "metrics endpoint listening on :" << port_;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
-void HttpEndpoint::Stop() {
-  if (!thread_.joinable()) return;
+void HttpServer::Stop() {
+  if (!accept_thread_.joinable()) return;
   stop_.store(true, std::memory_order_relaxed);
-  thread_.join();
+  accept_thread_.join();
+  // Connection threads observe stop_ within one poll slice. Join outside
+  // the lock — a finishing thread takes threads_mu_ to mark itself done.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    to_join.swap(threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    finished_.clear();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
-void HttpEndpoint::AcceptLoop() {
+size_t HttpServer::Reap() {
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  for (const std::thread::id id : finished_) {
+    for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();
+        threads_.erase(it);
+        break;
+      }
+    }
+  }
+  finished_.clear();
+  return threads_.size();
+}
+
+void HttpServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     // Poll with a timeout so the stop flag is observed without a wakeup fd.
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    const size_t live = Reap();
     if (r <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    HandleConnection(fd);
-    ::close(fd);
-  }
-}
-
-void HttpEndpoint::HandleConnection(int fd) {
-  // Read the request line; everything after the first CRLF is ignored.
-  char buf[2048];
-  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  std::string request(buf);
-  const size_t eol = request.find("\r\n");
-  if (eol != std::string::npos) request.resize(eol);
-
-  // "GET /path HTTP/1.1" -> path.
-  std::string method, path;
-  {
-    const size_t sp1 = request.find(' ');
-    const size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos
-                                 : request.find(' ', sp1 + 1);
-    if (sp1 != std::string::npos) {
-      method = request.substr(0, sp1);
-      path = sp2 == std::string::npos ? request.substr(sp1 + 1)
-                                      : request.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (live >= static_cast<size_t>(options_.max_connections)) {
+      // Admission at the socket layer: shed before spawning a thread.
+      HttpResponse resp;
+      resp.status = 503;
+      resp.body = "connection limit reached\n";
+      resp.headers.emplace_back("Retry-After", "1");
+      const std::string out = Serialize(resp, /*keep_alive=*/false);
+      SendAll(fd, out.data(), out.size());
+      ::close(fd);
+      continue;
     }
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    threads_.emplace_back([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> lk2(threads_mu_);
+      finished_.push_back(std::this_thread::get_id());
+    });
   }
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-
-  std::string response;
-  if (method != "GET") {
-    response = MakeResponse(405, "Method Not Allowed", "text/plain",
-                            "method not allowed\n");
-  } else if (path == "/metrics") {
-    response = MakeResponse(200, "OK",
-                            "text/plain; version=0.0.4; charset=utf-8",
-                            registry_->PrometheusText());
-  } else if (path == "/statz") {
-    response =
-        MakeResponse(200, "OK", "application/json", registry_->JsonSnapshot());
-  } else if (path == "/healthz") {
-    response = MakeResponse(200, "OK", "text/plain", "ok\n");
-  } else {
-    response = MakeResponse(404, "Not Found", "text/plain", "not found\n");
-  }
-  SendAll(fd, response.data(), response.size());
 }
+
+void HttpServer::HandleConnection(int fd) {
+  RequestParser parser(options_.max_body_bytes);
+  char buf[8192];
+  int idle_ms = 0;
+  bool keep_alive = options_.keep_alive;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (parser.state() == RequestParser::State::kNeedMore) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (r < 0 && errno != EINTR) break;
+      if (r <= 0) {
+        idle_ms += 100;
+        if (idle_ms >= options_.idle_timeout_ms) break;
+        continue;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // peer closed or errored
+      idle_ms = 0;
+      parser.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (parser.state() == RequestParser::State::kError) {
+      HttpResponse resp;
+      resp.status = parser.error_status();
+      resp.body = parser.error_reason() + "\n";
+      const std::string out = Serialize(resp, /*keep_alive=*/false);
+      SendAll(fd, out.data(), out.size());
+      break;
+    }
+    // kComplete: dispatch.
+    const HttpRequest& req = parser.request();
+    keep_alive = options_.keep_alive &&
+                 ToLower(req.header("connection")) != "close";
+    HttpResponse resp;
+    const Handler* handler = nullptr;
+    bool path_known = false;
+    for (const RouteEntry& route : routes_) {
+      if (route.path != req.path) continue;
+      path_known = true;
+      if (route.method == req.method) {
+        handler = &route.handler;
+        break;
+      }
+    }
+    if (handler != nullptr) {
+      resp = (*handler)(req);
+    } else {
+      resp.status = path_known ? 405 : 404;
+      resp.body = path_known ? "method not allowed\n" : "not found\n";
+    }
+    const std::string out = Serialize(resp, keep_alive);
+    if (!SendAll(fd, out.data(), out.size())) break;
+    if (!keep_alive) break;
+    parser.Reset();
+  }
+  ::close(fd);
+}
+
+void RegisterMetricsRoutes(HttpServer* server, MetricRegistry* registry) {
+  server->Route("GET", "/metrics", [registry](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = registry->PrometheusText();
+    return r;
+  });
+  server->Route("GET", "/statz", [registry](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = registry->JsonSnapshot();
+    return r;
+  });
+  server->Route("GET", "/healthz", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+}
+
+namespace {
+
+HttpServer::Options EndpointOptions() {
+  HttpServer::Options o;
+  // The scraper contract from PR 3: one request per connection, server
+  // hangs up after the response (clients read to EOF).
+  o.keep_alive = false;
+  return o;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(MetricRegistry* registry)
+    : registry_(registry), server_(EndpointOptions()) {
+  RegisterMetricsRoutes(&server_, registry_);
+}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+bool HttpEndpoint::Start(int port) {
+  if (!server_.Start(port)) return false;
+  GLP_LOG(Info) << "metrics endpoint listening on :" << server_.port();
+  return true;
+}
+
+void HttpEndpoint::Stop() { server_.Stop(); }
 
 }  // namespace glp::obs

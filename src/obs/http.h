@@ -1,23 +1,33 @@
-// Minimal HTTP/1.1 endpoint serving a MetricRegistry over a POSIX socket.
+// Minimal HTTP/1.1 server over POSIX sockets, plus the metrics endpoint
+// built on it.
 //
-// Three routes, all GET:
-//   /metrics  Prometheus text exposition (what a Prometheus scraper polls)
-//   /statz    JSON snapshot of every family
-//   /healthz  "ok\n" once Start() returned (liveness probe)
+// PR 7 generalized the original GET-only metrics scraper into a small
+// routed server so the serving layer's network ingest (serve/net/) can
+// share one HTTP core:
 //
-// One accept thread handles requests serially — scrapes are rare (seconds
-// apart) and responses are built from lock-free atomic reads, so a single
-// thread keeps the footprint at one fd + one thread and can never amplify
-// load on the serving path. Not a general web server: no keep-alive, no
-// TLS, request line only (headers are read and discarded).
+//   HttpServer   routes (method, path) -> handler; incremental request
+//                parsing with Content-Length body reads, per-connection
+//                keep-alive, thread-per-connection with a hard cap.
+//   HttpEndpoint the PR 3 metrics endpoint (/metrics, /statz, /healthz),
+//                now a thin route registration over HttpServer. Its
+//                connections stay close-after-response: scrapes are rare
+//                and the one-shot shape keeps the scraper contract stable.
+//
+// Still not a general web server: no TLS, no chunked transfer encoding, no
+// multiplexing. Bodies are bounded by Options::max_body_bytes (413 beyond),
+// header blocks by an 8 KiB cap (431 beyond).
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
+#include <mutex>
 
 namespace glp::obs {
 
@@ -31,7 +41,140 @@ class MetricRegistry;
 /// with SIGPIPE. Exposed for unit testing against a socketpair.
 bool SendAll(int fd, const char* data, size_t len);
 
+/// One parsed request. Header names are lower-cased at parse time; values
+/// keep their bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;  ///< upper-case as sent ("GET", "POST", ...)
+  std::string path;    ///< target with any ?query stripped
+  std::string query;   ///< bytes after '?', empty if none
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lower-case), or "" if absent.
+  const std::string& header(const std::string& name) const;
+};
+
+/// One response. `headers` carries route-specific extras (Retry-After,
+/// ...); Content-Type/Content-Length/Connection are emitted by the server.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Incremental HTTP/1.1 request parser: feed whatever recv() produced,
+/// get kComplete exactly when the head plus Content-Length body bytes have
+/// arrived. Rejects oversized bodies (413) *before* buffering them and
+/// malformed heads (400) / oversized heads (431) as soon as they are
+/// detectable. After kComplete, Reset() drops the consumed bytes and
+/// re-parses any pipelined leftover. Exposed for unit testing.
+class RequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit RequestParser(size_t max_body_bytes = 1 << 20);
+
+  /// Appends bytes and advances the parse. Idempotent once terminal:
+  /// further Feed() calls return the settled state.
+  State Feed(const char* data, size_t len);
+
+  State state() const { return state_; }
+  /// Valid while state() == kComplete.
+  const HttpRequest& request() const { return request_; }
+  /// Valid while state() == kError: the HTTP status to answer with
+  /// (400 malformed, 413 body too large, 431 head too large) + reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Consumes the completed request and re-parses pipelined leftover
+  /// bytes, if any. No-op unless state() == kComplete.
+  void Reset();
+
+ private:
+  State Parse();
+  State Fail(int status, const std::string& reason);
+
+  size_t max_body_bytes_;
+  std::string buf_;
+  bool head_parsed_ = false;
+  size_t body_start_ = 0;
+  size_t content_length_ = 0;
+  HttpRequest request_;
+  State state_ = State::kNeedMore;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// \brief Small routed HTTP/1.1 server: accept thread + one thread per
+/// connection, bounded by Options::max_connections.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    size_t max_body_bytes = 1 << 20;  ///< 413 beyond
+    int max_connections = 128;        ///< accepts beyond answer 503
+    int idle_timeout_ms = 5000;       ///< keep-alive connections idle cap
+    int backlog = 128;
+    /// Honor HTTP/1.1 persistent connections. Off = every response carries
+    /// Connection: close and the server hangs up (the metrics-endpoint
+    /// shape).
+    bool keep_alive = true;
+  };
+
+  HttpServer();  // default Options
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact (method, path) matches. Must be called
+  /// before Start(). A path registered under a different method answers
+  /// 405; an unknown path 404.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the
+  /// accept thread. Returns false (reason logged) if the bind fails.
+  bool Start(int port);
+
+  /// Stops accepting, joins every connection thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved if 0 was requested); 0 before Start().
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Joins finished connection threads; returns live-thread count.
+  size_t Reap();
+
+  Options options_;
+  struct RouteEntry {
+    std::string method, path;
+    Handler handler;
+  };
+  std::vector<RouteEntry> routes_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::thread::id> finished_;
+};
+
 /// \brief Background thread exposing `registry` on a local TCP port.
+///
+/// Three routes, all GET:
+///   /metrics  Prometheus text exposition (what a Prometheus scraper polls)
+///   /statz    JSON snapshot of every family
+///   /healthz  "ok\n" once Start() returned (liveness probe)
 class HttpEndpoint {
  public:
   /// Serves `registry` (not owned; must outlive the endpoint).
@@ -41,25 +184,24 @@ class HttpEndpoint {
   HttpEndpoint(const HttpEndpoint&) = delete;
   HttpEndpoint& operator=(const HttpEndpoint&) = delete;
 
-  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the accept
-  /// thread. Returns false (with the reason logged) if the bind fails.
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts serving.
+  /// Returns false (with the reason logged) if the bind fails.
   bool Start(int port);
 
-  /// Stops the accept thread and closes the socket. Idempotent.
+  /// Stops the server and closes the socket. Idempotent.
   void Stop();
 
   /// The bound port (resolved if 0 was requested); 0 before Start().
-  int port() const { return port_; }
+  int port() const { return server_.port(); }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-
   MetricRegistry* registry_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
+  HttpServer server_;
 };
+
+/// Registers the three metrics routes (/metrics, /statz, /healthz) on an
+/// existing server — how the ingest service co-hosts observability on its
+/// ingest port.
+void RegisterMetricsRoutes(HttpServer* server, MetricRegistry* registry);
 
 }  // namespace glp::obs

@@ -1,0 +1,207 @@
+// Serving-layer configuration, split into composable policy structs
+// (PR 7 API redesign): streaming concerns group into TickPolicy (cadence,
+// warm-start/incremental mode), ResiliencePolicy (the §4.8 retry and
+// degradation ladders), and CheckpointPolicy (periodic snapshots), so new
+// layers — the network frontend's TenantPolicy lives in serve/net/tenant.h
+// — compose their own policy structs instead of widening one god-struct.
+// ServerConfig embeds one of each plus the cross-cutting members (detection
+// pipeline, seeds, queue bound, telemetry hooks) and is consumed by every
+// serve::Server implementation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "obs/metrics.h"
+#include "pipeline/pipeline.h"
+#include "prof/prof.h"
+
+namespace glp::serve {
+
+/// When detection ticks fire and how much state they carry across ticks.
+struct TickPolicy {
+  /// Window-end cadence: a detection tick fires at every multiple of this
+  /// once ingested data reaches it.
+  double every_days = 1.0;
+
+  /// Warm-start each tick's LP from the previous tick's labels mapped
+  /// through the entity ids (cold singleton for entities new to the
+  /// window). Off = every tick runs from scratch.
+  bool warm_start = true;
+
+  /// Incremental tick path (DESIGN.md §4.10): maintain a persistent
+  /// cross-tick union-find over the window, and run LP + cluster
+  /// extraction only on components whose edge set changed since the last
+  /// tick — clean components reuse their previous labels and cluster
+  /// records verbatim. Published output stays byte-identical to a cold
+  /// canonical replay (unlike warm_start, which trades exactness for
+  /// speed), and any incremental-state fault falls back to a full rebuild
+  /// for that tick. When set, warm_start and cold_refresh_every_ticks are
+  /// ignored. Requires synchronous, non-SLP detection with no caller
+  /// initial labels and an even lp.max_iterations when stop_when_stable —
+  /// Start() rejects violations.
+  bool incremental = false;
+
+  /// With warm_start, run a from-scratch tick every N ticks anyway.
+  /// Warm-started LP can merge communities but never split them, so label
+  /// granularity drifts monotonically coarser over long streams; a periodic
+  /// cold refresh re-fragments (see bench/stream_serve.cc for the
+  /// latency/quality tradeoff). 0 = never refresh.
+  int64_t cold_refresh_every_ticks = 32;
+};
+
+/// The §4.8 failure ladders: per-tick retries, deadline degradation, and
+/// ingest validation.
+struct ResiliencePolicy {
+  /// Per-tick wall-clock budget in seconds; 0 disables the deadline. A
+  /// tick that overruns arms the degradation ladder for the next one:
+  /// (1) LP iterations capped at degraded_iteration_cap, (2) a due cold
+  /// refresh is deferred until pressure clears, (3) if the stream has
+  /// crossed several boundaries while a tick overran, the overdue
+  /// boundaries are coalesced into one tick at the newest boundary and the
+  /// skipped ones are counted in glp_serve_ticks_shed_total.
+  double tick_deadline_seconds = 0;
+  /// LP iteration cap applied to degraded ticks (step 1 of the ladder).
+  int degraded_iteration_cap = 5;
+
+  /// Retries per tick after a *transient* failure (IoError,
+  /// CapacityExceeded, Internal — the codes injected device faults and
+  /// flaky dependencies surface as). The ladder: attempt 0 as configured,
+  /// attempt 1 retries unchanged, attempt 2 drops warm start (the warm
+  /// state is suspect after repeated failures), the final attempt switches
+  /// to fallback_engine. Non-transient codes are fatal: the detection
+  /// thread records last_error(), wakes every blocked producer with
+  /// Ingest() == false, and exits. 0 disables retries (first transient
+  /// failure abandons the tick).
+  int max_tick_retries = 3;
+  /// Exponential backoff between retry attempts: base * 2^attempt, capped.
+  double retry_backoff_ms = 1.0;
+  double max_retry_backoff_ms = 50.0;
+  /// Use fallback_engine for the last retry attempt (GPU fault -> CPU).
+  bool enable_engine_fallback = true;
+  lp::EngineKind fallback_engine = lp::EngineKind::kSeq;
+
+  /// Ingest validation: entity ids must be < entity_id_limit when nonzero
+  /// (the sentinel kInvalidVertex and non-finite/negative timestamps are
+  /// always rejected). A failing batch is rejected whole — counted in
+  /// glp_serve_batches_rejected_total — instead of poisoning the window.
+  graph::VertexId entity_id_limit = 0;
+};
+
+/// Crash-consistent periodic snapshots (serve/checkpoint.h).
+struct CheckpointPolicy {
+  /// Directory snapshots land in; empty disables checkpointing.
+  std::string dir;
+  /// Completed ticks between snapshots.
+  int64_t every_ticks = 16;
+  /// Newest files kept when pruning.
+  int keep = 2;
+};
+
+/// Streaming-server configuration, consumed by every serve::Server
+/// implementation. Composes the pipeline's unified PipelineConfig (and
+/// through it the lp::RunConfig the engines consume) plus one policy struct
+/// per serving concern.
+struct ServerConfig {
+  /// Per-tick detection parameters: window length, engine/variant, the
+  /// embedded lp::RunConfig (iterations, seed, stop_when_stable), cluster
+  /// extraction thresholds. end_day is ignored — the stream drives the
+  /// window end. Pair tick.warm_start with detect.lp.stop_when_stable so
+  /// quiescent windows terminate after ~2 iterations.
+  pipeline::PipelineConfig detect;
+
+  /// Blacklist seeds (global entity ids) for cluster extraction.
+  std::vector<graph::VertexId> seeds;
+
+  TickPolicy tick;
+  ResiliencePolicy resilience;
+  CheckpointPolicy checkpoint;
+
+  /// Ingest-queue bound: Ingest() blocks while this many batches are
+  /// pending (backpressure); TryIngest() sheds instead.
+  size_t max_queue_batches = 8;
+
+  /// Optional ground truth for per-tick detection metrics. Not owned.
+  const pipeline::TransactionStream* ground_truth = nullptr;
+
+  /// Copy each tick's warm-start label array into TickResult::warm_labels
+  /// (test/replay hook for the one-shot equivalence check).
+  bool record_warm_labels = false;
+
+  /// Optional profiler: receives per-tick host events and the LP engines'
+  /// phase breakdowns. Used from the detection thread only. Not owned.
+  prof::PhaseProfiler* profiler = nullptr;
+  /// Optional thread pool for the LP engines. Not owned.
+  glp::ThreadPool* pool = nullptr;
+  /// Metric registry all serving telemetry flows into (and, through
+  /// RunContext, the engines' convergence series and the simulator's kernel
+  /// counters). Null makes the server own a private registry — stats()
+  /// works either way; supply one to aggregate across servers or expose it
+  /// via obs::HttpEndpoint. Not owned; must outlive the server, and the
+  /// pool (it registers a collector polling the pool's queue depth).
+  obs::MetricRegistry* metrics = nullptr;
+
+  // —— Deprecated flat aliases (kept one PR) ——
+  // PR 7 split the flat fields into the policy structs above; these
+  // reference-returning shims keep old spellings compiling modulo added
+  // parentheses (`cfg.tick_every_days() = 2`). New code uses the structs.
+  [[deprecated("use tick.every_days")]] double& tick_every_days() {
+    return tick.every_days;
+  }
+  [[deprecated("use tick.warm_start")]] bool& warm_start() {
+    return tick.warm_start;
+  }
+  [[deprecated("use tick.incremental")]] bool& incremental() {
+    return tick.incremental;
+  }
+  [[deprecated("use tick.cold_refresh_every_ticks")]] int64_t&
+  cold_refresh_every_ticks() {
+    return tick.cold_refresh_every_ticks;
+  }
+  [[deprecated("use resilience.tick_deadline_seconds")]] double&
+  tick_deadline_seconds() {
+    return resilience.tick_deadline_seconds;
+  }
+  [[deprecated("use resilience.degraded_iteration_cap")]] int&
+  degraded_iteration_cap() {
+    return resilience.degraded_iteration_cap;
+  }
+  [[deprecated("use resilience.max_tick_retries")]] int& max_tick_retries() {
+    return resilience.max_tick_retries;
+  }
+  [[deprecated("use resilience.retry_backoff_ms")]] double&
+  retry_backoff_ms() {
+    return resilience.retry_backoff_ms;
+  }
+  [[deprecated("use resilience.max_retry_backoff_ms")]] double&
+  max_retry_backoff_ms() {
+    return resilience.max_retry_backoff_ms;
+  }
+  [[deprecated("use resilience.enable_engine_fallback")]] bool&
+  enable_engine_fallback() {
+    return resilience.enable_engine_fallback;
+  }
+  [[deprecated("use resilience.fallback_engine")]] lp::EngineKind&
+  fallback_engine() {
+    return resilience.fallback_engine;
+  }
+  [[deprecated("use resilience.entity_id_limit")]] graph::VertexId&
+  entity_id_limit() {
+    return resilience.entity_id_limit;
+  }
+  [[deprecated("use checkpoint.dir")]] std::string& checkpoint_dir() {
+    return checkpoint.dir;
+  }
+  [[deprecated("use checkpoint.every_ticks")]] int64_t&
+  checkpoint_every_ticks() {
+    return checkpoint.every_ticks;
+  }
+  [[deprecated("use checkpoint.keep")]] int& checkpoint_keep() {
+    return checkpoint.keep;
+  }
+};
+
+}  // namespace glp::serve

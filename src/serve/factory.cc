@@ -1,0 +1,19 @@
+// MakeServer — the one place shard count picks an implementation.
+
+#include <memory>
+#include <utility>
+
+#include "serve/server.h"
+#include "serve/server_iface.h"
+#include "serve/sharded_server.h"
+
+namespace glp::serve {
+
+std::unique_ptr<Server> MakeServer(ServerConfig config, int num_shards) {
+  if (num_shards <= 1) {
+    return std::make_unique<StreamServer>(std::move(config));
+  }
+  return std::make_unique<ShardedStreamServer>(std::move(config), num_shards);
+}
+
+}  // namespace glp::serve

@@ -1,0 +1,165 @@
+#include "serve/net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/http.h"
+#include "serve/net/wire.h"
+
+namespace glp::serve::net {
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::Connect(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IoError("connect to :" + std::to_string(port) + ": " +
+                           err);
+  }
+  port_ = port;
+  return Status::OK();
+}
+
+Result<HttpClient::Response> HttpClient::RequestOnce(
+    const std::string& method, const std::string& path,
+    const std::string& content_type, const std::string& body,
+    const std::string& token) {
+  if (fd_ < 0) return Status::IoError("client not connected");
+
+  std::string req = method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n";
+  if (!token.empty()) req += "Authorization: Bearer " + token + "\r\n";
+  if (!content_type.empty()) req += "Content-Type: " + content_type + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  if (!obs::SendAll(fd_, req.data(), req.size())) {
+    return Status::IoError("send failed (peer closed?)");
+  }
+
+  // Read the response: head, then Content-Length body bytes.
+  std::string buf;
+  size_t head_end = std::string::npos;
+  char chunk[8192];
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return Status::IoError("connection closed mid-response");
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.size() > (1u << 20)) {
+      return Status::IoError("response head too large");
+    }
+  }
+
+  Response resp;
+  // Status line: HTTP/1.1 NNN reason.
+  {
+    const size_t sp = buf.find(' ');
+    if (sp == std::string::npos || sp + 4 > buf.size()) {
+      return Status::IoError("malformed response status line");
+    }
+    resp.status = std::atoi(buf.c_str() + sp + 1);
+  }
+  // Headers we care about.
+  size_t content_length = 0;
+  {
+    size_t pos = buf.find("\r\n") + 2;
+    while (pos < head_end) {
+      size_t eol = buf.find("\r\n", pos);
+      if (eol == std::string::npos || eol > head_end) eol = head_end;
+      std::string line = buf.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+        value.erase(value.begin());
+      }
+      if (name == "content-length") {
+        content_length = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                           nullptr, 10));
+      } else if (name == "retry-after") {
+        resp.retry_after = std::strtod(value.c_str(), nullptr);
+      } else if (name == "connection" && value.compare(0, 5, "close") == 0) {
+        resp.closed = true;
+      }
+    }
+  }
+  const size_t body_start = head_end + 4;
+  while (buf.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return Status::IoError("connection closed mid-body");
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  resp.body = buf.substr(body_start, content_length);
+  if (resp.closed) Close();
+  return resp;
+}
+
+Result<HttpClient::Response> HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& content_type, const std::string& body,
+    const std::string& token) {
+  if (fd_ < 0 && port_ != 0) {
+    GLP_RETURN_NOT_OK(Connect(port_));
+  }
+  Result<Response> r = RequestOnce(method, path, content_type, body, token);
+  if (!r.ok() && port_ != 0) {
+    // The server may have dropped an idle keep-alive connection between
+    // requests; reconnect once and retry.
+    GLP_RETURN_NOT_OK(Connect(port_));
+    return RequestOnce(method, path, content_type, body, token);
+  }
+  return r;
+}
+
+Result<HttpClient::Response> HttpClient::PostBatch(
+    const std::vector<graph::TimedEdge>& batch, const std::string& token) {
+  return Request("POST", "/v1/ingest", kBinaryContentType,
+                 EncodeBinaryBatch(batch), token);
+}
+
+Result<HttpClient::Response> HttpClient::PostBatchWithRetry(
+    const std::vector<graph::TimedEdge>& batch, const std::string& token,
+    int max_retries, double max_wait_seconds) {
+  Result<Response> r = PostBatch(batch, token);
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    if (!r.ok() || r.value().status != 429) return r;
+    const double wait =
+        std::min(r.value().retry_after > 0 ? r.value().retry_after : 0.01,
+                 max_wait_seconds);
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    r = PostBatch(batch, token);
+  }
+  return r;
+}
+
+}  // namespace glp::serve::net

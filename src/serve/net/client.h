@@ -1,0 +1,72 @@
+// Minimal blocking HTTP/1.1 client with keep-alive — just enough to drive
+// IngestService from the replay tool, the netload bench, and the
+// end-to-end tests. One connection per instance; not thread-safe.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "util/status.h"
+
+namespace glp::serve::net {
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    /// Parsed Retry-After seconds; 0 when absent.
+    double retry_after = 0;
+    /// Server asked to close (Connection: close) — the client reconnects
+    /// transparently on the next request.
+    bool closed = false;
+  };
+
+  /// Connects to 127.0.0.1:`port` (the in-repo services are loopback).
+  Status Connect(int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One request/response over the persistent connection. Reconnects once
+  /// if the server closed the connection between requests.
+  Result<Response> Request(const std::string& method, const std::string& path,
+                           const std::string& content_type,
+                           const std::string& body,
+                           const std::string& token = "");
+
+  Result<Response> Get(const std::string& path) {
+    return Request("GET", path, "", "", "");
+  }
+
+  /// POSTs one batch in binary wire format.
+  Result<Response> PostBatch(const std::vector<graph::TimedEdge>& batch,
+                             const std::string& token);
+
+  /// PostBatch with bounded retry on 429, honoring Retry-After (capped per
+  /// attempt by `max_wait_seconds` so tests stay fast). Any other status
+  /// returns immediately.
+  Result<Response> PostBatchWithRetry(
+      const std::vector<graph::TimedEdge>& batch, const std::string& token,
+      int max_retries = 50, double max_wait_seconds = 0.2);
+
+ private:
+  Result<Response> RequestOnce(const std::string& method,
+                               const std::string& path,
+                               const std::string& content_type,
+                               const std::string& body,
+                               const std::string& token);
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace glp::serve::net

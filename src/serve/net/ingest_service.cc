@@ -1,0 +1,202 @@
+#include "serve/net/ingest_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "serve/net/wire.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace glp::serve::net {
+
+namespace {
+
+obs::HttpServer::Options HttpOptions(const IngestService::Options& o) {
+  obs::HttpServer::Options h;
+  h.max_body_bytes = o.max_batch_bytes;
+  h.max_connections = o.max_connections;
+  h.keep_alive = true;
+  return h;
+}
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = "{\"error\":\"" + json::Escape(message) + "\"}\n";
+  return r;
+}
+
+/// Retry-After is integral seconds on the wire; round up so a compliant
+/// client never comes back early and gets throttled again.
+std::string RetryAfterValue(double seconds) {
+  return std::to_string(
+      static_cast<int64_t>(std::ceil(std::max(seconds, 0.001))));
+}
+
+/// Bearer-token extraction: Authorization: Bearer <tok>, or the
+/// curl-friendly X-Glp-Token: <tok>.
+std::string ExtractToken(const obs::HttpRequest& req) {
+  const std::string& auth = req.header("authorization");
+  if (!auth.empty()) {
+    constexpr char kBearer[] = "Bearer ";
+    if (auth.compare(0, sizeof(kBearer) - 1, kBearer) == 0) {
+      return auth.substr(sizeof(kBearer) - 1);
+    }
+    return "";  // unsupported scheme
+  }
+  return req.header("x-glp-token");
+}
+
+}  // namespace
+
+IngestService::IngestService(Server* server,
+                             std::vector<TenantPolicy> tenants)
+    : IngestService(server, std::move(tenants), Options{}) {}
+
+IngestService::IngestService(Server* server,
+                             std::vector<TenantPolicy> tenants,
+                             Options options)
+    : server_(server),
+      tenants_(std::move(tenants), options.global_rate_edges_per_sec,
+               options.global_burst_edges, server->metrics()),
+      http_(HttpOptions(options)),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Own routes first: first match wins, so the running-aware /healthz
+  // shadows the registry's static one.
+  http_.Route("POST", "/v1/ingest",
+              [this](const obs::HttpRequest& r) { return HandleIngest(r); });
+  http_.Route("GET", "/v1/stats",
+              [this](const obs::HttpRequest& r) { return HandleStats(r); });
+  http_.Route("GET", "/healthz",
+              [this](const obs::HttpRequest& r) { return HandleHealthz(r); });
+  obs::RegisterMetricsRoutes(&http_, server_->metrics());
+}
+
+IngestService::~IngestService() { Stop(); }
+
+bool IngestService::Start(int port) {
+  if (!http_.Start(port)) return false;
+  GLP_LOG(Info) << "ingest service listening on :" << http_.port() << " ("
+                << tenants_.num_tenants() << " tenants, "
+                << server_->num_shards() << " shard(s))";
+  return true;
+}
+
+void IngestService::Stop() { http_.Stop(); }
+
+double IngestService::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
+  const double t0 = NowSeconds();
+
+  // 1. Authenticate: every later counter is attributed to the tenant, so
+  //    auth comes first and unauthenticated traffic is not attributed.
+  const int tenant = tenants_.Authenticate(ExtractToken(req));
+  if (tenant < 0) {
+    return JsonError(401, "unknown or missing tenant token");
+  }
+  const auto finish = [&](const char* result, size_t edges, double lag_days,
+                          obs::HttpResponse resp) {
+    tenants_.Record(tenant, result, edges, NowSeconds(), lag_days,
+                    NowSeconds() - t0);
+    return resp;
+  };
+
+  // 2. Decode.
+  if (req.body.empty()) {
+    return finish("rejected", 0, 0, JsonError(400, "empty batch body"));
+  }
+  const std::string& ctype = req.header("content-type");
+  Result<std::vector<graph::TimedEdge>> decoded =
+      IsNdjsonContentType(ctype) ? DecodeNdjsonBatch(req.body)
+      : IsBinaryContentType(ctype)
+          ? DecodeBinaryBatch(req.body)
+          : Result<std::vector<graph::TimedEdge>>(Status::InvalidArgument(
+                "unsupported content type '" + ctype + "'"));
+  if (!decoded.ok()) {
+    return finish("rejected", 0, 0, JsonError(400, decoded.status().message()));
+  }
+  std::vector<graph::TimedEdge> batch = std::move(decoded).value();
+  const size_t edges = batch.size();
+  double batch_max_time = 0;
+  for (const graph::TimedEdge& e : batch) {
+    batch_max_time = std::max(batch_max_time, e.time);
+  }
+
+  // 3. Liveness: a stopped/degraded-to-dead server is 503, not 429 — the
+  //    client should fail over, not back off (PR 4 semantics).
+  if (!server_->running()) {
+    obs::HttpResponse r = JsonError(503, "server not running");
+    const Status err = server_->last_error();
+    if (!err.ok()) {
+      r.body = "{\"error\":\"server not running\",\"cause\":\"" +
+               json::Escape(err.ToString()) + "\"}\n";
+    }
+    return finish("stopped", edges, 0, std::move(r));
+  }
+
+  // 4. Rate limiting: global bucket, then the tenant's own.
+  double retry_after = 1.0;
+  const Admission adm =
+      tenants_.Admit(tenant, edges, NowSeconds(), &retry_after);
+  if (adm != Admission::kOk) {
+    obs::HttpResponse r = JsonError(
+        429, adm == Admission::kThrottledGlobal ? "global rate limit"
+                                                : "tenant rate limit");
+    r.headers.emplace_back("Retry-After", RetryAfterValue(retry_after));
+    return finish("throttled", edges, 0, std::move(r));
+  }
+
+  // 5. Hand to the server — non-blocking, so backpressure surfaces as a
+  //    shed (429) instead of pinning this connection thread on the queue.
+  switch (server_->TryIngest(std::move(batch))) {
+    case Server::Admit::kAccepted: {
+      double lag_days = 0;
+      {
+        std::lock_guard<std::mutex> lk(head_mu_);
+        lag_days = std::max(stream_head_ - batch_max_time, 0.0);
+        stream_head_ = std::max(stream_head_, batch_max_time);
+      }
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = "{\"accepted\":" + std::to_string(edges) + "}\n";
+      return finish("accepted", edges, lag_days, std::move(r));
+    }
+    case Server::Admit::kQueueFull: {
+      obs::HttpResponse r = JsonError(429, "ingest queue full");
+      r.headers.emplace_back("Retry-After", "1");
+      return finish("shed", edges, 0, std::move(r));
+    }
+    case Server::Admit::kRejected:
+      return finish("rejected", edges, 0,
+                    JsonError(400, "batch failed validation"));
+    case Server::Admit::kStopped:
+    default:
+      return finish("stopped", edges, 0,
+                    JsonError(503, "server not running"));
+  }
+}
+
+obs::HttpResponse IngestService::HandleStats(const obs::HttpRequest&) {
+  obs::HttpResponse r;
+  r.content_type = "application/json";
+  r.body = server_->stats().ToJson();
+  return r;
+}
+
+obs::HttpResponse IngestService::HandleHealthz(const obs::HttpRequest&) {
+  if (server_->running()) {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  }
+  return JsonError(503, "server not running");
+}
+
+}  // namespace glp::serve::net

@@ -1,0 +1,90 @@
+// serve::net::IngestService — the network front door of the serving layer
+// (DESIGN.md §4.11).
+//
+// Wraps any serve::Server (1-shard or sharded — the interface hides it)
+// behind an HTTP/1.1 ingest API on obs::HttpServer:
+//
+//   POST /v1/ingest   batch body (binary or ndjson, see wire.h), bearer
+//                     token per tenant. Admission ladder:
+//                       401 unknown/missing token
+//                       400 empty/undecodable body, invalid edges
+//                       503 server not running (degraded/dead, PR 4)
+//                       429 + Retry-After rate-limited (global or tenant
+//                           token bucket) or backpressure shed (TryIngest
+//                           kQueueFull — the bounded queue stays the last
+//                           line of defense)
+//                       200 {"accepted":N}
+//   GET  /v1/stats    ServerStats JSON
+//   GET  /healthz     "ok" while running, 503 once degraded/dead
+//   GET  /metrics,/statz  the usual registry routes, co-hosted
+//
+// The connection thread never blocks on the ingest queue: admission uses
+// TryIngest, so shed pressure surfaces as 429 within one request's
+// round-trip. Exactness rides on the Server contract — tick output is
+// invariant to batch partitioning — so batches POSTed in stream order
+// reproduce in-process ingest byte-for-byte.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/http.h"
+#include "serve/net/tenant.h"
+#include "serve/server_iface.h"
+#include "util/status.h"
+
+namespace glp::serve::net {
+
+class IngestService {
+ public:
+  struct Options {
+    /// Largest accepted POST body (413 beyond).
+    size_t max_batch_bytes = 1 << 20;
+    /// Fleet-wide admission cap, edges/sec (0 = unlimited) + burst.
+    double global_rate_edges_per_sec = 0;
+    double global_burst_edges = 0;
+    /// Concurrent connections the HTTP server carries.
+    int max_connections = 128;
+  };
+
+  /// `server` not owned; must be Start()ed by the caller and outlive the
+  /// service. Tenant QoS metrics land in server->metrics().
+  IngestService(Server* server, std::vector<TenantPolicy> tenants);
+  IngestService(Server* server, std::vector<TenantPolicy> tenants,
+                Options options);
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and serves. False on bind error.
+  bool Start(int port);
+  void Stop();
+  int port() const { return http_.port(); }
+
+  TenantRegistry* tenants() { return &tenants_; }
+
+ private:
+  obs::HttpResponse HandleIngest(const obs::HttpRequest& req);
+  obs::HttpResponse HandleStats(const obs::HttpRequest& req);
+  obs::HttpResponse HandleHealthz(const obs::HttpRequest& req);
+  double NowSeconds() const;
+
+  Server* server_;
+  TenantRegistry tenants_;
+  obs::HttpServer http_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  /// Stream head over accepted batches — the reference point for
+  /// per-tenant ingest-lag attribution.
+  std::mutex head_mu_;
+  double stream_head_ = 0;
+};
+
+}  // namespace glp::serve::net

@@ -1,0 +1,242 @@
+#include "serve/net/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace glp::serve::net {
+
+// ---------------------------------------------------------------- spec ----
+
+Result<std::vector<TenantPolicy>> ParseTenantSpec(const std::string& spec) {
+  std::vector<TenantPolicy> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    std::vector<std::string> parts;
+    size_t p = 0;
+    while (p <= entry.size()) {
+      size_t colon = entry.find(':', p);
+      if (colon == std::string::npos) colon = entry.size();
+      parts.push_back(entry.substr(p, colon - p));
+      p = colon + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 4 || parts[0].empty() ||
+        parts[1].empty()) {
+      return Status::InvalidArgument(
+          "tenant entry '" + entry +
+          "' is not name:token[:rate[:burst]]");
+    }
+    TenantPolicy t;
+    t.name = parts[0];
+    t.token = parts[1];
+    if (parts.size() >= 3) {
+      char* end = nullptr;
+      t.rate_edges_per_sec = std::strtod(parts[2].c_str(), &end);
+      if (end == nullptr || *end != '\0' || t.rate_edges_per_sec < 0) {
+        return Status::InvalidArgument("bad tenant rate in '" + entry + "'");
+      }
+    }
+    if (parts.size() == 4) {
+      char* end = nullptr;
+      t.burst_edges = std::strtod(parts[3].c_str(), &end);
+      if (end == nullptr || *end != '\0' || t.burst_edges < 0) {
+        return Status::InvalidArgument("bad tenant burst in '" + entry + "'");
+      }
+    }
+    for (const TenantPolicy& prev : out) {
+      if (prev.name == t.name) {
+        return Status::InvalidArgument("duplicate tenant name '" + t.name +
+                                       "'");
+      }
+      if (prev.token == t.token) {
+        return Status::InvalidArgument("duplicate tenant token for '" +
+                                       t.name + "'");
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("tenant spec is empty");
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- bucket ----
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec),
+      burst_(burst > 0 ? burst : std::max(4.0 * rate_per_sec, 1024.0)),
+      tokens_(burst_) {}
+
+bool TokenBucket::TryAcquire(double cost, double now_seconds,
+                             double* retry_after_seconds) {
+  if (rate_ <= 0) return true;  // unlimited
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now_seconds;
+  }
+  if (now_seconds > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + (now_seconds - last_refill_) * rate_);
+    last_refill_ = now_seconds;
+  }
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    return true;
+  }
+  if (retry_after_seconds != nullptr) {
+    *retry_after_seconds = (cost - tokens_) / rate_;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- window ----
+
+RateWindow::RateWindow(int span_seconds)
+    : buckets_(static_cast<size_t>(std::max(span_seconds, 1)), 0) {}
+
+void RateWindow::Advance(double now_seconds) {
+  const int64_t sec = static_cast<int64_t>(std::floor(now_seconds));
+  if (!primed_) {
+    primed_ = true;
+    head_second_ = sec;
+    first_seen_ = now_seconds;
+    return;
+  }
+  if (sec <= head_second_) return;  // same second (or a clock step back)
+  const int64_t steps = sec - head_second_;
+  const int64_t span = static_cast<int64_t>(buckets_.size());
+  if (steps >= span) {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  } else {
+    for (int64_t i = 0; i < steps; ++i) {
+      head_ = (head_ + 1) % buckets_.size();
+      buckets_[head_] = 0;
+    }
+  }
+  head_second_ = sec;
+}
+
+void RateWindow::Add(uint64_t count, double now_seconds) {
+  Advance(now_seconds);
+  buckets_[head_] += count;
+}
+
+double RateWindow::PerSecond(double now_seconds) {
+  Advance(now_seconds);
+  uint64_t total = 0;
+  for (const uint64_t b : buckets_) total += b;
+  const double observed =
+      primed_ ? std::max(now_seconds - first_seen_, 1.0) : 1.0;
+  const double span =
+      std::min(observed, static_cast<double>(buckets_.size()));
+  return static_cast<double>(total) / span;
+}
+
+// ------------------------------------------------------------ registry ----
+
+TenantRegistry::Tenant::Tenant(TenantPolicy p, double burst)
+    : policy(std::move(p)), bucket(policy.rate_edges_per_sec, burst) {}
+
+TenantRegistry::TenantRegistry(std::vector<TenantPolicy> tenants,
+                               double global_rate_edges_per_sec,
+                               double global_burst_edges,
+                               obs::MetricRegistry* registry)
+    : global_bucket_(global_rate_edges_per_sec, global_burst_edges),
+      registry_(registry) {
+  tenants_.reserve(tenants.size());
+  for (TenantPolicy& t : tenants) {
+    const double burst = t.burst_edges;
+    auto tenant = std::make_unique<Tenant>(std::move(t), burst);
+    if (registry_ != nullptr) {
+      const obs::Labels labels = {{"tenant", tenant->policy.name}};
+      tenant->edges_accepted = registry_->GetCounter(
+          "glp_serve_tenant_edges_total", "Edges accepted per tenant",
+          labels);
+      tenant->edges_throttled = registry_->GetCounter(
+          "glp_serve_tenant_edges_throttled_total",
+          "Edges refused by rate limiting per tenant", labels);
+      tenant->ingest_lag_days = registry_->GetHistogram(
+          "glp_serve_tenant_ingest_lag_days",
+          "Stream head minus batch max time at admission, per tenant",
+          labels);
+      tenant->admission_seconds = registry_->GetHistogram(
+          "glp_serve_tenant_admission_seconds",
+          "Wall time from request parse to admission verdict, per tenant",
+          labels);
+      tenant->window_rate = registry_->GetGauge(
+          "glp_serve_tenant_window_edges_per_sec",
+          "Trailing sliding-window ingest rate per tenant", labels);
+    }
+    tenants_.push_back(std::move(tenant));
+  }
+}
+
+int TenantRegistry::Authenticate(std::string_view token) const {
+  if (token.empty()) return -1;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i]->policy.token == token) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Admission TenantRegistry::Admit(int tenant, size_t edges, double now_seconds,
+                                double* retry_after_seconds) {
+  const double cost = static_cast<double>(edges);
+  {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    if (!global_bucket_.TryAcquire(cost, now_seconds, retry_after_seconds)) {
+      return Admission::kThrottledGlobal;
+    }
+  }
+  Tenant& t = *tenants_[tenant];
+  std::lock_guard<std::mutex> lk(t.mu);
+  if (!t.bucket.TryAcquire(cost, now_seconds, retry_after_seconds)) {
+    if (t.edges_throttled != nullptr) t.edges_throttled->Increment(edges);
+    return Admission::kThrottledTenant;
+  }
+  return Admission::kOk;
+}
+
+obs::Counter* TenantRegistry::BatchCounter(int tenant,
+                                           const std::string& result) {
+  if (registry_ == nullptr) return nullptr;
+  return registry_->GetCounter(
+      "glp_serve_tenant_batches_total",
+      "Ingest batches per tenant by admission outcome",
+      {{"tenant", tenants_[tenant]->policy.name}, {"result", result}});
+}
+
+void TenantRegistry::Record(int tenant, const std::string& result,
+                            size_t edges, double now_seconds,
+                            double lag_days, double admission_seconds) {
+  Tenant& t = *tenants_[tenant];
+  if (obs::Counter* c = BatchCounter(tenant, result)) c->Increment();
+  std::lock_guard<std::mutex> lk(t.mu);
+  if (t.admission_seconds != nullptr) {
+    t.admission_seconds->Observe(admission_seconds);
+  }
+  if (result == "accepted") {
+    t.window.Add(edges, now_seconds);
+    if (t.edges_accepted != nullptr) t.edges_accepted->Increment(edges);
+    if (t.ingest_lag_days != nullptr) {
+      t.ingest_lag_days->Observe(std::max(lag_days, 0.0));
+    }
+    if (t.window_rate != nullptr) {
+      t.window_rate->Set(t.window.PerSecond(now_seconds));
+    }
+  }
+}
+
+double TenantRegistry::WindowEdgesPerSecond(int tenant, double now_seconds) {
+  Tenant& t = *tenants_[tenant];
+  std::lock_guard<std::mutex> lk(t.mu);
+  return t.window.PerSecond(now_seconds);
+}
+
+}  // namespace glp::serve::net

@@ -1,0 +1,155 @@
+// Per-tenant admission control for the network ingest service
+// (DESIGN.md §4.11).
+//
+// The policy layer the config split was made for: TenantPolicy is its own
+// struct (like TickPolicy/ResiliencePolicy) instead of more ServerConfig
+// fields. A TenantRegistry holds the fleet of tenants, authenticates the
+// bearer token stub, and runs the admission ladder for each batch:
+//
+//   authenticate -> global token bucket -> tenant token bucket -> TryIngest
+//
+// Token buckets are deterministic — callers supply `now` in seconds, so
+// refill math is exactly testable without clock mocking. Attribution: each
+// tenant carries a 1-second-bucket sliding rate window (edges/sec over the
+// last minute) plus glp_serve_tenant_* counters and histograms in the
+// server's metric registry.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace glp::serve::net {
+
+/// Admission policy for one tenant.
+struct TenantPolicy {
+  std::string name;
+  /// Bearer-token auth stub: the literal token the client must present.
+  std::string token;
+  /// Sustained edges/sec this tenant may ingest; 0 = unlimited.
+  double rate_edges_per_sec = 0;
+  /// Token-bucket capacity: the burst a quiescent tenant may send at once.
+  /// Defaults (when 0) to 4x the rate, min 1024.
+  double burst_edges = 0;
+};
+
+/// Parses the --tenants spec: comma-separated `name:token[:rate[:burst]]`.
+Result<std::vector<TenantPolicy>> ParseTenantSpec(const std::string& spec);
+
+/// Deterministic token bucket. Not thread-safe — the owner serializes.
+class TokenBucket {
+ public:
+  /// rate <= 0 means unlimited (TryAcquire always succeeds).
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes `cost` tokens at time `now_seconds` (monotonic, caller-supplied).
+  /// On refusal returns false and sets *retry_after_seconds to when the
+  /// deficit will have refilled.
+  bool TryAcquire(double cost, double now_seconds,
+                  double* retry_after_seconds);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0;
+  bool primed_ = false;
+};
+
+/// Sliding rate window: ring of 1-second buckets. Add() attributes counts
+/// to the current second; PerSecond() averages over the trailing window,
+/// dropping buckets older than the span. Not thread-safe.
+class RateWindow {
+ public:
+  explicit RateWindow(int span_seconds = 60);
+
+  void Add(uint64_t count, double now_seconds);
+  /// Average count/sec over min(span, time observed so far).
+  double PerSecond(double now_seconds);
+
+ private:
+  void Advance(double now_seconds);
+
+  std::vector<uint64_t> buckets_;
+  int64_t head_second_ = 0;  ///< absolute second index of buckets_[head_]
+  size_t head_ = 0;
+  bool primed_ = false;
+  double first_seen_ = 0;
+};
+
+/// How one batch fared against the admission ladder.
+enum class Admission {
+  kOk,
+  kThrottledGlobal,  ///< global bucket refused (fleet-wide overload)
+  kThrottledTenant,  ///< tenant bucket refused (per-tenant fairness)
+};
+
+/// The tenant fleet: authentication, rate limiting, attribution.
+/// Thread-safe; one instance per IngestService.
+class TenantRegistry {
+ public:
+  /// `global_rate_edges_per_sec` (0 = unlimited) caps aggregate admission
+  /// across all tenants, on top of each tenant's own bucket. Metrics land
+  /// in `registry` (not owned, may be null).
+  TenantRegistry(std::vector<TenantPolicy> tenants,
+                 double global_rate_edges_per_sec,
+                 double global_burst_edges, obs::MetricRegistry* registry);
+
+  /// Token -> tenant index, or -1 (reject with 401).
+  int Authenticate(std::string_view token) const;
+
+  /// Runs the rate-limit ladder for `edges` at `now_seconds`. On a
+  /// throttle, *retry_after_seconds says when to come back.
+  Admission Admit(int tenant, size_t edges, double now_seconds,
+                  double* retry_after_seconds);
+
+  /// Attribution + QoS telemetry for a batch's final outcome. `result` is
+  /// the metric label: "accepted", "throttled", "shed", "rejected",
+  /// "stopped". Accepted batches also record ingest lag (stream head
+  /// minus batch max time, clamped at 0) and feed the rate window.
+  void Record(int tenant, const std::string& result, size_t edges,
+              double now_seconds, double lag_days,
+              double admission_seconds);
+
+  size_t num_tenants() const { return tenants_.size(); }
+  const TenantPolicy& policy(int tenant) const {
+    return tenants_[tenant]->policy;
+  }
+
+  /// Tenant's trailing edges/sec (the sliding-window attribution).
+  double WindowEdgesPerSecond(int tenant, double now_seconds);
+
+ private:
+  struct Tenant {
+    TenantPolicy policy;
+    TokenBucket bucket;
+    RateWindow window;
+    std::mutex mu;  ///< serializes bucket + window
+    // Resolved instruments (null when no registry).
+    obs::Counter* edges_accepted = nullptr;
+    obs::Counter* edges_throttled = nullptr;
+    obs::Histogram* ingest_lag_days = nullptr;
+    obs::Histogram* admission_seconds = nullptr;
+    obs::Gauge* window_rate = nullptr;
+
+    Tenant(TenantPolicy p, double burst);
+  };
+
+  obs::Counter* BatchCounter(int tenant, const std::string& result);
+
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  TokenBucket global_bucket_;
+  std::mutex global_mu_;
+  obs::MetricRegistry* registry_;
+};
+
+}  // namespace glp::serve::net

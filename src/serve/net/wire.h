@@ -1,0 +1,49 @@
+// serve/net wire format — how an ingest batch travels in a POST body
+// (DESIGN.md §4.11).
+//
+// Primary encoding (Content-Type: application/x-glp-batch), little-endian:
+//
+//   [u32 magic "GLPB"][u32 count][count x { u32 src, u32 dst, f64 time }]
+//
+// 16 bytes per edge, length-prefixed so the service can cross-check the
+// declared count against Content-Length before touching the payload. The
+// debuggability fallback (Content-Type: application/x-ndjson) is one JSON
+// object per line — {"src":N,"dst":N,"time":F} — so a curl loop can drive
+// the service without an encoder.
+//
+// Decoders validate everything (magic, count-vs-size, key set, numeric
+// ranges) and return InvalidArgument rather than guessing: a malformed
+// body becomes an HTTP 400, never a poisoned window.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "util/status.h"
+
+namespace glp::serve::net {
+
+/// "GLPB" little-endian.
+constexpr uint32_t kBatchMagic = 0x42504c47u;
+
+constexpr char kBinaryContentType[] = "application/x-glp-batch";
+constexpr char kNdjsonContentType[] = "application/x-ndjson";
+
+/// Length-prefixed binary encoding (the wire's primary format).
+std::string EncodeBinaryBatch(const std::vector<graph::TimedEdge>& batch);
+Result<std::vector<graph::TimedEdge>> DecodeBinaryBatch(std::string_view body);
+
+/// Newline-delimited JSON fallback: one {"src":N,"dst":N,"time":F} per
+/// line (keys in any order; blank lines ignored).
+std::string EncodeNdjsonBatch(const std::vector<graph::TimedEdge>& batch);
+Result<std::vector<graph::TimedEdge>> DecodeNdjsonBatch(std::string_view body);
+
+/// Dispatches on content type (binary when empty/unknown types are not
+/// accepted — the service 400s them before calling this).
+bool IsBinaryContentType(std::string_view content_type);
+bool IsNdjsonContentType(std::string_view content_type);
+
+}  // namespace glp::serve::net

@@ -220,7 +220,7 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
   inc_reuse_ok_ = false;
   records_valid_ = false;
   records_.clear();
-  if (config_.incremental && data.has_incremental && tick_schedule_primed_ &&
+  if (config_.tick.incremental && data.has_incremental && tick_schedule_primed_ &&
       window_.max_entity() != graph::kInvalidVertex) {
     const size_t universe = static_cast<size_t>(window_.max_entity()) + 1;
     anchor_of_.assign(universe, graph::kInvalidVertex);
@@ -234,7 +234,7 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
       anchor_of_[data.inc_entities[i]] = data.inc_anchors[i];
     }
     if (anchors_ok) {
-      cursor_.PrimeAt(next_tick_end_ - config_.tick_every_days);
+      cursor_.PrimeAt(next_tick_end_ - config_.tick.every_days);
       inc_tracker_.RebuildClean(window_.edges(), cursor_.lo(), cursor_.hi());
       inc_reuse_ok_ = true;
     }
@@ -255,16 +255,16 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
 Status StreamServer::Start() {
   std::lock_guard<std::mutex> lk(mu_);
   if (started_) return Status::InvalidArgument("server already started");
-  if (config_.tick_every_days <= 0) {
+  if (config_.tick.every_days <= 0) {
     return Status::InvalidArgument("tick_every_days must be positive");
   }
   if (config_.max_queue_batches == 0) {
     return Status::InvalidArgument("max_queue_batches must be >= 1");
   }
-  if (config_.tick_deadline_seconds < 0) {
+  if (config_.resilience.tick_deadline_seconds < 0) {
     return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
   }
-  if (config_.incremental) {
+  if (config_.tick.incremental) {
     // The per-component exactness preconditions (DESIGN.md §4.10) —
     // rejected up front rather than surfacing as per-tick failures.
     const lp::RunConfig& lp = config_.detect.lp;
@@ -277,12 +277,12 @@ Status StreamServer::Start() {
           "under stop_when_stable");
     }
   }
-  if (!config_.checkpoint_dir.empty()) {
+  if (!config_.checkpoint.dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    std::filesystem::create_directories(config_.checkpoint.dir, ec);
     if (ec) {
       return Status::IoError("cannot create checkpoint dir " +
-                             config_.checkpoint_dir + ": " + ec.message());
+                             config_.checkpoint.dir + ": " + ec.message());
     }
   }
   started_ = true;
@@ -300,9 +300,9 @@ bool StreamServer::ValidBatch(
     if (e.src == graph::kInvalidVertex || e.dst == graph::kInvalidVertex) {
       return false;
     }
-    if (config_.entity_id_limit != 0 &&
-        (e.src >= config_.entity_id_limit ||
-         e.dst >= config_.entity_id_limit)) {
+    if (config_.resilience.entity_id_limit != 0 &&
+        (e.src >= config_.resilience.entity_id_limit ||
+         e.dst >= config_.resilience.entity_id_limit)) {
       return false;
     }
   }
@@ -343,6 +343,31 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
   return true;
 }
 
+Server::Admit StreamServer::TryIngest(std::vector<graph::TimedEdge> batch) {
+  if (!ValidBatch(batch)) {
+    ins_.batches_rejected_invalid->Increment();
+    return Admit::kRejected;
+  }
+  const Status inj = fail::Inject("serve.ingest");
+  if (!inj.ok()) {
+    ins_.batches_rejected_failpoint->Increment();
+    return Admit::kRejected;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!started_ || stopping_ || dead_) return Admit::kStopped;
+  if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
+  for (const graph::TimedEdge& e : batch) {
+    ingested_max_time_ = std::max(ingested_max_time_, e.time);
+  }
+  ins_.batches_ingested->Increment();
+  ins_.edges_ingested->Increment(batch.size());
+  queue_.push_back(std::move(batch));
+  ins_.queue_depth->Set(static_cast<double>(queue_.size()));
+  ins_.queue_peak->Max(static_cast<double>(queue_.size()));
+  queue_cv_.notify_one();
+  return Admit::kAccepted;
+}
+
 void StreamServer::Flush() {
   std::unique_lock<std::mutex> lk(mu_);
   drained_cv_.wait(lk, [&] {
@@ -359,6 +384,7 @@ void StreamServer::Stop() {
     queue_cv_.notify_all();
     not_full_cv_.notify_all();
     drained_cv_.notify_all();
+    checkpoint_done_cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
   std::lock_guard<std::mutex> lk(mu_);
@@ -430,8 +456,8 @@ ServerStats StreamServer::stats() const {
 }
 
 bool StreamServer::Backoff(int attempt) {
-  double ms = config_.retry_backoff_ms * std::ldexp(1.0, attempt);
-  ms = std::min(ms, config_.max_retry_backoff_ms);
+  double ms = config_.resilience.retry_backoff_ms * std::ldexp(1.0, attempt);
+  ms = std::min(ms, config_.resilience.max_retry_backoff_ms);
   const auto until = std::chrono::steady_clock::now() +
                      std::chrono::duration_cast<
                          std::chrono::steady_clock::duration>(
@@ -449,8 +475,22 @@ void StreamServer::DetectLoop() {
     std::vector<graph::TimedEdge> batch;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lk, [&] {
+        return stopping_ || !queue_.empty() || checkpoint_requested_;
+      });
       if (stopping_) return;
+      if (queue_.empty()) {
+        // On-demand checkpoint (public WriteCheckpoint): the queue is
+        // drained so the detection-thread state is quiescent; write outside
+        // the lock and hand the status back to the blocked caller.
+        lk.unlock();
+        const Status st = DoWriteCheckpoint();
+        lk.lock();
+        checkpoint_requested_ = false;
+        checkpoint_status_ = st;
+        checkpoint_done_cv_.notify_all();
+        continue;
+      }
       batch = std::move(queue_.front());
       queue_.pop_front();
       ins_.queue_depth->Set(static_cast<double>(queue_.size()));
@@ -469,7 +509,7 @@ void StreamServer::DetectLoop() {
         break;
       }
       if (!IsTransient(append_status) ||
-          attempt >= config_.max_tick_retries) {
+          attempt >= config_.resilience.max_tick_retries) {
         break;
       }
       ins_.tick_retries->Increment();
@@ -505,6 +545,7 @@ void StreamServer::DetectLoop() {
         dead_ = true;
         not_full_cv_.notify_all();
         drained_cv_.notify_all();
+        checkpoint_done_cv_.notify_all();
         return;
       }
       if (queue_.empty()) drained_cv_.notify_all();
@@ -514,7 +555,7 @@ void StreamServer::DetectLoop() {
 
 bool StreamServer::RunDueTicks() {
   if (window_.num_stream_edges() == 0) return true;
-  const double cadence = config_.tick_every_days;
+  const double cadence = config_.tick.every_days;
   if (!tick_schedule_primed_) {
     // First boundary strictly after the stream's earliest timestamp, on the
     // absolute grid k * cadence — replaying the same stream yields the same
@@ -528,8 +569,8 @@ bool StreamServer::RunDueTicks() {
     // Degradation ladder step 3: if the last tick blew its deadline and
     // the stream has already crossed several boundaries, coalesce the
     // overdue ones into a single tick at the newest due boundary.
-    if (config_.tick_deadline_seconds > 0 &&
-        last_tick_wall_seconds_ > config_.tick_deadline_seconds) {
+    if (config_.resilience.tick_deadline_seconds > 0 &&
+        last_tick_wall_seconds_ > config_.resilience.tick_deadline_seconds) {
       const auto overdue = static_cast<int64_t>(std::floor(
           (window_.max_time() - next_tick_end_) / cadence));
       if (overdue > 0) {
@@ -541,17 +582,44 @@ bool StreamServer::RunDueTicks() {
     if (outcome == TickOutcome::kFatal) return false;
     if (outcome == TickOutcome::kCancelled) return true;
     next_tick_end_ += cadence;
-    if (outcome == TickOutcome::kOk && !config_.checkpoint_dir.empty() &&
-        config_.checkpoint_every_ticks > 0 &&
-        num_ticks_ % config_.checkpoint_every_ticks == 0 &&
+    if (outcome == TickOutcome::kOk && !config_.checkpoint.dir.empty() &&
+        config_.checkpoint.every_ticks > 0 &&
+        num_ticks_ % config_.checkpoint.every_ticks == 0 &&
         num_ticks_ > last_checkpoint_tick_) {
-      WriteCheckpoint();
+      (void)DoWriteCheckpoint();
     }
   }
   return true;
 }
 
-void StreamServer::WriteCheckpoint() {
+Status StreamServer::WriteCheckpoint() {
+  if (config_.checkpoint.dir.empty()) {
+    return Status::InvalidArgument("no checkpoint dir configured");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_) {
+    // No detection thread: the caller owns the state; write inline.
+    lk.unlock();
+    return DoWriteCheckpoint();
+  }
+  if (stopping_) return Status::Cancelled("server stopping");
+  if (dead_) {
+    return last_error_.ok() ? Status::Cancelled("server dead") : last_error_;
+  }
+  checkpoint_requested_ = true;
+  queue_cv_.notify_one();
+  checkpoint_done_cv_.wait(lk, [&] {
+    return !checkpoint_requested_ || stopping_ || dead_;
+  });
+  if (checkpoint_requested_) {
+    // Shutdown or a fatal fault won the race before the write landed.
+    checkpoint_requested_ = false;
+    return Status::Cancelled("server stopped before checkpoint");
+  }
+  return checkpoint_status_;
+}
+
+Status StreamServer::DoWriteCheckpoint() {
   CheckpointData data;
   data.tick = num_ticks_;
   data.tick_schedule_primed = tick_schedule_primed_;
@@ -567,7 +635,7 @@ void StreamServer::WriteCheckpoint() {
     data.prev_labels = prev_labels_;
   }
   data.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
-  if (config_.incremental && inc_reuse_ok_) {
+  if (config_.tick.incremental && inc_reuse_ok_) {
     // Anchors for exactly the previous snapshot's entities, entity-sorted
     // for deterministic bytes. The union-find itself is rebuilt from the
     // edge stream on restore.
@@ -580,18 +648,19 @@ void StreamServer::WriteCheckpoint() {
     }
   }
   const std::string path =
-      config_.checkpoint_dir + "/" + CheckpointFileName(num_ticks_);
+      config_.checkpoint.dir + "/" + CheckpointFileName(num_ticks_);
   const Status st = SaveCheckpoint(path, data);
   if (st.ok()) {
     ins_.checkpoints_ok->Increment();
     last_checkpoint_tick_ = num_ticks_;
     // Best-effort: a failed prune never fails the tick.
-    (void)PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep);
+    (void)PruneCheckpoints(config_.checkpoint.dir, config_.checkpoint.keep);
   } else {
     ins_.checkpoints_failed->Increment();
     GLP_LOG(Warning) << "checkpoint at tick " << num_ticks_
                      << " failed: " << st.ToString();
   }
+  return st;
 }
 
 std::vector<Label> StreamServer::MapWarmLabels(
@@ -723,7 +792,7 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
 
   glp::Timer build_timer;
   graph::WindowDelta delta;
-  const graph::WindowSnapshot& snap = config_.incremental
+  const graph::WindowSnapshot& snap = config_.tick.incremental
                                           ? cursor_.AdvanceTo(end_time, &delta)
                                           : cursor_.AdvanceTo(end_time);
   const double build_seconds = build_timer.Seconds();
@@ -732,12 +801,12 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   // iterations and postpones a due cold refresh until pressure clears.
   // (Incremental mode has no warm/refresh machinery — every tick is exact.)
   const bool degraded =
-      config_.tick_deadline_seconds > 0 &&
-      last_tick_wall_seconds_ > config_.tick_deadline_seconds;
+      config_.resilience.tick_deadline_seconds > 0 &&
+      last_tick_wall_seconds_ > config_.resilience.tick_deadline_seconds;
   bool refresh_due =
-      !config_.incremental && config_.cold_refresh_every_ticks > 0 &&
-      num_ticks_ % config_.cold_refresh_every_ticks == 0;
-  if (!config_.incremental && config_.warm_start && have_prev_) {
+      !config_.tick.incremental && config_.tick.cold_refresh_every_ticks > 0 &&
+      num_ticks_ % config_.tick.cold_refresh_every_ticks == 0;
+  if (!config_.tick.incremental && config_.tick.warm_start && have_prev_) {
     if (degraded && (refresh_due || refresh_pending_)) {
       if (refresh_due) ins_.cold_refresh_deferred->Increment();
       refresh_pending_ = true;
@@ -749,7 +818,7 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   }
   if (degraded) ins_.degraded_ticks->Increment();
 
-  const bool warm_wanted = !config_.incremental && config_.warm_start &&
+  const bool warm_wanted = !config_.tick.incremental && config_.tick.warm_start &&
                            have_prev_ && !refresh_due &&
                            snap.graph.num_vertices() > 0;
 
@@ -760,7 +829,7 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   // a fired serve.incremental_rebuild failpoint falls back to a
   // from-scratch rebuild with everything dirty: slower, never wrong.
   bool delta_applied = false;
-  if (config_.incremental) {
+  if (config_.tick.incremental) {
     const bool force_rebuild =
         !fail::Inject("serve.incremental_rebuild").ok();
     if (delta.exact && !force_rebuild) {
@@ -788,14 +857,14 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
     // Retry ladder: attempt 0 as configured, attempt 1 an unchanged retry,
     // attempt 2 cold (the warm state is suspect), final attempt on the
     // fallback engine. Only transient Status codes walk the ladder.
-    const int max_attempts = 1 + std::max(0, config_.max_tick_retries);
+    const int max_attempts = 1 + std::max(0, config_.resilience.max_tick_retries);
     bool ran = false;
     Status failure;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       pipeline::PipelineConfig cfg = config_.detect;
       if (degraded) {
         cfg.lp.max_iterations =
-            std::min(cfg.lp.max_iterations, config_.degraded_iteration_cap);
+            std::min(cfg.lp.max_iterations, config_.resilience.degraded_iteration_cap);
         cfg.lp.stop_when_stable = true;
       }
       const bool warm = warm_wanted && attempt <= 1;
@@ -806,8 +875,8 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
       // the carried-over state is what keeps failing.
       const bool use_delta = delta_ok && attempt <= 1;
       if (attempt == max_attempts - 1 && attempt > 0 &&
-          config_.enable_engine_fallback) {
-        cfg.engine = config_.fallback_engine;
+          config_.resilience.enable_engine_fallback) {
+        cfg.engine = config_.resilience.fallback_engine;
         ins_.engine_fallbacks->Increment();
       }
 
@@ -868,7 +937,7 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
     prev_l2g_ = snap.local_to_global;
     prev_labels_ = tr.detection.lp.labels;
     have_prev_ = true;
-    if (config_.incremental) {
+    if (config_.tick.incremental) {
       if (!degraded) {
         // Every successful non-degraded tick publishes canonical labels —
         // whether via the delta path (by the §4.10 exactness argument) or a
@@ -929,8 +998,8 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
 
   tr.tick_wall_seconds = tick_timer.Seconds();
   last_tick_wall_seconds_ = tr.tick_wall_seconds;
-  if (config_.tick_deadline_seconds > 0 &&
-      tr.tick_wall_seconds > config_.tick_deadline_seconds) {
+  if (config_.resilience.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds) {
     ins_.deadline_overruns->Increment();
   }
   {

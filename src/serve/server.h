@@ -35,194 +35,12 @@
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "prof/prof.h"
+#include "serve/config.h"
 #include "serve/incremental.h"
+#include "serve/server_iface.h"
 #include "util/status.h"
 
 namespace glp::serve {
-
-/// Streaming-server configuration. Composes the pipeline's unified
-/// PipelineConfig (and through it the lp::RunConfig the engines consume):
-/// the server adds only streaming concerns on top.
-struct ServerConfig {
-  /// Per-tick detection parameters: window length, engine/variant, the
-  /// embedded lp::RunConfig (iterations, seed, stop_when_stable), cluster
-  /// extraction thresholds. end_day is ignored — the stream drives the
-  /// window end. Pair warm_start with detect.lp.stop_when_stable so
-  /// quiescent windows terminate after ~2 iterations.
-  pipeline::PipelineConfig detect;
-
-  /// Blacklist seeds (global entity ids) for cluster extraction.
-  std::vector<graph::VertexId> seeds;
-
-  /// Window-end cadence: a detection tick fires at every multiple of this
-  /// once ingested data reaches it.
-  double tick_every_days = 1.0;
-
-  /// Warm-start each tick's LP from the previous tick's labels mapped
-  /// through the entity ids (cold singleton for entities new to the
-  /// window). Off = every tick runs from scratch.
-  bool warm_start = true;
-
-  /// Incremental tick path (DESIGN.md §4.10): maintain a persistent
-  /// cross-tick union-find over the window, and run LP + cluster
-  /// extraction only on components whose edge set changed since the last
-  /// tick — clean components reuse their previous labels and cluster
-  /// records verbatim. Published output stays byte-identical to a cold
-  /// canonical replay (unlike warm_start, which trades exactness for
-  /// speed), and any incremental-state fault falls back to a full rebuild
-  /// for that tick. When set, warm_start and cold_refresh_every_ticks are
-  /// ignored. Requires synchronous, non-SLP detection with no caller
-  /// initial labels and an even lp.max_iterations when stop_when_stable —
-  /// Start() rejects violations.
-  bool incremental = false;
-
-  /// With warm_start, run a from-scratch tick every N ticks anyway.
-  /// Warm-started LP can merge communities but never split them (each
-  /// fragment of an established label keeps an internal majority of that
-  /// label, even after the window drops its bridging edges), so label
-  /// granularity drifts monotonically coarser over long streams; a periodic
-  /// cold refresh re-fragments (see bench/stream_serve.cc for the
-  /// latency/quality tradeoff). 0 = never refresh.
-  int64_t cold_refresh_every_ticks = 32;
-
-  /// Ingest-queue bound: Ingest() blocks while this many batches are
-  /// pending (backpressure).
-  size_t max_queue_batches = 8;
-
-  /// Optional ground truth for per-tick detection metrics. Not owned.
-  const pipeline::TransactionStream* ground_truth = nullptr;
-
-  /// Copy each tick's warm-start label array into TickResult::warm_labels
-  /// (test/replay hook for the one-shot equivalence check).
-  bool record_warm_labels = false;
-
-  /// Optional profiler: receives per-tick host events and the LP engines'
-  /// phase breakdowns. Used from the detection thread only. Not owned.
-  prof::PhaseProfiler* profiler = nullptr;
-  /// Optional thread pool for the LP engines. Not owned.
-  glp::ThreadPool* pool = nullptr;
-  /// Metric registry all serving telemetry flows into (and, through
-  /// RunContext, the engines' convergence series and the simulator's kernel
-  /// counters). Null makes the server own a private registry — stats()
-  /// works either way; supply one to aggregate across servers or expose it
-  /// via obs::HttpEndpoint. Not owned; must outlive the server, and the
-  /// pool (it registers a collector polling the pool's queue depth).
-  obs::MetricRegistry* metrics = nullptr;
-
-  // —— Resilience (DESIGN.md §4.8) ——
-
-  /// Per-tick wall-clock budget in seconds; 0 disables the deadline. A
-  /// tick that overruns arms the degradation ladder for the next one:
-  /// (1) LP iterations capped at degraded_iteration_cap, (2) a due cold
-  /// refresh is deferred until pressure clears, (3) if the stream has
-  /// crossed several boundaries while a tick overran, the overdue
-  /// boundaries are coalesced into one tick at the newest boundary and the
-  /// skipped ones are counted in glp_serve_ticks_shed_total.
-  double tick_deadline_seconds = 0;
-  /// LP iteration cap applied to degraded ticks (step 1 of the ladder).
-  int degraded_iteration_cap = 5;
-
-  /// Retries per tick after a *transient* failure (IoError,
-  /// CapacityExceeded, Internal — the codes injected device faults and
-  /// flaky dependencies surface as). The ladder: attempt 0 as configured,
-  /// attempt 1 retries unchanged, attempt 2 drops warm start (the warm
-  /// state is suspect after repeated failures), the final attempt switches
-  /// to fallback_engine. Non-transient codes are fatal: the detection
-  /// thread records last_error(), wakes every blocked producer with
-  /// Ingest() == false, and exits. 0 disables retries (first transient
-  /// failure abandons the tick).
-  int max_tick_retries = 3;
-  /// Exponential backoff between retry attempts: base * 2^attempt, capped.
-  double retry_backoff_ms = 1.0;
-  double max_retry_backoff_ms = 50.0;
-  /// Use fallback_engine for the last retry attempt (GPU fault -> CPU).
-  bool enable_engine_fallback = true;
-  lp::EngineKind fallback_engine = lp::EngineKind::kSeq;
-
-  /// Ingest validation: entity ids must be < entity_id_limit when nonzero
-  /// (the sentinel kInvalidVertex and non-finite/negative timestamps are
-  /// always rejected). A failing batch is rejected whole — counted in
-  /// glp_serve_batches_rejected_total — instead of poisoning the window.
-  graph::VertexId entity_id_limit = 0;
-
-  /// Checkpointing: after every checkpoint_every_ticks completed ticks,
-  /// atomically snapshot the window stream, tick schedule, and warm-start
-  /// state into checkpoint_dir (see serve/checkpoint.h), keeping the
-  /// checkpoint_keep newest files. Empty dir disables. Checkpoint failures
-  /// are non-fatal (logged + counted).
-  std::string checkpoint_dir;
-  int64_t checkpoint_every_ticks = 16;
-  int checkpoint_keep = 2;
-};
-
-/// One detection tick's output, published to subscribers.
-struct TickResult {
-  int64_t tick = 0;
-  double window_start = 0;
-  double window_end = 0;
-  /// Whether this tick's LP was warm-started from the previous tick.
-  bool warm = false;
-
-  /// Full pipeline output (clusters, metrics, LP cost accounting).
-  pipeline::PipelineResult detection;
-
-  /// Confirmed-cluster diff vs the previous tick, as sorted global-id
-  /// member lists: clusters newly confirmed this tick, and previously
-  /// confirmed clusters that disappeared.
-  std::vector<std::vector<graph::VertexId>> new_confirmed;
-  std::vector<std::vector<graph::VertexId>> expired_confirmed;
-
-  /// Host wall-clock of the whole tick (window advance + LP + extraction).
-  double tick_wall_seconds = 0;
-  /// Newest ingested timestamp minus this window's end: how far detection
-  /// trails the stream head.
-  double ingest_lag_days = 0;
-
-  /// The warm-start initial labels used (only when
-  /// ServerConfig::record_warm_labels; empty on cold ticks).
-  std::vector<graph::Label> warm_labels;
-};
-
-/// Aggregate serving statistics — a point-in-time view assembled from the
-/// server's metric registry (the registry is the source of truth; this
-/// struct exists for programmatic consumers and the JSON dump).
-struct ServerStats {
-  int64_t ticks = 0;
-  int64_t warm_ticks = 0;
-  int64_t cold_ticks = 0;
-  int64_t batches_ingested = 0;
-  int64_t edges_ingested = 0;
-  /// Times Ingest() had to block on a full queue.
-  int64_t ingest_blocked = 0;
-  size_t queue_peak = 0;
-
-  // Resilience counters (see ServerConfig's resilience block).
-  int64_t batches_rejected = 0;       ///< failed validation or injected fault
-  int64_t ticks_shed = 0;             ///< overdue boundaries coalesced away
-  int64_t degraded_ticks = 0;         ///< ran with the LP iteration cap
-  int64_t deadline_overruns = 0;      ///< ticks exceeding the deadline
-  int64_t tick_retries = 0;           ///< transient-failure retry attempts
-  int64_t ticks_failed = 0;           ///< ticks abandoned after all retries
-  int64_t engine_fallbacks = 0;       ///< retries on the fallback engine
-  int64_t warm_fallbacks = 0;         ///< retries that dropped warm start
-  int64_t cold_refresh_deferred = 0;  ///< refreshes postponed under pressure
-  int64_t checkpoints_written = 0;
-  int64_t checkpoint_failures = 0;
-
-  // Incremental serving (ServerConfig::incremental).
-  int64_t reused_clusters = 0;        ///< cluster records reused verbatim
-  int64_t incremental_rebuilds = 0;   ///< ticks that fell back to a rebuild
-  int64_t last_dirty_components = 0;  ///< dirty components, last tick
-
-  double tick_p50_seconds = 0;
-  double tick_p99_seconds = 0;
-  double tick_max_seconds = 0;
-  double warm_avg_iterations = 0;
-  double cold_avg_iterations = 0;
-  double last_ingest_lag_days = 0;
-
-  std::string ToJson() const;
-};
 
 /// \brief Multi-threaded streaming detection server.
 ///
@@ -232,66 +50,66 @@ struct ServerStats {
 /// every tick_every_days boundary the data crosses. Batches are expected in
 /// (approximate) time order; late edges are merged into the stream but
 /// already-taken ticks are not re-run.
-class StreamServer {
+class StreamServer : public Server {
  public:
-  using Subscriber = std::function<void(const TickResult&)>;
-
   explicit StreamServer(ServerConfig config);
-  ~StreamServer();
+  ~StreamServer() override;
 
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
   /// Registers a per-tick callback (invoked on the detection thread, in
   /// tick order). Must be called before Start().
-  void Subscribe(Subscriber subscriber);
-
-  /// What RestoreFromCheckpoint recovered — the replay contract: feed the
-  /// canonically-sorted source stream starting at edge index num_edges.
-  struct RestoreInfo {
-    int64_t tick = 0;          ///< ticks already completed
-    uint64_t num_edges = 0;    ///< edges already in the window stream
-    double max_time = 0;       ///< newest timestamp already ingested
-  };
+  void Subscribe(Subscriber subscriber) override;
 
   /// Restores window, tick schedule, and warm-start state from a
   /// checkpoint file (or the newest loadable checkpoint in a directory).
   /// Must be called before Start(). Replaying the stream's remaining edges
   /// afterwards produces tick output identical to an uninterrupted run.
-  Result<RestoreInfo> RestoreFromCheckpoint(const std::string& path_or_dir);
+  Result<RestoreInfo> RestoreFromCheckpoint(
+      const std::string& path_or_dir) override;
 
   /// Launches the detection thread.
-  Status Start();
+  Status Start() override;
 
   /// Enqueues a batch. Blocks while the queue is at max_queue_batches
   /// (backpressure). Returns false if the server is stopped (batch
   /// dropped).
-  bool Ingest(std::vector<graph::TimedEdge> batch);
+  bool Ingest(std::vector<graph::TimedEdge> batch) override;
+
+  /// Non-blocking Ingest: sheds (kQueueFull) instead of waiting on a full
+  /// queue. See Server::TryIngest.
+  Admit TryIngest(std::vector<graph::TimedEdge> batch) override;
 
   /// Blocks until every ingested batch has been processed and all due
   /// ticks have run.
-  void Flush();
+  void Flush() override;
 
   /// Stops the server: no further ingest, the in-flight LP run (if any) is
   /// cancelled through the RunContext stop token, the thread is joined.
   /// Call Flush() first for a graceful drain.
-  void Stop();
+  void Stop() override;
+
+  /// On-demand snapshot into checkpoint.dir — see Server::WriteCheckpoint.
+  Status WriteCheckpoint() override;
 
   /// First non-cancellation error a tick produced, if any. Transient
   /// errors absorbed by a successful retry are not recorded.
-  Status last_error() const;
+  Status last_error() const override;
 
   /// True while the detection thread is serving: Start() succeeded, no
   /// Stop() yet, and no fatal error has killed the loop. Ingest() returns
   /// false exactly when this is false.
-  bool running() const;
+  bool running() const override;
 
-  ServerStats stats() const;
+  ServerStats stats() const override;
 
   /// The registry serving telemetry flows into: ServerConfig::metrics when
   /// supplied, else the server's private one. Valid for the server's
   /// lifetime; hand it to an obs::HttpEndpoint to watch the server live.
-  obs::MetricRegistry* metrics() const { return registry_; }
+  obs::MetricRegistry* metrics() const override { return registry_; }
+
+  int num_shards() const override { return 1; }
 
  private:
   /// How one tick boundary resolved.
@@ -316,7 +134,9 @@ class StreamServer {
   bool Backoff(int attempt);
   /// Records a fatal tick error; DetectLoop exits and wakes producers.
   void RecordError(const Status& status);
-  void WriteCheckpoint();
+  /// Builds and writes one snapshot (detection-thread state; callers must
+  /// guarantee the detection thread is quiescent or be the thread itself).
+  Status DoWriteCheckpoint();
 
   ServerConfig config_;
   std::vector<Subscriber> subscribers_;
@@ -376,6 +196,12 @@ class StreamServer {
   bool busy_ = false;  // detection thread is processing a popped batch
   double ingested_max_time_ = 0;
   Status last_error_ = Status::OK();
+  // On-demand checkpoint handshake (public WriteCheckpoint while running):
+  // the caller raises the request and blocks; the detection thread services
+  // it between batches and reports back through checkpoint_status_.
+  bool checkpoint_requested_ = false;
+  Status checkpoint_status_ = Status::OK();
+  std::condition_variable checkpoint_done_cv_;
 
   // Telemetry: all counters/gauges live in the registry; the instrument
   // handles below are resolved once at construction and bumped lock-free

@@ -1,0 +1,199 @@
+// serve::Server — the serving layer's one polymorphic surface (PR 7 API
+// redesign). StreamServer (1 shard) and ShardedStreamServer (N shards)
+// implement it; the replay tool, the checkpoint plumbing, and the network
+// ingest frontend (serve/net/) all program against this interface, so shard
+// count is a construction-time choice (MakeServer) rather than something
+// every consumer special-cases.
+//
+// Contract highlights shared by every implementation:
+//  - Ticks fire on the absolute grid k * tick.every_days once ingested data
+//    crosses a boundary; output is invariant to how the stream is cut into
+//    batches (the network path leans on this for its exactness guarantee).
+//  - Ingest() blocks on a full queue (backpressure); TryIngest() returns
+//    kQueueFull instead, which the net frontend converts into 429 +
+//    Retry-After (admission control never blocks a connection thread on a
+//    queue it does not own).
+//  - A fatal tick error kills the detection loop: running() flips false,
+//    blocked producers wake with Ingest() == false, last_error() holds the
+//    first failure.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "pipeline/pipeline.h"
+#include "serve/config.h"
+#include "util/status.h"
+
+namespace glp::serve {
+
+/// One detection tick's output, published to subscribers.
+struct TickResult {
+  int64_t tick = 0;
+  double window_start = 0;
+  double window_end = 0;
+  /// Whether this tick's LP was warm-started from the previous tick.
+  bool warm = false;
+
+  /// Full pipeline output (clusters, metrics, LP cost accounting).
+  pipeline::PipelineResult detection;
+
+  /// Confirmed-cluster diff vs the previous tick, as sorted global-id
+  /// member lists: clusters newly confirmed this tick, and previously
+  /// confirmed clusters that disappeared.
+  std::vector<std::vector<graph::VertexId>> new_confirmed;
+  std::vector<std::vector<graph::VertexId>> expired_confirmed;
+
+  /// Host wall-clock of the whole tick (window advance + LP + extraction).
+  double tick_wall_seconds = 0;
+  /// Newest ingested timestamp minus this window's end: how far detection
+  /// trails the stream head.
+  double ingest_lag_days = 0;
+
+  /// The warm-start initial labels used (only when
+  /// ServerConfig::record_warm_labels; empty on cold ticks).
+  std::vector<graph::Label> warm_labels;
+};
+
+/// Aggregate serving statistics — a point-in-time view assembled from the
+/// server's metric registry (the registry is the source of truth; this
+/// struct exists for programmatic consumers and the JSON dump).
+struct ServerStats {
+  int64_t ticks = 0;
+  int64_t warm_ticks = 0;
+  int64_t cold_ticks = 0;
+  int64_t batches_ingested = 0;
+  int64_t edges_ingested = 0;
+  /// Times Ingest() had to block on a full queue.
+  int64_t ingest_blocked = 0;
+  size_t queue_peak = 0;
+
+  // Resilience counters (see ResiliencePolicy).
+  int64_t batches_rejected = 0;       ///< failed validation or injected fault
+  int64_t ticks_shed = 0;             ///< overdue boundaries coalesced away
+  int64_t degraded_ticks = 0;         ///< ran with the LP iteration cap
+  int64_t deadline_overruns = 0;      ///< ticks exceeding the deadline
+  int64_t tick_retries = 0;           ///< transient-failure retry attempts
+  int64_t ticks_failed = 0;           ///< ticks abandoned after all retries
+  int64_t engine_fallbacks = 0;       ///< retries on the fallback engine
+  int64_t warm_fallbacks = 0;         ///< retries that dropped warm start
+  int64_t cold_refresh_deferred = 0;  ///< refreshes postponed under pressure
+  int64_t checkpoints_written = 0;
+  int64_t checkpoint_failures = 0;
+
+  // Incremental serving (TickPolicy::incremental).
+  int64_t reused_clusters = 0;        ///< cluster records reused verbatim
+  int64_t incremental_rebuilds = 0;   ///< ticks that fell back to a rebuild
+  int64_t last_dirty_components = 0;  ///< dirty components, last tick
+
+  double tick_p50_seconds = 0;
+  double tick_p99_seconds = 0;
+  double tick_max_seconds = 0;
+  double warm_avg_iterations = 0;
+  double cold_avg_iterations = 0;
+  double last_ingest_lag_days = 0;
+
+  std::string ToJson() const;
+};
+
+/// \brief Abstract streaming detection server.
+///
+/// Producers feed timestamped edge batches (Ingest/TryIngest, both
+/// thread-safe); a detection thread appends them to the sliding window and
+/// runs a detection tick at every tick.every_days boundary the data
+/// crosses, publishing TickResults to subscribers in tick order.
+class Server {
+ public:
+  using Subscriber = std::function<void(const TickResult&)>;
+
+  /// What RestoreFromCheckpoint recovered — the replay contract: feed the
+  /// canonically-sorted source stream starting at edge index num_edges.
+  struct RestoreInfo {
+    int64_t tick = 0;        ///< ticks already completed
+    uint64_t num_edges = 0;  ///< edges already in the window stream
+    double max_time = 0;     ///< newest timestamp already ingested
+  };
+
+  /// How TryIngest resolved, in admission-ladder order.
+  enum class Admit {
+    kAccepted,   ///< batch enqueued
+    kRejected,   ///< failed validation (or an armed ingest failpoint)
+    kQueueFull,  ///< bounded queue at capacity — shed, retry later
+    kStopped,    ///< server not running (stopped or dead)
+  };
+
+  virtual ~Server() = default;
+
+  /// Registers a per-tick callback (invoked on the detection thread, in
+  /// tick order). Must be called before Start().
+  virtual void Subscribe(Subscriber subscriber) = 0;
+
+  /// Restores window, tick schedule, and warm-start state from a
+  /// checkpoint (file/manifest path, or the newest loadable checkpoint in
+  /// a directory). Must be called before Start(). Replaying the stream's
+  /// remaining edges afterwards produces tick output identical to an
+  /// uninterrupted run.
+  virtual Result<RestoreInfo> RestoreFromCheckpoint(
+      const std::string& path_or_dir) = 0;
+
+  /// Launches the detection thread.
+  virtual Status Start() = 0;
+
+  /// Enqueues a batch. Blocks while the queue is at max_queue_batches
+  /// (backpressure). Returns false if the batch fails validation or the
+  /// server is stopped/dead (batch dropped).
+  virtual bool Ingest(std::vector<graph::TimedEdge> batch) = 0;
+
+  /// Non-blocking Ingest: a full queue returns kQueueFull immediately
+  /// instead of waiting. The network frontend's admission path — a shed
+  /// batch becomes 429 + Retry-After on the wire.
+  virtual Admit TryIngest(std::vector<graph::TimedEdge> batch) = 0;
+
+  /// Blocks until every ingested batch has been processed and all due
+  /// ticks have run.
+  virtual void Flush() = 0;
+
+  /// Stops the server: no further ingest, the in-flight LP run (if any) is
+  /// cancelled through the RunContext stop token, the thread is joined.
+  /// Call Flush() first for a graceful drain.
+  virtual void Stop() = 0;
+
+  /// On-demand crash-consistent snapshot into checkpoint.dir, on top of
+  /// the periodic every_ticks cadence. Thread-safe: while the server is
+  /// running the write is handed to the detection thread (the caller
+  /// blocks until it lands between batches); before Start() or after
+  /// Stop() it runs inline. InvalidArgument without a checkpoint dir;
+  /// Cancelled if the server stops or dies first.
+  virtual Status WriteCheckpoint() = 0;
+
+  /// First non-cancellation error a tick produced, if any. Transient
+  /// errors absorbed by a successful retry are not recorded.
+  virtual Status last_error() const = 0;
+
+  /// True while the detection thread is serving: Start() succeeded, no
+  /// Stop() yet, and no fatal error has killed the loop. Ingest() returns
+  /// false exactly when this is false.
+  virtual bool running() const = 0;
+
+  virtual ServerStats stats() const = 0;
+
+  /// The registry serving telemetry flows into: ServerConfig::metrics when
+  /// supplied, else the server's private one. Valid for the server's
+  /// lifetime; hand it to an obs::HttpEndpoint (or mount it on the ingest
+  /// service) to watch the server live.
+  virtual obs::MetricRegistry* metrics() const = 0;
+
+  /// Detection shards behind this server (1 for StreamServer).
+  virtual int num_shards() const = 0;
+};
+
+/// Constructs the right Server for `num_shards`: StreamServer for 1,
+/// ShardedStreamServer for N > 1. The one place shard count is decided.
+std::unique_ptr<Server> MakeServer(ServerConfig config, int num_shards = 1);
+
+}  // namespace glp::serve

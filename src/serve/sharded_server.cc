@@ -224,7 +224,7 @@ void ShardedStreamServer::Subscribe(Subscriber subscriber) {
   subscribers_.push_back(std::move(subscriber));
 }
 
-Result<StreamServer::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
+Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
     const std::string& path_or_dir) {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -275,13 +275,13 @@ Result<StreamServer::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
   inc_reuse_ok_ = false;
   records_valid_ = false;
   records_.clear();
-  if (config_.incremental && cp.coord.has_incremental && tick_schedule_primed_) {
+  if (config_.tick.incremental && cp.coord.has_incremental && tick_schedule_primed_) {
     // Rebuild the fleet union-find from the restored shard windows (clean:
     // the checkpointed labels are authoritative) and re-prime every shard
     // range cursor at the last completed tick so the next advance yields an
     // exact delta. Cluster records are not checkpointed, so the first
     // post-restore tick extracts all clusters but still reuses clean labels.
-    const double last_end = next_tick_end_ - config_.tick_every_days;
+    const double last_end = next_tick_end_ - config_.tick.every_days;
     const double last_start = last_end - config_.detect.window_days;
     universe_ = 0;
     for (const graph::SlidingWindow& w : windows_) {
@@ -332,16 +332,16 @@ Result<StreamServer::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
 Status ShardedStreamServer::Start() {
   std::lock_guard<std::mutex> lk(mu_);
   if (started_) return Status::InvalidArgument("server already started");
-  if (config_.tick_every_days <= 0) {
+  if (config_.tick.every_days <= 0) {
     return Status::InvalidArgument("tick_every_days must be positive");
   }
   if (config_.max_queue_batches == 0) {
     return Status::InvalidArgument("max_queue_batches must be >= 1");
   }
-  if (config_.tick_deadline_seconds < 0) {
+  if (config_.resilience.tick_deadline_seconds < 0) {
     return Status::InvalidArgument("tick_deadline_seconds must be >= 0");
   }
-  if (config_.incremental) {
+  if (config_.tick.incremental) {
     // Same §4.10 exactness preconditions as StreamServer.
     const lp::RunConfig& lp = config_.detect.lp;
     if (!lp.initial_labels.empty() || !lp.synchronous ||
@@ -353,12 +353,12 @@ Status ShardedStreamServer::Start() {
           "under stop_when_stable");
     }
   }
-  if (!config_.checkpoint_dir.empty()) {
+  if (!config_.checkpoint.dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    std::filesystem::create_directories(config_.checkpoint.dir, ec);
     if (ec) {
       return Status::IoError("cannot create checkpoint dir " +
-                             config_.checkpoint_dir + ": " + ec.message());
+                             config_.checkpoint.dir + ": " + ec.message());
     }
   }
   started_ = true;
@@ -376,13 +376,36 @@ bool ShardedStreamServer::ValidBatch(
     if (e.src == graph::kInvalidVertex || e.dst == graph::kInvalidVertex) {
       return false;
     }
-    if (config_.entity_id_limit != 0 &&
-        (e.src >= config_.entity_id_limit ||
-         e.dst >= config_.entity_id_limit)) {
+    if (config_.resilience.entity_id_limit != 0 &&
+        (e.src >= config_.resilience.entity_id_limit ||
+         e.dst >= config_.resilience.entity_id_limit)) {
       return false;
     }
   }
   return true;
+}
+
+ShardedStreamServer::RoutedBatch ShardedStreamServer::RouteBatch(
+    std::vector<TimedEdge> batch) const {
+  // The owning shard gets every edge whose source hashes to it; an edge
+  // with endpoints on two shards is mirrored into the destination's shard
+  // too, so both windows see their full neighborhood.
+  RoutedBatch rb;
+  rb.parts.resize(num_shards_);
+  rb.global_edges = batch.size();
+  rb.routed.assign(num_shards_, 0);
+  rb.mirrored.assign(num_shards_, 0);
+  for (const TimedEdge& e : batch) {
+    const int ps = pipeline::PartitionOf(e.src, num_shards_);
+    const int pd = pipeline::PartitionOf(e.dst, num_shards_);
+    rb.parts[ps].push_back(e);
+    ++rb.routed[ps];
+    if (pd != ps) {
+      rb.parts[pd].push_back(e);
+      ++rb.mirrored[pd];
+    }
+  }
+  return rb;
 }
 
 bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
@@ -395,23 +418,13 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
     ins_.batches_rejected_failpoint->Increment();
     return false;
   }
-  // Route outside the lock: the owning shard gets every edge whose source
-  // hashes to it; an edge with endpoints on two shards is mirrored into the
-  // destination's shard too, so both windows see their full neighborhood.
-  RoutedBatch rb;
-  rb.parts.resize(num_shards_);
-  rb.global_edges = batch.size();
-  std::vector<uint64_t> routed(num_shards_, 0), mirrored(num_shards_, 0);
+  // Route outside the lock.
+  double batch_max_time = 0;
   for (const TimedEdge& e : batch) {
-    const int ps = pipeline::PartitionOf(e.src, num_shards_);
-    const int pd = pipeline::PartitionOf(e.dst, num_shards_);
-    rb.parts[ps].push_back(e);
-    ++routed[ps];
-    if (pd != ps) {
-      rb.parts[pd].push_back(e);
-      ++mirrored[pd];
-    }
+    batch_max_time = std::max(batch_max_time, e.time);
   }
+  const size_t batch_edges = batch.size();
+  RoutedBatch rb = RouteBatch(std::move(batch));
   std::unique_lock<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return false;
   if (queue_.size() >= config_.max_queue_batches) {
@@ -421,15 +434,15 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
     });
     if (stopping_ || dead_) return false;
   }
-  for (const TimedEdge& e : batch) {
-    ingested_max_time_ = std::max(ingested_max_time_, e.time);
-  }
+  ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
   ins_.batches_ingested->Increment();
-  ins_.edges_ingested->Increment(batch.size());
+  ins_.edges_ingested->Increment(batch_edges);
   for (int k = 0; k < num_shards_; ++k) {
-    if (routed[k] != 0) shard_ins_[k].edges_routed->Increment(routed[k]);
-    if (mirrored[k] != 0) {
-      shard_ins_[k].edges_mirrored->Increment(mirrored[k]);
+    if (rb.routed[k] != 0) {
+      shard_ins_[k].edges_routed->Increment(rb.routed[k]);
+    }
+    if (rb.mirrored[k] != 0) {
+      shard_ins_[k].edges_mirrored->Increment(rb.mirrored[k]);
     }
   }
   queue_.push_back(std::move(rb));
@@ -437,6 +450,43 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
   ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
   return true;
+}
+
+Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch) {
+  if (!ValidBatch(batch)) {
+    ins_.batches_rejected_invalid->Increment();
+    return Admit::kRejected;
+  }
+  const Status inj = fail::Inject("serve.ingest");
+  if (!inj.ok()) {
+    ins_.batches_rejected_failpoint->Increment();
+    return Admit::kRejected;
+  }
+  double batch_max_time = 0;
+  for (const TimedEdge& e : batch) {
+    batch_max_time = std::max(batch_max_time, e.time);
+  }
+  const size_t batch_edges = batch.size();
+  RoutedBatch rb = RouteBatch(std::move(batch));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!started_ || stopping_ || dead_) return Admit::kStopped;
+  if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
+  ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
+  ins_.batches_ingested->Increment();
+  ins_.edges_ingested->Increment(batch_edges);
+  for (int k = 0; k < num_shards_; ++k) {
+    if (rb.routed[k] != 0) {
+      shard_ins_[k].edges_routed->Increment(rb.routed[k]);
+    }
+    if (rb.mirrored[k] != 0) {
+      shard_ins_[k].edges_mirrored->Increment(rb.mirrored[k]);
+    }
+  }
+  queue_.push_back(std::move(rb));
+  ins_.queue_depth->Set(static_cast<double>(queue_.size()));
+  ins_.queue_peak->Max(static_cast<double>(queue_.size()));
+  queue_cv_.notify_one();
+  return Admit::kAccepted;
 }
 
 void ShardedStreamServer::Flush() {
@@ -455,6 +505,7 @@ void ShardedStreamServer::Stop() {
     queue_cv_.notify_all();
     not_full_cv_.notify_all();
     drained_cv_.notify_all();
+    checkpoint_done_cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
   std::lock_guard<std::mutex> lk(mu_);
@@ -522,8 +573,8 @@ ServerStats ShardedStreamServer::stats() const {
 }
 
 bool ShardedStreamServer::Backoff(int attempt) {
-  double ms = config_.retry_backoff_ms * std::ldexp(1.0, attempt);
-  ms = std::min(ms, config_.max_retry_backoff_ms);
+  double ms = config_.resilience.retry_backoff_ms * std::ldexp(1.0, attempt);
+  ms = std::min(ms, config_.resilience.max_retry_backoff_ms);
   const auto until =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -540,8 +591,22 @@ void ShardedStreamServer::DetectLoop() {
     RoutedBatch rb;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lk, [&] {
+        return stopping_ || !queue_.empty() || checkpoint_requested_;
+      });
       if (stopping_) return;
+      if (queue_.empty()) {
+        // On-demand checkpoint (public WriteCheckpoint): queue drained, so
+        // the coordinator-thread state is quiescent; write outside the lock
+        // and hand the status back to the blocked caller.
+        lk.unlock();
+        const Status st = DoWriteCheckpoint();
+        lk.lock();
+        checkpoint_requested_ = false;
+        checkpoint_status_ = st;
+        checkpoint_done_cv_.notify_all();
+        continue;
+      }
       rb = std::move(queue_.front());
       queue_.pop_front();
       ins_.queue_depth->Set(static_cast<double>(queue_.size()));
@@ -570,7 +635,7 @@ void ShardedStreamServer::DetectLoop() {
         break;
       }
       if (!IsTransient(append_status) ||
-          attempt >= config_.max_tick_retries) {
+          attempt >= config_.resilience.max_tick_retries) {
         break;
       }
       ins_.tick_retries->Increment();
@@ -603,6 +668,7 @@ void ShardedStreamServer::DetectLoop() {
         dead_ = true;
         not_full_cv_.notify_all();
         drained_cv_.notify_all();
+        checkpoint_done_cv_.notify_all();
         return;
       }
       if (queue_.empty()) drained_cv_.notify_all();
@@ -622,15 +688,15 @@ bool ShardedStreamServer::RunDueTicks() {
     min_time = std::min(min_time, w.min_time());
     max_time = std::max(max_time, w.max_time());
   }
-  const double cadence = config_.tick_every_days;
+  const double cadence = config_.tick.every_days;
   if (!tick_schedule_primed_) {
     next_tick_end_ = cadence * (std::floor(min_time / cadence) + 1.0);
     tick_schedule_primed_ = true;
   }
   while (max_time >= next_tick_end_) {
     if (stop_token_.load(std::memory_order_relaxed)) return true;
-    if (config_.tick_deadline_seconds > 0 &&
-        last_tick_wall_seconds_ > config_.tick_deadline_seconds) {
+    if (config_.resilience.tick_deadline_seconds > 0 &&
+        last_tick_wall_seconds_ > config_.resilience.tick_deadline_seconds) {
       const auto overdue = static_cast<int64_t>(
           std::floor((max_time - next_tick_end_) / cadence));
       if (overdue > 0) {
@@ -642,17 +708,42 @@ bool ShardedStreamServer::RunDueTicks() {
     if (outcome == TickOutcome::kFatal) return false;
     if (outcome == TickOutcome::kCancelled) return true;
     next_tick_end_ += cadence;
-    if (outcome == TickOutcome::kOk && !config_.checkpoint_dir.empty() &&
-        config_.checkpoint_every_ticks > 0 &&
-        num_ticks_ % config_.checkpoint_every_ticks == 0 &&
+    if (outcome == TickOutcome::kOk && !config_.checkpoint.dir.empty() &&
+        config_.checkpoint.every_ticks > 0 &&
+        num_ticks_ % config_.checkpoint.every_ticks == 0 &&
         num_ticks_ > last_checkpoint_tick_) {
-      WriteCheckpoint();
+      (void)DoWriteCheckpoint();
     }
   }
   return true;
 }
 
-void ShardedStreamServer::WriteCheckpoint() {
+Status ShardedStreamServer::WriteCheckpoint() {
+  if (config_.checkpoint.dir.empty()) {
+    return Status::InvalidArgument("no checkpoint dir configured");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_) {
+    lk.unlock();
+    return DoWriteCheckpoint();
+  }
+  if (stopping_) return Status::Cancelled("server stopping");
+  if (dead_) {
+    return last_error_.ok() ? Status::Cancelled("server dead") : last_error_;
+  }
+  checkpoint_requested_ = true;
+  queue_cv_.notify_one();
+  checkpoint_done_cv_.wait(lk, [&] {
+    return !checkpoint_requested_ || stopping_ || dead_;
+  });
+  if (checkpoint_requested_) {
+    checkpoint_requested_ = false;
+    return Status::Cancelled("server stopped before checkpoint");
+  }
+  return checkpoint_status_;
+}
+
+Status ShardedStreamServer::DoWriteCheckpoint() {
   const int64_t tick = num_ticks_;
   ShardManifest m;
   m.tick = tick;
@@ -666,7 +757,7 @@ void ShardedStreamServer::WriteCheckpoint() {
     sd.tick = tick;
     sd.edges = windows_[k].edges();
     const std::string name = ShardCheckpointFileName(k, tick);
-    st = SaveCheckpoint(config_.checkpoint_dir + "/" + name, sd);
+    st = SaveCheckpoint(config_.checkpoint.dir + "/" + name, sd);
     if (st.ok()) m.shard_files.push_back(name);
   }
   if (st.ok()) {
@@ -693,7 +784,7 @@ void ShardedStreamServer::WriteCheckpoint() {
       }
     }
     cd.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
-    if (config_.incremental && inc_reuse_ok_) {
+    if (config_.tick.incremental && inc_reuse_ok_) {
       // Anchors for every in-window entity, ascending (deterministic
       // bytes). The fleet union-find is rebuilt from the shard windows on
       // restore, same as the single-server tracker.
@@ -707,22 +798,23 @@ void ShardedStreamServer::WriteCheckpoint() {
       }
     }
     m.coord_file = CoordCheckpointFileName(tick);
-    st = SaveCheckpoint(config_.checkpoint_dir + "/" + m.coord_file, cd);
+    st = SaveCheckpoint(config_.checkpoint.dir + "/" + m.coord_file, cd);
   }
   if (st.ok()) {
     st = SaveShardManifest(
-        config_.checkpoint_dir + "/" + ShardManifestFileName(tick), m);
+        config_.checkpoint.dir + "/" + ShardManifestFileName(tick), m);
   }
   if (st.ok()) {
     ins_.checkpoints_ok->Increment();
     last_checkpoint_tick_ = tick;
-    (void)PruneShardCheckpoints(config_.checkpoint_dir,
-                                config_.checkpoint_keep);
+    (void)PruneShardCheckpoints(config_.checkpoint.dir,
+                                config_.checkpoint.keep);
   } else {
     ins_.checkpoints_failed->Increment();
     GLP_LOG(Warning) << "sharded checkpoint at tick " << tick
                      << " failed: " << st.ToString();
   }
+  return st;
 }
 
 void ShardedStreamServer::ShardComponents(int k, double start_time,
@@ -1024,13 +1116,13 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
   // The same retry ladder as StreamServer::RunTick, walked independently
   // per owner shard: transient faults retry, attempt 2 drops warm start,
   // the final attempt runs the fallback engine.
-  const int max_attempts = 1 + std::max(0, config_.max_tick_retries);
+  const int max_attempts = 1 + std::max(0, config_.resilience.max_tick_retries);
   Status failure;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     pipeline::PipelineConfig cfg = config_.detect;
     if (degraded) {
       cfg.lp.max_iterations =
-          std::min(cfg.lp.max_iterations, config_.degraded_iteration_cap);
+          std::min(cfg.lp.max_iterations, config_.resilience.degraded_iteration_cap);
       cfg.lp.stop_when_stable = true;
     }
     const bool warm = warm_wanted && attempt <= 1;
@@ -1040,8 +1132,8 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
     // the full (still canonical) detection.
     const bool with_delta = delta_ok && attempt <= 1;
     if (attempt == max_attempts - 1 && attempt > 0 &&
-        config_.enable_engine_fallback) {
-      cfg.engine = config_.fallback_engine;
+        config_.resilience.enable_engine_fallback) {
+      cfg.engine = config_.resilience.fallback_engine;
       ins_.engine_fallbacks->Increment();
     }
 
@@ -1107,12 +1199,12 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   // Degradation ladder steps 1–2, fleet-wide (identical to StreamServer;
   // incremental mode has no warm/refresh machinery — every tick is exact).
   const bool degraded =
-      config_.tick_deadline_seconds > 0 &&
-      last_tick_wall_seconds_ > config_.tick_deadline_seconds;
-  bool refresh_due = !config_.incremental &&
-                     config_.cold_refresh_every_ticks > 0 &&
-                     num_ticks_ % config_.cold_refresh_every_ticks == 0;
-  if (!config_.incremental && config_.warm_start && have_prev_) {
+      config_.resilience.tick_deadline_seconds > 0 &&
+      last_tick_wall_seconds_ > config_.resilience.tick_deadline_seconds;
+  bool refresh_due = !config_.tick.incremental &&
+                     config_.tick.cold_refresh_every_ticks > 0 &&
+                     num_ticks_ % config_.tick.cold_refresh_every_ticks == 0;
+  if (!config_.tick.incremental && config_.tick.warm_start && have_prev_) {
     if (degraded && (refresh_due || refresh_pending_)) {
       if (refresh_due) ins_.cold_refresh_deferred->Increment();
       refresh_pending_ = true;
@@ -1135,7 +1227,7 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   // stitch with one persistent fleet-wide tracker; it must be updated even
   // when the windows went empty (the expirations that emptied them count).
   bool delta_applied = false;
-  if (config_.incremental) {
+  if (config_.tick.incremental) {
     delta_applied = UpdateIncrementalTracker(tr.window_start, end_time);
   } else {
     pool()->ParallelFor(
@@ -1150,11 +1242,11 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   bool any_active = false;
   for (const ShardScratch& s : shards_) any_active |= s.hi > s.lo;
 
-  const bool warm_wanted = !config_.incremental && config_.warm_start &&
+  const bool warm_wanted = !config_.tick.incremental && config_.tick.warm_start &&
                            have_prev_ && !refresh_due && any_active;
 
   if (any_active) {
-    if (!config_.incremental) StitchComponents();
+    if (!config_.tick.incremental) StitchComponents();
     pool()->ParallelFor(
         0, num_shards_,
         [&](int64_t lo, int64_t hi) {
@@ -1168,7 +1260,7 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     // Snapshot the dirty flags and bucket reusable cluster records by
     // owner before fanning out, so the workers only ever read.
     const bool delta_ok =
-        config_.incremental && delta_applied && inc_reuse_ok_ && !degraded;
+        config_.tick.incremental && delta_applied && inc_reuse_ok_ && !degraded;
     if (delta_ok) {
       inc_tracker_.ExportDirty(universe_, &entity_dirty_);
       owner_records_.assign(num_shards_, {});
@@ -1232,11 +1324,11 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     // that ran kept its warm start (a mixed tick reports cold).
     tr.warm = warm_wanted;
     tr.detection.build_seconds = build_seconds;
-    if (config_.warm_start) warm_anchor_.clear();
+    if (config_.tick.warm_start) warm_anchor_.clear();
     // Successful non-degraded incremental ticks refresh the carried-over
     // state from the published (canonical) per-owner output. Records must
     // capture owner-snapshot anchors BEFORE the stitched renumbering below.
-    const bool refresh_inc = config_.incremental && !degraded;
+    const bool refresh_inc = config_.tick.incremental && !degraded;
     std::vector<ClusterRecord> new_records;
     int64_t reused_total = 0;
     if (refresh_inc && anchor_of_.size() < universe_) {
@@ -1284,7 +1376,7 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
                                               ow.result.lp_wall_seconds);
       tr.detection.extract_seconds = std::max(tr.detection.extract_seconds,
                                               ow.result.extract_seconds);
-      if (config_.warm_start) {
+      if (config_.tick.warm_start) {
         const std::vector<VertexId>& l2g = ow.snap.local_to_global;
         const std::vector<Label>& labels = ow.result.lp.labels;
         for (size_t v = 0; v < labels.size(); ++v) {
@@ -1308,7 +1400,7 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
         }
       }
     }
-    if (config_.incremental) {
+    if (config_.tick.incremental) {
       if (refresh_inc) {
         if (reused_total > 0) {
           ins_.reused_clusters->Increment(
@@ -1360,8 +1452,8 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
 
   tr.tick_wall_seconds = tick_timer.Seconds();
   last_tick_wall_seconds_ = tr.tick_wall_seconds;
-  if (config_.tick_deadline_seconds > 0 &&
-      tr.tick_wall_seconds > config_.tick_deadline_seconds) {
+  if (config_.resilience.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds) {
     ins_.deadline_overruns->Increment();
   }
   {

@@ -74,23 +74,21 @@ namespace glp::serve {
 /// aggregate: clusters carry globally renumbered labels (dense, assigned in
 /// sorted-member order) and lp.labels is left empty (there is no global
 /// local-id space to express per-vertex labels in).
-class ShardedStreamServer {
+class ShardedStreamServer : public Server {
  public:
-  using Subscriber = std::function<void(const TickResult&)>;
-
   /// `config` is the regular per-server configuration; detection,
   /// resilience, and checkpoint knobs apply fleet-wide.
   ShardedStreamServer(ServerConfig config, int num_shards);
-  ~ShardedStreamServer();
+  ~ShardedStreamServer() override;
 
   ShardedStreamServer(const ShardedStreamServer&) = delete;
   ShardedStreamServer& operator=(const ShardedStreamServer&) = delete;
 
-  int num_shards() const { return num_shards_; }
+  int num_shards() const override { return num_shards_; }
 
   /// Registers a per-tick callback (coordinator thread, tick order). Must
   /// be called before Start().
-  void Subscribe(Subscriber subscriber);
+  void Subscribe(Subscriber subscriber) override;
 
   /// Restores the whole fleet from the newest *complete* sharded
   /// checkpoint (manifest + coordinator + every shard file validating) in
@@ -100,29 +98,36 @@ class ShardedStreamServer {
   /// before Start(). RestoreInfo::num_edges counts *global* stream edges
   /// (mirrors excluded) — the replay resume index, same contract as
   /// StreamServer.
-  Result<StreamServer::RestoreInfo> RestoreFromCheckpoint(
-      const std::string& path_or_dir);
+  Result<RestoreInfo> RestoreFromCheckpoint(
+      const std::string& path_or_dir) override;
 
   /// Launches the coordinator thread.
-  Status Start();
+  Status Start() override;
 
   /// Validates and routes a batch to shard sub-batches, then enqueues the
   /// routed batch (bounded queue, blocking backpressure). Returns false if
   /// the batch is rejected or the server is stopped/dead.
-  bool Ingest(std::vector<graph::TimedEdge> batch);
+  bool Ingest(std::vector<graph::TimedEdge> batch) override;
+
+  /// Non-blocking Ingest: sheds (kQueueFull) instead of waiting on a full
+  /// queue. See Server::TryIngest.
+  Admit TryIngest(std::vector<graph::TimedEdge> batch) override;
 
   /// Blocks until every ingested batch is processed and due ticks ran.
-  void Flush();
+  void Flush() override;
 
   /// Stops the coordinator (cancels in-flight LP via the stop token).
-  void Stop();
+  void Stop() override;
+
+  /// On-demand fleet snapshot — see Server::WriteCheckpoint.
+  Status WriteCheckpoint() override;
 
   /// First fatal error, if any (same semantics as StreamServer).
-  Status last_error() const;
-  bool running() const;
+  Status last_error() const override;
+  bool running() const override;
 
-  ServerStats stats() const;
-  obs::MetricRegistry* metrics() const { return registry_; }
+  ServerStats stats() const override;
+  obs::MetricRegistry* metrics() const override { return registry_; }
 
  private:
   /// One ingest batch split into per-shard sub-batches (owned edges plus
@@ -130,6 +135,9 @@ class ShardedStreamServer {
   struct RoutedBatch {
     std::vector<std::vector<graph::TimedEdge>> parts;
     size_t global_edges = 0;  ///< pre-mirroring edge count
+    /// Per-shard owned / mirrored-copy counts (telemetry).
+    std::vector<uint64_t> routed;
+    std::vector<uint64_t> mirrored;
   };
 
   enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
@@ -204,9 +212,13 @@ class ShardedStreamServer {
   /// counts for the components_owned gauges.
   void RefreshOwnersFromTracker();
   bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
+  /// Routes a validated batch into per-shard sub-batches (mirroring
+  /// cross-shard edges); shared by Ingest and TryIngest.
+  RoutedBatch RouteBatch(std::vector<graph::TimedEdge> batch) const;
   bool Backoff(int attempt);
   void RecordError(const Status& status);
-  void WriteCheckpoint();
+  /// Builds and writes one fleet snapshot (coordinator-thread state).
+  Status DoWriteCheckpoint();
 
   ServerConfig config_;
   int num_shards_;
@@ -240,7 +252,7 @@ class ShardedStreamServer {
   /// (refreshed for dirty components each tick).
   std::vector<uint8_t> owner_of_;
 
-  // Incremental serving (config_.incremental; DESIGN.md §4.10): one
+  // Incremental serving (config_.tick.incremental; DESIGN.md §4.10): one
   // fleet-wide persistent union-find fed by per-shard window deltas — it
   // replaces the per-shard union-finds and the boundary stitch entirely on
   // exact ticks — plus the carried-over label anchors and cluster-record
@@ -276,6 +288,10 @@ class ShardedStreamServer {
   bool busy_ = false;
   double ingested_max_time_ = 0;
   Status last_error_ = Status::OK();
+  // On-demand checkpoint handshake (same protocol as StreamServer).
+  bool checkpoint_requested_ = false;
+  Status checkpoint_status_ = Status::OK();
+  std::condition_variable checkpoint_done_cv_;
 
   // Telemetry: aggregate glp_serve_* instruments (ServerStats-compatible)
   // plus per-shard families labeled {shard="k"}.

@@ -74,9 +74,9 @@ ServerConfig BaseServerConfig(const pipeline::TransactionStream& stream) {
   cfg.detect.lp.stop_when_stable = true;
   cfg.detect.lp.max_iterations = 50;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 5.0;
-  cfg.retry_backoff_ms = 0.1;  // keep chaos tests fast
-  cfg.max_retry_backoff_ms = 1.0;
+  cfg.tick.every_days = 5.0;
+  cfg.resilience.retry_backoff_ms = 0.1;  // keep chaos tests fast
+  cfg.resilience.max_retry_backoff_ms = 1.0;
   return cfg;
 }
 
@@ -148,7 +148,7 @@ TEST_F(ChaosTest, TransientFaultsAreRetriedWithoutOutputDivergence) {
   const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
   const auto ordered = CanonicalEdges(stream);
   ServerConfig cfg = BaseServerConfig(stream);
-  cfg.warm_start = false;
+  cfg.tick.warm_start = false;
 
   // Baseline BEFORE arming anything: the failure-free output.
   const auto want = RunAndObserve(cfg, ordered);
@@ -199,9 +199,9 @@ TEST_F(ChaosTest, PersistentEngineFaultFallsBackToCpu) {
   const auto ordered = CanonicalEdges(stream);
   ServerConfig cfg = BaseServerConfig(stream);
   cfg.detect.engine = lp::EngineKind::kGlp;  // simulated-GPU engine
-  cfg.warm_start = false;
-  cfg.enable_engine_fallback = true;
-  cfg.fallback_engine = lp::EngineKind::kSeq;
+  cfg.tick.warm_start = false;
+  cfg.resilience.enable_engine_fallback = true;
+  cfg.resilience.fallback_engine = lp::EngineKind::kSeq;
 
   // The GPU engine faults on every dispatch; only the final retry attempt
   // (which switches to the CPU fallback engine) can succeed.
@@ -276,9 +276,9 @@ TEST_F(ChaosTest, OverloadShedsOverdueTicksBoundedly) {
   const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
   const auto ordered = CanonicalEdges(stream);
   ServerConfig cfg = BaseServerConfig(stream);
-  cfg.tick_every_days = 0.5;            // ~80 boundaries over the stream
-  cfg.tick_deadline_seconds = 1e-7;     // every real tick overruns
-  cfg.degraded_iteration_cap = 2;
+  cfg.tick.every_days = 0.5;            // ~80 boundaries over the stream
+  cfg.resilience.tick_deadline_seconds = 1e-7;     // every real tick overruns
+  cfg.resilience.degraded_iteration_cap = 2;
 
   std::vector<double> tick_ends;
   StreamServer server(cfg);
@@ -302,13 +302,13 @@ TEST_F(ChaosTest, OverloadShedsOverdueTicksBoundedly) {
   // ...ticks + shed boundaries account for every boundary the stream
   // crossed (nothing silently dropped)...
   const double total_boundaries =
-      std::floor(ordered.back().time / cfg.tick_every_days) -
-      std::floor(ordered.front().time / cfg.tick_every_days);
+      std::floor(ordered.back().time / cfg.tick.every_days) -
+      std::floor(ordered.front().time / cfg.tick.every_days);
   EXPECT_GE(stats.ticks + stats.ticks_shed,
             static_cast<int64_t>(total_boundaries));
   // ...and detection stays caught up: the last tick ends within one
   // cadence of the stream head (bounded lag, not an ever-growing backlog).
-  EXPECT_GE(tick_ends.back(), ordered.back().time - cfg.tick_every_days);
+  EXPECT_GE(tick_ends.back(), ordered.back().time - cfg.tick.every_days);
 }
 
 TEST_F(ChaosTest, KillRestoreReplayMatchesUninterruptedRun) {
@@ -317,7 +317,7 @@ TEST_F(ChaosTest, KillRestoreReplayMatchesUninterruptedRun) {
   const std::string dir = MakeTempDir("restore");
 
   ServerConfig cfg = BaseServerConfig(stream);
-  cfg.warm_start = true;  // checkpoint must carry warm state faithfully
+  cfg.tick.warm_start = true;  // checkpoint must carry warm state faithfully
 
   // Uninterrupted baseline.
   const auto want = RunAndObserve(cfg, ordered);
@@ -325,8 +325,8 @@ TEST_F(ChaosTest, KillRestoreReplayMatchesUninterruptedRun) {
 
   // Run A: checkpoint every 2 ticks, kill (Stop + abandon) mid-stream.
   ServerConfig cfg_a = cfg;
-  cfg_a.checkpoint_dir = dir;
-  cfg_a.checkpoint_every_ticks = 2;
+  cfg_a.checkpoint.dir = dir;
+  cfg_a.checkpoint.every_ticks = 2;
   int64_t a_ticks = 0;
   {
     StreamServer server(cfg_a);
@@ -364,7 +364,7 @@ TEST_F(ChaosTest, KillRestoreReplayMatchesUninterruptedRun) {
   auto restored = server.RestoreFromCheckpoint(dir);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_GE(restored.value().tick, 2);
-  EXPECT_EQ(restored.value().tick % cfg_a.checkpoint_every_ticks, 0);
+  EXPECT_EQ(restored.value().tick % cfg_a.checkpoint.every_ticks, 0);
   ASSERT_LT(restored.value().num_edges, ordered.size());
 
   ASSERT_TRUE(server.Start().ok());
@@ -399,9 +399,9 @@ TEST_F(ChaosTest, IncrementalKillRestoreReplayMatchesUninterruptedRun) {
   const std::string dir = MakeTempDir("inc_restore");
 
   ServerConfig cold = BaseServerConfig(stream);
-  cold.warm_start = false;
+  cold.tick.warm_start = false;
   ServerConfig inc = cold;
-  inc.incremental = true;
+  inc.tick.incremental = true;
 
   // The incremental exactness bar survives kill/restore: a restored
   // incremental run must keep matching the uninterrupted COLD replay.
@@ -410,8 +410,8 @@ TEST_F(ChaosTest, IncrementalKillRestoreReplayMatchesUninterruptedRun) {
 
   // Run A: incremental with checkpoints, killed mid-stream.
   ServerConfig cfg_a = inc;
-  cfg_a.checkpoint_dir = dir;
-  cfg_a.checkpoint_every_ticks = 2;
+  cfg_a.checkpoint.dir = dir;
+  cfg_a.checkpoint.every_ticks = 2;
   {
     StreamServer server(cfg_a);
     server.Subscribe([](const TickResult&) {});
@@ -464,7 +464,7 @@ TEST_F(ChaosTest, IncrementalRebuildFailpointKeepsOutputExact) {
   const auto stream = pipeline::GenerateTransactions(SmallStreamConfig());
   const auto ordered = CanonicalEdges(stream);
   ServerConfig cold = BaseServerConfig(stream);
-  cold.warm_start = false;
+  cold.tick.warm_start = false;
 
   // Baseline BEFORE arming anything: the failure-free cold output.
   const auto want = RunAndObserve(cold, ordered);
@@ -480,7 +480,7 @@ TEST_F(ChaosTest, IncrementalRebuildFailpointKeepsOutputExact) {
                   .ok());
 
   ServerConfig inc = cold;
-  inc.incremental = true;
+  inc.tick.incremental = true;
   std::map<int64_t, TickObservation> got;
   ServerStats stats;
   {
@@ -544,7 +544,7 @@ TEST_F(ChaosTest, RandomizedFailpointScheduleNeverDeadlocks) {
   ASSERT_TRUE(reg.Parse(spec).ok());
 
   ServerConfig cfg = BaseServerConfig(stream);
-  cfg.tick_every_days = 2.0;
+  cfg.tick.every_days = 2.0;
   cfg.max_queue_batches = 2;
 
   StreamServer server(cfg);

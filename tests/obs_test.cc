@@ -225,6 +225,99 @@ TEST(ExpositionTest, JsonSnapshotIsWellFormed) {
   EXPECT_EQ(reg.JsonSnapshot().find("inf"), std::string::npos);
 }
 
+// --- RequestParser: incremental parse, Content-Length bodies, limits ---
+
+using Parser = RequestParser;
+
+TEST(RequestParserTest, ParsesBodyByContentLength) {
+  Parser p;
+  const std::string req =
+      "POST /v1/ingest HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\n"
+      "Content-Length: 11\r\n\r\nhello world";
+  ASSERT_EQ(p.Feed(req.data(), req.size()), Parser::State::kComplete);
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().path, "/v1/ingest");
+  EXPECT_EQ(p.request().body, "hello world");
+  EXPECT_EQ(p.request().header("content-type"), "text/plain");
+}
+
+TEST(RequestParserTest, PartialReadsAccumulateAcrossFeeds) {
+  // One byte at a time — the worst fragmentation a socket can deliver.
+  Parser p;
+  const std::string req =
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+  for (size_t i = 0; i + 1 < req.size(); ++i) {
+    ASSERT_EQ(p.Feed(req.data() + i, 1), Parser::State::kNeedMore)
+        << "byte " << i;
+  }
+  ASSERT_EQ(p.Feed(req.data() + req.size() - 1, 1),
+            Parser::State::kComplete);
+  EXPECT_EQ(p.request().body, "abcde");
+}
+
+TEST(RequestParserTest, BodySplitMidwayNeedsMore) {
+  Parser p;
+  const std::string head = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n";
+  ASSERT_EQ(p.Feed(head.data(), head.size()), Parser::State::kNeedMore);
+  ASSERT_EQ(p.Feed("12345", 5), Parser::State::kNeedMore);
+  ASSERT_EQ(p.Feed("67890", 5), Parser::State::kComplete);
+  EXPECT_EQ(p.request().body, "1234567890");
+}
+
+TEST(RequestParserTest, OversizedBodyIs413BeforeTheBodyArrives) {
+  Parser p(/*max_body_bytes=*/16);
+  const std::string head = "POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+  // Refused on the declared length alone — no need to swallow the body.
+  ASSERT_EQ(p.Feed(head.data(), head.size()), Parser::State::kError);
+  EXPECT_EQ(p.error_status(), 413);
+  // Terminal: more bytes don't resurrect it.
+  EXPECT_EQ(p.Feed("x", 1), Parser::State::kError);
+}
+
+TEST(RequestParserTest, MalformedContentLengthIs400) {
+  Parser p;
+  const std::string req = "POST /x HTTP/1.1\r\nContent-Length: 12x\r\n\r\n";
+  ASSERT_EQ(p.Feed(req.data(), req.size()), Parser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParserTest, TransferEncodingIsRejected) {
+  Parser p;
+  const std::string req =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  ASSERT_EQ(p.Feed(req.data(), req.size()), Parser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParserTest, UnboundedHeadIs431) {
+  Parser p;
+  const std::string junk(16 << 10, 'h');  // no \r\n\r\n in sight
+  EXPECT_EQ(p.Feed(junk.data(), junk.size()), Parser::State::kError);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(RequestParserTest, ResetKeepsPipelinedLeftover) {
+  Parser p;
+  const std::string two =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy";
+  ASSERT_EQ(p.Feed(two.data(), two.size()), Parser::State::kComplete);
+  EXPECT_EQ(p.request().path, "/a");
+  EXPECT_EQ(p.request().body, "abc");
+  p.Reset();  // re-parses the buffered second request
+  ASSERT_EQ(p.state(), Parser::State::kComplete);
+  EXPECT_EQ(p.request().path, "/b");
+  EXPECT_EQ(p.request().body, "xy");
+}
+
+TEST(RequestParserTest, QueryStringIsSplitFromPath) {
+  Parser p;
+  const std::string req = "GET /statz?verbose=1 HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(p.Feed(req.data(), req.size()), Parser::State::kComplete);
+  EXPECT_EQ(p.request().path, "/statz");
+  EXPECT_EQ(p.request().query, "verbose=1");
+}
+
 // --- HTTP endpoint smoke test ---
 
 std::string HttpGet(int port, const std::string& path) {

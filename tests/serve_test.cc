@@ -73,8 +73,8 @@ TEST(ServeTest, ColdServerMatchesOneShotPipeline) {
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
   cfg.ground_truth = &stream;
-  cfg.tick_every_days = 5.0;
-  cfg.warm_start = false;
+  cfg.tick.every_days = 5.0;
+  cfg.tick.warm_start = false;
 
   std::vector<TickResult> ticks;
   StreamServer server(cfg);
@@ -116,8 +116,8 @@ TEST(ServeTest, WarmTicksMatchWarmReplayedOneShot) {
   cfg.detect.lp.stop_when_stable = true;
   cfg.detect.lp.max_iterations = 50;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 5.0;
-  cfg.warm_start = true;
+  cfg.tick.every_days = 5.0;
+  cfg.tick.warm_start = true;
   cfg.record_warm_labels = true;
 
   std::vector<TickResult> ticks;
@@ -187,8 +187,8 @@ TEST(ServeTest, BackpressureBoundsIngestQueue) {
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.detect.lp.max_iterations = 5;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 0.25;  // nearly every batch crosses a boundary
-  cfg.warm_start = true;
+  cfg.tick.every_days = 0.25;  // nearly every batch crosses a boundary
+  cfg.tick.warm_start = true;
   cfg.max_queue_batches = 2;
 
   StreamServer server(cfg);
@@ -217,7 +217,7 @@ TEST(ServeTest, ConfirmedClusterDiffsReplayToCurrentSet) {
   cfg.detect.window_days = 15;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 5.0;
+  cfg.tick.every_days = 5.0;
 
   std::vector<TickResult> ticks;
   StreamServer server(cfg);
@@ -274,7 +274,7 @@ TEST(ServeTest, HardStopWhileBusyShutsDownCleanly) {
   cfg.detect.window_days = 15;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 0.5;
+  cfg.tick.every_days = 0.5;
   cfg.max_queue_batches = 4;
 
   StreamServer server(cfg);
@@ -299,7 +299,7 @@ TEST(ServeTest, IngestValidationRejectsMalformedBatches) {
   ServerConfig cfg;
   cfg.detect.window_days = 5;
   cfg.detect.engine = lp::EngineKind::kSeq;
-  cfg.entity_id_limit = 1000;
+  cfg.resilience.entity_id_limit = 1000;
 
   StreamServer server(cfg);
   ASSERT_TRUE(server.Start().ok());
@@ -329,8 +329,8 @@ TEST(ServeTest, ShuffledBatchesMatchCanonicalOrderIngest) {
   cfg.detect.window_days = 15;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 5.0;
-  cfg.warm_start = false;
+  cfg.tick.every_days = 5.0;
+  cfg.tick.warm_start = false;
 
   // Baseline: canonical within-batch order.
   std::vector<TickResult> want;
@@ -382,7 +382,7 @@ TEST(ServeTest, StopRacesBlockedIngestWithoutDeadlock) {
   cfg.detect.window_days = 10;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 0.25;
+  cfg.tick.every_days = 0.25;
   cfg.max_queue_batches = 1;  // producers block almost immediately
 
   StreamServer server(cfg);
@@ -424,7 +424,7 @@ TEST(ServeTest, FlushRacesMidTickStop) {
   cfg.detect.window_days = 10;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.seeds = stream.seeds;
-  cfg.tick_every_days = 0.5;
+  cfg.tick.every_days = 0.5;
   cfg.max_queue_batches = 4;
 
   StreamServer server(cfg);
@@ -465,8 +465,8 @@ ServerConfig IncrementalBaseConfig(const pipeline::TransactionStream& stream) {
   cfg.detect.lp.max_iterations = 50;
   cfg.seeds = stream.seeds;
   cfg.ground_truth = &stream;
-  cfg.tick_every_days = 2.0;
-  cfg.warm_start = false;
+  cfg.tick.every_days = 2.0;
+  cfg.tick.warm_start = false;
   return cfg;
 }
 
@@ -500,7 +500,7 @@ TEST(ServeTest, IncrementalReplayMatchesColdReplay) {
 
   const ServerConfig cold = IncrementalBaseConfig(stream);
   ServerConfig inc = cold;
-  inc.incremental = true;
+  inc.tick.incremental = true;
 
   const auto want = ReplayAll(cold, ordered);
   ASSERT_GE(want.size(), 8u);
@@ -557,10 +557,10 @@ TEST(ServeTest, IncrementalReusesCleanIslandClusters) {
   cold.detect.lp.stop_when_stable = true;
   cold.detect.lp.max_iterations = 20;
   cold.seeds = stream.seeds;
-  cold.tick_every_days = 1.0;
-  cold.warm_start = false;
+  cold.tick.every_days = 1.0;
+  cold.tick.warm_start = false;
   ServerConfig inc = cold;
-  inc.incremental = true;
+  inc.tick.incremental = true;
 
   const auto want = ReplayAll(cold, stream.edges);
   ASSERT_GE(want.size(), 20u);
@@ -580,7 +580,7 @@ TEST(ServeTest, IncrementalReusesCleanIslandClusters) {
 
 TEST(ServeTest, IncrementalStartEnforcesExactnessPreconditions) {
   ServerConfig cfg;
-  cfg.incremental = true;
+  cfg.tick.incremental = true;
   cfg.detect.engine = lp::EngineKind::kSeq;
   cfg.detect.lp.stop_when_stable = true;
   cfg.detect.lp.max_iterations = 7;  // odd budget can stop mid-oscillation

@@ -72,10 +72,10 @@ ServerConfig ColdServerConfig(const pipeline::TransactionStream& stream) {
   cfg.detect.lp.stop_when_stable = false;
   cfg.seeds = stream.seeds;
   cfg.ground_truth = &stream;
-  cfg.tick_every_days = 5.0;
-  cfg.warm_start = false;
-  cfg.retry_backoff_ms = 0.1;
-  cfg.max_retry_backoff_ms = 1.0;
+  cfg.tick.every_days = 5.0;
+  cfg.tick.warm_start = false;
+  cfg.resilience.retry_backoff_ms = 0.1;
+  cfg.resilience.max_retry_backoff_ms = 1.0;
   return cfg;
 }
 
@@ -323,9 +323,9 @@ TEST_F(ShardTest, SingleShardKillRestoreFallsBackToCompleteSnapshot) {
 
   // Run A: checkpoint every tick, kill mid-stream.
   ServerConfig cfg_a = cfg;
-  cfg_a.checkpoint_dir = dir;
-  cfg_a.checkpoint_every_ticks = 1;
-  cfg_a.checkpoint_keep = 8;
+  cfg_a.checkpoint.dir = dir;
+  cfg_a.checkpoint.every_ticks = 1;
+  cfg_a.checkpoint.keep = 8;
   {
     ShardedStreamServer server(cfg_a, 4);
     ASSERT_TRUE(server.Start().ok());
@@ -406,7 +406,7 @@ TEST_F(ShardTest, IncrementalShardedReplayMatchesColdSingleShard) {
   ASSERT_GE(want.size(), 4u);
 
   ServerConfig inc = cold;
-  inc.incremental = true;
+  inc.tick.incremental = true;
   for (const int shards : {4, 3}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     ServerStats stats;
@@ -430,16 +430,16 @@ TEST_F(ShardTest, IncrementalShardedKillRestoreMatchesUninterrupted) {
   const std::string dir = MakeTempDir("inc_restore");
 
   ServerConfig inc = ColdServerConfig(stream);
-  inc.incremental = true;
+  inc.tick.incremental = true;
 
   const auto want = RunSharded(inc, 4, ordered);
   ASSERT_GE(want.size(), 6u);
 
   // Run A: checkpoint every tick, kill mid-stream.
   ServerConfig cfg_a = inc;
-  cfg_a.checkpoint_dir = dir;
-  cfg_a.checkpoint_every_ticks = 1;
-  cfg_a.checkpoint_keep = 8;
+  cfg_a.checkpoint.dir = dir;
+  cfg_a.checkpoint.every_ticks = 1;
+  cfg_a.checkpoint.keep = 8;
   {
     ShardedStreamServer server(cfg_a, 4);
     ASSERT_TRUE(server.Start().ok());

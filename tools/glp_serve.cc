@@ -1,18 +1,30 @@
-// glp_serve — streaming fraud-detection server driver: replays a synthetic
-// transaction stream through glp::serve::StreamServer in micro-batches and
-// prints one line per detection tick plus a final latency/stats JSON blob.
+// glp_serve — streaming fraud-detection server driver. Three modes:
+//
+//   replay (default)  replays a synthetic transaction stream through a
+//                     serve::Server in micro-batches, one line per tick
+//                     plus a final latency/stats JSON blob
+//   network serve     --listen-port: exposes POST /v1/ingest (+ /metrics,
+//                     /v1/stats, /healthz) via serve::net::IngestService
+//                     and serves until SIGINT/SIGTERM
+//   network client    --connect: replays the same stream *over the wire*
+//                     against a running ingest service
 //
 //   glp_serve --days 90 --buyers 30000 --window 30 --tick 1 --engine glp
-//   glp_serve --cold --batch 5000          # disable warm starts, compare
-//   glp_serve --shards 4 --metrics-port 0  # sharded fleet + live /metrics
+//   glp_serve --shards 4 --metrics-port 0    # sharded fleet + /metrics
+//   glp_serve --listen-port 8080 --tenants 'acme:s3cret:50000'
+//   glp_serve --connect 8080 --token s3cret  # drive the service above
 //
 // The operational entry point for the serving layer; see DESIGN.md
-// §"Serving layer" and §4.9 (sharded scale-out).
+// §"Serving layer", §4.9 (sharded scale-out), §4.11 (network ingest).
+
+#include <csignal>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,13 +32,18 @@
 #include "obs/http.h"
 #include "pipeline/transactions.h"
 #include "prof/prof.h"
+#include "serve/net/client.h"
+#include "serve/net/ingest_service.h"
 #include "serve/server.h"
-#include "serve/sharded_server.h"
 #include "util/failpoint.h"
 
 namespace {
 
 using namespace glp;
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
 
 struct Args {
   int buyers = 30000;
@@ -53,6 +70,13 @@ struct Args {
   double tick_deadline = 0;   // seconds; 0 = no deadline
   std::string failpoints;     // GLP_FAILPOINTS grammar
   bool restore = false;       // resume from newest checkpoint in the dir
+  // Network modes (DESIGN.md §4.11).
+  int listen_port = -1;        // >=0 = serve POST /v1/ingest (0 = ephemeral)
+  std::string tenants_spec;    // name:token[:rate[:burst]],...
+  size_t max_batch_bytes = 1 << 20;
+  double global_rate = 0;      // fleet-wide edges/sec cap; 0 = unlimited
+  int connect_port = -1;       // >=0 = client mode against 127.0.0.1:port
+  std::string token;           // bearer token the client presents
 };
 
 void Usage() {
@@ -88,6 +112,17 @@ void Usage() {
       "  --metrics-port <p>  serve /metrics, /statz, /healthz over HTTP on\n"
       "                      port p while the replay runs (0 = ephemeral;\n"
       "                      the bound port is printed at startup)\n"
+      "network (DESIGN.md 4.11):\n"
+      "  --listen-port <p>   serve POST /v1/ingest (+ /v1/stats, /metrics,\n"
+      "                      /healthz) on port p until SIGINT/SIGTERM\n"
+      "                      (0 = ephemeral; the bound port is printed)\n"
+      "  --tenants <spec>    comma-separated name:token[:rate[:burst]]\n"
+      "                      (default 'default:devtoken' = unlimited)\n"
+      "  --max-batch-bytes <n>  largest accepted POST body (default 1MiB)\n"
+      "  --global-rate <r>   fleet-wide admission cap, edges/sec (0 = off)\n"
+      "  --connect <p>       client mode: replay the generated stream as\n"
+      "                      binary POSTs against 127.0.0.1:p\n"
+      "  --token <t>         bearer token for --connect (default devtoken)\n"
       "resilience:\n"
       "  --checkpoint-dir <d>   periodic atomic snapshots into d\n"
       "  --checkpoint-every <n> ticks between snapshots (default 16)\n"
@@ -140,6 +175,18 @@ bool Parse(int argc, char** argv, Args* args) {
       args->metrics_port = std::atoi(next());
     } else if (!std::strncmp(argv[i], "--metrics-port=", 15)) {
       args->metrics_port = std::atoi(argv[i] + 15);
+    } else if (!std::strcmp(argv[i], "--listen-port")) {
+      args->listen_port = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--tenants")) {
+      args->tenants_spec = next();
+    } else if (!std::strcmp(argv[i], "--max-batch-bytes")) {
+      args->max_batch_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (!std::strcmp(argv[i], "--global-rate")) {
+      args->global_rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--connect")) {
+      args->connect_port = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--token")) {
+      args->token = next();
     } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
       args->checkpoint_dir = next();
     } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
@@ -181,10 +228,9 @@ bool ParseEngine(const std::string& name, lp::EngineKind* kind) {
   return true;
 }
 
-/// Replay driver shared by the single-server and sharded paths (identical
-/// serving API, no common base class needed).
-template <typename Server>
-int RunReplay(Server& server, const Args& args,
+/// Replay driver — programs against serve::Server, so the single-server and
+/// sharded paths are the same code path.
+int RunReplay(serve::Server& server, const Args& args,
               const pipeline::TransactionStream& stream,
               prof::PhaseProfiler& profiler) {
   // Resume mid-stream: restore the newest checkpoint and skip the edges it
@@ -292,12 +338,155 @@ int RunReplay(Server& server, const Args& args,
   return 0;
 }
 
+/// Network serve mode: expose the server behind IngestService until a
+/// SIGINT/SIGTERM arrives, then drain and print final stats.
+int RunNetworkServe(serve::Server& server, const Args& args) {
+  auto tenants = serve::net::ParseTenantSpec(
+      args.tenants_spec.empty() ? "default:devtoken" : args.tenants_spec);
+  if (!tenants.ok()) {
+    std::fprintf(stderr, "bad --tenants spec: %s\n",
+                 tenants.status().ToString().c_str());
+    return 2;
+  }
+
+  if (args.restore) {
+    if (args.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
+      return 2;
+    }
+    auto restored = server.RestoreFromCheckpoint(args.checkpoint_dir);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("restored: tick %lld, %llu edges, max time %.2f\n",
+                static_cast<long long>(restored.value().tick),
+                static_cast<unsigned long long>(restored.value().num_edges),
+                restored.value().max_time);
+  }
+
+  if (!args.quiet) {
+    server.Subscribe([](const serve::TickResult& t) {
+      int confirmed = 0;
+      for (const auto& c : t.detection.clusters) confirmed += c.confirmed;
+      std::printf("tick %3lld  window [%5.1f, %5.1f)  clusters %3zu "
+                  "(%d confirmed)  %6.2f ms  lag %.2f d\n",
+                  static_cast<long long>(t.tick), t.window_start, t.window_end,
+                  t.detection.clusters.size(), confirmed,
+                  t.tick_wall_seconds * 1e3, t.ingest_lag_days);
+    });
+  }
+
+  const Status start = server.Start();
+  if (!start.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", start.ToString().c_str());
+    return 1;
+  }
+
+  serve::net::IngestService::Options opts;
+  opts.max_batch_bytes = args.max_batch_bytes;
+  opts.global_rate_edges_per_sec = args.global_rate;
+  serve::net::IngestService service(&server, std::move(tenants).value(), opts);
+  if (!service.Start(args.listen_port)) {
+    std::fprintf(stderr, "ingest service failed to bind port %d\n",
+                 args.listen_port);
+    server.Stop();
+    return 1;
+  }
+  std::printf("ingest: http://localhost:%d/v1/ingest  (Ctrl-C to stop)\n",
+              service.port());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!server.running()) break;  // detection thread died: exit, don't hang
+  }
+
+  service.Stop();
+  server.Flush();
+  const serve::ServerStats stats = server.stats();
+  server.Stop();
+  if (!server.last_error().ok()) {
+    std::fprintf(stderr, "FATAL: serving error: %s\n",
+                 server.last_error().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstats: %s\n", stats.ToJson().c_str());
+  return 0;
+}
+
+/// Network client mode: the replay loop, but every batch is a binary POST
+/// against a running ingest service (429s retried with Retry-After).
+int RunNetworkClient(const Args& args,
+                     const pipeline::TransactionStream& stream) {
+  serve::net::HttpClient client;
+  const Status conn = client.Connect(args.connect_port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect to 127.0.0.1:%d failed: %s\n",
+                 args.connect_port, conn.ToString().c_str());
+    return 1;
+  }
+  const std::string token = args.token.empty() ? "devtoken" : args.token;
+
+  std::vector<graph::TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double stream_start = ordered.empty() ? 0 : ordered.front().time;
+  size_t sent = 0, batches = 0;
+  for (size_t pos = 0; pos < ordered.size(); pos += args.batch_size) {
+    const size_t n = std::min(args.batch_size, ordered.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    if (args.rate > 0) {
+      const double due_s = (batch.back().time - stream_start) / args.rate;
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(due_s)));
+    }
+    auto resp = client.PostBatchWithRetry(batch, token,
+                                          /*max_retries=*/1000,
+                                          /*max_wait_seconds=*/1.0);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "POST /v1/ingest failed: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    if (resp.value().status != 200) {
+      std::fprintf(stderr, "ingest refused (HTTP %d): %s\n",
+                   resp.value().status, resp.value().body.c_str());
+      return 1;
+    }
+    sent += n;
+    ++batches;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("sent %zu edges in %zu batches over %.2fs (%.0f edges/s)\n",
+              sent, batches, wall_s, wall_s > 0 ? sent / wall_s : 0.0);
+
+  auto stats = client.Get("/v1/stats");
+  if (stats.ok() && stats.value().status == 200) {
+    std::printf("\nserver stats: %s\n", stats.value().body.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) {
     Usage();
+    return 2;
+  }
+  if (args.listen_port >= 0 && args.connect_port >= 0) {
+    std::fprintf(stderr, "--listen-port and --connect are exclusive\n");
     return 2;
   }
 
@@ -313,6 +502,10 @@ int main(int argc, char** argv) {
               stream.edges.size(), args.days, args.rings,
               stream.seeds.size());
 
+  // Client mode needs no server of its own — the stream above is the
+  // workload, the service across the socket is the server.
+  if (args.connect_port >= 0) return RunNetworkClient(args, stream);
+
   // --- Server ---
   serve::ServerConfig cfg;
   if (!ParseEngine(args.engine, &cfg.detect.engine)) {
@@ -324,13 +517,13 @@ int main(int argc, char** argv) {
   cfg.detect.lp.stop_when_stable = true;
   cfg.seeds = stream.seeds;
   cfg.ground_truth = &stream;
-  cfg.tick_every_days = args.tick_every;
-  cfg.warm_start = args.warm;
-  cfg.incremental = args.incremental;
-  cfg.cold_refresh_every_ticks = args.refresh;
-  cfg.tick_deadline_seconds = args.tick_deadline;
-  cfg.checkpoint_dir = args.checkpoint_dir;
-  cfg.checkpoint_every_ticks = args.checkpoint_every;
+  cfg.tick.every_days = args.tick_every;
+  cfg.tick.warm_start = args.warm;
+  cfg.tick.incremental = args.incremental;
+  cfg.tick.cold_refresh_every_ticks = args.refresh;
+  cfg.resilience.tick_deadline_seconds = args.tick_deadline;
+  cfg.checkpoint.dir = args.checkpoint_dir;
+  cfg.checkpoint.every_ticks = args.checkpoint_every;
   prof::PhaseProfiler profiler;
   if (args.profile) cfg.profiler = &profiler;
 
@@ -353,9 +546,8 @@ int main(int argc, char** argv) {
     std::printf("sharded fleet: %d shards (entities hash-partitioned, "
                 "cross-shard clusters stitched per tick)\n",
                 args.shards);
-    serve::ShardedStreamServer server(cfg, args.shards);
-    return RunReplay(server, args, stream, profiler);
   }
-  serve::StreamServer server(cfg);
-  return RunReplay(server, args, stream, profiler);
+  std::unique_ptr<serve::Server> server = serve::MakeServer(cfg, args.shards);
+  if (args.listen_port >= 0) return RunNetworkServe(*server, args);
+  return RunReplay(*server, args, stream, profiler);
 }
