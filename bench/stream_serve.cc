@@ -46,7 +46,8 @@ struct ModeResult {
 ModeResult ReplayStream(const pipeline::TransactionStream& stream,
                         const bench::BenchFlags& flags, bool warm,
                         int64_t refresh_every,
-                        obs::MetricRegistry* metrics = nullptr) {
+                        obs::MetricRegistry* metrics = nullptr,
+                        const serve::TracePolicy* trace = nullptr) {
   serve::ServerConfig cfg;
   cfg.detect.window_days = 30;
   cfg.detect.engine = lp::EngineKind::kGlp;
@@ -58,6 +59,7 @@ ModeResult ReplayStream(const pipeline::TransactionStream& stream,
   cfg.tick.warm_start = warm;
   cfg.tick.cold_refresh_every_ticks = refresh_every;
   cfg.metrics = metrics;
+  if (trace != nullptr) cfg.trace = *trace;
 
   ModeResult out;
   serve::StreamServer server(cfg);
@@ -466,6 +468,37 @@ int main(int argc, char** argv) {
       bench::Duration(scraped_avg_tick).c_str(), overhead_pct,
       static_cast<long long>(scrapes.load()),
       endpoint_up ? ", /metrics endpoint live" : "");
+
+  // Tracing overhead: same methodology as the metrics-overhead mode above —
+  // re-run the warm replay with sampled tracing plus the flight recorder
+  // enabled and compare per-tick wall time against the plain warm run. The
+  // budget is <2%: spans are a handful of clock reads and small string
+  // appends per tick, so sampled tracing must stay in the noise floor.
+  serve::TracePolicy trace_policy;
+  trace_policy.sample_rate = 0.25;
+  trace_policy.recorder_ticks = 64;
+  const ModeResult traced =
+      ReplayStream(stream, flags, /*warm=*/true, /*refresh_every=*/0,
+                   /*metrics=*/nullptr, &trace_policy);
+  const double warm_avg_for_trace =
+      warm_avg_tick;  // same baseline as the metrics comparison
+  const double traced_avg_tick =
+      traced.ticks > 0 ? traced.total_wall / static_cast<double>(traced.ticks)
+                       : 0;
+  const double trace_overhead_pct =
+      warm_avg_for_trace > 0
+          ? 100.0 * (traced_avg_tick / warm_avg_for_trace - 1.0)
+          : 0;
+  constexpr double kTraceOverheadBudgetPct = 2.0;
+  std::printf(
+      "tracing overhead: warm avg tick %s plain vs %s traced "
+      "(%+.2f%%, sample_rate=%.2f recorder_ticks=%lld) — budget <%.0f%%: %s\n",
+      bench::Duration(warm_avg_for_trace).c_str(),
+      bench::Duration(traced_avg_tick).c_str(), trace_overhead_pct,
+      trace_policy.sample_rate,
+      static_cast<long long>(trace_policy.recorder_ticks),
+      kTraceOverheadBudgetPct,
+      trace_overhead_pct < kTraceOverheadBudgetPct ? "PASS" : "FAIL");
   const double sim_speedup = warm.total_simulated > 0
                                  ? cold.total_simulated / warm.total_simulated
                                  : 0;
@@ -674,6 +707,16 @@ int main(int argc, char** argv) {
                    r.total_tick_device, r.total_tick_wall,
                    i + 1 < sharded.size() ? "," : "");
     }
+    std::fprintf(f,
+                 "  },\n  \"tracing_overhead\": {\n"
+                 "    \"sample_rate\": %g, \"recorder_ticks\": %lld,\n"
+                 "    \"plain_avg_tick_seconds\": %g, "
+                 "\"traced_avg_tick_seconds\": %g,\n"
+                 "    \"overhead_pct\": %g, \"budget_pct\": %g\n",
+                 trace_policy.sample_rate,
+                 static_cast<long long>(trace_policy.recorder_ticks),
+                 warm_avg_for_trace, traced_avg_tick, trace_overhead_pct,
+                 kTraceOverheadBudgetPct);
     std::fprintf(f, "  },\n  \"netload\": {\n");
     std::fprintf(
         f,

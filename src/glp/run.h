@@ -25,6 +25,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class MetricRegistry;
+class SpanSink;
 }  // namespace glp::obs
 
 namespace glp::lp {
@@ -75,6 +76,14 @@ struct RunContext {
   /// iteration latency) through a ConvergenceRecorder, and the pipeline
   /// layers on kernel-counter and stage metrics. Null disables everything.
   obs::MetricRegistry* metrics = nullptr;
+  /// Optional span sink (obs/trace.h). When set, the pipeline emits child
+  /// spans (per-engine LP, cluster extraction) parented to
+  /// (trace_id, trace_parent_span) — the serving tick's root span. The
+  /// sink is thread-safe; ids are plain ints so this header stays free of
+  /// the trace types. Null disables span emission.
+  obs::SpanSink* trace_sink = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t trace_parent_span = 0;
 
   bool StopRequested() const {
     return stop_token != nullptr &&

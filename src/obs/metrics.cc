@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -63,6 +64,18 @@ std::string PromNumber(double v) {
   return json::NumberToken(v);
 }
 
+/// OpenMetrics exemplar suffix for a bucket line, empty when the bucket
+/// never saw a sampled observation: ` # {trace_id="<16 hex>"} <value>`.
+std::string ExemplarSuffix(const Histogram& h, int bucket) {
+  uint64_t trace_id = 0;
+  double value = 0;
+  if (!h.bucket_exemplar(bucket, &trace_id, &value)) return "";
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(" # {trace_id=\"") + hex + "\"} " + PromNumber(value);
+}
+
 }  // namespace
 
 // --- Counter ---
@@ -102,20 +115,43 @@ double Histogram::UnpackSum(uint64_t bits) {
   return v;
 }
 
+namespace {
+
+/// The quarter-octave multipliers 2^(s/4), s = 0..3 — shared by BucketOf
+/// and UpperBound so a value equal to a bucket bound always classifies into
+/// the bucket whose UpperBound returns that exact double.
+constexpr double kQuarterOctave[4] = {1.0, 1.189207115002721,
+                                      1.4142135623730951, 1.681792830507429};
+
+}  // namespace
+
 int Histogram::BucketOf(double v) {
   if (!(v > 0)) return 0;
-  // Bucket i spans (2^(i-40), 2^(i-39)]: an exact power of two 2^e sits at
-  // its bucket's upper bound (i = e + 39); anything strictly between powers
-  // rounds up one bucket. ilogb gives floor(log2).
+  // Bucket i spans (2^((i-160)/4), 2^((i-159)/4)]: a value on a bucket
+  // bound sits at that bucket's *upper* end (so 2^e lands in bucket
+  // 4e+159, like the old log2 grid's e+39). ilogb gives the octave; the
+  // mantissa in [1, 2) picks the quarter-octave.
   const int e = std::ilogb(v);
-  const bool exact_pow2 = std::exp2(e) == v;
-  const int idx = e + 39 + (exact_pow2 ? 0 : 1);
+  const double m = std::scalbn(v, -e);  // v = m * 2^e, m in [1, 2)
+  int sub = 4;
+  for (int s = 0; s < 4; ++s) {
+    if (m <= kQuarterOctave[s]) {
+      sub = s;
+      break;
+    }
+  }
+  const int idx = kSubBuckets * e + 159 + sub;
   return std::clamp(idx, 0, kNumBuckets - 1);
 }
 
 double Histogram::UpperBound(int i) {
   if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
-  return std::exp2(i - 39);
+  // Decompose i - 159 = 4e + s, s in [0, 4): bound = 2^e * 2^(s/4).
+  // ldexp scales by an exact power of two, so bounds at whole octaves are
+  // exact and sub-octave bounds reuse kQuarterOctave bit-for-bit.
+  const int j = i - 159;
+  const int e = j >= 0 ? j / 4 : -((-j + 3) / 4);
+  return std::ldexp(kQuarterOctave[j - 4 * e], e);
 }
 
 uint64_t Histogram::TotalCount() const {
@@ -278,11 +314,12 @@ std::string MetricRegistry::PrometheusText() {
             out += family->name + "_bucket" +
                    LabelBlock(child->labels, "le",
                               PromNumber(Histogram::UpperBound(i))) +
-                   " " + std::to_string(cum) + "\n";
+                   " " + std::to_string(cum) + ExemplarSuffix(h, i) + "\n";
           }
           out += family->name + "_bucket" +
                  LabelBlock(child->labels, "le", "+Inf") + " " +
-                 std::to_string(h.TotalCount()) + "\n";
+                 std::to_string(h.TotalCount()) +
+                 ExemplarSuffix(h, Histogram::kNumBuckets - 1) + "\n";
           out += family->name + "_sum" + labels + " " +
                  PromNumber(h.Sum()) + "\n";
           out += family->name + "_count" + labels + " " +

@@ -9,10 +9,12 @@
 //              writers (ingest thread, detection thread, pool workers)
 //              never contend on one atomic.
 //   Gauge      a double that goes up and down (queue depth, ingest lag).
-//   Histogram  log2-bucketed distribution; p50/p90/p99 come from linear
-//              interpolation inside the hit bucket, so the relative error
-//              is bounded by the bucket ratio (2x worst case, typically
-//              far less).
+//   Histogram  log-bucketed distribution (4 sub-buckets per octave);
+//              p50/p90/p99 come from linear interpolation inside the hit
+//              bucket, so the relative error is bounded by the bucket
+//              ratio (2^(1/4) ≈ 1.19x worst case, typically far less).
+//              Buckets carry OpenMetrics exemplars: the latest sampled
+//              trace id per bucket links a latency spike to its trace.
 //
 // Instrument handles returned by Get* are stable for the registry's
 // lifetime and all mutation paths are lock-free atomics — safe to bump from
@@ -90,16 +92,24 @@ class Gauge {
   std::atomic<uint64_t> bits_{0};  // 0 == +0.0
 };
 
-/// \brief Log2-bucketed histogram.
+/// \brief Log-bucketed histogram, 4 sub-buckets per octave.
 ///
-/// Bucket i spans (2^(i-40), 2^(i-39)]; bucket 0 additionally absorbs
-/// non-positive and denormal-small observations, the last bucket absorbs
-/// everything above 2^23 (~97 days in seconds — nothing we time gets
-/// there). The span 2^-39..2^23 covers sub-nanosecond kernel launches
-/// through multi-day windows with factor-2 resolution.
+/// Bucket i spans (2^((i-160)/4), 2^((i-159)/4)]: bucket bounds step by
+/// 2^(1/4) ≈ 1.19, so quantiles carry at most ~19% relative error instead
+/// of the factor-2 a plain log2 grid gives (the old grid made every
+/// reported tick_p99 an exact power of two). Exact powers of two still sit
+/// at a bucket's *upper* bound (2^e lands in bucket 4e+159). Bucket 0
+/// additionally absorbs non-positive and denormal-small observations; the
+/// last bucket absorbs everything above 2^24. The span 2^-40..2^24 covers
+/// sub-nanosecond kernel launches through multi-day windows.
+///
+/// Each bucket can carry an *exemplar*: the trace id (and value) of the
+/// latest sampled observation that landed there, exposed in OpenMetrics
+/// form on /metrics so a latency spike links to the trace that caused it.
 class Histogram {
  public:
-  static constexpr int kNumBuckets = 64;
+  static constexpr int kSubBuckets = 4;  ///< per octave
+  static constexpr int kNumBuckets = 256;
 
   void Observe(double v) {
     buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
@@ -108,6 +118,26 @@ class Histogram {
     uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
     while (!sum_bits_.compare_exchange_weak(
         cur, PackSum(UnpackSum(cur) + v), std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Observe plus exemplar attachment: remembers (trace_id, v) as the
+  /// bucket's latest exemplar. Called only on sampled paths — plain
+  /// Observe never touches the exemplar slots. A zero trace id records
+  /// nothing extra.
+  void ObserveWithExemplar(double v, uint64_t trace_id) {
+    const int b = BucketOf(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        cur, PackSum(UnpackSum(cur) + v), std::memory_order_relaxed)) {
+    }
+    if (trace_id != 0) {
+      // Two relaxed stores: a torn (id, value) pair across a concurrent
+      // exemplar swap is acceptable — exemplars are debugging breadcrumbs,
+      // both fields still name real observations of this bucket.
+      exemplars_[b].value_bits.store(PackSum(v), std::memory_order_relaxed);
+      exemplars_[b].trace_id.store(trace_id, std::memory_order_relaxed);
     }
   }
 
@@ -120,7 +150,7 @@ class Histogram {
   double Quantile(double q) const;
 
   /// Largest observation's bucket upper bound (0 when empty) — a cheap
-  /// "max" with the same factor-2 error bound as the quantiles.
+  /// "max" with the same ~19% error bound as the quantiles.
   double MaxBound() const;
 
   /// Which bucket `v` lands in (exposed for the exposition writer/tests).
@@ -132,12 +162,27 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Bucket i's latest exemplar; false when it never had one.
+  bool bucket_exemplar(int i, uint64_t* trace_id, double* value) const {
+    const uint64_t id = exemplars_[i].trace_id.load(std::memory_order_relaxed);
+    if (id == 0) return false;
+    *trace_id = id;
+    *value = UnpackSum(exemplars_[i].value_bits.load(std::memory_order_relaxed));
+    return true;
+  }
+
  private:
   static uint64_t PackSum(double v);
   static double UnpackSum(uint64_t bits);
 
+  struct Exemplar {
+    std::atomic<uint64_t> trace_id{0};  ///< 0 = none yet
+    std::atomic<uint64_t> value_bits{0};
+  };
+
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_bits_{0};
+  Exemplar exemplars_[kNumBuckets] = {};
 };
 
 /// \brief Registry of labeled metric families.

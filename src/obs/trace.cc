@@ -1,0 +1,266 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "prof/trace.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace glp::obs {
+
+namespace {
+
+/// Salt separating the sampling hash from the id-generation hash, so the
+/// decision is not a trivial threshold on the id sequence itself.
+constexpr uint64_t kSampleSalt = 0x5bf0'3dd4'ec1c'89c1ull;
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// Parses exactly `n` lowercase/uppercase hex chars; false on anything else.
+bool ParseHex(std::string_view s, uint64_t* out) {
+  uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+double MonotonicSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+uint64_t MixId(uint64_t x) {
+  // SplitMix64 finalizer: full-avalanche, bijective.
+  x += 0x9e37'79b9'7f4a'7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebull;
+  return x ^ (x >> 31);
+}
+
+std::string FormatTraceparent(const SpanContext& ctx) {
+  // version 00, 128-bit trace id (our 64 bits low, zero-padded high),
+  // 64-bit parent span id, flags 01 = sampled.
+  return "00-0000000000000000" + Hex64(ctx.trace_id) + "-" +
+         Hex64(ctx.span_id) + "-" + (ctx.sampled ? "01" : "00");
+}
+
+bool ParseTraceparent(std::string_view value, SpanContext* out) {
+  // 00-<32 hex>-<16 hex>-<2 hex> = 55 chars with fixed dash positions.
+  if (value.size() != 55 || value[2] != '-' || value[35] != '-' ||
+      value[52] != '-') {
+    return false;
+  }
+  uint64_t version = 0, trace_hi = 0, trace_lo = 0, span = 0, flags = 0;
+  if (!ParseHex(value.substr(0, 2), &version) ||
+      !ParseHex(value.substr(3, 16), &trace_hi) ||
+      !ParseHex(value.substr(19, 16), &trace_lo) ||
+      !ParseHex(value.substr(36, 16), &span) ||
+      !ParseHex(value.substr(53, 2), &flags)) {
+    return false;
+  }
+  if (version == 0xff) return false;           // forbidden by the spec
+  if (trace_hi == 0 && trace_lo == 0) return false;  // all-zero id invalid
+  out->trace_id = trace_lo != 0 ? trace_lo : trace_hi;
+  out->span_id = span;
+  out->sampled = (flags & 0x01) != 0;
+  return true;
+}
+
+// --- TraceSampler ---
+
+TraceSampler::TraceSampler(double rate, uint64_t seed)
+    : rate_(std::isnan(rate) ? 0.0 : rate < 0 ? 0.0 : rate > 1 ? 1.0 : rate),
+      seed_(seed) {}
+
+SpanContext TraceSampler::StartTrace() {
+  const uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = MixId(seed_ ^ (n * 0x2545'f491'4f6c'dd1dull));
+  if (id == 0) id = 1;  // 0 is the "no trace" sentinel
+  SpanContext ctx;
+  ctx.trace_id = id;
+  ctx.span_id = 0;
+  ctx.sampled = WouldSample(id, rate_);
+  return ctx;
+}
+
+bool TraceSampler::WouldSample(uint64_t trace_id, double rate) {
+  if (rate >= 1.0) return true;
+  if (!(rate > 0.0)) return false;
+  // Threshold compare on a re-hash of the id: deterministic for any holder
+  // of the id, uniform over ids, monotone in rate.
+  const double scaled = rate * 18446744073709551616.0;  // rate * 2^64
+  const uint64_t threshold =
+      scaled >= 18446744073709551615.0
+          ? ~0ull
+          : static_cast<uint64_t>(scaled);
+  return MixId(trace_id ^ kSampleSalt) < threshold;
+}
+
+// --- SpanSink ---
+
+void SpanSink::Add(Span span) {
+  std::lock_guard<std::mutex> lk(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> SpanSink::Drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Span> out;
+  out.swap(spans_);
+  return out;
+}
+
+size_t SpanSink::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+// --- ScopedSpan ---
+
+ScopedSpan::ScopedSpan(SpanSink* sink, const SpanContext& parent,
+                       std::string name)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  span_.trace_id = parent.trace_id;
+  span_.span_id = sink_->NewSpanId();
+  span_.parent_span_id = parent.span_id;
+  span_.name = std::move(name);
+  span_.start_seconds = MonotonicSeconds();
+  prev_log_trace_ = GetLogTraceId();
+  SetLogTraceId(span_.trace_id);
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+SpanContext ScopedSpan::context() const {
+  SpanContext ctx;
+  ctx.trace_id = span_.trace_id;
+  ctx.span_id = span_.span_id;
+  ctx.sampled = true;
+  return ctx;
+}
+
+void ScopedSpan::AddLabel(std::string key, std::string value) {
+  if (sink_ == nullptr) return;
+  span_.labels.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::End() {
+  if (sink_ == nullptr) return;
+  span_.duration_seconds = MonotonicSeconds() - span_.start_seconds;
+  SetLogTraceId(prev_log_trace_);
+  sink_->Add(std::move(span_));
+  sink_ = nullptr;
+}
+
+// --- FlightRecorder ---
+
+namespace {
+
+void WriteSpan(json::Writer* w, const Span& s) {
+  w->BeginObject();
+  w->Key("trace_id").String(Hex64(s.trace_id));
+  w->Key("span_id").Uint(s.span_id);
+  w->Key("parent_span_id").Uint(s.parent_span_id);
+  w->Key("name").String(s.name);
+  w->Key("start_seconds").Double(s.start_seconds);
+  w->Key("duration_seconds").Double(s.duration_seconds);
+  if (!s.labels.empty()) {
+    w->Key("labels").BeginObject();
+    for (const auto& [k, v] : s.labels) w->Key(k).String(v);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+void WriteTick(json::Writer* w, const TickTrace& t) {
+  w->BeginObject();
+  w->Key("tick").Int(t.tick);
+  w->Key("window_end").Double(t.window_end);
+  w->Key("outcome").String(t.outcome);
+  w->Key("tick_wall_seconds").Double(t.tick_wall_seconds);
+  w->Key("spans").BeginArray();
+  for (const Span& s : t.spans) WriteSpan(w, s);
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Record(TickTrace trace) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TickTrace> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<TickTrace>(ring_.begin(), ring_.end());
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<TickTrace> ticks = Snapshot();
+  json::Writer w;
+  w.BeginObject();
+  w.Key("capacity").Uint(capacity_);
+  w.Key("ticks").BeginArray();
+  for (const TickTrace& t : ticks) WriteTick(&w, t);
+  w.EndArray().EndObject();
+  return w.Take();
+}
+
+std::string FlightRecorder::LastTickJson() const {
+  TickTrace last;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ring_.empty()) return "{}";
+    last = ring_.back();
+  }
+  json::Writer w;
+  WriteTick(&w, last);
+  return w.Take();
+}
+
+void FlightRecorder::ExportChromeTrace(prof::TraceRecorder* out) const {
+  const std::vector<TickTrace> ticks = Snapshot();
+  out->SetProcessName(prof::TraceRecorder::kHostPid, "glp_serve ticks");
+  for (const TickTrace& t : ticks) {
+    // One thread row per tick keeps overlapping ticks' trees apart while
+    // spans inside a tick nest by time containment.
+    const int tid = static_cast<int>(t.tick);
+    out->SetThreadName(prof::TraceRecorder::kHostPid, tid,
+                       "tick " + std::to_string(t.tick) + " (" + t.outcome +
+                           ")");
+    for (const Span& s : t.spans) {
+      out->AddEventWithArgs(prof::TraceRecorder::kHostPid, tid, s.name,
+                            s.start_seconds, s.duration_seconds, s.labels);
+    }
+  }
+}
+
+}  // namespace glp::obs

@@ -1,0 +1,203 @@
+// glp::obs — end-to-end detection-freshness tracing (DESIGN.md §4.12).
+//
+// A span names one timed step of a batch's journey from wire arrival to
+// confirmed-cluster publish: {trace id, span id, parent span, name, labels,
+// wall start/duration}. Trace contexts propagate in W3C `traceparent` form
+// over the wire (client → IngestService), ride the ingest queue alongside
+// their batch, and fan out with shard sub-batches, so one trace id links a
+// POST /v1/ingest to the tick that confirmed its cluster — and to the
+// `trace=<id>` marks on every GLP_LOG line emitted inside a span.
+//
+// Sampling is deterministic head-based: the client decides at trace start
+// from a seeded id generator and a rate threshold, every downstream hop
+// honors the decision bit, and a fixed seed replays the exact same sampled
+// subset. The FlightRecorder keeps the last K complete per-tick span trees
+// in a small mutex-guarded ring — cheap enough to leave on in production,
+// dumpable as JSON (`GET /debug/ticks`), auto-dumped on deadline overruns /
+// abandoned ticks / fatal faults, and exportable to chrome://tracing
+// through prof::TraceRecorder.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace glp::prof {
+class TraceRecorder;
+}
+
+namespace glp::obs {
+
+/// Seconds since a process-wide steady (monotonic) epoch — the one clock
+/// every span start, batch arrival stamp, and freshness measurement shares.
+double MonotonicSeconds();
+
+/// Identity of one span within one trace. trace_id == 0 means "no trace";
+/// `sampled` is the head-based decision every downstream hop honors.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Renders the W3C traceparent header value:
+/// `00-<32 hex trace id>-<16 hex span id>-<01|00>`. Our 64-bit trace ids
+/// occupy the low half of the 128-bit field, zero-padded.
+std::string FormatTraceparent(const SpanContext& ctx);
+
+/// Parses a traceparent value (the low 64 bits of the trace id field are
+/// kept). Returns false — leaving *out untouched — on malformed input or an
+/// all-zero trace id.
+bool ParseTraceparent(std::string_view value, SpanContext* out);
+
+/// SplitMix64 finalizer — the hash behind both id generation and the
+/// sampling decision. Exposed so tests can assert determinism directly.
+uint64_t MixId(uint64_t x);
+
+/// \brief Deterministic head-based sampler and trace-id source.
+///
+/// Trace ids come from a seeded counter pushed through MixId, so a fixed
+/// seed yields a fixed id sequence; the sampling decision is a pure
+/// function of the trace id and the rate (MixId(id ^ salt) under a
+/// rate-scaled threshold), so any holder of the id — or a replay with the
+/// same seed — reaches the same verdict.
+class TraceSampler {
+ public:
+  /// `rate` in [0, 1]: fraction of traces sampled. 1 samples everything,
+  /// 0 nothing (StartTrace still mints ids so freshness stamps flow).
+  TraceSampler(double rate, uint64_t seed);
+
+  /// Mints the root context of a new trace: fresh nonzero trace id (the
+  /// root has span_id 0 — children parent to the id carried on the wire).
+  SpanContext StartTrace();
+
+  /// The deterministic decision for an arbitrary trace id at `rate`.
+  static bool WouldSample(uint64_t trace_id, double rate);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  uint64_t seed_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+/// One complete (ended) span.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 = root of its tick tree
+  std::string name;
+  /// Small (key, value) annotations: engine name, tenant, batch edges.
+  std::vector<std::pair<std::string, std::string>> labels;
+  double start_seconds = 0;     ///< MonotonicSeconds() at start
+  double duration_seconds = 0;
+};
+
+/// \brief Thread-safe collector of the spans of one in-flight tick.
+///
+/// The detection thread owns the tick; per-owner detection workers (sharded
+/// fan-out) and the pipeline push concurrently, so Add takes a mutex — one
+/// uncontended lock per span, spans are per-phase not per-edge, so this
+/// stays far off every hot path. Drain() at tick end hands the batch to the
+/// FlightRecorder.
+class SpanSink {
+ public:
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Add(Span span);
+  std::vector<Span> Drain();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::atomic<uint64_t> next_span_id_{1};
+};
+
+/// \brief RAII span: starts timing at construction, records into the sink
+/// at End()/destruction. A default-constructed (or null-sink) ScopedSpan is
+/// inert — callers write one code path and pass nullptr when tracing is
+/// off. While active, the thread's GLP_LOG lines carry `trace=<id>`.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  /// `parent.trace_id` stamps the span; `parent.span_id` becomes its
+  /// parent link. A null `sink` disables the span entirely.
+  ScopedSpan(SpanSink* sink, const SpanContext& parent, std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+  /// This span's context — the parent for child spans.
+  SpanContext context() const;
+  void AddLabel(std::string key, std::string value);
+  /// Stops the clock and records the span now (destruction is a no-op
+  /// afterwards). Idempotent.
+  void End();
+
+ private:
+  SpanSink* sink_ = nullptr;
+  Span span_;
+  uint64_t prev_log_trace_ = 0;
+};
+
+/// One tick's complete span tree plus its verdict.
+struct TickTrace {
+  int64_t tick = 0;
+  double window_end = 0;
+  /// "ok", "abandoned", "fatal", "cancelled" — plus "+deadline_overrun"
+  /// when the tick blew its budget.
+  std::string outcome;
+  double tick_wall_seconds = 0;
+  std::vector<Span> spans;
+};
+
+/// \brief Ring buffer of the last K complete per-tick span trees.
+///
+/// Lock-cheap: Record moves one TickTrace under a mutex held for a push
+/// and a possible pop — no allocation proportional to history. Readers
+/// (the /debug/ticks route, the chrome exporter) snapshot under the same
+/// mutex; scrapes never block the detection thread beyond that push.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity);
+
+  void Record(TickTrace trace);
+  std::vector<TickTrace> Snapshot() const;
+
+  /// All retained ticks as one JSON object (the /debug/ticks payload):
+  /// {"capacity":K,"ticks":[{tick,window_end,outcome,tick_wall_seconds,
+  /// spans:[{trace_id (hex),span_id,parent_span_id,name,start_seconds,
+  /// duration_seconds,labels}]}]}.
+  std::string ToJson() const;
+
+  /// The newest tick alone — the compact auto-dump payload logged on
+  /// deadline overruns, abandoned ticks, and fatal faults. "{}" when empty.
+  std::string LastTickJson() const;
+
+  /// Replays every retained span into a chrome://tracing recorder (host
+  /// pid, one thread row per tick), for `glp_serve --trace-out`.
+  void ExportChromeTrace(prof::TraceRecorder* out) const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<TickTrace> ring_;
+};
+
+}  // namespace glp::obs

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "obs/kernel_export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
@@ -75,12 +77,22 @@ Result<PipelineResult> DetectOnSnapshot(
     }
   }
 
+  // The caller's tick trace (serve layer): stage spans parent to the
+  // tick's detect span so the wire-to-publish tree crosses this boundary.
+  const obs::SpanContext trace_parent{ctx.trace_id, ctx.trace_parent_span,
+                                      ctx.trace_id != 0};
+
   // --- Stage 2: LP clustering ---
   GLP_FAILPOINT("pipeline.lp_dispatch");
   GLP_FAILPOINT(EngineFailpointName(config.engine));
   auto engine = lp::MakeEngine(config.engine, config.variant,
                                config.variant_params, config.glp_options,
                                ctx.pool);
+  obs::ScopedSpan lp_span(ctx.trace_sink, trace_parent, "pipeline.lp");
+  if (lp_span.active()) {
+    lp_span.AddLabel("engine", engine->name());
+    if (incremental) lp_span.AddLabel("incremental", "1");
+  }
   glp::Timer lp_timer;
   const double lp_host_start = profiler != nullptr ? profiler->HostNow() : 0;
   lp::RunResult lp_run;
@@ -148,6 +160,10 @@ Result<PipelineResult> DetectOnSnapshot(
     }
   }
   out.lp_wall_seconds = lp_timer.Seconds();
+  if (lp_span.active()) {
+    lp_span.AddLabel("iterations", std::to_string(lp_run.iterations));
+  }
+  lp_span.End();
   if (profiler != nullptr) {
     profiler->RecordHostEvent("lp-clustering", lp_host_start,
                               out.lp_wall_seconds);
@@ -169,6 +185,8 @@ Result<PipelineResult> DetectOnSnapshot(
 
   // --- Stage 3: suspicious-cluster extraction + downstream scoring ---
   GLP_FAILPOINT("pipeline.extract");
+  obs::ScopedSpan extract_span(ctx.trace_sink, trace_parent,
+                               "pipeline.extract");
   glp::Timer extract_timer;
   const double extract_host_start =
       profiler != nullptr ? profiler->HostNow() : 0;
@@ -323,6 +341,10 @@ Result<PipelineResult> DetectOnSnapshot(
   }
 
   out.extract_seconds = extract_timer.Seconds();
+  if (extract_span.active()) {
+    extract_span.AddLabel("clusters", std::to_string(out.clusters.size()));
+  }
+  extract_span.End();
   if (profiler != nullptr) {
     profiler->RecordHostEvent("cluster-extract", extract_host_start,
                               out.extract_seconds);

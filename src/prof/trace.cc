@@ -16,7 +16,13 @@ void TraceRecorder::SetThreadName(int pid, int tid, const std::string& name) {
 
 void TraceRecorder::AddEvent(int pid, int tid, const std::string& name,
                              double start_s, double dur_s) {
-  events_.push_back({pid, tid, name, start_s * 1e6, dur_s * 1e6});
+  events_.push_back({pid, tid, name, start_s * 1e6, dur_s * 1e6, {}});
+}
+
+void TraceRecorder::AddEventWithArgs(int pid, int tid, const std::string& name,
+                                     double start_s, double dur_s, Args args) {
+  events_.push_back(
+      {pid, tid, name, start_s * 1e6, dur_s * 1e6, std::move(args)});
 }
 
 std::string TraceRecorder::ToJson() const {
@@ -41,6 +47,11 @@ std::string TraceRecorder::ToJson() const {
     // sort on ts and shortest-round-trip exponents confuse some of them.
     w.Key("ts").DoubleFixed(e.ts_us, 3);
     w.Key("dur").DoubleFixed(e.dur_us, 3);
+    if (!e.args.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [key, value] : e.args) w.Key(key).String(value);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -29,9 +30,17 @@ class TraceRecorder {
   /// Names a thread (track) row in the viewer.
   void SetThreadName(int pid, int tid, const std::string& name);
 
+  /// Small (key, value) annotations shown in the viewer's "args" pane.
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
   /// Adds a complete event spanning [start_s, start_s + dur_s).
   void AddEvent(int pid, int tid, const std::string& name, double start_s,
                 double dur_s);
+
+  /// AddEvent with viewer-visible annotations (span labels: engine name,
+  /// tenant, batch edges, ...).
+  void AddEventWithArgs(int pid, int tid, const std::string& name,
+                        double start_s, double dur_s, Args args);
 
   /// Attaches a JSON object string dumped under the "glpCounters" key.
   void SetCounters(std::string counters_json) {
@@ -53,6 +62,7 @@ class TraceRecorder {
     std::string name;
     double ts_us;
     double dur_us;
+    Args args;
   };
   struct TrackName {
     int pid;

@@ -91,6 +91,27 @@ struct ResiliencePolicy {
   graph::VertexId entity_id_limit = 0;
 };
 
+/// End-to-end tracing and the flight recorder (DESIGN.md §4.12). Tracing
+/// is strictly observational: enabling it never changes confirmed-cluster
+/// output (asserted in tests/trace_test.cc).
+struct TracePolicy {
+  /// Head-based sampling rate in [0, 1] for server-minted tick traces and
+  /// exemplar attachment. Batches arriving with a sampled `traceparent`
+  /// are honored regardless (the client made the head decision).
+  double sample_rate = 0;
+  /// Seed of the deterministic sampler — a fixed seed replays the same
+  /// sampled subset (tests lean on this).
+  uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+  /// Flight-recorder capacity: complete per-tick span trees retained for
+  /// GET /debug/ticks and chrome://tracing export. 0 disables span
+  /// collection entirely (spans are not even assembled).
+  int64_t recorder_ticks = 0;
+
+  /// Spans are assembled only when there is a recorder to keep them.
+  bool collect_spans() const { return recorder_ticks > 0; }
+  bool enabled() const { return sample_rate > 0 || recorder_ticks > 0; }
+};
+
 /// Crash-consistent periodic snapshots (serve/checkpoint.h).
 struct CheckpointPolicy {
   /// Directory snapshots land in; empty disables checkpointing.
@@ -118,6 +139,7 @@ struct ServerConfig {
 
   TickPolicy tick;
   ResiliencePolicy resilience;
+  TracePolicy trace;
   CheckpointPolicy checkpoint;
 
   /// Ingest-queue bound: Ingest() blocks while this many batches are

@@ -52,12 +52,15 @@ Status HttpClient::Connect(int port) {
 Result<HttpClient::Response> HttpClient::RequestOnce(
     const std::string& method, const std::string& path,
     const std::string& content_type, const std::string& body,
-    const std::string& token) {
+    const std::string& token, const Headers& extra_headers) {
   if (fd_ < 0) return Status::IoError("client not connected");
 
   std::string req = method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n";
   if (!token.empty()) req += "Authorization: Bearer " + token + "\r\n";
   if (!content_type.empty()) req += "Content-Type: " + content_type + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    req += name + ": " + value + "\r\n";
+  }
   req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   req += body;
   if (!obs::SendAll(fd_, req.data(), req.size())) {
@@ -127,37 +130,44 @@ Result<HttpClient::Response> HttpClient::RequestOnce(
 Result<HttpClient::Response> HttpClient::Request(
     const std::string& method, const std::string& path,
     const std::string& content_type, const std::string& body,
-    const std::string& token) {
+    const std::string& token, const Headers& extra_headers) {
   if (fd_ < 0 && port_ != 0) {
     GLP_RETURN_NOT_OK(Connect(port_));
   }
-  Result<Response> r = RequestOnce(method, path, content_type, body, token);
+  Result<Response> r =
+      RequestOnce(method, path, content_type, body, token, extra_headers);
   if (!r.ok() && port_ != 0) {
     // The server may have dropped an idle keep-alive connection between
     // requests; reconnect once and retry.
     GLP_RETURN_NOT_OK(Connect(port_));
-    return RequestOnce(method, path, content_type, body, token);
+    return RequestOnce(method, path, content_type, body, token,
+                       extra_headers);
   }
   return r;
 }
 
 Result<HttpClient::Response> HttpClient::PostBatch(
-    const std::vector<graph::TimedEdge>& batch, const std::string& token) {
+    const std::vector<graph::TimedEdge>& batch, const std::string& token,
+    const obs::SpanContext& trace) {
+  Headers headers;
+  if (trace.valid()) {
+    headers.emplace_back("traceparent", obs::FormatTraceparent(trace));
+  }
   return Request("POST", "/v1/ingest", kBinaryContentType,
-                 EncodeBinaryBatch(batch), token);
+                 EncodeBinaryBatch(batch), token, headers);
 }
 
 Result<HttpClient::Response> HttpClient::PostBatchWithRetry(
     const std::vector<graph::TimedEdge>& batch, const std::string& token,
-    int max_retries, double max_wait_seconds) {
-  Result<Response> r = PostBatch(batch, token);
+    int max_retries, double max_wait_seconds, const obs::SpanContext& trace) {
+  Result<Response> r = PostBatch(batch, token, trace);
   for (int attempt = 0; attempt < max_retries; ++attempt) {
     if (!r.ok() || r.value().status != 429) return r;
     const double wait =
         std::min(r.value().retry_after > 0 ? r.value().retry_after : 0.01,
                  max_wait_seconds);
     std::this_thread::sleep_for(std::chrono::duration<double>(wait));
-    r = PostBatch(batch, token);
+    r = PostBatch(batch, token, trace);
   }
   return r;
 }

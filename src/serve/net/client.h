@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/sliding_window.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace glp::serve::net {
@@ -36,34 +38,43 @@ class HttpClient {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  using Headers = std::vector<std::pair<std::string, std::string>>;
+
   /// One request/response over the persistent connection. Reconnects once
-  /// if the server closed the connection between requests.
+  /// if the server closed the connection between requests. `extra_headers`
+  /// are emitted verbatim after the standard ones (traceparent et al.).
   Result<Response> Request(const std::string& method, const std::string& path,
                            const std::string& content_type,
                            const std::string& body,
-                           const std::string& token = "");
+                           const std::string& token = "",
+                           const Headers& extra_headers = {});
 
   Result<Response> Get(const std::string& path) {
     return Request("GET", path, "", "", "");
   }
 
-  /// POSTs one batch in binary wire format.
+  /// POSTs one batch in binary wire format. A valid `trace` context is
+  /// stamped as a W3C traceparent header, linking this batch's journey —
+  /// queue wait, window append, freshness — to the caller's trace.
   Result<Response> PostBatch(const std::vector<graph::TimedEdge>& batch,
-                             const std::string& token);
+                             const std::string& token,
+                             const obs::SpanContext& trace = {});
 
   /// PostBatch with bounded retry on 429, honoring Retry-After (capped per
   /// attempt by `max_wait_seconds` so tests stay fast). Any other status
   /// returns immediately.
   Result<Response> PostBatchWithRetry(
       const std::vector<graph::TimedEdge>& batch, const std::string& token,
-      int max_retries = 50, double max_wait_seconds = 0.2);
+      int max_retries = 50, double max_wait_seconds = 0.2,
+      const obs::SpanContext& trace = {});
 
  private:
   Result<Response> RequestOnce(const std::string& method,
                                const std::string& path,
                                const std::string& content_type,
                                const std::string& body,
-                               const std::string& token);
+                               const std::string& token,
+                               const Headers& extra_headers);
 
   int fd_ = -1;
   int port_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/net/wire.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -71,6 +72,15 @@ IngestService::IngestService(Server* server,
               [this](const obs::HttpRequest& r) { return HandleStats(r); });
   http_.Route("GET", "/healthz",
               [this](const obs::HttpRequest& r) { return HandleHealthz(r); });
+  http_.Route("GET", "/debug/ticks", [this](const obs::HttpRequest&) {
+    // The flight recorder's retained per-tick span trees; "{}" when the
+    // recorder is disabled (trace.recorder_ticks == 0).
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    const obs::FlightRecorder* rec = server_->flight_recorder();
+    r.body = rec != nullptr ? rec->ToJson() : "{}\n";
+    return r;
+  });
   obs::RegisterMetricsRoutes(&http_, server_->metrics());
 }
 
@@ -155,7 +165,14 @@ obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
 
   // 5. Hand to the server — non-blocking, so backpressure surfaces as a
   //    shed (429) instead of pinning this connection thread on the queue.
-  switch (server_->TryIngest(std::move(batch))) {
+  //    The client's traceparent (when present) continues into the batch's
+  //    IngestContext, and the wire-arrival stamp anchors the per-tenant
+  //    freshness measurement (arrival -> confirmed-cluster publish).
+  IngestContext ictx;
+  obs::ParseTraceparent(req.header("traceparent"), &ictx.trace);
+  ictx.arrival_seconds = obs::MonotonicSeconds();
+  ictx.tenant = tenants_.policy(tenant).name;
+  switch (server_->TryIngest(std::move(batch), std::move(ictx))) {
     case Server::Admit::kAccepted: {
       double lag_days = 0;
       {

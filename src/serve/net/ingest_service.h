@@ -16,7 +16,13 @@
 //                       200 {"accepted":N}
 //   GET  /v1/stats    ServerStats JSON
 //   GET  /healthz     "ok" while running, 503 once degraded/dead
+//   GET  /debug/ticks flight-recorder span trees ("{}" when disabled)
 //   GET  /metrics,/statz  the usual registry routes, co-hosted
+//
+// A `traceparent` header on POST /v1/ingest continues the client's trace
+// into the batch's IngestContext (DESIGN.md §4.12); every accepted batch is
+// stamped with its wire-arrival time so the per-tenant freshness SLO
+// (glp_serve_freshness_seconds) measures arrival -> confirmed publish.
 //
 // The connection thread never blocks on the ingest queue: admission uses
 // TryIngest, so shed pressure surfaces as 429 within one request's

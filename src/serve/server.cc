@@ -75,7 +75,12 @@ std::string ServerStats::ToJson() const {
 StreamServer::StreamServer(ServerConfig config)
     : config_(std::move(config)),
       cursor_(&window_, config_.detect.window_days,
-              config_.detect.collapse_window_graphs) {
+              config_.detect.collapse_window_graphs),
+      sampler_(config_.trace.sample_rate, config_.trace.sample_seed) {
+  if (config_.trace.recorder_ticks > 0) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        static_cast<size_t>(config_.trace.recorder_ticks));
+  }
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -309,7 +314,8 @@ bool StreamServer::ValidBatch(
   return true;
 }
 
-bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
+bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch,
+                          IngestContext ctx) {
   if (!ValidBatch(batch)) {
     ins_.batches_rejected_invalid->Increment();
     return false;
@@ -336,14 +342,16 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch) {
   }
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch.size());
-  queue_.push_back(std::move(batch));
+  queue_.push_back(QueuedBatch{std::move(batch), std::move(ctx),
+                               obs::MonotonicSeconds()});
   ins_.queue_depth->Set(static_cast<double>(queue_.size()));
   ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
   return true;
 }
 
-Server::Admit StreamServer::TryIngest(std::vector<graph::TimedEdge> batch) {
+Server::Admit StreamServer::TryIngest(std::vector<graph::TimedEdge> batch,
+                                      IngestContext ctx) {
   if (!ValidBatch(batch)) {
     ins_.batches_rejected_invalid->Increment();
     return Admit::kRejected;
@@ -361,7 +369,8 @@ Server::Admit StreamServer::TryIngest(std::vector<graph::TimedEdge> batch) {
   }
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch.size());
-  queue_.push_back(std::move(batch));
+  queue_.push_back(QueuedBatch{std::move(batch), std::move(ctx),
+                               obs::MonotonicSeconds()});
   ins_.queue_depth->Set(static_cast<double>(queue_.size()));
   ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
@@ -472,7 +481,7 @@ bool StreamServer::Backoff(int attempt) {
 
 void StreamServer::DetectLoop() {
   for (;;) {
-    std::vector<graph::TimedEdge> batch;
+    QueuedBatch qb;
     {
       std::unique_lock<std::mutex> lk(mu_);
       queue_cv_.wait(lk, [&] {
@@ -491,16 +500,24 @@ void StreamServer::DetectLoop() {
         checkpoint_done_cv_.notify_all();
         continue;
       }
-      batch = std::move(queue_.front());
+      qb = std::move(queue_.front());
       queue_.pop_front();
       ins_.queue_depth->Set(static_cast<double>(queue_.size()));
       busy_ = true;
       not_full_cv_.notify_all();
     }
+    NoteBatchDequeued(qb, obs::MonotonicSeconds());
+    std::vector<graph::TimedEdge> batch = std::move(qb.edges);
     bool keep_running = true;
     // Window append, under the serve.window_append failpoint. The batch is
     // still in hand on an injected failure, so transient faults retry
     // exactly; only exhausted retries drop it (counted, recorded).
+    obs::ScopedSpan append_span(
+        config_.trace.collect_spans() ? &span_sink_ : nullptr, qb.ctx.trace,
+        "serve.window_append");
+    if (append_span.active()) {
+      append_span.AddLabel("edges", std::to_string(batch.size()));
+    }
     Status append_status;
     for (int attempt = 0;; ++attempt) {
       append_status = fail::Inject("serve.window_append");
@@ -518,6 +535,7 @@ void StreamServer::DetectLoop() {
         break;
       }
     }
+    append_span.End();
     if (!append_status.ok()) {
       if (append_status.IsCancelled()) {
         // Shutting down; the loop exits via stopping_ above.
@@ -782,20 +800,43 @@ pipeline::DetectDelta StreamServer::BuildDetectDelta(
 
 StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   glp::Timer tick_timer;
+  const double tick_start_mono = obs::MonotonicSeconds();
   const double host_start =
       config_.profiler != nullptr ? config_.profiler->HostNow() : 0;
+
+  // Mint this tick's trace: a fresh deterministic id (seeded sampler), the
+  // head-based sampling verdict, and — when span collection is on — the
+  // root span every child of this tick parents to. Sampled ticks mark
+  // their log lines with trace=<id> for the tick's duration.
+  const bool collect = config_.trace.collect_spans();
+  if (config_.trace.enabled()) {
+    tick_trace_ = sampler_.StartTrace();
+  } else {
+    tick_trace_ = obs::SpanContext{};
+  }
+  tick_root_span_ = collect ? span_sink_.NewSpanId() : 0;
+  const obs::SpanContext root_ctx{tick_trace_.trace_id, tick_root_span_,
+                                  tick_trace_.sampled};
+  struct LogTraceScope {
+    uint64_t prev = glp::GetLogTraceId();
+    ~LogTraceScope() { glp::SetLogTraceId(prev); }
+  } log_trace_scope;
+  if (tick_trace_.sampled) glp::SetLogTraceId(tick_trace_.trace_id);
 
   TickResult tr;
   tr.tick = num_ticks_;
   tr.window_end = end_time;
   tr.window_start = end_time - config_.detect.window_days;
 
+  obs::ScopedSpan advance_span(collect ? &span_sink_ : nullptr, root_ctx,
+                               "serve.window_advance");
   glp::Timer build_timer;
   graph::WindowDelta delta;
   const graph::WindowSnapshot& snap = config_.tick.incremental
                                           ? cursor_.AdvanceTo(end_time, &delta)
                                           : cursor_.AdvanceTo(end_time);
   const double build_seconds = build_timer.Seconds();
+  advance_span.End();
 
   // Degradation ladder steps 1–2: a previous-tick deadline overrun caps LP
   // iterations and postpones a due cold refresh until pressure clears.
@@ -830,6 +871,8 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
   // from-scratch rebuild with everything dirty: slower, never wrong.
   bool delta_applied = false;
   if (config_.tick.incremental) {
+    obs::ScopedSpan uf_span(collect ? &span_sink_ : nullptr, root_ctx,
+                            "serve.union_find");
     const bool force_rebuild =
         !fail::Inject("serve.incremental_rebuild").ok();
     if (delta.exact && !force_rebuild) {
@@ -841,6 +884,9 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
     }
     ins_.dirty_components->Set(
         static_cast<double>(inc_tracker_.NumDirtyComponents()));
+    if (uf_span.active()) {
+      uf_span.AddLabel("mode", delta_applied ? "delta" : "rebuild");
+    }
   }
   // The delta path additionally needs trustworthy carried-over state: not
   // right after an abandoned/degraded/empty tick, and not on a degraded
@@ -880,11 +926,22 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
         ins_.engine_fallbacks->Increment();
       }
 
+      obs::ScopedSpan attempt_span(collect ? &span_sink_ : nullptr, root_ctx,
+                                   "serve.detect");
+      if (attempt_span.active()) {
+        attempt_span.AddLabel("attempt", std::to_string(attempt));
+        attempt_span.AddLabel("warm", warm ? "1" : "0");
+      }
+
       lp::RunContext ctx;
       ctx.profiler = config_.profiler;
       ctx.pool = config_.pool;
       ctx.stop_token = &stop_token_;
       ctx.metrics = registry_;
+      ctx.trace_sink = collect ? &span_sink_ : nullptr;
+      ctx.trace_id = tick_trace_.trace_id;
+      ctx.trace_parent_span =
+          attempt_span.active() ? attempt_span.context().span_id : 0;
 
       Status st = fail::Inject("serve.tick");
       if (st.ok()) {
@@ -906,17 +963,31 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
         }
         st = result.status();
       }
-      if (st.IsCancelled()) return TickOutcome::kCancelled;
+      if (attempt_span.active()) {
+        attempt_span.AddLabel("error", st.ToString());
+        attempt_span.End();
+      }
+      if (st.IsCancelled()) {
+        FinishTickTrace(tr.tick, end_time, "cancelled", tick_start_mono,
+                        tick_timer.Seconds(), /*dump=*/false);
+        return TickOutcome::kCancelled;
+      }
       if (!IsTransient(st)) {
         RecordError(st);
         GLP_LOG(Error) << "fatal detection fault at window end " << end_time
                        << ": " << st.ToString();
+        FinishTickTrace(tr.tick, end_time, "fatal", tick_start_mono,
+                        tick_timer.Seconds(), /*dump=*/true);
         return TickOutcome::kFatal;
       }
       failure = st;
       if (attempt + 1 < max_attempts) {
         ins_.tick_retries->Increment();
-        if (!Backoff(attempt)) return TickOutcome::kCancelled;
+        if (!Backoff(attempt)) {
+          FinishTickTrace(tr.tick, end_time, "cancelled", tick_start_mono,
+                          tick_timer.Seconds(), /*dump=*/false);
+          return TickOutcome::kCancelled;
+        }
       }
     }
     if (!ran) {
@@ -931,6 +1002,8 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
       GLP_LOG(Warning) << "tick at window end " << end_time
                        << " abandoned after " << max_attempts
                        << " attempts: " << failure.ToString();
+      FinishTickTrace(tr.tick, end_time, "abandoned", tick_start_mono,
+                      tick_timer.Seconds(), /*dump=*/true);
       return TickOutcome::kAbandoned;
     }
     tr.detection.build_seconds = build_seconds;
@@ -980,6 +1053,8 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
 
   // Diff confirmed clusters against the previous tick (clusters keyed by
   // their sorted global member lists).
+  obs::ScopedSpan diff_span(collect ? &span_sink_ : nullptr, root_ctx,
+                            "serve.diff_confirmed");
   std::set<std::vector<VertexId>> confirmed_now;
   for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
     if (c.confirmed) confirmed_now.insert(c.members);
@@ -995,19 +1070,28 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
     }
   }
   prev_confirmed_ = std::move(confirmed_now);
+  if (diff_span.active()) {
+    diff_span.AddLabel("new_confirmed",
+                       std::to_string(tr.new_confirmed.size()));
+  }
+  diff_span.End();
 
   tr.tick_wall_seconds = tick_timer.Seconds();
   last_tick_wall_seconds_ = tr.tick_wall_seconds;
-  if (config_.resilience.tick_deadline_seconds > 0 &&
-      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds) {
-    ins_.deadline_overruns->Increment();
-  }
+  const bool overrun =
+      config_.resilience.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds;
+  if (overrun) ins_.deadline_overruns->Increment();
   {
     std::lock_guard<std::mutex> lk(mu_);
     tr.ingest_lag_days = ingested_max_time_ - end_time;
   }
   ins_.ingest_lag_days->Set(tr.ingest_lag_days);
-  ins_.tick_seconds->Observe(tr.tick_wall_seconds);
+  // Sampled ticks attach their trace id as the latency bucket's exemplar —
+  // a tick_seconds spike on /metrics links straight to its span tree.
+  ins_.tick_seconds->ObserveWithExemplar(
+      tr.tick_wall_seconds, tick_trace_.sampled ? tick_trace_.trace_id : 0);
+  ObserveFreshness(tr);
   if (tr.warm) {
     ins_.warm_ticks->Increment();
     ins_.warm_iterations->Increment(
@@ -1022,8 +1106,130 @@ StreamServer::TickOutcome StreamServer::RunTick(double end_time) {
                                       host_start, tr.tick_wall_seconds);
   }
   ++num_ticks_;
-  for (const Subscriber& s : subscribers_) s(tr);
+  {
+    obs::ScopedSpan publish_span(collect ? &span_sink_ : nullptr, root_ctx,
+                                 "serve.publish");
+    for (const Subscriber& s : subscribers_) s(tr);
+  }
+  FinishTickTrace(tr.tick, end_time, overrun ? "ok+deadline_overrun" : "ok",
+                  tick_start_mono, tr.tick_wall_seconds, /*dump=*/overrun);
   return TickOutcome::kOk;
+}
+
+void StreamServer::NoteBatchDequeued(const QueuedBatch& qb,
+                                     double pop_seconds) {
+  if (config_.trace.collect_spans()) {
+    // The queue-wait span carries the *client's* trace context (when the
+    // batch arrived with one) — in the tick's tree it is the visible splice
+    // between the wire trace and the server-minted tick trace.
+    obs::Span s;
+    s.trace_id = qb.ctx.trace.trace_id;
+    s.span_id = span_sink_.NewSpanId();
+    s.parent_span_id = qb.ctx.trace.span_id;
+    s.name = "serve.queue_wait";
+    s.start_seconds = qb.enqueue_seconds;
+    s.duration_seconds = std::max(0.0, pop_seconds - qb.enqueue_seconds);
+    if (!qb.ctx.tenant.empty()) s.labels.emplace_back("tenant", qb.ctx.tenant);
+    s.labels.emplace_back("edges", std::to_string(qb.edges.size()));
+    span_sink_.Add(std::move(s));
+  }
+  if (qb.ctx.arrival_seconds >= 0 && !qb.edges.empty()) {
+    FreshnessMeta meta;
+    meta.tenant = qb.ctx.tenant.empty() ? "default" : qb.ctx.tenant;
+    meta.arrival_seconds = qb.ctx.arrival_seconds;
+    // Exemplars only link sampled traces; the measurement itself is
+    // recorded for every stamped batch.
+    meta.trace_id = qb.ctx.trace.sampled ? qb.ctx.trace.trace_id : 0;
+    meta.entities.reserve(qb.edges.size() * 2);
+    for (const graph::TimedEdge& e : qb.edges) {
+      meta.entities.push_back(e.src);
+      meta.entities.push_back(e.dst);
+    }
+    std::sort(meta.entities.begin(), meta.entities.end());
+    meta.entities.erase(
+        std::unique(meta.entities.begin(), meta.entities.end()),
+        meta.entities.end());
+    if (pending_freshness_.size() >= kMaxPendingFreshness) {
+      pending_freshness_.erase(pending_freshness_.begin());
+    }
+    pending_freshness_.push_back(std::move(meta));
+  }
+}
+
+obs::Histogram* StreamServer::FreshnessHistogram(const std::string& tenant) {
+  auto it = freshness_hist_.find(tenant);
+  if (it != freshness_hist_.end()) return it->second;
+  obs::Histogram* h = registry_->GetHistogram(
+      "glp_serve_freshness_seconds",
+      "Wire arrival to confirmed-cluster publish, per tenant",
+      {{"tenant", tenant}});
+  freshness_hist_.emplace(tenant, h);
+  return h;
+}
+
+void StreamServer::ObserveFreshness(const TickResult& tr) {
+  if (pending_freshness_.empty() || tr.new_confirmed.empty()) return;
+  std::vector<VertexId> confirmed;
+  for (const auto& members : tr.new_confirmed) {
+    confirmed.insert(confirmed.end(), members.begin(), members.end());
+  }
+  std::sort(confirmed.begin(), confirmed.end());
+  const double now = obs::MonotonicSeconds();
+  size_t kept = 0;
+  for (FreshnessMeta& m : pending_freshness_) {
+    // Sorted-merge intersection test: does any of the batch's endpoints
+    // sit in a cluster confirmed this tick?
+    bool hit = false;
+    for (size_t i = 0, j = 0;
+         i < m.entities.size() && j < confirmed.size();) {
+      if (m.entities[i] < confirmed[j]) {
+        ++i;
+      } else if (confirmed[j] < m.entities[i]) {
+        ++j;
+      } else {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      FreshnessHistogram(m.tenant)->ObserveWithExemplar(
+          std::max(0.0, now - m.arrival_seconds), m.trace_id);
+    } else {
+      pending_freshness_[kept++] = std::move(m);
+    }
+  }
+  pending_freshness_.resize(kept);
+}
+
+void StreamServer::FinishTickTrace(int64_t tick, double end_time,
+                                   const char* outcome, double start_seconds,
+                                   double wall_seconds, bool dump) {
+  if (!config_.trace.collect_spans() || recorder_ == nullptr) {
+    tick_trace_ = obs::SpanContext{};
+    tick_root_span_ = 0;
+    return;
+  }
+  obs::TickTrace t;
+  t.tick = tick;
+  t.window_end = end_time;
+  t.outcome = outcome;
+  t.tick_wall_seconds = wall_seconds;
+  t.spans = span_sink_.Drain();
+  obs::Span root;
+  root.trace_id = tick_trace_.trace_id;
+  root.span_id = tick_root_span_;
+  root.name = "serve.tick";
+  root.start_seconds = start_seconds;
+  root.duration_seconds = wall_seconds;
+  t.spans.insert(t.spans.begin(), std::move(root));
+  recorder_->Record(std::move(t));
+  if (dump) {
+    GLP_LOG(Warning) << "tick " << tick << " " << outcome
+                     << "; flight-recorder dump: "
+                     << recorder_->LastTickJson();
+  }
+  tick_trace_ = obs::SpanContext{};
+  tick_root_span_ = 0;
 }
 
 }  // namespace glp::serve

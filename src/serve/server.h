@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -33,6 +34,7 @@
 
 #include "graph/sliding_window.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 #include "prof/prof.h"
 #include "serve/config.h"
@@ -72,14 +74,19 @@ class StreamServer : public Server {
   /// Launches the detection thread.
   Status Start() override;
 
+  using Server::Ingest;
+  using Server::TryIngest;
+
   /// Enqueues a batch. Blocks while the queue is at max_queue_batches
   /// (backpressure). Returns false if the server is stopped (batch
-  /// dropped).
-  bool Ingest(std::vector<graph::TimedEdge> batch) override;
+  /// dropped). `ctx` (trace context, arrival stamp, tenant) rides the
+  /// queue with the batch.
+  bool Ingest(std::vector<graph::TimedEdge> batch, IngestContext ctx) override;
 
   /// Non-blocking Ingest: sheds (kQueueFull) instead of waiting on a full
   /// queue. See Server::TryIngest.
-  Admit TryIngest(std::vector<graph::TimedEdge> batch) override;
+  Admit TryIngest(std::vector<graph::TimedEdge> batch,
+                  IngestContext ctx) override;
 
   /// Blocks until every ingested batch has been processed and all due
   /// ticks have run.
@@ -111,9 +118,31 @@ class StreamServer : public Server {
 
   int num_shards() const override { return 1; }
 
+  const obs::FlightRecorder* flight_recorder() const override {
+    return recorder_.get();
+  }
+
  private:
   /// How one tick boundary resolved.
   enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
+
+  /// One ingest batch riding the bounded queue with its wire context.
+  struct QueuedBatch {
+    std::vector<graph::TimedEdge> edges;
+    IngestContext ctx;
+    /// obs::MonotonicSeconds() at enqueue — the queue-wait span's start.
+    double enqueue_seconds = 0;
+  };
+
+  /// A batch awaiting its freshness measurement: retained from dequeue
+  /// until a tick confirms a cluster touching one of its endpoints (or the
+  /// pending list overflows).
+  struct FreshnessMeta {
+    std::string tenant;
+    double arrival_seconds = 0;
+    uint64_t trace_id = 0;  ///< exemplar link; 0 when unsampled
+    std::vector<graph::VertexId> entities;  ///< sorted unique endpoints
+  };
 
   void DetectLoop();
   /// Returns false when a fatal error must stop the detection loop.
@@ -137,6 +166,19 @@ class StreamServer : public Server {
   /// Builds and writes one snapshot (detection-thread state; callers must
   /// guarantee the detection thread is quiescent or be the thread itself).
   Status DoWriteCheckpoint();
+  /// Emits the batch's queue-wait span and retains its freshness stamp
+  /// (detection thread, right after dequeue).
+  void NoteBatchDequeued(const QueuedBatch& qb, double pop_seconds);
+  /// Resolves freshness for pending batches whose endpoints appear in this
+  /// tick's newly confirmed clusters: observes wire-arrival -> publish into
+  /// the per-tenant freshness histogram (with the batch's trace exemplar).
+  void ObserveFreshness(const TickResult& tr);
+  /// Assembles the tick's span tree (root "serve.tick" + drained children)
+  /// into the flight recorder; optionally auto-dumps the tree to the log
+  /// (deadline overrun / abandoned / fatal).
+  void FinishTickTrace(int64_t tick, double end_time, const char* outcome,
+                       double start_seconds, double wall_seconds, bool dump);
+  obs::Histogram* FreshnessHistogram(const std::string& tenant);
 
   ServerConfig config_;
   std::vector<Subscriber> subscribers_;
@@ -187,7 +229,7 @@ class StreamServer : public Server {
   std::condition_variable queue_cv_;       // signals the detection thread
   std::condition_variable not_full_cv_;    // signals blocked producers
   std::condition_variable drained_cv_;     // signals Flush
-  std::deque<std::vector<graph::TimedEdge>> queue_;
+  std::deque<QueuedBatch> queue_;
   bool started_ = false;
   bool stopping_ = false;
   /// Detection thread died on a fatal error: producers are woken and
@@ -240,6 +282,24 @@ class StreamServer : public Server {
     obs::Counter* incremental_rebuilds;
   };
   Instruments ins_{};
+
+  // Tracing (TracePolicy; DESIGN.md §4.12). The sampler mints tick trace
+  // ids; the sink collects one in-flight tick's spans (thread-safe — the
+  // pipeline pushes from the detection thread, sharded owners from
+  // workers); the recorder keeps the last K finished trees. All strictly
+  // observational: none of these feed back into detection.
+  obs::TraceSampler sampler_;
+  obs::SpanSink span_sink_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  /// Root span id of the in-flight tick (0 outside RunTick).
+  uint64_t tick_root_span_ = 0;
+  /// The in-flight tick's trace context.
+  obs::SpanContext tick_trace_;
+  // Freshness SLO state (detection thread only).
+  std::vector<FreshnessMeta> pending_freshness_;
+  std::map<std::string, obs::Histogram*> freshness_hist_;
+  /// Bound on retained unresolved freshness stamps (oldest dropped first).
+  static constexpr size_t kMaxPendingFreshness = 4096;
 
   std::atomic<bool> stop_token_{false};
   std::thread thread_;

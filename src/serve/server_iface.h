@@ -26,11 +26,25 @@
 #include <vector>
 
 #include "graph/sliding_window.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 #include "serve/config.h"
 #include "util/status.h"
 
 namespace glp::serve {
+
+/// Wire-to-publish context riding alongside one ingest batch (DESIGN.md
+/// §4.12): the client's trace context from `traceparent`, the arrival
+/// stamp the freshness SLO measures from, and the tenant the measurement
+/// is attributed to. A default-constructed IngestContext (in-process
+/// callers) is untraced and unstamped — no freshness is recorded for it.
+struct IngestContext {
+  obs::SpanContext trace;
+  /// obs::MonotonicSeconds() at wire arrival; negative = unstamped.
+  double arrival_seconds = -1;
+  /// Label on glp_serve_freshness_seconds; empty renders as "default".
+  std::string tenant;
+};
 
 /// One detection tick's output, published to subscribers.
 struct TickResult {
@@ -146,13 +160,23 @@ class Server {
 
   /// Enqueues a batch. Blocks while the queue is at max_queue_batches
   /// (backpressure). Returns false if the batch fails validation or the
-  /// server is stopped/dead (batch dropped).
-  virtual bool Ingest(std::vector<graph::TimedEdge> batch) = 0;
+  /// server is stopped/dead (batch dropped). `ctx` carries the batch's
+  /// trace context and arrival stamp through the queue (and across shard
+  /// sub-batch routing) to the tick that consumes it.
+  virtual bool Ingest(std::vector<graph::TimedEdge> batch,
+                      IngestContext ctx) = 0;
+  bool Ingest(std::vector<graph::TimedEdge> batch) {
+    return Ingest(std::move(batch), IngestContext{});
+  }
 
   /// Non-blocking Ingest: a full queue returns kQueueFull immediately
   /// instead of waiting. The network frontend's admission path — a shed
   /// batch becomes 429 + Retry-After on the wire.
-  virtual Admit TryIngest(std::vector<graph::TimedEdge> batch) = 0;
+  virtual Admit TryIngest(std::vector<graph::TimedEdge> batch,
+                          IngestContext ctx) = 0;
+  Admit TryIngest(std::vector<graph::TimedEdge> batch) {
+    return TryIngest(std::move(batch), IngestContext{});
+  }
 
   /// Blocks until every ingested batch has been processed and all due
   /// ticks have run.
@@ -190,6 +214,11 @@ class Server {
 
   /// Detection shards behind this server (1 for StreamServer).
   virtual int num_shards() const = 0;
+
+  /// Flight recorder holding the last trace.recorder_ticks complete
+  /// per-tick span trees (the GET /debug/ticks payload and the
+  /// chrome://tracing export source); null when the recorder is disabled.
+  virtual const obs::FlightRecorder* flight_recorder() const = 0;
 };
 
 /// Constructs the right Server for `num_shards`: StreamServer for 1,

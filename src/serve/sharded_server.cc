@@ -75,7 +75,9 @@ VertexId ShardedStreamServer::EntityIntern::Intern(
 }
 
 ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
-    : config_(std::move(config)), num_shards_(num_shards) {
+    : config_(std::move(config)),
+      num_shards_(num_shards),
+      sampler_(config_.trace.sample_rate, config_.trace.sample_seed) {
   // owner_of_ stores shard indices in a byte; 256 shards is far past the
   // point where per-shard fixed costs dominate anyway.
   GLP_CHECK(num_shards_ >= 1 && num_shards_ <= 256)
@@ -201,6 +203,10 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
         "glp_serve_shard_components",
         "Connected components this shard owned at the last tick",
         {{"shard", shard}});
+  }
+  if (config_.trace.recorder_ticks > 0) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        static_cast<size_t>(config_.trace.recorder_ticks));
   }
   obs::RegisterThreadPoolCollector(registry_, pool());
   registry_->AddCollector([registry = registry_] {
@@ -408,7 +414,8 @@ ShardedStreamServer::RoutedBatch ShardedStreamServer::RouteBatch(
   return rb;
 }
 
-bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
+bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
+                                 IngestContext ctx) {
   if (!ValidBatch(batch)) {
     ins_.batches_rejected_invalid->Increment();
     return false;
@@ -425,6 +432,8 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
   }
   const size_t batch_edges = batch.size();
   RoutedBatch rb = RouteBatch(std::move(batch));
+  rb.ctx = std::move(ctx);
+  rb.enqueue_seconds = obs::MonotonicSeconds();
   std::unique_lock<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return false;
   if (queue_.size() >= config_.max_queue_batches) {
@@ -452,7 +461,8 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch) {
   return true;
 }
 
-Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch) {
+Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch,
+                                             IngestContext ctx) {
   if (!ValidBatch(batch)) {
     ins_.batches_rejected_invalid->Increment();
     return Admit::kRejected;
@@ -468,6 +478,8 @@ Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch) {
   }
   const size_t batch_edges = batch.size();
   RoutedBatch rb = RouteBatch(std::move(batch));
+  rb.ctx = std::move(ctx);
+  rb.enqueue_seconds = obs::MonotonicSeconds();
   std::lock_guard<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return Admit::kStopped;
   if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
@@ -613,10 +625,15 @@ void ShardedStreamServer::DetectLoop() {
       busy_ = true;
       not_full_cv_.notify_all();
     }
+    NoteBatchDequeued(rb, obs::MonotonicSeconds());
     bool keep_running = true;
     // One serve.window_append evaluation covers the whole routed batch, so
     // an injected fault leaves either every shard window or none of them
     // appended — the batch stays in hand for an exact retry.
+    obs::ScopedSpan append_span(
+        config_.trace.collect_spans() ? &span_sink_ : nullptr, rb.ctx.trace,
+        "serve.window_append");
+    append_span.AddLabel("edges", std::to_string(rb.global_edges));
     Status append_status;
     for (int attempt = 0;; ++attempt) {
       append_status = fail::Inject("serve.window_append");
@@ -644,6 +661,7 @@ void ShardedStreamServer::DetectLoop() {
         break;
       }
     }
+    append_span.End();
     if (!append_status.ok()) {
       if (append_status.IsCancelled()) {
         // Shutting down; the loop exits via stopping_ above.
@@ -1015,6 +1033,16 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
   }
   if (ow.edges.empty()) return;  // this shard owns no components this tick
   glp::Timer owner_timer;
+  // Pool workers append spans concurrently (SpanSink is mutex-guarded);
+  // tick_trace_/tick_root_span_ were fixed by the coordinator before the
+  // fan-out and are read-only here.
+  const bool collect = config_.trace.collect_spans();
+  const obs::SpanContext tick_ctx{tick_trace_.trace_id, tick_root_span_,
+                                  tick_trace_.sampled};
+  obs::ScopedSpan owner_span(collect ? &span_sink_ : nullptr, tick_ctx,
+                             "serve.owner_detect");
+  owner_span.AddLabel("shard", std::to_string(o));
+  owner_span.AddLabel("edges", std::to_string(ow.edges.size()));
 
   // Snapshot build, mirroring SlidingWindow::SnapshotRange on the merged
   // edge list (dense epoch-stamped remap, first-appearance local ids).
@@ -1142,6 +1170,10 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
     ctx.pool = config_.pool;
     ctx.stop_token = &stop_token_;
     ctx.metrics = registry_;
+    ctx.trace_sink = collect ? &span_sink_ : nullptr;
+    ctx.trace_id = tick_trace_.trace_id;
+    ctx.trace_parent_span =
+        owner_span.active() ? owner_span.context().span_id : 0;
 
     Status st = fail::Inject("serve.tick");
     if (st.ok()) {
@@ -1180,14 +1212,17 @@ void ShardedStreamServer::RunOwnerDetection(int o, double window_start,
   if (!ow.ran) {
     ow.status = failure;
     ow.outcome = TickOutcome::kAbandoned;
+    owner_span.AddLabel("error", failure.ToString());
     return;
   }
   ow.wall_seconds = owner_timer.Seconds();
+  owner_span.AddLabel("warm", ow.warm ? "1" : "0");
 }
 
 ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     double end_time) {
   glp::Timer tick_timer;
+  const double tick_start_mono = obs::MonotonicSeconds();
   const double host_start =
       config_.profiler != nullptr ? config_.profiler->HostNow() : 0;
 
@@ -1195,6 +1230,25 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   tr.tick = num_ticks_;
   tr.window_end = end_time;
   tr.window_start = end_time - config_.detect.window_days;
+
+  // Mint this tick's trace (head-based sampling) and its root span id; the
+  // root serve.tick span itself is assembled in FinishTickTrace once the
+  // wall time is known. Sampled ticks stamp trace=<id> on every GLP_LOG
+  // line the coordinator emits during the tick.
+  const bool collect = config_.trace.collect_spans();
+  if (config_.trace.enabled()) {
+    tick_trace_ = sampler_.StartTrace();
+  } else {
+    tick_trace_ = obs::SpanContext{};
+  }
+  tick_root_span_ = collect ? span_sink_.NewSpanId() : 0;
+  const obs::SpanContext root_ctx{tick_trace_.trace_id, tick_root_span_,
+                                  tick_trace_.sampled};
+  struct LogTraceScope {
+    uint64_t prev = glp::GetLogTraceId();
+    ~LogTraceScope() { glp::SetLogTraceId(prev); }
+  } log_trace_scope;
+  if (tick_trace_.sampled) glp::SetLogTraceId(tick_trace_.trace_id);
 
   // Degradation ladder steps 1–2, fleet-wide (identical to StreamServer;
   // incremental mode has no warm/refresh machinery — every tick is exact).
@@ -1228,8 +1282,13 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
   // when the windows went empty (the expirations that emptied them count).
   bool delta_applied = false;
   if (config_.tick.incremental) {
+    obs::ScopedSpan uf_span(collect ? &span_sink_ : nullptr, root_ctx,
+                            "serve.union_find");
     delta_applied = UpdateIncrementalTracker(tr.window_start, end_time);
+    uf_span.AddLabel("mode", delta_applied ? "delta" : "rebuild");
   } else {
+    obs::ScopedSpan comp_span(collect ? &span_sink_ : nullptr, root_ctx,
+                              "serve.components");
     pool()->ParallelFor(
         0, num_shards_,
         [&](int64_t lo, int64_t hi) {
@@ -1246,15 +1305,23 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
                            have_prev_ && !refresh_due && any_active;
 
   if (any_active) {
-    if (!config_.tick.incremental) StitchComponents();
-    pool()->ParallelFor(
-        0, num_shards_,
-        [&](int64_t lo, int64_t hi) {
-          for (int64_t k = lo; k < hi; ++k) {
-            BucketShardEdges(static_cast<int>(k));
-          }
-        },
-        1);
+    if (!config_.tick.incremental) {
+      obs::ScopedSpan stitch_span(collect ? &span_sink_ : nullptr, root_ctx,
+                                  "serve.stitch");
+      StitchComponents();
+    }
+    {
+      obs::ScopedSpan bucket_span(collect ? &span_sink_ : nullptr, root_ctx,
+                                  "serve.bucket_edges");
+      pool()->ParallelFor(
+          0, num_shards_,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t k = lo; k < hi; ++k) {
+              BucketShardEdges(static_cast<int>(k));
+            }
+          },
+          1);
+    }
     const double build_seconds = build_timer.Seconds();
 
     // Snapshot the dirty flags and bucket reusable cluster records by
@@ -1294,6 +1361,8 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
         RecordError(ow.status);
         GLP_LOG(Error) << "fatal detection fault at window end " << end_time
                        << ": " << ow.status.ToString();
+        FinishTickTrace(tr.tick, end_time, "fatal", tick_start_mono,
+                        tick_timer.Seconds(), /*dump=*/true);
         return TickOutcome::kFatal;
       }
       if (ow.outcome == TickOutcome::kCancelled) {
@@ -1304,7 +1373,11 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
         abandon_failure = ow.status;
       }
     }
-    if (worst == TickOutcome::kCancelled) return TickOutcome::kCancelled;
+    if (worst == TickOutcome::kCancelled) {
+      FinishTickTrace(tr.tick, end_time, "cancelled", tick_start_mono,
+                      tick_timer.Seconds(), /*dump=*/false);
+      return TickOutcome::kCancelled;
+    }
     if (worst == TickOutcome::kAbandoned) {
       RecordError(abandon_failure);
       ins_.ticks_failed->Increment();
@@ -1315,6 +1388,8 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
       records_.clear();
       GLP_LOG(Warning) << "tick at window end " << end_time
                        << " abandoned: " << abandon_failure.ToString();
+      FinishTickTrace(tr.tick, end_time, "abandoned", tick_start_mono,
+                      tick_timer.Seconds(), /*dump=*/true);
       return TickOutcome::kAbandoned;
     }
 
@@ -1434,34 +1509,42 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
     records_.clear();
   }
 
-  std::set<std::vector<VertexId>> confirmed_now;
-  for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
-    if (c.confirmed) confirmed_now.insert(c.members);
-  }
-  for (const auto& members : confirmed_now) {
-    if (prev_confirmed_.count(members) == 0) {
-      tr.new_confirmed.push_back(members);
+  {
+    obs::ScopedSpan diff_span(collect ? &span_sink_ : nullptr, root_ctx,
+                              "serve.diff_confirmed");
+    std::set<std::vector<VertexId>> confirmed_now;
+    for (const pipeline::SuspiciousCluster& c : tr.detection.clusters) {
+      if (c.confirmed) confirmed_now.insert(c.members);
     }
-  }
-  for (const auto& members : prev_confirmed_) {
-    if (confirmed_now.count(members) == 0) {
-      tr.expired_confirmed.push_back(members);
+    for (const auto& members : confirmed_now) {
+      if (prev_confirmed_.count(members) == 0) {
+        tr.new_confirmed.push_back(members);
+      }
     }
+    for (const auto& members : prev_confirmed_) {
+      if (confirmed_now.count(members) == 0) {
+        tr.expired_confirmed.push_back(members);
+      }
+    }
+    prev_confirmed_ = std::move(confirmed_now);
+    diff_span.AddLabel("new_confirmed",
+                       std::to_string(tr.new_confirmed.size()));
   }
-  prev_confirmed_ = std::move(confirmed_now);
 
   tr.tick_wall_seconds = tick_timer.Seconds();
   last_tick_wall_seconds_ = tr.tick_wall_seconds;
-  if (config_.resilience.tick_deadline_seconds > 0 &&
-      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds) {
-    ins_.deadline_overruns->Increment();
-  }
+  const bool overrun =
+      config_.resilience.tick_deadline_seconds > 0 &&
+      tr.tick_wall_seconds > config_.resilience.tick_deadline_seconds;
+  if (overrun) ins_.deadline_overruns->Increment();
   {
     std::lock_guard<std::mutex> lk(mu_);
     tr.ingest_lag_days = ingested_max_time_ - end_time;
   }
   ins_.ingest_lag_days->Set(tr.ingest_lag_days);
-  ins_.tick_seconds->Observe(tr.tick_wall_seconds);
+  ins_.tick_seconds->ObserveWithExemplar(
+      tr.tick_wall_seconds, tick_trace_.sampled ? tick_trace_.trace_id : 0);
+  ObserveFreshness(tr);
   if (tr.warm) {
     ins_.warm_ticks->Increment();
     ins_.warm_iterations->Increment(
@@ -1476,8 +1559,136 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
                                       host_start, tr.tick_wall_seconds);
   }
   ++num_ticks_;
-  for (const Subscriber& s : subscribers_) s(tr);
+  {
+    obs::ScopedSpan publish_span(collect ? &span_sink_ : nullptr, root_ctx,
+                                 "serve.publish");
+    for (const Subscriber& s : subscribers_) s(tr);
+  }
+  FinishTickTrace(tr.tick, end_time, overrun ? "ok+deadline_overrun" : "ok",
+                  tick_start_mono, tr.tick_wall_seconds, /*dump=*/overrun);
   return TickOutcome::kOk;
+}
+
+void ShardedStreamServer::NoteBatchDequeued(const RoutedBatch& rb,
+                                            double pop_seconds) {
+  if (config_.trace.collect_spans()) {
+    // The queue-wait span carries the *client's* trace context (when the
+    // batch arrived with one) — in the tick's tree it is the visible splice
+    // between the wire trace and the coordinator-minted tick trace.
+    obs::Span s;
+    s.trace_id = rb.ctx.trace.trace_id;
+    s.span_id = span_sink_.NewSpanId();
+    s.parent_span_id = rb.ctx.trace.span_id;
+    s.name = "serve.queue_wait";
+    s.start_seconds = rb.enqueue_seconds;
+    s.duration_seconds = std::max(0.0, pop_seconds - rb.enqueue_seconds);
+    if (!rb.ctx.tenant.empty()) s.labels.emplace_back("tenant", rb.ctx.tenant);
+    s.labels.emplace_back("edges", std::to_string(rb.global_edges));
+    span_sink_.Add(std::move(s));
+  }
+  if (rb.ctx.arrival_seconds >= 0 && rb.global_edges > 0) {
+    FreshnessMeta meta;
+    meta.tenant = rb.ctx.tenant.empty() ? "default" : rb.ctx.tenant;
+    meta.arrival_seconds = rb.ctx.arrival_seconds;
+    // Exemplars only link sampled traces; the measurement itself is
+    // recorded for every stamped batch.
+    meta.trace_id = rb.ctx.trace.sampled ? rb.ctx.trace.trace_id : 0;
+    // Endpoints gathered across all shard sub-batches; mirrored copies
+    // collapse in the sort-unique below.
+    meta.entities.reserve(rb.global_edges * 2);
+    for (const std::vector<TimedEdge>& part : rb.parts) {
+      for (const TimedEdge& e : part) {
+        meta.entities.push_back(e.src);
+        meta.entities.push_back(e.dst);
+      }
+    }
+    std::sort(meta.entities.begin(), meta.entities.end());
+    meta.entities.erase(
+        std::unique(meta.entities.begin(), meta.entities.end()),
+        meta.entities.end());
+    if (pending_freshness_.size() >= kMaxPendingFreshness) {
+      pending_freshness_.erase(pending_freshness_.begin());
+    }
+    pending_freshness_.push_back(std::move(meta));
+  }
+}
+
+obs::Histogram* ShardedStreamServer::FreshnessHistogram(
+    const std::string& tenant) {
+  auto it = freshness_hist_.find(tenant);
+  if (it != freshness_hist_.end()) return it->second;
+  obs::Histogram* h = registry_->GetHistogram(
+      "glp_serve_freshness_seconds",
+      "Wire arrival to confirmed-cluster publish, per tenant",
+      {{"tenant", tenant}});
+  freshness_hist_.emplace(tenant, h);
+  return h;
+}
+
+void ShardedStreamServer::ObserveFreshness(const TickResult& tr) {
+  if (pending_freshness_.empty() || tr.new_confirmed.empty()) return;
+  std::vector<VertexId> confirmed;
+  for (const auto& members : tr.new_confirmed) {
+    confirmed.insert(confirmed.end(), members.begin(), members.end());
+  }
+  std::sort(confirmed.begin(), confirmed.end());
+  const double now = obs::MonotonicSeconds();
+  size_t kept = 0;
+  for (FreshnessMeta& m : pending_freshness_) {
+    // Sorted-merge intersection test: does any of the batch's endpoints
+    // sit in a cluster confirmed this tick?
+    bool hit = false;
+    for (size_t i = 0, j = 0;
+         i < m.entities.size() && j < confirmed.size();) {
+      if (m.entities[i] < confirmed[j]) {
+        ++i;
+      } else if (confirmed[j] < m.entities[i]) {
+        ++j;
+      } else {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      FreshnessHistogram(m.tenant)->ObserveWithExemplar(
+          std::max(0.0, now - m.arrival_seconds), m.trace_id);
+    } else {
+      pending_freshness_[kept++] = std::move(m);
+    }
+  }
+  pending_freshness_.resize(kept);
+}
+
+void ShardedStreamServer::FinishTickTrace(int64_t tick, double end_time,
+                                          const char* outcome,
+                                          double start_seconds,
+                                          double wall_seconds, bool dump) {
+  if (!config_.trace.collect_spans() || recorder_ == nullptr) {
+    tick_trace_ = obs::SpanContext{};
+    tick_root_span_ = 0;
+    return;
+  }
+  obs::TickTrace t;
+  t.tick = tick;
+  t.window_end = end_time;
+  t.outcome = outcome;
+  t.tick_wall_seconds = wall_seconds;
+  t.spans = span_sink_.Drain();
+  obs::Span root;
+  root.trace_id = tick_trace_.trace_id;
+  root.span_id = tick_root_span_;
+  root.name = "serve.tick";
+  root.start_seconds = start_seconds;
+  root.duration_seconds = wall_seconds;
+  t.spans.insert(t.spans.begin(), std::move(root));
+  recorder_->Record(std::move(t));
+  if (dump) {
+    GLP_LOG(Warning) << "tick " << tick << " " << outcome
+                     << "; flight-recorder dump: "
+                     << recorder_->LastTickJson();
+  }
+  tick_trace_ = obs::SpanContext{};
+  tick_root_span_ = 0;
 }
 
 }  // namespace glp::serve

@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -58,6 +59,7 @@
 
 #include "graph/sliding_window.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 #include "serve/incremental.h"
 #include "serve/server.h"
@@ -104,14 +106,20 @@ class ShardedStreamServer : public Server {
   /// Launches the coordinator thread.
   Status Start() override;
 
+  using Server::Ingest;
+  using Server::TryIngest;
+
   /// Validates and routes a batch to shard sub-batches, then enqueues the
   /// routed batch (bounded queue, blocking backpressure). Returns false if
-  /// the batch is rejected or the server is stopped/dead.
-  bool Ingest(std::vector<graph::TimedEdge> batch) override;
+  /// the batch is rejected or the server is stopped/dead. `ctx` rides the
+  /// routed batch through the queue and across the shard sub-batch fan-out
+  /// to the tick that consumes it.
+  bool Ingest(std::vector<graph::TimedEdge> batch, IngestContext ctx) override;
 
   /// Non-blocking Ingest: sheds (kQueueFull) instead of waiting on a full
   /// queue. See Server::TryIngest.
-  Admit TryIngest(std::vector<graph::TimedEdge> batch) override;
+  Admit TryIngest(std::vector<graph::TimedEdge> batch,
+                  IngestContext ctx) override;
 
   /// Blocks until every ingested batch is processed and due ticks ran.
   void Flush() override;
@@ -129,15 +137,35 @@ class ShardedStreamServer : public Server {
   ServerStats stats() const override;
   obs::MetricRegistry* metrics() const override { return registry_; }
 
+  /// Flight recorder over completed coordinator ticks — see
+  /// Server::flight_recorder. Null unless trace.recorder_ticks > 0.
+  const obs::FlightRecorder* flight_recorder() const override {
+    return recorder_.get();
+  }
+
  private:
   /// One ingest batch split into per-shard sub-batches (owned edges plus
-  /// mirrored cross-shard copies).
+  /// mirrored cross-shard copies). Carries the producer's IngestContext
+  /// across the fan-out: the trace context and arrival stamp describe the
+  /// whole wire batch, whichever shards its edges landed on.
   struct RoutedBatch {
     std::vector<std::vector<graph::TimedEdge>> parts;
     size_t global_edges = 0;  ///< pre-mirroring edge count
     /// Per-shard owned / mirrored-copy counts (telemetry).
     std::vector<uint64_t> routed;
     std::vector<uint64_t> mirrored;
+    IngestContext ctx;
+    double enqueue_seconds = 0;  ///< obs::MonotonicSeconds() at enqueue
+  };
+
+  /// A wire batch awaiting its confirmed-cluster publish (freshness SLO) —
+  /// same bookkeeping as StreamServer, keyed on the batch's global entity
+  /// set (mirrors dedup away in the sorted-unique endpoint list).
+  struct FreshnessMeta {
+    std::string tenant;
+    double arrival_seconds = 0;
+    uint64_t trace_id = 0;  ///< exemplar link; 0 when unsampled
+    std::vector<graph::VertexId> entities;  ///< sorted unique endpoints
   };
 
   enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
@@ -219,6 +247,18 @@ class ShardedStreamServer : public Server {
   void RecordError(const Status& status);
   /// Builds and writes one fleet snapshot (coordinator-thread state).
   Status DoWriteCheckpoint();
+  /// Records the batch's queue-wait span (client trace context) and
+  /// stashes its freshness metadata when the arrival stamp is present.
+  void NoteBatchDequeued(const RoutedBatch& rb, double pop_seconds);
+  /// Matches pending freshness entries against this tick's newly confirmed
+  /// clusters and observes glp_serve_freshness_seconds per tenant.
+  void ObserveFreshness(const TickResult& tr);
+  /// Seals the current tick's trace: drains collected spans, prepends the
+  /// root serve.tick span, records into the flight recorder, and dumps the
+  /// tick JSON to the log when `dump` is set.
+  void FinishTickTrace(int64_t tick, double window_end, const char* outcome,
+                       double start_seconds, double wall_seconds, bool dump);
+  obs::Histogram* FreshnessHistogram(const std::string& tenant);
 
   ServerConfig config_;
   int num_shards_;
@@ -335,6 +375,19 @@ class ShardedStreamServer : public Server {
     obs::Gauge* components_owned;   ///< components this shard detected
   };
   std::vector<ShardInstruments> shard_ins_;
+
+  // Tracing + freshness SLO (DESIGN.md §4.12) — same layout as
+  // StreamServer. span_sink_ is mutex-guarded, so pool workers (per-owner
+  // detection) append spans concurrently; tick_trace_/tick_root_span_ are
+  // written by the coordinator before the fan-out and read-only inside it.
+  obs::TraceSampler sampler_;
+  obs::SpanSink span_sink_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  uint64_t tick_root_span_ = 0;
+  obs::SpanContext tick_trace_;
+  std::vector<FreshnessMeta> pending_freshness_;
+  std::map<std::string, obs::Histogram*> freshness_hist_;
+  static constexpr size_t kMaxPendingFreshness = 4096;
 
   std::atomic<bool> stop_token_{false};
   std::thread thread_;

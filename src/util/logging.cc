@@ -66,6 +66,13 @@ int ThreadId() {
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+namespace {
+thread_local uint64_t t_log_trace_id = 0;
+}  // namespace
+
+uint64_t GetLogTraceId() { return t_log_trace_id; }
+void SetLogTraceId(uint64_t trace_id) { t_log_trace_id = trace_id; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -87,8 +94,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     std::snprintf(ts, sizeof(ts), "%02d%02d %02d:%02d:%02d.%06d",
                   tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
                   static_cast<int>(us));
-    stream_ << "[" << LevelName(level) << " " << ts << " t" << ThreadId()
-            << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level) << " " << ts << " t" << ThreadId();
+    if (t_log_trace_id != 0) {
+      char trace[24];
+      std::snprintf(trace, sizeof(trace), " trace=%016llx",
+                    static_cast<unsigned long long>(t_log_trace_id));
+      stream_ << trace;
+    }
+    stream_ << " " << base << ":" << line << "] ";
   }
 }
 

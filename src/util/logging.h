@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -17,6 +18,12 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 /// Process-wide minimum level; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Thread-local trace id stamped onto GLP_LOG lines as `trace=<hex>` while
+/// nonzero — the log/trace cross-reference (obs::ScopedSpan sets and
+/// restores it; lives here so util does not depend on obs).
+uint64_t GetLogTraceId();
+void SetLogTraceId(uint64_t trace_id);
 
 namespace internal {
 

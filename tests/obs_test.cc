@@ -67,10 +67,11 @@ TEST(HistogramTest, QuantilesTrackExactPercentilesWithinBucketError) {
   for (const double q : {0.5, 0.9, 0.99}) {
     const double exact = ExactPercentile(values, q);
     const double est = h.Quantile(q);
-    // Log2 buckets bound the relative error by the bucket ratio: the
-    // estimate lives in the same factor-2 bucket as the exact value.
-    EXPECT_GE(est, exact / 2) << "q=" << q;
-    EXPECT_LE(est, exact * 2) << "q=" << q;
+    // Quarter-octave buckets bound the relative error by the bucket ratio:
+    // the estimate lives in the same 2^(1/4) ≈ 1.19x bucket as the exact
+    // value (the old log2 grid only guaranteed a factor of 2).
+    EXPECT_GE(est, exact / 1.1893) << "q=" << q;
+    EXPECT_LE(est, exact * 1.1893) << "q=" << q;
   }
   // Monotone in q, and positive observations give positive quantiles.
   EXPECT_GT(h.Quantile(0.01), 0);
@@ -192,8 +193,8 @@ TEST(ExpositionTest, GoldenText) {
       ->Increment(3);
   reg.GetGauge("glp_lag_days", "Ingest lag")->Set(1.5);
   Histogram* h = reg.GetHistogram("glp_tick_seconds", "Tick latency");
-  h->Observe(0.25);   // exact bound of its bucket (0.125, 0.25]
-  h->Observe(0.75);   // bucket (0.5, 1]
+  h->Observe(0.25);  // exact bound of its bucket (2^(-9/4), 0.25]
+  h->Observe(0.5);   // bucket (2^(-5/4), 0.5]
   const std::string expected =
       "# HELP glp_ticks_total Detection ticks\n"
       "# TYPE glp_ticks_total counter\n"
@@ -204,9 +205,9 @@ TEST(ExpositionTest, GoldenText) {
       "# HELP glp_tick_seconds Tick latency\n"
       "# TYPE glp_tick_seconds histogram\n"
       "glp_tick_seconds_bucket{le=\"0.25\"} 1\n"
-      "glp_tick_seconds_bucket{le=\"1\"} 2\n"
+      "glp_tick_seconds_bucket{le=\"0.5\"} 2\n"
       "glp_tick_seconds_bucket{le=\"+Inf\"} 2\n"
-      "glp_tick_seconds_sum 1\n"
+      "glp_tick_seconds_sum 0.75\n"
       "glp_tick_seconds_count 2\n";
   EXPECT_EQ(reg.PrometheusText(), expected);
 }

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "obs/http.h"
+#include "obs/trace.h"
 #include "pipeline/transactions.h"
 #include "prof/prof.h"
+#include "prof/trace.h"
 #include "serve/net/client.h"
 #include "serve/net/ingest_service.h"
 #include "serve/server.h"
@@ -77,6 +79,10 @@ struct Args {
   double global_rate = 0;      // fleet-wide edges/sec cap; 0 = unlimited
   int connect_port = -1;       // >=0 = client mode against 127.0.0.1:port
   std::string token;           // bearer token the client presents
+  // Tracing (DESIGN.md §4.12).
+  double trace_sample = 0;     // head-based sample rate in [0, 1]
+  int64_t trace_ticks = 0;     // flight-recorder ring size (0 = off)
+  std::string trace_out;       // chrome://tracing JSON path (implies ring)
 };
 
 void Usage() {
@@ -123,6 +129,17 @@ void Usage() {
       "  --connect <p>       client mode: replay the generated stream as\n"
       "                      binary POSTs against 127.0.0.1:p\n"
       "  --token <t>         bearer token for --connect (default devtoken)\n"
+      "tracing (DESIGN.md 4.12):\n"
+      "  --trace-sample <r>  head-based trace sample rate in [0,1]; sampled\n"
+      "                      ticks mark their GLP_LOG lines trace=<id> and\n"
+      "                      attach exemplars to /metrics histograms\n"
+      "  --trace-ticks <k>   keep the last k per-tick span trees in the\n"
+      "                      flight recorder (GET /debug/ticks; auto-dumped\n"
+      "                      on overruns/faults; 0 = off)\n"
+      "  --trace-out <f>     write the recorder as chrome://tracing JSON to\n"
+      "                      f at exit (implies --trace-ticks 64 if unset);\n"
+      "                      in --connect client mode, stamps traceparent\n"
+      "                      on every POST (with --trace-sample)\n"
       "resilience:\n"
       "  --checkpoint-dir <d>   periodic atomic snapshots into d\n"
       "  --checkpoint-every <n> ticks between snapshots (default 16)\n"
@@ -195,6 +212,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->tick_deadline = std::atof(next());
     } else if (!std::strcmp(argv[i], "--failpoints")) {
       args->failpoints = next();
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      args->trace_sample = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--trace-ticks")) {
+      args->trace_ticks = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      args->trace_out = next();
     } else if (!std::strcmp(argv[i], "--restore")) {
       args->restore = true;
     } else if (!std::strcmp(argv[i], "--cold")) {
@@ -429,6 +452,11 @@ int RunNetworkClient(const Args& args,
     return 1;
   }
   const std::string token = args.token.empty() ? "devtoken" : args.token;
+  // With --trace-sample, every POST carries a client-minted traceparent —
+  // the server continues the context through its queue into the tick that
+  // confirms the batch's cluster.
+  obs::TraceSampler sampler(args.trace_sample,
+                            serve::TracePolicy{}.sample_seed);
 
   std::vector<graph::TimedEdge> ordered = stream.edges;
   std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
@@ -447,9 +475,11 @@ int RunNetworkClient(const Args& args,
                            std::chrono::steady_clock::duration>(
                            std::chrono::duration<double>(due_s)));
     }
+    const obs::SpanContext trace =
+        args.trace_sample > 0 ? sampler.StartTrace() : obs::SpanContext{};
     auto resp = client.PostBatchWithRetry(batch, token,
                                           /*max_retries=*/1000,
-                                          /*max_wait_seconds=*/1.0);
+                                          /*max_wait_seconds=*/1.0, trace);
     if (!resp.ok()) {
       std::fprintf(stderr, "POST /v1/ingest failed: %s\n",
                    resp.status().ToString().c_str());
@@ -524,6 +554,11 @@ int main(int argc, char** argv) {
   cfg.resilience.tick_deadline_seconds = args.tick_deadline;
   cfg.checkpoint.dir = args.checkpoint_dir;
   cfg.checkpoint.every_ticks = args.checkpoint_every;
+  cfg.trace.sample_rate = args.trace_sample;
+  cfg.trace.recorder_ticks = args.trace_ticks;
+  if (!args.trace_out.empty() && cfg.trace.recorder_ticks == 0) {
+    cfg.trace.recorder_ticks = 64;  // the export needs retained ticks
+  }
   prof::PhaseProfiler profiler;
   if (args.profile) cfg.profiler = &profiler;
 
@@ -548,6 +583,28 @@ int main(int argc, char** argv) {
                 args.shards);
   }
   std::unique_ptr<serve::Server> server = serve::MakeServer(cfg, args.shards);
-  if (args.listen_port >= 0) return RunNetworkServe(*server, args);
-  return RunReplay(*server, args, stream, profiler);
+  const int rc = args.listen_port >= 0
+                     ? RunNetworkServe(*server, args)
+                     : RunReplay(*server, args, stream, profiler);
+
+  // Chrome-trace export of whatever the flight recorder retained — one
+  // viewer row per tick, spans nested by time containment.
+  if (!args.trace_out.empty()) {
+    const obs::FlightRecorder* rec = server->flight_recorder();
+    if (rec == nullptr) {
+      std::fprintf(stderr, "--trace-out: flight recorder disabled\n");
+    } else {
+      prof::TraceRecorder chrome;
+      rec->ExportChromeTrace(&chrome);
+      const Status written = chrome.WriteFile(args.trace_out);
+      if (written.ok()) {
+        std::printf("trace: %zu events -> %s (load in chrome://tracing)\n",
+                    chrome.num_events(), args.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "--trace-out write failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+  }
+  return rc;
 }
