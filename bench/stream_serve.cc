@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench_common.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
@@ -29,6 +31,7 @@
 #include "serve/net/ingest_service.h"
 #include "serve/server.h"
 #include "serve/sharded_server.h"
+#include "serve/wal.h"
 
 namespace {
 
@@ -370,6 +373,73 @@ NetloadResult RunNetload(const bench::BenchFlags& flags, int tenants) {
   return out;
 }
 
+// --- WAL ingest overhead (DESIGN.md §4.13) ---
+//
+// Pure append-path measurement: the tick cadence is pushed beyond the
+// stream so no detection ever fires, and the wall clock covers Ingest +
+// Flush alone. The only difference between arms is the durability policy,
+// so the delta is exactly what a durable WAL costs per admitted batch:
+// encode + buffered write, plus an fsync every `fsync_every` batches.
+struct WalOverheadResult {
+  size_t edges = 0;
+  double ingest_wall = 0;
+  double edges_per_sec = 0;
+  uint64_t fsyncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t segments = 0;
+};
+
+WalOverheadResult ReplayWalIngest(const pipeline::TransactionStream& stream,
+                                  const std::string& wal_dir,
+                                  int fsync_every) {
+  serve::ServerConfig cfg;
+  cfg.detect.window_days = 30;
+  cfg.detect.engine = lp::EngineKind::kSeq;
+  cfg.seeds = stream.seeds;
+  cfg.tick.every_days = 1e9;  // never crossed: ingest path only
+  if (!wal_dir.empty()) {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    cfg.durability.dir = wal_dir;
+    cfg.durability.fsync_every_batches = fsync_every;
+  }
+
+  serve::StreamServer server(cfg);
+  GLP_CHECK(server.Start().ok());
+  std::vector<graph::TimedEdge> ordered = stream.edges;
+  std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
+  WalOverheadResult out;
+  out.edges = ordered.size();
+  // Small batches stress the per-append (and per-fsync) fixed cost.
+  const size_t batch_size = 500;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t pos = 0; pos < ordered.size(); pos += batch_size) {
+    const size_t n = std::min(batch_size, ordered.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        ordered.begin() + static_cast<ptrdiff_t>(pos),
+        ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    GLP_CHECK(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  out.ingest_wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (server.wal() != nullptr) {
+    const serve::wal::WalStats ws = server.wal()->stats();
+    out.fsyncs = ws.fsyncs;
+    out.wal_bytes = ws.bytes_appended;
+    out.segments = ws.segments;
+  }
+  server.Stop();
+  GLP_CHECK(server.last_error().ok()) << server.last_error().ToString();
+  if (!wal_dir.empty()) std::filesystem::remove_all(wal_dir);
+  out.edges_per_sec =
+      out.ingest_wall > 0
+          ? static_cast<double>(out.edges) / out.ingest_wall
+          : 0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -647,6 +717,53 @@ int main(int argc, char** argv) {
       "ingest; per-tenant attribution is\n in glp_serve_tenant_* metrics.)\n",
       static_cast<long long>(net.stats.ticks));
 
+  // --- Durable WAL: ingest-path overhead, WAL off vs on ---
+  std::printf(
+      "\n=== WAL ingest overhead: append path only, %zu edges in "
+      "500-edge batches ===\n\n",
+      stream.edges.size());
+  const std::string wal_bench_dir =
+      (std::filesystem::temp_directory_path() / "glp_bench_wal").string();
+  struct WalMode {
+    const char* name;
+    const char* json_key;
+    bool wal;
+    int fsync_every;
+  };
+  const WalMode wal_modes[] = {{"wal-off", "off", false, 1},
+                               {"fsync-1", "fsync_every_1", true, 1},
+                               {"group-8", "group_commit_8", true, 8}};
+  std::vector<WalOverheadResult> wal_results;
+  for (const WalMode& m : wal_modes) {
+    wal_results.push_back(ReplayWalIngest(
+        stream, m.wal ? wal_bench_dir : std::string(), m.fsync_every));
+  }
+  bench::PrintHeader({"Mode", "Wall", "Edges/s", "Overhead", "Fsyncs",
+                      "WAL-MB"},
+                     12);
+  const double wal_off_rate = wal_results[0].edges_per_sec;
+  for (size_t i = 0; i < wal_results.size(); ++i) {
+    const WalOverheadResult& r = wal_results[i];
+    const double overhead_vs_off =
+        (i == 0 || r.edges_per_sec <= 0)
+            ? 0.0
+            : 100.0 * (wal_off_rate / r.edges_per_sec - 1.0);
+    char overhead_str[32];
+    std::snprintf(overhead_str, sizeof(overhead_str), "%+.1f%%",
+                  overhead_vs_off);
+    std::printf("%-12s%-12s%-12.0f%-12s%-12lld%-12.2f\n", wal_modes[i].name,
+                bench::Duration(r.ingest_wall).c_str(), r.edges_per_sec,
+                i == 0 ? "-" : overhead_str,
+                static_cast<long long>(r.fsyncs),
+                static_cast<double>(r.wal_bytes) / (1024.0 * 1024.0));
+  }
+  std::printf(
+      "\n(Ticks disabled: the wall clock isolates admission + WAL append. "
+      "fsync-1 is\n the durability default — every acked batch is on disk; "
+      "group-8 amortizes the\n sync over 8 batches, the group-commit knob. "
+      "Recovery exactness for both is\n asserted in "
+      "tests/durability_test.cc.)\n");
+
   // --- Machine-readable results for the CI perf trajectory ---
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -729,6 +846,24 @@ int main(int argc, char** argv) {
         net.wall_seconds, net.edges_per_sec, net.post_p50_ms, net.post_p99_ms,
         static_cast<long long>(net.rejected_429),
         static_cast<long long>(net.stats.ticks));
+    std::fprintf(f, "  },\n  \"wal_overhead\": {\n");
+    std::fprintf(f, "    \"edges\": %zu, \"batch_size\": 500,\n",
+                 wal_results[0].edges);
+    for (size_t i = 0; i < wal_results.size(); ++i) {
+      const WalOverheadResult& r = wal_results[i];
+      const double overhead_vs_off =
+          (i == 0 || r.edges_per_sec <= 0)
+              ? 0.0
+              : 100.0 * (wal_off_rate / r.edges_per_sec - 1.0);
+      std::fprintf(f,
+                   "    \"%s\": {\"ingest_wall_seconds\": %g, "
+                   "\"edges_per_sec\": %g, \"overhead_pct\": %g, "
+                   "\"fsyncs\": %lld, \"wal_bytes\": %lld}%s\n",
+                   wal_modes[i].json_key, r.ingest_wall, r.edges_per_sec,
+                   overhead_vs_off, static_cast<long long>(r.fsyncs),
+                   static_cast<long long>(r.wal_bytes),
+                   i + 1 < wal_results.size() ? "," : "");
+    }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path.c_str());

@@ -7,15 +7,17 @@
 #include <filesystem>
 #include <memory>
 
+#include "serve/wal.h"
 #include "util/failpoint.h"
 
 namespace glp::serve {
 namespace {
 
 constexpr uint64_t kMagic = 0x31544b5043504c47ULL;  // "GLPCPKT1" LE
-// v2 appends the incremental-serving anchor arrays (flag bit 4); v1 files
-// still load, with those fields defaulted.
-constexpr uint32_t kVersion = 2;
+// v2 appends the incremental-serving anchor arrays (flag bit 4); v3
+// appends the WAL position (wal_seq, wal_epoch). Older files still load,
+// with the newer fields defaulted.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 
 /// FNV-1a over the serialized payload — corruption detection, not crypto.
@@ -130,6 +132,7 @@ Status SaveCheckpoint(const std::string& path, const CheckpointData& data) {
       ok = ok && w.Vec(members);
     }
     ok = ok && w.Vec(data.inc_entities) && w.Vec(data.inc_anchors);
+    ok = ok && w.Pod(data.wal_seq) && w.Pod(data.wal_epoch);
     // Checksum trailer (over everything before it).
     const uint64_t sum = w.checksum();
     ok = ok && std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum);
@@ -181,6 +184,9 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path) {
   if (version >= 2) {
     ok = ok && r.Vec(&data.inc_entities, kMaxElems) &&
          r.Vec(&data.inc_anchors, kMaxElems);
+  }
+  if (version >= 3) {
+    ok = ok && r.Pod(&data.wal_seq) && r.Pod(&data.wal_epoch);
   }
   if (!ok) {
     return Status::IoError("truncated or corrupt checkpoint " + path);
@@ -235,7 +241,9 @@ Result<std::string> LatestCheckpoint(const std::string& dir) {
 namespace {
 
 constexpr uint64_t kManifestMagic = 0x3130464d53504c47ULL;  // "GLPSMF01" LE
-constexpr uint32_t kManifestVersion = 1;
+// v2 appends the fencing epoch; v1 manifests load with epoch 0.
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kMinManifestVersion = 1;
 
 bool WriteString(Writer* w, const std::string& s) {
   const uint64_t n = s.size();
@@ -294,7 +302,7 @@ Status SaveShardManifest(const std::string& path, const ShardManifest& m) {
     Writer w(f.get());
     bool ok = w.Pod(kManifestMagic) && w.Pod(kManifestVersion) &&
               w.Pod(m.tick) && w.Pod(static_cast<int32_t>(m.num_shards)) &&
-              WriteString(&w, m.coord_file);
+              w.Pod(m.epoch) && WriteString(&w, m.coord_file);
     const uint64_t n = m.shard_files.size();
     ok = ok && w.Pod(n);
     for (const std::string& s : m.shard_files) {
@@ -329,14 +337,16 @@ Result<ShardManifest> LoadShardManifest(const std::string& path) {
   if (!r.Pod(&magic) || magic != kManifestMagic) {
     return Status::IoError("not a GLP shard manifest: " + path);
   }
-  if (!r.Pod(&version) || version != kManifestVersion) {
+  if (!r.Pod(&version) || version < kMinManifestVersion ||
+      version > kManifestVersion) {
     return Status::IoError("unsupported manifest version in " + path);
   }
   ShardManifest m;
   int32_t num_shards = 0;
   uint64_t n = 0;
-  bool ok = r.Pod(&m.tick) && r.Pod(&num_shards) &&
-            ReadString(&r, &m.coord_file) && r.Pod(&n) && n <= 4096;
+  bool ok = r.Pod(&m.tick) && r.Pod(&num_shards);
+  if (version >= 2) ok = ok && r.Pod(&m.epoch);
+  ok = ok && ReadString(&r, &m.coord_file) && r.Pod(&n) && n <= 4096;
   if (ok) {
     m.num_shards = num_shards;
     m.shard_files.resize(n);
@@ -405,6 +415,11 @@ Result<ShardedCheckpoint> LatestShardedCheckpoint(const std::string& dir) {
 }
 
 Status PruneShardCheckpoints(const std::string& dir, int keep) {
+  return PruneShardCheckpoints(dir, keep, /*wal_dir=*/"");
+}
+
+Status PruneShardCheckpoints(const std::string& dir, int keep,
+                             const std::string& wal_dir) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) {
@@ -428,8 +443,11 @@ Status PruneShardCheckpoints(const std::string& dir, int keep) {
     }
   }
   std::sort(manifest_ticks.rbegin(), manifest_ticks.rend());
-  manifest_ticks.resize(
-      std::min(manifest_ticks.size(), static_cast<size_t>(std::max(keep, 0))));
+  size_t effective_keep = static_cast<size_t>(std::max(keep, 0));
+  if (!wal_dir.empty() && wal::WalDirHasSegments(wal_dir)) {
+    effective_keep = std::max<size_t>(effective_keep, 1);
+  }
+  manifest_ticks.resize(std::min(manifest_ticks.size(), effective_keep));
   Status first_error = Status::OK();
   for (const auto& [tick, path] : members) {
     const bool kept = std::find(manifest_ticks.begin(), manifest_ticks.end(),
@@ -443,6 +461,11 @@ Status PruneShardCheckpoints(const std::string& dir, int keep) {
 }
 
 Status PruneCheckpoints(const std::string& dir, int keep) {
+  return PruneCheckpoints(dir, keep, /*wal_dir=*/"");
+}
+
+Status PruneCheckpoints(const std::string& dir, int keep,
+                        const std::string& wal_dir) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) {
@@ -458,11 +481,24 @@ Status PruneCheckpoints(const std::string& dir, int keep) {
     }
   }
   std::sort(candidates.rbegin(), candidates.rend());
+  size_t effective_keep = static_cast<size_t>(std::max(keep, 0));
+  if (!wal_dir.empty() && wal::WalDirHasSegments(wal_dir)) {
+    // Surviving WAL segments replay on top of the newest checkpoint; it
+    // must outlive them even at keep=0.
+    effective_keep = std::max<size_t>(effective_keep, 1);
+  }
+  // Only files that actually load occupy keep slots: a torn newest file
+  // must not shield real state from deletion (or, with keep=1, cause the
+  // only loadable checkpoint to be pruned).
   Status first_error = Status::OK();
-  for (size_t i = static_cast<size_t>(std::max(keep, 0));
-       i < candidates.size(); ++i) {
-    if (std::remove(candidates[i].c_str()) != 0 && first_error.ok()) {
-      first_error = Status::IoError("cannot delete " + candidates[i]);
+  size_t kept = 0;
+  for (const std::string& path : candidates) {
+    if (kept < effective_keep && LoadCheckpoint(path).ok()) {
+      ++kept;
+      continue;
+    }
+    if (std::remove(path.c_str()) != 0 && first_error.ok()) {
+      first_error = Status::IoError("cannot delete " + path);
     }
   }
   return first_error;

@@ -58,6 +58,19 @@ struct CheckpointData {
   bool has_incremental = false;
   std::vector<graph::VertexId> inc_entities;
   std::vector<graph::VertexId> inc_anchors;
+
+  /// WAL position this snapshot covers (format v3; 0 when the server ran
+  /// without a WAL or the file predates v3): the highest WAL sequence
+  /// number whose batch is included in `edges`. Recovery replays WAL
+  /// frames with seq > wal_seq on top of the restored state, which makes
+  /// the restart byte-identical to an uninterrupted run instead of losing
+  /// everything since the snapshot.
+  uint64_t wal_seq = 0;
+  /// Fencing epoch at snapshot time (serve/wal.h). Restore raises the
+  /// reopened WAL's epoch to at least this, so a checkpoint taken after a
+  /// promotion keeps fencing a deposed primary even if the promoted
+  /// epoch's segments were since pruned.
+  uint64_t wal_epoch = 0;
 };
 
 /// Serializes `data` to `path` via write-temp-then-rename. Threads the
@@ -76,9 +89,20 @@ std::string CheckpointFileName(int64_t tick);
 /// validation). NotFound when the directory holds none.
 Result<std::string> LatestCheckpoint(const std::string& dir);
 
-/// Deletes all but the `keep` newest checkpoint files in `dir` (by name
-/// order). Best-effort; returns the first deletion error, if any.
+/// Deletes all but the `keep` newest *loadable* checkpoint files in `dir`
+/// (by name order). Unreadable/torn files never occupy keep slots and are
+/// always deleted, so a directory of garbage converges to empty instead of
+/// shielding it; keep <= 0 deletes every checkpoint file. Best-effort;
+/// returns the first deletion error, if any.
 Status PruneCheckpoints(const std::string& dir, int keep);
+
+/// WAL-aware variant: when `wal_dir` holds any WAL segments, at least one
+/// loadable checkpoint is retained regardless of `keep` — the newest
+/// loadable file is the replay base those segments depend on, and deleting
+/// it would turn an exact recovery into a full-stream replay (or a data
+/// loss if early segments were already pruned).
+Status PruneCheckpoints(const std::string& dir, int keep,
+                        const std::string& wal_dir);
 
 // ---------------------------------------------------------------------------
 // Sharded-fleet checkpoints (serve::ShardedStreamServer)
@@ -100,6 +124,8 @@ Status PruneCheckpoints(const std::string& dir, int keep);
 struct ShardManifest {
   int64_t tick = 0;
   int num_shards = 0;
+  /// Fencing epoch at snapshot time (manifest format v2; 0 for v1 files).
+  uint64_t epoch = 0;
   std::string coord_file;
   std::vector<std::string> shard_files;  ///< size num_shards, shard order
 };
@@ -134,5 +160,10 @@ Result<ShardedCheckpoint> LatestShardedCheckpoint(const std::string& dir);
 /// Deletes manifests beyond the `keep` newest, plus every shard/coord file
 /// belonging to a deleted manifest's tick. Best-effort.
 Status PruneShardCheckpoints(const std::string& dir, int keep);
+
+/// WAL-aware variant (same contract as the single-server overload): keeps
+/// at least the newest manifest while `wal_dir` holds WAL segments.
+Status PruneShardCheckpoints(const std::string& dir, int keep,
+                             const std::string& wal_dir);
 
 }  // namespace glp::serve

@@ -122,6 +122,25 @@ struct CheckpointPolicy {
   int keep = 2;
 };
 
+/// Durable write-ahead ingest log (serve/wal.h). Every admitted batch is
+/// appended (checksummed, sequence-numbered) before it is enqueued, so
+/// recovery — RestoreFromCheckpoint + WAL replay — reproduces the exact
+/// detection output of an uninterrupted run, and a standby can tail the
+/// log over GET /v1/wal.
+struct DurabilityPolicy {
+  /// Directory WAL segments land in; empty disables the WAL.
+  std::string dir;
+  /// fsync after every N appends (1 = every batch; group commit when >1).
+  int fsync_every_batches = 1;
+  /// Also fsync once this much time has passed since the last sync and
+  /// unsynced appends exist. <= 0 disables the time trigger.
+  double fsync_interval_ms = 0.0;
+  /// Segment rotation threshold.
+  uint64_t segment_max_bytes = 16ull << 20;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
 /// Streaming-server configuration, consumed by every serve::Server
 /// implementation. Composes the pipeline's unified PipelineConfig (and
 /// through it the lp::RunConfig the engines consume) plus one policy struct
@@ -141,6 +160,7 @@ struct ServerConfig {
   ResiliencePolicy resilience;
   TracePolicy trace;
   CheckpointPolicy checkpoint;
+  DurabilityPolicy durability;
 
   /// Ingest-queue bound: Ingest() blocks while this many batches are
   /// pending (backpressure); TryIngest() sheds instead.

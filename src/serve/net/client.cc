@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -17,6 +18,30 @@
 #include "serve/net/wire.h"
 
 namespace glp::serve::net {
+
+double ParseRetryAfterSeconds(const std::string& value) {
+  const char* s = value.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(s, &end);
+  if (end == s) return 0;  // nothing numeric at all (e.g. an HTTP-date)
+  // Trailing junk after the number ("5; please", "2s") means the value is
+  // not plain delta-seconds — treat as absent rather than half-parse it.
+  for (; *end != '\0'; ++end) {
+    if (*end != ' ' && *end != '\t') return 0;
+  }
+  if (!std::isfinite(parsed) || parsed < 0) return 0;
+  return std::min(parsed, 3600.0);
+}
+
+double FullJitterBackoff(double base_seconds, double cap_seconds,
+                         uint64_t random_u64) {
+  const double hi =
+      std::max(0.0, std::min(base_seconds, cap_seconds));
+  // 53-bit mantissa draw → uniform double in [0, 1).
+  const double u =
+      static_cast<double>(random_u64 >> 11) * 0x1.0p-53;
+  return std::max(0.001, u * hi);
+}
 
 HttpClient::~HttpClient() { Close(); }
 
@@ -110,10 +135,11 @@ Result<HttpClient::Response> HttpClient::RequestOnce(
         content_length = static_cast<size_t>(std::strtoull(value.c_str(),
                                                            nullptr, 10));
       } else if (name == "retry-after") {
-        resp.retry_after = std::strtod(value.c_str(), nullptr);
+        resp.retry_after = ParseRetryAfterSeconds(value);
       } else if (name == "connection" && value.compare(0, 5, "close") == 0) {
         resp.closed = true;
       }
+      resp.headers.emplace_back(std::move(name), std::move(value));
     }
   }
   const size_t body_start = head_end + 4;
@@ -163,9 +189,9 @@ Result<HttpClient::Response> HttpClient::PostBatchWithRetry(
   Result<Response> r = PostBatch(batch, token, trace);
   for (int attempt = 0; attempt < max_retries; ++attempt) {
     if (!r.ok() || r.value().status != 429) return r;
-    const double wait =
-        std::min(r.value().retry_after > 0 ? r.value().retry_after : 0.01,
-                 max_wait_seconds);
+    const double base =
+        r.value().retry_after > 0 ? r.value().retry_after : 0.01;
+    const double wait = FullJitterBackoff(base, max_wait_seconds, rng_());
     std::this_thread::sleep_for(std::chrono::duration<double>(wait));
     r = PostBatch(batch, token, trace);
   }

@@ -11,9 +11,25 @@
 
 #include "graph/sliding_window.h"
 #include "obs/trace.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace glp::serve::net {
+
+/// Parses a Retry-After header value as seconds. Strict: the whole value
+/// must be a finite, non-negative number (delta-seconds per RFC 9110;
+/// fractional accepted as an extension) — anything else (garbage,
+/// negative, inf/nan, trailing junk, HTTP-date) reads as 0, i.e. "absent",
+/// so a malformed header can never stall or crash a retry loop. Clamped to
+/// 3600 s: no server in this repo ever asks for more than a tick.
+double ParseRetryAfterSeconds(const std::string& value);
+
+/// Full-jitter backoff (AWS style): a wait drawn uniformly from
+/// [0, min(base_seconds, cap_seconds)] using the caller's random draw,
+/// floored at 1 ms so a zero draw still yields. Pure — tests feed fixed
+/// `random_u64` values and assert exact bounds.
+double FullJitterBackoff(double base_seconds, double cap_seconds,
+                         uint64_t random_u64);
 
 class HttpClient {
  public:
@@ -26,11 +42,21 @@ class HttpClient {
   struct Response {
     int status = 0;
     std::string body;
-    /// Parsed Retry-After seconds; 0 when absent.
+    /// Parsed Retry-After seconds; 0 when absent or unparseable.
     double retry_after = 0;
     /// Server asked to close (Connection: close) — the client reconnects
     /// transparently on the next request.
     bool closed = false;
+    /// All response headers, names lower-cased, in wire order.
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /// First header matching `name` (lower-case); empty when absent.
+    std::string header(const std::string& name) const {
+      for (const auto& [n, v] : headers) {
+        if (n == name) return v;
+      }
+      return "";
+    }
   };
 
   /// Connects to 127.0.0.1:`port` (the in-repo services are loopback).
@@ -61,12 +87,17 @@ class HttpClient {
                              const obs::SpanContext& trace = {});
 
   /// PostBatch with bounded retry on 429, honoring Retry-After (capped per
-  /// attempt by `max_wait_seconds` so tests stay fast). Any other status
-  /// returns immediately.
+  /// attempt by `max_wait_seconds` so tests stay fast). The actual sleep is
+  /// full-jittered — uniform in [0, min(retry_after, max_wait_seconds)] —
+  /// so a thundering herd of clients spreads out instead of re-colliding on
+  /// the server's suggested instant. Any other status returns immediately.
   Result<Response> PostBatchWithRetry(
       const std::vector<graph::TimedEdge>& batch, const std::string& token,
       int max_retries = 50, double max_wait_seconds = 0.2,
       const obs::SpanContext& trace = {});
+
+  /// Reseeds the jitter stream (deterministic backoff in tests).
+  void SeedRetryJitter(uint64_t seed) { rng_ = Rng(seed); }
 
  private:
   Result<Response> RequestOnce(const std::string& method,
@@ -78,6 +109,10 @@ class HttpClient {
 
   int fd_ = -1;
   int port_ = 0;
+  /// Jitter source for retry backoff; default-seeded per instance so
+  /// concurrent clients draw distinct streams.
+  Rng rng_{0x676c70636c69ULL ^
+           reinterpret_cast<uint64_t>(static_cast<void*>(this))};
 };
 
 }  // namespace glp::serve::net

@@ -29,13 +29,6 @@ obs::HttpResponse JsonError(int status, const std::string& message) {
   return r;
 }
 
-/// Retry-After is integral seconds on the wire; round up so a compliant
-/// client never comes back early and gets throttled again.
-std::string RetryAfterValue(double seconds) {
-  return std::to_string(
-      static_cast<int64_t>(std::ceil(std::max(seconds, 0.001))));
-}
-
 /// Bearer-token extraction: Authorization: Bearer <tok>, or the
 /// curl-friendly X-Glp-Token: <tok>.
 std::string ExtractToken(const obs::HttpRequest& req) {
@@ -51,6 +44,11 @@ std::string ExtractToken(const obs::HttpRequest& req) {
 }
 
 }  // namespace
+
+std::string RetryAfterValue(double seconds) {
+  return std::to_string(
+      static_cast<int64_t>(std::ceil(std::max(seconds, 0.001))));
+}
 
 IngestService::IngestService(Server* server,
                              std::vector<TenantPolicy> tenants)
@@ -118,7 +116,16 @@ obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
     return resp;
   };
 
-  // 2. Decode.
+  // 2. Standby fencing at the front door: a hot standby only writes what
+  //    its WalTailer replicates. 503 (not 429) — the client should fail
+  //    over to the primary, not back off and retry here.
+  if (standby_.load(std::memory_order_acquire)) {
+    return finish("standby", 0, 0,
+                  JsonError(503, "standby: not accepting writes "
+                                 "(POST /v1/promote to activate)"));
+  }
+
+  // 3. Decode.
   if (req.body.empty()) {
     return finish("rejected", 0, 0, JsonError(400, "empty batch body"));
   }
@@ -139,7 +146,7 @@ obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
     batch_max_time = std::max(batch_max_time, e.time);
   }
 
-  // 3. Liveness: a stopped/degraded-to-dead server is 503, not 429 — the
+  // 4. Liveness: a stopped/degraded-to-dead server is 503, not 429 — the
   //    client should fail over, not back off (PR 4 semantics).
   if (!server_->running()) {
     obs::HttpResponse r = JsonError(503, "server not running");
@@ -151,7 +158,7 @@ obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
     return finish("stopped", edges, 0, std::move(r));
   }
 
-  // 4. Rate limiting: global bucket, then the tenant's own.
+  // 5. Rate limiting: global bucket, then the tenant's own.
   double retry_after = 1.0;
   const Admission adm =
       tenants_.Admit(tenant, edges, NowSeconds(), &retry_after);
@@ -163,7 +170,7 @@ obs::HttpResponse IngestService::HandleIngest(const obs::HttpRequest& req) {
     return finish("throttled", edges, 0, std::move(r));
   }
 
-  // 5. Hand to the server — non-blocking, so backpressure surfaces as a
+  // 6. Hand to the server — non-blocking, so backpressure surfaces as a
   //    shed (429) instead of pinning this connection thread on the queue.
   //    The client's traceparent (when present) continues into the batch's
   //    IngestContext, and the wire-arrival stamp anchors the per-tenant

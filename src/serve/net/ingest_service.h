@@ -7,6 +7,7 @@
 //   POST /v1/ingest   batch body (binary or ndjson, see wire.h), bearer
 //                     token per tenant. Admission ladder:
 //                       401 unknown/missing token
+//                       503 standby mode (hot standby; POST /v1/promote)
 //                       400 empty/undecodable body, invalid edges
 //                       503 server not running (degraded/dead, PR 4)
 //                       429 + Retry-After rate-limited (global or tenant
@@ -47,6 +48,11 @@
 
 namespace glp::serve::net {
 
+/// Formats a Retry-After header value: integral seconds on the wire,
+/// rounded up (floored at 1) so a compliant client never comes back early
+/// and gets throttled again.
+std::string RetryAfterValue(double seconds);
+
 class IngestService {
  public:
   struct Options {
@@ -76,6 +82,19 @@ class IngestService {
 
   TenantRegistry* tenants() { return &tenants_; }
 
+  /// Standby mode: POST /v1/ingest answers 503 ("standby — not accepting
+  /// writes") while set. A hot standby serves reads (/v1/stats, /metrics,
+  /// /v1/wal) but only its WalTailer writes, until promotion clears this.
+  void SetStandby(bool standby) {
+    standby_.store(standby, std::memory_order_release);
+  }
+  bool standby() const { return standby_.load(std::memory_order_acquire); }
+
+  /// Co-hosted route registration (e.g. a ReplicationService's /v1/wal and
+  /// /v1/promote). Must run before Start() — the underlying HttpServer
+  /// freezes its route table when it binds.
+  obs::HttpServer* http() { return &http_; }
+
  private:
   obs::HttpResponse HandleIngest(const obs::HttpRequest& req);
   obs::HttpResponse HandleStats(const obs::HttpRequest& req);
@@ -86,6 +105,7 @@ class IngestService {
   TenantRegistry tenants_;
   obs::HttpServer http_;
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> standby_{false};
 
   /// Stream head over accepted batches — the reference point for
   /// per-tenant ingest-lag attribution.

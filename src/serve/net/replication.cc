@@ -1,0 +1,238 @@
+#include "serve/net/replication.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/net/client.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace glp::serve::net {
+
+namespace {
+
+double WallSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// First value of `key` in an application/x-www-form-urlencoded query
+/// string ("from=5&wait_ms=100"); empty when absent. No %-decoding — the
+/// replication parameters are all plain integers.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+uint64_t QueryU64(const std::string& query, const std::string& key,
+                  uint64_t fallback) {
+  const std::string v = QueryParam(query, key);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = "{\"error\":\"" + json::Escape(message) + "\"}\n";
+  return r;
+}
+
+}  // namespace
+
+ReplicationService::ReplicationService(
+    const wal::Wal* wal, std::function<Result<uint64_t>()> on_promote)
+    : wal_(wal), on_promote_(std::move(on_promote)) {}
+
+void ReplicationService::Register(obs::HttpServer* http) {
+  http->Route("GET", "/v1/wal",
+              [this](const obs::HttpRequest& r) { return HandleWal(r); });
+  http->Route("POST", "/v1/promote", [this](const obs::HttpRequest& r) {
+    return HandlePromote(r);
+  });
+}
+
+obs::HttpResponse ReplicationService::HandleWal(
+    const obs::HttpRequest& req) const {
+  if (wal_ == nullptr) {
+    return JsonError(503, "durability disabled: no write-ahead log");
+  }
+  const uint64_t from = std::max<uint64_t>(QueryU64(req.query, "from", 1), 1);
+  const uint64_t wait_ms = QueryU64(req.query, "wait_ms", 0);
+  const size_t max_bytes = static_cast<size_t>(
+      std::min<uint64_t>(QueryU64(req.query, "max_bytes", 1u << 20),
+                         kMaxResponseBytes));
+  if (wait_ms > 0 && wal_->last_seq() < from) {
+    // Long-poll: this thread belongs to one follower connection, so
+    // parking it does not stall anything else (thread-per-connection).
+    (void)wal_->WaitForSeq(from, static_cast<double>(wait_ms) / 1000.0);
+  }
+  Result<std::string> raw = wal_->ReadRawFrom(from, max_bytes, nullptr);
+  if (!raw.ok()) {
+    return JsonError(500, raw.status().message());
+  }
+  obs::HttpResponse r;
+  r.content_type = kWalContentType;
+  r.body = std::move(raw).value();
+  r.headers.emplace_back("X-Glp-Wal-Epoch", std::to_string(wal_->epoch()));
+  r.headers.emplace_back("X-Glp-Wal-Last-Seq",
+                         std::to_string(wal_->last_seq()));
+  return r;
+}
+
+obs::HttpResponse ReplicationService::HandlePromote(
+    const obs::HttpRequest&) const {
+  if (!on_promote_) {
+    return JsonError(503, "promotion not wired on this server");
+  }
+  Result<uint64_t> epoch = on_promote_();
+  if (!epoch.ok()) {
+    return JsonError(500, epoch.status().message());
+  }
+  obs::HttpResponse r;
+  r.content_type = "application/json";
+  r.body = "{\"epoch\":" + std::to_string(epoch.value()) + "}\n";
+  return r;
+}
+
+// ---------------------------------------------------------------- tailer --
+
+WalTailer::WalTailer(Server* server, Options options)
+    : server_(server), options_(options) {}
+
+WalTailer::~WalTailer() { Stop(); }
+
+void WalTailer::Start(uint64_t from_seq, uint64_t epoch) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  last_applied_seq_.store(from_seq, std::memory_order_release);
+  thread_ = std::thread([this, from_seq, epoch] { Loop(from_seq, epoch); });
+}
+
+void WalTailer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+Status WalTailer::last_error() const {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  return last_error_;
+}
+
+void WalTailer::RecordError(const Status& st) {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (last_error_.ok()) last_error_ = st;
+}
+
+void WalTailer::Loop(uint64_t start_seq, uint64_t epoch) {
+  obs::Gauge* lag = server_->metrics()->GetGauge(
+      "glp_serve_replica_lag_seconds",
+      "Wall-clock gap between the primary's append and the standby apply "
+      "of the newest replicated batch");
+  HttpClient client;
+  uint64_t next = start_seq + 1;
+  uint64_t local_epoch = epoch;
+  const auto backoff = [&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.retry_backoff_seconds));
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!client.connected() &&
+        !client.Connect(options_.primary_port).ok()) {
+      backoff();
+      continue;
+    }
+    const std::string path =
+        "/v1/wal?from=" + std::to_string(next) +
+        "&wait_ms=" + std::to_string(options_.poll_wait_ms) +
+        "&max_bytes=" + std::to_string(options_.max_bytes);
+    Result<HttpClient::Response> r = client.Get(path);
+    if (!r.ok()) {
+      backoff();
+      continue;
+    }
+    if (r.value().status != 200) {
+      backoff();  // 503 until the primary's WAL opens; transient otherwise
+      continue;
+    }
+    const std::string remote_epoch_hdr = r.value().header("x-glp-wal-epoch");
+    if (!remote_epoch_hdr.empty()) {
+      const uint64_t remote_epoch =
+          std::strtoull(remote_epoch_hdr.c_str(), nullptr, 10);
+      if (remote_epoch < local_epoch) {
+        // The peer is a deposed primary (our epoch is newer — we were
+        // promoted, or learned of a promotion). Stop rather than apply
+        // its fenced writes.
+        RecordError(Status::InvalidArgument(
+            "replication fenced: primary epoch " +
+            std::to_string(remote_epoch) + " behind local epoch " +
+            std::to_string(local_epoch)));
+        break;
+      }
+      local_epoch = std::max(local_epoch, remote_epoch);
+    }
+    const std::string& body = r.value().body;
+    size_t pos = 0;
+    bool fatal = false;
+    while (pos < body.size()) {
+      wal::WalFrame f;
+      const wal::FrameParse p = wal::ParseFrame(body, &pos, &f);
+      if (p == wal::FrameParse::kEnd) break;
+      if (p == wal::FrameParse::kTorn) {
+        // A max_bytes cut never lands mid-frame (the server emits whole
+        // frames), so torn bytes mean wire corruption — drop the
+        // connection and refetch from the last applied position.
+        client.Close();
+        break;
+      }
+      const double frame_wall = f.wall_seconds;
+      const uint64_t seq = f.seq;
+      IngestContext ctx;
+      ctx.wal_seq = f.seq;
+      ctx.wal_epoch = f.epoch;
+      ctx.wal_wall_seconds = f.wall_seconds;
+      if (!server_->Ingest(std::move(f.edges), std::move(ctx))) {
+        // The local server refused the frame: fenced epoch, validation
+        // failure, or the server died. All are terminal for this tailer.
+        RecordError(Status::Internal(
+            "standby rejected replicated frame seq " + std::to_string(seq) +
+            (server_->running() ? "" : " (server not running)")));
+        fatal = true;
+        break;
+      }
+      last_applied_seq_.store(seq, std::memory_order_release);
+      next = seq + 1;
+      if (frame_wall > 0) {
+        lag->Set(std::max(0.0, WallSecondsNow() - frame_wall));
+      }
+    }
+    if (fatal) break;
+    // An empty body just means the long poll expired with nothing new.
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace glp::serve::net

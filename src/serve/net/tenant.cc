@@ -90,6 +90,11 @@ bool TokenBucket::TryAcquire(double cost, double now_seconds,
     return true;
   }
   if (retry_after_seconds != nullptr) {
+    // Deficit over rate. For cost <= burst this is exactly when a retry
+    // will succeed. For cost > burst it is a lower bound that can *never*
+    // become satisfiable (refill caps at burst) — such a request is
+    // over-sized for the policy, refused deterministically every time,
+    // which is what the admission tests pin down.
     *retry_after_seconds = (cost - tokens_) / rate_;
   }
   return false;

@@ -51,7 +51,10 @@ class TokenBucket {
 
   /// Takes `cost` tokens at time `now_seconds` (monotonic, caller-supplied).
   /// On refusal returns false and sets *retry_after_seconds to when the
-  /// deficit will have refilled.
+  /// deficit will have refilled. A cost above the burst capacity is
+  /// refused deterministically — refill caps at burst, so no wait (the
+  /// quoted retry_after included) ever satisfies it; callers admitting
+  /// variable-size work should size burst above their largest batch.
   bool TryAcquire(double cost, double now_seconds,
                   double* retry_after_seconds);
 

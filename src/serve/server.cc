@@ -164,6 +164,34 @@ StreamServer::StreamServer(ServerConfig config)
   ins_.incremental_rebuilds = registry_->GetCounter(
       "glp_serve_incremental_rebuilds_total",
       "Incremental-mode ticks that fell back to a full rebuild");
+  ins_.wal_appends_ok = registry_->GetCounter(
+      "glp_serve_wal_appends_total", "WAL append attempts",
+      {{"result", "ok"}});
+  ins_.wal_appends_failed = registry_->GetCounter(
+      "glp_serve_wal_appends_total", "WAL append attempts",
+      {{"result", "error"}});
+  ins_.wal_duplicates = registry_->GetCounter(
+      "glp_serve_wal_duplicates_total",
+      "Replicated batches suppressed as already-logged duplicates");
+  ins_.wal_fenced = registry_->GetCounter(
+      "glp_serve_wal_fenced_total",
+      "Replicated batches rejected for carrying a deposed fencing epoch");
+  ins_.wal_replayed_batches = registry_->GetCounter(
+      "glp_serve_wal_replayed_batches_total",
+      "Batches recovered from the WAL during restore");
+  ins_.wal_pruned_segments = registry_->GetCounter(
+      "glp_serve_wal_pruned_segments_total",
+      "WAL segments garbage-collected after covering checkpoints");
+  ins_.wal_fsyncs = registry_->GetCounter(
+      "glp_serve_wal_fsyncs_total", "WAL fsync calls (group commit)");
+  ins_.wal_bytes = registry_->GetCounter(
+      "glp_serve_wal_bytes_total", "Frame bytes appended to the WAL");
+  ins_.wal_last_seq = registry_->GetGauge(
+      "glp_serve_wal_last_seq", "Highest WAL sequence number appended");
+  ins_.wal_epoch = registry_->GetGauge(
+      "glp_serve_wal_epoch", "Current WAL fencing epoch");
+  ins_.wal_segments = registry_->GetGauge(
+      "glp_serve_wal_segments", "Live WAL segment files");
   obs::RegisterThreadPoolCollector(
       registry_,
       config_.pool != nullptr ? config_.pool : glp::ThreadPool::Default());
@@ -195,13 +223,34 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
           "RestoreFromCheckpoint requires a not-yet-started server");
     }
   }
+  // The WAL opens first: Open() truncates a torn tail (crash mid-append)
+  // and recovers the durable sequence, which recovery below replays on top
+  // of the checkpoint. With no checkpoint at all the WAL alone is a
+  // complete recovery source (replay from an empty window).
+  {
+    const Status wst = EnsureWalOpen();
+    if (!wst.ok()) return wst;
+  }
   std::string path = path_or_dir;
   std::error_code ec;
+  bool have_checkpoint = true;
   if (std::filesystem::is_directory(path_or_dir, ec)) {
-    GLP_ASSIGN_OR_RETURN(path, LatestCheckpoint(path_or_dir));
+    auto latest = LatestCheckpoint(path_or_dir);
+    if (latest.ok()) {
+      path = std::move(latest).value();
+    } else if (wal_ != nullptr &&
+               latest.status().code() == StatusCode::kNotFound) {
+      have_checkpoint = false;
+    } else {
+      return latest.status();
+    }
+  } else if (wal_ != nullptr && !std::filesystem::exists(path_or_dir, ec)) {
+    have_checkpoint = false;
   }
   CheckpointData data;
-  GLP_ASSIGN_OR_RETURN(data, LoadCheckpoint(path));
+  if (have_checkpoint) {
+    GLP_ASSIGN_OR_RETURN(data, LoadCheckpoint(path));
+  }
 
   window_ = graph::SlidingWindow(std::move(data.edges));
   num_ticks_ = data.tick;
@@ -252,8 +301,65 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
   info.tick = num_ticks_;
   info.num_edges = window_.num_stream_edges();
   info.max_time = data.ingested_max_time;
-  GLP_LOG(Info) << "restored checkpoint " << path << " (tick " << info.tick
-                << ", " << info.num_edges << " edges)";
+
+  // WAL replay: everything logged after the checkpoint's covered sequence
+  // re-enters the ingest queue (in sequence order, before Start() lets new
+  // batches in), so the detection thread re-runs the lost ticks through
+  // the normal path — output byte-identical to the uninterrupted run.
+  consumed_wal_seq_ = data.wal_seq;
+  if (wal_ != nullptr) {
+    if (data.wal_epoch > 0) {
+      const Status est = wal_->EnsureEpochAtLeast(data.wal_epoch);
+      if (!est.ok()) return est;
+    }
+    auto frames = wal_->ReadFrom(data.wal_seq + 1);
+    if (!frames.ok()) return frames.status();
+    uint64_t expected = data.wal_seq + 1;
+    double max_time = info.max_time;
+    size_t replayed = 0;
+    for (wal::WalFrame& f : frames.value()) {
+      if (f.seq != expected) {
+        // Frames between the checkpoint and the oldest surviving segment
+        // were pruned against a newer checkpoint that no longer loads —
+        // replay would silently skip batches, so refuse instead.
+        return Status::IoError(
+            "wal: replay gap: checkpoint covers seq " +
+            std::to_string(data.wal_seq) + " but next durable frame is " +
+            std::to_string(f.seq));
+      }
+      ++expected;
+      QueuedBatch qb;
+      qb.wal_seq = f.seq;
+      qb.ctx.wal_seq = f.seq;
+      qb.ctx.wal_epoch = f.epoch;
+      qb.ctx.wal_wall_seconds = f.wall_seconds;
+      qb.enqueue_seconds = obs::MonotonicSeconds();
+      for (const graph::TimedEdge& e : f.edges) {
+        max_time = std::max(max_time, e.time);
+      }
+      info.num_edges += f.edges.size();
+      qb.edges = std::move(f.edges);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(qb));
+      }
+      ++replayed;
+    }
+    ins_.wal_replayed_batches->Increment(replayed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ingested_max_time_ = max_time;
+    }
+    info.max_time = max_time;
+    info.wal_seq = wal_->last_seq();
+    info.wal_epoch = wal_->epoch();
+    PublishWalStats();
+  }
+  GLP_LOG(Info) << "restored "
+                << (have_checkpoint ? "checkpoint " + path : "(no checkpoint)")
+                << " (tick " << info.tick << ", " << info.num_edges
+                << " edges" << (wal_ != nullptr ? ", wal seq " +
+                std::to_string(info.wal_seq) : "") << ")";
   return info;
 }
 
@@ -290,6 +396,10 @@ Status StreamServer::Start() {
                              config_.checkpoint.dir + ": " + ec.message());
     }
   }
+  {
+    const Status wst = EnsureWalOpen();
+    if (!wst.ok()) return wst;
+  }
   started_ = true;
   stopping_ = false;
   dead_ = false;
@@ -312,6 +422,79 @@ bool StreamServer::ValidBatch(
     }
   }
   return true;
+}
+
+Status StreamServer::EnsureWalOpen() {
+  if (!config_.durability.enabled() || wal_ != nullptr) return Status::OK();
+  wal::WalOptions opts;
+  opts.fsync_every_batches = config_.durability.fsync_every_batches;
+  opts.fsync_interval_ms = config_.durability.fsync_interval_ms;
+  opts.segment_max_bytes = config_.durability.segment_max_bytes;
+  auto opened = wal::Wal::Open(config_.durability.dir, opts);
+  if (!opened.ok()) return opened.status();
+  wal_ = std::move(opened).value();
+  PublishWalStats();
+  return Status::OK();
+}
+
+void StreamServer::PublishWalStats() {
+  if (wal_ == nullptr) return;
+  const wal::WalStats s = wal_->stats();
+  ins_.wal_last_seq->Set(static_cast<double>(s.last_seq));
+  ins_.wal_epoch->Set(static_cast<double>(s.epoch));
+  ins_.wal_segments->Set(static_cast<double>(s.segments));
+  if (s.fsyncs > wal_published_fsyncs_) {
+    ins_.wal_fsyncs->Increment(s.fsyncs - wal_published_fsyncs_);
+    wal_published_fsyncs_ = s.fsyncs;
+  }
+  if (s.bytes_appended > wal_published_bytes_) {
+    ins_.wal_bytes->Increment(s.bytes_appended - wal_published_bytes_);
+    wal_published_bytes_ = s.bytes_appended;
+  }
+  if (s.pruned_segments > wal_published_pruned_) {
+    ins_.wal_pruned_segments->Increment(s.pruned_segments -
+                                        wal_published_pruned_);
+    wal_published_pruned_ = s.pruned_segments;
+  }
+}
+
+Status StreamServer::AppendToWalLocked(
+    const std::vector<graph::TimedEdge>& batch, const IngestContext& ctx,
+    QueuedBatch* qb) {
+  if (wal_ == nullptr) return Status::OK();
+  if (ctx.wal_seq != 0) {
+    // Replication apply: keep the primary's sequence so a promoted standby
+    // has a byte-compatible log. Duplicates and fenced epochs are resolved
+    // by the Wal itself.
+    wal::WalFrame frame;
+    frame.seq = ctx.wal_seq;
+    frame.epoch = ctx.wal_epoch;
+    frame.wall_seconds = ctx.wal_wall_seconds;
+    frame.edges = batch;
+    const Status st = wal_->AppendFrame(frame);
+    if (st.ok()) {
+      qb->wal_seq = frame.seq;
+      ins_.wal_appends_ok->Increment();
+    } else if (st.code() == StatusCode::kAlreadyExists) {
+      ins_.wal_duplicates->Increment();
+    } else if (st.code() == StatusCode::kInvalidArgument) {
+      ins_.wal_fenced->Increment();
+    } else {
+      ins_.wal_appends_failed->Increment();
+    }
+    PublishWalStats();
+    return st;
+  }
+  auto seq = wal_->Append(batch, /*wall_seconds=*/0.0);
+  if (!seq.ok()) {
+    ins_.wal_appends_failed->Increment();
+    PublishWalStats();
+    return seq.status();
+  }
+  qb->wal_seq = seq.value();
+  ins_.wal_appends_ok->Increment();
+  PublishWalStats();
+  return Status::OK();
 }
 
 bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch,
@@ -337,13 +520,26 @@ bool StreamServer::Ingest(std::vector<graph::TimedEdge> batch,
     });
     if (stopping_ || dead_) return false;
   }
+  QueuedBatch qb;
+  if (wal_ != nullptr) {
+    const Status wst = AppendToWalLocked(batch, ctx, &qb);
+    // A replicated duplicate is already logged (and enqueued by the apply
+    // that logged it): ack without enqueueing again.
+    if (wst.code() == StatusCode::kAlreadyExists) return true;
+    if (!wst.ok()) {
+      ins_.batches_dropped->Increment();
+      return false;
+    }
+  }
   for (const graph::TimedEdge& e : batch) {
     ingested_max_time_ = std::max(ingested_max_time_, e.time);
   }
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch.size());
-  queue_.push_back(QueuedBatch{std::move(batch), std::move(ctx),
-                               obs::MonotonicSeconds()});
+  qb.edges = std::move(batch);
+  qb.ctx = std::move(ctx);
+  qb.enqueue_seconds = obs::MonotonicSeconds();
+  queue_.push_back(std::move(qb));
   ins_.queue_depth->Set(static_cast<double>(queue_.size()));
   ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
@@ -364,13 +560,24 @@ Server::Admit StreamServer::TryIngest(std::vector<graph::TimedEdge> batch,
   std::lock_guard<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return Admit::kStopped;
   if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
+  QueuedBatch qb;
+  if (wal_ != nullptr) {
+    const Status wst = AppendToWalLocked(batch, ctx, &qb);
+    if (wst.code() == StatusCode::kAlreadyExists) return Admit::kAccepted;
+    if (!wst.ok()) {
+      ins_.batches_dropped->Increment();
+      return Admit::kRejected;
+    }
+  }
   for (const graph::TimedEdge& e : batch) {
     ingested_max_time_ = std::max(ingested_max_time_, e.time);
   }
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch.size());
-  queue_.push_back(QueuedBatch{std::move(batch), std::move(ctx),
-                               obs::MonotonicSeconds()});
+  qb.edges = std::move(batch);
+  qb.ctx = std::move(ctx);
+  qb.enqueue_seconds = obs::MonotonicSeconds();
+  queue_.push_back(std::move(qb));
   ins_.queue_depth->Set(static_cast<double>(queue_.size()));
   ins_.queue_peak->Max(static_cast<double>(queue_.size()));
   queue_cv_.notify_one();
@@ -506,6 +713,7 @@ void StreamServer::DetectLoop() {
       busy_ = true;
       not_full_cv_.notify_all();
     }
+    if (qb.wal_seq > consumed_wal_seq_) consumed_wal_seq_ = qb.wal_seq;
     NoteBatchDequeued(qb, obs::MonotonicSeconds());
     std::vector<graph::TimedEdge> batch = std::move(qb.edges);
     bool keep_running = true;
@@ -665,14 +873,23 @@ Status StreamServer::DoWriteCheckpoint() {
       data.inc_anchors.push_back(anchor_of_[e]);
     }
   }
+  data.wal_seq = consumed_wal_seq_;
+  data.wal_epoch = wal_ != nullptr ? wal_->epoch() : 0;
   const std::string path =
       config_.checkpoint.dir + "/" + CheckpointFileName(num_ticks_);
   const Status st = SaveCheckpoint(path, data);
   if (st.ok()) {
     ins_.checkpoints_ok->Increment();
     last_checkpoint_tick_ = num_ticks_;
-    // Best-effort: a failed prune never fails the tick.
-    (void)PruneCheckpoints(config_.checkpoint.dir, config_.checkpoint.keep);
+    // Best-effort: a failed prune never fails the tick. Checkpoint pruning
+    // is WAL-aware (the newest snapshot is the replay base for surviving
+    // segments); WAL segments fully covered by this snapshot go next.
+    (void)PruneCheckpoints(config_.checkpoint.dir, config_.checkpoint.keep,
+                           config_.durability.dir);
+    if (wal_ != nullptr) {
+      (void)wal_->PruneThrough(data.wal_seq);
+      PublishWalStats();
+    }
   } else {
     ins_.checkpoints_failed->Increment();
     GLP_LOG(Warning) << "checkpoint at tick " << num_ticks_

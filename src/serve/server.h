@@ -40,6 +40,7 @@
 #include "serve/config.h"
 #include "serve/incremental.h"
 #include "serve/server_iface.h"
+#include "serve/wal.h"
 #include "util/status.h"
 
 namespace glp::serve {
@@ -122,6 +123,8 @@ class StreamServer : public Server {
     return recorder_.get();
   }
 
+  wal::Wal* wal() const override { return wal_.get(); }
+
  private:
   /// How one tick boundary resolved.
   enum class TickOutcome { kOk, kAbandoned, kCancelled, kFatal };
@@ -132,6 +135,10 @@ class StreamServer : public Server {
     IngestContext ctx;
     /// obs::MonotonicSeconds() at enqueue — the queue-wait span's start.
     double enqueue_seconds = 0;
+    /// WAL sequence of this batch (0 when the WAL is disabled). The
+    /// detection thread tracks the highest consumed value so checkpoints
+    /// record how much of the log they cover.
+    uint64_t wal_seq = 0;
   };
 
   /// A batch awaiting its freshness measurement: retained from dequeue
@@ -166,6 +173,15 @@ class StreamServer : public Server {
   /// Builds and writes one snapshot (detection-thread state; callers must
   /// guarantee the detection thread is quiescent or be the thread itself).
   Status DoWriteCheckpoint();
+  /// Opens the WAL per DurabilityPolicy (idempotent; no-op when disabled).
+  Status EnsureWalOpen();
+  /// Appends one admitted batch to the WAL under mu_ (so sequence order
+  /// matches queue order) and stamps qb->wal_seq. Returns kAlreadyExists
+  /// for a replicated duplicate (caller acks without enqueueing) and any
+  /// other failure to reject the batch — the log must contain exactly the
+  /// batches the detection thread will consume.
+  Status AppendToWalLocked(const std::vector<graph::TimedEdge>& batch,
+                           const IngestContext& ctx, QueuedBatch* qb);
   /// Emits the batch's queue-wait span and retains its freshness stamp
   /// (detection thread, right after dequeue).
   void NoteBatchDequeued(const QueuedBatch& qb, double pop_seconds);
@@ -195,6 +211,10 @@ class StreamServer : public Server {
   /// A due cold refresh was postponed by the degradation ladder.
   bool refresh_pending_ = false;
   int64_t last_checkpoint_tick_ = -1;
+  /// Highest WAL sequence consumed into the window (detection thread).
+  /// Checkpoints record it; segments at or below it are pruned after a
+  /// successful snapshot.
+  uint64_t consumed_wal_seq_ = 0;
   // Previous tick's state for warm start + diffing.
   bool have_prev_ = false;
   std::vector<graph::VertexId> prev_l2g_;
@@ -280,8 +300,24 @@ class StreamServer : public Server {
     obs::Gauge* dirty_components;
     obs::Counter* reused_clusters;
     obs::Counter* incremental_rebuilds;
+    // Durability (glp_serve_wal_*; null pointers are never resolved lazily
+    // — all are created at construction even when the WAL is off).
+    obs::Counter* wal_appends_ok;
+    obs::Counter* wal_appends_failed;
+    obs::Counter* wal_duplicates;
+    obs::Counter* wal_fenced;
+    obs::Counter* wal_replayed_batches;
+    obs::Counter* wal_pruned_segments;
+    obs::Counter* wal_fsyncs;
+    obs::Counter* wal_bytes;
+    obs::Gauge* wal_last_seq;
+    obs::Gauge* wal_epoch;
+    obs::Gauge* wal_segments;
   };
   Instruments ins_{};
+  /// Publishes the Wal's internal counters into the instruments above
+  /// (called after WAL operations; cheap — a handful of relaxed stores).
+  void PublishWalStats();
 
   // Tracing (TracePolicy; DESIGN.md §4.12). The sampler mints tick trace
   // ids; the sink collects one in-flight tick's spans (thread-safe — the
@@ -300,6 +336,16 @@ class StreamServer : public Server {
   std::map<std::string, obs::Histogram*> freshness_hist_;
   /// Bound on retained unresolved freshness stamps (oldest dropped first).
   static constexpr size_t kMaxPendingFreshness = 4096;
+
+  // Durability (DurabilityPolicy; DESIGN.md §4.13). The Wal is internally
+  // thread-safe; the pointer is installed before Start() (EnsureWalOpen)
+  // and never reassigned while the server runs.
+  std::unique_ptr<wal::Wal> wal_;
+  /// Cumulative WAL fsync/byte/prune counts already published to the
+  /// registry (the registry counters are monotonic; these track deltas).
+  uint64_t wal_published_fsyncs_ = 0;
+  uint64_t wal_published_bytes_ = 0;
+  uint64_t wal_published_pruned_ = 0;
 
   std::atomic<bool> stop_token_{false};
   std::thread thread_;

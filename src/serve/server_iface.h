@@ -33,6 +33,10 @@
 
 namespace glp::serve {
 
+namespace wal {
+class Wal;
+}
+
 /// Wire-to-publish context riding alongside one ingest batch (DESIGN.md
 /// §4.12): the client's trace context from `traceparent`, the arrival
 /// stamp the freshness SLO measures from, and the tenant the measurement
@@ -44,6 +48,18 @@ struct IngestContext {
   double arrival_seconds = -1;
   /// Label on glp_serve_freshness_seconds; empty renders as "default".
   std::string tenant;
+
+  // Replication-internal (serve/net/replication.h). Nonzero wal_seq means
+  // this batch already carries a primary-assigned WAL position: the
+  // server's WAL appends it at exactly that sequence instead of assigning
+  // a fresh one, suppresses it as a duplicate if already logged, and
+  // rejects it when wal_epoch is behind the local fencing epoch (a
+  // deposed primary's write). Normal ingest leaves all three zero.
+  uint64_t wal_seq = 0;
+  uint64_t wal_epoch = 0;
+  /// Primary's wall clock at original append — feeds the standby's
+  /// glp_serve_replica_lag_seconds gauge.
+  double wal_wall_seconds = 0;
 };
 
 /// One detection tick's output, published to subscribers.
@@ -129,8 +145,10 @@ class Server {
   /// canonically-sorted source stream starting at edge index num_edges.
   struct RestoreInfo {
     int64_t tick = 0;        ///< ticks already completed
-    uint64_t num_edges = 0;  ///< edges already in the window stream
+    uint64_t num_edges = 0;  ///< edges already recovered (window + WAL replay)
     double max_time = 0;     ///< newest timestamp already ingested
+    uint64_t wal_seq = 0;    ///< highest WAL sequence recovered (0 = no WAL)
+    uint64_t wal_epoch = 0;  ///< fencing epoch after recovery (0 = no WAL)
   };
 
   /// How TryIngest resolved, in admission-ladder order.
@@ -214,6 +232,12 @@ class Server {
 
   /// Detection shards behind this server (1 for StreamServer).
   virtual int num_shards() const = 0;
+
+  /// The write-ahead log when DurabilityPolicy is enabled (opened by
+  /// Start() or RestoreFromCheckpoint(), whichever runs first); null
+  /// otherwise. The replication service reads frames from it and
+  /// promotion bumps its fencing epoch.
+  virtual wal::Wal* wal() const { return nullptr; }
 
   /// Flight recorder holding the last trace.recorder_ticks complete
   /// per-tick span trees (the GET /debug/ticks payload and the

@@ -180,6 +180,34 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
   ins_.incremental_rebuilds = registry_->GetCounter(
       "glp_serve_incremental_rebuilds_total",
       "Incremental-mode ticks that fell back to a full rebuild");
+  ins_.wal_appends_ok = registry_->GetCounter(
+      "glp_serve_wal_appends_total", "WAL append attempts",
+      {{"result", "ok"}});
+  ins_.wal_appends_failed = registry_->GetCounter(
+      "glp_serve_wal_appends_total", "WAL append attempts",
+      {{"result", "error"}});
+  ins_.wal_duplicates = registry_->GetCounter(
+      "glp_serve_wal_duplicates_total",
+      "Replicated batches suppressed as already-logged duplicates");
+  ins_.wal_fenced = registry_->GetCounter(
+      "glp_serve_wal_fenced_total",
+      "Replicated batches rejected for carrying a deposed fencing epoch");
+  ins_.wal_replayed_batches = registry_->GetCounter(
+      "glp_serve_wal_replayed_batches_total",
+      "Batches recovered from the WAL during restore");
+  ins_.wal_pruned_segments = registry_->GetCounter(
+      "glp_serve_wal_pruned_segments_total",
+      "WAL segments garbage-collected after covering checkpoints");
+  ins_.wal_fsyncs = registry_->GetCounter(
+      "glp_serve_wal_fsyncs_total", "WAL fsync calls (group commit)");
+  ins_.wal_bytes = registry_->GetCounter(
+      "glp_serve_wal_bytes_total", "Frame bytes appended to the WAL");
+  ins_.wal_last_seq = registry_->GetGauge(
+      "glp_serve_wal_last_seq", "Highest WAL sequence number appended");
+  ins_.wal_epoch = registry_->GetGauge(
+      "glp_serve_wal_epoch", "Current WAL fencing epoch");
+  ins_.wal_segments = registry_->GetGauge(
+      "glp_serve_wal_segments", "Live WAL segment files");
   // Per-shard families, one time series per shard via the {shard} label.
   shard_ins_.resize(num_shards_);
   for (int k = 0; k < num_shards_; ++k) {
@@ -239,17 +267,42 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
           "RestoreFromCheckpoint requires a not-yet-started server");
     }
   }
+  // Open (and tail-truncate) the WAL before touching checkpoints: a missing
+  // or empty checkpoint dir is recoverable by pure WAL replay from an empty
+  // window, so NotFound is only fatal when there is no WAL either.
+  {
+    const Status wst = EnsureWalOpen();
+    if (!wst.ok()) return wst;
+  }
   ShardedCheckpoint cp;
+  bool have_checkpoint = true;
   std::error_code ec;
   if (std::filesystem::is_directory(path_or_dir, ec)) {
-    GLP_ASSIGN_OR_RETURN(cp, LatestShardedCheckpoint(path_or_dir));
+    Result<ShardedCheckpoint> latest = LatestShardedCheckpoint(path_or_dir);
+    if (!latest.ok()) {
+      if (latest.status().code() == StatusCode::kNotFound && wal_ != nullptr) {
+        have_checkpoint = false;
+      } else {
+        return latest.status();
+      }
+    } else {
+      cp = std::move(latest).value();
+    }
+  } else if (!std::filesystem::exists(path_or_dir, ec) && wal_ != nullptr) {
+    have_checkpoint = false;
   } else {
     GLP_ASSIGN_OR_RETURN(cp, LoadShardedCheckpoint(path_or_dir));
   }
-  if (cp.manifest.num_shards != num_shards_) {
+  if (have_checkpoint && cp.manifest.num_shards != num_shards_) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(cp.manifest.num_shards) +
         " shards, server has " + std::to_string(num_shards_));
+  }
+  if (!have_checkpoint) {
+    // Pure WAL replay from an empty window: shape the default-constructed
+    // checkpoint to the fleet so the restore body below is a no-op.
+    cp.manifest.num_shards = num_shards_;
+    cp.shards.resize(static_cast<size_t>(num_shards_));
   }
   // Resharding a checkpoint would need a re-route of every edge; only
   // same-fleet-shape restores are supported, enforced above.
@@ -329,9 +382,68 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
   info.tick = num_ticks_;
   info.num_edges = global_edges_;
   info.max_time = cp.coord.ingested_max_time;
-  GLP_LOG(Info) << "restored sharded checkpoint (tick " << info.tick << ", "
-                << num_shards_ << " shards, " << info.num_edges
-                << " stream edges)";
+
+  // WAL replay: frames after the checkpoint's covered sequence hold the
+  // pre-routing global batches — re-route each one and re-enqueue, so the
+  // detection thread re-runs the lost ticks through the normal sharded
+  // path, byte-identical to the uninterrupted run.
+  consumed_wal_seq_ = cp.coord.wal_seq;
+  if (wal_ != nullptr) {
+    const uint64_t floor_epoch =
+        std::max(cp.coord.wal_epoch, cp.manifest.epoch);
+    if (floor_epoch > 0) {
+      const Status est = wal_->EnsureEpochAtLeast(floor_epoch);
+      if (!est.ok()) return est;
+    }
+    auto frames = wal_->ReadFrom(cp.coord.wal_seq + 1);
+    if (!frames.ok()) return frames.status();
+    uint64_t expected = cp.coord.wal_seq + 1;
+    double max_time = info.max_time;
+    size_t replayed = 0;
+    for (wal::WalFrame& f : frames.value()) {
+      if (f.seq != expected) {
+        // Frames between the checkpoint and the oldest surviving segment
+        // were pruned against a newer checkpoint that no longer loads —
+        // replay would silently skip batches, so refuse instead.
+        return Status::IoError(
+            "wal: replay gap: checkpoint covers seq " +
+            std::to_string(cp.coord.wal_seq) + " but next durable frame is " +
+            std::to_string(f.seq));
+      }
+      ++expected;
+      for (const TimedEdge& e : f.edges) {
+        max_time = std::max(max_time, e.time);
+      }
+      info.num_edges += f.edges.size();
+      global_edges_ += f.edges.size();
+      RoutedBatch rb = RouteBatch(std::move(f.edges));
+      rb.wal_seq = f.seq;
+      rb.ctx.wal_seq = f.seq;
+      rb.ctx.wal_epoch = f.epoch;
+      rb.ctx.wal_wall_seconds = f.wall_seconds;
+      rb.enqueue_seconds = obs::MonotonicSeconds();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(rb));
+      }
+      ++replayed;
+    }
+    ins_.wal_replayed_batches->Increment(replayed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ingested_max_time_ = max_time;
+    }
+    info.max_time = max_time;
+    info.wal_seq = wal_->last_seq();
+    info.wal_epoch = wal_->epoch();
+    PublishWalStats();
+  }
+  GLP_LOG(Info) << "restored sharded "
+                << (have_checkpoint ? "checkpoint" : "(no checkpoint)")
+                << " (tick " << info.tick << ", " << num_shards_
+                << " shards, " << info.num_edges << " stream edges"
+                << (wal_ != nullptr ? ", wal seq " +
+                std::to_string(info.wal_seq) : "") << ")";
   return info;
 }
 
@@ -366,6 +478,10 @@ Status ShardedStreamServer::Start() {
       return Status::IoError("cannot create checkpoint dir " +
                              config_.checkpoint.dir + ": " + ec.message());
     }
+  }
+  {
+    const Status wst = EnsureWalOpen();
+    if (!wst.ok()) return wst;
   }
   started_ = true;
   stopping_ = false;
@@ -414,6 +530,76 @@ ShardedStreamServer::RoutedBatch ShardedStreamServer::RouteBatch(
   return rb;
 }
 
+Status ShardedStreamServer::EnsureWalOpen() {
+  if (!config_.durability.enabled() || wal_ != nullptr) return Status::OK();
+  wal::WalOptions opts;
+  opts.fsync_every_batches = config_.durability.fsync_every_batches;
+  opts.fsync_interval_ms = config_.durability.fsync_interval_ms;
+  opts.segment_max_bytes = config_.durability.segment_max_bytes;
+  auto opened = wal::Wal::Open(config_.durability.dir, opts);
+  if (!opened.ok()) return opened.status();
+  wal_ = std::move(opened).value();
+  PublishWalStats();
+  return Status::OK();
+}
+
+void ShardedStreamServer::PublishWalStats() {
+  if (wal_ == nullptr) return;
+  const wal::WalStats s = wal_->stats();
+  ins_.wal_last_seq->Set(static_cast<double>(s.last_seq));
+  ins_.wal_epoch->Set(static_cast<double>(s.epoch));
+  ins_.wal_segments->Set(static_cast<double>(s.segments));
+  if (s.fsyncs > wal_published_fsyncs_) {
+    ins_.wal_fsyncs->Increment(s.fsyncs - wal_published_fsyncs_);
+    wal_published_fsyncs_ = s.fsyncs;
+  }
+  if (s.bytes_appended > wal_published_bytes_) {
+    ins_.wal_bytes->Increment(s.bytes_appended - wal_published_bytes_);
+    wal_published_bytes_ = s.bytes_appended;
+  }
+  if (s.pruned_segments > wal_published_pruned_) {
+    ins_.wal_pruned_segments->Increment(s.pruned_segments -
+                                        wal_published_pruned_);
+    wal_published_pruned_ = s.pruned_segments;
+  }
+}
+
+Status ShardedStreamServer::AppendToWalLocked(
+    const std::vector<TimedEdge>& batch, const IngestContext& ctx,
+    RoutedBatch* rb) {
+  if (wal_ == nullptr) return Status::OK();
+  if (ctx.wal_seq != 0) {
+    wal::WalFrame frame;
+    frame.seq = ctx.wal_seq;
+    frame.epoch = ctx.wal_epoch;
+    frame.wall_seconds = ctx.wal_wall_seconds;
+    frame.edges = batch;
+    const Status st = wal_->AppendFrame(frame);
+    if (st.ok()) {
+      rb->wal_seq = frame.seq;
+      ins_.wal_appends_ok->Increment();
+    } else if (st.code() == StatusCode::kAlreadyExists) {
+      ins_.wal_duplicates->Increment();
+    } else if (st.code() == StatusCode::kInvalidArgument) {
+      ins_.wal_fenced->Increment();
+    } else {
+      ins_.wal_appends_failed->Increment();
+    }
+    PublishWalStats();
+    return st;
+  }
+  auto seq = wal_->Append(batch, /*wall_seconds=*/0.0);
+  if (!seq.ok()) {
+    ins_.wal_appends_failed->Increment();
+    PublishWalStats();
+    return seq.status();
+  }
+  rb->wal_seq = seq.value();
+  ins_.wal_appends_ok->Increment();
+  PublishWalStats();
+  return Status::OK();
+}
+
 bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
                                  IngestContext ctx) {
   if (!ValidBatch(batch)) {
@@ -431,6 +617,10 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
     batch_max_time = std::max(batch_max_time, e.time);
   }
   const size_t batch_edges = batch.size();
+  // The WAL logs the *pre-routing* wire batch (replay re-routes it), so
+  // keep a copy before routing consumes it.
+  std::vector<TimedEdge> wal_copy;
+  if (config_.durability.enabled()) wal_copy = batch;
   RoutedBatch rb = RouteBatch(std::move(batch));
   rb.ctx = std::move(ctx);
   rb.enqueue_seconds = obs::MonotonicSeconds();
@@ -442,6 +632,14 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
       return stopping_ || dead_ || queue_.size() < config_.max_queue_batches;
     });
     if (stopping_ || dead_) return false;
+  }
+  if (wal_ != nullptr) {
+    const Status wst = AppendToWalLocked(wal_copy, rb.ctx, &rb);
+    if (wst.code() == StatusCode::kAlreadyExists) return true;
+    if (!wst.ok()) {
+      ins_.batches_dropped->Increment();
+      return false;
+    }
   }
   ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
   ins_.batches_ingested->Increment();
@@ -477,12 +675,22 @@ Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch,
     batch_max_time = std::max(batch_max_time, e.time);
   }
   const size_t batch_edges = batch.size();
+  std::vector<TimedEdge> wal_copy;
+  if (config_.durability.enabled()) wal_copy = batch;
   RoutedBatch rb = RouteBatch(std::move(batch));
   rb.ctx = std::move(ctx);
   rb.enqueue_seconds = obs::MonotonicSeconds();
   std::lock_guard<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return Admit::kStopped;
   if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
+  if (wal_ != nullptr) {
+    const Status wst = AppendToWalLocked(wal_copy, rb.ctx, &rb);
+    if (wst.code() == StatusCode::kAlreadyExists) return Admit::kAccepted;
+    if (!wst.ok()) {
+      ins_.batches_dropped->Increment();
+      return Admit::kRejected;
+    }
+  }
   ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch_edges);
@@ -625,6 +833,9 @@ void ShardedStreamServer::DetectLoop() {
       busy_ = true;
       not_full_cv_.notify_all();
     }
+    // The highest WAL sequence the window now contains — what the next
+    // checkpoint records as its replay floor.
+    if (rb.wal_seq > consumed_wal_seq_) consumed_wal_seq_ = rb.wal_seq;
     NoteBatchDequeued(rb, obs::MonotonicSeconds());
     bool keep_running = true;
     // One serve.window_append evaluation covers the whole routed batch, so
@@ -766,6 +977,7 @@ Status ShardedStreamServer::DoWriteCheckpoint() {
   ShardManifest m;
   m.tick = tick;
   m.num_shards = num_shards_;
+  m.epoch = wal_ != nullptr ? wal_->epoch() : 0;
   Status st = Status::OK();
   // Shard files first (each carries the serve.checkpoint failpoint through
   // SaveCheckpoint), coordinator next, manifest last: the manifest rename
@@ -802,6 +1014,10 @@ Status ShardedStreamServer::DoWriteCheckpoint() {
       }
     }
     cd.prev_confirmed.assign(prev_confirmed_.begin(), prev_confirmed_.end());
+    // The coordinator file records the WAL replay floor: every batch at or
+    // below consumed_wal_seq_ is already inside the shard windows above.
+    cd.wal_seq = consumed_wal_seq_;
+    cd.wal_epoch = wal_ != nullptr ? wal_->epoch() : 0;
     if (config_.tick.incremental && inc_reuse_ok_) {
       // Anchors for every in-window entity, ascending (deterministic
       // bytes). The fleet union-find is rebuilt from the shard windows on
@@ -826,7 +1042,13 @@ Status ShardedStreamServer::DoWriteCheckpoint() {
     ins_.checkpoints_ok->Increment();
     last_checkpoint_tick_ = tick;
     (void)PruneShardCheckpoints(config_.checkpoint.dir,
-                                config_.checkpoint.keep);
+                                config_.checkpoint.keep,
+                                config_.durability.dir);
+    if (wal_ != nullptr) {
+      // Segments fully covered by this snapshot are dead weight now.
+      (void)wal_->PruneThrough(consumed_wal_seq_);
+      PublishWalStats();
+    }
   } else {
     ins_.checkpoints_failed->Increment();
     GLP_LOG(Warning) << "sharded checkpoint at tick " << tick

@@ -88,6 +88,8 @@ class ShardedStreamServer : public Server {
 
   int num_shards() const override { return num_shards_; }
 
+  wal::Wal* wal() const override { return wal_.get(); }
+
   /// Registers a per-tick callback (coordinator thread, tick order). Must
   /// be called before Start().
   void Subscribe(Subscriber subscriber) override;
@@ -156,6 +158,10 @@ class ShardedStreamServer : public Server {
     std::vector<uint64_t> mirrored;
     IngestContext ctx;
     double enqueue_seconds = 0;  ///< obs::MonotonicSeconds() at enqueue
+    /// WAL sequence of the *pre-routing* global batch (0 = WAL disabled).
+    /// The log stores the original wire batch; replay re-routes it, which
+    /// reproduces the same parts deterministically.
+    uint64_t wal_seq = 0;
   };
 
   /// A wire batch awaiting its confirmed-cluster publish (freshness SLO) —
@@ -247,6 +253,14 @@ class ShardedStreamServer : public Server {
   void RecordError(const Status& status);
   /// Builds and writes one fleet snapshot (coordinator-thread state).
   Status DoWriteCheckpoint();
+  /// Opens the WAL per DurabilityPolicy (idempotent; no-op when disabled).
+  Status EnsureWalOpen();
+  /// Appends the pre-routing global batch under mu_ and stamps
+  /// rb->wal_seq. Same contract as StreamServer::AppendToWalLocked.
+  Status AppendToWalLocked(const std::vector<graph::TimedEdge>& batch,
+                           const IngestContext& ctx, RoutedBatch* rb);
+  /// Publishes the Wal's internal counters into the registry instruments.
+  void PublishWalStats();
   /// Records the batch's queue-wait span (client trace context) and
   /// stashes its freshness metadata when the arrival stamp is present.
   void NoteBatchDequeued(const RoutedBatch& rb, double pop_seconds);
@@ -273,6 +287,9 @@ class ShardedStreamServer : public Server {
   double last_tick_wall_seconds_ = 0;
   bool refresh_pending_ = false;
   int64_t last_checkpoint_tick_ = -1;
+  /// Highest WAL sequence consumed into the shard windows (coordinator
+  /// thread); fleet checkpoints record it, pruning runs against it.
+  uint64_t consumed_wal_seq_ = 0;
   bool have_prev_ = false;
   /// Warm anchors: entity -> the entity whose local id was its label on
   /// the previous tick (the global re-expression of prev labels).
@@ -365,6 +382,18 @@ class ShardedStreamServer : public Server {
     obs::Gauge* dirty_components;
     obs::Counter* reused_clusters;
     obs::Counter* incremental_rebuilds;
+    // Durability (glp_serve_wal_*) — same family as StreamServer.
+    obs::Counter* wal_appends_ok;
+    obs::Counter* wal_appends_failed;
+    obs::Counter* wal_duplicates;
+    obs::Counter* wal_fenced;
+    obs::Counter* wal_replayed_batches;
+    obs::Counter* wal_pruned_segments;
+    obs::Counter* wal_fsyncs;
+    obs::Counter* wal_bytes;
+    obs::Gauge* wal_last_seq;
+    obs::Gauge* wal_epoch;
+    obs::Gauge* wal_segments;
   };
   Instruments ins_{};
   struct ShardInstruments {
@@ -388,6 +417,13 @@ class ShardedStreamServer : public Server {
   std::vector<FreshnessMeta> pending_freshness_;
   std::map<std::string, obs::Histogram*> freshness_hist_;
   static constexpr size_t kMaxPendingFreshness = 4096;
+
+  // Durability (DurabilityPolicy; DESIGN.md §4.13) — same discipline as
+  // StreamServer: one fleet-wide WAL of pre-routing wire batches.
+  std::unique_ptr<wal::Wal> wal_;
+  uint64_t wal_published_fsyncs_ = 0;
+  uint64_t wal_published_bytes_ = 0;
+  uint64_t wal_published_pruned_ = 0;
 
   std::atomic<bool> stop_token_{false};
   std::thread thread_;

@@ -1,0 +1,500 @@
+#include "serve/wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/trace.h"
+#include "util/failpoint.h"
+
+namespace glp::serve::wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Same FNV-1a as serve/checkpoint: recovery tooling only needs one hash.
+uint64_t Checksum(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void PutPod(std::string* out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetPod(std::string_view buf, size_t* pos, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (buf.size() - *pos < sizeof(T)) return false;
+  std::memcpy(out, buf.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+static_assert(sizeof(graph::TimedEdge) == 16,
+              "WAL frame layout assumes packed {u32 src, u32 dst, f64 time}");
+
+constexpr size_t kFrameHeaderBytes = 28;  // seq + epoch + wall + count
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".seg";
+
+double WallSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("wal: cannot open " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IoError("wal: read failed for " + path);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const WalFrame& frame) {
+  const uint32_t count = static_cast<uint32_t>(frame.edges.size());
+  const uint32_t payload_len =
+      static_cast<uint32_t>(kFrameHeaderBytes + 16ull * count);
+  std::string out;
+  out.reserve(4 + payload_len + 8);
+  PutPod(&out, payload_len);
+  PutPod(&out, frame.seq);
+  PutPod(&out, frame.epoch);
+  PutPod(&out, frame.wall_seconds);
+  PutPod(&out, count);
+  if (count > 0) {
+    out.append(reinterpret_cast<const char*>(frame.edges.data()),
+               16ull * count);
+  }
+  PutPod(&out, Checksum(out.data() + 4, payload_len));
+  return out;
+}
+
+FrameParse ParseFrame(std::string_view buf, size_t* pos, WalFrame* out) {
+  const size_t start = *pos;
+  if (start == buf.size()) return FrameParse::kEnd;
+  size_t p = start;
+  uint32_t payload_len = 0;
+  if (!GetPod(buf, &p, &payload_len)) return FrameParse::kTorn;
+  if (payload_len < kFrameHeaderBytes ||
+      (payload_len - kFrameHeaderBytes) % 16 != 0 ||
+      buf.size() - p < static_cast<size_t>(payload_len) + 8) {
+    return FrameParse::kTorn;
+  }
+  const size_t payload_start = p;
+  uint32_t count = 0;
+  WalFrame frame;
+  if (!GetPod(buf, &p, &frame.seq) || !GetPod(buf, &p, &frame.epoch) ||
+      !GetPod(buf, &p, &frame.wall_seconds) || !GetPod(buf, &p, &count)) {
+    return FrameParse::kTorn;
+  }
+  if (16ull * count != payload_len - kFrameHeaderBytes) {
+    return FrameParse::kTorn;
+  }
+  frame.edges.resize(count);
+  if (count > 0) {
+    std::memcpy(frame.edges.data(), buf.data() + p, 16ull * count);
+    p += 16ull * count;
+  }
+  uint64_t stored = 0;
+  if (!GetPod(buf, &p, &stored)) return FrameParse::kTorn;
+  if (stored != Checksum(buf.data() + payload_start, payload_len)) {
+    return FrameParse::kTorn;
+  }
+  *out = std::move(frame);
+  *pos = p;
+  return FrameParse::kFrame;
+}
+
+std::string SegmentFileName(uint64_t start_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(start_seq), kSegmentSuffix);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* start_seq) {
+  const size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() != prefix + 20 + suffix) return false;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix; i < prefix + 20; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *start_seq = v;
+  return true;
+}
+
+bool WalDirHasSegments(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return false;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t start = 0;
+    if (ParseSegmentFileName(entry.path().filename().string(), &start)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Wal::Wal(std::string dir, const WalOptions& opts)
+    : dir_(std::move(dir)), opts_(opts) {}
+
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) {
+    if (unsynced_appends_ > 0) (void)SyncLocked();
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       const WalOptions& opts) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("wal: cannot create directory " + dir);
+  }
+  std::unique_ptr<Wal> w(new Wal(dir, opts));
+  std::lock_guard<std::mutex> lock(w->mu_);
+  Status st = w->RecoverLocked();
+  if (!st.ok()) return st;
+  return w;
+}
+
+Status Wal::RecoverLocked() {
+  std::error_code ec;
+  std::vector<uint64_t> starts;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t start = 0;
+    if (ParseSegmentFileName(entry.path().filename().string(), &start)) {
+      starts.push_back(start);
+    }
+  }
+  if (ec) return Status::IoError("wal: cannot list " + dir_);
+  std::sort(starts.begin(), starts.end());
+
+  uint64_t expected = starts.empty() ? 1 : starts.front();
+  uint64_t epoch = 1;
+  for (size_t i = 0; i < starts.size(); ++i) {
+    const std::string path = dir_ + "/" + SegmentFileName(starts[i]);
+    if (starts[i] != expected) {
+      return Status::IoError("wal: segment gap at " + path + ": expected seq " +
+                             std::to_string(expected));
+    }
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    size_t pos = 0;
+    WalFrame frame;
+    for (;;) {
+      const FrameParse r = ParseFrame(bytes.value(), &pos, &frame);
+      if (r == FrameParse::kEnd) break;
+      if (r == FrameParse::kTorn) {
+        if (i + 1 != starts.size()) {
+          return Status::IoError("wal: torn frame in non-final segment " +
+                                 path);
+        }
+        // Crash mid-append: drop the partial tail and resume after the
+        // last complete frame.
+        const uint64_t dropped = bytes.value().size() - pos;
+        fs::resize_file(path, pos, ec);
+        if (ec) {
+          return Status::IoError("wal: cannot truncate torn tail of " + path);
+        }
+        stats_.truncated_bytes += dropped;
+        break;
+      }
+      if (frame.seq != expected) {
+        return Status::IoError("wal: sequence gap in " + path + ": frame " +
+                               std::to_string(frame.seq) + ", expected " +
+                               std::to_string(expected));
+      }
+      if (frame.epoch < epoch) {
+        return Status::IoError("wal: epoch regression in " + path);
+      }
+      epoch = frame.epoch;
+      ++expected;
+    }
+  }
+
+  next_seq_ = expected;
+  epoch_ = epoch;
+  segment_starts_ = std::move(starts);
+  stats_.last_seq = next_seq_ - 1;
+  stats_.epoch = epoch_;
+
+  const uint64_t active_start =
+      segment_starts_.empty() ? next_seq_ : segment_starts_.back();
+  if (segment_starts_.empty()) segment_starts_.push_back(active_start);
+  Status st = OpenActiveLocked(active_start, /*truncate_existing=*/false);
+  if (!st.ok()) return st;
+  last_sync_seconds_ = obs::MonotonicSeconds();
+  return Status::OK();
+}
+
+Status Wal::OpenActiveLocked(uint64_t start_seq, bool truncate_existing) {
+  const std::string path = dir_ + "/" + SegmentFileName(start_seq);
+  std::FILE* f = std::fopen(path.c_str(), truncate_existing ? "wb" : "ab");
+  if (f == nullptr) {
+    return Status::IoError("wal: cannot open segment " + path);
+  }
+  long size = 0;
+  if (!truncate_existing) {
+    if (std::fseek(f, 0, SEEK_END) != 0 || (size = std::ftell(f)) < 0) {
+      std::fclose(f);
+      return Status::IoError("wal: cannot size segment " + path);
+    }
+  }
+  if (active_ != nullptr) std::fclose(active_);
+  active_ = f;
+  active_path_ = path;
+  active_start_seq_ = start_seq;
+  active_bytes_ = static_cast<uint64_t>(size);
+  return Status::OK();
+}
+
+Status Wal::RotateLocked() {
+  // Make the outgoing segment durable before it becomes immutable.
+  if (unsynced_appends_ > 0) {
+    Status st = SyncLocked();
+    if (!st.ok()) return st;
+  }
+  Status st = OpenActiveLocked(next_seq_, /*truncate_existing=*/true);
+  if (!st.ok()) return st;
+  segment_starts_.push_back(next_seq_);
+  return Status::OK();
+}
+
+Status Wal::SyncLocked() {
+  GLP_FAILPOINT("serve.wal_fsync");
+  if (active_ == nullptr) return Status::Internal("wal: no active segment");
+  if (std::fflush(active_) != 0 || ::fsync(fileno(active_)) != 0) {
+    return Status::IoError("wal: fsync failed for " + active_path_);
+  }
+  unsynced_appends_ = 0;
+  last_sync_seconds_ = obs::MonotonicSeconds();
+  ++stats_.fsyncs;
+  return Status::OK();
+}
+
+Status Wal::AppendLocked(const WalFrame& frame) {
+  GLP_FAILPOINT("serve.wal_append");
+  if (active_ == nullptr) return Status::Internal("wal: not open");
+  if (active_bytes_ >= opts_.segment_max_bytes &&
+      next_seq_ > active_start_seq_) {
+    Status st = RotateLocked();
+    if (!st.ok()) return st;
+  }
+  const std::string encoded = EncodeFrame(frame);
+  const uint64_t pre_bytes = active_bytes_;
+  auto rollback = [&]() {
+    // The frame was never acknowledged: cut it back out so the log only
+    // ever contains admitted batches (replay exactness depends on this).
+    std::fflush(active_);
+    std::clearerr(active_);
+    std::error_code ec;
+    fs::resize_file(active_path_, pre_bytes, ec);
+    if (!ec) {
+      std::fseek(active_, 0, SEEK_END);
+      active_bytes_ = pre_bytes;
+    }
+  };
+  if (std::fwrite(encoded.data(), 1, encoded.size(), active_) !=
+          encoded.size() ||
+      std::fflush(active_) != 0) {
+    rollback();
+    return Status::IoError("wal: append failed for " + active_path_);
+  }
+  active_bytes_ += encoded.size();
+  ++unsynced_appends_;
+  const bool sync_due =
+      (opts_.fsync_every_batches > 0 &&
+       unsynced_appends_ >= opts_.fsync_every_batches) ||
+      (opts_.fsync_interval_ms > 0.0 &&
+       (obs::MonotonicSeconds() - last_sync_seconds_) * 1000.0 >=
+           opts_.fsync_interval_ms);
+  if (sync_due) {
+    Status st = SyncLocked();
+    if (!st.ok()) {
+      rollback();
+      --unsynced_appends_;
+      return st;
+    }
+  }
+  next_seq_ = frame.seq + 1;
+  stats_.last_seq = frame.seq;
+  stats_.epoch = epoch_;
+  ++stats_.appends;
+  stats_.bytes_appended += encoded.size();
+  stats_.segments = segment_starts_.size();
+  seq_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(const std::vector<graph::TimedEdge>& edges,
+                             double wall_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalFrame frame;
+  frame.seq = next_seq_;
+  frame.epoch = epoch_;
+  frame.wall_seconds = wall_seconds > 0.0 ? wall_seconds : WallSecondsNow();
+  frame.edges = edges;
+  Status st = AppendLocked(frame);
+  if (!st.ok()) return st;
+  return frame.seq;
+}
+
+Status Wal::AppendFrame(const WalFrame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frame.epoch < epoch_) {
+    return Status::InvalidArgument(
+        "wal: fenced frame from deposed epoch " + std::to_string(frame.epoch) +
+        " (local epoch " + std::to_string(epoch_) + ")");
+  }
+  if (frame.seq < next_seq_) {
+    return Status::AlreadyExists("wal: duplicate frame seq " +
+                                 std::to_string(frame.seq));
+  }
+  if (frame.seq != next_seq_) {
+    return Status::InvalidArgument(
+        "wal: sequence gap: frame " + std::to_string(frame.seq) +
+        ", expected " + std::to_string(next_seq_));
+  }
+  if (frame.epoch > epoch_) epoch_ = frame.epoch;  // learn the new primary
+  return AppendLocked(frame);
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (unsynced_appends_ == 0) return Status::OK();
+  return SyncLocked();
+}
+
+Result<uint64_t> Wal::BumpEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+  stats_.epoch = epoch_;
+  Status st = RotateLocked();
+  if (!st.ok()) return st;
+  return epoch_;
+}
+
+Status Wal::EnsureEpochAtLeast(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= epoch_) return Status::OK();
+  epoch_ = epoch;
+  stats_.epoch = epoch_;
+  return RotateLocked();
+}
+
+Result<std::vector<WalFrame>> Wal::ReadFrom(uint64_t from_seq,
+                                            size_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WalFrame> out;
+  size_t bytes = 0;
+  for (size_t i = 0; i < segment_starts_.size(); ++i) {
+    // Skip segments that end before from_seq.
+    if (i + 1 < segment_starts_.size() && segment_starts_[i + 1] <= from_seq) {
+      continue;
+    }
+    auto data = ReadFileBytes(dir_ + "/" + SegmentFileName(segment_starts_[i]));
+    if (!data.ok()) return data.status();
+    size_t pos = 0;
+    WalFrame frame;
+    while (ParseFrame(data.value(), &pos, &frame) == FrameParse::kFrame) {
+      if (frame.seq < from_seq) continue;
+      bytes += kFrameHeaderBytes + 12 + 16 * frame.edges.size();
+      out.push_back(std::move(frame));
+      if (max_bytes > 0 && bytes >= max_bytes) return out;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Wal::ReadRawFrom(uint64_t from_seq, size_t max_bytes,
+                                     uint64_t* last_seq_out) const {
+  auto frames = ReadFrom(from_seq, max_bytes);
+  if (!frames.ok()) return frames.status();
+  std::string out;
+  uint64_t last = 0;
+  for (const WalFrame& f : frames.value()) {
+    out += EncodeFrame(f);
+    last = f.seq;
+  }
+  if (last_seq_out != nullptr) *last_seq_out = last;
+  return out;
+}
+
+Status Wal::PruneThrough(uint64_t up_to_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  size_t removed = 0;
+  while (segment_starts_.size() > 1 && segment_starts_[1] <= up_to_seq + 1) {
+    const std::string path = dir_ + "/" + SegmentFileName(segment_starts_[0]);
+    fs::remove(path, ec);
+    if (ec) return Status::IoError("wal: cannot prune " + path);
+    segment_starts_.erase(segment_starts_.begin());
+    ++removed;
+  }
+  stats_.pruned_segments += removed;
+  stats_.segments = segment_starts_.size();
+  return Status::OK();
+}
+
+bool Wal::WaitForSeq(uint64_t seq, double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return seq_cv_.wait_for(
+      lock, std::chrono::duration<double>(std::max(timeout_seconds, 0.0)),
+      [&]() { return next_seq_ > seq; });
+}
+
+uint64_t Wal::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t Wal::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats s = stats_;
+  s.last_seq = next_seq_ - 1;
+  s.epoch = epoch_;
+  s.segments = segment_starts_.size();
+  return s;
+}
+
+}  // namespace glp::serve::wal

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/sliding_window.h"
+#include "util/status.h"
+
+namespace glp::serve::wal {
+
+/// \file
+/// Durable write-ahead log of accepted ingest batches.
+///
+/// Every batch a Server admits is assigned a monotonic sequence number and
+/// appended here *before* it is enqueued for detection, so a crash between
+/// checkpoints loses nothing: recovery is RestoreFromCheckpoint + replay of
+/// every frame with seq > the checkpoint's recorded sequence. Frames also
+/// carry a fencing epoch (bumped on standby promotion) so a deposed
+/// primary's writes are rejected, and a wall-clock stamp so a standby can
+/// report replication lag.
+///
+/// On-disk layout: a directory of segment files named
+/// `wal-<start_seq:020>.seg`, each a back-to-back run of frames:
+///
+///   [u32 payload_len][payload][u64 fnv1a(payload)]
+///   payload = [u64 seq][u64 epoch][f64 wall_seconds]
+///             [u32 num_edges][num_edges x {u32 src, u32 dst, f64 time}]
+///
+/// The checksum is the same FNV-1a used by serve/checkpoint. Sequence
+/// numbers start at 1 and are contiguous across segments; the epoch starts
+/// at 1 and only ever grows. A torn final frame (crash mid-append) is
+/// truncated away on Open; a torn frame in a *non-final* segment is real
+/// corruption and fails Open with kIoError.
+
+/// One logged batch. `wall_seconds` is the primary's wall clock at append
+/// time; a standby subtracts it from its own clock for the lag gauge.
+struct WalFrame {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  double wall_seconds = 0.0;
+  std::vector<graph::TimedEdge> edges;
+};
+
+/// Encodes one frame (length prefix + payload + checksum trailer). The
+/// same bytes are served verbatim over GET /v1/wal, so this is also the
+/// replication wire format.
+std::string EncodeFrame(const WalFrame& frame);
+
+enum class FrameParse {
+  kFrame,  ///< a complete, checksum-valid frame was decoded; *pos advanced
+  kEnd,    ///< *pos is exactly at the end of the buffer
+  kTorn,   ///< trailing bytes do not form a complete valid frame
+};
+
+/// Decodes the frame starting at *pos. On kFrame, fills `out` and advances
+/// *pos past the frame; on kEnd/kTorn, *pos is left at the frame start.
+FrameParse ParseFrame(std::string_view buf, size_t* pos, WalFrame* out);
+
+/// `wal-<start_seq:020>.seg` — start_seq is the first frame the segment
+/// holds (20 decimal digits so lexicographic order == numeric order).
+std::string SegmentFileName(uint64_t start_seq);
+
+/// Inverse of SegmentFileName; false if `name` is not a segment name.
+bool ParseSegmentFileName(const std::string& name, uint64_t* start_seq);
+
+/// True if `dir` exists and contains at least one WAL segment file.
+/// Checkpoint pruning uses this to decide whether a checkpoint must be
+/// retained as the replay base for surviving segments.
+bool WalDirHasSegments(const std::string& dir);
+
+/// Group-commit and rotation policy.
+struct WalOptions {
+  /// fsync after every N appends (1 = sync every batch). Appends between
+  /// syncs are still flushed to the OS (visible to readers) but a power
+  /// loss may lose them; a plain process crash does not.
+  int fsync_every_batches = 1;
+  /// Also fsync when this much wall time has passed since the last sync
+  /// and unsynced appends exist (checked at append). <= 0 disables the
+  /// time trigger.
+  double fsync_interval_ms = 0.0;
+  /// Rotate to a new segment once the active one exceeds this size.
+  uint64_t segment_max_bytes = 16ull << 20;
+};
+
+struct WalStats {
+  uint64_t last_seq = 0;
+  uint64_t epoch = 0;
+  uint64_t appends = 0;         ///< frames appended this process
+  uint64_t fsyncs = 0;          ///< fsync calls this process
+  uint64_t bytes_appended = 0;  ///< frame bytes written this process
+  uint64_t segments = 0;        ///< live segment files
+  uint64_t truncated_bytes = 0; ///< torn tail dropped at Open
+  uint64_t pruned_segments = 0; ///< segments deleted by PruneThrough
+};
+
+/// Thread-safe append-only log. All methods may be called concurrently;
+/// appends are serialized internally so sequence order equals call order
+/// (the Server additionally holds its own lock across append+enqueue so
+/// WAL order matches queue order exactly).
+class Wal {
+ public:
+  /// Opens (creating the directory if needed) and recovers: scans
+  /// segments in order, truncates a torn final frame, and resumes the
+  /// sequence/epoch after the last durable frame. Fresh logs start at
+  /// seq 0 (next append = 1), epoch 1.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const WalOptions& opts);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends `edges` as the next sequence number and returns it. Durable
+  /// per the fsync policy; flushed to the OS unconditionally.
+  Result<uint64_t> Append(const std::vector<graph::TimedEdge>& edges,
+                          double wall_seconds);
+
+  /// Replication apply: appends a frame with its primary-assigned seq and
+  /// epoch. Returns kAlreadyExists if frame.seq <= last_seq (duplicate —
+  /// callers treat this as success), kFailedPrecondition-style
+  /// kInvalidArgument if frame.epoch is below the local epoch (fenced:
+  /// the sender is a deposed primary) or if frame.seq would leave a gap.
+  Status AppendFrame(const WalFrame& frame);
+
+  /// Flush + fsync now, regardless of policy.
+  Status Sync();
+
+  /// Promotion fencing: bumps the epoch, rotates to a fresh segment so
+  /// the new epoch starts on a segment boundary, and syncs. Returns the
+  /// new epoch. Subsequent AppendFrame calls carrying the old epoch are
+  /// rejected.
+  Result<uint64_t> BumpEpoch();
+
+  /// Raises the epoch to at least `epoch` (used when a checkpoint records
+  /// a newer epoch than the surviving segments). No-op if already >=.
+  Status EnsureEpochAtLeast(uint64_t epoch);
+
+  /// Reads frames with seq >= from_seq, in order. If max_bytes > 0, stops
+  /// after the first frame that brings the encoded total over the limit
+  /// (always returns at least one available frame).
+  Result<std::vector<WalFrame>> ReadFrom(uint64_t from_seq,
+                                         size_t max_bytes = 0) const;
+
+  /// Like ReadFrom but returns the raw encoded bytes (what GET /v1/wal
+  /// serves). `last_seq_out`, if non-null, gets the seq of the final
+  /// frame included (0 if none).
+  Result<std::string> ReadRawFrom(uint64_t from_seq, size_t max_bytes,
+                                  uint64_t* last_seq_out) const;
+
+  /// Deletes segments whose every frame has seq <= up_to_seq. The active
+  /// segment is never deleted. Called after a checkpoint covering
+  /// up_to_seq commits.
+  Status PruneThrough(uint64_t up_to_seq);
+
+  /// Blocks until last_seq() >= seq or the timeout elapses. Long-poll
+  /// support for GET /v1/wal.
+  bool WaitForSeq(uint64_t seq, double timeout_seconds) const;
+
+  uint64_t last_seq() const;
+  uint64_t epoch() const;
+  const std::string& dir() const { return dir_; }
+  WalStats stats() const;
+
+ private:
+  Wal(std::string dir, const WalOptions& opts);
+
+  Status RecoverLocked();
+  Status OpenActiveLocked(uint64_t start_seq, bool truncate_existing);
+  Status RotateLocked();
+  Status AppendLocked(const WalFrame& frame);
+  Status SyncLocked();
+
+  std::string dir_;
+  WalOptions opts_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable seq_cv_;
+  std::FILE* active_ = nullptr;
+  std::string active_path_;
+  uint64_t active_start_seq_ = 1;
+  uint64_t active_bytes_ = 0;
+  /// Sorted start_seqs of all live segments (last == active).
+  std::vector<uint64_t> segment_starts_;
+  uint64_t next_seq_ = 1;
+  uint64_t epoch_ = 1;
+  int unsynced_appends_ = 0;
+  double last_sync_seconds_ = 0.0;  // MonotonicSeconds at last fsync
+  WalStats stats_;
+};
+
+}  // namespace glp::serve::wal

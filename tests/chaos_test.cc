@@ -26,6 +26,7 @@
 #include "pipeline/transactions.h"
 #include "serve/checkpoint.h"
 #include "serve/server.h"
+#include "serve/wal.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 
@@ -660,6 +661,138 @@ TEST_F(ChaosTest, CheckpointSaveHonorsFailpoint) {
   const Status st = SaveCheckpoint(path, SampleCheckpoint());
   EXPECT_EQ(st.code(), StatusCode::kIoError);
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint pruning edge cases
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> CheckpointFilesIn(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// One durable WAL segment in `wal_dir` — the condition under which the
+/// WAL-aware prune overloads must retain a replay base.
+void WriteWalSegment(const std::string& wal_dir) {
+  auto wal = wal::Wal::Open(wal_dir, wal::WalOptions{});
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_TRUE(wal.value()->Append({{1, 2, 0.5}}, 1.0).ok());
+}
+
+TEST_F(ChaosTest, PruneSkipsTornFilesWhenFillingKeepSlots) {
+  const std::string dir = MakeTempDir("prune_torn_slots");
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(2), SampleCheckpoint())
+          .ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(4), SampleCheckpoint())
+          .ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(6), SampleCheckpoint())
+          .ok());
+  // The newest file is torn: it must not occupy the single keep slot (which
+  // would prune the only restorable state) — it gets deleted and tick 4 is
+  // what survives.
+  std::filesystem::resize_file(dir + "/" + CheckpointFileName(6), 16);
+
+  ASSERT_TRUE(PruneCheckpoints(dir, 1).ok());
+  EXPECT_EQ(CheckpointFilesIn(dir),
+            std::vector<std::string>{CheckpointFileName(4)});
+}
+
+TEST_F(ChaosTest, PruneKeepZeroDeletesEveryCheckpoint) {
+  const std::string dir = MakeTempDir("prune_keep0");
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(1), SampleCheckpoint())
+          .ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(2), SampleCheckpoint())
+          .ok());
+  ASSERT_TRUE(PruneCheckpoints(dir, 0).ok());
+  EXPECT_TRUE(CheckpointFilesIn(dir).empty());
+  // Negative keep behaves like 0, and pruning an empty dir stays OK.
+  ASSERT_TRUE(PruneCheckpoints(dir, -3).ok());
+  EXPECT_TRUE(CheckpointFilesIn(dir).empty());
+}
+
+TEST_F(ChaosTest, PruneTornOnlyDirectoryConvergesToEmpty) {
+  const std::string dir = MakeTempDir("prune_all_torn");
+  for (const int64_t tick : {3, 5}) {
+    ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(tick),
+                               SampleCheckpoint())
+                    .ok());
+    std::filesystem::resize_file(dir + "/" + CheckpointFileName(tick), 16);
+  }
+  // Garbage never occupies keep slots: even with keep=2 the directory
+  // converges to empty instead of shielding two unloadable files forever.
+  ASSERT_TRUE(PruneCheckpoints(dir, 2).ok());
+  EXPECT_TRUE(CheckpointFilesIn(dir).empty());
+}
+
+TEST_F(ChaosTest, WalAwarePruneRetainsReplayBase) {
+  const std::string dir = MakeTempDir("prune_walaware");
+  const std::string wal_dir = MakeTempDir("prune_walaware_wal");
+  const std::string empty_wal_dir = MakeTempDir("prune_walaware_nowal");
+  WriteWalSegment(wal_dir);
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(2), SampleCheckpoint())
+          .ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(dir + "/" + CheckpointFileName(4), SampleCheckpoint())
+          .ok());
+
+  // Surviving WAL segments replay on top of the newest checkpoint, so even
+  // keep=0 retains it.
+  ASSERT_TRUE(PruneCheckpoints(dir, 0, wal_dir).ok());
+  EXPECT_EQ(CheckpointFilesIn(dir),
+            std::vector<std::string>{CheckpointFileName(4)});
+
+  // A WAL dir without segments imposes nothing: keep=0 now deletes it.
+  ASSERT_TRUE(PruneCheckpoints(dir, 0, empty_wal_dir).ok());
+  EXPECT_TRUE(CheckpointFilesIn(dir).empty());
+}
+
+TEST_F(ChaosTest, WalAwareShardPruneRetainsNewestManifest) {
+  const std::string dir = MakeTempDir("prune_shard_wal");
+  const std::string wal_dir = MakeTempDir("prune_shard_wal_wal");
+  WriteWalSegment(wal_dir);
+  for (const int64_t tick : {2, 4}) {
+    ShardManifest m;
+    m.tick = tick;
+    m.num_shards = 2;
+    m.coord_file = CoordCheckpointFileName(tick);
+    ASSERT_TRUE(
+        SaveCheckpoint(dir + "/" + m.coord_file, SampleCheckpoint()).ok());
+    for (int s = 0; s < m.num_shards; ++s) {
+      m.shard_files.push_back(ShardCheckpointFileName(s, tick));
+      ASSERT_TRUE(
+          SaveCheckpoint(dir + "/" + m.shard_files.back(), SampleCheckpoint())
+              .ok());
+    }
+    ASSERT_TRUE(
+        SaveShardManifest(dir + "/" + ShardManifestFileName(tick), m).ok());
+  }
+
+  // keep=0 with live WAL segments: the newest manifest and its whole file
+  // set survive (4 files: manifest + coord + 2 shards), tick 2's set goes.
+  ASSERT_TRUE(PruneShardCheckpoints(dir, 0, wal_dir).ok());
+  const std::vector<std::string> kept = CheckpointFilesIn(dir);
+  ASSERT_EQ(kept.size(), 4u);
+  for (const std::string& name : kept) {
+    EXPECT_NE(name.find("-000000000004"), std::string::npos) << name;
+  }
+  auto latest = LatestShardedCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().manifest.tick, 4);
+
+  // Without the WAL, keep=0 empties the directory.
+  ASSERT_TRUE(PruneShardCheckpoints(dir, 0).ok());
+  EXPECT_TRUE(CheckpointFilesIn(dir).empty());
 }
 
 }  // namespace

@@ -492,5 +492,78 @@ TEST(NetEquivalenceTest, SocketIngestMatchesInProcessSharded) {
   ExpectSameTicks(got, RunInProcess(cfg, /*shards=*/1, ordered));
 }
 
+// --- Client hardening: Retry-After parsing and full-jitter backoff ---
+
+TEST(RetryAfterParseTest, AcceptsDeltaSecondsOnly) {
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("2"), 2.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("0"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("  3 "), 3.0);  // OWS tolerated
+
+  // Everything malformed reads as 0 ("absent") — a hostile or buggy server
+  // must not be able to stall a retry loop.
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds(""), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("garbage"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("2s"), 0.0);      // trailing junk
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("2,3"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("-1"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("inf"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("nan"), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ParseRetryAfterSeconds("Fri, 09 Aug 2026 12:00:00 GMT"), 0.0);
+
+  // Clamped: no in-repo server asks to wait beyond an hour.
+  EXPECT_DOUBLE_EQ(ParseRetryAfterSeconds("7200"), 3600.0);
+}
+
+TEST(FullJitterBackoffTest, DrawsUniformlyUnderTheCappedBase) {
+  const uint64_t kMax = ~0ull;
+  // A zero draw floors at 1 ms — the loop always yields the CPU.
+  EXPECT_DOUBLE_EQ(FullJitterBackoff(5.0, 10.0, 0), 0.001);
+  // A max draw approaches (but never reaches) min(base, cap).
+  EXPECT_LT(FullJitterBackoff(5.0, 10.0, kMax), 5.0);
+  EXPECT_GT(FullJitterBackoff(5.0, 10.0, kMax), 4.999);
+  EXPECT_LT(FullJitterBackoff(10.0, 0.2, kMax), 0.2);  // cap binds
+  // A mid-range draw lands mid-interval.
+  const double mid = FullJitterBackoff(4.0, 10.0, kMax / 2);
+  EXPECT_GT(mid, 1.9);
+  EXPECT_LT(mid, 2.1);
+  // Degenerate bases never produce a negative or zero wait.
+  EXPECT_DOUBLE_EQ(FullJitterBackoff(0.0, 10.0, kMax), 0.001);
+  EXPECT_DOUBLE_EQ(FullJitterBackoff(-3.0, 10.0, kMax), 0.001);
+}
+
+// --- TokenBucket: a cost above burst is never satisfiable ---
+
+TEST(TokenBucketTest, CostAboveBurstIsRefusedForever) {
+  TokenBucket bucket(/*rate_per_sec=*/10, /*burst=*/100);
+  double retry = 0;
+  // From a full bucket, cost 150 is refused and the quoted retry_after is
+  // the deficit over rate: (150 - 100) / 10 = 5 s.
+  EXPECT_FALSE(bucket.TryAcquire(150, 0.0, &retry));
+  EXPECT_NEAR(retry, 5.0, 1e-9);
+  // Waiting exactly that long (or far longer) changes nothing: refill caps
+  // at burst, so the quoted wait never becomes satisfiable. The bucket
+  // refuses deterministically every time — an over-sized request is a
+  // policy violation, not a transient — and keeps quoting the same wait.
+  EXPECT_FALSE(bucket.TryAcquire(150, 5.0, &retry));
+  EXPECT_NEAR(retry, 5.0, 1e-9);
+  EXPECT_FALSE(bucket.TryAcquire(150, 3600.0, &retry));
+  EXPECT_NEAR(retry, 5.0, 1e-9);
+  // The refusals consumed nothing: a burst-sized request still succeeds.
+  EXPECT_TRUE(bucket.TryAcquire(100, 3600.0, &retry));
+}
+
+// --- Retry-After formatting: integral seconds, rounded up, floored at 1 ---
+
+TEST(RetryAfterValueTest, RoundsUpAndFloorsAtOne) {
+  EXPECT_EQ(RetryAfterValue(2.0), "2");      // exact integer stays put
+  EXPECT_EQ(RetryAfterValue(1.999), "2");
+  EXPECT_EQ(RetryAfterValue(2.0001), "3");   // any excess rounds up
+  EXPECT_EQ(RetryAfterValue(0.2), "1");      // sub-second floors at 1
+  EXPECT_EQ(RetryAfterValue(0.0), "1");
+  EXPECT_EQ(RetryAfterValue(-5.0), "1");     // defensive: never 0 or negative
+}
+
 }  // namespace
 }  // namespace glp::serve::net

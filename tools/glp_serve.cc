@@ -36,6 +36,7 @@
 #include "prof/trace.h"
 #include "serve/net/client.h"
 #include "serve/net/ingest_service.h"
+#include "serve/net/replication.h"
 #include "serve/server.h"
 #include "util/failpoint.h"
 
@@ -72,6 +73,11 @@ struct Args {
   double tick_deadline = 0;   // seconds; 0 = no deadline
   std::string failpoints;     // GLP_FAILPOINTS grammar
   bool restore = false;       // resume from newest checkpoint in the dir
+  // Durability + replication (DESIGN.md §4.13).
+  std::string wal_dir;            // write-ahead log directory ("" = off)
+  int fsync_every = 1;            // group-commit: fsync every N batches
+  double fsync_interval_ms = 0;   // also fsync after this much wall time
+  int follow_port = -1;           // >=0 = hot standby tailing this primary
   // Network modes (DESIGN.md §4.11).
   int listen_port = -1;        // >=0 = serve POST /v1/ingest (0 = ephemeral)
   std::string tenants_spec;    // name:token[:rate[:burst]],...
@@ -148,7 +154,21 @@ void Usage() {
       "  --tick-deadline <s>    per-tick wall budget in seconds; overruns\n"
       "                         arm the degradation ladder (0 = off)\n"
       "  --failpoints <spec>    arm failpoints (GLP_FAILPOINTS grammar),\n"
-      "                         e.g. 'lp.engine.glp=error(io)@every5'\n");
+      "                         e.g. 'lp.engine.glp=error(io)@every5'\n"
+      "durability + replication (DESIGN.md 4.13):\n"
+      "  --wal-dir <d>          write-ahead-log every accepted batch into d\n"
+      "                         before it is enqueued; with --restore, WAL\n"
+      "                         frames past the checkpoint are replayed\n"
+      "                         (exact recovery, checkpoint optional)\n"
+      "  --fsync-every <n>      group-commit: fsync after every n batches\n"
+      "                         (default 1 = every batch)\n"
+      "  --fsync-interval-ms <t>  also fsync once t ms have passed since\n"
+      "                         the last sync (0 = off)\n"
+      "  --follow <p>           hot standby: tail the primary ingest\n"
+      "                         service on 127.0.0.1:p via GET /v1/wal and\n"
+      "                         apply its frames; own ingest answers 503\n"
+      "                         until POST /v1/promote flips this server\n"
+      "                         active (requires --listen-port + --wal-dir)\n");
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -206,6 +226,14 @@ bool Parse(int argc, char** argv, Args* args) {
       args->token = next();
     } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
       args->checkpoint_dir = next();
+    } else if (!std::strcmp(argv[i], "--wal-dir")) {
+      args->wal_dir = next();
+    } else if (!std::strcmp(argv[i], "--fsync-every")) {
+      args->fsync_every = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--fsync-interval-ms")) {
+      args->fsync_interval_ms = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--follow")) {
+      args->follow_port = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
       args->checkpoint_every = std::atoll(next());
     } else if (!std::strcmp(argv[i], "--tick-deadline")) {
@@ -411,6 +439,39 @@ int RunNetworkServe(serve::Server& server, const Args& args) {
   opts.max_batch_bytes = args.max_batch_bytes;
   opts.global_rate_edges_per_sec = args.global_rate;
   serve::net::IngestService service(&server, std::move(tenants).value(), opts);
+
+  // Replication wiring (DESIGN.md §4.13): with a WAL, every serve node
+  // exposes GET /v1/wal (so a standby can follow it) and POST /v1/promote.
+  // A --follow node starts fenced as a standby: its front door answers 503
+  // and a WalTailer writes what the primary logs, until promotion stops
+  // the tailer, bumps the fencing epoch, and opens ingest.
+  std::unique_ptr<serve::net::WalTailer> tailer;
+  if (args.follow_port >= 0) {
+    serve::net::WalTailer::Options topts;
+    topts.primary_port = args.follow_port;
+    tailer = std::make_unique<serve::net::WalTailer>(&server, topts);
+    service.SetStandby(true);
+  }
+  std::unique_ptr<serve::net::ReplicationService> replication;
+  if (server.wal() != nullptr) {
+    replication = std::make_unique<serve::net::ReplicationService>(
+        server.wal(),
+        [&server, &service, &tailer]() -> Result<uint64_t> {
+          if (tailer != nullptr) tailer->Stop();
+          if (!service.standby()) {
+            return server.wal()->epoch();  // already active: idempotent
+          }
+          auto epoch = server.wal()->BumpEpoch();
+          if (epoch.ok()) {
+            service.SetStandby(false);
+            std::printf("promoted: primary at epoch %llu\n",
+                        static_cast<unsigned long long>(epoch.value()));
+          }
+          return epoch;
+        });
+    replication->Register(service.http());
+  }
+
   if (!service.Start(args.listen_port)) {
     std::fprintf(stderr, "ingest service failed to bind port %d\n",
                  args.listen_port);
@@ -419,6 +480,14 @@ int RunNetworkServe(serve::Server& server, const Args& args) {
   }
   std::printf("ingest: http://localhost:%d/v1/ingest  (Ctrl-C to stop)\n",
               service.port());
+  if (tailer != nullptr) {
+    tailer->Start(server.wal()->last_seq(), server.wal()->epoch());
+    std::printf("standby: following 127.0.0.1:%d from wal seq %llu "
+                "(epoch %llu); POST /v1/promote to activate\n",
+                args.follow_port,
+                static_cast<unsigned long long>(server.wal()->last_seq()),
+                static_cast<unsigned long long>(server.wal()->epoch()));
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -427,6 +496,7 @@ int RunNetworkServe(serve::Server& server, const Args& args) {
     if (!server.running()) break;  // detection thread died: exit, don't hang
   }
 
+  if (tailer != nullptr) tailer->Stop();
   service.Stop();
   server.Flush();
   const serve::ServerStats stats = server.stats();
@@ -519,6 +589,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--listen-port and --connect are exclusive\n");
     return 2;
   }
+  if (args.follow_port >= 0 &&
+      (args.listen_port < 0 || args.wal_dir.empty())) {
+    std::fprintf(stderr,
+                 "--follow requires --listen-port (to serve /v1/promote) "
+                 "and --wal-dir (to persist replicated frames)\n");
+    return 2;
+  }
 
   // --- Stream ---
   pipeline::TransactionConfig tcfg;
@@ -554,6 +631,9 @@ int main(int argc, char** argv) {
   cfg.resilience.tick_deadline_seconds = args.tick_deadline;
   cfg.checkpoint.dir = args.checkpoint_dir;
   cfg.checkpoint.every_ticks = args.checkpoint_every;
+  cfg.durability.dir = args.wal_dir;
+  cfg.durability.fsync_every_batches = args.fsync_every;
+  cfg.durability.fsync_interval_ms = args.fsync_interval_ms;
   cfg.trace.sample_rate = args.trace_sample;
   cfg.trace.recorder_ticks = args.trace_ticks;
   if (!args.trace_out.empty() && cfg.trace.recorder_ticks == 0) {
