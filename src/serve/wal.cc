@@ -46,6 +46,9 @@ static_assert(sizeof(graph::TimedEdge) == 16,
               "WAL frame layout assumes packed {u32 src, u32 dst, f64 time}");
 
 constexpr size_t kFrameHeaderBytes = 28;  // seq + epoch + wall + count
+// The frame length prefix is a u32; a batch past this edge count would
+// silently wrap it and write a header that disagrees with the body.
+constexpr uint64_t kMaxFrameEdges = (0xFFFFFFFFull - kFrameHeaderBytes) / 16;
 constexpr char kSegmentPrefix[] = "wal-";
 constexpr char kSegmentSuffix[] = ".seg";
 
@@ -289,9 +292,23 @@ Status Wal::RotateLocked() {
     Status st = SyncLocked();
     if (!st.ok()) return st;
   }
+  if (next_seq_ == active_start_seq_) {
+    // The active segment holds no frames (fresh log, or epoch bumps in a
+    // row): "rotating" would reopen this same file and record its
+    // start_seq twice, and a later PruneThrough would then treat the
+    // duplicate as a covered segment and delete the live file. The empty
+    // segment already is a fresh boundary — keep it, dropping any stray
+    // bytes.
+    if (active_bytes_ > 0) {
+      return OpenActiveLocked(active_start_seq_, /*truncate_existing=*/true);
+    }
+    return Status::OK();
+  }
   Status st = OpenActiveLocked(next_seq_, /*truncate_existing=*/true);
   if (!st.ok()) return st;
-  segment_starts_.push_back(next_seq_);
+  if (segment_starts_.empty() || segment_starts_.back() != next_seq_) {
+    segment_starts_.push_back(next_seq_);
+  }
   return Status::OK();
 }
 
@@ -310,6 +327,12 @@ Status Wal::SyncLocked() {
 Status Wal::AppendLocked(const WalFrame& frame) {
   GLP_FAILPOINT("serve.wal_append");
   if (active_ == nullptr) return Status::Internal("wal: not open");
+  if (frame.edges.size() > kMaxFrameEdges) {
+    return Status::InvalidArgument(
+        "wal: batch of " + std::to_string(frame.edges.size()) +
+        " edges overflows the u32 frame length prefix (max " +
+        std::to_string(kMaxFrameEdges) + ")");
+  }
   if (active_bytes_ >= opts_.segment_max_bytes &&
       next_seq_ > active_start_seq_) {
     Status st = RotateLocked();
@@ -419,20 +442,36 @@ Status Wal::EnsureEpochAtLeast(uint64_t epoch) {
 
 Result<std::vector<WalFrame>> Wal::ReadFrom(uint64_t from_seq,
                                             size_t max_bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot the state, then scan files with the lock released: holding
+  // mu_ across full-segment disk reads would stall every Append (and,
+  // through the Server's admission lock, all ingest) for the duration of
+  // a follower's poll. Non-tail segments are immutable; the tail only
+  // grows, and frames past the snapshotted last_seq (mid-append, or
+  // rolled back on error) are excluded below. A torn read of an
+  // in-flight tail frame stops the parse loop early — the follower just
+  // sees it on its next poll.
+  std::vector<uint64_t> starts;
+  uint64_t durable_last = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    starts = segment_starts_;
+    durable_last = next_seq_ - 1;
+  }
   std::vector<WalFrame> out;
   size_t bytes = 0;
-  for (size_t i = 0; i < segment_starts_.size(); ++i) {
+  for (size_t i = 0; i < starts.size(); ++i) {
     // Skip segments that end before from_seq.
-    if (i + 1 < segment_starts_.size() && segment_starts_[i + 1] <= from_seq) {
+    if (i + 1 < starts.size() && starts[i + 1] <= from_seq) {
       continue;
     }
-    auto data = ReadFileBytes(dir_ + "/" + SegmentFileName(segment_starts_[i]));
+    if (starts[i] > durable_last) break;
+    auto data = ReadFileBytes(dir_ + "/" + SegmentFileName(starts[i]));
     if (!data.ok()) return data.status();
     size_t pos = 0;
     WalFrame frame;
     while (ParseFrame(data.value(), &pos, &frame) == FrameParse::kFrame) {
       if (frame.seq < from_seq) continue;
+      if (frame.seq > durable_last) return out;
       bytes += kFrameHeaderBytes + 12 + 16 * frame.edges.size();
       out.push_back(std::move(frame));
       if (max_bytes > 0 && bytes >= max_bytes) return out;
@@ -461,6 +500,7 @@ Status Wal::PruneThrough(uint64_t up_to_seq) {
   size_t removed = 0;
   while (segment_starts_.size() > 1 && segment_starts_[1] <= up_to_seq + 1) {
     const std::string path = dir_ + "/" + SegmentFileName(segment_starts_[0]);
+    if (path == active_path_) break;  // never unlink the live segment
     fs::remove(path, ec);
     if (ec) return Status::IoError("wal: cannot prune " + path);
     segment_starts_.erase(segment_starts_.begin());

@@ -117,7 +117,9 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends `edges` as the next sequence number and returns it. Durable
-  /// per the fsync policy; flushed to the OS unconditionally.
+  /// per the fsync policy; flushed to the OS unconditionally. Batches
+  /// whose encoded size would overflow the u32 frame length prefix
+  /// (~268M edges) are rejected with kInvalidArgument.
   Result<uint64_t> Append(const std::vector<graph::TimedEdge>& edges,
                           double wall_seconds);
 
@@ -132,9 +134,9 @@ class Wal {
   Status Sync();
 
   /// Promotion fencing: bumps the epoch, rotates to a fresh segment so
-  /// the new epoch starts on a segment boundary, and syncs. Returns the
-  /// new epoch. Subsequent AppendFrame calls carrying the old epoch are
-  /// rejected.
+  /// the new epoch starts on a segment boundary (a no-op if the active
+  /// segment is already empty), and syncs. Returns the new epoch.
+  /// Subsequent AppendFrame calls carrying the old epoch are rejected.
   Result<uint64_t> BumpEpoch();
 
   /// Raises the epoch to at least `epoch` (used when a checkpoint records

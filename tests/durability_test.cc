@@ -391,6 +391,39 @@ TEST_F(DurabilityTest, BumpEpochRotatesStampsAndSurvivesReopen) {
   EXPECT_EQ(frames.value()[1].epoch, 2u);
 }
 
+TEST_F(DurabilityTest, EmptySegmentEpochBumpNeverDuplicatesOrPrunesActive) {
+  // Regression: bumping the epoch before any frame exists (a standby
+  // promoted before replication delivered anything, or a restore whose
+  // checkpoint epoch exceeds a fresh WAL's) used to re-register the same
+  // empty segment, and PruneThrough would then unlink the live file —
+  // losing every later append on restart.
+  const std::string dir = MakeTempDir("emptybump");
+  {
+    auto wal = wal::Wal::Open(dir, wal::WalOptions{});
+    ASSERT_TRUE(wal.ok());
+    auto epoch = wal.value()->BumpEpoch();
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(epoch.value(), 2u);
+    // A second bump on the still-empty log must not duplicate either.
+    ASSERT_TRUE(wal.value()->EnsureEpochAtLeast(4).ok());
+    EXPECT_EQ(wal.value()->stats().segments, 1u);
+    ASSERT_TRUE(wal.value()->Append(SampleEdges(1, 3), 1.0).ok());
+    ASSERT_TRUE(wal.value()->PruneThrough(1).ok());
+    EXPECT_EQ(wal.value()->stats().segments, 1u);
+    ASSERT_TRUE(wal.value()->Append(SampleEdges(5, 2), 2.0).ok());
+  }
+  auto wal = wal::Wal::Open(dir, wal::WalOptions{});
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal.value()->last_seq(), 2u);
+  EXPECT_EQ(wal.value()->epoch(), 4u);
+  auto frames = wal.value()->ReadFrom(1);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames.value().size(), 2u);
+  EXPECT_EQ(frames.value()[0].edges.size(), 3u);
+  EXPECT_EQ(frames.value()[1].edges.size(), 2u);
+  EXPECT_EQ(frames.value()[1].epoch, 4u);
+}
+
 TEST_F(DurabilityTest, AppendFrameDeduplicatesFencesAndRefusesGaps) {
   const std::string dir = MakeTempDir("applyframe");
   auto wal = wal::Wal::Open(dir, wal::WalOptions{});

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -452,11 +453,17 @@ int RunNetworkServe(serve::Server& server, const Args& args) {
     tailer = std::make_unique<serve::net::WalTailer>(&server, topts);
     service.SetStandby(true);
   }
+  // Promotion runs on per-connection HTTP threads; serialize it so two
+  // concurrent POST /v1/promote calls can't both pass the standby check
+  // and bump the fencing epoch twice (the endpoint is documented
+  // idempotent).
+  std::mutex promote_mu;
   std::unique_ptr<serve::net::ReplicationService> replication;
   if (server.wal() != nullptr) {
     replication = std::make_unique<serve::net::ReplicationService>(
         server.wal(),
-        [&server, &service, &tailer]() -> Result<uint64_t> {
+        [&server, &service, &tailer, &promote_mu]() -> Result<uint64_t> {
+          std::lock_guard<std::mutex> lock(promote_mu);
           if (tailer != nullptr) tailer->Stop();
           if (!service.standby()) {
             return server.wal()->epoch();  // already active: idempotent
