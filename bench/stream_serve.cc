@@ -228,6 +228,81 @@ ShardResult ReplaySharded(const MultiTenantStream& stream, int shards,
   return out;
 }
 
+// --- Elastic resharding (DESIGN.md §4.14) ---
+//
+// One live Resize() halfway through the replay. Measures what a resize
+// costs the serving path: the migration pause (Resize quiesces detection,
+// re-partitions windows/cursors/trackers, resumes) and whether per-tick
+// latency recovered on the new fleet shape.
+struct ReshardResult {
+  int from = 0;
+  int to = 0;
+  int64_t ticks_before = 0;
+  int64_t ticks_after = 0;
+  double avg_tick_wall_before = 0;
+  double avg_tick_wall_after = 0;
+  double migration_pause_seconds = 0;
+};
+
+ReshardResult ReplayReshard(const MultiTenantStream& stream, int from, int to,
+                            int iterations) {
+  serve::ServerConfig cfg;
+  cfg.detect.window_days = 30;
+  cfg.detect.engine = lp::EngineKind::kGlp;
+  cfg.detect.lp.max_iterations = iterations;
+  cfg.detect.lp.stop_when_stable = true;
+  cfg.seeds = stream.seeds;
+  cfg.tick.every_days = 1.0;
+  cfg.tick.warm_start = false;
+
+  ReshardResult out;
+  out.from = from;
+  out.to = to;
+  bool resized = false;
+  double wall_before = 0, wall_after = 0;
+  serve::ShardedStreamServer server(cfg, from);
+  server.Subscribe([&](const serve::TickResult& t) {
+    if (resized) {
+      wall_after += t.tick_wall_seconds;
+      ++out.ticks_after;
+    } else {
+      wall_before += t.tick_wall_seconds;
+      ++out.ticks_before;
+    }
+  });
+  GLP_CHECK(server.Start().ok());
+  const size_t batch_size = 4000;
+  const size_t half_edges = stream.edges.size() / 2;
+  for (size_t pos = 0; pos < stream.edges.size(); pos += batch_size) {
+    if (!resized && pos >= half_edges) {
+      // Drain the queue first so the pause measures the migration itself,
+      // not the detection backlog in front of it.
+      server.Flush();
+      const auto t0 = std::chrono::steady_clock::now();
+      GLP_CHECK(server.Resize(to).ok());
+      out.migration_pause_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      resized = true;
+    }
+    const size_t n = std::min(batch_size, stream.edges.size() - pos);
+    std::vector<graph::TimedEdge> batch(
+        stream.edges.begin() + static_cast<ptrdiff_t>(pos),
+        stream.edges.begin() + static_cast<ptrdiff_t>(pos + n));
+    GLP_CHECK(server.Ingest(std::move(batch)));
+  }
+  server.Flush();
+  server.Stop();
+  GLP_CHECK(server.last_error().ok()) << server.last_error().ToString();
+  out.avg_tick_wall_before =
+      out.ticks_before > 0 ? wall_before / static_cast<double>(out.ticks_before)
+                           : 0;
+  out.avg_tick_wall_after =
+      out.ticks_after > 0 ? wall_after / static_cast<double>(out.ticks_after)
+                          : 0;
+  return out;
+}
+
 // --- Network ingest load (DESIGN.md §4.11) ---
 //
 // One IngestService over a single warm StreamServer, driven by `tenants`
@@ -764,6 +839,43 @@ int main(int argc, char** argv) {
       "Recovery exactness for both is\n asserted in "
       "tests/durability_test.cc.)\n");
 
+  // --- Elastic resharding: live Resize() halfway through the replay ---
+  std::printf(
+      "\n=== Elastic resharding: one live resize mid-replay, 16-tenant "
+      "stream (%zu edges) ===\n\n",
+      tenants.edges.size());
+  struct ReshardMode {
+    const char* name;
+    const char* json_key;
+    int from;
+    int to;
+  };
+  const ReshardMode reshard_modes[] = {{"grow 2->4", "grow_2_to_4", 2, 4},
+                                       {"shrink 4->2", "shrink_4_to_2", 4, 2}};
+  std::vector<ReshardResult> reshard_results;
+  for (const ReshardMode& m : reshard_modes) {
+    reshard_results.push_back(
+        ReplayReshard(tenants, m.from, m.to, flags.iterations));
+  }
+  bench::PrintHeader({"Resize", "Pause", "Ticks-pre", "Tick-pre",
+                      "Ticks-post", "Tick-post"},
+                     12);
+  for (size_t i = 0; i < reshard_results.size(); ++i) {
+    const ReshardResult& r = reshard_results[i];
+    std::printf("%-12s%-12s%-12lld%-12s%-12lld%-12s\n",
+                reshard_modes[i].name,
+                bench::Duration(r.migration_pause_seconds).c_str(),
+                static_cast<long long>(r.ticks_before),
+                bench::Duration(r.avg_tick_wall_before).c_str(),
+                static_cast<long long>(r.ticks_after),
+                bench::Duration(r.avg_tick_wall_after).c_str());
+  }
+  std::printf(
+      "\n(Pause = Resize() wall time: quiesce detection, re-partition "
+      "windows/cursors/\n trackers under the bumped PartitionMap, resume. "
+      "The post-resize replay emits\n exactly the uninterrupted confirmed "
+      "clusters — tests/reshard_test.cc.)\n");
+
   // --- Machine-readable results for the CI perf trajectory ---
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -863,6 +975,20 @@ int main(int argc, char** argv) {
                    overhead_vs_off, static_cast<long long>(r.fsyncs),
                    static_cast<long long>(r.wal_bytes),
                    i + 1 < wal_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"reshard\": {\n");
+    for (size_t i = 0; i < reshard_results.size(); ++i) {
+      const ReshardResult& r = reshard_results[i];
+      std::fprintf(
+          f,
+          "    \"%s\": {\"from\": %d, \"to\": %d, "
+          "\"migration_pause_seconds\": %g, \"ticks_before\": %lld, "
+          "\"avg_tick_wall_before\": %g, \"ticks_after\": %lld, "
+          "\"avg_tick_wall_after\": %g}%s\n",
+          reshard_modes[i].json_key, r.from, r.to, r.migration_pause_seconds,
+          static_cast<long long>(r.ticks_before), r.avg_tick_wall_before,
+          static_cast<long long>(r.ticks_after), r.avg_tick_wall_after,
+          i + 1 < reshard_results.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);

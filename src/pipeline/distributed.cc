@@ -18,14 +18,17 @@ SuperstepCost PriceSuperstep(const graph::Graph& g,
   cost.compute_s = edges_per_machine * cluster.bytes_per_edge /
                    (cluster.machine_mem_bandwidth_gbps * 1e9);
 
-  // Shuffle: count edges whose endpoints hash to different machines. Each
-  // cut edge induces one label message per superstep; receive volume is
-  // spread across machines.
+  // Shuffle: count edges whose endpoints map to different machines under
+  // the fleet partition map — the same assignment the sharded serving
+  // layer routes by, so the cost model prices the cut the fleet would
+  // actually shuffle. Each cut edge induces one label message per
+  // superstep; receive volume is spread across machines.
+  const PartitionMap map(M);
   int64_t cut_edges = 0;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    const int pv = PartitionOf(v, M);
+    const int pv = map.PartOf(v);
     for (graph::VertexId u : g.neighbors(v)) {
-      if (PartitionOf(u, M) != pv) ++cut_edges;
+      if (map.PartOf(u) != pv) ++cut_edges;
     }
   }
   const double messages_per_machine = static_cast<double>(cut_edges) / M;

@@ -241,8 +241,10 @@ Result<std::string> LatestCheckpoint(const std::string& dir) {
 namespace {
 
 constexpr uint64_t kManifestMagic = 0x3130464d53504c47ULL;  // "GLPSMF01" LE
-// v2 appends the fencing epoch; v1 manifests load with epoch 0.
-constexpr uint32_t kManifestVersion = 2;
+// v2 appends the fencing epoch; v3 appends the partition map (version +
+// override table). Older manifests load with epoch 0 and the default hash
+// map at version 1.
+constexpr uint32_t kManifestVersion = 3;
 constexpr uint32_t kMinManifestVersion = 1;
 
 bool WriteString(Writer* w, const std::string& s) {
@@ -308,6 +310,8 @@ Status SaveShardManifest(const std::string& path, const ShardManifest& m) {
     for (const std::string& s : m.shard_files) {
       ok = ok && WriteString(&w, s);
     }
+    ok = ok && w.Pod(m.map_version) && w.Vec(m.map_override_keys) &&
+         w.Vec(m.map_override_parts);
     const uint64_t sum = w.checksum();
     ok = ok && std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum);
     ok = ok && std::fflush(f.get()) == 0;
@@ -355,6 +359,11 @@ Result<ShardManifest> LoadShardManifest(const std::string& path) {
       if (!ok) break;
     }
   }
+  if (version >= 3) {
+    ok = ok && r.Pod(&m.map_version) &&
+         r.Vec(&m.map_override_keys, kMaxElems) &&
+         r.Vec(&m.map_override_parts, kMaxElems);
+  }
   if (!ok) {
     return Status::IoError("truncated or corrupt manifest " + path);
   }
@@ -368,7 +377,19 @@ Result<ShardManifest> LoadShardManifest(const std::string& path) {
       m.shard_files.size() != static_cast<size_t>(m.num_shards)) {
     return Status::IoError("inconsistent shard count in manifest " + path);
   }
+  if (m.map_version == 0 ||
+      m.map_override_keys.size() != m.map_override_parts.size()) {
+    return Status::IoError("inconsistent partition map in manifest " + path);
+  }
   return m;
+}
+
+pipeline::PartitionMap ShardManifest::PartitionMapOf() const {
+  pipeline::PartitionMap map(num_shards, map_version);
+  if (!map_override_keys.empty()) {
+    map.SetOverrides(map_override_keys, map_override_parts);
+  }
+  return map;
 }
 
 Result<ShardedCheckpoint> LoadShardedCheckpoint(
@@ -502,6 +523,93 @@ Status PruneCheckpoints(const std::string& dir, int keep,
     }
   }
   return first_error;
+}
+
+// ---------------------------------------------------------------------------
+// Shape-independent (portable) checkpoint view
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Re-expresses a loaded fleet snapshot in the flat representation.
+PortableCheckpoint FlattenShardedCheckpoint(ShardedCheckpoint cp) {
+  PortableCheckpoint out;
+  out.source_shards = cp.manifest.num_shards;
+  out.data = std::move(cp.coord);
+  // Global canonical stream: each shard window filtered to the edges it
+  // owns under the snapshot's own map (mirrors dropped), merged back into
+  // canonical order. Shard windows are canonically-sorted subsequences of
+  // the global stream, so the sort reproduces that stream exactly — no
+  // edge lost, none duplicated.
+  const pipeline::PartitionMap map = cp.manifest.PartitionMapOf();
+  size_t total = 0;
+  for (const CheckpointData& sd : cp.shards) total += sd.edges.size();
+  std::vector<graph::TimedEdge> global;
+  global.reserve(total);
+  for (size_t k = 0; k < cp.shards.size(); ++k) {
+    for (const graph::TimedEdge& e : cp.shards[k].edges) {
+      if (map.PartOf(e.src) == static_cast<int>(k)) global.push_back(e);
+    }
+  }
+  std::sort(global.begin(), global.end(), graph::CanonicalEdgeLess);
+  out.data.edges = std::move(global);
+  // Warm state: the coordinator stores entity→anchor pairs (prev_l2g =
+  // sorted entities, prev_labels = each entity's anchor entity). The flat
+  // encoding wants prev_labels to be an *index* into prev_l2g whose entry
+  // is the anchor. Both encodings induce the same anchor function through
+  // MapWarmLabels, so warm continuity survives the conversion.
+  if (out.data.have_prev) {
+    const std::vector<graph::VertexId>& ents = out.data.prev_l2g;
+    for (graph::Label& lab : out.data.prev_labels) {
+      const auto anchor = static_cast<graph::VertexId>(lab);
+      const auto it = std::lower_bound(ents.begin(), ents.end(), anchor);
+      lab = (it != ents.end() && *it == anchor)
+                ? static_cast<graph::Label>(it - ents.begin())
+                : graph::kInvalidLabel;
+    }
+  }
+  if (cp.manifest.epoch > out.data.wal_epoch) {
+    out.data.wal_epoch = cp.manifest.epoch;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PortableCheckpoint> LoadPortableCheckpoint(
+    const std::string& path_or_dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(path_or_dir, ec)) {
+    // Explicit file: ".smf" names a sharded manifest, anything else a
+    // flat checkpoint file.
+    if (path_or_dir.size() > 4 &&
+        path_or_dir.substr(path_or_dir.size() - 4) == ".smf") {
+      ShardedCheckpoint cp;
+      GLP_ASSIGN_OR_RETURN(cp, LoadShardedCheckpoint(path_or_dir));
+      return FlattenShardedCheckpoint(std::move(cp));
+    }
+    PortableCheckpoint out;
+    GLP_ASSIGN_OR_RETURN(out.data, LoadCheckpoint(path_or_dir));
+    return out;
+  }
+  // Directory: both formats can coexist after a resize history that passed
+  // through one shard; the loadable snapshot with the highest tick wins.
+  auto sharded = LatestShardedCheckpoint(path_or_dir);
+  auto flat_path = LatestCheckpoint(path_or_dir);
+  Result<CheckpointData> flat =
+      flat_path.ok() ? LoadCheckpoint(flat_path.value())
+                     : Result<CheckpointData>(flat_path.status());
+  if (sharded.ok() &&
+      (!flat.ok() || sharded.value().manifest.tick >= flat.value().tick)) {
+    return FlattenShardedCheckpoint(std::move(sharded).value());
+  }
+  if (flat.ok()) {
+    PortableCheckpoint out;
+    out.data = std::move(flat).value();
+    return out;
+  }
+  return Status::NotFound("no loadable checkpoint (flat or sharded) in " +
+                          path_or_dir);
 }
 
 }  // namespace glp::serve

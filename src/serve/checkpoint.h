@@ -19,6 +19,7 @@
 
 #include "graph/sliding_window.h"
 #include "graph/types.h"
+#include "pipeline/partition.h"
 #include "util/status.h"
 
 namespace glp::serve {
@@ -128,6 +129,18 @@ struct ShardManifest {
   uint64_t epoch = 0;
   std::string coord_file;
   std::vector<std::string> shard_files;  ///< size num_shards, shard order
+
+  /// Partition map the fleet routed under at snapshot time (manifest
+  /// format v3): version plus the explicit entity→part override table.
+  /// v1/v2 manifests load with version 1 and no overrides — the default
+  /// hash map over num_shards, which is exactly the rule those fleets
+  /// routed by, so old checkpoints restore identically.
+  uint64_t map_version = 1;
+  std::vector<graph::VertexId> map_override_keys;
+  std::vector<int32_t> map_override_parts;
+
+  /// The deserialized map as a routable PartitionMap over num_shards.
+  pipeline::PartitionMap PartitionMapOf() const;
 };
 
 /// A fully loaded and validated fleet snapshot.
@@ -165,5 +178,37 @@ Status PruneShardCheckpoints(const std::string& dir, int keep);
 /// at least the newest manifest while `wal_dir` holds WAL segments.
 Status PruneShardCheckpoints(const std::string& dir, int keep,
                              const std::string& wal_dir);
+
+// ---------------------------------------------------------------------------
+// Shape-independent (portable) checkpoint view — DESIGN.md §4.14
+// ---------------------------------------------------------------------------
+
+/// A checkpoint re-expressed in the flat single-server representation,
+/// regardless of the fleet shape that wrote it. This is what makes
+/// checkpoints portable across fleet sizes: any server can consume `data`
+/// by routing `data.edges` under its own partition map.
+struct PortableCheckpoint {
+  /// Flat-form state. For sharded sources, `edges` is the exact global
+  /// canonical stream — each shard window filtered to the edges that
+  /// shard *owns* under the manifest's partition map (mirrors dropped),
+  /// then merged back into canonical order, which reproduces the
+  /// single-server stream byte-identically. Warm-start state is converted
+  /// from the coordinator's entity→anchor pairs to the flat
+  /// prev_l2g/prev_labels encoding; the anchor function both encodings
+  /// induce is identical. wal_epoch folds in the manifest fencing epoch.
+  CheckpointData data;
+  /// Fleet shape that wrote the snapshot (1 for flat files).
+  int source_shards = 1;
+};
+
+/// Loads the newest checkpoint under `path_or_dir` as a portable view.
+/// A directory may hold flat checkpoints, sharded manifests, or (after a
+/// history of resizes through one shard) both — the loadable snapshot
+/// with the highest tick wins. An explicit file path loads that file,
+/// treating ".smf" names as sharded manifests. NotFound when the
+/// directory holds no loadable checkpoint of either format; corrupt
+/// explicit files fail with IoError.
+Result<PortableCheckpoint> LoadPortableCheckpoint(
+    const std::string& path_or_dir);
 
 }  // namespace glp::serve

@@ -141,6 +141,36 @@ struct DurabilityPolicy {
   bool enabled() const { return !dir.empty(); }
 };
 
+/// Elastic resharding (DESIGN.md §4.14). Fleet resizes always go through
+/// Server::Resize — this policy only decides whether the sharded server
+/// *initiates* them itself from shard heat. The heat signal is the
+/// in-window routed edge count per shard (mirrors included — they are
+/// real per-tick work), sampled after each successful tick; per-shard
+/// wall time is exported alongside it (glp_serve_shard_tick_seconds) for
+/// operators watching the same decision. Deterministic by construction:
+/// a replayed stream makes the same resize calls at the same ticks.
+struct ReshardPolicy {
+  /// Master switch for heat-driven rebalancing; Resize() works either way.
+  bool auto_rebalance = false;
+  /// Fleet-size bounds the automatic decision stays within.
+  int min_shards = 1;
+  int max_shards = 8;
+  /// Grow by one shard when in-window edges per shard exceed this
+  /// (0 = never grow).
+  uint64_t grow_edges_per_shard = 0;
+  /// Shrink by one shard when in-window edges per shard fall below this
+  /// (0 = never shrink).
+  uint64_t shrink_edges_per_shard = 0;
+  /// Completed ticks between automatic resize decisions — hysteresis, so
+  /// a bursty window does not thrash the fleet through a resize per tick.
+  int64_t cooldown_ticks = 4;
+
+  bool enabled() const {
+    return auto_rebalance &&
+           (grow_edges_per_shard > 0 || shrink_edges_per_shard > 0);
+  }
+};
+
 /// Streaming-server configuration, consumed by every serve::Server
 /// implementation. Composes the pipeline's unified PipelineConfig (and
 /// through it the lp::RunConfig the engines consume) plus one policy struct
@@ -161,6 +191,7 @@ struct ServerConfig {
   TracePolicy trace;
   CheckpointPolicy checkpoint;
   DurabilityPolicy durability;
+  ReshardPolicy reshard;
 
   /// Ingest-queue bound: Ingest() blocks while this many batches are
   /// pending (backpressure); TryIngest() sheds instead.

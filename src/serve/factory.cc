@@ -6,11 +6,20 @@
 #include "serve/server.h"
 #include "serve/server_iface.h"
 #include "serve/sharded_server.h"
+#include "util/logging.h"
 
 namespace glp::serve {
 
 std::unique_ptr<Server> MakeServer(ServerConfig config, int num_shards) {
-  if (num_shards <= 1) {
+  if (num_shards <= 0) {
+    // A non-positive count is a caller bug (a miscomputed fleet size, an
+    // unparsed flag). Silently serving one shard would mask it; fail
+    // loudly instead.
+    GLP_LOG(Error) << "MakeServer: num_shards must be >= 1, got "
+                   << num_shards;
+    return nullptr;
+  }
+  if (num_shards == 1) {
     return std::make_unique<StreamServer>(std::move(config));
   }
   return std::make_unique<ShardedStreamServer>(std::move(config), num_shards);

@@ -231,25 +231,33 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
     const Status wst = EnsureWalOpen();
     if (!wst.ok()) return wst;
   }
-  std::string path = path_or_dir;
+  // Checkpoints are shape-portable (DESIGN.md §4.14): the portable loader
+  // returns flat files verbatim and re-expresses fleet snapshots (any
+  // shard count) in the flat form, so a sharded deployment can be scaled
+  // down to one shard by restoring its directory here.
   std::error_code ec;
   bool have_checkpoint = true;
-  if (std::filesystem::is_directory(path_or_dir, ec)) {
-    auto latest = LatestCheckpoint(path_or_dir);
-    if (latest.ok()) {
-      path = std::move(latest).value();
+  CheckpointData data;
+  int source_shards = 1;
+  if (wal_ != nullptr && !std::filesystem::is_directory(path_or_dir, ec) &&
+      !std::filesystem::exists(path_or_dir, ec)) {
+    have_checkpoint = false;
+  } else {
+    auto port = LoadPortableCheckpoint(path_or_dir);
+    if (port.ok()) {
+      PortableCheckpoint p = std::move(port).value();
+      source_shards = p.source_shards;
+      data = std::move(p.data);
+      if (source_shards != 1) {
+        GLP_LOG(Info) << "resharding checkpoint: " << source_shards
+                      << " -> 1 shard";
+      }
     } else if (wal_ != nullptr &&
-               latest.status().code() == StatusCode::kNotFound) {
+               port.status().code() == StatusCode::kNotFound) {
       have_checkpoint = false;
     } else {
-      return latest.status();
+      return port.status();
     }
-  } else if (wal_ != nullptr && !std::filesystem::exists(path_or_dir, ec)) {
-    have_checkpoint = false;
-  }
-  CheckpointData data;
-  if (have_checkpoint) {
-    GLP_ASSIGN_OR_RETURN(data, LoadCheckpoint(path));
   }
 
   window_ = graph::SlidingWindow(std::move(data.edges));
@@ -356,7 +364,8 @@ Result<StreamServer::RestoreInfo> StreamServer::RestoreFromCheckpoint(
     PublishWalStats();
   }
   GLP_LOG(Info) << "restored "
-                << (have_checkpoint ? "checkpoint " + path : "(no checkpoint)")
+                << (have_checkpoint ? "checkpoint from " + path_or_dir
+                                    : "(no checkpoint)")
                 << " (tick " << info.tick << ", " << info.num_edges
                 << " edges" << (wal_ != nullptr ? ", wal seq " +
                 std::to_string(info.wal_seq) : "") << ")";

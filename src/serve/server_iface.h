@@ -213,6 +213,24 @@ class Server {
   /// Cancelled if the server stops or dies first.
   virtual Status WriteCheckpoint() = 0;
 
+  /// Live fleet resize (DESIGN.md §4.14): migrate detection state to
+  /// `new_num_shards` shards without dropping a batch or breaking the
+  /// subscriber diff stream. While the server is running the migration is
+  /// handed to the detection thread (quiesce → re-partition → resume; the
+  /// caller blocks until it commits or aborts); before Start() it runs
+  /// inline, which is how an offline restore is re-shaped. A failure
+  /// before the commit point leaves the fleet on its old shape — retry is
+  /// always safe. The base implementation only accepts the no-op resize:
+  /// StreamServer is structurally one shard (restore its checkpoint into a
+  /// ShardedStreamServer to scale out — checkpoints are shape-portable).
+  virtual Status Resize(int new_num_shards) {
+    if (new_num_shards == num_shards()) return Status::OK();
+    return Status::InvalidArgument(
+        "this server cannot resize to " + std::to_string(new_num_shards) +
+        " shards; restore its (shape-portable) checkpoint into a "
+        "ShardedStreamServer instead");
+  }
+
   /// First non-cancellation error a tick produced, if any. Transient
   /// errors absorbed by a successful retry are not recorded.
   virtual Status last_error() const = 0;
@@ -247,6 +265,8 @@ class Server {
 
 /// Constructs the right Server for `num_shards`: StreamServer for 1,
 /// ShardedStreamServer for N > 1. The one place shard count is decided.
+/// Non-positive counts are a caller bug and return nullptr (logged) —
+/// never a silently defaulted 1-shard server.
 std::unique_ptr<Server> MakeServer(ServerConfig config, int num_shards = 1);
 
 }  // namespace glp::serve

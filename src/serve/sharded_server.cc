@@ -77,20 +77,21 @@ VertexId ShardedStreamServer::EntityIntern::Intern(
 ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
     : config_(std::move(config)),
       num_shards_(num_shards),
+      pmap_(std::make_shared<const pipeline::PartitionMap>(num_shards)),
       sampler_(config_.trace.sample_rate, config_.trace.sample_seed) {
   // owner_of_ stores shard indices in a byte; 256 shards is far past the
   // point where per-shard fixed costs dominate anyway.
-  GLP_CHECK(num_shards_ >= 1 && num_shards_ <= 256)
+  GLP_CHECK(num_shards >= 1 && num_shards <= 256)
       << "num_shards out of range";
-  windows_.resize(num_shards_);
-  shards_.resize(num_shards_);
-  owners_.resize(num_shards_);
-  for (ShardScratch& s : shards_) s.owner_buckets.resize(num_shards_);
-  // Per-shard range cursors for incremental mode; windows_ is never
-  // resized after this, so the pointers stay valid (restore move-assigns
-  // into the same objects).
-  range_cursors_.reserve(num_shards_);
-  for (int k = 0; k < num_shards_; ++k) {
+  windows_.resize(num_shards);
+  shards_.resize(num_shards);
+  owners_.resize(num_shards);
+  for (ShardScratch& s : shards_) s.owner_buckets.resize(num_shards);
+  // Per-shard range cursors for incremental mode. The cursors hold
+  // pointers into windows_, so every operation that resizes windows_ —
+  // restore and live resharding — rebuilds them immediately afterwards.
+  range_cursors_.reserve(num_shards);
+  for (int k = 0; k < num_shards; ++k) {
     range_cursors_.emplace_back(&windows_[k]);
   }
 
@@ -208,30 +209,20 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
       "glp_serve_wal_epoch", "Current WAL fencing epoch");
   ins_.wal_segments = registry_->GetGauge(
       "glp_serve_wal_segments", "Live WAL segment files");
+  ins_.reshards_ok = registry_->GetCounter(
+      "glp_serve_reshards_total", "Fleet resize (migration) attempts",
+      {{"result", "ok"}});
+  ins_.reshards_aborted = registry_->GetCounter(
+      "glp_serve_reshards_total", "Fleet resize (migration) attempts",
+      {{"result", "aborted"}});
+  ins_.num_shards_gauge = registry_->GetGauge(
+      "glp_serve_num_shards", "Live detection shard count");
+  ins_.num_shards_gauge->Set(static_cast<double>(num_shards));
+  ins_.reshard_pause_seconds = registry_->GetHistogram(
+      "glp_serve_reshard_pause_seconds",
+      "Wall time detection was quiesced during a fleet resize");
   // Per-shard families, one time series per shard via the {shard} label.
-  shard_ins_.resize(num_shards_);
-  for (int k = 0; k < num_shards_; ++k) {
-    const std::string shard = std::to_string(k);
-    shard_ins_[k].tick_seconds = registry_->GetHistogram(
-        "glp_serve_shard_tick_seconds",
-        "Per-owner-shard detection wall time within a tick",
-        {{"shard", shard}});
-    shard_ins_[k].edges_routed = registry_->GetCounter(
-        "glp_serve_shard_edges_routed_total",
-        "Edges routed to their owning shard", {{"shard", shard}});
-    shard_ins_[k].edges_mirrored = registry_->GetCounter(
-        "glp_serve_shard_edges_mirrored_total",
-        "Cross-shard edge copies mirrored into this shard",
-        {{"shard", shard}});
-    shard_ins_[k].window_edges = registry_->GetGauge(
-        "glp_serve_shard_window_edges",
-        "Edges in this shard's window stream (mirrors included)",
-        {{"shard", shard}});
-    shard_ins_[k].components_owned = registry_->GetGauge(
-        "glp_serve_shard_components",
-        "Connected components this shard owned at the last tick",
-        {{"shard", shard}});
-  }
+  EnsureShardInstruments(num_shards);
   if (config_.trace.recorder_ticks > 0) {
     recorder_ = std::make_unique<obs::FlightRecorder>(
         static_cast<size_t>(config_.trace.recorder_ticks));
@@ -246,6 +237,47 @@ ShardedStreamServer::ShardedStreamServer(ServerConfig config, int num_shards)
           ->Set(static_cast<double>(fires));
     }
   });
+}
+
+void ShardedStreamServer::EnsureShardInstruments(int n) {
+  const int old = static_cast<int>(shard_ins_.size());
+  if (n > old) {
+    shard_ins_.resize(n);
+    for (int k = old; k < n; ++k) {
+      const std::string shard = std::to_string(k);
+      shard_ins_[k].tick_seconds = registry_->GetHistogram(
+          "glp_serve_shard_tick_seconds",
+          "Per-owner-shard detection wall time within a tick",
+          {{"shard", shard}});
+      shard_ins_[k].edges_routed = registry_->GetCounter(
+          "glp_serve_shard_edges_routed_total",
+          "Edges routed to their owning shard", {{"shard", shard}});
+      shard_ins_[k].edges_mirrored = registry_->GetCounter(
+          "glp_serve_shard_edges_mirrored_total",
+          "Cross-shard edge copies mirrored into this shard",
+          {{"shard", shard}});
+      shard_ins_[k].window_edges = registry_->GetGauge(
+          "glp_serve_shard_window_edges",
+          "Edges in this shard's window stream (mirrors included)",
+          {{"shard", shard}});
+      shard_ins_[k].components_owned = registry_->GetGauge(
+          "glp_serve_shard_components",
+          "Connected components this shard owned at the last tick",
+          {{"shard", shard}});
+      shard_ins_[k].inwindow_edges = registry_->GetGauge(
+          "glp_serve_shard_inwindow_edges",
+          "In-window edges this shard carried at the last tick (mirrors "
+          "included) — the resharding heat signal",
+          {{"shard", shard}});
+    }
+  }
+  // Shards beyond the live count keep their counters (history survives a
+  // shrink) but report zeroed gauges so dashboards drop the ghost windows.
+  for (int k = n; k < static_cast<int>(shard_ins_.size()); ++k) {
+    shard_ins_[k].window_edges->Set(0);
+    shard_ins_[k].components_owned->Set(0);
+    shard_ins_[k].inwindow_edges->Set(0);
+  }
 }
 
 ShardedStreamServer::~ShardedStreamServer() { Stop(); }
@@ -274,67 +306,121 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
     const Status wst = EnsureWalOpen();
     if (!wst.ok()) return wst;
   }
+  // Resolve the snapshot source. A same-fleet-shape manifest takes the
+  // exact path (shard windows restored verbatim, mirrors included); any
+  // other shape — more shards, fewer, or a flat StreamServer file — loads
+  // through the portable view and is re-partitioned under this fleet's
+  // map (DESIGN.md §4.14).
+  enum class Src { kNone, kFleet, kPortable };
+  Src src = Src::kNone;
   ShardedCheckpoint cp;
-  bool have_checkpoint = true;
+  PortableCheckpoint port;
   std::error_code ec;
   if (std::filesystem::is_directory(path_or_dir, ec)) {
     Result<ShardedCheckpoint> latest = LatestShardedCheckpoint(path_or_dir);
-    if (!latest.ok()) {
-      if (latest.status().code() == StatusCode::kNotFound && wal_ != nullptr) {
-        have_checkpoint = false;
-      } else {
-        return latest.status();
-      }
-    } else {
+    if (latest.ok() && latest.value().manifest.num_shards == num_shards() &&
+        !LatestCheckpoint(path_or_dir).ok()) {
       cp = std::move(latest).value();
+      src = Src::kFleet;
+    } else {
+      // Any other combination — shape mismatch, flat snapshots present
+      // (possibly newer than the manifest), or no manifest at all — the
+      // portable loader picks the newest loadable snapshot across formats.
+      auto p = LoadPortableCheckpoint(path_or_dir);
+      if (p.ok()) {
+        port = std::move(p).value();
+        src = Src::kPortable;
+      } else if (p.status().code() == StatusCode::kNotFound &&
+                 wal_ != nullptr) {
+        src = Src::kNone;  // pure WAL replay from an empty window
+      } else {
+        return p.status();
+      }
     }
   } else if (!std::filesystem::exists(path_or_dir, ec) && wal_ != nullptr) {
-    have_checkpoint = false;
-  } else {
+    src = Src::kNone;
+  } else if (path_or_dir.size() > 4 &&
+             path_or_dir.substr(path_or_dir.size() - 4) == ".smf") {
     GLP_ASSIGN_OR_RETURN(cp, LoadShardedCheckpoint(path_or_dir));
-  }
-  if (have_checkpoint && cp.manifest.num_shards != num_shards_) {
-    return Status::InvalidArgument(
-        "checkpoint has " + std::to_string(cp.manifest.num_shards) +
-        " shards, server has " + std::to_string(num_shards_));
-  }
-  if (!have_checkpoint) {
-    // Pure WAL replay from an empty window: shape the default-constructed
-    // checkpoint to the fleet so the restore body below is a no-op.
-    cp.manifest.num_shards = num_shards_;
-    cp.shards.resize(static_cast<size_t>(num_shards_));
-  }
-  // Resharding a checkpoint would need a re-route of every edge; only
-  // same-fleet-shape restores are supported, enforced above.
-  global_edges_ = 0;
-  for (int k = 0; k < num_shards_; ++k) {
-    for (const TimedEdge& e : cp.shards[k].edges) {
-      // A shard file holds owned edges plus mirrors; only owned copies
-      // count toward the global replay position.
-      if (pipeline::PartitionOf(e.src, num_shards_) == k) ++global_edges_;
+    if (cp.manifest.num_shards == num_shards()) {
+      src = Src::kFleet;
+    } else {
+      GLP_ASSIGN_OR_RETURN(port, LoadPortableCheckpoint(path_or_dir));
+      src = Src::kPortable;
     }
-    windows_[k] = graph::SlidingWindow(std::move(cp.shards[k].edges));
+  } else {
+    GLP_ASSIGN_OR_RETURN(port, LoadPortableCheckpoint(path_or_dir));
+    src = Src::kPortable;
   }
-  num_ticks_ = cp.coord.tick;
-  tick_schedule_primed_ = cp.coord.tick_schedule_primed;
-  next_tick_end_ = cp.coord.next_tick_end;
-  have_prev_ = cp.coord.have_prev;
+  CheckpointData empty_coord;
+  const CheckpointData* coord = &empty_coord;
+  global_edges_ = 0;
   warm_anchor_.clear();
-  for (size_t i = 0; i < cp.coord.prev_l2g.size(); ++i) {
-    warm_anchor_[cp.coord.prev_l2g[i]] =
-        static_cast<VertexId>(cp.coord.prev_labels[i]);
+  if (src == Src::kFleet) {
+    coord = &cp.coord;
+    // Adopt the snapshot's own partition map (manifest v3; the default
+    // hash map for older files) as the live routing map.
+    const pipeline::PartitionMap cp_map = cp.manifest.PartitionMapOf();
+    for (int k = 0; k < num_shards(); ++k) {
+      for (const TimedEdge& e : cp.shards[k].edges) {
+        // A shard file holds owned edges plus mirrors; only owned copies
+        // count toward the global replay position.
+        if (cp_map.PartOf(e.src) == k) ++global_edges_;
+      }
+      windows_[k] = graph::SlidingWindow(std::move(cp.shards[k].edges));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pmap_ = std::make_shared<const pipeline::PartitionMap>(cp_map);
+    }
+    // Coordinator warm anchors are stored directly as entity→anchor pairs.
+    for (size_t i = 0; i < cp.coord.prev_l2g.size(); ++i) {
+      warm_anchor_[cp.coord.prev_l2g[i]] =
+          static_cast<VertexId>(cp.coord.prev_labels[i]);
+    }
+  } else if (src == Src::kPortable) {
+    coord = &port.data;
+    // Shape-changing restore: re-route the reconstructed global canonical
+    // stream under this fleet's own map. RouteBatch re-derives mirrors, so
+    // the rebuilt shard windows are exactly what an uninterrupted run on
+    // this shape would hold — no edge lost, none duplicated.
+    global_edges_ = port.data.edges.size();
+    RoutedBatch rb = RouteBatch(port.data.edges, *pmap_);
+    for (int k = 0; k < num_shards(); ++k) {
+      windows_[k] = graph::SlidingWindow(std::move(rb.parts[k]));
+    }
+    // Warm anchors arrive in the flat encoding (prev_labels indexes
+    // prev_l2g); re-express them as the entity→anchor map.
+    for (size_t i = 0; i < port.data.prev_l2g.size(); ++i) {
+      const Label pl = port.data.prev_labels[i];
+      if (pl == graph::kInvalidLabel ||
+          static_cast<size_t>(pl) >= port.data.prev_l2g.size()) {
+        continue;
+      }
+      warm_anchor_[port.data.prev_l2g[i]] = port.data.prev_l2g[pl];
+    }
+    if (port.source_shards != num_shards()) {
+      GLP_LOG(Info) << "resharding checkpoint: " << port.source_shards
+                    << " -> " << num_shards() << " shards ("
+                    << global_edges_ << " stream edges re-routed)";
+    }
   }
+  num_ticks_ = coord->tick;
+  tick_schedule_primed_ = coord->tick_schedule_primed;
+  next_tick_end_ = coord->next_tick_end;
+  have_prev_ = coord->have_prev;
   prev_confirmed_.clear();
-  for (auto& members : cp.coord.prev_confirmed) {
-    prev_confirmed_.insert(std::move(members));
+  for (const auto& members : coord->prev_confirmed) {
+    prev_confirmed_.insert(members);
   }
-  last_checkpoint_tick_ = cp.coord.tick;
+  last_checkpoint_tick_ = coord->tick;
   last_tick_wall_seconds_ = 0;
   refresh_pending_ = false;
   inc_reuse_ok_ = false;
   records_valid_ = false;
   records_.clear();
-  if (config_.tick.incremental && cp.coord.has_incremental && tick_schedule_primed_) {
+  if (config_.tick.incremental && coord->has_incremental &&
+      tick_schedule_primed_) {
     // Rebuild the fleet union-find from the restored shard windows (clean:
     // the checkpointed labels are authoritative) and re-prime every shard
     // range cursor at the last completed tick so the next advance yields an
@@ -350,13 +436,13 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
     }
     anchor_of_.assign(universe_, graph::kInvalidVertex);
     bool anchors_ok = true;
-    for (size_t i = 0; i < cp.coord.inc_entities.size(); ++i) {
-      if (static_cast<size_t>(cp.coord.inc_entities[i]) >= universe_ ||
-          static_cast<size_t>(cp.coord.inc_anchors[i]) >= universe_) {
+    for (size_t i = 0; i < coord->inc_entities.size(); ++i) {
+      if (static_cast<size_t>(coord->inc_entities[i]) >= universe_ ||
+          static_cast<size_t>(coord->inc_anchors[i]) >= universe_) {
         anchors_ok = false;
         break;
       }
-      anchor_of_[cp.coord.inc_entities[i]] = cp.coord.inc_anchors[i];
+      anchor_of_[coord->inc_entities[i]] = coord->inc_anchors[i];
     }
     if (anchors_ok) {
       for (int k = 0; k < num_shards_; ++k) {
@@ -376,28 +462,28 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ingested_max_time_ = cp.coord.ingested_max_time;
+    ingested_max_time_ = coord->ingested_max_time;
   }
   StreamServer::RestoreInfo info;
   info.tick = num_ticks_;
   info.num_edges = global_edges_;
-  info.max_time = cp.coord.ingested_max_time;
+  info.max_time = coord->ingested_max_time;
 
   // WAL replay: frames after the checkpoint's covered sequence hold the
   // pre-routing global batches — re-route each one and re-enqueue, so the
   // detection thread re-runs the lost ticks through the normal sharded
   // path, byte-identical to the uninterrupted run.
-  consumed_wal_seq_ = cp.coord.wal_seq;
+  consumed_wal_seq_ = coord->wal_seq;
   if (wal_ != nullptr) {
-    const uint64_t floor_epoch =
-        std::max(cp.coord.wal_epoch, cp.manifest.epoch);
+    const uint64_t manifest_epoch = (src == Src::kFleet) ? cp.manifest.epoch : 0;
+    const uint64_t floor_epoch = std::max(coord->wal_epoch, manifest_epoch);
     if (floor_epoch > 0) {
       const Status est = wal_->EnsureEpochAtLeast(floor_epoch);
       if (!est.ok()) return est;
     }
-    auto frames = wal_->ReadFrom(cp.coord.wal_seq + 1);
+    auto frames = wal_->ReadFrom(coord->wal_seq + 1);
     if (!frames.ok()) return frames.status();
-    uint64_t expected = cp.coord.wal_seq + 1;
+    uint64_t expected = coord->wal_seq + 1;
     double max_time = info.max_time;
     size_t replayed = 0;
     for (wal::WalFrame& f : frames.value()) {
@@ -407,7 +493,7 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
         // replay would silently skip batches, so refuse instead.
         return Status::IoError(
             "wal: replay gap: checkpoint covers seq " +
-            std::to_string(cp.coord.wal_seq) + " but next durable frame is " +
+            std::to_string(coord->wal_seq) + " but next durable frame is " +
             std::to_string(f.seq));
       }
       ++expected;
@@ -416,7 +502,9 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
       }
       info.num_edges += f.edges.size();
       global_edges_ += f.edges.size();
-      RoutedBatch rb = RouteBatch(std::move(f.edges));
+      // Frames hold the pre-routing global batch, so replay re-routes under
+      // the CURRENT map — the WAL tail follows the fleet across a resize.
+      RoutedBatch rb = RouteBatch(f.edges, *pmap_);
       rb.wal_seq = f.seq;
       rb.ctx.wal_seq = f.seq;
       rb.ctx.wal_epoch = f.epoch;
@@ -439,8 +527,8 @@ Result<Server::RestoreInfo> ShardedStreamServer::RestoreFromCheckpoint(
     PublishWalStats();
   }
   GLP_LOG(Info) << "restored sharded "
-                << (have_checkpoint ? "checkpoint" : "(no checkpoint)")
-                << " (tick " << info.tick << ", " << num_shards_
+                << (src != Src::kNone ? "checkpoint" : "(no checkpoint)")
+                << " (tick " << info.tick << ", " << num_shards()
                 << " shards, " << info.num_edges << " stream edges"
                 << (wal_ != nullptr ? ", wal seq " +
                 std::to_string(info.wal_seq) : "") << ")";
@@ -508,18 +596,24 @@ bool ShardedStreamServer::ValidBatch(
 }
 
 ShardedStreamServer::RoutedBatch ShardedStreamServer::RouteBatch(
-    std::vector<TimedEdge> batch) const {
-  // The owning shard gets every edge whose source hashes to it; an edge
+    const std::vector<TimedEdge>& batch,
+    const pipeline::PartitionMap& map) const {
+  // The owning shard gets every edge whose source maps to it; an edge
   // with endpoints on two shards is mirrored into the destination's shard
-  // too, so both windows see their full neighborhood.
+  // too, so both windows see their full neighborhood. The map is an
+  // explicit parameter (not pmap_) so producers route against a snapshot
+  // outside the lock; rb.map_version lets admission detect a concurrent
+  // resize and re-route.
   RoutedBatch rb;
-  rb.parts.resize(num_shards_);
+  const int n = map.num_parts();
+  rb.parts.resize(static_cast<size_t>(n));
   rb.global_edges = batch.size();
-  rb.routed.assign(num_shards_, 0);
-  rb.mirrored.assign(num_shards_, 0);
+  rb.routed.assign(static_cast<size_t>(n), 0);
+  rb.mirrored.assign(static_cast<size_t>(n), 0);
+  rb.map_version = map.version();
   for (const TimedEdge& e : batch) {
-    const int ps = pipeline::PartitionOf(e.src, num_shards_);
-    const int pd = pipeline::PartitionOf(e.dst, num_shards_);
+    const int ps = map.PartOf(e.src);
+    const int pd = map.PartOf(e.dst);
     rb.parts[ps].push_back(e);
     ++rb.routed[ps];
     if (pd != ps) {
@@ -617,11 +711,15 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
     batch_max_time = std::max(batch_max_time, e.time);
   }
   const size_t batch_edges = batch.size();
-  // The WAL logs the *pre-routing* wire batch (replay re-routes it), so
-  // keep a copy before routing consumes it.
-  std::vector<TimedEdge> wal_copy;
-  if (config_.durability.enabled()) wal_copy = batch;
-  RoutedBatch rb = RouteBatch(std::move(batch));
+  // Route outside the lock against a snapshot of the live map; a resize
+  // that lands between routing and admission is caught below by the map
+  // version and the batch is re-routed from the (still intact) original.
+  std::shared_ptr<const pipeline::PartitionMap> map;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    map = pmap_;
+  }
+  RoutedBatch rb = RouteBatch(batch, *map);
   rb.ctx = std::move(ctx);
   rb.enqueue_seconds = obs::MonotonicSeconds();
   std::unique_lock<std::mutex> lk(mu_);
@@ -633,8 +731,15 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
     });
     if (stopping_ || dead_) return false;
   }
+  if (rb.map_version != pmap_->version()) {
+    RoutedBatch rerouted = RouteBatch(batch, *pmap_);
+    rerouted.ctx = std::move(rb.ctx);
+    rerouted.enqueue_seconds = rb.enqueue_seconds;
+    rb = std::move(rerouted);
+  }
   if (wal_ != nullptr) {
-    const Status wst = AppendToWalLocked(wal_copy, rb.ctx, &rb);
+    // The WAL logs the *pre-routing* wire batch (replay re-routes it).
+    const Status wst = AppendToWalLocked(batch, rb.ctx, &rb);
     if (wst.code() == StatusCode::kAlreadyExists) return true;
     if (!wst.ok()) {
       ins_.batches_dropped->Increment();
@@ -644,7 +749,7 @@ bool ShardedStreamServer::Ingest(std::vector<TimedEdge> batch,
   ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch_edges);
-  for (int k = 0; k < num_shards_; ++k) {
+  for (size_t k = 0; k < rb.routed.size(); ++k) {
     if (rb.routed[k] != 0) {
       shard_ins_[k].edges_routed->Increment(rb.routed[k]);
     }
@@ -675,16 +780,25 @@ Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch,
     batch_max_time = std::max(batch_max_time, e.time);
   }
   const size_t batch_edges = batch.size();
-  std::vector<TimedEdge> wal_copy;
-  if (config_.durability.enabled()) wal_copy = batch;
-  RoutedBatch rb = RouteBatch(std::move(batch));
+  std::shared_ptr<const pipeline::PartitionMap> map;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    map = pmap_;
+  }
+  RoutedBatch rb = RouteBatch(batch, *map);
   rb.ctx = std::move(ctx);
   rb.enqueue_seconds = obs::MonotonicSeconds();
   std::lock_guard<std::mutex> lk(mu_);
   if (!started_ || stopping_ || dead_) return Admit::kStopped;
   if (queue_.size() >= config_.max_queue_batches) return Admit::kQueueFull;
+  if (rb.map_version != pmap_->version()) {
+    RoutedBatch rerouted = RouteBatch(batch, *pmap_);
+    rerouted.ctx = std::move(rb.ctx);
+    rerouted.enqueue_seconds = rb.enqueue_seconds;
+    rb = std::move(rerouted);
+  }
   if (wal_ != nullptr) {
-    const Status wst = AppendToWalLocked(wal_copy, rb.ctx, &rb);
+    const Status wst = AppendToWalLocked(batch, rb.ctx, &rb);
     if (wst.code() == StatusCode::kAlreadyExists) return Admit::kAccepted;
     if (!wst.ok()) {
       ins_.batches_dropped->Increment();
@@ -694,7 +808,7 @@ Server::Admit ShardedStreamServer::TryIngest(std::vector<TimedEdge> batch,
   ingested_max_time_ = std::max(ingested_max_time_, batch_max_time);
   ins_.batches_ingested->Increment();
   ins_.edges_ingested->Increment(batch_edges);
-  for (int k = 0; k < num_shards_; ++k) {
+  for (size_t k = 0; k < rb.routed.size(); ++k) {
     if (rb.routed[k] != 0) {
       shard_ins_[k].edges_routed->Increment(rb.routed[k]);
     }
@@ -726,6 +840,7 @@ void ShardedStreamServer::Stop() {
     not_full_cv_.notify_all();
     drained_cv_.notify_all();
     checkpoint_done_cv_.notify_all();
+    resize_done_cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
   std::lock_guard<std::mutex> lk(mu_);
@@ -812,9 +927,24 @@ void ShardedStreamServer::DetectLoop() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       queue_cv_.wait(lk, [&] {
-        return stopping_ || !queue_.empty() || checkpoint_requested_;
+        return stopping_ || !queue_.empty() || checkpoint_requested_ ||
+               resize_requested_ != 0;
       });
       if (stopping_) return;
+      if (queue_.empty() && resize_requested_ != 0) {
+        // Live resize (public Resize): the queue is drained, so detection
+        // state is quiescent — migrate outside the lock and hand the status
+        // back to the blocked caller. Serviced before checkpoints so a
+        // combined request snapshots the new shape.
+        const int target = resize_requested_;
+        lk.unlock();
+        const Status st = MigrateToShardCount(target);
+        lk.lock();
+        resize_requested_ = 0;
+        resize_status_ = st;
+        resize_done_cv_.notify_all();
+        continue;
+      }
       if (queue_.empty()) {
         // On-demand checkpoint (public WriteCheckpoint): queue drained, so
         // the coordinator-thread state is quiescent; write outside the lock
@@ -850,7 +980,7 @@ void ShardedStreamServer::DetectLoop() {
       append_status = fail::Inject("serve.window_append");
       if (append_status.ok()) {
         pool()->ParallelFor(
-            0, num_shards_,
+            0, static_cast<int64_t>(rb.parts.size()),
             [&](int64_t lo, int64_t hi) {
               for (int64_t k = lo; k < hi; ++k) {
                 if (!rb.parts[k].empty()) {
@@ -898,6 +1028,7 @@ void ShardedStreamServer::DetectLoop() {
         not_full_cv_.notify_all();
         drained_cv_.notify_all();
         checkpoint_done_cv_.notify_all();
+        resize_done_cv_.notify_all();
         return;
       }
       if (queue_.empty()) drained_cv_.notify_all();
@@ -943,6 +1074,7 @@ bool ShardedStreamServer::RunDueTicks() {
         num_ticks_ > last_checkpoint_tick_) {
       (void)DoWriteCheckpoint();
     }
+    if (outcome == TickOutcome::kOk) MaybeAutoReshard();
   }
   return true;
 }
@@ -976,13 +1108,18 @@ Status ShardedStreamServer::DoWriteCheckpoint() {
   const int64_t tick = num_ticks_;
   ShardManifest m;
   m.tick = tick;
-  m.num_shards = num_shards_;
+  m.num_shards = num_shards();
   m.epoch = wal_ != nullptr ? wal_->epoch() : 0;
+  // Manifest v3 carries the routing map the shard files were cut under, so
+  // a restore reproduces ownership exactly even after live resharding.
+  m.map_version = pmap_->version();
+  m.map_override_keys = pmap_->override_keys();
+  m.map_override_parts = pmap_->override_parts();
   Status st = Status::OK();
   // Shard files first (each carries the serve.checkpoint failpoint through
   // SaveCheckpoint), coordinator next, manifest last: the manifest rename
   // is the commit point of the fleet snapshot.
-  for (int k = 0; k < num_shards_ && st.ok(); ++k) {
+  for (int k = 0; k < num_shards() && st.ok(); ++k) {
     CheckpointData sd;
     sd.tick = tick;
     sd.edges = windows_[k].edges();
@@ -1057,6 +1194,193 @@ Status ShardedStreamServer::DoWriteCheckpoint() {
   return st;
 }
 
+Status ShardedStreamServer::Resize(int new_num_shards) {
+  if (new_num_shards < 1 || new_num_shards > 256) {
+    return Status::InvalidArgument("num_shards out of range [1, 256]: " +
+                                   std::to_string(new_num_shards));
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_) {
+    // Offline resize (before Start, typically right after a restore): the
+    // caller owns the server, migrate inline.
+    lk.unlock();
+    return MigrateToShardCount(new_num_shards);
+  }
+  if (stopping_) return Status::Cancelled("server stopping");
+  if (dead_) {
+    return last_error_.ok() ? Status::Cancelled("server dead") : last_error_;
+  }
+  // Same handshake as WriteCheckpoint: hand the migration to the detection
+  // thread (it runs once the queue drains — the quiesce point) and block
+  // until it commits or aborts.
+  resize_requested_ = new_num_shards;
+  queue_cv_.notify_one();
+  resize_done_cv_.wait(lk, [&] {
+    return resize_requested_ == 0 || stopping_ || dead_;
+  });
+  if (resize_requested_ != 0) {
+    resize_requested_ = 0;
+    return Status::Cancelled("server stopped before resize");
+  }
+  return resize_status_;
+}
+
+Status ShardedStreamServer::MigrateToShardCount(int target) {
+  const int old_n = num_shards();
+  if (target == old_n) return Status::OK();
+  const double t0 = obs::MonotonicSeconds();
+  // Abort point — BEFORE any state is touched, so an injected fault (or a
+  // real failure in the build phase below) leaves the old shape fully
+  // intact and a retry is always safe.
+  {
+    const Status inj = fail::Inject("serve.reshard");
+    if (!inj.ok()) {
+      ins_.reshards_aborted->Increment();
+      GLP_LOG(Warning) << "resize " << old_n << " -> " << target
+                       << " shards aborted: " << inj.ToString();
+      return inj;
+    }
+  }
+  auto new_map = std::make_shared<const pipeline::PartitionMap>(
+      pmap_->Repartitioned(target));
+  // Build the target shape off to the side: reconstruct the global
+  // canonical stream from each shard's owned copies (mirrors skipped, so
+  // every stream edge appears exactly once), then route it under the new
+  // map — exactly the windows an uninterrupted run on `target` shards
+  // would hold.
+  std::vector<TimedEdge> global;
+  global.reserve(global_edges_);
+  for (int k = 0; k < old_n; ++k) {
+    for (const TimedEdge& e : windows_[k].edges()) {
+      if (pmap_->PartOf(e.src) == k) global.push_back(e);
+    }
+  }
+  std::sort(global.begin(), global.end(), graph::CanonicalEdgeLess);
+  RoutedBatch routed = RouteBatch(global, *new_map);
+  std::vector<graph::SlidingWindow> new_windows(static_cast<size_t>(target));
+  for (int k = 0; k < target; ++k) {
+    new_windows[k] = graph::SlidingWindow(std::move(routed.parts[k]));
+  }
+  // Commit: swap the map, count, and windows under mu_, and re-route any
+  // batch still queued under the old map (the offline path — WAL-replay
+  // batches queued by restore; the live path only migrates on an empty
+  // queue). Each queued batch's global edge set is recovered by the same
+  // owned-copy filter, so nothing is lost or duplicated across the swap.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (RoutedBatch& q : queue_) {
+      if (q.map_version == new_map->version()) continue;
+      std::vector<TimedEdge> batch;
+      batch.reserve(q.global_edges);
+      const int qn = static_cast<int>(q.parts.size());
+      for (int k = 0; k < qn; ++k) {
+        for (const TimedEdge& e : q.parts[k]) {
+          if (pmap_->PartOf(e.src) == k) batch.push_back(e);
+        }
+      }
+      std::sort(batch.begin(), batch.end(), graph::CanonicalEdgeLess);
+      RoutedBatch nq = RouteBatch(batch, *new_map);
+      nq.ctx = std::move(q.ctx);
+      nq.wal_seq = q.wal_seq;
+      nq.enqueue_seconds = q.enqueue_seconds;
+      q = std::move(nq);
+    }
+    pmap_ = new_map;
+    num_shards_.store(target, std::memory_order_release);
+    windows_ = std::move(new_windows);
+    ins_.num_shards_gauge->Set(static_cast<double>(target));
+  }
+  // Rebuild the derived coordinator-side structures. range_cursors_ hold
+  // pointers into windows_, which the swap above invalidated.
+  shards_.clear();
+  shards_.resize(static_cast<size_t>(target));
+  for (ShardScratch& s : shards_) {
+    s.owner_buckets.resize(static_cast<size_t>(target));
+  }
+  owners_.clear();
+  owners_.resize(static_cast<size_t>(target));
+  range_cursors_.clear();
+  range_cursors_.reserve(static_cast<size_t>(target));
+  for (int k = 0; k < target; ++k) {
+    range_cursors_.emplace_back(&windows_[k]);
+  }
+  EnsureShardInstruments(target);
+  // Cluster records are owner-bucketed; re-extracting them next tick is
+  // cheap and yields identical clusters (the reuse invariant), so drop the
+  // cache rather than re-derive its bucketing.
+  records_valid_ = false;
+  records_.clear();
+  if (config_.tick.incremental && inc_reuse_ok_ && tick_schedule_primed_) {
+    // Re-prime every cursor at the last completed tick and rebuild the
+    // fleet union-find from the new windows (clean: anchors carry over —
+    // warm anchors and anchor_of_ are global-id state, untouched by the
+    // re-partition), so the next tick still takes the exact delta path.
+    const double last_end = next_tick_end_ - config_.tick.every_days;
+    const double last_start = last_end - config_.detect.window_days;
+    universe_ = 0;
+    for (const graph::SlidingWindow& w : windows_) {
+      if (w.num_stream_edges() == 0) continue;
+      universe_ =
+          std::max(universe_, static_cast<size_t>(w.max_entity()) + 1);
+    }
+    for (int k = 0; k < target; ++k) {
+      range_cursors_[k].PrimeAt(last_start, last_end);
+      shards_[k].lo = range_cursors_[k].lo();
+      shards_[k].hi = range_cursors_[k].hi();
+    }
+    inc_tracker_.BeginRebuild();
+    for (int k = 0; k < target; ++k) {
+      inc_tracker_.AddWindowRange(windows_[k].edges(), shards_[k].lo,
+                                  shards_[k].hi);
+    }
+    inc_tracker_.FinishRebuild(/*mark_all_dirty=*/false);
+    RefreshOwnersFromTracker();
+  }
+  last_reshard_tick_ = num_ticks_;
+  // Durable commit: a snapshot of the new shape, so a crash after the
+  // resize restores straight into it (best effort — the in-memory commit
+  // above already happened, and a checkpoint failure is recoverable by the
+  // shape-portable restore path anyway).
+  if (!config_.checkpoint.dir.empty()) (void)DoWriteCheckpoint();
+  const double pause = obs::MonotonicSeconds() - t0;
+  ins_.reshards_ok->Increment();
+  ins_.reshard_pause_seconds->Observe(pause);
+  GLP_LOG(Info) << "resharded fleet: " << old_n << " -> " << target
+                << " shards (" << global.size()
+                << " stream edges re-routed in " << pause << "s)";
+  return Status::OK();
+}
+
+void ShardedStreamServer::MaybeAutoReshard() {
+  const ReshardPolicy& p = config_.reshard;
+  if (!p.enabled()) return;
+  if (num_ticks_ - last_reshard_tick_ < p.cooldown_ticks) return;
+  // Heat = in-window edges per shard at the tick that just completed
+  // (mirrors included — they are real per-shard work). Deterministic in
+  // the stream, so replays make identical decisions.
+  uint64_t total = 0;
+  for (int k = 0; k < num_shards(); ++k) {
+    total += static_cast<uint64_t>(shards_[k].hi - shards_[k].lo);
+  }
+  const uint64_t per = total / static_cast<uint64_t>(num_shards());
+  int target = num_shards();
+  if (p.grow_edges_per_shard > 0 && per > p.grow_edges_per_shard &&
+      num_shards() < p.max_shards) {
+    target = num_shards() + 1;
+  } else if (p.shrink_edges_per_shard > 0 && per < p.shrink_edges_per_shard &&
+             num_shards() > p.min_shards) {
+    target = num_shards() - 1;
+  }
+  if (target == num_shards()) return;
+  GLP_LOG(Info) << "auto-reshard: " << per << " in-window edges/shard -> "
+                << target << " shards";
+  const Status st = MigrateToShardCount(target);
+  if (!st.ok()) {
+    GLP_LOG(Warning) << "auto-reshard to " << target
+                     << " shards failed: " << st.ToString();
+  }
+}
+
 void ShardedStreamServer::ShardComponents(int k, double start_time,
                                           double end_time) {
   ShardScratch& s = shards_[k];
@@ -1122,7 +1446,7 @@ void ShardedStreamServer::StitchComponents() {
   if (owner_of_.size() < universe_) owner_of_.resize(universe_);
   for (size_t l = 0; l < stitch_entities_.size(); ++l) {
     const VertexId r = Find(&stitch_uf_, static_cast<VertexId>(l));
-    const int owner = pipeline::PartitionOf(comp_min_entity_[r], num_shards_);
+    const int owner = pmap_->PartOf(comp_min_entity_[r]);
     owner_of_[stitch_entities_[l]] = static_cast<uint8_t>(owner);
     if (static_cast<VertexId>(l) == r) ++owners_[owner].num_components;
   }
@@ -1136,32 +1460,31 @@ void ShardedStreamServer::BucketShardEdges(int k) {
     const TimedEdge& e = edges[i];
     // Owned copies only: the mirror of this edge in the other endpoint's
     // shard is skipped there, so the buckets partition the global window.
-    if (pipeline::PartitionOf(e.src, num_shards_) != k) continue;
+    if (pmap_->PartOf(e.src) != k) continue;
     s.owner_buckets[owner_of_[e.src]].push_back(e);
   }
 }
 
 void ShardedStreamServer::RefreshOwnersFromTracker() {
   // Full recompute (rebuild/restore paths only — O(universe)): owner =
-  // PartitionOf(component min entity), the same rule StitchComponents
+  // pmap_->PartOf(component min entity), the same rule StitchComponents
   // applies, so cold and incremental replays bucket identically. The
   // ascending entity scan means a root's first-seen member IS its minimum.
   if (owner_of_.size() < universe_) owner_of_.resize(universe_);
   comp_min_scratch_.assign(universe_, graph::kInvalidVertex);
-  std::vector<int64_t> counts(num_shards_, 0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_shards()), 0);
   for (size_t e = 0; e < universe_; ++e) {
     if (!inc_tracker_.InWindow(static_cast<VertexId>(e))) continue;
     const VertexId r = inc_tracker_.Root(static_cast<VertexId>(e));
     if (comp_min_scratch_[r] == graph::kInvalidVertex) {
       comp_min_scratch_[r] = static_cast<VertexId>(e);
-      ++counts[pipeline::PartitionOf(static_cast<VertexId>(e), num_shards_)];
+      ++counts[pmap_->PartOf(static_cast<VertexId>(e))];
     }
   }
   for (size_t e = 0; e < universe_; ++e) {
     if (!inc_tracker_.InWindow(static_cast<VertexId>(e))) continue;
     const VertexId r = inc_tracker_.Root(static_cast<VertexId>(e));
-    owner_of_[e] = static_cast<uint8_t>(
-        pipeline::PartitionOf(comp_min_scratch_[r], num_shards_));
+    owner_of_[e] = static_cast<uint8_t>(pmap_->PartOf(comp_min_scratch_[r]));
   }
   for (int o = 0; o < num_shards_; ++o) owners_[o].num_components = counts[o];
 }
@@ -1206,8 +1529,7 @@ bool ShardedStreamServer::UpdateIncrementalTracker(double start_time,
       const std::vector<VertexId>& mem = inc_tracker_.MembersOf(r);
       VertexId mn = mem.front();
       for (const VertexId m : mem) mn = std::min(mn, m);
-      const auto owner =
-          static_cast<uint8_t>(pipeline::PartitionOf(mn, num_shards_));
+      const auto owner = static_cast<uint8_t>(pmap_->PartOf(mn));
       for (const VertexId m : mem) owner_of_[m] = owner;
     }
   } else {
@@ -1637,6 +1959,8 @@ ShardedStreamServer::TickOutcome ShardedStreamServer::RunTick(
           static_cast<double>(ow.num_components));
       shard_ins_[o].window_edges->Set(
           static_cast<double>(windows_[o].num_stream_edges()));
+      shard_ins_[o].inwindow_edges->Set(
+          static_cast<double>(shards_[o].hi - shards_[o].lo));
       if (!ow.ran) continue;
       tr.warm = tr.warm && ow.warm;
       shard_ins_[o].tick_seconds->Observe(ow.wall_seconds);

@@ -1,12 +1,15 @@
 // glp::serve::ShardedStreamServer — multi-shard scale-out of the streaming
 // detection server (DESIGN.md §4.9).
 //
-// Entities are hash-partitioned across N shards (pipeline::PartitionOf, the
-// same assignment the distributed cost model prices). Each shard owns a
-// partitioned SlidingWindow holding the edges whose *source* hashes to it;
-// an edge whose endpoints hash to different shards is mirrored into both,
-// so every shard sees its full local neighborhood — the boundary-mirroring
-// scheme Gunrock-style multi-device frameworks use.
+// Entities are partitioned across N shards by a versioned
+// pipeline::PartitionMap (the same assignment the distributed cost model
+// prices). Each shard owns a partitioned SlidingWindow holding the edges
+// whose *source* maps to it; an edge whose endpoints map to different
+// shards is mirrored into both, so every shard sees its full local
+// neighborhood — the boundary-mirroring scheme Gunrock-style multi-device
+// frameworks use. The shard count is *elastic*: Resize() migrates the
+// fleet to a new shape live (DESIGN.md §4.14), and checkpoints restore
+// across shapes (an N-shard snapshot re-partitions onto M shards).
 //
 //   Ingest(batch) --route by PartitionOf--> bounded queue of routed batches
 //                                             coordinator thread
@@ -60,6 +63,7 @@
 #include "graph/sliding_window.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/partition.h"
 #include "pipeline/pipeline.h"
 #include "serve/incremental.h"
 #include "serve/server.h"
@@ -86,7 +90,9 @@ class ShardedStreamServer : public Server {
   ShardedStreamServer(const ShardedStreamServer&) = delete;
   ShardedStreamServer& operator=(const ShardedStreamServer&) = delete;
 
-  int num_shards() const override { return num_shards_; }
+  int num_shards() const override {
+    return num_shards_.load(std::memory_order_acquire);
+  }
 
   wal::Wal* wal() const override { return wal_.get(); }
 
@@ -94,16 +100,27 @@ class ShardedStreamServer : public Server {
   /// be called before Start().
   void Subscribe(Subscriber subscriber) override;
 
-  /// Restores the whole fleet from the newest *complete* sharded
-  /// checkpoint (manifest + coordinator + every shard file validating) in
-  /// `dir`, or from an explicit manifest path. All-or-nothing: a missing
-  /// or corrupt shard file falls back to the previous complete set. The
-  /// checkpoint's shard count must match num_shards(). Must be called
-  /// before Start(). RestoreInfo::num_edges counts *global* stream edges
-  /// (mirrors excluded) — the replay resume index, same contract as
-  /// StreamServer.
+  /// Restores the fleet from the newest *complete* checkpoint in `dir`
+  /// (or an explicit manifest/checkpoint path). All-or-nothing: a missing
+  /// or corrupt shard file falls back to the previous complete set.
+  /// Checkpoints are shape-portable: a snapshot taken on any fleet size —
+  /// including a flat StreamServer file — restores here, re-partitioned
+  /// under this fleet's map, and the WAL tail (batches after the
+  /// snapshot) replays routed under the *current* map with seq-based
+  /// duplicate suppression, so no edge is lost or duplicated across the
+  /// re-route. Must be called before Start(). RestoreInfo::num_edges
+  /// counts *global* stream edges (mirrors excluded) — the replay resume
+  /// index, same contract as StreamServer.
   Result<RestoreInfo> RestoreFromCheckpoint(
       const std::string& path_or_dir) override;
+
+  /// Live fleet resize (DESIGN.md §4.14): quiesce → re-partition → resume
+  /// on the coordinator thread, preserving the subscriber diff stream
+  /// unbroken. Before Start() the migration runs inline (offline
+  /// re-shape). Aborts — including the armed "serve.reshard" failpoint —
+  /// happen before the commit point and leave the old shape fully intact;
+  /// retry is always safe.
+  Status Resize(int new_num_shards) override;
 
   /// Launches the coordinator thread.
   Status Start() override;
@@ -162,6 +179,10 @@ class ShardedStreamServer : public Server {
     /// The log stores the original wire batch; replay re-routes it, which
     /// reproduces the same parts deterministically.
     uint64_t wal_seq = 0;
+    /// Version of the partition map that routed `parts`. Producers route
+    /// outside the lock; if a live resize lands in between, the version
+    /// mismatch under the lock triggers a re-route under the new map.
+    uint64_t map_version = 0;
   };
 
   /// A wire batch awaiting its confirmed-cluster publish (freshness SLO) —
@@ -242,13 +263,31 @@ class ShardedStreamServer : public Server {
   /// owner_of_ for dirty components. Returns whether the delta path ran.
   bool UpdateIncrementalTracker(double start_time, double end_time);
   /// Full owner_of_ recompute from the tracker (rebuild/restore paths):
-  /// owner = PartitionOf(component min entity), plus per-owner component
-  /// counts for the components_owned gauges.
+  /// owner = pmap_->PartOf(component min entity), plus per-owner
+  /// component counts for the components_owned gauges.
   void RefreshOwnersFromTracker();
   bool ValidBatch(const std::vector<graph::TimedEdge>& batch) const;
-  /// Routes a validated batch into per-shard sub-batches (mirroring
-  /// cross-shard edges); shared by Ingest and TryIngest.
-  RoutedBatch RouteBatch(std::vector<graph::TimedEdge> batch) const;
+  /// Routes a validated batch into per-shard sub-batches under `map`
+  /// (mirroring cross-shard edges); shared by Ingest, TryIngest, WAL
+  /// replay, and migration re-routing. Reads `batch` without consuming it
+  /// so a racing resize can re-route from the original.
+  RoutedBatch RouteBatch(const std::vector<graph::TimedEdge>& batch,
+                         const pipeline::PartitionMap& map) const;
+  /// The migration itself: quiesce point already reached (coordinator
+  /// thread with an empty-or-owned queue, or pre-Start caller). Builds the
+  /// target shape off to the side, then commits it under mu_ — any
+  /// failure (or the "serve.reshard" failpoint) before that leaves the
+  /// old shape untouched. Re-routes still-queued batches, rebuilds
+  /// cursors/scratch/incremental tracker, re-registers per-shard
+  /// instruments, and writes a fresh checkpoint of the new shape (the
+  /// durable commit point).
+  Status MigrateToShardCount(int target);
+  /// Heat-driven automatic resize decision (ReshardPolicy), evaluated on
+  /// the coordinator thread after successful ticks.
+  void MaybeAutoReshard();
+  /// Grows shard_ins_ (and the per-shard metric families) to cover n
+  /// shards; gauges of shards beyond the live count are zeroed.
+  void EnsureShardInstruments(int n);
   bool Backoff(int attempt);
   void RecordError(const Status& status);
   /// Builds and writes one fleet snapshot (coordinator-thread state).
@@ -275,7 +314,14 @@ class ShardedStreamServer : public Server {
   obs::Histogram* FreshnessHistogram(const std::string& tenant);
 
   ServerConfig config_;
-  int num_shards_;
+  /// Live shard count. Written only at construction and at a migration
+  /// commit (under mu_); atomic so num_shards() and producer-side checks
+  /// read it without the lock.
+  std::atomic<int> num_shards_;
+  /// The routing map (never null). Swapped only at a migration commit
+  /// under mu_; producers snapshot the shared_ptr under mu_ and route
+  /// outside it, the coordinator reads it freely (it is the only writer).
+  std::shared_ptr<const pipeline::PartitionMap> pmap_;
   std::vector<Subscriber> subscribers_;
 
   // Coordinator-thread state.
@@ -349,6 +395,14 @@ class ShardedStreamServer : public Server {
   bool checkpoint_requested_ = false;
   Status checkpoint_status_ = Status::OK();
   std::condition_variable checkpoint_done_cv_;
+  // Live-resize handshake (same protocol as the checkpoint one): Resize()
+  // parks the target count here, the coordinator migrates at its next
+  // quiesce point (queue drained) and reports back.
+  int resize_requested_ = 0;
+  Status resize_status_ = Status::OK();
+  std::condition_variable resize_done_cv_;
+  /// Tick of the last automatic resize decision (cooldown anchor).
+  int64_t last_reshard_tick_ = 0;
 
   // Telemetry: aggregate glp_serve_* instruments (ServerStats-compatible)
   // plus per-shard families labeled {shard="k"}.
@@ -394,6 +448,11 @@ class ShardedStreamServer : public Server {
     obs::Gauge* wal_last_seq;
     obs::Gauge* wal_epoch;
     obs::Gauge* wal_segments;
+    // Elastic resharding (glp_serve_reshard_*).
+    obs::Counter* reshards_ok;
+    obs::Counter* reshards_aborted;  ///< pre-commit failure or failpoint
+    obs::Gauge* num_shards_gauge;
+    obs::Histogram* reshard_pause_seconds;  ///< migration quiesce-to-resume
   };
   Instruments ins_{};
   struct ShardInstruments {
@@ -402,6 +461,9 @@ class ShardedStreamServer : public Server {
     obs::Counter* edges_mirrored;   ///< mirrored copies appended
     obs::Gauge* window_edges;       ///< shard window size (incl. mirrors)
     obs::Gauge* components_owned;   ///< components this shard detected
+    /// In-window routed edges last tick (incl. mirrors) — the heat signal
+    /// ReshardPolicy's automatic rebalance decision reads.
+    obs::Gauge* inwindow_edges;
   };
   std::vector<ShardInstruments> shard_ins_;
 

@@ -600,5 +600,17 @@ TEST(ServeTest, IncrementalStartEnforcesExactnessPreconditions) {
   ok.Stop();
 }
 
+// A non-positive shard count is a caller bug (miscomputed fleet size,
+// unparsed flag): MakeServer fails loudly with nullptr instead of silently
+// serving one shard.
+TEST(ServeTest, MakeServerRejectsNonPositiveShardCounts) {
+  ServerConfig cfg;
+  EXPECT_EQ(MakeServer(cfg, 0), nullptr);
+  EXPECT_EQ(MakeServer(cfg, -3), nullptr);
+  auto one = MakeServer(cfg, 1);
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->num_shards(), 1);
+}
+
 }  // namespace
 }  // namespace glp::serve

@@ -352,13 +352,15 @@ TEST_F(ShardTest, SingleShardKillRestoreFallsBackToCompleteSnapshot) {
   std::filesystem::resize_file(dir + "/" + newest.value().manifest.shard_files[1],
                                16);
 
-  // A mismatched fleet size is rejected outright, not partially restored.
+  // A different fleet size is no longer rejected: the snapshot is
+  // shape-portable and a 2-shard server re-partitions it on load, falling
+  // back past the torn snapshot the same way. (Full N->M output
+  // equivalence is reshard_test's job.)
   {
-    ShardedStreamServer wrong(cfg, 2);
-    auto r = wrong.RestoreFromCheckpoint(dir);
-    ASSERT_FALSE(r.ok());
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
-        << r.status().ToString();
+    ShardedStreamServer other(cfg, 2);
+    auto r = other.RestoreFromCheckpoint(dir);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().tick, newest_tick - 1);
   }
 
   ShardedStreamServer server(cfg, 4);

@@ -68,6 +68,15 @@ struct Args {
   bool profile = false;
   int shards = 1;         // >1 = ShardedStreamServer fleet
   int metrics_port = -1;  // -1 = no endpoint; 0 = ephemeral port
+  // Elastic resharding (DESIGN.md §4.14).
+  bool reshard_auto = false;       // heat-driven automatic rebalancing
+  uint64_t reshard_grow = 0;       // grow when in-window edges/shard exceed
+  uint64_t reshard_shrink = 0;     // shrink when they fall below
+  int reshard_min = 1;             // fleet-size floor for the auto decision
+  int reshard_max = 8;             // fleet-size ceiling
+  int64_t reshard_cooldown = 4;    // ticks between auto decisions
+  double resize_at_day = -1;       // replay: live-Resize when the stream
+  int resize_to = 0;               //   crosses this day, to this count
   // Resilience (DESIGN.md §4.8).
   std::string checkpoint_dir;
   int64_t checkpoint_every = 16;
@@ -121,6 +130,21 @@ void Usage() {
       "                 = the single StreamServer)\n"
       "  --profile      per-phase profile of the serving run\n"
       "  --quiet        suppress per-tick lines (stats JSON only)\n"
+      "elastic resharding (DESIGN.md 4.14):\n"
+      "  --reshard-auto        heat-driven rebalancing: grow/shrink the\n"
+      "                        fleet by one shard when in-window edges per\n"
+      "                        shard cross the thresholds below (state is\n"
+      "                        migrated live; output is unchanged)\n"
+      "  --reshard-grow <n>    grow when in-window edges/shard exceed n\n"
+      "  --reshard-shrink <n>  shrink when in-window edges/shard fall\n"
+      "                        below n (0 = never)\n"
+      "  --reshard-min <n>     fleet-size floor (default 1)\n"
+      "  --reshard-max <n>     fleet-size ceiling (default 8)\n"
+      "  --reshard-cooldown <t>  completed ticks between auto decisions\n"
+      "                        (default 4)\n"
+      "  --resize-at <d>:<n>   replay mode: issue a live Resize to n shards\n"
+      "                        once the stream crosses day d (exercise the\n"
+      "                        migration path explicitly)\n"
       "monitoring:\n"
       "  --metrics-port <p>  serve /metrics, /statz, /healthz over HTTP on\n"
       "                      port p while the replay runs (0 = ephemeral;\n"
@@ -209,6 +233,28 @@ bool Parse(int argc, char** argv, Args* args) {
       args->shards = std::atoi(next());
     } else if (!std::strncmp(argv[i], "--shards=", 9)) {
       args->shards = std::atoi(argv[i] + 9);
+    } else if (!std::strcmp(argv[i], "--reshard-auto")) {
+      args->reshard_auto = true;
+    } else if (!std::strcmp(argv[i], "--reshard-grow")) {
+      args->reshard_grow = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--reshard-shrink")) {
+      args->reshard_shrink = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--reshard-min")) {
+      args->reshard_min = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--reshard-max")) {
+      args->reshard_max = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--reshard-cooldown")) {
+      args->reshard_cooldown = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--resize-at")) {
+      const char* spec = next();
+      const char* colon = std::strchr(spec, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--resize-at wants <day>:<shards>, got %s\n",
+                     spec);
+        return false;
+      }
+      args->resize_at_day = std::atof(spec);
+      args->resize_to = std::atoi(colon + 1);
     } else if (!std::strcmp(argv[i], "--metrics-port")) {
       args->metrics_port = std::atoi(next());
     } else if (!std::strncmp(argv[i], "--metrics-port=", 15)) {
@@ -345,11 +391,24 @@ int RunReplay(serve::Server& server, const Args& args,
   std::sort(ordered.begin(), ordered.end(), graph::CanonicalEdgeLess);
   const auto wall_start = std::chrono::steady_clock::now();
   const double stream_start = ordered.empty() ? 0 : ordered.front().time;
+  bool resize_pending = args.resize_at_day >= 0 && args.resize_to >= 1;
   for (size_t pos = replay_from; pos < ordered.size(); pos += args.batch_size) {
     const size_t n = std::min(args.batch_size, ordered.size() - pos);
     std::vector<graph::TimedEdge> batch(
         ordered.begin() + static_cast<ptrdiff_t>(pos),
         ordered.begin() + static_cast<ptrdiff_t>(pos + n));
+    if (resize_pending && batch.front().time >= args.resize_at_day) {
+      resize_pending = false;
+      std::printf("resize: day %.1f crossed, migrating %d -> %d shards...\n",
+                  args.resize_at_day, server.num_shards(), args.resize_to);
+      const Status rst = server.Resize(args.resize_to);
+      if (!rst.ok()) {
+        std::fprintf(stderr, "resize failed: %s\n", rst.ToString().c_str());
+        server.Stop();
+        return 1;
+      }
+      std::printf("resize: fleet now %d shards\n", server.num_shards());
+    }
     if (args.rate > 0) {
       // Don't hand over the batch before its last timestamp "happens".
       const double due_s = (batch.back().time - stream_start) / args.rate;
@@ -636,6 +695,12 @@ int main(int argc, char** argv) {
   cfg.tick.incremental = args.incremental;
   cfg.tick.cold_refresh_every_ticks = args.refresh;
   cfg.resilience.tick_deadline_seconds = args.tick_deadline;
+  cfg.reshard.auto_rebalance = args.reshard_auto;
+  cfg.reshard.grow_edges_per_shard = args.reshard_grow;
+  cfg.reshard.shrink_edges_per_shard = args.reshard_shrink;
+  cfg.reshard.min_shards = args.reshard_min;
+  cfg.reshard.max_shards = args.reshard_max;
+  cfg.reshard.cooldown_ticks = args.reshard_cooldown;
   cfg.checkpoint.dir = args.checkpoint_dir;
   cfg.checkpoint.every_ticks = args.checkpoint_every;
   cfg.durability.dir = args.wal_dir;
